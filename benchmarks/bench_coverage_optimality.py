@@ -1,0 +1,67 @@
+"""Benchmark / reproduction of Theorem 4 plus an ablation of the three optimisers.
+
+Theorem 4: ``sigma_star`` is the unique maximiser of the coverage among all
+symmetric strategies.  The benchmark compares the three independent routes to
+the optimum implemented in the library (closed form, KKT water-filling,
+projected gradient) — they must agree on the optimal coverage, and the closed
+form must be the cheapest by a wide margin (that is the ablation's point).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.coverage import coverage
+from repro.core.optimal_coverage import (
+    maximize_coverage_projected_gradient,
+    maximize_coverage_waterfilling,
+    optimal_coverage_strategy,
+)
+from repro.core.strategy import Strategy
+from repro.core.values import SiteValues
+
+K = 8
+
+
+@pytest.mark.benchmark(group="coverage-optimality")
+def test_closed_form_optimum(benchmark, zipf_instance):
+    result = benchmark(optimal_coverage_strategy, zipf_instance, K)
+    # Theorem 4 sanity: the optimum beats standard heuristics.
+    for challenger in (
+        Strategy.uniform(zipf_instance.m),
+        Strategy.proportional(zipf_instance.as_array()),
+        Strategy.uniform_over_top(zipf_instance.m, K),
+    ):
+        assert result.coverage >= coverage(zipf_instance, challenger, K)
+
+
+@pytest.mark.benchmark(group="coverage-optimality")
+def test_waterfilling_optimum(benchmark, zipf_instance):
+    result = benchmark(maximize_coverage_waterfilling, zipf_instance, K)
+    closed = optimal_coverage_strategy(zipf_instance, K)
+    assert result.coverage == pytest.approx(closed.coverage, rel=1e-9)
+
+
+@pytest.mark.benchmark(group="coverage-optimality")
+def test_projected_gradient_optimum(benchmark, zipf_instance):
+    result = benchmark(maximize_coverage_projected_gradient, zipf_instance, K)
+    closed = optimal_coverage_strategy(zipf_instance, K)
+    assert result.coverage == pytest.approx(closed.coverage, abs=1e-7)
+
+
+@pytest.mark.benchmark(group="coverage-optimality")
+def test_random_strategies_never_win(benchmark, zipf_instance):
+    """Monte-Carlo side of Theorem 4: 1000 random strategies all lose to sigma_star."""
+    rng = np.random.default_rng(0)
+    best = optimal_coverage_strategy(zipf_instance, K).coverage
+
+    def run():
+        worst_gap = np.inf
+        for _ in range(1000):
+            challenger = Strategy.random(zipf_instance.m, rng)
+            worst_gap = min(worst_gap, best - coverage(zipf_instance, challenger, K))
+        return worst_gap
+
+    gap = benchmark(run)
+    assert gap >= -1e-9

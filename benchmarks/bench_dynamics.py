@@ -1,0 +1,66 @@
+"""Dynamics benchmarks: convergence of decentralised adaptation to the IFD.
+
+Not a paper figure — these back the paper's framing that the ESS/IFD is what a
+large population of adapting individuals actually reaches.  Each benchmark
+times a dynamics run and asserts it lands on the IFD computed independently by
+the equilibrium solver.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ifd import ideal_free_distribution
+from repro.core.policies import ExclusivePolicy, SharingPolicy, TwoLevelPolicy
+from repro.core.sigma_star import sigma_star
+from repro.core.strategy import Strategy
+from repro.core.values import SiteValues
+from repro.dynamics import (
+    best_response_dynamics,
+    invasion_dynamics,
+    logit_dynamics,
+    replicator_dynamics,
+)
+
+VALUES = SiteValues.zipf(10, exponent=0.8)
+K = 4
+
+
+@pytest.mark.benchmark(group="dynamics")
+@pytest.mark.parametrize(
+    "policy", [ExclusivePolicy(), SharingPolicy(), TwoLevelPolicy(-0.25)], ids=["exclusive", "sharing", "aggressive-ish"]
+)
+def test_replicator_reaches_ifd(benchmark, policy):
+    target = ideal_free_distribution(VALUES, K, policy).strategy
+
+    result = benchmark(replicator_dynamics, VALUES, K, policy, max_iter=40_000)
+    assert result.strategy.total_variation(target) < 1e-4
+
+
+@pytest.mark.benchmark(group="dynamics")
+def test_logit_reaches_ifd(benchmark):
+    target = ideal_free_distribution(VALUES, K, SharingPolicy()).strategy
+
+    def run():
+        return logit_dynamics(VALUES, K, SharingPolicy(), rationality=600.0, max_iter=20_000)
+
+    result = benchmark(run)
+    assert result.strategy.total_variation(target) < 0.02
+
+
+@pytest.mark.benchmark(group="dynamics")
+def test_best_response_reaches_low_exploitability(benchmark):
+    result = benchmark(best_response_dynamics, VALUES, K, ExclusivePolicy(), max_iter=10_000)
+    assert result.exploitability < 0.01
+
+
+@pytest.mark.benchmark(group="dynamics")
+def test_invasion_of_sigma_star_fails(benchmark):
+    resident = sigma_star(VALUES, K).strategy
+    mutant = Strategy.uniform(VALUES.m)
+
+    result = benchmark(
+        invasion_dynamics, VALUES, resident, mutant, K, ExclusivePolicy(), initial_share=0.05
+    )
+    assert result.final_share < 0.05
+    assert not result.mutant_fixated

@@ -1,0 +1,106 @@
+"""Benchmarks for the Section 5.1 / 5.2 extensions.
+
+Not paper figures — these quantify the behaviour of the generalisations the
+paper leaves as future work, and check that each reduces to the core model when
+its new parameter is switched off:
+
+* travel costs: zero costs reproduce the core IFD; pricing the top sites moves
+  the equilibrium (and its coverage) down;
+* capacity constraints: requirement 1 reproduces the coverage optimum;
+* two-group competition: the group whose internal rule is the exclusive policy
+  captures the largest share of the environment (the Section 5.2 prediction).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.coverage import coverage
+from repro.core.ifd import ideal_free_distribution
+from repro.core.optimal_coverage import optimal_coverage
+from repro.core.policies import AggressivePolicy, ExclusivePolicy, SharingPolicy
+from repro.core.sigma_star import sigma_star
+from repro.core.values import SiteValues
+from repro.extensions import (
+    adaptive_sigma_star_schedule,
+    cost_adjusted_ifd,
+    maximize_capacity_coverage,
+    simulate_repeated_dispersal,
+    two_group_competition,
+)
+from repro.extensions.repeated import constant_schedule
+
+VALUES = SiteValues.zipf(20, exponent=0.9)
+K = 6
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_travel_cost_equilibrium(benchmark):
+    costs = np.linspace(0.2, 0.0, VALUES.m)  # reaching the best sites is costly
+
+    result = benchmark(cost_adjusted_ifd, VALUES, costs, K, ExclusivePolicy())
+    free = ideal_free_distribution(VALUES, K, ExclusivePolicy())
+    # Costs on the top sites push the equilibrium away from them and lose coverage.
+    assert result.strategy.as_array()[0] < free.strategy.as_array()[0]
+    assert coverage(VALUES, result.strategy, K) < coverage(VALUES, free.strategy, K)
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_capacity_constrained_optimum(benchmark):
+    requirements = np.ones(VALUES.m, dtype=int)
+    requirements[:3] = 2  # the three best patches need two visitors each
+
+    result = benchmark(maximize_capacity_coverage, VALUES, K, requirements)
+    # The constrained optimum is below the unconstrained one but above what
+    # blindly playing sigma_star achieves on the constrained objective.
+    from repro.extensions import capacity_coverage
+
+    star = sigma_star(VALUES, K).strategy
+    assert result.coverage <= optimal_coverage(VALUES, K) + 1e-9
+    assert result.coverage >= capacity_coverage(VALUES, star, K, requirements) - 1e-8
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_repeated_dispersal_adaptive_vs_constant(benchmark):
+    star = sigma_star(VALUES, K).strategy
+
+    def run():
+        constant = simulate_repeated_dispersal(
+            VALUES, K, constant_schedule(star), rounds=5, n_trials=1_000, rng=0
+        )
+        adaptive = simulate_repeated_dispersal(
+            VALUES, K, adaptive_sigma_star_schedule(K), rounds=5, n_trials=1_000, rng=0
+        )
+        return constant, adaptive
+
+    constant, adaptive = benchmark(run)
+    assert adaptive.cumulative_consumption_mean > constant.cumulative_consumption_mean
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_two_group_competition_exclusive_wins(benchmark):
+    def run():
+        return {
+            "exclusive-first": two_group_competition(
+                VALUES, ExclusivePolicy(), SharingPolicy(), k_first=K
+            ),
+            "sharing-first": two_group_competition(
+                VALUES, SharingPolicy(), ExclusivePolicy(), k_first=K
+            ),
+            "aggressive-first": two_group_competition(
+                VALUES, AggressivePolicy(0.5), SharingPolicy(), k_first=K
+            ),
+        }
+
+    results = benchmark(run)
+    # The exclusive-rule group going first captures the most and concedes the least.
+    assert (
+        results["exclusive-first"].first_consumption
+        > results["sharing-first"].first_consumption
+    )
+    assert (
+        results["exclusive-first"].first_consumption
+        > results["aggressive-first"].first_consumption
+    )
+    assert results["exclusive-first"].first_share > results["sharing-first"].first_share

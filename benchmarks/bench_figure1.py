@@ -1,0 +1,82 @@
+"""Benchmark / reproduction of Figure 1 (both panels).
+
+Paper reference: Figure 1 plots the coverage of (i) the ESS, (ii) the optimal
+symmetric strategy, and (iii) the welfare-maximising symmetric strategy for two
+players on two sites (``f = (1, 0.3)`` and ``f = (1, 0.5)``) as the collision
+payoff ``c`` ranges over ``[-0.5, 0.5]``.
+
+Shape checks (the paper's qualitative claims):
+
+* the ESS curve peaks exactly at ``c = 0`` (the exclusive policy) and meets the
+  optimum there;
+* it is strictly below the optimum for every ``c != 0``;
+* the welfare-optimum curve meets the coverage optimum at ``c = 0.5`` (sharing,
+  where total payoff equals coverage) and falls below it for negative ``c``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.figure1 import figure1_data
+from repro.core.values import SiteValues
+
+WELFARE_GRID = 801
+
+
+def _make_panel(second_value: float, c_grid: np.ndarray):
+    return figure1_data(
+        SiteValues.two_sites(second_value),
+        2,
+        c_grid=c_grid,
+        welfare_grid_points=WELFARE_GRID,
+    )
+
+
+def _check_panel_shape(panel) -> None:
+    assert panel.argmax_c == pytest.approx(0.0, abs=1e-12)
+    assert panel.peak_gap == pytest.approx(0.0, abs=1e-9)
+    away = np.abs(panel.c_grid) > 1e-9
+    assert np.all(panel.ess_coverage[away] < panel.optimal_coverage - 1e-9)
+    # Welfare optimum meets the coverage optimum at the sharing end (c = 0.5).
+    sharing_index = int(np.argmin(np.abs(panel.c_grid - 0.5)))
+    assert panel.welfare_optimum_coverage[sharing_index] == pytest.approx(
+        panel.optimal_coverage, abs=1e-3
+    )
+    # ... and sits strictly below it at the aggressive end (c = -0.5).
+    assert panel.welfare_optimum_coverage[0] < panel.optimal_coverage - 1e-3
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_left_panel(benchmark, figure1_c_grid):
+    """Figure 1, left panel: f = (1, 0.3), k = 2."""
+    panel = benchmark(_make_panel, 0.3, figure1_c_grid)
+    _check_panel_shape(panel)
+    # Paper-scale values: optimum coverage for f2 = 0.3 is 1 + 0.3 - 0.3/1.3.
+    assert panel.optimal_coverage == pytest.approx(1.3 - 0.3 / 1.3, abs=1e-12)
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_right_panel(benchmark, figure1_c_grid):
+    """Figure 1, right panel: f = (1, 0.5), k = 2."""
+    panel = benchmark(_make_panel, 0.5, figure1_c_grid)
+    _check_panel_shape(panel)
+    assert panel.optimal_coverage == pytest.approx(1.5 - 0.5 / 1.5, abs=1e-12)
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_extension_more_players(benchmark, figure1_c_grid):
+    """Extension of Figure 1 beyond the paper: 4 players on 4 sites.
+
+    The qualitative shape must persist: the ESS coverage is maximised at the
+    exclusive policy and equals the optimal symmetric coverage there.
+    """
+    values = SiteValues.from_values([1.0, 0.6, 0.35, 0.2])
+
+    def run():
+        return figure1_data(values, 4, c_grid=figure1_c_grid, welfare_grid_points=201)
+
+    panel = benchmark(run)
+    assert panel.argmax_c == pytest.approx(0.0, abs=1e-12)
+    assert panel.peak_gap == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,67 @@
+"""Mechanism comparison benchmarks: congestion design vs reward (grant) design.
+
+Ablation backing Section 1.6 of the paper: the exclusive congestion policy and
+the Kleinberg-Oren style reward design both implement the coverage-optimal
+distribution, but the congestion route does so without re-pricing the sites
+and without knowing the number of players.  The two-level sweep benchmark is
+the ablation showing that within the ``C_c`` family the best collision payoff
+is exactly ``c = 0``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.coverage import coverage
+from repro.core.ifd import ideal_free_distribution
+from repro.core.optimal_coverage import optimal_coverage
+from repro.core.policies import ExclusivePolicy, SharingPolicy
+from repro.core.values import SiteValues
+from repro.mechanism import best_two_level_policy, compare_policies, optimal_grant_design
+
+VALUES = SiteValues.zipf(15, exponent=0.9)
+K = 5
+
+
+@pytest.mark.benchmark(group="mechanism")
+def test_grant_design_recovers_optimum(benchmark):
+    design = benchmark(optimal_grant_design, VALUES, K)
+    assert design.max_deviation < 1e-6
+    assert design.induced_coverage == pytest.approx(optimal_coverage(VALUES, K), abs=1e-7)
+
+
+@pytest.mark.benchmark(group="mechanism")
+def test_congestion_design_matches_grant_design(benchmark):
+    """Both levers land on the same coverage; the congestion one needs no re-pricing."""
+
+    def run():
+        exclusive = ideal_free_distribution(VALUES, K, ExclusivePolicy())
+        grants = optimal_grant_design(VALUES, K)
+        return coverage(VALUES, exclusive.strategy, K), grants.induced_coverage
+
+    exclusive_cover, grant_cover = benchmark(run)
+    assert exclusive_cover == pytest.approx(grant_cover, abs=1e-6)
+    # Both beat the untouched sharing equilibrium.
+    sharing = ideal_free_distribution(VALUES, K, SharingPolicy())
+    assert exclusive_cover > coverage(VALUES, sharing.strategy, K)
+
+
+@pytest.mark.benchmark(group="mechanism")
+def test_two_level_ablation_best_c_is_zero(benchmark):
+    best_c, rows = benchmark(
+        best_two_level_policy, VALUES, K, c_grid=np.linspace(-0.5, 0.5, 21)
+    )
+    assert best_c == pytest.approx(0.0, abs=1e-9)
+    coverages = [row.equilibrium_coverage for row in rows]
+    assert max(coverages) == pytest.approx(optimal_coverage(VALUES, K), abs=1e-7)
+
+
+@pytest.mark.benchmark(group="mechanism")
+def test_policy_comparison_table(benchmark):
+    from repro.analysis.spoa_experiments import default_policy_roster
+
+    rows = benchmark(compare_policies, VALUES, K, default_policy_roster())
+    by_name = {row.policy_name: row for row in rows}
+    assert by_name["exclusive"].spoa == pytest.approx(1.0, abs=1e-9)
+    assert all(row.spoa >= 1.0 - 1e-9 for row in rows)

@@ -1,0 +1,52 @@
+"""Benchmark / reproduction of Observation 1.
+
+Paper reference: ``Cover(p*) > (1 - 1/e) * sum_{x <= k} f(x)`` — the optimal
+symmetric (uncoordinated) coverage is within a factor ``1 - 1/e ~ 0.632`` of
+the full-coordination optimum.
+
+Shape checks: the bound holds on every instance of the sweep; the worst ratio
+across the sweep stays above the bound, and near-tight instances (many equal
+values with ``k`` large) approach but never cross it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.observation1 import observation1_experiment
+from repro.core.optimal_coverage import observation1_lower_bound, optimal_coverage
+from repro.core.values import SiteValues
+
+BOUND = 1.0 - 1.0 / np.e
+
+
+@pytest.mark.benchmark(group="observation1")
+def test_observation1_sweep(benchmark):
+    """Sweep of value families, M and k: the bound holds everywhere."""
+    rows = benchmark(
+        observation1_experiment,
+        m_values=(5, 20, 100),
+        k_values=(2, 3, 5, 10),
+        n_random=3,
+        rng=0,
+    )
+    assert rows
+    assert all(row.holds for row in rows)
+    worst = min(row.ratio for row in rows)
+    assert worst > BOUND
+
+
+@pytest.mark.benchmark(group="observation1")
+def test_observation1_near_tight_instance(benchmark):
+    """Uniform values with k = M is the near-tight regime for the bound."""
+    values = SiteValues.uniform(64)
+
+    def run():
+        return optimal_coverage(values, 64), observation1_lower_bound(values, 64)
+
+    cover, bound = benchmark(run)
+    ratio = cover / values.top(64)
+    # The ratio approaches 1 - (1 - 1/M)^M from above, i.e. stays above 1 - 1/e.
+    assert BOUND < ratio < BOUND + 0.01
+    assert cover > bound

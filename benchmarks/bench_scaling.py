@@ -1,0 +1,67 @@
+"""Solver-scaling benchmarks (ablation of closed form vs numerical IFD).
+
+Not a paper figure — these benchmarks quantify two design choices recorded in
+``DESIGN.md``:
+
+* the closed-form ``sigma_star`` handles instances with 10^4-10^5 sites in
+  milliseconds, while the general nested-bisection IFD solver pays roughly two
+  orders of magnitude more (it is there for *arbitrary* congestion policies);
+* solver cost grows mildly with the number of players ``k`` (the binomial
+  expansion is the only ``k``-dependent term).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ifd import ideal_free_distribution
+from repro.core.policies import ExclusivePolicy, SharingPolicy
+from repro.core.sigma_star import sigma_star
+from repro.core.values import SiteValues
+
+
+@pytest.mark.benchmark(group="scaling-sigma-star")
+@pytest.mark.parametrize("m", [100, 10_000, 100_000])
+def test_sigma_star_scaling_in_m(benchmark, m):
+    values = SiteValues.zipf(m, exponent=1.1)
+    result = benchmark(sigma_star, values, 32)
+    assert result.strategy.as_array().sum() == pytest.approx(1.0, abs=1e-8)
+
+
+@pytest.mark.benchmark(group="scaling-sigma-star")
+@pytest.mark.parametrize("k", [2, 32, 512])
+def test_sigma_star_scaling_in_k(benchmark, large_instance, k):
+    result = benchmark(sigma_star, large_instance, k)
+    assert 1 <= result.support_size <= large_instance.m
+
+
+@pytest.mark.benchmark(group="scaling-ifd")
+@pytest.mark.parametrize("m", [10, 100, 1_000])
+def test_numerical_ifd_scaling_in_m(benchmark, m):
+    values = SiteValues.zipf(m, exponent=1.0)
+    result = benchmark(
+        ideal_free_distribution, values, 8, SharingPolicy(), max_outer_iter=120
+    )
+    assert result.converged
+
+
+@pytest.mark.benchmark(group="scaling-ifd")
+def test_numerical_vs_closed_form_same_answer(benchmark):
+    """Ablation: the general solver reproduces the closed form, at higher cost."""
+    values = SiteValues.zipf(500, exponent=1.0)
+
+    def run():
+        return ideal_free_distribution(values, 8, ExclusivePolicy(), use_closed_form=False)
+
+    numeric = benchmark(run)
+    closed = sigma_star(values, 8)
+    assert numeric.strategy.total_variation(closed.strategy) < 1e-6
+
+
+@pytest.mark.benchmark(group="scaling-ifd")
+@pytest.mark.parametrize("k", [2, 16, 128])
+def test_numerical_ifd_scaling_in_k(benchmark, k):
+    values = SiteValues.zipf(100, exponent=1.0)
+    result = benchmark(ideal_free_distribution, values, k, SharingPolicy())
+    assert result.strategy.as_array().sum() == pytest.approx(1.0, abs=1e-6)

@@ -1,0 +1,48 @@
+"""Bayesian parallel-search benchmarks (the Korman-Rodeh connection).
+
+Shape checks: the ``sigma_star``-derived round strategy maximises the
+single-round success probability (Theorem 4 with the prior as value function)
+and consequently beats the uniform / proportional / greedy baselines; the
+Monte-Carlo search simulator reproduces the closed-form expected discovery
+time for memoryless strategies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.search import (
+    BayesianSearchProblem,
+    compare_search_strategies,
+    expected_discovery_time,
+    simulate_search,
+    uniform_strategy,
+)
+
+PROBLEM = BayesianSearchProblem.zipf(200, exponent=1.0)
+K = 8
+
+
+@pytest.mark.benchmark(group="search")
+def test_sigma_star_round_strategy_wins(benchmark):
+    report = benchmark(compare_search_strategies, PROBLEM, K)
+    best = max(report.values(), key=lambda entry: entry["success_probability"])
+    assert report["sigma_star"]["success_probability"] == best["success_probability"]
+    assert (
+        report["sigma_star"]["success_probability"]
+        > report["uniform"]["success_probability"]
+    )
+    assert (
+        report["sigma_star"]["success_probability"]
+        > report["proportional"]["success_probability"]
+    )
+
+
+@pytest.mark.benchmark(group="search")
+def test_simulated_search_matches_closed_form(benchmark):
+    strategy = uniform_strategy(PROBLEM)
+
+    result = benchmark(simulate_search, PROBLEM, strategy, K, 50_000, max_rounds=2_000, rng=0)
+    expected = expected_discovery_time(PROBLEM, strategy, K)
+    assert result.success_rate > 0.999
+    assert result.mean_rounds_when_found == pytest.approx(expected, rel=0.05)

@@ -1,0 +1,94 @@
+"""Benchmark / reproduction of Corollary 5, Theorem 6 and the sharing SPoA bound.
+
+Shape checks:
+
+* exclusive policy — per-instance SPoA equals 1 everywhere (Corollary 5);
+* every non-exclusive policy — SPoA strictly above 1 on the Theorem 6
+  adversarial instance (Theorem 6);
+* sharing policy — randomized instance search never exceeds 2
+  (Kleinberg-Oren / Vetta bound), and the constant policy's SPoA grows roughly
+  like ``k`` on near-uniform values (the paper's introductory remark).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.spoa_experiments import (
+    default_policy_roster,
+    sharing_spoa_upper_bound_check,
+    spoa_experiment,
+    theorem6_certificates,
+)
+from repro.core.policies import ConstantPolicy, ExclusivePolicy, SharingPolicy
+from repro.core.spoa import spoa_instance, spoa_search
+from repro.core.values import SiteValues
+
+
+@pytest.mark.benchmark(group="spoa")
+def test_corollary5_exclusive_spoa_is_one(benchmark):
+    ratio, instance = benchmark(
+        spoa_search,
+        ExclusivePolicy(),
+        k_values=(2, 3, 5, 8),
+        m_values=(2, 5, 10, 25),
+        n_random=10,
+        rng=0,
+    )
+    assert ratio == pytest.approx(1.0, abs=1e-8)
+    assert instance.equilibrium_coverage == pytest.approx(instance.optimal_coverage, rel=1e-8)
+
+
+@pytest.mark.benchmark(group="spoa")
+def test_theorem6_all_other_policies_above_one(benchmark):
+    certificates = benchmark(theorem6_certificates, k=3)
+    assert certificates["exclusive"] == pytest.approx(1.0, abs=1e-9)
+    non_exclusive = {name: r for name, r in certificates.items() if name != "exclusive"}
+    assert non_exclusive
+    assert all(ratio > 1.0 for ratio in non_exclusive.values())
+
+
+@pytest.mark.benchmark(group="spoa")
+def test_sharing_spoa_bounded_by_two(benchmark):
+    ratio = benchmark(
+        sharing_spoa_upper_bound_check,
+        k_values=(2, 3, 5, 8),
+        m_values=(2, 5, 10),
+        n_random=15,
+        rng=1,
+    )
+    assert 1.0 < ratio <= 2.0
+
+
+@pytest.mark.benchmark(group="spoa")
+def test_constant_policy_spoa_grows_with_k(benchmark):
+    """C == 1: SPoA ~ k on slowly decreasing values (Section 1.2 remark)."""
+    values = SiteValues.slowly_decreasing(200, 16)
+
+    def run():
+        return [spoa_instance(values, k, ConstantPolicy()).ratio for k in (2, 4, 8, 16)]
+
+    ratios = benchmark(run)
+    assert np.all(np.diff(ratios) > 0)
+    # Roughly linear in k: for k = 16 the ratio exceeds k/2.
+    assert ratios[-1] > 8.0
+
+
+@pytest.mark.benchmark(group="spoa")
+def test_policy_roster_worst_case_table(benchmark):
+    """The worst-case SPoA table across the whole policy roster (quick grid)."""
+    rows = benchmark(
+        spoa_experiment,
+        policies=default_policy_roster(),
+        m_values=(2, 5),
+        k_values=(2, 3),
+        n_random=3,
+        rng=2,
+    )
+    by_name = {row.policy_name: row.worst_ratio for row in rows}
+    assert by_name["exclusive"] == pytest.approx(1.0, abs=1e-8)
+    assert by_name["sharing"] <= 2.0 + 1e-9
+    assert all(
+        ratio >= 1.0 - 1e-9 for ratio in by_name.values()
+    ), "SPoA is at least 1 by definition"

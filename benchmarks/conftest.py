@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's reported results (Figure 1 or a
+theorem-level claim) or measures the cost of a core solver.  Benchmarks both
+time the computation (pytest-benchmark) and assert the qualitative *shape* of
+the result the paper reports — who wins, by roughly what factor, and where the
+crossovers sit — so a benchmark run doubles as a reproduction check.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.values import SiteValues
+
+
+@pytest.fixture(scope="session")
+def figure1_c_grid() -> np.ndarray:
+    """Competition-extent grid used by the Figure 1 benchmarks (paper: [-0.5, 0.5])."""
+    return np.linspace(-0.5, 0.5, 21)
+
+
+@pytest.fixture(scope="session")
+def zipf_instance() -> SiteValues:
+    """Mid-sized Zipf value profile used by several benchmarks."""
+    return SiteValues.zipf(50, exponent=1.0)
+
+
+@pytest.fixture(scope="session")
+def large_instance() -> SiteValues:
+    """Large instance for solver-scaling benchmarks."""
+    return SiteValues.zipf(20_000, exponent=1.1)

@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Animal dispersal scenario: how aggression level shapes group coverage.
+
+Section 5.2 of the paper discusses two species that exploit the same patches
+but differ in how aggressively individuals treat conspecifics.  This example
+models a colony of foragers (think of the bat colonies of Section 1.4 breaking
+into foraging groups) dispersing over patches of food each night, under three
+"social rules":
+
+* peaceful sharing   — colliding foragers split the patch (``C_share``),
+* exclusive conflict — colliding foragers block each other and get nothing,
+* costly aggression  — colliding foragers fight and end up worse than nothing.
+
+For each rule we compute the evolutionarily stable dispersal pattern (the IFD),
+its coverage — the amount of food removed from the environment, which is what
+matters when a competing species feeds on the same patches later — and the
+average individual intake.  We then let the population *evolve* the dispersal
+pattern via replicator dynamics and simulate actual foraging nights.
+
+Run with::
+
+    python examples/animal_foraging.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    AggressivePolicy,
+    ExclusivePolicy,
+    SharingPolicy,
+    SiteValues,
+    coverage,
+    ideal_free_distribution,
+    individual_payoff,
+    optimal_coverage,
+)
+from repro.dynamics import replicator_dynamics
+from repro.simulation import simulate_dispersal
+from repro.utils.tables import format_table
+
+
+def build_environment(rng: np.random.Generator) -> SiteValues:
+    """A patchy environment: a few rich patches and a long tail of poor ones."""
+    rich = rng.uniform(5.0, 10.0, size=4)
+    medium = rng.uniform(1.0, 4.0, size=8)
+    poor = rng.uniform(0.1, 0.9, size=12)
+    return SiteValues.from_values(np.concatenate([rich, medium, poor]))
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    values = build_environment(rng)
+    group_size = 10  # foragers dispersing each night
+
+    policies = {
+        "peaceful sharing": SharingPolicy(),
+        "exclusive conflict": ExclusivePolicy(),
+        "costly aggression": AggressivePolicy(penalty=0.5),
+    }
+
+    print(f"Environment: {values.m} patches, total food {values.total:.2f}")
+    print(f"Group size: {group_size} foragers")
+    print(f"Best possible symmetric coverage: {optimal_coverage(values, group_size):.3f}\n")
+
+    rows = []
+    for name, policy in policies.items():
+        # Evolutionarily stable dispersal (the IFD of this social rule).
+        equilibrium = ideal_free_distribution(values, group_size, policy)
+        eq_cover = coverage(values, equilibrium.strategy, group_size)
+        intake = individual_payoff(values, equilibrium.strategy, group_size, policy)
+
+        # Sanity: a population adapting by replicator dynamics reaches the same pattern.
+        evolved = replicator_dynamics(values, group_size, policy, max_iter=40_000)
+        drift = evolved.strategy.total_variation(equilibrium.strategy)
+
+        # Simulate 20 000 foraging nights.
+        nights = simulate_dispersal(
+            values, equilibrium.strategy, group_size, policy, 20_000, rng=rng
+        )
+
+        rows.append(
+            [
+                name,
+                float(eq_cover),
+                float(eq_cover / optimal_coverage(values, group_size)),
+                float(intake),
+                float(nights.collision_rate),
+                equilibrium.support_size,
+                float(drift),
+            ]
+        )
+
+    print(
+        format_table(
+            [
+                "social rule",
+                "coverage",
+                "share of optimum",
+                "individual intake",
+                "collision rate",
+                "patches used",
+                "replicator drift",
+            ],
+            rows,
+            precision=3,
+        )
+    )
+
+    print(
+        "\nReading the table: the exclusive rule ('Judgment of Solomon') achieves the"
+        "\noptimal coverage — better than peaceful sharing, which over-crowds the rich"
+        "\npatches, and better than costly aggression, which over-disperses the group."
+        "\nIndividual intake is highest under sharing: what is good for the group (in"
+        "\ncompetition with other groups) is not what maximises individual payoff."
+    )
+
+
+if __name__ == "__main__":
+    main()

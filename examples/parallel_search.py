@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Parallel Bayesian search: the Korman-Rodeh connection.
+
+The paper observes that ``sigma_star`` coincides with the first round of the
+``A*`` algorithm for parallel search without coordination: ``k`` searchers look
+for a treasure hidden in one of ``M`` boxes according to a known prior, each
+opening one box per round, with no communication.
+
+This example compares round strategies on a Zipf prior: the ``sigma_star``
+strategy (optimal single-round success probability), uniform sampling,
+prior-proportional sampling, and greedy splitting of the top-``k`` boxes.  It
+reports the closed-form success probabilities and expected discovery times for
+memoryless repetition, and validates them with a Monte-Carlo search simulation.
+
+Run with::
+
+    python examples/parallel_search.py
+"""
+
+from __future__ import annotations
+
+from repro.search import (
+    BayesianSearchProblem,
+    compare_search_strategies,
+    expected_discovery_time,
+    proportional_strategy,
+    sigma_star_strategy,
+    simulate_search,
+    uniform_strategy,
+)
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    problem = BayesianSearchProblem.zipf(100, exponent=1.0)
+    k = 6
+
+    print(f"{problem.m} boxes, Zipf prior, {k} independent searchers\n")
+
+    report = compare_search_strategies(problem, k)
+    rows = [
+        [name, entry["success_probability"], entry["expected_rounds"]]
+        for name, entry in sorted(
+            report.items(), key=lambda item: -item[1]["success_probability"]
+        )
+    ]
+    print("Closed-form comparison of round strategies (memoryless repetition):")
+    print(
+        format_table(
+            ["round strategy", "P[found in round 1]", "expected rounds"], rows, precision=4
+        )
+    )
+    print(
+        "\nNote: sigma_star maximises the single-round success probability (Theorem 4"
+        "\napplied to the prior), but because it ignores low-prior boxes entirely, naive"
+        "\nrepetition of the same round never finds a treasure hidden there — the full"
+        "\nA* algorithm changes the distribution between rounds."
+    )
+
+    # Monte-Carlo validation for two strategies whose expected time is finite.
+    print("\nMonte-Carlo validation (30 000 simulated searches each):")
+    validation_rows = []
+    for name, strategy in (
+        ("uniform", uniform_strategy(problem)),
+        ("proportional", proportional_strategy(problem)),
+    ):
+        outcome = simulate_search(problem, strategy, k, 30_000, max_rounds=5_000, rng=0)
+        validation_rows.append(
+            [
+                name,
+                expected_discovery_time(problem, strategy, k),
+                outcome.mean_rounds_when_found,
+                outcome.success_rate,
+            ]
+        )
+    print(
+        format_table(
+            ["round strategy", "expected rounds (exact)", "mean rounds (simulated)", "success rate"],
+            validation_rows,
+            precision=3,
+        )
+    )
+
+    # First-round head-to-head including sigma_star.
+    star = sigma_star_strategy(problem, k)
+    outcome = simulate_search(problem, star, k, 30_000, max_rounds=1, rng=1)
+    print(
+        f"\nsigma_star first-round success (simulated): {outcome.round_one_success_rate:.4f} "
+        f"vs exact {report['sigma_star']['success_probability']:.4f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Research-funding scenario: steering researchers over topics.
+
+The introduction of the paper (and the Kleinberg-Oren line of work it builds
+on) motivates the dispersal game with research funding: a foundation cares
+about a set of topics with social values ``f(x)``; ``k`` researchers each pick
+one topic; researchers working on the same topic share the credit.  The
+foundation wants the *coverage* — the total value of topics that receive any
+attention — to be as large as possible.
+
+This example compares three interventions:
+
+1. do nothing (sharing policy with rewards equal to the social values);
+2. reward design (Kleinberg-Oren): keep the sharing rule but re-price topics
+   (grant sizes) so the equilibrium matches the coverage-optimal distribution;
+3. congestion design (this paper): keep the rewards but make credit exclusive
+   (only sole authors on a topic get the credit).
+
+Run with::
+
+    python examples/research_grants.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    ExclusivePolicy,
+    SharingPolicy,
+    SiteValues,
+    coverage,
+    ideal_free_distribution,
+    optimal_coverage,
+)
+from repro.mechanism import best_two_level_policy, optimal_grant_design
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    # Twelve research topics: a couple of "hot" ones and a tail of neglected ones.
+    values = SiteValues.from_values(
+        [10.0, 8.0, 5.0, 4.0, 3.0, 2.5, 2.0, 1.5, 1.2, 1.0, 0.8, 0.6]
+    )
+    n_researchers = 8
+
+    best = optimal_coverage(values, n_researchers)
+    print(f"{values.m} topics, {n_researchers} researchers")
+    print(f"Best achievable symmetric coverage: {best:.3f}\n")
+
+    rows = []
+
+    # 1. Laissez-faire: sharing credit, rewards = social values.
+    sharing_eq = ideal_free_distribution(values, n_researchers, SharingPolicy())
+    sharing_cover = coverage(values, sharing_eq.strategy, n_researchers)
+    rows.append(["laissez-faire (sharing)", float(sharing_cover), float(sharing_cover / best), "-"])
+
+    # 2. Kleinberg-Oren reward design: grants sized to steer the sharing IFD to sigma_star.
+    design = optimal_grant_design(values, n_researchers)
+    rows.append(
+        [
+            "grant re-pricing (sharing)",
+            float(design.induced_coverage),
+            float(design.induced_coverage / best),
+            f"max grant {design.rewards.max():.2f}",
+        ]
+    )
+
+    # 3. Congestion design: exclusive credit, original rewards.
+    exclusive_eq = ideal_free_distribution(values, n_researchers, ExclusivePolicy())
+    exclusive_cover = coverage(values, exclusive_eq.strategy, n_researchers)
+    rows.append(
+        ["exclusive credit (this paper)", float(exclusive_cover), float(exclusive_cover / best), "-"]
+    )
+
+    print(format_table(["mechanism", "coverage", "share of optimum", "notes"], rows, precision=4))
+
+    # How far can a partial-credit rule go?  Sweep the two-level family.
+    best_c, sweep_rows = best_two_level_policy(
+        values, n_researchers, c_grid=np.linspace(-0.5, 0.5, 41)
+    )
+    print(
+        f"\nSweeping collision credit c over [-0.5, 0.5]: the coverage-maximising"
+        f"\ncollision credit is c = {best_c:.3f} (the exclusive rule), with coverage"
+        f" {max(r.equilibrium_coverage for r in sweep_rows):.4f}."
+    )
+
+    print(
+        "\nTakeaway: re-pricing grants and hardening the credit rule achieve the same"
+        "\n(optimal) coverage, but the credit-rule route needs neither topic-specific"
+        "\ngrant sizes nor knowledge of how many researchers will participate."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Two species, one patch set: does within-group aggression pay off?
+
+Section 5.2 of the paper suggests an experiment: two species exploit the same
+patches at different times of the day and differ only in how aggressively
+individuals treat members of their *own* species.  Within-group aggression
+looks wasteful (collisions destroy value), yet the paper predicts it can make
+the species superior, because it drives individuals to cover the patches more
+thoroughly, leaving less for the competitor.
+
+This example quantifies that prediction with the
+:mod:`repro.extensions.group_competition` model: for each pair of within-group
+rules (sharing / exclusive / costly aggression) it reports how the environment
+is split when one species feeds first and the other feeds on the leftovers.
+
+Run with::
+
+    python examples/two_species.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AggressivePolicy, ExclusivePolicy, SharingPolicy, SiteValues, optimal_coverage
+from repro.extensions import two_group_competition
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    values = SiteValues.random(30, rng, low=0.1, high=5.0)
+    group_size = 12
+
+    rules = {
+        "peaceful (sharing)": SharingPolicy(),
+        "exclusive": ExclusivePolicy(),
+        "aggressive (c=-0.5)": AggressivePolicy(0.5),
+    }
+
+    print(f"{values.m} patches, total food {values.total:.2f}, "
+          f"{group_size} foragers per species")
+    print(f"Best symmetric single-species coverage: {optimal_coverage(values, group_size):.3f}\n")
+
+    rows = []
+    for first_name, first_rule in rules.items():
+        for second_name, second_rule in rules.items():
+            if first_name == second_name:
+                continue
+            outcome = two_group_competition(
+                values, first_rule, second_rule, k_first=group_size
+            )
+            rows.append(
+                [
+                    first_name,
+                    second_name,
+                    float(outcome.first_consumption),
+                    float(outcome.second_consumption),
+                    float(outcome.first_share),
+                    float(outcome.first_individual_payoff),
+                ]
+            )
+
+    print(
+        format_table(
+            [
+                "species feeding first",
+                "species feeding second",
+                "first eats",
+                "second eats",
+                "first's share",
+                "first's per-capita payoff",
+            ],
+            rows,
+            precision=3,
+        )
+    )
+
+    print(
+        "\nReading the table: whichever species internalises the exclusive rule eats"
+        "\nthe most when it feeds first and concedes the least when it feeds second."
+        "\nThe peaceful sharing species enjoys the highest per-capita payoff within its"
+        "\nown rows, but that is exactly the paper's point — individual comfort and"
+        "\ngroup-level competitiveness pull in different directions, and intense"
+        "\n(but not punitive) competition aligns the two."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""repro — reproduction of *Intense Competition can Drive Selfish Explorers to Optimize Coverage*.
+
+The library implements the dispersal game of Collet & Korman (SPAA 2018):
+``k`` selfish players simultaneously pick one of ``M`` sites of value
+``f(1) >= ... >= f(M)``; a congestion policy ``I(x, l) = f(x) * C(l)`` rewards
+each of the ``l`` players that landed on site ``x``.  The package provides
+
+* the game model (:mod:`repro.core`): values, strategies, congestion policies,
+  coverage, payoffs, the closed-form :func:`repro.core.sigma_star.sigma_star`,
+  the general IFD solver, ESS machinery and the symmetric price of anarchy;
+* evolutionary and learning dynamics converging to the IFD
+  (:mod:`repro.dynamics`);
+* a vectorised Monte-Carlo simulator of the one-shot game
+  (:mod:`repro.simulation`);
+* mechanism-design baselines (:mod:`repro.mechanism`) and the Bayesian
+  parallel-search connection (:mod:`repro.search`);
+* the experiment harness that regenerates the paper's Figure 1 and the
+  numerical checks of Theorems 3, 4, 6 and Corollary 5 (:mod:`repro.analysis`).
+
+Quickstart
+----------
+>>> from repro import SiteValues, ExclusivePolicy, sigma_star, ideal_free_distribution
+>>> f = SiteValues.from_values([1.0, 0.5, 0.25])
+>>> result = sigma_star(f, k=3)
+>>> result.strategy.as_array().round(3)
+array([0.547, 0.359, 0.094])
+>>> ideal_free_distribution(f, 3, ExclusivePolicy()).strategy == result.strategy
+True
+"""
+
+from repro.core import *  # noqa: F401,F403 -- re-export the stable public API
+from repro.core import __all__ as _core_all
+
+__version__ = "1.0.0"
+
+__all__ = list(_core_all) + ["__version__"]

@@ -1,0 +1,41 @@
+"""Experiment harness: regenerate the paper's figure and theorem-level checks.
+
+Each module corresponds to one experiment family of ``EXPERIMENTS.md``:
+
+* :mod:`repro.analysis.figure1` — the coverage-vs-competition curves of
+  Figure 1 (both panels, plus arbitrary instances);
+* :mod:`repro.analysis.observation1` — the ``(1 - 1/e)`` coverage bound;
+* :mod:`repro.analysis.spoa_experiments` — Corollary 5 / Theorem 6 /
+  the sharing-policy ``SPoA <= 2`` bound;
+* :mod:`repro.analysis.ess_experiments` — Theorem 3 audits;
+* :mod:`repro.analysis.sweeps` — generic parameter sweeps over ``(M, k, C)``;
+* :mod:`repro.analysis.reporting` / :mod:`repro.analysis.ascii_plot` — text
+  tables and ASCII plots (the offline environment has no plotting backend).
+"""
+
+from repro.analysis.figure1 import Figure1Data, figure1_data, figure1_panels, write_figure1_csv
+from repro.analysis.observation1 import Observation1Row, observation1_experiment
+from repro.analysis.spoa_experiments import SPoARow, spoa_experiment, theorem6_certificates
+from repro.analysis.ess_experiments import ESSRow, ess_experiment
+from repro.analysis.sweeps import SweepResult, coverage_ratio_sweep, support_size_sweep
+from repro.analysis.reporting import render_report
+from repro.analysis.ascii_plot import ascii_line_plot
+
+__all__ = [
+    "Figure1Data",
+    "figure1_data",
+    "figure1_panels",
+    "write_figure1_csv",
+    "Observation1Row",
+    "observation1_experiment",
+    "SPoARow",
+    "spoa_experiment",
+    "theorem6_certificates",
+    "ESSRow",
+    "ess_experiment",
+    "SweepResult",
+    "coverage_ratio_sweep",
+    "support_size_sweep",
+    "render_report",
+    "ascii_line_plot",
+]

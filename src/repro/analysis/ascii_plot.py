@@ -1,0 +1,86 @@
+"""Tiny dependency-free ASCII line plots.
+
+The offline reproduction environment has no matplotlib, so the examples and
+CLI render their curves as character rasters.  The plots are intentionally
+simple: linear axes, one character per sample column, one symbol per curve.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["ascii_line_plot"]
+
+_SYMBOLS = "*o+x#@%&"
+
+
+def ascii_line_plot(
+    x: Sequence[float] | np.ndarray,
+    curves: Mapping[str, Sequence[float] | np.ndarray],
+    *,
+    width: int = 72,
+    height: int = 18,
+    title: str | None = None,
+) -> str:
+    """Render ``curves`` over ``x`` as an ASCII raster.
+
+    Parameters
+    ----------
+    x:
+        Shared x-coordinates (must be non-empty and monotone increasing).
+    curves:
+        Mapping from curve label to y-values (same length as ``x``).
+    width, height:
+        Raster size in characters (axes excluded).
+    title:
+        Optional title line.
+    """
+    x_arr = np.asarray(x, dtype=float)
+    if x_arr.size == 0:
+        raise ValueError("x must not be empty")
+    if np.any(np.diff(x_arr) < 0):
+        raise ValueError("x must be monotone non-decreasing")
+    if not curves:
+        raise ValueError("at least one curve is required")
+    if width < 8 or height < 4:
+        raise ValueError("raster too small")
+
+    y_all = []
+    for label, ys in curves.items():
+        ys_arr = np.asarray(ys, dtype=float)
+        if ys_arr.shape != x_arr.shape:
+            raise ValueError(f"curve {label!r} has a different length than x")
+        y_all.append(ys_arr)
+    y_stack = np.vstack(y_all)
+    y_min, y_max = float(np.nanmin(y_stack)), float(np.nanmax(y_stack))
+    if np.isclose(y_min, y_max):
+        y_max = y_min + 1.0
+    x_min, x_max = float(x_arr[0]), float(x_arr[-1])
+    if np.isclose(x_min, x_max):
+        x_max = x_min + 1.0
+
+    raster = [[" "] * width for _ in range(height)]
+    for curve_index, (label, ys) in enumerate(curves.items()):
+        symbol = _SYMBOLS[curve_index % len(_SYMBOLS)]
+        ys_arr = np.asarray(ys, dtype=float)
+        cols = np.round((x_arr - x_min) / (x_max - x_min) * (width - 1)).astype(int)
+        rows = np.round((ys_arr - y_min) / (y_max - y_min) * (height - 1)).astype(int)
+        for col, row in zip(cols, rows):
+            raster[height - 1 - row][col] = symbol
+
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "   ".join(
+        f"{_SYMBOLS[i % len(_SYMBOLS)]} {label}" for i, label in enumerate(curves.keys())
+    )
+    lines.append(legend)
+    lines.append(f"y in [{y_min:.6g}, {y_max:.6g}]")
+    border = "+" + "-" * width + "+"
+    lines.append(border)
+    lines.extend("|" + "".join(row) + "|" for row in raster)
+    lines.append(border)
+    lines.append(f"x in [{x_min:.6g}, {x_max:.6g}]")
+    return "\n".join(lines)

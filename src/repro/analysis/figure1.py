@@ -1,0 +1,147 @@
+"""Regeneration of Figure 1: coverage as a function of the competition extent.
+
+The paper's Figure 1 considers two players competing over two sites with
+``f = (1, 0.3)`` (left panel) and ``f = (1, 0.5)`` (right panel).  The x-axis
+parameterises the congestion function ``C_c`` (``C_c(1) = 1``,
+``C_c(2) = c``) over ``c in [-0.5, 0.5]``; ``c = 0`` is the exclusive policy
+and ``c = 0.5`` the sharing policy.  Three curves are plotted:
+
+* the coverage of the ESS (the IFD of ``C_c``) — red in the paper;
+* the optimum coverage over all symmetric strategies — green (constant in
+  ``c`` since the coverage functional does not depend on the policy);
+* the coverage of the symmetric strategy maximising the players' payoffs
+  ("welfare optimum") — blue.
+
+The qualitative claims the reproduction checks: the ESS curve touches the
+optimum exactly at ``c = 0`` and lies strictly below it elsewhere, and the
+welfare-optimal curve coincides with the optimum for ``c <= 0`` and drops
+below it as soon as colliding players keep a positive share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.coverage import coverage
+from repro.core.ifd import ideal_free_distribution
+from repro.core.optimal_coverage import optimal_coverage
+from repro.core.policies import TwoLevelPolicy
+from repro.core.values import SiteValues
+from repro.core.welfare import welfare_optimal_strategy
+from repro.utils.io import write_series
+from repro.utils.validation import check_positive_integer
+
+__all__ = ["Figure1Data", "figure1_data", "figure1_panels", "write_figure1_csv"]
+
+
+@dataclass(frozen=True)
+class Figure1Data:
+    """The three numeric series of one Figure 1 panel."""
+
+    values: SiteValues
+    k: int
+    c_grid: np.ndarray
+    ess_coverage: np.ndarray
+    optimal_coverage: float
+    welfare_optimum_coverage: np.ndarray
+
+    def as_series(self) -> dict[str, np.ndarray]:
+        """Column view suitable for CSV output."""
+        return {
+            "c": self.c_grid,
+            "ess_coverage": self.ess_coverage,
+            "optimal_coverage": np.full_like(self.c_grid, self.optimal_coverage),
+            "welfare_optimum_coverage": self.welfare_optimum_coverage,
+        }
+
+    @property
+    def argmax_c(self) -> float:
+        """Competition extent at which the ESS coverage peaks."""
+        return float(self.c_grid[int(np.argmax(self.ess_coverage))])
+
+    @property
+    def peak_gap(self) -> float:
+        """Distance between the peak ESS coverage and the optimum (should be ~0 at c=0)."""
+        return float(self.optimal_coverage - self.ess_coverage.max())
+
+
+def figure1_data(
+    values: SiteValues | np.ndarray,
+    k: int = 2,
+    *,
+    c_grid: np.ndarray | None = None,
+    welfare_grid_points: int = 2001,
+) -> Figure1Data:
+    """Compute the three Figure 1 series for one instance.
+
+    Parameters
+    ----------
+    values:
+        Site values of the panel (the paper uses ``(1, 0.3)`` and ``(1, 0.5)``).
+    k:
+        Number of players (the paper uses 2).
+    c_grid:
+        Grid of collision payoffs ``c``; defaults to 101 points on
+        ``[-0.5, 0.5]``.
+    welfare_grid_points:
+        Resolution of the welfare-optimum search for two-site instances.
+    """
+    k = check_positive_integer(k, "k")
+    f = values if isinstance(values, SiteValues) else SiteValues.from_values(values)
+    if c_grid is None:
+        c_grid = np.linspace(-0.5, 0.5, 101)
+    c_grid = np.asarray(c_grid, dtype=float)
+    if np.any(c_grid > 1.0):
+        raise ValueError("collision payoffs c must be <= 1 to define a congestion policy")
+
+    best = optimal_coverage(f, k)
+    ess_curve = np.empty(c_grid.size)
+    welfare_curve = np.empty(c_grid.size)
+    for index, c in enumerate(c_grid):
+        policy = TwoLevelPolicy(float(c))
+        equilibrium = ideal_free_distribution(f, k, policy)
+        ess_curve[index] = coverage(f, equilibrium.strategy, k)
+        welfare = welfare_optimal_strategy(f, k, policy, grid_points=welfare_grid_points)
+        welfare_curve[index] = welfare.coverage
+
+    return Figure1Data(
+        values=f,
+        k=k,
+        c_grid=c_grid,
+        ess_coverage=ess_curve,
+        optimal_coverage=float(best),
+        welfare_optimum_coverage=welfare_curve,
+    )
+
+
+def figure1_panels(
+    *,
+    c_grid: np.ndarray | None = None,
+    second_values: tuple[float, float] = (0.3, 0.5),
+    k: int = 2,
+    welfare_grid_points: int = 2001,
+) -> dict[str, Figure1Data]:
+    """Both panels of Figure 1 (``f = (1, 0.3)`` and ``f = (1, 0.5)`` by default)."""
+    panels: dict[str, Figure1Data] = {}
+    for second in second_values:
+        panel = figure1_data(
+            SiteValues.two_sites(second),
+            k,
+            c_grid=c_grid,
+            welfare_grid_points=welfare_grid_points,
+        )
+        panels[f"f2={second:g}"] = panel
+    return panels
+
+
+def write_figure1_csv(output_dir: str | Path, **kwargs) -> list[Path]:
+    """Write one CSV per Figure 1 panel into ``output_dir`` and return the paths."""
+    directory = Path(output_dir)
+    paths: list[Path] = []
+    for name, panel in figure1_panels(**kwargs).items():
+        safe = name.replace("=", "_").replace(".", "p")
+        paths.append(write_series(directory / f"figure1_{safe}.csv", panel.as_series()))
+    return paths

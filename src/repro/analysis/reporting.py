@@ -1,0 +1,72 @@
+"""Turning experiment rows into human-readable text reports.
+
+Every experiment module returns lists of small dataclasses; this module
+renders them as aligned text tables (and, for the Figure 1 panels, as ASCII
+plots), which is what the CLI prints and what ``EXPERIMENTS.md`` quotes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, is_dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.analysis.ascii_plot import ascii_line_plot
+from repro.analysis.figure1 import Figure1Data
+from repro.utils.tables import format_table
+
+__all__ = ["rows_to_table", "figure1_report", "render_report"]
+
+
+def rows_to_table(rows: Sequence[object], *, precision: int = 6) -> str:
+    """Render a list of dataclass rows (all of the same type) as a text table."""
+    if not rows:
+        return "(no rows)"
+    first = rows[0]
+    if not is_dataclass(first):
+        raise TypeError("rows_to_table expects dataclass instances")
+    headers = list(asdict(first).keys())
+    body = []
+    for row in rows:
+        record = asdict(row)
+        body.append([record[h] for h in headers])
+    return format_table(headers, body, precision=precision)
+
+
+def figure1_report(panels: Mapping[str, Figure1Data], *, plot: bool = True) -> str:
+    """Readable report of the Figure 1 panels: key numbers plus ASCII plots."""
+    sections: list[str] = []
+    for name, panel in panels.items():
+        headers = ["panel", "k", "optimal coverage", "ESS peak coverage", "peak at c", "peak gap"]
+        row = [
+            name,
+            panel.k,
+            panel.optimal_coverage,
+            float(panel.ess_coverage.max()),
+            panel.argmax_c,
+            panel.peak_gap,
+        ]
+        sections.append(format_table(headers, [row]))
+        if plot:
+            sections.append(
+                ascii_line_plot(
+                    panel.c_grid,
+                    {
+                        "ESS coverage": panel.ess_coverage,
+                        "optimal coverage": [panel.optimal_coverage] * panel.c_grid.size,
+                        "welfare optimum": panel.welfare_optimum_coverage,
+                    },
+                    title=f"Figure 1 panel {name}: coverage vs competition extent c",
+                )
+            )
+    return "\n\n".join(sections)
+
+
+def render_report(title: str, sections: Iterable[tuple[str, str]]) -> str:
+    """Assemble a multi-section text report with underlined headings."""
+    parts = [title, "=" * len(title), ""]
+    for heading, body in sections:
+        parts.append(heading)
+        parts.append("-" * len(heading))
+        parts.append(body)
+        parts.append("")
+    return "\n".join(parts)

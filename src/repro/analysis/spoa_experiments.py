@@ -1,0 +1,142 @@
+"""Symmetric price of anarchy experiments (Corollary 5, Theorem 6, sharing bound).
+
+Three claims are checked numerically:
+
+* **Corollary 5** — the exclusive policy's per-instance SPoA equals 1 on every
+  instance in the sweep (its equilibrium *is* the coverage optimum);
+* **Theorem 6** — every other congestion policy admits an instance with SPoA
+  strictly above 1; the certificate instance is the slowly-decreasing value
+  profile from the paper's proof;
+* **Kleinberg-Oren / Vetta bound** — the sharing policy's SPoA never exceeds 2
+  on any instance encountered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.policies import (
+    AggressivePolicy,
+    CongestionPolicy,
+    ConstantPolicy,
+    ExclusivePolicy,
+    ExponentialPolicy,
+    PowerLawPolicy,
+    SharingPolicy,
+    TwoLevelPolicy,
+)
+from repro.core.spoa import spoa_instance, spoa_lower_bound_certificate, spoa_search
+from repro.core.values import SiteValues
+from repro.analysis.observation1 import default_value_families
+
+__all__ = ["SPoARow", "spoa_experiment", "theorem6_certificates", "default_policy_roster"]
+
+
+@dataclass(frozen=True)
+class SPoARow:
+    """Worst per-instance SPoA found for one policy."""
+
+    policy_name: str
+    worst_ratio: float
+    worst_m: int
+    worst_k: int
+    n_instances: int
+
+
+def default_policy_roster() -> list[CongestionPolicy]:
+    """The congestion policies compared throughout the experiments."""
+    return [
+        ExclusivePolicy(),
+        SharingPolicy(),
+        ConstantPolicy(),
+        TwoLevelPolicy(0.25),
+        TwoLevelPolicy(-0.25),
+        AggressivePolicy(0.5),
+        PowerLawPolicy(0.5),
+        PowerLawPolicy(2.0),
+        ExponentialPolicy(1.0),
+    ]
+
+
+def spoa_experiment(
+    policies: Sequence[CongestionPolicy] | None = None,
+    *,
+    m_values: Sequence[int] = (2, 5, 10),
+    k_values: Sequence[int] = (2, 3, 5),
+    n_random: int = 10,
+    rng: np.random.Generator | int | None = 0,
+) -> list[SPoARow]:
+    """Evaluate the per-instance SPoA of each policy over a grid of instances."""
+    generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    if policies is None:
+        policies = default_policy_roster()
+
+    rows: list[SPoARow] = []
+    for policy in policies:
+        worst_ratio = -np.inf
+        worst_m = worst_k = 0
+        count = 0
+        for m in m_values:
+            instances = [make() for make in default_value_families(m).values()]
+            instances.extend(SiteValues.random(m, generator) for _ in range(n_random))
+            for k in k_values:
+                instances_k = instances + [SiteValues.slowly_decreasing(max(m, 4 * k), k)]
+                for values in instances_k:
+                    result = spoa_instance(values, k, policy)
+                    count += 1
+                    if result.ratio > worst_ratio:
+                        worst_ratio = result.ratio
+                        worst_m, worst_k = result.m, result.k
+        rows.append(
+            SPoARow(
+                policy_name=policy.name,
+                worst_ratio=float(worst_ratio),
+                worst_m=worst_m,
+                worst_k=worst_k,
+                n_instances=count,
+            )
+        )
+    return rows
+
+
+def theorem6_certificates(
+    policies: Sequence[CongestionPolicy] | None = None,
+    *,
+    k: int = 3,
+) -> dict[str, float]:
+    """Per-policy SPoA on the Theorem 6 adversarial instance.
+
+    Every non-exclusive policy should return a value strictly above 1; the
+    exclusive policy returns exactly 1.
+    """
+    if policies is None:
+        policies = default_policy_roster()
+    certificates: dict[str, float] = {}
+    for policy in policies:
+        result = spoa_lower_bound_certificate(policy, k)
+        key = policy.name
+        if key in certificates:
+            key = f"{key}-{len(certificates)}"
+        certificates[key] = float(result.ratio)
+    return certificates
+
+
+def sharing_spoa_upper_bound_check(
+    *,
+    k_values: Sequence[int] = (2, 3, 5, 8),
+    m_values: Sequence[int] = (2, 5, 10, 25),
+    n_random: int = 25,
+    rng: np.random.Generator | int | None = 0,
+) -> float:
+    """Largest sharing-policy SPoA found across a randomized search (should be <= 2)."""
+    ratio, _ = spoa_search(
+        SharingPolicy(),
+        k_values=tuple(k_values),
+        m_values=tuple(m_values),
+        n_random=n_random,
+        rng=rng,
+    )
+    return float(ratio)

@@ -1,0 +1,83 @@
+"""Generic parameter sweeps over the dispersal game.
+
+Two reusable sweeps back several benchmarks and examples:
+
+* :func:`coverage_ratio_sweep` — for a roster of congestion policies, how the
+  equilibrium coverage (relative to the optimum) changes with the number of
+  players ``k``;
+* :func:`support_size_sweep` — how the support ``W`` of ``sigma_star`` grows
+  with ``k`` for different value-function shapes (the "how widely does intense
+  competition spread the population" question).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.coverage import coverage
+from repro.core.ifd import ideal_free_distribution
+from repro.core.optimal_coverage import optimal_coverage
+from repro.core.policies import CongestionPolicy
+from repro.core.sigma_star import sigma_star
+from repro.core.values import SiteValues
+from repro.utils.validation import check_positive_integer
+
+__all__ = ["SweepResult", "coverage_ratio_sweep", "support_size_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A labelled family of curves over a shared x-axis."""
+
+    x_label: str
+    x_values: np.ndarray
+    curves: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def as_series(self) -> dict[str, np.ndarray]:
+        """Column view (x first) suitable for CSV output."""
+        series = {self.x_label: self.x_values}
+        series.update(self.curves)
+        return series
+
+
+def coverage_ratio_sweep(
+    values: SiteValues | np.ndarray,
+    policies: Sequence[CongestionPolicy],
+    *,
+    k_values: Sequence[int] = (2, 3, 4, 6, 8, 12, 16),
+    **solver_kwargs,
+) -> SweepResult:
+    """Equilibrium coverage / optimal coverage, per policy, as ``k`` grows."""
+    f = values if isinstance(values, SiteValues) else SiteValues.from_values(values)
+    ks = np.asarray([check_positive_integer(k, "k") for k in k_values], dtype=int)
+    curves: dict[str, np.ndarray] = {}
+    for policy in policies:
+        ratios = np.empty(ks.size)
+        for index, k in enumerate(ks):
+            best = optimal_coverage(f, int(k))
+            equilibrium = ideal_free_distribution(f, int(k), policy, **solver_kwargs)
+            ratios[index] = coverage(f, equilibrium.strategy, int(k)) / best
+        name = policy.name
+        if name in curves:
+            name = f"{name}-{len(curves)}"
+        curves[name] = ratios
+    return SweepResult(x_label="k", x_values=ks.astype(float), curves=curves)
+
+
+def support_size_sweep(
+    value_families: dict[str, SiteValues],
+    *,
+    k_values: Sequence[int] = (2, 3, 5, 8, 13, 21, 34),
+) -> SweepResult:
+    """Support size ``W`` of ``sigma_star`` as a function of ``k`` for each family."""
+    ks = np.asarray([check_positive_integer(k, "k") for k in k_values], dtype=int)
+    curves: dict[str, np.ndarray] = {}
+    for name, values in value_families.items():
+        supports = np.empty(ks.size)
+        for index, k in enumerate(ks):
+            supports[index] = sigma_star(values, int(k)).support_size
+        curves[name] = supports
+    return SweepResult(x_label="k", x_values=ks.astype(float), curves=curves)

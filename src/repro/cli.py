@@ -1,0 +1,171 @@
+"""Command-line interface for the reproduction experiments.
+
+Usage (after ``pip install -e .``)::
+
+    repro-dispersal figure1 [--output-dir results/]
+    repro-dispersal observation1
+    repro-dispersal spoa
+    repro-dispersal ess
+    repro-dispersal sweep [--m 20] [--policy sharing exclusive]
+
+or equivalently ``python -m repro.cli ...``.  Each sub-command prints a text
+report; ``figure1`` additionally writes the numeric series to CSV when an
+output directory is given.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.ess_experiments import ess_experiment
+from repro.analysis.figure1 import figure1_panels, write_figure1_csv
+from repro.analysis.observation1 import observation1_experiment
+from repro.analysis.reporting import figure1_report, render_report, rows_to_table
+from repro.analysis.spoa_experiments import (
+    sharing_spoa_upper_bound_check,
+    spoa_experiment,
+    theorem6_certificates,
+)
+from repro.analysis.sweeps import coverage_ratio_sweep
+from repro.core.policies import (
+    AggressivePolicy,
+    CongestionPolicy,
+    ConstantPolicy,
+    ExclusivePolicy,
+    PowerLawPolicy,
+    SharingPolicy,
+)
+from repro.core.values import SiteValues
+from repro.utils.tables import format_table
+
+__all__ = ["main", "build_parser"]
+
+_POLICY_FACTORIES = {
+    "exclusive": ExclusivePolicy,
+    "sharing": SharingPolicy,
+    "constant": ConstantPolicy,
+    "aggressive": lambda: AggressivePolicy(0.5),
+    "power-law": lambda: PowerLawPolicy(2.0),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-dispersal",
+        description="Reproduction experiments for Collet & Korman, SPAA 2018.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig = sub.add_parser("figure1", help="Regenerate the two panels of Figure 1.")
+    fig.add_argument("--output-dir", type=Path, default=None, help="Write CSV series here.")
+    fig.add_argument("--points", type=int, default=51, help="Grid points on c in [-0.5, 0.5].")
+    fig.add_argument("--no-plot", action="store_true", help="Skip the ASCII plots.")
+
+    sub.add_parser("observation1", help="Check the (1 - 1/e) coverage bound.")
+
+    spoa = sub.add_parser("spoa", help="SPoA experiments (Corollary 5, Theorem 6).")
+    spoa.add_argument("--quick", action="store_true", help="Smaller instance grid.")
+
+    ess = sub.add_parser("ess", help="ESS audit of sigma_star (Theorem 3).")
+    ess.add_argument("--mutants", type=int, default=25, help="Random mutants per instance.")
+
+    sweep = sub.add_parser("sweep", help="Coverage-ratio sweep over k for several policies.")
+    sweep.add_argument("--m", type=int, default=20, help="Number of sites.")
+    sweep.add_argument(
+        "--policy",
+        nargs="+",
+        choices=sorted(_POLICY_FACTORIES),
+        default=["exclusive", "sharing", "constant"],
+    )
+    return parser
+
+
+def _run_figure1(args: argparse.Namespace) -> str:
+    c_grid = np.linspace(-0.5, 0.5, args.points)
+    panels = figure1_panels(c_grid=c_grid)
+    report = figure1_report(panels, plot=not args.no_plot)
+    if args.output_dir is not None:
+        paths = write_figure1_csv(args.output_dir, c_grid=c_grid)
+        report += "\n\nCSV written to:\n" + "\n".join(str(path) for path in paths)
+    return report
+
+
+def _run_observation1(_: argparse.Namespace) -> str:
+    rows = observation1_experiment()
+    holds = all(row.holds for row in rows)
+    return render_report(
+        "Observation 1: Cover(p*) > (1 - 1/e) * top-k value",
+        [
+            (f"All {len(rows)} instances satisfy the bound: {holds}", rows_to_table(rows)),
+        ],
+    )
+
+
+def _run_spoa(args: argparse.Namespace) -> str:
+    if args.quick:
+        rows = spoa_experiment(m_values=(2, 5), k_values=(2, 3), n_random=3)
+    else:
+        rows = spoa_experiment()
+    certificates = theorem6_certificates()
+    cert_table = format_table(
+        ["policy", "SPoA on Theorem-6 instance"],
+        [[name, value] for name, value in certificates.items()],
+    )
+    sharing_bound = sharing_spoa_upper_bound_check(n_random=5 if args.quick else 25)
+    return render_report(
+        "Symmetric Price of Anarchy",
+        [
+            ("Worst per-instance SPoA per policy (Corollary 5: exclusive = 1)", rows_to_table(rows)),
+            ("Theorem 6 certificates (non-exclusive policies are > 1)", cert_table),
+            ("Sharing policy randomized search (bound is 2)", f"max ratio found: {sharing_bound:.6f}"),
+        ],
+    )
+
+
+def _run_ess(args: argparse.Namespace) -> str:
+    rows = ess_experiment(n_random_mutants=args.mutants)
+    all_ess = all(row.is_ess for row in rows)
+    return render_report(
+        "Theorem 3: sigma_star is an ESS under the exclusive policy",
+        [
+            (f"All {len(rows)} instances passed the ESS audit: {all_ess}", rows_to_table(rows)),
+        ],
+    )
+
+
+def _run_sweep(args: argparse.Namespace) -> str:
+    policies: list[CongestionPolicy] = [_POLICY_FACTORIES[name]() for name in args.policy]
+    values = SiteValues.zipf(args.m, exponent=1.0)
+    sweep = coverage_ratio_sweep(values, policies)
+    headers = [sweep.x_label] + list(sweep.curves.keys())
+    rows = []
+    for index, x in enumerate(sweep.x_values):
+        rows.append([int(x)] + [float(curve[index]) for curve in sweep.curves.values()])
+    return render_report(
+        f"Equilibrium coverage / optimal coverage on a Zipf instance (M={args.m})",
+        [("ratio by number of players k", format_table(headers, rows))],
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point used by the ``repro-dispersal`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    runners = {
+        "figure1": _run_figure1,
+        "observation1": _run_observation1,
+        "spoa": _run_spoa,
+        "ess": _run_ess,
+        "sweep": _run_sweep,
+    }
+    print(runners[args.command](args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,156 @@
+"""Core model of the dispersal game: values, strategies, policies, equilibria.
+
+This subpackage contains the paper's primary contribution — the dispersal
+game, its congestion reward policies, the Ideal Free Distribution, the
+closed-form ``sigma_star``, coverage/welfare optimisation, ESS machinery, and
+the symmetric price of anarchy.
+"""
+
+from repro.core.values import SiteValues
+from repro.core.strategy import Strategy
+from repro.core.game import DispersalGame
+from repro.core.policies import (
+    AggressivePolicy,
+    CallablePolicy,
+    CongestionPolicy,
+    ConstantPolicy,
+    CooperativeSharingPolicy,
+    ExclusivePolicy,
+    ExponentialPolicy,
+    PowerLawPolicy,
+    SharingPolicy,
+    TabulatedPolicy,
+    TwoLevelPolicy,
+)
+from repro.core.coverage import (
+    coverage,
+    coverage_gradient,
+    expected_sites_visited,
+    full_coordination_coverage,
+    missed_value,
+    site_coverage_probabilities,
+)
+from repro.core.payoffs import (
+    best_response_sites,
+    best_response_value,
+    exploitability,
+    expected_payoff,
+    mixture_payoff,
+    mixture_payoff_expanded,
+    payoff_against_groups,
+    site_values,
+)
+from repro.core.sigma_star import SigmaStarResult, sigma_star, support_size
+from repro.core.ifd import IFDReport, IFDResult, ideal_free_distribution, verify_ifd
+from repro.core.optimal_coverage import (
+    CoverageOptimum,
+    maximize_coverage_projected_gradient,
+    maximize_coverage_waterfilling,
+    observation1_holds,
+    observation1_lower_bound,
+    optimal_coverage,
+    optimal_coverage_strategy,
+)
+from repro.core.welfare import (
+    WelfareOptimum,
+    expected_welfare,
+    individual_payoff,
+    welfare_optimal_strategy,
+)
+from repro.core.ess import (
+    ESSComparison,
+    ESSReport,
+    equilibrium_payoff,
+    ess_conditions_against,
+    ess_report,
+    invasion_barrier,
+    is_symmetric_nash,
+)
+from repro.core.equilibrium import (
+    EquilibriumReport,
+    count_pure_equilibria,
+    pure_equilibrium_occupancies,
+    symmetric_equilibrium,
+    verify_symmetric_equilibrium,
+)
+from repro.core.spoa import (
+    SPoAInstance,
+    adversarial_values,
+    spoa_instance,
+    spoa_lower_bound_certificate,
+    spoa_search,
+)
+
+__all__ = [
+    # values / strategies / facade
+    "SiteValues",
+    "Strategy",
+    "DispersalGame",
+    # policies
+    "CongestionPolicy",
+    "ExclusivePolicy",
+    "SharingPolicy",
+    "ConstantPolicy",
+    "TwoLevelPolicy",
+    "PowerLawPolicy",
+    "ExponentialPolicy",
+    "AggressivePolicy",
+    "CooperativeSharingPolicy",
+    "TabulatedPolicy",
+    "CallablePolicy",
+    # coverage
+    "coverage",
+    "missed_value",
+    "coverage_gradient",
+    "site_coverage_probabilities",
+    "expected_sites_visited",
+    "full_coordination_coverage",
+    # payoffs
+    "site_values",
+    "expected_payoff",
+    "payoff_against_groups",
+    "mixture_payoff",
+    "mixture_payoff_expanded",
+    "best_response_value",
+    "best_response_sites",
+    "exploitability",
+    # sigma_star / ifd
+    "SigmaStarResult",
+    "sigma_star",
+    "support_size",
+    "IFDResult",
+    "IFDReport",
+    "ideal_free_distribution",
+    "verify_ifd",
+    # optimisation
+    "CoverageOptimum",
+    "optimal_coverage",
+    "optimal_coverage_strategy",
+    "maximize_coverage_waterfilling",
+    "maximize_coverage_projected_gradient",
+    "observation1_lower_bound",
+    "observation1_holds",
+    "WelfareOptimum",
+    "expected_welfare",
+    "individual_payoff",
+    "welfare_optimal_strategy",
+    # ess / equilibrium
+    "ESSComparison",
+    "ESSReport",
+    "ess_conditions_against",
+    "ess_report",
+    "invasion_barrier",
+    "is_symmetric_nash",
+    "equilibrium_payoff",
+    "EquilibriumReport",
+    "symmetric_equilibrium",
+    "verify_symmetric_equilibrium",
+    "pure_equilibrium_occupancies",
+    "count_pure_equilibria",
+    # spoa
+    "SPoAInstance",
+    "spoa_instance",
+    "spoa_search",
+    "adversarial_values",
+    "spoa_lower_bound_certificate",
+]

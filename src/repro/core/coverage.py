@@ -1,0 +1,116 @@
+"""The coverage functional and its companions.
+
+The group performance of a symmetric strategy ``p`` played by ``k`` players is
+the *weighted coverage* (Eq. 1 of the paper)::
+
+    Cover(p) = sum_x f(x) * (1 - (1 - p(x))**k)
+
+Maximising coverage is equivalent to minimising the complementary "missed
+value" ``T(p) = sum_x f(x) * (1 - p(x))**k`` used in the proof of Theorem 4.
+This module provides both, their gradients, and a handful of related
+quantities (expected number of distinct visited sites, per-site marginal
+coverage gain).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.strategy import Strategy
+from repro.core.values import SiteValues
+from repro.utils.validation import check_positive_integer
+
+__all__ = [
+    "coverage",
+    "missed_value",
+    "coverage_gradient",
+    "missed_value_gradient",
+    "site_coverage_probabilities",
+    "expected_sites_visited",
+    "coverage_upper_bound",
+    "full_coordination_coverage",
+]
+
+
+def _as_arrays(values: SiteValues | np.ndarray, strategy: Strategy | np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    f = values.as_array() if isinstance(values, SiteValues) else np.asarray(values, dtype=float)
+    p = strategy.as_array() if isinstance(strategy, Strategy) else np.asarray(strategy, dtype=float)
+    if f.shape != p.shape:
+        raise ValueError(
+            f"values and strategy must agree on the number of sites ({f.shape} vs {p.shape})"
+        )
+    return f, p
+
+
+def site_coverage_probabilities(strategy: Strategy | np.ndarray, k: int) -> np.ndarray:
+    """Per-site probability of being visited by at least one of ``k`` players.
+
+    Returns the vector ``1 - (1 - p(x))**k``.
+    """
+    k = check_positive_integer(k, "k")
+    p = strategy.as_array() if isinstance(strategy, Strategy) else np.asarray(strategy, dtype=float)
+    return 1.0 - (1.0 - p) ** k
+
+
+def coverage(values: SiteValues | np.ndarray, strategy: Strategy | np.ndarray, k: int) -> float:
+    """Expected weighted coverage ``Cover(p)`` of ``k`` players using ``strategy``."""
+    k = check_positive_integer(k, "k")
+    f, p = _as_arrays(values, strategy)
+    return float(np.dot(f, 1.0 - (1.0 - p) ** k))
+
+
+def missed_value(values: SiteValues | np.ndarray, strategy: Strategy | np.ndarray, k: int) -> float:
+    """The complementary quantity ``T(p) = sum_x f(x) * (1 - p(x))**k``.
+
+    ``Cover(p) + T(p) = sum_x f(x)`` for every strategy, so minimising ``T``
+    and maximising coverage are the same problem (used in the Theorem 4 proof).
+    """
+    k = check_positive_integer(k, "k")
+    f, p = _as_arrays(values, strategy)
+    return float(np.dot(f, (1.0 - p) ** k))
+
+
+def coverage_gradient(
+    values: SiteValues | np.ndarray, strategy: Strategy | np.ndarray, k: int
+) -> np.ndarray:
+    """Gradient of ``Cover`` with respect to the strategy vector.
+
+    ``d Cover / d p(x) = k * f(x) * (1 - p(x))**(k-1)``.  On the support of a
+    coverage-maximising strategy these partial derivatives are all equal
+    (the KKT condition), which is exactly the IFD condition under the
+    exclusive policy — the analytic heart of Theorem 4.
+    """
+    k = check_positive_integer(k, "k")
+    f, p = _as_arrays(values, strategy)
+    return k * f * (1.0 - p) ** (k - 1)
+
+
+def missed_value_gradient(
+    values: SiteValues | np.ndarray, strategy: Strategy | np.ndarray, k: int
+) -> np.ndarray:
+    """Gradient of ``T``; equal to ``-coverage_gradient``."""
+    return -coverage_gradient(values, strategy, k)
+
+
+def expected_sites_visited(strategy: Strategy | np.ndarray, k: int) -> float:
+    """Expected number of distinct sites visited by ``k`` players (unweighted coverage)."""
+    return float(site_coverage_probabilities(strategy, k).sum())
+
+
+def coverage_upper_bound(values: SiteValues | np.ndarray) -> float:
+    """Trivial upper bound: the sum of all site values (every site visited)."""
+    f = values.as_array() if isinstance(values, SiteValues) else np.asarray(values, dtype=float)
+    return float(f.sum())
+
+
+def full_coordination_coverage(values: SiteValues | np.ndarray, k: int) -> float:
+    """Best coverage achievable with full coordination: the ``k`` most valuable sites.
+
+    This is the benchmark of Observation 1; no symmetric (uncoordinated)
+    strategy can beat it, and the optimal symmetric strategy recovers at least
+    a ``(1 - 1/e)`` fraction of it.
+    """
+    k = check_positive_integer(k, "k")
+    f = values.as_array() if isinstance(values, SiteValues) else np.asarray(values, dtype=float)
+    f_sorted = np.sort(f)[::-1]
+    return float(f_sorted[: min(k, f_sorted.size)].sum())

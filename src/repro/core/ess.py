@@ -1,0 +1,254 @@
+"""Evolutionary stable strategies in the k-player dispersal game.
+
+The paper adopts the generalisation of ESS to an infinite population whose
+members are matched uniformly at random in groups of ``k`` (Section 1.4).  A
+strategy ``sigma`` is an ESS when, for every mutant ``pi != sigma``, playing
+``sigma`` does strictly better than playing ``pi`` once the mutant share of
+the population is small enough.
+
+Two equivalent tools are provided:
+
+* the *characterisation* check (Broom & Rychtar): for each mutant ``pi`` there
+  must exist an index ``m_pi`` with equal payoffs for every mixed-opponent
+  composition below ``m_pi`` and a strict advantage at ``m_pi``;
+* the *invasion-barrier* check: the payoff difference
+  ``U[sigma; (1-eps) sigma + eps pi] - U[pi; (1-eps) sigma + eps pi]`` must be
+  positive for all sufficiently small ``eps``.
+
+Theorem 3 states that ``sigma_star`` is an ESS under the exclusive policy;
+the tests and benchmarks verify this numerically on random instances and
+random mutants, and verify that the *stronger* stability property proved in
+Section 3 (strict advantage for every composition with at least one mutant)
+also holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.payoffs import (
+    expected_payoff,
+    mixture_payoff,
+    payoff_against_groups,
+    site_values,
+)
+from repro.core.policies import CongestionPolicy
+from repro.core.strategy import Strategy
+from repro.core.values import SiteValues
+from repro.utils.validation import check_positive_integer, check_probability
+
+__all__ = [
+    "ESSComparison",
+    "ESSReport",
+    "is_symmetric_nash",
+    "ess_conditions_against",
+    "invasion_barrier",
+    "ess_report",
+]
+
+
+@dataclass(frozen=True)
+class ESSComparison:
+    """Outcome of the ESS characterisation against one specific mutant.
+
+    Attributes
+    ----------
+    resists:
+        Whether the resident strategy resists invasion by the mutant.
+    m_index:
+        The index ``m_pi`` at which the strict advantage appears (``None`` when
+        the mutant is not resisted).
+    payoff_differences:
+        ``E(sigma; sigma^{k-l-1}, pi^l) - E(pi; sigma^{k-l-1}, pi^l)`` for
+        ``l = 0 .. k-1`` (the resident-vs-mutant payoff gap as the number of
+        mutant co-players grows).
+    """
+
+    resists: bool
+    m_index: int | None
+    payoff_differences: np.ndarray = field(repr=False)
+
+
+@dataclass(frozen=True)
+class ESSReport:
+    """Aggregated ESS audit over a collection of mutants."""
+
+    is_ess: bool
+    n_mutants: int
+    n_resisted: int
+    worst_margin: float
+    failures: tuple[int, ...]
+
+
+def _values_array(values: SiteValues | np.ndarray) -> np.ndarray:
+    return values.as_array() if isinstance(values, SiteValues) else np.asarray(values, dtype=float)
+
+
+def is_symmetric_nash(
+    values: SiteValues | np.ndarray,
+    strategy: Strategy,
+    k: int,
+    policy: CongestionPolicy,
+    *,
+    atol: float = 1e-8,
+) -> bool:
+    """``True`` when no unilateral deviation from the symmetric profile is profitable."""
+    k = check_positive_integer(k, "k")
+    f = _values_array(values)
+    nu = site_values(f, strategy, k, policy)
+    own = float(np.dot(strategy.as_array(), nu))
+    return bool(nu.max() <= own + atol)
+
+
+def ess_conditions_against(
+    values: SiteValues | np.ndarray,
+    resident: Strategy,
+    mutant: Strategy,
+    k: int,
+    policy: CongestionPolicy,
+    *,
+    atol: float = 1e-9,
+) -> ESSComparison:
+    """Evaluate the ESS characterisation of Section 1.4 against one mutant.
+
+    For ``l = 0 .. k-1`` compute the payoff difference between the resident and
+    the mutant when facing ``l`` mutant co-players and ``k - 1 - l`` resident
+    co-players.  The resident resists the mutant when the first non-zero
+    difference (scanning ``l`` upwards) is strictly positive.
+    """
+    k = check_positive_integer(k, "k")
+    f = _values_array(values)
+    diffs = np.empty(k, dtype=float)
+    for ell in range(k):
+        groups = [(resident, k - 1 - ell), (mutant, ell)]
+        resident_payoff = payoff_against_groups(f, resident, groups, policy)
+        mutant_payoff = payoff_against_groups(f, mutant, groups, policy)
+        diffs[ell] = resident_payoff - mutant_payoff
+
+    for ell in range(k):
+        if diffs[ell] > atol:
+            return ESSComparison(True, ell, diffs)
+        if diffs[ell] < -atol:
+            return ESSComparison(False, None, diffs)
+    # All payoffs equal for every composition: the mutant is payoff-equivalent
+    # (this can only happen for mutant == resident up to numerical noise).
+    return ESSComparison(False, None, diffs)
+
+
+def invasion_barrier(
+    values: SiteValues | np.ndarray,
+    resident: Strategy,
+    mutant: Strategy,
+    k: int,
+    policy: CongestionPolicy,
+    *,
+    epsilon_grid: np.ndarray | None = None,
+) -> float:
+    """Empirical invasion barrier: the largest mutant share the resident repels.
+
+    Scans a grid of mutant proportions ``eps`` and returns the largest prefix
+    of the grid on which ``U[resident] > U[mutant]`` strictly.  Returns ``0``
+    when the resident is invadable at arbitrarily small mutant shares and
+    ``1`` when it resists for every tested proportion.
+    """
+    k = check_positive_integer(k, "k")
+    f = _values_array(values)
+    if epsilon_grid is None:
+        epsilon_grid = np.concatenate(
+            [np.logspace(-6, -1, 16), np.linspace(0.15, 0.99, 18)]
+        )
+    barrier = 0.0
+    for eps in np.sort(np.asarray(epsilon_grid, dtype=float)):
+        eps = check_probability(float(eps), "epsilon")
+        resident_payoff = mixture_payoff(f, resident, resident, mutant, eps, k, policy)
+        mutant_payoff = mixture_payoff(f, mutant, resident, mutant, eps, k, policy)
+        if resident_payoff > mutant_payoff:
+            barrier = eps
+        else:
+            break
+    return float(barrier)
+
+
+def ess_report(
+    values: SiteValues | np.ndarray,
+    resident: Strategy,
+    k: int,
+    policy: CongestionPolicy,
+    *,
+    mutants: list[Strategy] | None = None,
+    n_random_mutants: int = 50,
+    rng: np.random.Generator | int | None = 0,
+    atol: float = 1e-9,
+) -> ESSReport:
+    """Audit ``resident`` against a battery of mutants and summarise the outcome.
+
+    The mutant pool contains, unless overridden: every pure strategy, the
+    uniform strategy, value-proportional strategies, local perturbations of
+    the resident, and ``n_random_mutants`` Dirichlet-random strategies.
+    """
+    k = check_positive_integer(k, "k")
+    f = _values_array(values)
+    m = f.size
+    generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+
+    if mutants is None:
+        mutants = [Strategy.point_mass(m, x) for x in range(m)]
+        mutants.append(Strategy.uniform(m))
+        mutants.append(Strategy.proportional(f))
+        mutants.extend(resident.perturbed(generator, scale=s) for s in (0.01, 0.1, 0.5))
+        mutants.extend(Strategy.random(m, generator) for _ in range(n_random_mutants))
+
+    n_resisted = 0
+    worst_margin = np.inf
+    failures: list[int] = []
+    for index, mutant in enumerate(mutants):
+        if mutant.total_variation(resident) <= 1e-10:
+            # Identical to the resident: not a mutant.
+            n_resisted += 1
+            continue
+        comparison = ess_conditions_against(f, resident, mutant, k, policy, atol=atol)
+        if comparison.resists:
+            n_resisted += 1
+            assert comparison.m_index is not None
+            worst_margin = min(worst_margin, float(comparison.payoff_differences[comparison.m_index]))
+        else:
+            failures.append(index)
+
+    if not np.isfinite(worst_margin):
+        worst_margin = 0.0
+    return ESSReport(
+        is_ess=len(failures) == 0,
+        n_mutants=len(mutants),
+        n_resisted=n_resisted,
+        worst_margin=float(worst_margin),
+        failures=tuple(failures),
+    )
+
+
+def resident_vs_mutant_payoffs(
+    values: SiteValues | np.ndarray,
+    resident: Strategy,
+    mutant: Strategy,
+    epsilon: float,
+    k: int,
+    policy: CongestionPolicy,
+) -> tuple[float, float]:
+    """Convenience: ``(U[resident; mix], U[mutant; mix])`` for a mutant share ``epsilon``."""
+    f = _values_array(values)
+    return (
+        mixture_payoff(f, resident, resident, mutant, epsilon, k, policy),
+        mixture_payoff(f, mutant, resident, mutant, epsilon, k, policy),
+    )
+
+
+def equilibrium_payoff(
+    values: SiteValues | np.ndarray,
+    strategy: Strategy,
+    k: int,
+    policy: CongestionPolicy,
+) -> float:
+    """Expected payoff of a player in the symmetric profile ``strategy`` (``E(sigma; sigma^{k-1})``)."""
+    f = _values_array(values)
+    return expected_payoff(f, strategy, strategy, k, policy)

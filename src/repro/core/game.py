@@ -1,0 +1,150 @@
+"""High-level facade: one object bundling a complete dispersal-game instance.
+
+:class:`DispersalGame` ties together the pieces a typical user needs for one
+``(f, k, C)`` instance — equilibrium, optimum, prices of anarchy, ESS audit,
+welfare, simulation — behind a small object-oriented API, with caching of the
+expensive solves.  Everything it returns is produced by the underlying
+functional modules, so the facade adds convenience, not new semantics.
+
+Example
+-------
+>>> from repro import DispersalGame, SiteValues, ExclusivePolicy
+>>> game = DispersalGame(SiteValues.geometric(6, ratio=0.6), k=3, policy=ExclusivePolicy())
+>>> round(game.price_of_anarchy(), 6)
+1.0
+>>> game.equilibrium().strategy == game.optimal_strategy()
+True
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+
+from repro.core.coverage import coverage, full_coordination_coverage
+from repro.core.ess import ESSReport, ess_report
+from repro.core.ifd import IFDResult, ideal_free_distribution
+from repro.core.optimal_coverage import optimal_coverage_strategy
+from repro.core.payoffs import exploitability, site_values
+from repro.core.policies import CongestionPolicy, ExclusivePolicy
+from repro.core.strategy import Strategy
+from repro.core.values import SiteValues
+from repro.core.welfare import WelfareOptimum, welfare_optimal_strategy
+from repro.utils.validation import check_positive_integer
+
+__all__ = ["DispersalGame"]
+
+
+class DispersalGame:
+    """A dispersal-game instance ``(f, k, C)`` with cached solutions.
+
+    Parameters
+    ----------
+    values:
+        Site values (anything accepted by :class:`~repro.core.values.SiteValues`).
+    k:
+        Number of players.
+    policy:
+        Congestion policy; defaults to the exclusive policy, the paper's main
+        object of study.
+    """
+
+    def __init__(
+        self,
+        values: SiteValues | np.ndarray | list[float],
+        k: int,
+        policy: CongestionPolicy | None = None,
+    ) -> None:
+        self.values = values if isinstance(values, SiteValues) else SiteValues.from_values(values)
+        self.k = check_positive_integer(k, "k")
+        self.policy = policy if policy is not None else ExclusivePolicy()
+        self.policy.validate(self.k)
+
+    # ------------------------------------------------------------ descriptors
+    @property
+    def m(self) -> int:
+        """Number of sites."""
+        return self.values.m
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"DispersalGame(M={self.m}, k={self.k}, policy={self.policy.name!r})"
+
+    # -------------------------------------------------------------- solutions
+    @cached_property
+    def _equilibrium(self) -> IFDResult:
+        return ideal_free_distribution(self.values, self.k, self.policy)
+
+    def equilibrium(self) -> IFDResult:
+        """The unique symmetric Nash equilibrium (the IFD) of the instance."""
+        return self._equilibrium
+
+    @cached_property
+    def _optimum(self):
+        return optimal_coverage_strategy(self.values, self.k)
+
+    def optimal_strategy(self) -> Strategy:
+        """The coverage-optimal symmetric strategy (``sigma_star`` of the values)."""
+        return self._optimum.strategy
+
+    def optimal_coverage(self) -> float:
+        """``Cover(p_star)`` — the best symmetric coverage of the instance."""
+        return self._optimum.coverage
+
+    # ------------------------------------------------------------- quantities
+    def equilibrium_coverage(self) -> float:
+        """Coverage achieved at the symmetric equilibrium of ``policy``."""
+        return coverage(self.values, self._equilibrium.strategy, self.k)
+
+    def equilibrium_payoff(self) -> float:
+        """Expected payoff of each player at the symmetric equilibrium."""
+        return self._equilibrium.value
+
+    def price_of_anarchy(self) -> float:
+        """Per-instance symmetric price of anarchy ``Cover(p_star) / Cover(IFD)``."""
+        eq_cover = self.equilibrium_coverage()
+        return float(self.optimal_coverage() / eq_cover) if eq_cover > 0 else float("inf")
+
+    def coverage_of(self, strategy: Strategy) -> float:
+        """Coverage of an arbitrary symmetric strategy on this instance."""
+        return coverage(self.values, strategy, self.k)
+
+    def site_values_at(self, strategy: Strategy) -> np.ndarray:
+        """``nu_p(x)`` (Eq. 2) against ``k - 1`` opponents playing ``strategy``."""
+        return site_values(self.values, strategy, self.k, self.policy)
+
+    def exploitability_of(self, strategy: Strategy) -> float:
+        """Best-response gain available against the symmetric profile ``strategy``."""
+        return exploitability(self.values, strategy, self.k, self.policy)
+
+    def full_coordination_coverage(self) -> float:
+        """Coverage of the best coordinated assignment (top-``k`` sites)."""
+        return full_coordination_coverage(self.values, self.k)
+
+    def welfare_optimum(self, **kwargs) -> WelfareOptimum:
+        """The symmetric strategy maximising the players' total payoff."""
+        return welfare_optimal_strategy(self.values, self.k, self.policy, **kwargs)
+
+    # ------------------------------------------------------------- evaluation
+    def ess_audit(self, **kwargs) -> ESSReport:
+        """Audit the equilibrium strategy for evolutionary stability."""
+        return ess_report(self.values, self._equilibrium.strategy, self.k, self.policy, **kwargs)
+
+    def simulate(self, n_trials: int, strategy: Strategy | None = None, rng=None):
+        """Monte-Carlo simulation of ``n_trials`` one-shot games.
+
+        Defaults to simulating the equilibrium strategy.  Returns the
+        :class:`~repro.simulation.engine.SimulationResult` of the run.
+        """
+        from repro.simulation.engine import DispersalSimulator
+
+        chosen = strategy if strategy is not None else self._equilibrium.strategy
+        return DispersalSimulator(self.values, self.k, self.policy).run(chosen, n_trials, rng)
+
+    def with_policy(self, policy: CongestionPolicy) -> "DispersalGame":
+        """A copy of this instance under a different congestion policy."""
+        return DispersalGame(self.values, self.k, policy)
+
+    def with_players(self, k: int) -> "DispersalGame":
+        """A copy of this instance with a different number of players."""
+        return DispersalGame(self.values, k, self.policy)

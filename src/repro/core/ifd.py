@@ -1,0 +1,251 @@
+"""Numerical computation of the Ideal Free Distribution for any congestion policy.
+
+The IFD (Fretwell & Lucas) is the distribution ``p`` for which every site in
+the support yields the same expected payoff ``nu_p(x)`` and every other site
+yields a strictly lower payoff.  For non-increasing reward policies it exists,
+is unique, and is the only symmetric Nash equilibrium of the dispersal game
+(Observation 2 of the paper).
+
+For a congestion policy ``I(x, l) = f(x) * C(l)`` the site value factors as
+``nu_p(x) = f(x) * g(p(x))`` where ``g(q) = E[C(1 + Binomial(k-1, q))]`` is a
+non-increasing polynomial in ``q``.  The solver below exploits this structure
+with a nested bisection (water-filling):
+
+* inner: for a candidate equilibrium value ``v`` solve ``f(x) * g(q) = v`` for
+  every site simultaneously (vectorised bisection over sites);
+* outer: adjust ``v`` until the site probabilities sum to one.
+
+The exclusive policy admits the closed form :func:`repro.core.sigma_star.sigma_star`,
+which the solver automatically uses as a cross-checkable fast path when asked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.payoffs import occupancy_congestion_factor, site_values
+from repro.core.policies import CongestionPolicy, ExclusivePolicy
+from repro.core.sigma_star import sigma_star
+from repro.core.strategy import Strategy
+from repro.core.values import SiteValues
+from repro.utils.validation import check_positive_integer
+
+__all__ = ["IFDResult", "IFDReport", "ideal_free_distribution", "verify_ifd"]
+
+
+@dataclass(frozen=True)
+class IFDResult:
+    """Result of an IFD computation.
+
+    Attributes
+    ----------
+    strategy:
+        The ideal free distribution.
+    value:
+        Common expected payoff ``nu_p(x)`` on the support (the players'
+        equilibrium payoff).
+    support_size:
+        Number of sites receiving positive probability.
+    converged:
+        Whether the nested bisection met its tolerance.
+    iterations:
+        Number of outer bisection iterations performed (0 for closed forms).
+    """
+
+    strategy: Strategy
+    value: float
+    support_size: int
+    converged: bool
+    iterations: int
+
+
+@dataclass(frozen=True)
+class IFDReport:
+    """Diagnostic produced by :func:`verify_ifd`.
+
+    ``is_ifd`` summarises the two IFD conditions: payoffs are equal (within
+    ``atol``) on the support and no unexplored site pays more than the support
+    value.
+    """
+
+    is_ifd: bool
+    support_value_spread: float
+    max_outside_advantage: float
+    support_size: int
+    value: float
+
+
+def _values_array(values: SiteValues | np.ndarray) -> np.ndarray:
+    return values.as_array() if isinstance(values, SiteValues) else np.asarray(values, dtype=float)
+
+
+def ideal_free_distribution(
+    values: SiteValues | np.ndarray,
+    k: int,
+    policy: CongestionPolicy,
+    *,
+    tol: float = 1e-12,
+    max_outer_iter: int = 200,
+    max_inner_iter: int = 80,
+    use_closed_form: bool = True,
+) -> IFDResult:
+    """Compute the IFD (= unique symmetric Nash equilibrium) of the dispersal game.
+
+    Parameters
+    ----------
+    values:
+        Site values, non-increasing.
+    k:
+        Number of players.
+    policy:
+        Congestion policy (``C(1) = 1``, non-increasing).  The policy is
+        validated for ``k`` players.
+    tol:
+        Relative tolerance of the outer bisection on the equilibrium value.
+    max_outer_iter, max_inner_iter:
+        Iteration caps of the nested bisection.
+    use_closed_form:
+        When the policy is the exclusive policy, use the paper's closed form
+        ``sigma_star`` instead of the numerical solver.
+
+    Notes
+    -----
+    * ``k = 1``: the single player's best response is the most valuable site.
+    * If the congestion table is constant on ``{1, ..., k}`` (no congestion
+      cost at all), the unique-IFD argument of Observation 2 does not apply;
+      the solver returns the natural equilibrium in which players spread
+      uniformly over the maximum-value sites.
+    """
+    k = check_positive_integer(k, "k")
+    f = _values_array(values)
+    m = f.size
+    policy.validate(k)
+
+    if k == 1:
+        return IFDResult(Strategy.point_mass(m, 0), float(f[0]), 1, True, 0)
+
+    if use_closed_form and policy.is_exclusive(k):
+        closed = sigma_star(f, k)
+        return IFDResult(
+            closed.strategy,
+            closed.equilibrium_value,
+            closed.support_size,
+            True,
+            0,
+        )
+
+    c_table = policy.table(k)
+    if np.allclose(c_table, c_table[0], atol=1e-12):
+        # No congestion cost: nu_p(x) = f(x) for every p, so equilibrium mass
+        # concentrates on the maximum-value sites.
+        top_mask = np.isclose(f, f[0], rtol=0.0, atol=1e-12)
+        probs = np.where(top_mask, 1.0, 0.0)
+        probs /= probs.sum()
+        strategy = Strategy(probs)
+        value = float(site_values(f, strategy, k, policy).max())
+        return IFDResult(strategy, value, int(top_mask.sum()), True, 0)
+
+    def g(q: np.ndarray) -> np.ndarray:
+        return occupancy_congestion_factor(policy, q, k - 1)
+
+    g_at_one = float(g(np.array([1.0]))[0])
+
+    def site_probabilities(v: float) -> np.ndarray:
+        """Solve f(x) * g(q_x) = v per site (clipped into [0, 1])."""
+        q = np.zeros(m, dtype=float)
+        # Sites with f(x) <= v are not worth visiting even when empty.
+        active = f > v
+        if not np.any(active):
+            return q
+        # Sites whose fully-congested payoff still exceeds v saturate at 1.
+        saturated = active & (f * g_at_one >= v)
+        q[saturated] = 1.0
+        solve_mask = active & ~saturated
+        if np.any(solve_mask):
+            lo = np.zeros(int(solve_mask.sum()))
+            hi = np.ones(int(solve_mask.sum()))
+            f_sub = f[solve_mask]
+            for _ in range(max_inner_iter):
+                mid = 0.5 * (lo + hi)
+                residual = f_sub * g(mid) - v  # decreasing in q
+                go_right = residual > 0
+                lo = np.where(go_right, mid, lo)
+                hi = np.where(go_right, hi, mid)
+            q[solve_mask] = 0.5 * (lo + hi)
+        return q
+
+    # Outer bisection on the equilibrium value v: sum of probabilities is
+    # non-increasing in v; at v_high the sum is 0, at v_low it is M >= 1.
+    v_high = float(f[0])
+    v_low = float(min(f[-1] * g_at_one, f[0] * g_at_one, 0.0))
+    if v_low == v_high:
+        v_low = v_high - 1.0
+
+    lo, hi = v_low, v_high
+    iterations = 0
+    for iterations in range(1, max_outer_iter + 1):
+        mid = 0.5 * (lo + hi)
+        total = site_probabilities(mid).sum()
+        if total >= 1.0:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo <= tol * max(1.0, abs(hi)):
+            break
+
+    value = 0.5 * (lo + hi)
+    probs = site_probabilities(value)
+    total = probs.sum()
+    converged = bool(np.isclose(total, 1.0, atol=1e-6))
+    if total <= 0:
+        raise RuntimeError("IFD solver failed: zero total probability mass")
+    probs = probs / total
+    strategy = Strategy(probs)
+    # Report the realised equilibrium value from the constructed strategy,
+    # which is more accurate than the bisection midpoint.
+    nu = site_values(f, strategy, k, policy)
+    support = strategy.as_array() > 1e-12
+    realised_value = float(nu[support].mean()) if np.any(support) else float(nu.max())
+    return IFDResult(strategy, realised_value, int(support.sum()), converged, iterations)
+
+
+def verify_ifd(
+    values: SiteValues | np.ndarray,
+    strategy: Strategy,
+    k: int,
+    policy: CongestionPolicy,
+    *,
+    atol: float = 1e-7,
+    support_atol: float = 1e-9,
+) -> IFDReport:
+    """Check the two IFD conditions for ``strategy`` and return a diagnostic report.
+
+    Conditions (Section 1.3 of the paper):
+
+    1. every site explored with positive probability yields the same payoff;
+    2. every unexplored site yields at most that payoff.
+    """
+    k = check_positive_integer(k, "k")
+    f = _values_array(values)
+    nu = site_values(f, strategy, k, policy)
+    p = strategy.as_array()
+    support = p > support_atol
+
+    if not np.any(support):
+        return IFDReport(False, np.inf, np.inf, 0, float("nan"))
+
+    support_values = nu[support]
+    value = float(support_values.mean())
+    spread = float(support_values.max() - support_values.min())
+    outside = nu[~support]
+    max_outside_advantage = float((outside - value).max()) if outside.size else -np.inf
+    is_ifd = spread <= atol and (outside.size == 0 or max_outside_advantage <= atol)
+    return IFDReport(
+        is_ifd=bool(is_ifd),
+        support_value_spread=spread,
+        max_outside_advantage=max_outside_advantage,
+        support_size=int(support.sum()),
+        value=value,
+    )

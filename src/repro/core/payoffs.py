@@ -1,0 +1,257 @@
+"""Expected payoffs in the dispersal game.
+
+This module implements the payoff calculus of Sections 1.1-1.4 of the paper:
+
+* ``nu_p(x)`` — the *value* of site ``x`` against ``k - 1`` opponents playing
+  ``p`` (Eq. 2): the expected reward of a focal player that commits to ``x``.
+* ``E(rho; sigma^l, pi^(k-l-1))`` — the expected payoff of a focal player
+  playing ``rho`` against ``l`` opponents playing ``sigma`` and ``k - l - 1``
+  opponents playing ``pi`` (the multi-population payoff of the ESS
+  characterisation, Section 1.4).
+* ``U[rho; (1 - eps) sigma + eps pi]`` — the payoff against ``k - 1``
+  opponents drawn from an infinite population with a fraction ``eps`` of
+  mutants (Eq. 3).
+
+Everything is computed exactly (binomial/convolution expansions), vectorised
+over sites.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.policies import CongestionPolicy
+from repro.core.strategy import Strategy
+from repro.core.values import SiteValues
+from repro.utils.numerics import binomial_coefficients, binomial_pmf_matrix
+from repro.utils.validation import check_positive_integer, check_probability
+
+__all__ = [
+    "occupancy_congestion_factor",
+    "site_values",
+    "expected_payoff",
+    "payoff_against_groups",
+    "mixture_payoff",
+    "mixture_payoff_expanded",
+    "best_response_value",
+    "best_response_sites",
+    "exploitability",
+]
+
+
+def _strategy_array(strategy: Strategy | np.ndarray) -> np.ndarray:
+    return strategy.as_array() if isinstance(strategy, Strategy) else np.asarray(strategy, dtype=float)
+
+
+def _values_array(values: SiteValues | np.ndarray) -> np.ndarray:
+    return values.as_array() if isinstance(values, SiteValues) else np.asarray(values, dtype=float)
+
+
+def occupancy_congestion_factor(
+    policy: CongestionPolicy,
+    opponent_probabilities: np.ndarray,
+    n_opponents: int,
+) -> np.ndarray:
+    """Expected congestion factor ``E[C(1 + Binomial(n_opponents, q))]`` per site.
+
+    Parameters
+    ----------
+    policy:
+        Congestion policy supplying ``C``.
+    opponent_probabilities:
+        Per-site probability ``q`` that a single opponent selects the site.
+    n_opponents:
+        Number of independent opponents.
+
+    Returns
+    -------
+    numpy.ndarray
+        One value per site; multiplying by ``f(x)`` yields ``nu(x)``.
+    """
+    q = np.asarray(opponent_probabilities, dtype=float)
+    if n_opponents < 0:
+        raise ValueError("n_opponents must be non-negative")
+    if n_opponents == 0:
+        return np.full(q.shape, float(policy.congestion(1)))
+    pmf = binomial_pmf_matrix(n_opponents, q)  # (M, n_opponents + 1)
+    c_table = policy.table(n_opponents + 1)  # C(1), ..., C(n_opponents + 1)
+    return pmf @ c_table
+
+
+def site_values(
+    values: SiteValues | np.ndarray,
+    strategy: Strategy | np.ndarray,
+    k: int,
+    policy: CongestionPolicy,
+) -> np.ndarray:
+    """The value ``nu_p(x)`` of every site against ``k - 1`` opponents playing ``strategy``.
+
+    This is Eq. (2) of the paper: the expected payoff of a focal player that
+    deterministically selects site ``x`` while each of the ``k - 1`` opponents
+    independently selects a site according to ``strategy``.
+    """
+    k = check_positive_integer(k, "k")
+    f = _values_array(values)
+    p = _strategy_array(strategy)
+    if f.shape != p.shape:
+        raise ValueError("values and strategy must cover the same number of sites")
+    return f * occupancy_congestion_factor(policy, p, k - 1)
+
+
+def expected_payoff(
+    values: SiteValues | np.ndarray,
+    focal: Strategy | np.ndarray,
+    opponents: Strategy | np.ndarray,
+    k: int,
+    policy: CongestionPolicy,
+) -> float:
+    """Expected payoff ``E(focal; opponents^(k-1))`` of a focal mixed strategy.
+
+    The focal player draws its site from ``focal`` and each of the ``k - 1``
+    opponents independently from ``opponents``.
+    """
+    rho = _strategy_array(focal)
+    nu = site_values(values, opponents, k, policy)
+    if rho.shape != nu.shape:
+        raise ValueError("focal strategy and values must cover the same number of sites")
+    return float(np.dot(rho, nu))
+
+
+def payoff_against_groups(
+    values: SiteValues | np.ndarray,
+    focal: Strategy | np.ndarray,
+    groups: Sequence[tuple[Strategy | np.ndarray, int]],
+    policy: CongestionPolicy,
+) -> float:
+    """Expected payoff ``E(focal; sigma_1^{n_1}, sigma_2^{n_2}, ...)``.
+
+    ``groups`` is a sequence of ``(strategy, count)`` pairs describing the
+    opponents.  The number of co-visitors at a site is the sum of independent
+    binomials, whose distribution is computed by convolving the per-group
+    binomial laws.  With a single group this reduces to
+    :func:`expected_payoff`; with two groups it is the
+    ``E(rho; sigma^l, pi^(k-l-1))`` payoff of the ESS characterisation.
+    """
+    f = _values_array(values)
+    rho = _strategy_array(focal)
+    if f.shape != rho.shape:
+        raise ValueError("focal strategy and values must cover the same number of sites")
+
+    total_opponents = 0
+    # occupancy_dist[x, j] = P[j opponents at site x]; start from "zero opponents".
+    occupancy = np.ones((f.size, 1), dtype=float)
+    for strategy, count in groups:
+        count = int(count)
+        if count < 0:
+            raise ValueError("group sizes must be non-negative")
+        if count == 0:
+            continue
+        q = _strategy_array(strategy)
+        if q.shape != f.shape:
+            raise ValueError("every group strategy must cover the same number of sites")
+        pmf = binomial_pmf_matrix(count, q)  # (M, count + 1)
+        new = np.zeros((f.size, occupancy.shape[1] + count), dtype=float)
+        # Convolve, site by site, but vectorised over sites for each shift.
+        for j in range(pmf.shape[1]):
+            new[:, j : j + occupancy.shape[1]] += pmf[:, j : j + 1] * occupancy
+        occupancy = new
+        total_opponents += count
+
+    c_table = policy.table(total_opponents + 1)
+    factors = occupancy @ c_table  # E[C(1 + #co-visitors)] per site
+    return float(np.dot(rho, f * factors))
+
+
+def mixture_payoff(
+    values: SiteValues | np.ndarray,
+    focal: Strategy | np.ndarray,
+    resident: Strategy,
+    mutant: Strategy,
+    epsilon: float,
+    k: int,
+    policy: CongestionPolicy,
+) -> float:
+    """The population payoff ``U[focal; (1 - eps) resident + eps mutant]`` (Eq. 3).
+
+    Because a co-visitor's site choice only depends on its marginal law, the
+    payoff against a random ``(1 - eps, eps)`` mixture of residents and
+    mutants equals the payoff against ``k - 1`` opponents that each play the
+    mixed strategy ``(1 - eps) * resident + eps * mutant``.
+    """
+    epsilon = check_probability(epsilon, "epsilon")
+    k = check_positive_integer(k, "k")
+    mixed = resident.mix(mutant, epsilon)
+    return expected_payoff(values, focal, mixed, k, policy)
+
+
+def mixture_payoff_expanded(
+    values: SiteValues | np.ndarray,
+    focal: Strategy | np.ndarray,
+    resident: Strategy,
+    mutant: Strategy,
+    epsilon: float,
+    k: int,
+    policy: CongestionPolicy,
+) -> float:
+    """Literal evaluation of Eq. (3): binomial mixture over opponent compositions.
+
+    ``U = sum_l C(k-1, l) (1-eps)^l eps^(k-1-l) E(focal; resident^l, mutant^(k-1-l))``.
+
+    This is mathematically identical to :func:`mixture_payoff`; both are kept
+    so tests can cross-validate the two derivations.
+    """
+    epsilon = check_probability(epsilon, "epsilon")
+    k = check_positive_integer(k, "k")
+    n = k - 1
+    coeffs = binomial_coefficients(n)
+    total = 0.0
+    for ell in range(n + 1):
+        weight = coeffs[ell] * (1.0 - epsilon) ** ell * epsilon ** (n - ell)
+        if weight == 0.0:
+            continue
+        payoff = payoff_against_groups(
+            values, focal, [(resident, ell), (mutant, n - ell)], policy
+        )
+        total += weight * payoff
+    return float(total)
+
+
+def best_response_value(
+    values: SiteValues | np.ndarray,
+    strategy: Strategy | np.ndarray,
+    k: int,
+    policy: CongestionPolicy,
+) -> float:
+    """Highest achievable payoff of a unilateral deviator: ``max_x nu_p(x)``."""
+    return float(np.max(site_values(values, strategy, k, policy)))
+
+
+def best_response_sites(
+    values: SiteValues | np.ndarray,
+    strategy: Strategy | np.ndarray,
+    k: int,
+    policy: CongestionPolicy,
+    *,
+    atol: float = 1e-10,
+) -> np.ndarray:
+    """0-based indices of the sites attaining the best-response value."""
+    nu = site_values(values, strategy, k, policy)
+    return np.nonzero(nu >= nu.max() - atol)[0]
+
+
+def exploitability(
+    values: SiteValues | np.ndarray,
+    strategy: Strategy,
+    k: int,
+    policy: CongestionPolicy,
+) -> float:
+    """Gain available to a unilateral deviator from the symmetric profile ``strategy``.
+
+    ``exploitability(p) = max_x nu_p(x) - sum_x p(x) nu_p(x)``.  It is zero
+    exactly at a symmetric Nash equilibrium (the IFD) and positive otherwise.
+    """
+    nu = site_values(values, strategy, k, policy)
+    p = strategy.as_array()
+    return float(nu.max() - np.dot(p, nu))

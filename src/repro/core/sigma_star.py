@@ -1,0 +1,189 @@
+"""The closed-form IFD under the exclusive policy: algorithm ``sigma_star``.
+
+Section 2.1 of the paper derives the unique strategy satisfying the IFD
+conditions under the exclusive reward policy ``I_exc(x, l) = f(x) * C_exc(l)``::
+
+    sigma*(x) = 1 - alpha / f(x)**(1/(k-1))     for x <= W,   0 otherwise
+
+    W     = largest y such that  sum_{x <= y} (1 - (f(y)/f(x))**(1/(k-1))) <= 1
+    alpha = (W - 1) / sum_{x <= W} f(x)**(-1/(k-1))
+
+``sigma_star`` is simultaneously
+
+* the unique symmetric Nash equilibrium under the exclusive policy
+  (Observation 2 + Claim 7),
+* an evolutionary stable strategy (Theorem 3), and
+* the unique maximiser of the coverage among **all** symmetric strategies
+  (Theorem 4), which is what makes the exclusive policy's symmetric price of
+  anarchy equal to one (Corollary 5).
+
+It also coincides with the first round of the ``A*`` algorithm of Korman &
+Rodeh for parallel Bayesian search (see :mod:`repro.search`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.strategy import Strategy
+from repro.core.values import SiteValues
+from repro.utils.numerics import safe_power
+from repro.utils.validation import check_positive_integer
+
+__all__ = ["SigmaStarResult", "sigma_star", "support_size", "normalization_constant"]
+
+#: Numerical slack used when evaluating the support condition ``h(y) <= 1``.
+_SUPPORT_ATOL = 1e-12
+
+
+@dataclass(frozen=True)
+class SigmaStarResult:
+    """Closed-form description of ``sigma_star`` for one game instance.
+
+    Attributes
+    ----------
+    strategy:
+        The distribution ``sigma_star`` itself.
+    support_size:
+        The prefix length ``W`` of the support.
+    alpha:
+        The normalisation constant of the Pareto-like form.
+    equilibrium_value:
+        The common site value ``nu(x) = alpha**(k-1)`` on the support (the
+        expected payoff of every player at equilibrium).
+    k:
+        Number of players the instance was solved for.
+    """
+
+    strategy: Strategy
+    support_size: int
+    alpha: float
+    equilibrium_value: float
+    k: int
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Shortcut for ``strategy.as_array()``."""
+        return self.strategy.as_array()
+
+
+def _values_array(values: SiteValues | np.ndarray) -> np.ndarray:
+    if isinstance(values, SiteValues):
+        return values.as_array()
+    arr = np.asarray(values, dtype=float)
+    if np.any(np.diff(arr) > 1e-12):
+        raise ValueError(
+            "raw value arrays must be sorted in non-increasing order; "
+            "wrap them in SiteValues to sort automatically"
+        )
+    if np.any(arr <= 0):
+        raise ValueError("site values must be strictly positive")
+    return arr
+
+
+def support_size(values: SiteValues | np.ndarray, k: int) -> int:
+    """The support prefix length ``W`` of ``sigma_star``.
+
+    ``W`` is the largest ``y`` such that
+    ``sum_{x <= y} (1 - (f(y)/f(x))**(1/(k-1))) <= 1``.  The left-hand side is
+    non-decreasing in ``y`` so the admissible ``y`` form a prefix.
+    """
+    k = check_positive_integer(k, "k")
+    f = _values_array(values)
+    m = f.size
+    if k == 1 or m == 1:
+        return 1
+    exponent = 1.0 / (k - 1)
+    inv_pow = safe_power(f, -exponent)  # f(x)^(-1/(k-1))
+    cumulative = np.cumsum(inv_pow)
+    y = np.arange(1, m + 1, dtype=float)
+    # h(y) = y - f(y)^(1/(k-1)) * sum_{x<=y} f(x)^(-1/(k-1))
+    h = y - safe_power(f, exponent) * cumulative
+    admissible = np.nonzero(h <= 1.0 + _SUPPORT_ATOL)[0]
+    if admissible.size == 0:  # cannot happen: h(1) = 0
+        return 1
+    return int(admissible[-1] + 1)
+
+
+def normalization_constant(values: SiteValues | np.ndarray, k: int, w: int | None = None) -> float:
+    """The constant ``alpha = (W - 1) / sum_{x <= W} f(x)**(-1/(k-1))``."""
+    k = check_positive_integer(k, "k")
+    f = _values_array(values)
+    if w is None:
+        w = support_size(values, k)
+    if w < 1 or w > f.size:
+        raise ValueError(f"support size {w} out of range for M={f.size}")
+    if k == 1:
+        return 0.0
+    exponent = 1.0 / (k - 1)
+    denom = float(safe_power(f[:w], -exponent).sum())
+    return float((w - 1) / denom)
+
+
+def sigma_star(values: SiteValues | np.ndarray, k: int) -> SigmaStarResult:
+    """Compute ``sigma_star`` (the paper's Algorithm ``sigma*``) for ``k`` players.
+
+    Parameters
+    ----------
+    values:
+        Site values, non-increasing (use :class:`~repro.core.values.SiteValues`
+        to sort arbitrary positive vectors).
+    k:
+        Number of players (``k >= 1``).
+
+    Returns
+    -------
+    SigmaStarResult
+        Strategy, support size ``W``, normalisation ``alpha`` and the common
+        equilibrium value ``alpha**(k-1)``.
+
+    Notes
+    -----
+    * ``k = 1``: a single player simply exploits the most valuable site, so the
+      result is a point mass on site 1 with equilibrium value ``f(1)``.
+    * For ``M >= 2`` and ``k >= 2`` the support always contains at least two
+      sites (the condition at ``y = 2`` is ``1 - (f(2)/f(1))**(1/(k-1)) < 1``).
+    """
+    k = check_positive_integer(k, "k")
+    f = _values_array(values)
+    m = f.size
+
+    if k == 1:
+        strategy = Strategy.point_mass(m, 0)
+        return SigmaStarResult(
+            strategy=strategy,
+            support_size=1,
+            alpha=0.0,
+            equilibrium_value=float(f[0]),
+            k=1,
+        )
+
+    w = support_size(f, k)
+    alpha = normalization_constant(f, k, w)
+    exponent = 1.0 / (k - 1)
+
+    probabilities = np.zeros(m, dtype=float)
+    probabilities[:w] = 1.0 - alpha * safe_power(f[:w], -exponent)
+    # Round-off can leave tiny negatives at the support boundary.
+    probabilities = np.clip(probabilities, 0.0, None)
+    total = probabilities.sum()
+    if not np.isclose(total, 1.0, atol=1e-9):
+        # This should only ever be floating error; rescale defensively.
+        probabilities /= total
+
+    equilibrium_value = float(alpha ** (k - 1)) if w > 1 else 0.0
+    if w == 1:
+        # Single-site game with several players: everyone must go to the only
+        # site and collides, so the exclusive-policy payoff is zero.
+        probabilities = np.zeros(m, dtype=float)
+        probabilities[0] = 1.0
+
+    return SigmaStarResult(
+        strategy=Strategy(probabilities),
+        support_size=w,
+        alpha=alpha,
+        equilibrium_value=equilibrium_value,
+        k=k,
+    )

@@ -1,0 +1,206 @@
+"""Symmetric strategies: probability distributions over sites.
+
+A *strategy* in the dispersal game is a probability distribution ``p`` over
+the ``M`` sites; a *symmetric strategy profile* has every player drawing its
+site independently from the same ``p``.  :class:`Strategy` wraps the vector,
+validates it, and provides the handful of operations the rest of the library
+needs (support, mixing, sampling, distances).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_positive_integer, check_probability, check_probability_vector
+
+__all__ = ["Strategy"]
+
+
+@dataclass(frozen=True)
+class Strategy:
+    """Immutable probability distribution over ``M`` sites.
+
+    Parameters
+    ----------
+    probabilities:
+        Non-negative vector summing to one (up to a small tolerance; it is
+        renormalised exactly).
+    """
+
+    probabilities: np.ndarray
+
+    def __post_init__(self) -> None:
+        arr = check_probability_vector(self.probabilities, "probabilities", normalize=False)
+        arr = arr / arr.sum()  # remove the residual tolerance-level error
+        object.__setattr__(self, "probabilities", np.ascontiguousarray(arr))
+        self.probabilities.setflags(write=False)
+
+    # ----------------------------------------------------------------- basics
+    @classmethod
+    def from_probabilities(
+        cls, probabilities: Sequence[float] | np.ndarray, *, normalize: bool = False
+    ) -> "Strategy":
+        """Build a strategy, optionally renormalising an unnormalised weight vector."""
+        arr = np.asarray(probabilities, dtype=float)
+        if normalize:
+            arr = check_probability_vector(arr, "probabilities", normalize=True)
+        return cls(arr)
+
+    @property
+    def m(self) -> int:
+        """Number of sites."""
+        return int(self.probabilities.size)
+
+    def as_array(self) -> np.ndarray:
+        """Return the underlying (read-only) probability vector."""
+        return self.probabilities
+
+    def __len__(self) -> int:
+        return self.m
+
+    def __getitem__(self, index):
+        return self.probabilities[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Strategy):
+            return NotImplemented
+        return self.probabilities.shape == other.probabilities.shape and bool(
+            np.allclose(self.probabilities, other.probabilities, atol=1e-12)
+        )
+
+    def __hash__(self) -> int:
+        return hash(np.round(self.probabilities, 12).tobytes())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        head = ", ".join(f"{v:.4g}" for v in self.probabilities[:6])
+        suffix = ", ..." if self.m > 6 else ""
+        return f"Strategy(M={self.m}, p=[{head}{suffix}])"
+
+    # ---------------------------------------------------------------- queries
+    @property
+    def support(self) -> np.ndarray:
+        """Indices (0-based) of sites explored with positive probability."""
+        return np.nonzero(self.probabilities > 0)[0]
+
+    @property
+    def support_size(self) -> int:
+        """Number of sites explored with positive probability."""
+        return int(np.count_nonzero(self.probabilities > 0))
+
+    def has_prefix_support(self, atol: float = 1e-12) -> bool:
+        """``True`` when the support is a prefix ``{0, ..., W-1}`` of the site indices."""
+        positive = self.probabilities > atol
+        if not positive.any():
+            return False
+        last = int(np.nonzero(positive)[0][-1])
+        return bool(np.all(positive[: last + 1]))
+
+    def entropy(self) -> float:
+        """Shannon entropy (in nats) of the distribution."""
+        p = self.probabilities[self.probabilities > 0]
+        return float(-(p * np.log(p)).sum())
+
+    def total_variation(self, other: "Strategy") -> float:
+        """Total-variation distance to ``other`` (must be over the same number of sites)."""
+        self._check_compatible(other)
+        return float(0.5 * np.abs(self.probabilities - other.probabilities).sum())
+
+    def l2_distance(self, other: "Strategy") -> float:
+        """Euclidean distance between the two probability vectors."""
+        self._check_compatible(other)
+        return float(np.linalg.norm(self.probabilities - other.probabilities))
+
+    def _check_compatible(self, other: "Strategy") -> None:
+        if self.m != other.m:
+            raise ValueError(
+                f"strategies are over different numbers of sites ({self.m} vs {other.m})"
+            )
+
+    # ------------------------------------------------------------- operations
+    def mix(self, other: "Strategy", epsilon: float) -> "Strategy":
+        """Return the population mixture ``(1 - epsilon) * self + epsilon * other``.
+
+        This is the distribution of a single opponent drawn from a population
+        in which a fraction ``epsilon`` are mutants playing ``other`` (Eq. 3 of
+        the paper reduces to matching against this mixture because co-visitor
+        counts only depend on each opponent's marginal site distribution).
+        """
+        self._check_compatible(other)
+        epsilon = check_probability(epsilon, "epsilon")
+        return Strategy((1.0 - epsilon) * self.probabilities + epsilon * other.probabilities)
+
+    def restricted(self, support: Sequence[int]) -> "Strategy":
+        """Condition the strategy on a subset of sites (renormalising)."""
+        mask = np.zeros(self.m, dtype=bool)
+        mask[np.asarray(support, dtype=int)] = True
+        masked = np.where(mask, self.probabilities, 0.0)
+        if masked.sum() <= 0:
+            raise ValueError("restriction removes all probability mass")
+        return Strategy(masked / masked.sum())
+
+    def perturbed(
+        self, rng: np.random.Generator | int | None, scale: float = 0.05
+    ) -> "Strategy":
+        """Return a nearby strategy (Dirichlet-style jitter), useful for mutant generation."""
+        generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        noise = generator.dirichlet(np.ones(self.m))
+        mixed = (1.0 - scale) * self.probabilities + scale * noise
+        return Strategy(mixed / mixed.sum())
+
+    def sample_sites(
+        self, k: int, n_trials: int, rng: np.random.Generator | int | None = None
+    ) -> np.ndarray:
+        """Draw site choices for ``k`` players over ``n_trials`` independent games.
+
+        Returns an ``(n_trials, k)`` integer array of 0-based site indices.
+        """
+        k = check_positive_integer(k, "k")
+        n_trials = check_positive_integer(n_trials, "n_trials")
+        generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        return generator.choice(self.m, size=(n_trials, k), p=self.probabilities)
+
+    # ------------------------------------------------------------ constructors
+    @staticmethod
+    def uniform(m: int) -> "Strategy":
+        """Uniform distribution over ``m`` sites."""
+        m = check_positive_integer(m, "m")
+        return Strategy(np.full(m, 1.0 / m))
+
+    @staticmethod
+    def uniform_over_top(m: int, k: int) -> "Strategy":
+        """The strategy ``p_hat`` of Observation 1: uniform over the ``k`` best sites."""
+        m = check_positive_integer(m, "m")
+        k = check_positive_integer(k, "k")
+        width = min(k, m)
+        probs = np.zeros(m)
+        probs[:width] = 1.0 / width
+        return Strategy(probs)
+
+    @staticmethod
+    def point_mass(m: int, site: int) -> "Strategy":
+        """Pure strategy selecting ``site`` (0-based) with probability one."""
+        m = check_positive_integer(m, "m")
+        if site < 0 or site >= m:
+            raise ValueError(f"site index {site} out of range for M={m}")
+        probs = np.zeros(m)
+        probs[site] = 1.0
+        return Strategy(probs)
+
+    @staticmethod
+    def proportional(weights: Sequence[float] | np.ndarray) -> "Strategy":
+        """Strategy proportional to a non-negative weight vector (e.g. ``f`` itself)."""
+        return Strategy.from_probabilities(np.asarray(weights, dtype=float), normalize=True)
+
+    @staticmethod
+    def random(
+        m: int, rng: np.random.Generator | int | None = None, *, concentration: float = 1.0
+    ) -> "Strategy":
+        """Random strategy drawn from a symmetric Dirichlet distribution."""
+        m = check_positive_integer(m, "m")
+        if concentration <= 0:
+            raise ValueError("concentration must be positive")
+        generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        return Strategy(generator.dirichlet(np.full(m, concentration)))

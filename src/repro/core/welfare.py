@@ -1,0 +1,182 @@
+"""Individual welfare of symmetric strategies and its maximisation.
+
+The *welfare* of a symmetric strategy ``p`` under a reward policy is the
+expected total payoff collected by the ``k`` players::
+
+    Welfare(p) = k * sum_x p(x) * nu_p(x)
+
+Figure 1 of the paper plots, next to the ESS coverage and the optimal
+coverage, the coverage of the symmetric strategy that maximises the players'
+individual payoffs (equivalently the welfare, since players are symmetric).
+This module computes that strategy.
+
+For two sites the problem is one-dimensional and solved by dense grid search
+with local refinement; the general case uses multi-start projected gradient
+ascent (welfare is generally non-concave, so several restarts are used).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.coverage import coverage
+from repro.core.payoffs import site_values
+from repro.core.policies import CongestionPolicy
+from repro.core.strategy import Strategy
+from repro.core.values import SiteValues
+from repro.utils.numerics import simplex_projection
+from repro.utils.validation import check_positive_integer
+
+__all__ = ["WelfareOptimum", "expected_welfare", "individual_payoff", "welfare_optimal_strategy"]
+
+
+@dataclass(frozen=True)
+class WelfareOptimum:
+    """A welfare-maximising symmetric strategy with its welfare and coverage."""
+
+    strategy: Strategy
+    welfare: float
+    individual_payoff: float
+    coverage: float
+    method: str
+
+
+def _values_array(values: SiteValues | np.ndarray) -> np.ndarray:
+    return values.as_array() if isinstance(values, SiteValues) else np.asarray(values, dtype=float)
+
+
+def individual_payoff(
+    values: SiteValues | np.ndarray,
+    strategy: Strategy | np.ndarray,
+    k: int,
+    policy: CongestionPolicy,
+) -> float:
+    """Expected payoff of a single player in the symmetric profile ``strategy``."""
+    k = check_positive_integer(k, "k")
+    p = strategy.as_array() if isinstance(strategy, Strategy) else np.asarray(strategy, dtype=float)
+    nu = site_values(values, p, k, policy)
+    return float(np.dot(p, nu))
+
+
+def expected_welfare(
+    values: SiteValues | np.ndarray,
+    strategy: Strategy | np.ndarray,
+    k: int,
+    policy: CongestionPolicy,
+) -> float:
+    """Total expected payoff of all ``k`` players: ``k *`` :func:`individual_payoff`."""
+    return k * individual_payoff(values, strategy, k, policy)
+
+
+def _welfare_of_vector(
+    f: np.ndarray, p: np.ndarray, k: int, policy: CongestionPolicy
+) -> float:
+    nu = site_values(f, p, k, policy)
+    return float(k * np.dot(p, nu))
+
+
+def _two_site_grid_search(
+    f: np.ndarray, k: int, policy: CongestionPolicy, grid_points: int
+) -> np.ndarray:
+    """Dense 1-D grid search (with refinement) for ``M = 2`` instances."""
+    def welfare_of_p1(p1: np.ndarray) -> np.ndarray:
+        out = np.empty(p1.size)
+        for i, q in enumerate(p1):
+            vec = np.array([q, 1.0 - q])
+            out[i] = _welfare_of_vector(f, vec, k, policy)
+        return out
+
+    grid = np.linspace(0.0, 1.0, grid_points)
+    values_on_grid = welfare_of_p1(grid)
+    best = int(np.argmax(values_on_grid))
+    lo = grid[max(best - 1, 0)]
+    hi = grid[min(best + 1, grid_points - 1)]
+    fine = np.linspace(lo, hi, grid_points)
+    fine_values = welfare_of_p1(fine)
+    best_fine = int(np.argmax(fine_values))
+    p1 = float(fine[best_fine])
+    return np.array([p1, 1.0 - p1])
+
+
+def welfare_optimal_strategy(
+    values: SiteValues | np.ndarray,
+    k: int,
+    policy: CongestionPolicy,
+    *,
+    grid_points: int = 2001,
+    restarts: int = 8,
+    max_iter: int = 3000,
+    step_size: float = 0.05,
+    rng: np.random.Generator | int | None = 0,
+) -> WelfareOptimum:
+    """Find the symmetric strategy maximising the players' expected payoff.
+
+    Parameters
+    ----------
+    values, k, policy:
+        Game instance.
+    grid_points:
+        Resolution of the 1-D grid search used for two-site instances.
+    restarts, max_iter, step_size:
+        Parameters of the multi-start projected gradient ascent used for
+        ``M > 2`` (welfare is not concave in general, hence the restarts).
+    rng:
+        Seed / generator for the random restarts.
+    """
+    k = check_positive_integer(k, "k")
+    f = _values_array(values)
+    policy.validate(k)
+    m = f.size
+
+    if m == 1:
+        strategy = Strategy.point_mass(1, 0)
+        welfare = _welfare_of_vector(f, strategy.as_array(), k, policy)
+        return WelfareOptimum(strategy, welfare, welfare / k, coverage(f, strategy, k), "trivial")
+
+    if m == 2:
+        p = _two_site_grid_search(f, k, policy, grid_points)
+        strategy = Strategy(p)
+        welfare = _welfare_of_vector(f, p, k, policy)
+        return WelfareOptimum(
+            strategy, welfare, welfare / k, coverage(f, strategy, k), "grid-search"
+        )
+
+    generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    candidates: list[np.ndarray] = [np.full(m, 1.0 / m), f / f.sum()]
+    candidates.extend(generator.dirichlet(np.ones(m)) for _ in range(restarts))
+
+    def numeric_gradient(p: np.ndarray, h: float = 1e-6) -> np.ndarray:
+        base = _welfare_of_vector(f, p, k, policy)
+        grad = np.empty(m)
+        for i in range(m):
+            bumped = p.copy()
+            bumped[i] += h
+            grad[i] = (_welfare_of_vector(f, bumped / bumped.sum(), k, policy) - base) / h
+        return grad
+
+    best_vec: np.ndarray | None = None
+    best_welfare = -np.inf
+    for start in candidates:
+        p = start.copy()
+        current = _welfare_of_vector(f, p, k, policy)
+        for _ in range(max_iter):
+            grad = numeric_gradient(p)
+            proposal = simplex_projection(p + step_size * grad)
+            value = _welfare_of_vector(f, proposal, k, policy)
+            if value <= current + 1e-14:
+                break
+            p, current = proposal, value
+        if current > best_welfare:
+            best_welfare, best_vec = current, p
+
+    assert best_vec is not None
+    strategy = Strategy(best_vec)
+    return WelfareOptimum(
+        strategy,
+        best_welfare,
+        best_welfare / k,
+        coverage(f, strategy, k),
+        "projected-gradient",
+    )

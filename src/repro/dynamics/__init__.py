@@ -1,0 +1,32 @@
+"""Evolutionary and learning dynamics over symmetric strategies.
+
+The paper's solution concepts (IFD, ESS) are static; this subpackage provides
+the dynamic counterparts that justify them as the outcomes of decentralised
+adaptation:
+
+* :mod:`repro.dynamics.replicator` — discrete-time replicator dynamics over
+  the site-choice distribution of an infinite population;
+* :mod:`repro.dynamics.logit` — logit (quantal-response) dynamics and
+  equilibria, a smoothed best response robust to negative payoffs;
+* :mod:`repro.dynamics.best_response` — damped best-response / fictitious-play
+  style iterations;
+* :mod:`repro.dynamics.invasion` — resident-vs-mutant share dynamics used to
+  visualise the ESS property of ``sigma_star``.
+"""
+
+from repro.dynamics.replicator import ReplicatorResult, replicator_dynamics
+from repro.dynamics.logit import LogitResult, logit_dynamics, quantal_response_equilibrium
+from repro.dynamics.best_response import BestResponseResult, best_response_dynamics
+from repro.dynamics.invasion import InvasionResult, invasion_dynamics
+
+__all__ = [
+    "ReplicatorResult",
+    "replicator_dynamics",
+    "LogitResult",
+    "logit_dynamics",
+    "quantal_response_equilibrium",
+    "BestResponseResult",
+    "best_response_dynamics",
+    "InvasionResult",
+    "invasion_dynamics",
+]

@@ -1,0 +1,101 @@
+"""Damped best-response (fictitious-play style) dynamics.
+
+At every step the population state moves a small amount towards a best
+response to itself: ``p_{t+1} = (1 - gamma_t) p_t + gamma_t BR(p_t)``, where
+``BR(p)`` spreads uniformly over the sites maximising ``nu_p``.  With a
+decreasing step sequence (``gamma_t = gamma_0 / (1 + t * decay)``) the average
+play converges to the symmetric equilibrium for the congestion games studied
+in the paper; the exploitability of the final state is reported so callers can
+verify the quality of the approximation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.payoffs import exploitability, site_values
+from repro.core.policies import CongestionPolicy
+from repro.core.strategy import Strategy
+from repro.core.values import SiteValues
+from repro.utils.validation import check_positive_integer
+
+__all__ = ["BestResponseResult", "best_response_dynamics"]
+
+
+@dataclass(frozen=True)
+class BestResponseResult:
+    """Outcome of a damped best-response run."""
+
+    strategy: Strategy
+    exploitability: float
+    iterations: int
+    converged: bool
+    trajectory: np.ndarray
+
+
+def _values_array(values: SiteValues | np.ndarray) -> np.ndarray:
+    return values.as_array() if isinstance(values, SiteValues) else np.asarray(values, dtype=float)
+
+
+def best_response_dynamics(
+    values: SiteValues | np.ndarray,
+    k: int,
+    policy: CongestionPolicy,
+    *,
+    initial: Strategy | None = None,
+    step_size: float = 0.5,
+    step_decay: float = 0.01,
+    max_iter: int = 10_000,
+    tol: float = 1e-10,
+    record_every: int = 100,
+    tie_atol: float = 1e-12,
+) -> BestResponseResult:
+    """Run damped best-response dynamics and report the final exploitability.
+
+    Parameters
+    ----------
+    step_size, step_decay:
+        The step at iteration ``t`` is ``step_size / (1 + step_decay * t)``.
+    tol:
+        Run stops when the L1 movement of one step drops below ``tol``.
+    tie_atol:
+        Sites within ``tie_atol`` of the maximal value are all considered best
+        responses (the response mixes uniformly over them), which avoids the
+        oscillations a strict argmax would cause near equilibrium.
+    """
+    k = check_positive_integer(k, "k")
+    if step_size <= 0 or not (0 <= step_decay):
+        raise ValueError("step_size must be positive and step_decay non-negative")
+    f = _values_array(values)
+    m = f.size
+    policy.validate(k)
+    p = (initial.as_array() if initial is not None else np.full(m, 1.0 / m)).astype(float).copy()
+
+    states = [p.copy()]
+    converged = False
+    iterations = 0
+    for iterations in range(1, max_iter + 1):
+        nu = site_values(f, p, k, policy)
+        best_mask = nu >= nu.max() - tie_atol
+        response = best_mask / best_mask.sum()
+        gamma = step_size / (1.0 + step_decay * iterations)
+        new_p = (1.0 - gamma) * p + gamma * response
+        change = float(np.abs(new_p - p).sum())
+        p = new_p
+        if iterations % record_every == 0:
+            states.append(p.copy())
+        if change <= tol:
+            converged = True
+            break
+    if not np.array_equal(states[-1], p):
+        states.append(p.copy())
+    strategy = Strategy(p / p.sum())
+    return BestResponseResult(
+        strategy=strategy,
+        exploitability=exploitability(f, strategy, k, policy),
+        iterations=iterations,
+        converged=converged,
+        trajectory=np.asarray(states),
+    )

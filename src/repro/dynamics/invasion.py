@@ -1,0 +1,99 @@
+"""Resident-vs-mutant invasion dynamics.
+
+Section 1.4 of the paper defines an ESS through the payoff comparison in a
+population containing a fraction ``eps`` of mutants.  This module simulates
+the natural two-type dynamics on that fraction: the mutant share grows when
+mutants earn more than residents in the current mixture and shrinks when they
+earn less (a two-type replicator equation on the share).  If the resident is
+an ESS and the initial mutant share is below its invasion barrier, the share
+converges to zero — which is exactly what the Theorem 3 experiments show for
+``sigma_star`` under the exclusive policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.payoffs import mixture_payoff
+from repro.core.policies import CongestionPolicy
+from repro.core.strategy import Strategy
+from repro.core.values import SiteValues
+from repro.utils.validation import check_positive_integer, check_probability
+
+__all__ = ["InvasionResult", "invasion_dynamics"]
+
+
+@dataclass(frozen=True)
+class InvasionResult:
+    """Trajectory of the mutant population share."""
+
+    shares: np.ndarray
+    mutant_extinct: bool
+    mutant_fixated: bool
+    iterations: int
+
+    @property
+    def final_share(self) -> float:
+        """Mutant share at the end of the run."""
+        return float(self.shares[-1])
+
+
+def _values_array(values: SiteValues | np.ndarray) -> np.ndarray:
+    return values.as_array() if isinstance(values, SiteValues) else np.asarray(values, dtype=float)
+
+
+def invasion_dynamics(
+    values: SiteValues | np.ndarray,
+    resident: Strategy,
+    mutant: Strategy,
+    k: int,
+    policy: CongestionPolicy,
+    *,
+    initial_share: float = 0.05,
+    selection_strength: float = 0.5,
+    max_iter: int = 5_000,
+    extinction_threshold: float = 1e-6,
+    fixation_threshold: float = 1.0 - 1e-6,
+) -> InvasionResult:
+    """Simulate the mutant-share dynamics ``eps' = eps + s * eps (1 - eps) (U_mut - U_res)``.
+
+    Parameters
+    ----------
+    initial_share:
+        Initial mutant proportion ``eps_0``.
+    selection_strength:
+        Scaling ``s`` of the payoff difference in the share update (the payoff
+        difference is normalised by the largest site value so the step size is
+        dimensionless).
+    extinction_threshold, fixation_threshold:
+        The run stops early once the share crosses either threshold.
+    """
+    k = check_positive_integer(k, "k")
+    initial_share = check_probability(initial_share, "initial_share")
+    if selection_strength <= 0:
+        raise ValueError("selection_strength must be positive")
+    f = _values_array(values)
+    policy.validate(k)
+    scale = float(np.max(np.abs(f))) or 1.0
+
+    share = float(initial_share)
+    shares = [share]
+    iterations = 0
+    for iterations in range(1, max_iter + 1):
+        resident_payoff = mixture_payoff(f, resident, resident, mutant, share, k, policy)
+        mutant_payoff = mixture_payoff(f, mutant, resident, mutant, share, k, policy)
+        delta = (mutant_payoff - resident_payoff) / scale
+        share = share + selection_strength * share * (1.0 - share) * delta
+        share = float(np.clip(share, 0.0, 1.0))
+        shares.append(share)
+        if share <= extinction_threshold or share >= fixation_threshold:
+            break
+
+    return InvasionResult(
+        shares=np.asarray(shares),
+        mutant_extinct=bool(share <= extinction_threshold),
+        mutant_fixated=bool(share >= fixation_threshold),
+        iterations=iterations,
+    )

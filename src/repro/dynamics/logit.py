@@ -1,0 +1,121 @@
+"""Logit (quantal-response) dynamics and equilibria.
+
+The logit response to a population state ``p`` puts probability proportional
+to ``exp(eta * nu_p(x))`` on site ``x``.  Iterating a damped version of this
+map converges to a *logit equilibrium*; as the rationality parameter ``eta``
+grows, logit equilibria approach the exact symmetric Nash equilibrium (the
+IFD).  Unlike the discrete replicator, the logit map is well defined for
+negative payoffs, which makes it the dynamics of choice for aggressive
+congestion policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.payoffs import site_values
+from repro.core.policies import CongestionPolicy
+from repro.core.strategy import Strategy
+from repro.core.values import SiteValues
+from repro.utils.validation import check_positive_integer
+
+__all__ = ["LogitResult", "logit_dynamics", "quantal_response_equilibrium"]
+
+
+@dataclass(frozen=True)
+class LogitResult:
+    """Outcome of a logit-dynamics run."""
+
+    strategy: Strategy
+    converged: bool
+    iterations: int
+    rationality: float
+    trajectory: np.ndarray
+
+
+def _values_array(values: SiteValues | np.ndarray) -> np.ndarray:
+    return values.as_array() if isinstance(values, SiteValues) else np.asarray(values, dtype=float)
+
+
+def _logit_response(nu: np.ndarray, eta: float) -> np.ndarray:
+    logits = eta * nu
+    logits -= logits.max()  # numerical stabilisation
+    weights = np.exp(logits)
+    return weights / weights.sum()
+
+
+def logit_dynamics(
+    values: SiteValues | np.ndarray,
+    k: int,
+    policy: CongestionPolicy,
+    *,
+    rationality: float = 50.0,
+    damping: float = 0.5,
+    step_decay: float = 0.01,
+    initial: Strategy | None = None,
+    max_iter: int = 50_000,
+    tol: float = 1e-13,
+    record_every: int = 500,
+) -> LogitResult:
+    """Iterate the smooth (logit) fictitious-play map to a fixed point.
+
+    ``p_{t+1} = (1 - gamma_t) p_t + gamma_t * softmax(eta * nu_{p_t})`` with a
+    decreasing step ``gamma_t = damping / (1 + step_decay * t)``.  The decay is
+    what makes the iteration converge for large rationality values, where a
+    fixed step would oscillate around the equilibrium.
+    """
+    k = check_positive_integer(k, "k")
+    if rationality <= 0:
+        raise ValueError("rationality must be positive")
+    if not 0 < damping <= 1:
+        raise ValueError("damping must lie in (0, 1]")
+    if step_decay < 0:
+        raise ValueError("step_decay must be non-negative")
+    f = _values_array(values)
+    m = f.size
+    policy.validate(k)
+    p = (initial.as_array() if initial is not None else np.full(m, 1.0 / m)).astype(float).copy()
+
+    states = [p.copy()]
+    converged = False
+    iterations = 0
+    for iterations in range(1, max_iter + 1):
+        nu = site_values(f, p, k, policy)
+        response = _logit_response(nu, rationality)
+        gamma = damping / (1.0 + step_decay * iterations)
+        new_p = (1.0 - gamma) * p + gamma * response
+        change = float(np.abs(new_p - p).sum())
+        p = new_p
+        if iterations % record_every == 0:
+            states.append(p.copy())
+        if change <= tol:
+            converged = True
+            break
+    if not np.array_equal(states[-1], p):
+        states.append(p.copy())
+    return LogitResult(
+        strategy=Strategy(p / p.sum()),
+        converged=converged,
+        iterations=iterations,
+        rationality=float(rationality),
+        trajectory=np.asarray(states),
+    )
+
+
+def quantal_response_equilibrium(
+    values: SiteValues | np.ndarray,
+    k: int,
+    policy: CongestionPolicy,
+    *,
+    rationality: float = 200.0,
+    **kwargs,
+) -> Strategy:
+    """Convenience wrapper returning only the logit-equilibrium strategy.
+
+    With a large ``rationality`` this is a numerical approximation of the IFD
+    that is derived through an entirely different route than the water-filling
+    solver — tests use it as an independent cross-check.
+    """
+    return logit_dynamics(values, k, policy, rationality=rationality, **kwargs).strategy

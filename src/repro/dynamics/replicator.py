@@ -1,0 +1,148 @@
+"""Replicator dynamics for the dispersal game.
+
+The state is the distribution ``p`` of site choices in an infinite population;
+the fitness of (pure strategy) site ``x`` is its value ``nu_p(x)`` against
+``k - 1`` opponents sampled from the same population.  Rest points with full
+support are exactly the distributions equalising ``nu_p`` — i.e. the IFD — so
+these dynamics give an evolutionary justification of the equilibrium the paper
+analyses.  Two update rules are provided:
+
+* ``"discrete"`` — the Maynard Smith discrete replicator
+  ``p'(x) = p(x) (nu(x) + shift) / sum_y p(y) (nu(y) + shift)``,
+  where ``shift`` makes fitnesses positive (necessary for aggressive policies
+  whose payoffs can be negative);
+* ``"euler"`` — an Euler discretisation of the continuous replicator
+  ``dp/dt = p(x) (nu(x) - mean fitness)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.payoffs import site_values
+from repro.core.policies import CongestionPolicy
+from repro.core.strategy import Strategy
+from repro.core.values import SiteValues
+from repro.utils.validation import check_positive_integer
+
+__all__ = ["ReplicatorResult", "replicator_dynamics"]
+
+
+@dataclass(frozen=True)
+class ReplicatorResult:
+    """Trajectory summary of a replicator run.
+
+    Attributes
+    ----------
+    strategy:
+        Final population distribution.
+    converged:
+        ``True`` when the update step fell below the tolerance before the
+        iteration cap.
+    iterations:
+        Number of update steps performed.
+    trajectory:
+        Recorded states, shape ``(n_records, M)`` (first row is the initial
+        state, last row the final one).
+    payoff_history:
+        Mean population payoff at each recorded state.
+    """
+
+    strategy: Strategy
+    converged: bool
+    iterations: int
+    trajectory: np.ndarray
+    payoff_history: np.ndarray
+
+
+def _values_array(values: SiteValues | np.ndarray) -> np.ndarray:
+    return values.as_array() if isinstance(values, SiteValues) else np.asarray(values, dtype=float)
+
+
+def replicator_dynamics(
+    values: SiteValues | np.ndarray,
+    k: int,
+    policy: CongestionPolicy,
+    *,
+    initial: Strategy | None = None,
+    method: str = "discrete",
+    step_size: float = 0.2,
+    max_iter: int = 20_000,
+    tol: float = 1e-12,
+    record_every: int = 100,
+) -> ReplicatorResult:
+    """Run replicator dynamics until (approximate) convergence.
+
+    Parameters
+    ----------
+    values, k, policy:
+        Game instance.
+    initial:
+        Starting distribution; defaults to uniform (which has full support, so
+        the dynamics can reach any IFD support).
+    method:
+        ``"discrete"`` or ``"euler"`` (see module docstring).
+    step_size:
+        Euler step (ignored by the discrete rule).
+    max_iter, tol:
+        Convergence control: the run stops when the L1 change of the state in
+        one step drops below ``tol``.
+    record_every:
+        Record the state every this many iterations (plus first and last).
+    """
+    k = check_positive_integer(k, "k")
+    if method not in {"discrete", "euler"}:
+        raise ValueError("method must be 'discrete' or 'euler'")
+    if step_size <= 0:
+        raise ValueError("step_size must be positive")
+    record_every = check_positive_integer(record_every, "record_every")
+
+    f = _values_array(values)
+    m = f.size
+    policy.validate(k)
+    p = (initial.as_array() if initial is not None else np.full(m, 1.0 / m)).astype(float).copy()
+
+    # Shift guaranteeing positive fitness even for aggressive (negative) policies.
+    worst_congestion = float(np.min(policy.table(k)))
+    shift = max(0.0, -worst_congestion * float(f.max())) + 1e-3 * float(f.max())
+
+    states = [p.copy()]
+    payoffs = []
+    converged = False
+    iterations = 0
+    for iterations in range(1, max_iter + 1):
+        nu = site_values(f, p, k, policy)
+        mean_payoff = float(np.dot(p, nu))
+        if method == "discrete":
+            fitness = nu + shift
+            denominator = float(np.dot(p, fitness))
+            new_p = p * fitness / denominator
+        else:
+            new_p = p + step_size * p * (nu - mean_payoff)
+            new_p = np.clip(new_p, 0.0, None)
+            total = new_p.sum()
+            if total <= 0:
+                raise RuntimeError("euler replicator step annihilated the population state")
+            new_p = new_p / total
+        change = float(np.abs(new_p - p).sum())
+        p = new_p
+        if iterations % record_every == 0:
+            states.append(p.copy())
+            payoffs.append(mean_payoff)
+        if change <= tol:
+            converged = True
+            break
+
+    final_nu = site_values(f, p, k, policy)
+    payoffs.append(float(np.dot(p, final_nu)))
+    if not np.array_equal(states[-1], p):
+        states.append(p.copy())
+    return ReplicatorResult(
+        strategy=Strategy(np.clip(p, 0.0, None) / p.sum()),
+        converged=converged,
+        iterations=iterations,
+        trajectory=np.asarray(states),
+        payoff_history=np.asarray(payoffs),
+    )

@@ -1,0 +1,54 @@
+"""Extensions beyond the paper's core model.
+
+Section 5.1 of the paper lists several generalisations left for future work;
+this subpackage implements the ones that stay within laptop-scale numerics so
+that they can be explored with the same tooling as the core model:
+
+* :mod:`repro.extensions.travel_costs` — per-site visiting costs (the
+  "energetic cost consumed while traveling to x" the paper explicitly defers);
+* :mod:`repro.extensions.capacity` — per-individual consumption capacity,
+  i.e. a site may need several visitors to be fully exploited (a relaxation of
+  the "a single player suffices to consume f(x)" assumption);
+* :mod:`repro.extensions.repeated` — multi-round dispersal with depletion
+  (a concrete "other form of repetition");
+* :mod:`repro.extensions.group_competition` — two groups with different
+  internal congestion rules competing over the same patches (the
+  aggressive-vs-peaceful-species thought experiment of Section 5.2).
+
+Each module documents how its model reduces to the paper's when the new
+parameter is switched off, and the test-suite verifies those reductions.
+"""
+
+from repro.extensions.travel_costs import (
+    CostAdjustedEquilibrium,
+    cost_adjusted_ifd,
+    cost_adjusted_site_values,
+)
+from repro.extensions.capacity import (
+    capacity_coverage,
+    capacity_coverage_gradient,
+    maximize_capacity_coverage,
+)
+from repro.extensions.repeated import (
+    RepeatedDispersalResult,
+    adaptive_sigma_star_schedule,
+    simulate_repeated_dispersal,
+)
+from repro.extensions.group_competition import (
+    GroupCompetitionResult,
+    two_group_competition,
+)
+
+__all__ = [
+    "CostAdjustedEquilibrium",
+    "cost_adjusted_site_values",
+    "cost_adjusted_ifd",
+    "capacity_coverage",
+    "capacity_coverage_gradient",
+    "maximize_capacity_coverage",
+    "RepeatedDispersalResult",
+    "simulate_repeated_dispersal",
+    "adaptive_sigma_star_schedule",
+    "GroupCompetitionResult",
+    "two_group_competition",
+]

@@ -1,0 +1,135 @@
+"""Capacity-constrained coverage (Section 5.1 future work).
+
+The paper's coverage measure assumes a single visitor suffices to consume the
+full value of a site.  Here each individual can consume at most a fraction
+``1 / r(x)`` of site ``x`` (equivalently, site ``x`` needs ``r(x)`` visitors to
+be fully exploited), so the group extracts
+
+    CapCover(p) = sum_x f(x) * E[ min(1, N_x / r(x)) ],      N_x ~ Binomial(k, p(x)).
+
+With ``r == 1`` this reduces exactly to the paper's coverage, which the tests
+verify.  The functional is still concave in each ``p(x)`` (it is a
+non-decreasing concave transform of a binomial mean), so projected gradient
+ascent finds the global optimum; there is no closed form in general.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.optimal_coverage import CoverageOptimum
+from repro.core.strategy import Strategy
+from repro.core.values import SiteValues
+from repro.utils.numerics import binomial_pmf_matrix, simplex_projection
+from repro.utils.validation import check_positive_integer
+
+__all__ = ["capacity_coverage", "capacity_coverage_gradient", "maximize_capacity_coverage"]
+
+
+def _values_array(values: SiteValues | np.ndarray) -> np.ndarray:
+    return values.as_array() if isinstance(values, SiteValues) else np.asarray(values, dtype=float)
+
+
+def _requirements_array(requirements: np.ndarray | int, m: int) -> np.ndarray:
+    arr = np.asarray(requirements)
+    if arr.ndim == 0:
+        arr = np.full(m, int(arr))
+    if arr.shape != (m,):
+        raise ValueError(f"requirements must be a scalar or a length-{m} vector")
+    arr = arr.astype(int)
+    if np.any(arr < 1):
+        raise ValueError("requirements must be >= 1 visitor per site")
+    return arr
+
+
+def _consumption_fractions(k: int, probabilities: np.ndarray, requirements: np.ndarray) -> np.ndarray:
+    """``E[min(1, N_x / r(x))]`` per site, ``N_x ~ Binomial(k, p(x))``."""
+    pmf = binomial_pmf_matrix(k, probabilities)  # (M, k + 1)
+    counts = np.arange(k + 1)[None, :]
+    fractions = np.minimum(1.0, counts / requirements[:, None])
+    return (pmf * fractions).sum(axis=1)
+
+
+def capacity_coverage(
+    values: SiteValues | np.ndarray,
+    strategy: Strategy | np.ndarray,
+    k: int,
+    requirements: np.ndarray | int,
+) -> float:
+    """Capacity-constrained coverage of a symmetric strategy.
+
+    Parameters
+    ----------
+    values:
+        Site values ``f``.
+    strategy:
+        Symmetric strategy ``p``.
+    k:
+        Number of players.
+    requirements:
+        Number of visitors ``r(x)`` needed to fully consume site ``x`` (scalar
+        or per-site vector).  ``r == 1`` recovers the paper's coverage.
+    """
+    k = check_positive_integer(k, "k")
+    f = _values_array(values)
+    r = _requirements_array(requirements, f.size)
+    p = strategy.as_array() if isinstance(strategy, Strategy) else np.asarray(strategy, dtype=float)
+    return float(np.dot(f, _consumption_fractions(k, p, r)))
+
+
+def capacity_coverage_gradient(
+    values: SiteValues | np.ndarray,
+    strategy: Strategy | np.ndarray,
+    k: int,
+    requirements: np.ndarray | int,
+) -> np.ndarray:
+    """Exact gradient of :func:`capacity_coverage` with respect to ``p``.
+
+    Uses the binomial identity ``d/dp E[h(Bin(k, p))] = k * E[h(Bin(k-1, p) + 1)
+    - h(Bin(k-1, p))]``, evaluated exactly from the ``Binomial(k-1, p)`` pmf.
+    """
+    k = check_positive_integer(k, "k")
+    f = _values_array(values)
+    r = _requirements_array(requirements, f.size)
+    p = strategy.as_array() if isinstance(strategy, Strategy) else np.asarray(strategy, dtype=float)
+    pmf = binomial_pmf_matrix(k - 1, p) if k > 1 else np.ones((f.size, 1))
+    counts = np.arange(pmf.shape[1])[None, :]
+    h_plus = np.minimum(1.0, (counts + 1) / r[:, None])
+    h = np.minimum(1.0, counts / r[:, None])
+    return k * f * ((pmf * (h_plus - h)).sum(axis=1))
+
+
+def maximize_capacity_coverage(
+    values: SiteValues | np.ndarray,
+    k: int,
+    requirements: np.ndarray | int,
+    *,
+    step_size: float | None = None,
+    max_iter: int = 5_000,
+    tol: float = 1e-12,
+    initial: Strategy | None = None,
+) -> CoverageOptimum:
+    """Maximise the capacity-constrained coverage by projected gradient ascent.
+
+    The objective is concave (each term is a concave function of ``p(x)``), so
+    the method converges to the global optimum.  With ``requirements == 1`` the
+    result matches the closed-form ``sigma_star`` (tested).
+    """
+    k = check_positive_integer(k, "k")
+    f = _values_array(values)
+    r = _requirements_array(requirements, f.size)
+    m = f.size
+    if step_size is None:
+        step_size = 1.0 / max(k * k * float(f.max()), 1e-12)
+    p = (initial.as_array() if initial is not None else np.full(m, 1.0 / m)).copy()
+    previous = capacity_coverage(f, p, k, r)
+    for _ in range(max_iter):
+        grad = capacity_coverage_gradient(f, p, k, r)
+        p = simplex_projection(p + step_size * grad)
+        current = capacity_coverage(f, p, k, r)
+        if abs(current - previous) <= tol * max(1.0, abs(current)):
+            previous = current
+            break
+        previous = current
+    strategy = Strategy(p)
+    return CoverageOptimum(strategy, capacity_coverage(f, strategy, k, r), "projected-gradient")

@@ -1,0 +1,171 @@
+"""Dispersal with per-site visiting costs (Section 5.1 future work).
+
+The extended reward of a player that selects site ``x`` together with ``l - 1``
+others is ``f(x) * C(l) - d(x)``, where ``d(x) >= 0`` is the cost of visiting
+``x`` (travel energy, risk, entry fee).  Costs do not affect the coverage
+functional — the group still collects ``f(x)`` from every visited site — but
+they shift the equilibrium: expensive sites are visited less, so coverage at
+equilibrium generally drops below the cost-free optimum even under the
+exclusive policy.
+
+With ``d == 0`` everything reduces to the core model, which the tests verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.payoffs import occupancy_congestion_factor
+from repro.core.policies import CongestionPolicy
+from repro.core.strategy import Strategy
+from repro.core.values import SiteValues
+from repro.utils.validation import check_positive_integer
+
+__all__ = ["CostAdjustedEquilibrium", "cost_adjusted_site_values", "cost_adjusted_ifd"]
+
+
+@dataclass(frozen=True)
+class CostAdjustedEquilibrium:
+    """Symmetric equilibrium of the cost-adjusted dispersal game.
+
+    Attributes
+    ----------
+    strategy:
+        Equilibrium distribution over sites.
+    value:
+        Common net payoff (reward minus cost) on the support.
+    support_size:
+        Number of sites visited with positive probability.
+    converged:
+        Whether the outer bisection met its tolerance.
+    """
+
+    strategy: Strategy
+    value: float
+    support_size: int
+    converged: bool
+
+
+def _values_array(values: SiteValues | np.ndarray) -> np.ndarray:
+    return values.as_array() if isinstance(values, SiteValues) else np.asarray(values, dtype=float)
+
+
+def _costs_array(costs: np.ndarray | float, m: int) -> np.ndarray:
+    arr = np.asarray(costs, dtype=float)
+    if arr.ndim == 0:
+        arr = np.full(m, float(arr))
+    if arr.shape != (m,):
+        raise ValueError(f"costs must be a scalar or a length-{m} vector")
+    if np.any(arr < 0) or not np.all(np.isfinite(arr)):
+        raise ValueError("costs must be finite and non-negative")
+    return arr
+
+
+def cost_adjusted_site_values(
+    values: SiteValues | np.ndarray,
+    costs: np.ndarray | float,
+    strategy: Strategy | np.ndarray,
+    k: int,
+    policy: CongestionPolicy,
+) -> np.ndarray:
+    """Net site values ``nu_p(x) = f(x) * g(p(x)) - d(x)`` of the extended game."""
+    k = check_positive_integer(k, "k")
+    f = _values_array(values)
+    d = _costs_array(costs, f.size)
+    p = strategy.as_array() if isinstance(strategy, Strategy) else np.asarray(strategy, dtype=float)
+    return f * occupancy_congestion_factor(policy, p, k - 1) - d
+
+
+def cost_adjusted_ifd(
+    values: SiteValues | np.ndarray,
+    costs: np.ndarray | float,
+    k: int,
+    policy: CongestionPolicy,
+    *,
+    tol: float = 1e-12,
+    max_outer_iter: int = 200,
+    max_inner_iter: int = 80,
+) -> CostAdjustedEquilibrium:
+    """Symmetric equilibrium of the dispersal game with visiting costs.
+
+    Same nested-bisection (water-filling) structure as
+    :func:`repro.core.ifd.ideal_free_distribution`, applied to the net payoff
+    ``f(x) * g(q) - d(x)``.  Players must pick some site (no staying-home
+    option), so the equilibrium net payoff may be negative when every site is
+    expensive.
+
+    Notes
+    -----
+    * ``k = 1``: the single player picks the site with the largest ``f - d``.
+    * Requires the congestion table restricted to ``{1..k}`` to be non-constant
+      (otherwise net payoffs do not respond to congestion and the equilibrium
+      concentrates on ``argmax (f - d)``, which is what the solver returns).
+    """
+    k = check_positive_integer(k, "k")
+    f = _values_array(values)
+    m = f.size
+    d = _costs_array(costs, m)
+    policy.validate(k)
+
+    net_solo = f - d  # payoff of visiting x alone
+    if k == 1:
+        best = int(np.argmax(net_solo))
+        return CostAdjustedEquilibrium(Strategy.point_mass(m, best), float(net_solo[best]), 1, True)
+
+    c_table = policy.table(k)
+    if np.allclose(c_table, c_table[0], atol=1e-12):
+        top = np.isclose(net_solo, net_solo.max(), atol=1e-12)
+        probs = top / top.sum()
+        return CostAdjustedEquilibrium(Strategy(probs), float(net_solo.max()), int(top.sum()), True)
+
+    def g(q: np.ndarray) -> np.ndarray:
+        return occupancy_congestion_factor(policy, q, k - 1)
+
+    g_at_one = float(g(np.array([1.0]))[0])
+
+    def site_probabilities(v: float) -> np.ndarray:
+        q = np.zeros(m)
+        active = net_solo > v
+        if not np.any(active):
+            return q
+        saturated = active & (f * g_at_one - d >= v)
+        q[saturated] = 1.0
+        solve_mask = active & ~saturated
+        if np.any(solve_mask):
+            lo = np.zeros(int(solve_mask.sum()))
+            hi = np.ones(int(solve_mask.sum()))
+            f_sub, d_sub = f[solve_mask], d[solve_mask]
+            for _ in range(max_inner_iter):
+                mid = 0.5 * (lo + hi)
+                residual = f_sub * g(mid) - d_sub - v
+                go_right = residual > 0
+                lo = np.where(go_right, mid, lo)
+                hi = np.where(go_right, hi, mid)
+            q[solve_mask] = 0.5 * (lo + hi)
+        return q
+
+    v_high = float(net_solo.max())
+    v_low = float(min((f * g_at_one - d).min(), 0.0, v_high - 1.0))
+    lo, hi = v_low, v_high
+    for _ in range(max_outer_iter):
+        mid = 0.5 * (lo + hi)
+        if site_probabilities(mid).sum() >= 1.0:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo <= tol * max(1.0, abs(hi)):
+            break
+
+    value = 0.5 * (lo + hi)
+    probs = site_probabilities(value)
+    total = probs.sum()
+    if total <= 0:
+        raise RuntimeError("cost-adjusted IFD solver failed to allocate probability mass")
+    converged = bool(np.isclose(total, 1.0, atol=1e-6))
+    strategy = Strategy(probs / total)
+    nu = cost_adjusted_site_values(f, d, strategy, k, policy)
+    support = strategy.as_array() > 1e-12
+    realised = float(nu[support].mean()) if np.any(support) else float(nu.max())
+    return CostAdjustedEquilibrium(strategy, realised, int(support.sum()), converged)

@@ -1,0 +1,37 @@
+"""Mechanism-design baselines and policy-design tooling.
+
+The paper positions its congestion-policy result against the reward-design
+mechanisms of Kleinberg & Oren (STOC 2011), in which a central entity cannot
+change the competition rule (researchers share credit) but *can* change the
+rewards attached to sites (grant sizes).  This subpackage implements that
+baseline and the tooling to compare the two levers:
+
+* :mod:`repro.mechanism.kleinberg_oren` — reward vectors steering the IFD of a
+  fixed (e.g. sharing) policy to any target distribution, in particular to the
+  coverage-optimal ``sigma_star``;
+* :mod:`repro.mechanism.policy_design` — searching over congestion policies
+  for a fixed reward vector (the paper's lever), including the ablation that
+  the two-level policy's optimal collision payoff is ``c = 0``.
+"""
+
+from repro.mechanism.kleinberg_oren import (
+    GrantDesign,
+    design_rewards_for_target,
+    optimal_grant_design,
+    proportional_rewards,
+)
+from repro.mechanism.policy_design import (
+    PolicyComparison,
+    best_two_level_policy,
+    compare_policies,
+)
+
+__all__ = [
+    "GrantDesign",
+    "design_rewards_for_target",
+    "optimal_grant_design",
+    "proportional_rewards",
+    "PolicyComparison",
+    "best_two_level_policy",
+    "compare_policies",
+]

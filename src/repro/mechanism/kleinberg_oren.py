@@ -1,0 +1,143 @@
+"""Reward-design mechanism in the spirit of Kleinberg & Oren (2011).
+
+Setting: the congestion rule is fixed (researchers who pick the same topic
+share the credit — the sharing policy), but a central entity can attach an
+arbitrary *reward* ``r(x)`` to each site, decoupled from the site's social
+value ``f(x)``.  The goal is to pick rewards whose induced equilibrium matches
+a target distribution, typically the coverage-optimal ``sigma_star`` of the
+underlying values.
+
+Contrast with the paper's mechanism (changing the congestion rule while
+keeping ``r = f``): reward design requires knowing the number of players ``k``
+and the freedom to re-price sites, neither of which is available in ecological
+settings; the congestion-policy route needs neither (Section 1.6 of the
+paper).  Both implementations are provided so the benchmarks can compare them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.coverage import coverage
+from repro.core.ifd import ideal_free_distribution
+from repro.core.optimal_coverage import optimal_coverage_strategy
+from repro.core.payoffs import occupancy_congestion_factor
+from repro.core.policies import CongestionPolicy, SharingPolicy
+from repro.core.strategy import Strategy
+from repro.core.values import SiteValues
+from repro.utils.validation import check_positive_integer
+
+__all__ = [
+    "GrantDesign",
+    "design_rewards_for_target",
+    "optimal_grant_design",
+    "proportional_rewards",
+]
+
+
+@dataclass(frozen=True)
+class GrantDesign:
+    """A designed reward vector and the equilibrium it induces.
+
+    Attributes
+    ----------
+    rewards:
+        Designed reward (grant) per site.
+    induced_strategy:
+        IFD of the game with rewards ``rewards`` under the design policy.
+    induced_coverage:
+        Coverage of the induced strategy measured with the *original* social
+        values ``f`` (the planner cares about ``f``, not the grants).
+    target_strategy:
+        The distribution the design aimed for.
+    max_deviation:
+        ``max_x |induced(x) - target(x)|``.
+    """
+
+    rewards: np.ndarray
+    induced_strategy: Strategy
+    induced_coverage: float
+    target_strategy: Strategy
+    max_deviation: float
+
+
+def _values_array(values: SiteValues | np.ndarray) -> np.ndarray:
+    return values.as_array() if isinstance(values, SiteValues) else np.asarray(values, dtype=float)
+
+
+def design_rewards_for_target(
+    target: Strategy,
+    k: int,
+    policy: CongestionPolicy | None = None,
+    *,
+    equilibrium_value: float = 1.0,
+    off_support_fraction: float = 0.5,
+) -> np.ndarray:
+    """Rewards making ``target`` the IFD of the game under ``policy``.
+
+    The IFD condition under rewards ``r`` is ``r(x) * g(p(x)) = v`` on the
+    support (where ``g(q) = E[C(1 + Binomial(k-1, q))]``) and ``r(x) <= v``
+    outside it.  Fixing the equilibrium value ``v`` (grants are scale free)
+    gives ``r(x) = v / g(target(x))`` on the support; off-support sites get
+    ``off_support_fraction * v``, small enough to stay unattractive but
+    strictly positive so the game remains well posed.
+
+    Raises ``ValueError`` when the congestion factor at the target occupancy is
+    non-positive (the target is then not implementable with positive rewards,
+    e.g. aggressive policies at high occupancy probabilities).
+    """
+    k = check_positive_integer(k, "k")
+    if policy is None:
+        policy = SharingPolicy()
+    policy.validate(k)
+    if equilibrium_value <= 0:
+        raise ValueError("equilibrium_value must be positive")
+    if not 0 < off_support_fraction < 1:
+        raise ValueError("off_support_fraction must lie in (0, 1)")
+
+    p = target.as_array()
+    g = occupancy_congestion_factor(policy, p, k - 1)
+    support = p > 0
+    if np.any(g[support] <= 0):
+        raise ValueError(
+            "target not implementable: non-positive congestion factor on its support"
+        )
+    rewards = np.full(p.size, off_support_fraction * equilibrium_value)
+    rewards[support] = equilibrium_value / g[support]
+    return rewards
+
+
+def optimal_grant_design(
+    values: SiteValues | np.ndarray,
+    k: int,
+    policy: CongestionPolicy | None = None,
+    **solver_kwargs,
+) -> GrantDesign:
+    """Design grants that steer the sharing-policy IFD to the coverage optimum.
+
+    The target is ``sigma_star`` of the social values ``f`` (the symmetric
+    strategy maximising coverage); the returned design reports how closely the
+    induced equilibrium matches it and the coverage it achieves on ``f``.
+    """
+    k = check_positive_integer(k, "k")
+    if policy is None:
+        policy = SharingPolicy()
+    f = _values_array(values)
+    target = optimal_coverage_strategy(f, k).strategy
+    rewards = design_rewards_for_target(target, k, policy)
+    induced = ideal_free_distribution(rewards, k, policy, use_closed_form=False, **solver_kwargs)
+    deviation = float(np.abs(induced.strategy.as_array() - target.as_array()).max())
+    return GrantDesign(
+        rewards=rewards,
+        induced_strategy=induced.strategy,
+        induced_coverage=coverage(f, induced.strategy, k),
+        target_strategy=target,
+        max_deviation=deviation,
+    )
+
+
+def proportional_rewards(values: SiteValues | np.ndarray) -> np.ndarray:
+    """The naive baseline: grants proportional to the social values (``r = f``)."""
+    return _values_array(values).copy()

@@ -1,0 +1,38 @@
+"""Bayesian parallel search: the Korman-Rodeh connection.
+
+Section 2.1 of the paper notes that ``sigma_star`` coincides with the first
+round of the ``A*`` algorithm of Korman & Rodeh (SIROCCO 2017) for the setting
+in which ``k`` searchers, unable to coordinate, look for a treasure hidden in
+one of ``M`` boxes according to a known prior.  This subpackage implements
+that substrate: the search problem, round strategies (including the
+``sigma_star``-derived one), the exact success/discovery-time formulas for
+memoryless strategies, and a Monte-Carlo search simulator.
+"""
+
+from repro.search.boxes import BayesianSearchProblem
+from repro.search.strategies import (
+    greedy_top_k_strategy,
+    proportional_strategy,
+    sigma_star_strategy,
+    uniform_strategy,
+)
+from repro.search.simulator import (
+    SearchOutcome,
+    compare_search_strategies,
+    expected_discovery_time,
+    simulate_search,
+    single_round_success_probability,
+)
+
+__all__ = [
+    "BayesianSearchProblem",
+    "sigma_star_strategy",
+    "uniform_strategy",
+    "proportional_strategy",
+    "greedy_top_k_strategy",
+    "SearchOutcome",
+    "single_round_success_probability",
+    "expected_discovery_time",
+    "simulate_search",
+    "compare_search_strategies",
+]

@@ -1,0 +1,86 @@
+"""The "treasure in M boxes" Bayesian search problem.
+
+``k`` searchers look for a single treasure hidden in one of ``M`` boxes; the
+hiding place follows a known prior ``q``.  Searchers act in parallel rounds
+and cannot coordinate — exactly the informational setting of the dispersal
+game, with the prior playing the role of the value function.  The problem
+object stores the prior, samples treasure locations, and exposes the sorted
+view needed by the strategy constructors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.values import SiteValues
+from repro.simulation.rng import as_generator
+from repro.utils.validation import check_positive_integer, check_probability_vector
+
+__all__ = ["BayesianSearchProblem"]
+
+
+@dataclass(frozen=True)
+class BayesianSearchProblem:
+    """A prior over boxes, sorted so that box 0 is the most likely hiding place."""
+
+    prior: np.ndarray
+
+    def __post_init__(self) -> None:
+        arr = check_probability_vector(self.prior, "prior", normalize=True)
+        order = np.argsort(-arr, kind="stable")
+        object.__setattr__(self, "prior", np.ascontiguousarray(arr[order]))
+        self.prior.setflags(write=False)
+
+    @property
+    def m(self) -> int:
+        """Number of boxes."""
+        return int(self.prior.size)
+
+    def as_site_values(self) -> SiteValues:
+        """View the prior as site values (dropping zero-probability boxes).
+
+        The dispersal game requires strictly positive values; boxes the prior
+        rules out can never hold the treasure, so removing them changes
+        neither the optimal strategies nor any success probability.
+        """
+        positive = self.prior[self.prior > 0]
+        return SiteValues.from_values(positive)
+
+    @property
+    def n_possible_boxes(self) -> int:
+        """Number of boxes with strictly positive prior probability."""
+        return int(np.count_nonzero(self.prior > 0))
+
+    def sample_treasure(
+        self, n_trials: int, rng: np.random.Generator | int | None = None
+    ) -> np.ndarray:
+        """Sample ``n_trials`` independent treasure locations from the prior."""
+        n_trials = check_positive_integer(n_trials, "n_trials")
+        generator = as_generator(rng)
+        return generator.choice(self.m, size=n_trials, p=self.prior)
+
+    # ------------------------------------------------------------ constructors
+    @staticmethod
+    def from_weights(weights: np.ndarray) -> "BayesianSearchProblem":
+        """Build a problem from non-negative (unnormalised) weights."""
+        arr = np.asarray(weights, dtype=float)
+        if np.any(arr < 0):
+            raise ValueError("weights must be non-negative")
+        total = arr.sum()
+        if total <= 0:
+            raise ValueError("weights must have positive mass")
+        return BayesianSearchProblem(arr / total)
+
+    @staticmethod
+    def zipf(m: int, exponent: float = 1.0) -> "BayesianSearchProblem":
+        """Zipf-like prior: box ``x`` has weight ``1 / x**exponent``."""
+        values = SiteValues.zipf(m, exponent=exponent)
+        return BayesianSearchProblem.from_weights(values.as_array())
+
+    @staticmethod
+    def uniform(m: int) -> "BayesianSearchProblem":
+        """Uniform prior over ``m`` boxes."""
+        m = check_positive_integer(m, "m")
+        return BayesianSearchProblem(np.full(m, 1.0 / m))

@@ -1,0 +1,36 @@
+"""Monte-Carlo simulation of the one-shot dispersal game.
+
+The analytic formulas of :mod:`repro.core` (coverage, site values, mixture
+payoffs) are all expectations over the players' independent site choices.
+This subpackage samples those choices directly — fully vectorised over trials
+— so every analytic quantity has an empirical counterpart that tests and
+benchmarks can cross-check.
+"""
+
+from repro.simulation.engine import (
+    DispersalSimulator,
+    ProfileSimulationResult,
+    SimulationResult,
+    simulate_dispersal,
+    simulate_profile,
+)
+from repro.simulation.estimators import (
+    empirical_coverage,
+    empirical_individual_payoff,
+    empirical_site_values,
+    standard_error,
+)
+from repro.simulation.rng import spawn_generators
+
+__all__ = [
+    "DispersalSimulator",
+    "SimulationResult",
+    "ProfileSimulationResult",
+    "simulate_dispersal",
+    "simulate_profile",
+    "empirical_coverage",
+    "empirical_individual_payoff",
+    "empirical_site_values",
+    "standard_error",
+    "spawn_generators",
+]

@@ -1,0 +1,255 @@
+"""Vectorised Monte-Carlo engine for the one-shot dispersal game.
+
+A single *trial* consists of ``k`` players independently drawing a site and
+collecting the policy reward determined by how many of them collided.  The
+engine simulates many trials at once using NumPy (one ``(n_trials, k)`` draw
+and a ``bincount`` per batch) and reports coverage, payoffs and collision
+statistics, each with a standard error so tests can perform calibrated
+comparisons against the exact formulas of :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.policies import CongestionPolicy
+from repro.core.strategy import Strategy
+from repro.core.values import SiteValues
+from repro.simulation.rng import as_generator
+from repro.utils.validation import check_positive_integer
+
+__all__ = [
+    "SimulationResult",
+    "ProfileSimulationResult",
+    "DispersalSimulator",
+    "simulate_dispersal",
+    "simulate_profile",
+]
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Summary statistics of a symmetric-profile simulation.
+
+    All "mean" quantities are per-trial averages; the matching ``*_sem``
+    fields are standard errors of those means.
+    """
+
+    n_trials: int
+    k: int
+    coverage_mean: float
+    coverage_sem: float
+    payoff_mean: float
+    payoff_sem: float
+    collision_rate: float
+    sites_visited_mean: float
+    occupancy_histogram: np.ndarray
+    site_visit_frequencies: np.ndarray
+
+
+@dataclass(frozen=True)
+class ProfileSimulationResult:
+    """Summary of a simulation in which each player may use a different strategy."""
+
+    n_trials: int
+    k: int
+    coverage_mean: float
+    coverage_sem: float
+    player_payoff_means: np.ndarray
+    player_payoff_sems: np.ndarray
+
+
+def _values_array(values: SiteValues | np.ndarray) -> np.ndarray:
+    return values.as_array() if isinstance(values, SiteValues) else np.asarray(values, dtype=float)
+
+
+class DispersalSimulator:
+    """Reusable simulator bound to one game instance ``(f, k, policy)``.
+
+    Parameters
+    ----------
+    values, k, policy:
+        Game instance.  The congestion table is precomputed once.
+    batch_size:
+        Maximum number of trials simulated per NumPy batch; larger requests
+        are split to bound peak memory at roughly ``batch_size * k`` integers.
+    """
+
+    def __init__(
+        self,
+        values: SiteValues | np.ndarray,
+        k: int,
+        policy: CongestionPolicy,
+        *,
+        batch_size: int = 100_000,
+    ) -> None:
+        self.values = _values_array(values)
+        self.k = check_positive_integer(k, "k")
+        self.policy = policy
+        policy.validate(self.k)
+        self.batch_size = check_positive_integer(batch_size, "batch_size")
+        self._congestion_table = policy.table(self.k)
+
+    # ------------------------------------------------------------------ core
+    def _simulate_choices(
+        self, probabilities: np.ndarray, n_trials: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw an ``(n_trials, k)`` matrix of site choices for i.i.d. players."""
+        m = self.values.size
+        return rng.choice(m, size=(n_trials, self.k), p=probabilities)
+
+    def _occupancies(self, choices: np.ndarray) -> np.ndarray:
+        """Per-trial site occupancy counts, shape ``(n_trials, M)``."""
+        n_trials = choices.shape[0]
+        m = self.values.size
+        flat = choices + m * np.arange(n_trials)[:, None]
+        counts = np.bincount(flat.ravel(), minlength=n_trials * m)
+        return counts.reshape(n_trials, m)
+
+    def run(
+        self,
+        strategy: Strategy,
+        n_trials: int,
+        rng: np.random.Generator | int | None = None,
+    ) -> SimulationResult:
+        """Simulate ``n_trials`` games of the symmetric profile ``strategy``."""
+        n_trials = check_positive_integer(n_trials, "n_trials")
+        generator = as_generator(rng)
+        m = self.values.size
+        probabilities = strategy.as_array()
+        if probabilities.size != m:
+            raise ValueError("strategy and values must cover the same number of sites")
+
+        coverage_sum = 0.0
+        coverage_sq_sum = 0.0
+        payoff_sum = 0.0
+        payoff_sq_sum = 0.0
+        collisions = 0
+        sites_visited_sum = 0.0
+        occupancy_histogram = np.zeros(self.k + 1, dtype=np.int64)
+        site_visits = np.zeros(m, dtype=np.int64)
+
+        remaining = n_trials
+        while remaining > 0:
+            batch = min(remaining, self.batch_size)
+            choices = self._simulate_choices(probabilities, batch, generator)
+            occupancy = self._occupancies(choices)
+
+            visited = occupancy > 0
+            coverage_batch = visited @ self.values
+            coverage_sum += float(coverage_batch.sum())
+            coverage_sq_sum += float((coverage_batch**2).sum())
+            sites_visited_sum += float(visited.sum())
+            site_visits += visited.sum(axis=0)
+
+            # Occupancy of the site chosen by each player, then its payoff.
+            player_occupancy = np.take_along_axis(occupancy, choices, axis=1)
+            player_payoffs = self.values[choices] * self._congestion_table[player_occupancy - 1]
+            per_trial_payoff = player_payoffs.mean(axis=1)
+            payoff_sum += float(per_trial_payoff.sum())
+            payoff_sq_sum += float((per_trial_payoff**2).sum())
+            collisions += int((player_occupancy > 1).sum())
+
+            histogram = np.bincount(occupancy.ravel(), minlength=self.k + 1)
+            occupancy_histogram += histogram[: self.k + 1]
+
+            remaining -= batch
+
+        coverage_mean = coverage_sum / n_trials
+        coverage_var = max(coverage_sq_sum / n_trials - coverage_mean**2, 0.0)
+        payoff_mean = payoff_sum / n_trials
+        payoff_var = max(payoff_sq_sum / n_trials - payoff_mean**2, 0.0)
+        return SimulationResult(
+            n_trials=n_trials,
+            k=self.k,
+            coverage_mean=coverage_mean,
+            coverage_sem=float(np.sqrt(coverage_var / n_trials)),
+            payoff_mean=payoff_mean,
+            payoff_sem=float(np.sqrt(payoff_var / n_trials)),
+            collision_rate=collisions / (n_trials * self.k),
+            sites_visited_mean=sites_visited_sum / n_trials,
+            occupancy_histogram=occupancy_histogram,
+            site_visit_frequencies=site_visits / n_trials,
+        )
+
+    def run_profile(
+        self,
+        strategies: Sequence[Strategy],
+        n_trials: int,
+        rng: np.random.Generator | int | None = None,
+    ) -> ProfileSimulationResult:
+        """Simulate a (possibly asymmetric) strategy profile, one strategy per player."""
+        n_trials = check_positive_integer(n_trials, "n_trials")
+        if len(strategies) != self.k:
+            raise ValueError(f"expected {self.k} strategies, got {len(strategies)}")
+        generator = as_generator(rng)
+        m = self.values.size
+
+        coverage_sum = 0.0
+        coverage_sq_sum = 0.0
+        payoff_sum = np.zeros(self.k)
+        payoff_sq_sum = np.zeros(self.k)
+
+        remaining = n_trials
+        while remaining > 0:
+            batch = min(remaining, self.batch_size)
+            choices = np.column_stack(
+                [
+                    generator.choice(m, size=batch, p=strategy.as_array())
+                    for strategy in strategies
+                ]
+            )
+            occupancy = self._occupancies(choices)
+            visited = occupancy > 0
+            coverage_batch = visited @ self.values
+            coverage_sum += float(coverage_batch.sum())
+            coverage_sq_sum += float((coverage_batch**2).sum())
+
+            player_occupancy = np.take_along_axis(occupancy, choices, axis=1)
+            player_payoffs = self.values[choices] * self._congestion_table[player_occupancy - 1]
+            payoff_sum += player_payoffs.sum(axis=0)
+            payoff_sq_sum += (player_payoffs**2).sum(axis=0)
+            remaining -= batch
+
+        coverage_mean = coverage_sum / n_trials
+        coverage_var = max(coverage_sq_sum / n_trials - coverage_mean**2, 0.0)
+        payoff_means = payoff_sum / n_trials
+        payoff_vars = np.maximum(payoff_sq_sum / n_trials - payoff_means**2, 0.0)
+        return ProfileSimulationResult(
+            n_trials=n_trials,
+            k=self.k,
+            coverage_mean=coverage_mean,
+            coverage_sem=float(np.sqrt(coverage_var / n_trials)),
+            player_payoff_means=payoff_means,
+            player_payoff_sems=np.sqrt(payoff_vars / n_trials),
+        )
+
+
+def simulate_dispersal(
+    values: SiteValues | np.ndarray,
+    strategy: Strategy,
+    k: int,
+    policy: CongestionPolicy,
+    n_trials: int,
+    rng: np.random.Generator | int | None = None,
+    **kwargs,
+) -> SimulationResult:
+    """One-call convenience wrapper around :class:`DispersalSimulator.run`."""
+    return DispersalSimulator(values, k, policy, **kwargs).run(strategy, n_trials, rng)
+
+
+def simulate_profile(
+    values: SiteValues | np.ndarray,
+    strategies: Sequence[Strategy],
+    policy: CongestionPolicy,
+    n_trials: int,
+    rng: np.random.Generator | int | None = None,
+    **kwargs,
+) -> ProfileSimulationResult:
+    """One-call convenience wrapper around :class:`DispersalSimulator.run_profile`."""
+    return DispersalSimulator(values, len(strategies), policy, **kwargs).run_profile(
+        strategies, n_trials, rng
+    )

@@ -1,0 +1,40 @@
+"""Shared utilities: numerics, validation, formatting and lightweight I/O.
+
+These helpers are deliberately dependency-free (NumPy only) and are used by
+every other subpackage.  Nothing in here is specific to the dispersal game.
+"""
+
+from repro.utils.numerics import (
+    assert_shape,
+    binomial_pmf_matrix,
+    clip_probability,
+    is_non_increasing,
+    safe_power,
+    simplex_projection,
+)
+from repro.utils.validation import (
+    check_integer,
+    check_positive_integer,
+    check_probability,
+    check_probability_vector,
+    check_value_vector,
+)
+from repro.utils.tables import format_table
+from repro.utils.io import write_csv, read_csv
+
+__all__ = [
+    "assert_shape",
+    "binomial_pmf_matrix",
+    "clip_probability",
+    "is_non_increasing",
+    "safe_power",
+    "simplex_projection",
+    "check_integer",
+    "check_positive_integer",
+    "check_probability",
+    "check_probability_vector",
+    "check_value_vector",
+    "format_table",
+    "write_csv",
+    "read_csv",
+]

@@ -1,0 +1,61 @@
+"""Minimal CSV helpers for the experiment harness.
+
+The benchmark and analysis code writes its numeric series to CSV so results
+can be inspected or re-plotted outside this environment.  Only the tiny
+subset of CSV functionality we need is implemented (floats and strings, comma
+separated, header row), keeping the dependency footprint at zero.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["write_csv", "read_csv", "write_series"]
+
+
+def write_csv(
+    path: str | Path,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> Path:
+    """Write ``rows`` under ``headers`` to ``path`` and return the path."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with out.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(headers))
+        for row in rows:
+            writer.writerow(list(row))
+    return out
+
+
+def write_series(path: str | Path, series: Mapping[str, Sequence[float]]) -> Path:
+    """Write a dict of equal-length numeric columns to CSV.
+
+    Raises ``ValueError`` when columns have mismatched lengths.
+    """
+    if not series:
+        raise ValueError("series must not be empty")
+    lengths = {name: len(col) for name, col in series.items()}
+    distinct = set(lengths.values())
+    if len(distinct) != 1:
+        raise ValueError(f"columns have mismatched lengths: {lengths}")
+    names = list(series.keys())
+    columns = [np.asarray(series[name], dtype=float) for name in names]
+    rows = [[float(col[i]) for col in columns] for i in range(distinct.pop())]
+    return write_csv(path, names, rows)
+
+
+def read_csv(path: str | Path) -> tuple[list[str], list[list[str]]]:
+    """Read a CSV produced by :func:`write_csv`; returns ``(headers, rows)``."""
+    src = Path(path)
+    with src.open("r", newline="") as handle:
+        reader = csv.reader(handle)
+        rows = list(reader)
+    if not rows:
+        raise ValueError(f"{src} is empty")
+    return rows[0], rows[1:]

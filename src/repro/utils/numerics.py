@@ -1,0 +1,290 @@
+"""Numerical helper routines used throughout the library.
+
+The functions here follow the vectorisation guidance of the scientific-Python
+performance guides: array-level operations, broadcasting instead of Python
+loops, and in-place updates where it matters.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "assert_shape",
+    "binomial_pmf_matrix",
+    "clip_probability",
+    "is_non_increasing",
+    "safe_power",
+    "simplex_projection",
+    "monotone_bisection",
+    "vectorized_bisection",
+    "log_factorial",
+    "binomial_coefficients",
+]
+
+#: Default absolute tolerance used by verification helpers across the library.
+DEFAULT_ATOL = 1e-9
+
+
+def assert_shape(array: np.ndarray, shape: tuple[int, ...], name: str = "array") -> None:
+    """Raise ``ValueError`` if ``array`` does not have exactly ``shape``.
+
+    Parameters
+    ----------
+    array:
+        Array to check.
+    shape:
+        Expected shape.  Use ``-1`` for a dimension whose size is not checked.
+    name:
+        Name used in the error message.
+    """
+    if array.ndim != len(shape):
+        raise ValueError(
+            f"{name} must have {len(shape)} dimensions, got {array.ndim}"
+        )
+    for axis, (actual, expected) in enumerate(zip(array.shape, shape)):
+        if expected != -1 and actual != expected:
+            raise ValueError(
+                f"{name} has size {actual} along axis {axis}, expected {expected}"
+            )
+
+
+def clip_probability(p: np.ndarray | float, eps: float = 0.0) -> np.ndarray | float:
+    """Clip probabilities into ``[eps, 1 - eps]`` (and always into ``[0, 1]``).
+
+    Useful before taking logarithms or powers of ``1 - p``.
+    """
+    lo = max(0.0, eps)
+    hi = min(1.0, 1.0 - eps) if eps > 0 else 1.0
+    return np.clip(p, lo, hi)
+
+
+def is_non_increasing(values: Sequence[float] | np.ndarray, atol: float = DEFAULT_ATOL) -> bool:
+    """Return ``True`` when ``values`` is non-increasing up to tolerance ``atol``."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size <= 1:
+        return True
+    return bool(np.all(np.diff(arr) <= atol))
+
+
+def safe_power(base: np.ndarray | float, exponent: float) -> np.ndarray:
+    """Compute ``base ** exponent`` for non-negative ``base`` without warnings.
+
+    ``0 ** negative`` is mapped to ``+inf`` and ``0 ** 0`` to ``1`` which is the
+    convention the closed-form IFD formulas rely on (a zero-valued site is
+    never part of the support).
+    """
+    arr = np.atleast_1d(np.asarray(base, dtype=float))
+    if np.any(arr < 0):
+        raise ValueError("safe_power expects non-negative bases")
+    out = np.empty_like(arr)
+    positive = arr > 0
+    out[positive] = np.power(arr[positive], exponent)
+    if exponent < 0:
+        out[~positive] = np.inf
+    elif exponent == 0:
+        out[~positive] = 1.0
+    else:
+        out[~positive] = 0.0
+    if np.isscalar(base) or np.asarray(base).ndim == 0:
+        return out.reshape(())
+    return out
+
+
+def log_factorial(n: int) -> np.ndarray:
+    """Return an array ``lf`` with ``lf[i] = log(i!)`` for ``i = 0 .. n``."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    out = np.zeros(n + 1, dtype=float)
+    if n >= 1:
+        out[1:] = np.cumsum(np.log(np.arange(1, n + 1, dtype=float)))
+    return out
+
+
+def binomial_coefficients(n: int) -> np.ndarray:
+    """Return the row ``[C(n, 0), ..., C(n, n)]`` of Pascal's triangle as floats."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    lf = log_factorial(n)
+    j = np.arange(n + 1)
+    return np.exp(lf[n] - lf[j] - lf[n - j])
+
+
+def binomial_pmf_matrix(n: int, probs: np.ndarray) -> np.ndarray:
+    """Binomial probability mass functions for many success probabilities at once.
+
+    Parameters
+    ----------
+    n:
+        Number of trials (``n >= 0``).
+    probs:
+        1-D array of success probabilities, one per "site".
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``(len(probs), n + 1)``; entry ``[i, j]`` is
+        ``P[Binomial(n, probs[i]) = j]``.
+
+    Notes
+    -----
+    Computed with a stable direct product formula (no ``scipy`` dependency in
+    the hot path) and fully vectorised over sites.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    p = np.asarray(probs, dtype=float)
+    if p.ndim != 1:
+        raise ValueError("probs must be a 1-D array")
+    if np.any((p < -1e-12) | (p > 1 + 1e-12)):
+        raise ValueError("probs must lie in [0, 1]")
+    p = np.clip(p, 0.0, 1.0)
+    if n == 0:
+        return np.ones((p.size, 1), dtype=float)
+
+    j = np.arange(n + 1)
+    coeffs = binomial_coefficients(n)
+    # Guard the 0 ** 0 corner with explicit where= masks.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        p_col = p[:, None]
+        pow_p = np.where(j[None, :] == 0, 1.0, p_col ** j[None, :])
+        pow_q = np.where((n - j)[None, :] == 0, 1.0, (1.0 - p_col) ** (n - j)[None, :])
+    pmf = coeffs[None, :] * pow_p * pow_q
+    # Clean up tiny negative round-off and renormalise rows.
+    pmf = np.clip(pmf, 0.0, None)
+    row_sums = pmf.sum(axis=1, keepdims=True)
+    # A row sum can only deviate from 1 by floating error; avoid division by 0.
+    row_sums[row_sums == 0.0] = 1.0
+    return pmf / row_sums
+
+
+def simplex_projection(v: np.ndarray) -> np.ndarray:
+    """Project ``v`` onto the probability simplex (Euclidean projection).
+
+    Implements the sort-based algorithm of Held, Wolfe & Crowder (1974) /
+    Duchi et al. (2008).  Runs in ``O(M log M)``.
+    """
+    vec = np.asarray(v, dtype=float).ravel()
+    if vec.size == 0:
+        raise ValueError("cannot project an empty vector")
+    u = np.sort(vec)[::-1]
+    css = np.cumsum(u)
+    idx = np.arange(1, vec.size + 1)
+    cond = u - (css - 1.0) / idx > 0
+    if not np.any(cond):
+        # Degenerate numerical case: fall back to uniform.
+        return np.full_like(vec, 1.0 / vec.size)
+    rho = np.nonzero(cond)[0][-1]
+    theta = (css[rho] - 1.0) / (rho + 1.0)
+    out = np.maximum(vec - theta, 0.0)
+    total = out.sum()
+    if total <= 0:
+        return np.full_like(vec, 1.0 / vec.size)
+    return out / total
+
+
+def monotone_bisection(
+    func,
+    lo: float,
+    hi: float,
+    target: float = 0.0,
+    *,
+    increasing: bool = True,
+    tol: float = 1e-12,
+    max_iter: int = 200,
+) -> float:
+    """Find ``x`` in ``[lo, hi]`` with ``func(x) ~= target`` for a monotone ``func``.
+
+    Parameters
+    ----------
+    func:
+        Scalar monotone function.
+    lo, hi:
+        Bracketing interval; ``func`` is evaluated at both ends and the target
+        must lie between them (up to tolerance), otherwise the closest end is
+        returned.
+    increasing:
+        Direction of monotonicity.
+    tol:
+        Termination tolerance on the interval width.
+    max_iter:
+        Hard cap on the number of bisection steps.
+    """
+    if hi < lo:
+        raise ValueError("hi must be >= lo")
+    f_lo = func(lo) - target
+    f_hi = func(hi) - target
+    if not increasing:
+        f_lo, f_hi = -f_lo, -f_hi
+    if f_lo >= 0:
+        return lo
+    if f_hi <= 0:
+        return hi
+    a, b = lo, hi
+    for _ in range(max_iter):
+        mid = 0.5 * (a + b)
+        f_mid = func(mid) - target
+        if not increasing:
+            f_mid = -f_mid
+        if f_mid >= 0:
+            b = mid
+        else:
+            a = mid
+        if b - a <= tol * max(1.0, abs(b)):
+            break
+    return 0.5 * (a + b)
+
+
+def vectorized_bisection(
+    func,
+    lo: np.ndarray,
+    hi: np.ndarray,
+    *,
+    increasing: bool = True,
+    tol: float = 1e-12,
+    max_iter: int = 200,
+) -> np.ndarray:
+    """Vectorised bisection for root finding of element-wise monotone functions.
+
+    ``func`` maps an array ``x`` to an array of residuals of the same shape; a
+    root is sought independently for every element.  Elements whose bracket
+    does not contain a sign change converge to the nearest endpoint.
+    """
+    a = np.array(lo, dtype=float, copy=True)
+    b = np.array(hi, dtype=float, copy=True)
+    if a.shape != b.shape:
+        raise ValueError("lo and hi must have identical shapes")
+    sign = 1.0 if increasing else -1.0
+    f_a = sign * np.asarray(func(a), dtype=float)
+    f_b = sign * np.asarray(func(b), dtype=float)
+    # Clamp degenerate brackets to the closest endpoint.
+    done_lo = f_a >= 0
+    done_hi = f_b <= 0
+    for _ in range(max_iter):
+        mid = 0.5 * (a + b)
+        f_mid = sign * np.asarray(func(mid), dtype=float)
+        go_left = f_mid >= 0
+        b = np.where(go_left, mid, b)
+        a = np.where(go_left, a, mid)
+        if np.all(b - a <= tol * np.maximum(1.0, np.abs(b))):
+            break
+    out = 0.5 * (a + b)
+    out = np.where(done_lo, lo, out)
+    out = np.where(done_hi & ~done_lo, hi, out)
+    return out
+
+
+def weighted_average(values: Iterable[float], weights: Iterable[float]) -> float:
+    """Weighted average with validation; weights must be non-negative and not all zero."""
+    v = np.asarray(list(values), dtype=float)
+    w = np.asarray(list(weights), dtype=float)
+    if v.shape != w.shape:
+        raise ValueError("values and weights must have identical shapes")
+    if np.any(w < 0):
+        raise ValueError("weights must be non-negative")
+    total = w.sum()
+    if total == 0:
+        raise ValueError("weights must not all be zero")
+    return float(np.dot(v, w) / total)

@@ -1,0 +1,68 @@
+"""Plain-text table formatting for experiment reports.
+
+The offline environment has no plotting backend, so experiment harnesses in
+:mod:`repro.analysis` print aligned text tables (and ASCII plots) instead.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_float"]
+
+
+def format_float(value: float, precision: int = 6) -> str:
+    """Format a float compactly (fixed precision, trimmed trailing zeros)."""
+    if value != value:  # NaN
+        return "nan"
+    text = f"{value:.{precision}f}"
+    if "." in text:
+        text = text.rstrip("0").rstrip(".")
+    return text if text else "0"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    precision: int = 6,
+    align_right: bool = True,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned, pipe-separated text table.
+
+    Floats are formatted with :func:`format_float`; everything else with
+    ``str``.  The output is stable (no locale dependence) so it can be used in
+    golden-file style assertions.
+    """
+    header_cells = [str(h) for h in headers]
+    body: list[list[str]] = []
+    for row in rows:
+        cells = []
+        for cell in row:
+            if isinstance(cell, bool):
+                cells.append(str(cell))
+            elif isinstance(cell, float):
+                cells.append(format_float(cell, precision))
+            else:
+                cells.append(str(cell))
+        if len(cells) != len(header_cells):
+            raise ValueError(
+                f"row {cells!r} has {len(cells)} cells, expected {len(header_cells)}"
+            )
+        body.append(cells)
+
+    widths = [len(h) for h in header_cells]
+    for cells in body:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        padded = []
+        for cell, width in zip(cells, widths):
+            padded.append(cell.rjust(width) if align_right else cell.ljust(width))
+        return " | ".join(padded)
+
+    lines = [render_row(header_cells)]
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(render_row(cells) for cells in body)
+    return "\n".join(lines)

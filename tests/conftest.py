@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.policies import (
+    AggressivePolicy,
+    ConstantPolicy,
+    ExclusivePolicy,
+    ExponentialPolicy,
+    PowerLawPolicy,
+    SharingPolicy,
+    TwoLevelPolicy,
+)
+from repro.core.values import SiteValues
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator shared by stochastic tests."""
+    return np.random.default_rng(20180503)  # arXiv submission date of the paper
+
+
+@pytest.fixture
+def small_values() -> SiteValues:
+    """A small, strictly decreasing instance used across unit tests."""
+    return SiteValues.from_values([1.0, 0.6, 0.3, 0.15])
+
+
+@pytest.fixture
+def figure1_left() -> SiteValues:
+    """The left panel instance of Figure 1: f = (1, 0.3)."""
+    return SiteValues.two_sites(0.3)
+
+
+@pytest.fixture
+def figure1_right() -> SiteValues:
+    """The right panel instance of Figure 1: f = (1, 0.5)."""
+    return SiteValues.two_sites(0.5)
+
+
+@pytest.fixture
+def medium_values() -> SiteValues:
+    """A moderately sized Zipf instance."""
+    return SiteValues.zipf(25, exponent=1.0)
+
+
+@pytest.fixture(
+    params=[
+        ExclusivePolicy(),
+        SharingPolicy(),
+        TwoLevelPolicy(0.25),
+        TwoLevelPolicy(-0.25),
+        PowerLawPolicy(2.0),
+        ExponentialPolicy(1.0),
+        AggressivePolicy(0.5),
+    ],
+    ids=["exclusive", "sharing", "two-level(.25)", "two-level(-.25)", "power2", "exp1", "aggressive"],
+)
+def any_policy(request):
+    """Parametrised roster of congestion policies (excluding the constant one)."""
+    return request.param
+
+
+@pytest.fixture(
+    params=[ExclusivePolicy(), SharingPolicy(), ConstantPolicy()],
+    ids=["exclusive", "sharing", "constant"],
+)
+def named_policy(request):
+    """The three policies the paper names explicitly."""
+    return request.param

@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure1_defaults(self):
+        args = build_parser().parse_args(["figure1"])
+        assert args.command == "figure1"
+        assert args.points == 51
+        assert args.output_dir is None
+
+    def test_sweep_policy_choices(self):
+        args = build_parser().parse_args(["sweep", "--policy", "exclusive", "sharing"])
+        assert args.policy == ["exclusive", "sharing"]
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--policy", "nonsense"])
+
+
+class TestCommands:
+    def test_figure1_command(self, capsys, tmp_path):
+        exit_code = main(
+            ["figure1", "--points", "5", "--output-dir", str(tmp_path), "--no-plot"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "peak at c" in captured.out
+        assert "CSV written" in captured.out
+        assert list(tmp_path.glob("figure1_*.csv"))
+
+    def test_observation1_command(self, capsys):
+        assert main(["observation1"]) == 0
+        assert "1 - 1/e" in capsys.readouterr().out
+
+    def test_spoa_command_quick(self, capsys):
+        assert main(["spoa", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "exclusive" in out
+        assert "Theorem 6" in out
+
+    def test_ess_command(self, capsys):
+        assert main(["ess", "--mutants", "3"]) == 0
+        assert "ESS" in capsys.readouterr().out
+
+    def test_sweep_command(self, capsys):
+        assert main(["sweep", "--m", "8", "--policy", "exclusive", "sharing"]) == 0
+        out = capsys.readouterr().out
+        assert "exclusive" in out and "sharing" in out

@@ -1,0 +1,143 @@
+"""Tests for the coverage functional (Eq. 1 of the paper)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coverage import (
+    coverage,
+    coverage_gradient,
+    coverage_upper_bound,
+    expected_sites_visited,
+    full_coordination_coverage,
+    missed_value,
+    missed_value_gradient,
+    site_coverage_probabilities,
+)
+from repro.core.strategy import Strategy
+from repro.core.values import SiteValues
+
+
+def random_instance(rng, m=None, k=None):
+    m = m or int(rng.integers(1, 12))
+    k = k or int(rng.integers(1, 8))
+    values = SiteValues.random(m, rng)
+    strategy = Strategy.random(m, rng)
+    return values, strategy, k
+
+
+class TestCoverage:
+    def test_point_mass_covers_single_site(self):
+        values = SiteValues.from_values([1.0, 0.5])
+        strategy = Strategy.point_mass(2, 0)
+        assert coverage(values, strategy, 3) == pytest.approx(1.0)
+
+    def test_single_player_coverage_is_expected_value(self):
+        values = SiteValues.from_values([1.0, 0.5])
+        strategy = Strategy(np.array([0.25, 0.75]))
+        assert coverage(values, strategy, 1) == pytest.approx(0.25 * 1.0 + 0.75 * 0.5)
+
+    def test_manual_two_player_example(self):
+        values = SiteValues.from_values([1.0, 0.3])
+        strategy = Strategy(np.array([0.6, 0.4]))
+        expected = 1.0 * (1 - 0.4**2) + 0.3 * (1 - 0.6**2)
+        assert coverage(values, strategy, 2) == pytest.approx(expected)
+
+    def test_coverage_plus_missed_value_is_total(self):
+        values = SiteValues.from_values([1.0, 0.6, 0.3])
+        strategy = Strategy(np.array([0.5, 0.3, 0.2]))
+        for k in (1, 2, 5):
+            assert coverage(values, strategy, k) + missed_value(values, strategy, k) == pytest.approx(
+                values.total
+            )
+
+    def test_monotone_in_k(self):
+        values = SiteValues.from_values([1.0, 0.6, 0.3])
+        strategy = Strategy.uniform(3)
+        covers = [coverage(values, strategy, k) for k in range(1, 10)]
+        assert np.all(np.diff(covers) > 0)
+        assert covers[-1] < values.total
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            coverage(SiteValues.uniform(3), Strategy.uniform(2), 2)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            coverage(SiteValues.uniform(2), Strategy.uniform(2), 0)
+
+    def test_accepts_raw_arrays(self):
+        assert coverage(np.array([1.0, 0.5]), np.array([0.5, 0.5]), 2) == pytest.approx(
+            1.0 * 0.75 + 0.5 * 0.75
+        )
+
+    @given(
+        m=st.integers(min_value=1, max_value=10),
+        k=st.integers(min_value=1, max_value=10),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_coverage_bounds(self, m, k, seed):
+        rng = np.random.default_rng(seed)
+        values = SiteValues.random(m, rng)
+        strategy = Strategy.random(m, rng)
+        cover = coverage(values, strategy, k)
+        assert 0.0 <= cover <= values.total + 1e-12
+        # Coverage is at least the single-player expected value.
+        assert cover >= coverage(values, strategy, 1) - 1e-12
+
+
+class TestGradients:
+    def test_gradient_matches_finite_differences(self):
+        rng = np.random.default_rng(0)
+        values, strategy, k = random_instance(rng, m=5, k=4)
+        p = strategy.as_array().copy()
+        grad = coverage_gradient(values, p, k)
+        h = 1e-7
+        for x in range(5):
+            bumped = p.copy()
+            bumped[x] += h
+            numeric = (coverage(values, bumped, k) - coverage(values, p, k)) / h
+            assert grad[x] == pytest.approx(numeric, rel=1e-4, abs=1e-6)
+
+    def test_missed_value_gradient_is_negative_coverage_gradient(self):
+        values = SiteValues.from_values([1.0, 0.5])
+        p = np.array([0.4, 0.6])
+        np.testing.assert_allclose(
+            missed_value_gradient(values, p, 3), -coverage_gradient(values, p, 3)
+        )
+
+    def test_gradient_positive_for_unvisited_sites(self):
+        values = SiteValues.from_values([1.0, 0.5])
+        grad = coverage_gradient(values, np.array([1.0, 0.0]), 2)
+        assert grad[1] > 0
+        assert grad[0] == pytest.approx(0.0)
+
+
+class TestAuxiliaries:
+    def test_site_coverage_probabilities(self):
+        probs = site_coverage_probabilities(Strategy(np.array([0.5, 0.5])), 2)
+        np.testing.assert_allclose(probs, [0.75, 0.75])
+
+    def test_expected_sites_visited_bounds(self):
+        strategy = Strategy.uniform(4)
+        visited = expected_sites_visited(strategy, 3)
+        assert 1.0 <= visited <= 3.0
+
+    def test_expected_sites_visited_single_player(self):
+        assert expected_sites_visited(Strategy.uniform(5), 1) == pytest.approx(1.0)
+
+    def test_coverage_upper_bound(self):
+        values = SiteValues.from_values([1.0, 0.5])
+        assert coverage_upper_bound(values) == pytest.approx(1.5)
+
+    def test_full_coordination_coverage(self):
+        values = SiteValues.from_values([1.0, 0.5, 0.25])
+        assert full_coordination_coverage(values, 2) == pytest.approx(1.5)
+        assert full_coordination_coverage(values, 7) == pytest.approx(1.75)
+
+    def test_full_coordination_on_unsorted_array(self):
+        assert full_coordination_coverage(np.array([0.25, 1.0, 0.5]), 2) == pytest.approx(1.5)

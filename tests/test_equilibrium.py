@@ -1,0 +1,107 @@
+"""Tests for equilibrium verification and pure-equilibrium enumeration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.equilibrium import (
+    count_pure_equilibria,
+    pure_equilibrium_occupancies,
+    symmetric_equilibrium,
+    verify_symmetric_equilibrium,
+)
+from repro.core.ifd import ideal_free_distribution
+from repro.core.policies import ConstantPolicy, ExclusivePolicy, SharingPolicy
+from repro.core.sigma_star import sigma_star
+from repro.core.strategy import Strategy
+from repro.core.values import SiteValues
+
+
+class TestVerifySymmetricEquilibrium:
+    def test_accepts_ifd(self, small_values, any_policy):
+        result = ideal_free_distribution(small_values, 3, any_policy)
+        report = verify_symmetric_equilibrium(
+            small_values, result.strategy, 3, any_policy, atol=1e-6
+        )
+        assert report.is_equilibrium
+        assert report.exploitability <= 1e-6
+        assert report.support_size == result.support_size
+
+    def test_rejects_non_equilibrium(self, small_values):
+        report = verify_symmetric_equilibrium(
+            small_values, Strategy.uniform(4), 3, SharingPolicy()
+        )
+        assert not report.is_equilibrium
+        assert report.exploitability > 0
+        assert 0 in report.best_response_sites
+
+    def test_symmetric_equilibrium_wrapper(self, small_values):
+        direct = ideal_free_distribution(small_values, 3, ExclusivePolicy())
+        wrapped = symmetric_equilibrium(small_values, 3, ExclusivePolicy())
+        np.testing.assert_allclose(
+            direct.strategy.as_array(), wrapped.strategy.as_array()
+        )
+
+    def test_equilibrium_payoff_reported(self, small_values):
+        star = sigma_star(small_values, 3)
+        report = verify_symmetric_equilibrium(
+            small_values, star.strategy, 3, ExclusivePolicy()
+        )
+        assert report.equilibrium_payoff == pytest.approx(star.equilibrium_value, abs=1e-12)
+
+
+class TestPureEquilibria:
+    def test_two_players_two_distinct_sites_exclusive(self):
+        # f = (1, 0.6): under the exclusive policy the only stable pure
+        # occupancy is one player on each site.
+        values = SiteValues.from_values([1.0, 0.6])
+        equilibria = pure_equilibrium_occupancies(values, 2, ExclusivePolicy())
+        assert len(equilibria) == 1
+        np.testing.assert_array_equal(equilibria[0], [1, 1])
+
+    def test_two_players_steep_values_sharing(self):
+        # f = (1, 0.2): sharing the top site (0.5 each) beats moving to 0.2, so
+        # both players on site 1 is also a pure equilibrium.
+        values = SiteValues.from_values([1.0, 0.2])
+        equilibria = pure_equilibrium_occupancies(values, 2, SharingPolicy())
+        occupancies = {tuple(occ) for occ in equilibria}
+        assert (2, 0) in occupancies
+
+    def test_sharing_flat_values_spread(self):
+        values = SiteValues.from_values([1.0, 0.9])
+        equilibria = pure_equilibrium_occupancies(values, 2, SharingPolicy())
+        occupancies = {tuple(occ) for occ in equilibria}
+        assert (1, 1) in occupancies
+        assert (2, 0) not in occupancies
+
+    def test_constant_policy_all_on_top(self, small_values):
+        equilibria = pure_equilibrium_occupancies(small_values, 3, ConstantPolicy())
+        occupancies = {tuple(occ) for occ in equilibria}
+        assert (3, 0, 0, 0) in occupancies
+        # Any profile with someone away from the top site is unstable.
+        assert all(occ[0] > 0 for occ in equilibria)
+
+    def test_exclusive_equilibria_spread_players(self, small_values):
+        # With k <= M and the exclusive policy, pure equilibria never stack
+        # players (a stacked player earns 0 and can move to an empty site).
+        equilibria = pure_equilibrium_occupancies(small_values, 3, ExclusivePolicy())
+        assert equilibria, "expected at least one pure equilibrium"
+        for occ in equilibria:
+            assert occ.max() == 1
+
+    def test_count_matches_enumeration(self, small_values):
+        count = count_pure_equilibria(small_values, 2, ExclusivePolicy())
+        assert count == len(pure_equilibrium_occupancies(small_values, 2, ExclusivePolicy()))
+
+    def test_large_instance_rejected(self):
+        values = SiteValues.uniform(200)
+        with pytest.raises(ValueError):
+            pure_equilibrium_occupancies(values, 20, ExclusivePolicy())
+
+    def test_pure_equilibria_count_grows_with_symmetry(self):
+        # Many sites of equal value: every spread assignment is an equilibrium,
+        # illustrating the paper's remark that pure equilibria are numerous.
+        values = SiteValues.uniform(6)
+        count = count_pure_equilibria(values, 3, ExclusivePolicy())
+        assert count == 20  # C(6, 3) occupancy patterns with one player per site

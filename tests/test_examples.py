@@ -1,0 +1,50 @@
+"""Smoke tests: the example scripts run end-to-end and print sensible output.
+
+The Figure 1 sweep example (`competition_sweep.py`) is exercised through its
+underlying harness in ``tests/test_analysis.py`` instead of here, because the
+full 51-point sweep is too slow for the unit-test suite.
+"""
+
+from __future__ import annotations
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    """Execute an example script as ``__main__`` and return its stdout."""
+    runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+@pytest.mark.parametrize(
+    "script, expected_phrases",
+    [
+        ("quickstart.py", ["sigma_star", "Simulated coverage", "ESS audit"]),
+        ("animal_foraging.py", ["social rule", "exclusive conflict", "coverage"]),
+        ("research_grants.py", ["mechanism", "exclusive credit", "laissez-faire"]),
+        ("parallel_search.py", ["round strategy", "sigma_star", "expected rounds"]),
+        ("two_species.py", ["species feeding first", "first's share"]),
+    ],
+)
+def test_example_runs_and_mentions_key_output(script, expected_phrases, capsys):
+    out = run_example(script, capsys)
+    assert out.strip(), f"{script} produced no output"
+    for phrase in expected_phrases:
+        assert phrase in out, f"{script} output missing {phrase!r}"
+
+
+def test_examples_directory_contains_documented_scripts():
+    scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "animal_foraging.py",
+        "research_grants.py",
+        "competition_sweep.py",
+        "parallel_search.py",
+        "two_species.py",
+    } <= scripts

@@ -1,0 +1,96 @@
+"""Tests for the DispersalGame facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.game import DispersalGame
+from repro.core.ifd import ideal_free_distribution
+from repro.core.optimal_coverage import optimal_coverage
+from repro.core.policies import ExclusivePolicy, SharingPolicy
+from repro.core.sigma_star import sigma_star
+from repro.core.strategy import Strategy
+from repro.core.values import SiteValues
+
+
+class TestConstruction:
+    def test_accepts_lists_and_sitevalues(self):
+        a = DispersalGame([0.5, 1.0, 0.25], k=2)
+        b = DispersalGame(SiteValues.from_values([1.0, 0.5, 0.25]), k=2)
+        np.testing.assert_allclose(a.values.as_array(), b.values.as_array())
+        assert a.m == 3
+
+    def test_default_policy_is_exclusive(self, small_values):
+        game = DispersalGame(small_values, k=3)
+        assert game.policy.is_exclusive(3)
+
+    def test_rejects_bad_k(self, small_values):
+        with pytest.raises(ValueError):
+            DispersalGame(small_values, k=0)
+
+
+class TestSolutions:
+    def test_equilibrium_matches_module_function(self, small_values):
+        game = DispersalGame(small_values, k=3, policy=SharingPolicy())
+        direct = ideal_free_distribution(small_values, 3, SharingPolicy())
+        assert game.equilibrium().strategy == direct.strategy
+        assert game.equilibrium_payoff() == pytest.approx(direct.value)
+
+    def test_optimal_strategy_is_sigma_star(self, small_values):
+        game = DispersalGame(small_values, k=4)
+        star = sigma_star(small_values, 4)
+        assert game.optimal_strategy() == star.strategy
+        assert game.optimal_coverage() == pytest.approx(optimal_coverage(small_values, 4))
+
+    def test_equilibrium_is_cached(self, small_values):
+        game = DispersalGame(small_values, k=3)
+        assert game.equilibrium() is game.equilibrium()
+
+    def test_exclusive_poa_is_one(self, small_values):
+        game = DispersalGame(small_values, k=3, policy=ExclusivePolicy())
+        assert game.price_of_anarchy() == pytest.approx(1.0, abs=1e-9)
+        assert game.equilibrium().strategy == game.optimal_strategy()
+
+    def test_sharing_poa_above_one(self, small_values):
+        game = DispersalGame(small_values, k=3, policy=SharingPolicy())
+        assert game.price_of_anarchy() > 1.0
+
+
+class TestQuantities:
+    def test_coverage_and_exploitability(self, small_values):
+        game = DispersalGame(small_values, k=3)
+        uniform = Strategy.uniform(4)
+        assert game.coverage_of(uniform) < game.optimal_coverage()
+        assert game.exploitability_of(uniform) > 0
+        assert game.exploitability_of(game.equilibrium().strategy) == pytest.approx(0.0, abs=1e-9)
+
+    def test_site_values_shape(self, small_values):
+        game = DispersalGame(small_values, k=3)
+        nu = game.site_values_at(Strategy.uniform(4))
+        assert nu.shape == (4,)
+
+    def test_full_coordination_and_welfare(self, small_values):
+        game = DispersalGame(small_values, k=2, policy=SharingPolicy())
+        assert game.full_coordination_coverage() == pytest.approx(1.6)
+        welfare = game.welfare_optimum(restarts=2, max_iter=200)
+        assert welfare.welfare > 0
+
+    def test_ess_audit_for_exclusive(self, small_values):
+        game = DispersalGame(small_values, k=3)
+        report = game.ess_audit(n_random_mutants=5, rng=0)
+        assert report.is_ess
+
+    def test_simulation_defaults_to_equilibrium(self, small_values):
+        game = DispersalGame(small_values, k=3)
+        result = game.simulate(5_000, rng=0)
+        assert abs(result.coverage_mean - game.equilibrium_coverage()) < 6 * result.coverage_sem
+
+    def test_with_policy_and_with_players(self, small_values):
+        game = DispersalGame(small_values, k=3)
+        sharing = game.with_policy(SharingPolicy())
+        assert sharing.policy.name == "sharing"
+        assert sharing.k == 3
+        bigger = game.with_players(5)
+        assert bigger.k == 5
+        assert bigger.policy.is_exclusive(5)

@@ -1,0 +1,157 @@
+"""Tests for the general IFD solver (Observation 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ifd import ideal_free_distribution, verify_ifd
+from repro.core.payoffs import exploitability, site_values
+from repro.core.policies import (
+    AggressivePolicy,
+    ConstantPolicy,
+    ExclusivePolicy,
+    PowerLawPolicy,
+    SharingPolicy,
+    TwoLevelPolicy,
+)
+from repro.core.sigma_star import sigma_star
+from repro.core.strategy import Strategy
+from repro.core.values import SiteValues
+
+
+class TestSolver:
+    def test_matches_closed_form_for_exclusive(self, small_values):
+        for k in (2, 3, 6):
+            closed = sigma_star(small_values, k)
+            numeric = ideal_free_distribution(
+                small_values, k, ExclusivePolicy(), use_closed_form=False
+            )
+            np.testing.assert_allclose(
+                numeric.strategy.as_array(), closed.strategy.as_array(), atol=1e-8
+            )
+            assert numeric.value == pytest.approx(closed.equilibrium_value, abs=1e-8)
+
+    def test_closed_form_fast_path_flag(self, small_values):
+        fast = ideal_free_distribution(small_values, 3, ExclusivePolicy(), use_closed_form=True)
+        assert fast.iterations == 0
+
+    def test_single_player(self, small_values, any_policy):
+        result = ideal_free_distribution(small_values, 1, any_policy)
+        assert result.strategy == Strategy.point_mass(4, 0)
+        assert result.value == pytest.approx(small_values[0])
+
+    def test_ifd_conditions_hold(self, small_values, any_policy):
+        for k in (2, 3, 5):
+            result = ideal_free_distribution(small_values, k, any_policy)
+            report = verify_ifd(small_values, result.strategy, k, any_policy, atol=1e-6)
+            assert report.is_ifd, (any_policy.name, k, report)
+
+    def test_is_symmetric_nash(self, small_values, any_policy):
+        result = ideal_free_distribution(small_values, 4, any_policy)
+        gap = exploitability(small_values, result.strategy, 4, any_policy)
+        assert gap <= 1e-6
+
+    def test_sharing_two_sites_closed_form(self):
+        # k=2, sharing, f=(1, f2): interior equilibrium satisfies
+        # 1 - p/2 = f2 (1 - (1-p)/2)  =>  p = (2 - f2) / (1 + f2) when <= 1.
+        f2 = 0.8
+        values = SiteValues.two_sites(f2)
+        result = ideal_free_distribution(values, 2, SharingPolicy())
+        expected_p1 = (2 - f2) / (1 + f2) / 2  # solve 1*(1 - p1/2) = f2*(1 - p2/2), p2 = 1-p1
+        # Derive directly: 1 - p1/2 = f2(1 - (1-p1)/2) -> 1 - p1/2 = f2(1+p1)/2... solve numerically instead
+        p1 = result.strategy.as_array()[0]
+        nu = site_values(values, result.strategy, 2, SharingPolicy())
+        assert nu[0] == pytest.approx(nu[1], abs=1e-9)
+        assert 0.5 < p1 < 1.0
+
+    def test_sharing_concentrates_more_than_exclusive(self, small_values):
+        # Sharing punishes collisions less, so the equilibrium piles more mass
+        # on the top site than the exclusive equilibrium does.
+        k = 3
+        sharing = ideal_free_distribution(small_values, k, SharingPolicy())
+        exclusive = ideal_free_distribution(small_values, k, ExclusivePolicy())
+        assert sharing.strategy.as_array()[0] > exclusive.strategy.as_array()[0]
+
+    def test_aggressive_spreads_more_than_exclusive(self, small_values):
+        # Negative collision payoffs push players away from the top site even
+        # harder than the exclusive policy does.
+        k = 3
+        aggressive = ideal_free_distribution(small_values, k, AggressivePolicy(0.5))
+        exclusive = ideal_free_distribution(small_values, k, ExclusivePolicy())
+        assert aggressive.strategy.as_array()[0] < exclusive.strategy.as_array()[0]
+        assert aggressive.support_size >= exclusive.support_size
+
+    def test_constant_policy_concentrates_on_best_site(self, small_values):
+        result = ideal_free_distribution(small_values, 4, ConstantPolicy())
+        assert result.strategy == Strategy.point_mass(4, 0)
+        assert result.value == pytest.approx(small_values[0])
+
+    def test_constant_policy_with_ties_spreads_over_argmax(self):
+        values = SiteValues.from_values([1.0, 1.0, 0.5])
+        result = ideal_free_distribution(values, 3, ConstantPolicy())
+        np.testing.assert_allclose(result.strategy.as_array(), [0.5, 0.5, 0.0])
+
+    def test_uniform_values_give_uniform_ifd(self, any_policy):
+        values = SiteValues.uniform(5)
+        result = ideal_free_distribution(values, 3, any_policy)
+        np.testing.assert_allclose(result.strategy.as_array(), 0.2, atol=1e-7)
+
+    def test_single_site(self, any_policy):
+        values = SiteValues.uniform(1)
+        result = ideal_free_distribution(values, 3, any_policy)
+        assert result.strategy.as_array()[0] == pytest.approx(1.0)
+
+    def test_support_size_field_consistent(self, small_values, any_policy):
+        result = ideal_free_distribution(small_values, 3, any_policy)
+        assert result.support_size == int(np.count_nonzero(result.strategy.as_array() > 1e-12))
+
+    def test_rejects_bad_k(self, small_values):
+        with pytest.raises(ValueError):
+            ideal_free_distribution(small_values, 0, SharingPolicy())
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2000),
+        m=st.integers(min_value=2, max_value=15),
+        k=st.integers(min_value=2, max_value=8),
+        c=st.floats(min_value=-0.75, max_value=0.9),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_two_level_ifd_properties(self, seed, m, k, c):
+        values = SiteValues.random(m, np.random.default_rng(seed))
+        policy = TwoLevelPolicy(c)
+        result = ideal_free_distribution(values, k, policy)
+        probs = result.strategy.as_array()
+        assert probs.sum() == pytest.approx(1.0, abs=1e-6)
+        report = verify_ifd(values, result.strategy, k, policy, atol=1e-5)
+        assert report.is_ifd
+
+    @given(
+        gamma=st.floats(min_value=0.1, max_value=4.0),
+        k=st.integers(min_value=2, max_value=6),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_power_law_equilibrium_value_positive(self, gamma, k):
+        values = SiteValues.zipf(8)
+        result = ideal_free_distribution(values, k, PowerLawPolicy(gamma))
+        assert result.value > 0
+
+
+class TestVerifyIFD:
+    def test_accepts_true_ifd(self, small_values):
+        result = sigma_star(small_values, 3)
+        report = verify_ifd(small_values, result.strategy, 3, ExclusivePolicy())
+        assert report.is_ifd
+        assert report.support_size == result.support_size
+        assert report.support_value_spread < 1e-10
+
+    def test_rejects_non_ifd(self, small_values):
+        report = verify_ifd(small_values, Strategy.point_mass(4, 3), 3, ExclusivePolicy())
+        assert not report.is_ifd
+        assert report.max_outside_advantage > 0
+
+    def test_rejects_uniform_on_decreasing_values(self, small_values):
+        report = verify_ifd(small_values, Strategy.uniform(4), 3, SharingPolicy())
+        assert not report.is_ifd

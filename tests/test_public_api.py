@@ -1,0 +1,61 @@
+"""Smoke tests of the package-level public API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_core_symbols_exported(self):
+        for name in (
+            "SiteValues",
+            "Strategy",
+            "ExclusivePolicy",
+            "SharingPolicy",
+            "sigma_star",
+            "ideal_free_distribution",
+            "coverage",
+            "optimal_coverage",
+            "spoa_instance",
+            "ess_report",
+        ):
+            assert name in repro.__all__
+
+    def test_docstring_example(self):
+        # The example from the package docstring must keep working.
+        f = repro.SiteValues.from_values([1.0, 0.5, 0.25])
+        result = repro.sigma_star(f, k=3)
+        np.testing.assert_allclose(
+            result.strategy.as_array().round(3), [0.547, 0.359, 0.094]
+        )
+        numeric = repro.ideal_free_distribution(f, 3, repro.ExclusivePolicy())
+        assert numeric.strategy == result.strategy
+
+    def test_subpackages_importable(self):
+        import repro.analysis
+        import repro.dynamics
+        import repro.mechanism
+        import repro.search
+        import repro.simulation
+        import repro.utils
+
+        assert repro.analysis and repro.dynamics and repro.mechanism
+        assert repro.search and repro.simulation and repro.utils
+
+    def test_quickstart_workflow(self):
+        values = repro.SiteValues.geometric(8, ratio=0.7)
+        equilibrium = repro.ideal_free_distribution(values, 4, repro.SharingPolicy())
+        assert equilibrium.strategy.as_array().sum() == pytest.approx(1.0)
+        ratio = repro.spoa_instance(values, 4, repro.SharingPolicy()).ratio
+        assert 1.0 <= ratio <= 2.0

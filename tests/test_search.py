@@ -1,0 +1,173 @@
+"""Tests for the Bayesian parallel-search substrate (Korman-Rodeh connection)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.coverage import coverage
+from repro.core.sigma_star import sigma_star
+from repro.core.strategy import Strategy
+from repro.search import (
+    BayesianSearchProblem,
+    compare_search_strategies,
+    expected_discovery_time,
+    greedy_top_k_strategy,
+    proportional_strategy,
+    sigma_star_strategy,
+    simulate_search,
+    single_round_success_probability,
+    uniform_strategy,
+)
+
+
+class TestProblem:
+    def test_prior_sorted_and_normalised(self):
+        problem = BayesianSearchProblem(np.array([0.2, 0.5, 0.3]))
+        np.testing.assert_allclose(problem.prior, [0.5, 0.3, 0.2])
+        assert problem.m == 3
+
+    def test_from_weights(self):
+        problem = BayesianSearchProblem.from_weights(np.array([2.0, 1.0, 1.0]))
+        np.testing.assert_allclose(problem.prior, [0.5, 0.25, 0.25])
+
+    def test_from_weights_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            BayesianSearchProblem.from_weights(np.array([-1.0, 2.0]))
+        with pytest.raises(ValueError):
+            BayesianSearchProblem.from_weights(np.array([0.0, 0.0]))
+
+    def test_zipf_and_uniform_constructors(self):
+        zipf = BayesianSearchProblem.zipf(4)
+        assert zipf.prior[0] == pytest.approx(max(zipf.prior))
+        uniform = BayesianSearchProblem.uniform(4)
+        np.testing.assert_allclose(uniform.prior, 0.25)
+
+    def test_sample_treasure_distribution(self):
+        problem = BayesianSearchProblem(np.array([0.8, 0.2]))
+        samples = problem.sample_treasure(20_000, rng=0)
+        assert samples.shape == (20_000,)
+        assert abs((samples == 0).mean() - 0.8) < 0.02
+
+    def test_possible_boxes_excludes_zero_prior(self):
+        problem = BayesianSearchProblem(np.array([0.7, 0.3, 0.0]))
+        assert problem.n_possible_boxes == 2
+        assert problem.as_site_values().m == 2
+
+
+class TestStrategies:
+    def test_sigma_star_strategy_matches_core(self):
+        problem = BayesianSearchProblem.zipf(10)
+        k = 3
+        strategy = sigma_star_strategy(problem, k)
+        core = sigma_star(problem.as_site_values(), k)
+        np.testing.assert_allclose(strategy.as_array(), core.strategy.as_array())
+
+    def test_sigma_star_strategy_handles_zero_prior_boxes(self):
+        problem = BayesianSearchProblem(np.array([0.6, 0.4, 0.0]))
+        strategy = sigma_star_strategy(problem, 2)
+        assert strategy.as_array()[2] == 0.0
+        assert strategy.as_array().sum() == pytest.approx(1.0)
+
+    def test_uniform_strategy_ignores_impossible_boxes(self):
+        problem = BayesianSearchProblem(np.array([0.6, 0.4, 0.0]))
+        np.testing.assert_allclose(uniform_strategy(problem).as_array(), [0.5, 0.5, 0.0])
+
+    def test_proportional_strategy_is_prior(self):
+        problem = BayesianSearchProblem.zipf(5)
+        np.testing.assert_allclose(proportional_strategy(problem).as_array(), problem.prior)
+
+    def test_greedy_top_k(self):
+        problem = BayesianSearchProblem.zipf(5)
+        strategy = greedy_top_k_strategy(problem, 2)
+        np.testing.assert_allclose(strategy.as_array(), [0.5, 0.5, 0, 0, 0])
+
+
+class TestFormulas:
+    def test_success_probability_is_coverage_of_prior(self):
+        problem = BayesianSearchProblem.zipf(8)
+        k = 3
+        strategy = Strategy.uniform(8)
+        success = single_round_success_probability(problem, strategy, k)
+        assert success == pytest.approx(coverage(problem.prior, strategy, k))
+
+    def test_sigma_star_maximises_single_round_success(self):
+        # Theorem 4 with the prior as value function.
+        problem = BayesianSearchProblem.zipf(12)
+        k = 4
+        star = sigma_star_strategy(problem, k)
+        best = single_round_success_probability(problem, star, k)
+        for other in (
+            uniform_strategy(problem),
+            proportional_strategy(problem),
+            greedy_top_k_strategy(problem, k),
+            Strategy.random(12, np.random.default_rng(0)),
+        ):
+            assert best >= single_round_success_probability(problem, other, k) - 1e-12
+
+    def test_expected_discovery_time_uniform_prior(self):
+        # Uniform prior over M boxes with k searchers sampling uniformly:
+        # per-round success probability is identical for every box.
+        m, k = 6, 2
+        problem = BayesianSearchProblem.uniform(m)
+        strategy = uniform_strategy(problem)
+        per_round = 1.0 - (1.0 - 1.0 / m) ** k
+        assert expected_discovery_time(problem, strategy, k) == pytest.approx(1.0 / per_round)
+
+    def test_expected_discovery_time_infinite_when_boxes_ignored(self):
+        problem = BayesianSearchProblem.uniform(4)
+        strategy = Strategy(np.array([0.5, 0.5, 0.0, 0.0]))
+        assert expected_discovery_time(problem, strategy, 2) == np.inf
+
+    def test_strategy_box_count_mismatch(self):
+        problem = BayesianSearchProblem.uniform(4)
+        with pytest.raises(ValueError):
+            single_round_success_probability(problem, Strategy.uniform(3), 2)
+
+
+class TestSimulator:
+    def test_round_one_rate_matches_formula(self):
+        problem = BayesianSearchProblem.zipf(10)
+        k = 3
+        strategy = proportional_strategy(problem)
+        outcome = simulate_search(problem, strategy, k, 30_000, rng=0)
+        expected = single_round_success_probability(problem, strategy, k)
+        assert abs(outcome.round_one_success_rate - expected) < 0.02
+
+    def test_mean_rounds_matches_formula_when_all_findable(self):
+        problem = BayesianSearchProblem.uniform(5)
+        strategy = uniform_strategy(problem)
+        k = 2
+        outcome = simulate_search(problem, strategy, k, 30_000, rng=1, max_rounds=500)
+        assert outcome.success_rate > 0.999
+        expected = expected_discovery_time(problem, strategy, k)
+        assert abs(outcome.mean_rounds_when_found - expected) < 0.1
+
+    def test_unreachable_boxes_reduce_success_rate(self):
+        problem = BayesianSearchProblem.uniform(4)
+        strategy = Strategy(np.array([0.5, 0.5, 0.0, 0.0]))
+        outcome = simulate_search(problem, strategy, 2, 10_000, rng=2, max_rounds=100)
+        assert outcome.success_rate == pytest.approx(0.5, abs=0.02)
+
+    def test_rounds_array_bounds(self):
+        problem = BayesianSearchProblem.uniform(3)
+        outcome = simulate_search(problem, uniform_strategy(problem), 2, 500, rng=3, max_rounds=50)
+        assert outcome.rounds.min() >= 1
+        assert outcome.rounds.max() <= 51
+
+
+class TestComparison:
+    def test_compare_includes_all_baselines(self):
+        problem = BayesianSearchProblem.zipf(15)
+        report = compare_search_strategies(problem, 3)
+        assert set(report) == {"sigma_star", "uniform", "proportional", "greedy_top_k"}
+        assert report["sigma_star"]["success_probability"] == max(
+            entry["success_probability"] for entry in report.values()
+        )
+
+    def test_extra_strategies_included(self):
+        problem = BayesianSearchProblem.zipf(6)
+        extra = {"point": Strategy.point_mass(6, 0)}
+        report = compare_search_strategies(problem, 2, extra_strategies=extra)
+        assert "point" in report
+        assert report["point"]["expected_rounds"] == np.inf

@@ -1,0 +1,157 @@
+"""Tests for the Strategy class."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.strategy import Strategy
+
+
+class TestConstruction:
+    def test_basic(self):
+        s = Strategy(np.array([0.5, 0.5]))
+        np.testing.assert_allclose(s.as_array(), [0.5, 0.5])
+
+    def test_renormalises_tolerance_level_error(self):
+        s = Strategy(np.array([0.5, 0.5 + 1e-10]))
+        assert s.as_array().sum() == pytest.approx(1.0, abs=1e-15)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Strategy(np.array([1.2, -0.2]))
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ValueError):
+            Strategy(np.array([0.7, 0.7]))
+
+    def test_from_probabilities_normalize(self):
+        s = Strategy.from_probabilities([2.0, 6.0], normalize=True)
+        np.testing.assert_allclose(s.as_array(), [0.25, 0.75])
+
+    def test_read_only(self):
+        s = Strategy.uniform(3)
+        with pytest.raises(ValueError):
+            s.as_array()[0] = 1.0
+
+    def test_len_getitem(self):
+        s = Strategy.uniform(4)
+        assert len(s) == 4
+        assert s[0] == pytest.approx(0.25)
+
+    def test_equality_and_hash(self):
+        assert Strategy.uniform(3) == Strategy.uniform(3)
+        assert hash(Strategy.uniform(3)) == hash(Strategy.uniform(3))
+        assert Strategy.uniform(3) != Strategy.point_mass(3, 0)
+        assert Strategy.uniform(3) != "something else"
+
+
+class TestQueries:
+    def test_support(self):
+        s = Strategy(np.array([0.5, 0.0, 0.5]))
+        np.testing.assert_array_equal(s.support, [0, 2])
+        assert s.support_size == 2
+
+    def test_prefix_support(self):
+        assert Strategy(np.array([0.7, 0.3, 0.0])).has_prefix_support()
+        assert not Strategy(np.array([0.7, 0.0, 0.3])).has_prefix_support()
+
+    def test_entropy(self):
+        assert Strategy.point_mass(5, 2).entropy() == pytest.approx(0.0)
+        assert Strategy.uniform(4).entropy() == pytest.approx(np.log(4))
+
+    def test_total_variation_and_l2(self):
+        a = Strategy(np.array([1.0, 0.0]))
+        b = Strategy(np.array([0.0, 1.0]))
+        assert a.total_variation(b) == pytest.approx(1.0)
+        assert a.l2_distance(b) == pytest.approx(np.sqrt(2.0))
+
+    def test_distance_requires_same_m(self):
+        with pytest.raises(ValueError):
+            Strategy.uniform(2).total_variation(Strategy.uniform(3))
+
+
+class TestOperations:
+    def test_mix(self):
+        a = Strategy(np.array([1.0, 0.0]))
+        b = Strategy(np.array([0.0, 1.0]))
+        mixed = a.mix(b, 0.25)
+        np.testing.assert_allclose(mixed.as_array(), [0.75, 0.25])
+
+    def test_mix_epsilon_bounds(self):
+        a = Strategy.uniform(2)
+        with pytest.raises(ValueError):
+            a.mix(a, 1.5)
+
+    def test_restricted(self):
+        s = Strategy(np.array([0.5, 0.25, 0.25]))
+        restricted = s.restricted([0, 2])
+        np.testing.assert_allclose(restricted.as_array(), [2 / 3, 0.0, 1 / 3])
+
+    def test_restricted_rejects_empty_mass(self):
+        s = Strategy(np.array([1.0, 0.0]))
+        with pytest.raises(ValueError):
+            s.restricted([1])
+
+    def test_perturbed_stays_distribution(self):
+        s = Strategy.uniform(5)
+        p = s.perturbed(0, scale=0.3)
+        assert p.as_array().sum() == pytest.approx(1.0)
+        assert p.total_variation(s) > 0
+
+    def test_sample_sites_shape_and_range(self):
+        s = Strategy(np.array([0.9, 0.1]))
+        samples = s.sample_sites(k=3, n_trials=100, rng=0)
+        assert samples.shape == (100, 3)
+        assert set(np.unique(samples)).issubset({0, 1})
+
+    def test_sample_sites_respects_support(self):
+        s = Strategy(np.array([1.0, 0.0]))
+        samples = s.sample_sites(k=2, n_trials=50, rng=0)
+        assert np.all(samples == 0)
+
+
+class TestConstructors:
+    def test_uniform(self):
+        np.testing.assert_allclose(Strategy.uniform(4).as_array(), [0.25] * 4)
+
+    def test_uniform_over_top(self):
+        s = Strategy.uniform_over_top(5, 2)
+        np.testing.assert_allclose(s.as_array(), [0.5, 0.5, 0.0, 0.0, 0.0])
+
+    def test_uniform_over_top_with_k_larger_than_m(self):
+        s = Strategy.uniform_over_top(3, 10)
+        np.testing.assert_allclose(s.as_array(), [1 / 3] * 3)
+
+    def test_point_mass(self):
+        s = Strategy.point_mass(3, 1)
+        np.testing.assert_allclose(s.as_array(), [0.0, 1.0, 0.0])
+        with pytest.raises(ValueError):
+            Strategy.point_mass(3, 3)
+
+    def test_proportional(self):
+        s = Strategy.proportional([3.0, 1.0])
+        np.testing.assert_allclose(s.as_array(), [0.75, 0.25])
+
+    def test_random_reproducible(self):
+        assert Strategy.random(4, rng=7) == Strategy.random(4, rng=7)
+
+    def test_random_rejects_bad_concentration(self):
+        with pytest.raises(ValueError):
+            Strategy.random(3, concentration=0.0)
+
+    @given(
+        weights=arrays(
+            dtype=float,
+            shape=st.integers(min_value=1, max_value=10),
+            elements=st.floats(min_value=0.01, max_value=100.0),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_proportional_is_valid_distribution(self, weights):
+        s = Strategy.proportional(weights)
+        assert s.as_array().sum() == pytest.approx(1.0)
+        assert np.all(s.as_array() >= 0)

@@ -1,0 +1,242 @@
+"""Unit and property tests for repro.utils.numerics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.utils.numerics import (
+    assert_shape,
+    binomial_coefficients,
+    binomial_pmf_matrix,
+    clip_probability,
+    is_non_increasing,
+    log_factorial,
+    monotone_bisection,
+    safe_power,
+    simplex_projection,
+    vectorized_bisection,
+    weighted_average,
+)
+
+
+class TestAssertShape:
+    def test_accepts_matching_shape(self):
+        assert_shape(np.zeros((3, 4)), (3, 4))
+
+    def test_wildcard_dimension(self):
+        assert_shape(np.zeros((3, 7)), (3, -1))
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError, match="dimensions"):
+            assert_shape(np.zeros(3), (3, 1))
+
+    def test_rejects_wrong_size(self):
+        with pytest.raises(ValueError, match="axis"):
+            assert_shape(np.zeros((3, 4)), (3, 5), name="mat")
+
+
+class TestClipProbability:
+    def test_clips_into_unit_interval(self):
+        assert clip_probability(1.5) == 1.0
+        assert clip_probability(-0.5) == 0.0
+
+    def test_eps_margin(self):
+        assert clip_probability(0.0, eps=1e-3) == pytest.approx(1e-3)
+        assert clip_probability(1.0, eps=1e-3) == pytest.approx(1.0 - 1e-3)
+
+    def test_array_input(self):
+        out = clip_probability(np.array([-1.0, 0.5, 2.0]))
+        np.testing.assert_allclose(out, [0.0, 0.5, 1.0])
+
+
+class TestIsNonIncreasing:
+    def test_true_cases(self):
+        assert is_non_increasing([3.0, 2.0, 2.0, 1.0])
+        assert is_non_increasing([5.0])
+        assert is_non_increasing([])
+
+    def test_false_case(self):
+        assert not is_non_increasing([1.0, 2.0])
+
+    def test_tolerance(self):
+        assert is_non_increasing([1.0, 1.0 + 1e-12], atol=1e-9)
+
+
+class TestSafePower:
+    def test_positive_base(self):
+        np.testing.assert_allclose(safe_power(np.array([4.0, 9.0]), 0.5), [2.0, 3.0])
+
+    def test_zero_base_negative_exponent_is_inf(self):
+        out = safe_power(np.array([0.0, 2.0]), -1.0)
+        assert np.isinf(out[0]) and out[1] == pytest.approx(0.5)
+
+    def test_zero_base_zero_exponent_is_one(self):
+        out = safe_power(np.array([0.0]), 0.0)
+        assert out[0] == 1.0
+
+    def test_zero_base_positive_exponent_is_zero(self):
+        assert safe_power(np.array([0.0]), 2.0)[0] == 0.0
+
+    def test_rejects_negative_base(self):
+        with pytest.raises(ValueError):
+            safe_power(np.array([-1.0]), 0.5)
+
+    def test_scalar_round_trip(self):
+        assert float(safe_power(2.0, 3.0)) == pytest.approx(8.0)
+
+
+class TestFactorialsAndBinomials:
+    def test_log_factorial_small_values(self):
+        lf = log_factorial(5)
+        np.testing.assert_allclose(np.exp(lf), [1, 1, 2, 6, 24, 120])
+
+    def test_log_factorial_rejects_negative(self):
+        with pytest.raises(ValueError):
+            log_factorial(-1)
+
+    def test_binomial_coefficients_row(self):
+        np.testing.assert_allclose(binomial_coefficients(5), [1, 5, 10, 10, 5, 1])
+
+    def test_binomial_coefficients_zero(self):
+        np.testing.assert_allclose(binomial_coefficients(0), [1.0])
+
+    @given(n=st.integers(min_value=0, max_value=40))
+    @settings(max_examples=20, deadline=None)
+    def test_binomial_coefficients_sum(self, n):
+        assert binomial_coefficients(n).sum() == pytest.approx(2.0**n, rel=1e-10)
+
+
+class TestBinomialPmfMatrix:
+    def test_rows_sum_to_one(self):
+        pmf = binomial_pmf_matrix(7, np.linspace(0, 1, 9))
+        np.testing.assert_allclose(pmf.sum(axis=1), 1.0)
+
+    def test_matches_scipy(self):
+        from scipy.stats import binom
+
+        probs = np.array([0.0, 0.1, 0.5, 0.93, 1.0])
+        pmf = binomial_pmf_matrix(6, probs)
+        expected = np.vstack([binom.pmf(np.arange(7), 6, p) for p in probs])
+        np.testing.assert_allclose(pmf, expected, atol=1e-12)
+
+    def test_zero_trials(self):
+        pmf = binomial_pmf_matrix(0, np.array([0.3, 0.7]))
+        np.testing.assert_allclose(pmf, [[1.0], [1.0]])
+
+    def test_degenerate_probabilities(self):
+        pmf = binomial_pmf_matrix(4, np.array([0.0, 1.0]))
+        assert pmf[0, 0] == pytest.approx(1.0)
+        assert pmf[1, 4] == pytest.approx(1.0)
+
+    def test_rejects_negative_trials(self):
+        with pytest.raises(ValueError):
+            binomial_pmf_matrix(-1, np.array([0.5]))
+
+    def test_rejects_out_of_range_probs(self):
+        with pytest.raises(ValueError):
+            binomial_pmf_matrix(3, np.array([1.5]))
+
+    def test_rejects_2d_probs(self):
+        with pytest.raises(ValueError):
+            binomial_pmf_matrix(3, np.zeros((2, 2)))
+
+    @given(
+        n=st.integers(min_value=1, max_value=15),
+        p=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_mean_matches_np(self, n, p):
+        pmf = binomial_pmf_matrix(n, np.array([p]))[0]
+        mean = float(np.dot(np.arange(n + 1), pmf))
+        assert mean == pytest.approx(n * p, abs=1e-9)
+
+
+class TestSimplexProjection:
+    def test_already_on_simplex_is_fixed_point(self):
+        v = np.array([0.2, 0.3, 0.5])
+        np.testing.assert_allclose(simplex_projection(v), v, atol=1e-12)
+
+    def test_output_is_distribution(self):
+        out = simplex_projection(np.array([5.0, -3.0, 0.4]))
+        assert out.sum() == pytest.approx(1.0)
+        assert np.all(out >= 0)
+
+    def test_single_element(self):
+        np.testing.assert_allclose(simplex_projection(np.array([42.0])), [1.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            simplex_projection(np.array([]))
+
+    @given(
+        v=arrays(
+            dtype=float,
+            shape=st.integers(min_value=1, max_value=12),
+            elements=st.floats(min_value=-50, max_value=50, allow_nan=False),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_projection_properties(self, v):
+        out = simplex_projection(v)
+        assert out.sum() == pytest.approx(1.0, abs=1e-8)
+        assert np.all(out >= -1e-12)
+
+    def test_projection_is_closest_point(self, rng):
+        # Compare against a brute-force search over random simplex points.
+        v = rng.normal(size=4)
+        projected = simplex_projection(v)
+        candidates = rng.dirichlet(np.ones(4), size=2000)
+        best = candidates[np.argmin(((candidates - v) ** 2).sum(axis=1))]
+        assert np.linalg.norm(projected - v) <= np.linalg.norm(best - v) + 1e-6
+
+
+class TestBisection:
+    def test_monotone_bisection_increasing(self):
+        root = monotone_bisection(lambda x: x**3, -2.0, 2.0, target=1.0)
+        assert root == pytest.approx(1.0, abs=1e-9)
+
+    def test_monotone_bisection_decreasing(self):
+        root = monotone_bisection(lambda x: -x, -5.0, 5.0, target=-2.0, increasing=False)
+        assert root == pytest.approx(2.0, abs=1e-9)
+
+    def test_monotone_bisection_clamps_to_bounds(self):
+        assert monotone_bisection(lambda x: x, 0.0, 1.0, target=5.0) == 1.0
+        assert monotone_bisection(lambda x: x, 0.0, 1.0, target=-5.0) == 0.0
+
+    def test_monotone_bisection_invalid_interval(self):
+        with pytest.raises(ValueError):
+            monotone_bisection(lambda x: x, 1.0, 0.0)
+
+    def test_vectorized_bisection_decreasing(self):
+        targets = np.array([0.9, 0.5, 0.1])
+
+        def residual(q):
+            return (1.0 - q) ** 2 - targets
+
+        roots = vectorized_bisection(residual, np.zeros(3), np.ones(3), increasing=False)
+        np.testing.assert_allclose(roots, 1.0 - np.sqrt(targets), atol=1e-9)
+
+    def test_vectorized_bisection_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            vectorized_bisection(lambda q: q, np.zeros(2), np.ones(3))
+
+
+class TestWeightedAverage:
+    def test_basic(self):
+        assert weighted_average([1.0, 3.0], [1.0, 1.0]) == pytest.approx(2.0)
+
+    def test_rejects_zero_weights(self):
+        with pytest.raises(ValueError):
+            weighted_average([1.0], [0.0])
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            weighted_average([1.0, 2.0], [0.5, -0.5])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            weighted_average([1.0, 2.0], [1.0])

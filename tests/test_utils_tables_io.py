@@ -1,0 +1,79 @@
+"""Tests for the table formatter and CSV helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.io import read_csv, write_csv, write_series
+from repro.utils.tables import format_float, format_table
+
+
+class TestFormatFloat:
+    def test_trims_trailing_zeros(self):
+        assert format_float(1.5000) == "1.5"
+
+    def test_keeps_integers_compact(self):
+        assert format_float(3.0) == "3"
+
+    def test_nan(self):
+        assert format_float(float("nan")) == "nan"
+
+    def test_precision(self):
+        assert format_float(np.pi, precision=3) == "3.142"
+
+    def test_zero(self):
+        assert format_float(0.0) == "0"
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        table = format_table(["a", "bb"], [[1, 2.5], [10, 0.25]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "-+-" in lines[1]
+        assert lines[0].split(" | ")[0].strip() == "a"
+
+    def test_mixed_types(self):
+        table = format_table(["name", "flag", "x"], [["exclusive", True, 1.0]])
+        assert "exclusive" in table and "True" in table
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_left_alignment(self):
+        table = format_table(["col"], [["x"]], align_right=False)
+        assert table.splitlines()[2].startswith("x")
+
+
+class TestCSV:
+    def test_write_and_read_round_trip(self, tmp_path):
+        path = write_csv(tmp_path / "out.csv", ["a", "b"], [[1, 2.5], [3, 4.5]])
+        headers, rows = read_csv(path)
+        assert headers == ["a", "b"]
+        assert rows == [["1", "2.5"], ["3", "4.5"]]
+
+    def test_write_creates_parent_dirs(self, tmp_path):
+        path = write_csv(tmp_path / "nested" / "dir" / "out.csv", ["x"], [[1]])
+        assert path.exists()
+
+    def test_write_series(self, tmp_path):
+        path = write_series(tmp_path / "s.csv", {"x": [1.0, 2.0], "y": [3.0, 4.0]})
+        headers, rows = read_csv(path)
+        assert headers == ["x", "y"]
+        assert [float(v) for v in rows[1]] == [2.0, 4.0]
+
+    def test_write_series_length_mismatch(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_series(tmp_path / "bad.csv", {"x": [1.0], "y": [1.0, 2.0]})
+
+    def test_write_series_empty(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_series(tmp_path / "bad.csv", {})
+
+    def test_read_empty_file(self, tmp_path):
+        empty = tmp_path / "empty.csv"
+        empty.write_text("")
+        with pytest.raises(ValueError):
+            read_csv(empty)

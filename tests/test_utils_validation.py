@@ -1,0 +1,149 @@
+"""Tests for repro.utils.validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_in_range,
+    check_integer,
+    check_positive_integer,
+    check_probability,
+    check_probability_vector,
+    check_value_vector,
+)
+
+
+class TestCheckInteger:
+    def test_accepts_int(self):
+        assert check_integer(5, "x") == 5
+
+    def test_accepts_numpy_integer(self):
+        assert check_integer(np.int64(7), "x") == 7
+
+    def test_accepts_integral_float(self):
+        assert check_integer(3.0, "x") == 3
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_integer(True, "x")
+
+    def test_rejects_non_integral_float(self):
+        with pytest.raises(TypeError):
+            check_integer(3.5, "x")
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            check_integer("3", "x")
+
+    def test_minimum_enforced(self):
+        with pytest.raises(ValueError, match=">= 2"):
+            check_integer(1, "x", minimum=2)
+
+    def test_positive_integer(self):
+        assert check_positive_integer(1, "k") == 1
+        with pytest.raises(ValueError):
+            check_positive_integer(0, "k")
+
+
+class TestCheckProbability:
+    def test_valid_values(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+        assert check_probability(0.25, "p") == 0.25
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_probability(1.01, "p")
+        with pytest.raises(ValueError):
+            check_probability(-0.01, "p")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_probability(float("nan"), "p")
+
+
+class TestCheckInRange:
+    def test_within_bounds(self):
+        assert check_in_range(0.5, "x", lo=0.0, hi=1.0) == 0.5
+
+    def test_outside_bounds(self):
+        with pytest.raises(ValueError):
+            check_in_range(2.0, "x", lo=0.0, hi=1.0)
+
+    def test_rejects_infinite(self):
+        with pytest.raises(ValueError):
+            check_in_range(np.inf, "x")
+
+
+class TestCheckProbabilityVector:
+    def test_valid_distribution(self):
+        out = check_probability_vector([0.25, 0.75])
+        np.testing.assert_allclose(out, [0.25, 0.75])
+
+    def test_normalize_option(self):
+        out = check_probability_vector([2.0, 2.0], normalize=True)
+        np.testing.assert_allclose(out, [0.5, 0.5])
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            check_probability_vector([1.2, -0.2])
+
+    def test_rejects_wrong_sum(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            check_probability_vector([0.3, 0.3])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            check_probability_vector([])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            check_probability_vector(np.ones((2, 2)) / 4)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_probability_vector([np.nan, 1.0])
+
+    def test_normalize_rejects_zero_mass(self):
+        with pytest.raises(ValueError):
+            check_probability_vector([0.0, 0.0], normalize=True)
+
+
+class TestCheckValueVector:
+    def test_valid_values(self):
+        out = check_value_vector([3.0, 2.0, 1.0])
+        np.testing.assert_allclose(out, [3.0, 2.0, 1.0])
+
+    def test_returns_copy(self):
+        original = np.array([2.0, 1.0])
+        out = check_value_vector(original)
+        out[0] = 99.0
+        assert original[0] == 2.0
+
+    def test_rejects_zero_when_positive_required(self):
+        with pytest.raises(ValueError):
+            check_value_vector([1.0, 0.0])
+
+    def test_allows_zero_when_not_positive(self):
+        out = check_value_vector([1.0, 0.0], require_positive=False)
+        assert out[1] == 0.0
+
+    def test_rejects_negative_even_when_not_positive(self):
+        with pytest.raises(ValueError):
+            check_value_vector([1.0, -0.5], require_positive=False)
+
+    def test_sorted_requirement(self):
+        with pytest.raises(ValueError, match="non-increasing"):
+            check_value_vector([1.0, 2.0], require_sorted=True)
+
+    def test_rejects_empty_and_2d(self):
+        with pytest.raises(ValueError):
+            check_value_vector([])
+        with pytest.raises(ValueError):
+            check_value_vector(np.ones((2, 2)))
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            check_value_vector([np.inf, 1.0])

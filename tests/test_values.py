@@ -1,0 +1,155 @@
+"""Tests for SiteValues and the value-function generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.values import SiteValues
+
+
+class TestConstruction:
+    def test_sorts_descending(self):
+        values = SiteValues.from_values([0.2, 1.0, 0.5])
+        np.testing.assert_allclose(values.as_array(), [1.0, 0.5, 0.2])
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            SiteValues.from_values([1.0, 0.0])
+        with pytest.raises(ValueError):
+            SiteValues.from_values([1.0, -1.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SiteValues.from_values([])
+
+    def test_array_is_read_only(self):
+        values = SiteValues.from_values([1.0, 0.5])
+        with pytest.raises(ValueError):
+            values.as_array()[0] = 2.0
+
+    def test_len_and_getitem(self):
+        values = SiteValues.from_values([1.0, 0.5, 0.25])
+        assert len(values) == 3
+        assert values[0] == 1.0
+        assert values.m == 3
+
+    def test_iteration(self):
+        values = SiteValues.from_values([1.0, 0.5])
+        assert list(values) == [1.0, 0.5]
+
+    def test_equality_and_hash(self):
+        a = SiteValues.from_values([1.0, 0.5])
+        b = SiteValues.from_values([0.5, 1.0])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != SiteValues.from_values([1.0, 0.4])
+
+    def test_equality_against_other_type(self):
+        assert SiteValues.from_values([1.0]) != "not values"
+
+
+class TestProperties:
+    def test_total_and_top(self):
+        values = SiteValues.from_values([1.0, 0.5, 0.25])
+        assert values.total == pytest.approx(1.75)
+        assert values.top(2) == pytest.approx(1.5)
+        assert values.top(10) == pytest.approx(1.75)
+
+    def test_value_ratio(self):
+        values = SiteValues.from_values([2.0, 1.0])
+        assert values.value_ratio() == pytest.approx(0.5)
+
+
+class TestOperations:
+    def test_normalized(self):
+        values = SiteValues.from_values([4.0, 2.0]).normalized()
+        np.testing.assert_allclose(values.as_array(), [1.0, 0.5])
+
+    def test_truncated(self):
+        values = SiteValues.from_values([1.0, 0.5, 0.25]).truncated(2)
+        assert values.m == 2
+        with pytest.raises(ValueError):
+            SiteValues.from_values([1.0]).truncated(5)
+
+    def test_scaled(self):
+        values = SiteValues.from_values([1.0, 0.5]).scaled(3.0)
+        np.testing.assert_allclose(values.as_array(), [3.0, 1.5])
+        with pytest.raises(ValueError):
+            SiteValues.from_values([1.0]).scaled(0.0)
+
+    def test_with_values(self):
+        values = SiteValues.from_values([1.0, 0.5]).with_values([(1, 2.0)])
+        np.testing.assert_allclose(values.as_array(), [2.0, 1.0])  # re-sorted
+
+    def test_with_values_rejects_bad_index_and_value(self):
+        values = SiteValues.from_values([1.0, 0.5])
+        with pytest.raises(IndexError):
+            values.with_values([(5, 1.0)])
+        with pytest.raises(ValueError):
+            values.with_values([(0, -1.0)])
+
+
+class TestGenerators:
+    def test_uniform(self):
+        values = SiteValues.uniform(4, value=2.0)
+        np.testing.assert_allclose(values.as_array(), [2.0] * 4)
+
+    def test_linear(self):
+        values = SiteValues.linear(3, high=1.0, low=0.5)
+        np.testing.assert_allclose(values.as_array(), [1.0, 0.75, 0.5])
+
+    def test_linear_rejects_low_above_high(self):
+        with pytest.raises(ValueError):
+            SiteValues.linear(3, high=1.0, low=2.0)
+
+    def test_geometric(self):
+        values = SiteValues.geometric(3, ratio=0.5)
+        np.testing.assert_allclose(values.as_array(), [1.0, 0.5, 0.25])
+
+    def test_zipf(self):
+        values = SiteValues.zipf(3, exponent=1.0)
+        np.testing.assert_allclose(values.as_array(), [1.0, 0.5, 1 / 3])
+
+    def test_exponential(self):
+        values = SiteValues.exponential(3, rate=np.log(2.0))
+        np.testing.assert_allclose(values.as_array(), [1.0, 0.5, 0.25])
+
+    def test_two_sites(self):
+        values = SiteValues.two_sites(0.3)
+        np.testing.assert_allclose(values.as_array(), [1.0, 0.3])
+        with pytest.raises(ValueError):
+            SiteValues.two_sites(1.5)  # second value must not exceed the first
+
+    def test_random_is_reproducible(self):
+        a = SiteValues.random(5, rng=3)
+        b = SiteValues.random(5, rng=3)
+        assert a == b
+
+    def test_random_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            SiteValues.random(5, low=0.5, high=0.5)
+
+    def test_slowly_decreasing_satisfies_theorem6_premise(self):
+        k = 4
+        values = SiteValues.slowly_decreasing(20, k)
+        ratio = values.value_ratio()
+        assert ratio > (1.0 - 1.0 / (2 * k)) ** (k - 1)
+        # Strictly decreasing
+        assert np.all(np.diff(values.as_array()) < 0)
+
+    @given(m=st.integers(min_value=1, max_value=200), k=st.integers(min_value=1, max_value=20))
+    @settings(max_examples=30, deadline=None)
+    def test_generators_are_sorted_and_positive(self, m, k):
+        for values in (
+            SiteValues.linear(m),
+            SiteValues.geometric(m, ratio=0.9),
+            SiteValues.zipf(m),
+            SiteValues.exponential(m, rate=0.1),
+            SiteValues.slowly_decreasing(m, k),
+        ):
+            arr = values.as_array()
+            assert np.all(arr > 0)
+            assert np.all(np.diff(arr) <= 1e-12)

@@ -1,0 +1,92 @@
+"""Tests for welfare (total payoff) computation and maximisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.coverage import coverage
+from repro.core.policies import (
+    ConstantPolicy,
+    ExclusivePolicy,
+    SharingPolicy,
+    TwoLevelPolicy,
+)
+from repro.core.strategy import Strategy
+from repro.core.values import SiteValues
+from repro.core.welfare import expected_welfare, individual_payoff, welfare_optimal_strategy
+
+
+class TestWelfareEvaluation:
+    def test_welfare_is_k_times_individual(self, small_values, any_policy):
+        strategy = Strategy(np.array([0.4, 0.3, 0.2, 0.1]))
+        k = 3
+        assert expected_welfare(small_values, strategy, k, any_policy) == pytest.approx(
+            k * individual_payoff(small_values, strategy, k, any_policy)
+        )
+
+    def test_sharing_welfare_equals_coverage(self, small_values):
+        # Under the sharing policy the site value is split, never lost, so the
+        # total payoff of the group equals the coverage for every strategy.
+        k = 4
+        for strategy in (Strategy.uniform(4), Strategy.proportional(small_values.as_array())):
+            assert expected_welfare(small_values, strategy, k, SharingPolicy()) == pytest.approx(
+                coverage(small_values, strategy, k), rel=1e-10
+            )
+
+    def test_exclusive_welfare_below_coverage(self, small_values):
+        # Collisions destroy value under the exclusive policy.
+        strategy = Strategy.uniform(4)
+        k = 3
+        assert expected_welfare(small_values, strategy, k, ExclusivePolicy()) < coverage(
+            small_values, strategy, k
+        )
+
+    def test_constant_policy_welfare_can_exceed_coverage(self, small_values):
+        strategy = Strategy.point_mass(4, 0)
+        k = 3
+        welfare = expected_welfare(small_values, strategy, k, ConstantPolicy())
+        assert welfare == pytest.approx(k * small_values[0])
+        assert welfare > coverage(small_values, strategy, k)
+
+
+class TestWelfareOptimum:
+    def test_two_site_matches_analytic_solution(self):
+        # For M = 2, k = 2 and the two-level policy the welfare is quadratic in
+        # p1 with interior maximiser p1 = (1.3 - 0.6 c) / (2.6 (1 - c)) for f2 = 0.3.
+        f = SiteValues.two_sites(0.3)
+        for c in (-0.5, -0.2, 0.2, 0.45):
+            result = welfare_optimal_strategy(f, 2, TwoLevelPolicy(c), grid_points=4001)
+            analytic_p1 = (1.3 - 0.6 * c) / (2.6 * (1.0 - c))
+            assert result.strategy.as_array()[0] == pytest.approx(analytic_p1, abs=2e-3)
+
+    def test_sharing_welfare_optimum_matches_coverage_optimum(self):
+        # Under sharing, welfare == coverage, so the welfare optimum coincides
+        # with sigma_star's coverage (the c = 0.5 endpoint of Figure 1).
+        from repro.core.optimal_coverage import optimal_coverage
+
+        f = SiteValues.two_sites(0.3)
+        result = welfare_optimal_strategy(f, 2, SharingPolicy(), grid_points=4001)
+        assert result.coverage == pytest.approx(optimal_coverage(f, 2), abs=1e-5)
+
+    def test_single_site(self):
+        result = welfare_optimal_strategy(SiteValues.uniform(1), 3, SharingPolicy())
+        assert result.strategy.as_array()[0] == pytest.approx(1.0)
+
+    def test_general_m_projected_gradient_beats_baselines(self, small_values):
+        k = 3
+        policy = TwoLevelPolicy(0.25)
+        result = welfare_optimal_strategy(
+            small_values, k, policy, restarts=4, max_iter=400
+        )
+        for baseline in (Strategy.uniform(4), Strategy.proportional(small_values.as_array())):
+            assert result.welfare >= expected_welfare(small_values, baseline, k, policy) - 1e-6
+
+    def test_welfare_result_fields_consistent(self, small_values):
+        result = welfare_optimal_strategy(small_values, 2, SharingPolicy(), restarts=2, max_iter=200)
+        assert result.welfare == pytest.approx(2 * result.individual_payoff)
+        assert result.coverage == pytest.approx(coverage(small_values, result.strategy, 2))
+
+    def test_rejects_bad_k(self, small_values):
+        with pytest.raises(ValueError):
+            welfare_optimal_strategy(small_values, 0, SharingPolicy())
