@@ -1,0 +1,96 @@
+"""Benchmarks of the batched solver layer against scalar loops.
+
+These quantify the tentpole claim of the batch refactor: solving a whole
+``(instances x k-grid)`` in tensor passes beats looping the scalar solvers by
+an order of magnitude on experiment-harness-sized grids, and the advantage
+grows with the number of instances (per-call Python overhead amortises away).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.batch import PaddedValues, ifd_batch, sigma_star_batch, spoa_batch
+from repro.core.ifd import ideal_free_distribution
+from repro.core.policies import SharingPolicy
+from repro.core.sigma_star import sigma_star
+from repro.core.values import SiteValues
+
+K_GRID = (2, 3, 5, 8, 16, 32)
+
+
+@pytest.fixture(scope="module", params=[64, 256], ids=["B=64", "B=256"])
+def instance_batch(request) -> PaddedValues:
+    rng = np.random.default_rng(7)
+    instances = [
+        SiteValues.random(int(m), rng) for m in rng.integers(20, 200, size=request.param)
+    ]
+    return PaddedValues.from_instances(instances)
+
+
+@pytest.mark.benchmark(group="batch-sigma-star")
+def test_sigma_star_batched(benchmark, instance_batch):
+    result = benchmark(sigma_star_batch, instance_batch, K_GRID)
+    np.testing.assert_allclose(result.probabilities.sum(axis=2), 1.0, atol=1e-9)
+
+
+@pytest.mark.benchmark(group="batch-sigma-star")
+def test_sigma_star_looped(benchmark, instance_batch):
+    instances = [instance_batch.row(b) for b in range(instance_batch.batch_size)]
+
+    def run():
+        return [sigma_star(v, k) for v in instances for k in K_GRID]
+
+    results = benchmark(run)
+    assert len(results) == instance_batch.batch_size * len(K_GRID)
+
+
+@pytest.mark.benchmark(group="batch-ifd")
+def test_ifd_batched_sharing(benchmark):
+    rng = np.random.default_rng(11)
+    instances = [SiteValues.random(int(m), rng) for m in rng.integers(5, 40, size=48)]
+    result = benchmark(ifd_batch, instances, (2, 5), SharingPolicy())
+    assert bool(result.converged.all())
+
+
+@pytest.mark.benchmark(group="batch-ifd")
+def test_ifd_looped_sharing(benchmark):
+    rng = np.random.default_rng(11)
+    instances = [SiteValues.random(int(m), rng) for m in rng.integers(5, 40, size=48)]
+
+    def run():
+        return [
+            ideal_free_distribution(v, k, SharingPolicy()) for v in instances for k in (2, 5)
+        ]
+
+    results = benchmark(run)
+    assert all(r.converged for r in results)
+
+
+@pytest.mark.benchmark(group="batch-spoa")
+def test_spoa_batched_sharing(benchmark):
+    rng = np.random.default_rng(13)
+    instances = [SiteValues.random(int(m), rng) for m in rng.integers(5, 30, size=32)]
+    result = benchmark(spoa_batch, instances, (2, 3, 5), SharingPolicy())
+    assert np.all(result.ratios >= 1.0 - 1e-9)
+
+
+def test_batched_sigma_star_is_10x_faster(instance_batch):
+    """The acceptance bar of the batch refactor, asserted without pytest-benchmark."""
+    import time
+
+    instances = [instance_batch.row(b) for b in range(instance_batch.batch_size)]
+    sigma_star_batch(instance_batch, K_GRID)  # warm-up
+
+    batched = np.inf
+    for _ in range(5):
+        start = time.perf_counter()
+        sigma_star_batch(instance_batch, K_GRID)
+        batched = min(batched, time.perf_counter() - start)
+    start = time.perf_counter()
+    for v in instances:
+        for k in K_GRID:
+            sigma_star(v, k)
+    looped = time.perf_counter() - start
+    assert looped / batched >= 10.0, f"speedup only {looped / batched:.1f}x"

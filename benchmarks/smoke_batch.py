@@ -1,0 +1,151 @@
+"""Smoke benchmark: batched vs looped solver throughput, as a JSON artifact.
+
+Runs without pytest (plain script, stdlib + NumPy only) so CI can execute it
+as a standalone job::
+
+    PYTHONPATH=src python benchmarks/smoke_batch.py --output BENCH_batch.json
+
+Two comparisons are timed on the scaling grid (many ragged instances times a
+player-count grid — the regime the experiment harness actually runs):
+
+* ``sigma_star_batch``  vs a loop of scalar ``sigma_star`` calls;
+* ``optimal_coverage_batch`` vs a loop of scalar ``optimal_coverage`` calls.
+
+The script exits non-zero when the closed-form batch speedup falls below
+``--min-speedup`` (default 10x), which is the acceptance bar the batch layer
+was built against.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.batch import PaddedValues, optimal_coverage_batch, sigma_star_batch
+from repro.core.optimal_coverage import optimal_coverage
+from repro.core.sigma_star import sigma_star
+from repro.core.values import SiteValues
+
+#: The scaling grid: ragged random instances plus the structured families,
+#: crossed with the player counts used by the analysis sweeps.
+N_RANDOM_INSTANCES = 240
+M_RANGE = (20, 200)
+K_GRID = (2, 3, 5, 8, 16, 32)
+SEED = 20180503
+
+
+def build_instances(rng: np.random.Generator) -> list[SiteValues]:
+    instances = [
+        SiteValues.random(int(m), rng)
+        for m in rng.integers(M_RANGE[0], M_RANGE[1], size=N_RANDOM_INSTANCES)
+    ]
+    for m in (25, 50, 100, 200):
+        instances += [
+            SiteValues.uniform(m),
+            SiteValues.zipf(m, exponent=1.0),
+            SiteValues.geometric(m, ratio=0.95),
+            SiteValues.slowly_decreasing(m, 8),
+        ]
+    return instances
+
+
+def best_of(fn, repeats: int) -> float:
+    best = np.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", type=Path, default=Path("BENCH_batch.json"))
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--min-speedup", type=float, default=10.0)
+    args = parser.parse_args(argv)
+
+    rng = np.random.default_rng(SEED)
+    instances = build_instances(rng)
+    padded = PaddedValues.from_instances(instances)
+    cells = len(instances) * len(K_GRID)
+
+    # Warm-up (first-call numpy/dispatch overhead should not be timed).
+    sigma_star_batch(padded, K_GRID)
+
+    batched_sigma = best_of(lambda: sigma_star_batch(padded, K_GRID), args.repeats)
+    looped_sigma = best_of(
+        lambda: [sigma_star(v, k) for v in instances for k in K_GRID],
+        max(1, args.repeats // 2),
+    )
+
+    batched_cover = best_of(lambda: optimal_coverage_batch(padded, K_GRID), args.repeats)
+    looped_cover = best_of(
+        lambda: [optimal_coverage(v, k) for v in instances for k in K_GRID],
+        max(1, args.repeats // 2),
+    )
+
+    # Correctness spot check so the artifact can't report a fast wrong answer.
+    batch = sigma_star_batch(padded, K_GRID)
+    for index in (0, len(instances) // 2, len(instances) - 1):
+        for k_index, k in enumerate(K_GRID):
+            scalar = sigma_star(instances[index], k)
+            assert scalar.support_size == int(batch.support_sizes[index, k_index])
+            np.testing.assert_allclose(
+                batch.result(index, k_index).probabilities,
+                scalar.probabilities,
+                atol=1e-9,
+            )
+
+    report = {
+        "benchmark": "batched vs looped solver throughput",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "grid": {
+            "instances": len(instances),
+            "m_range": list(M_RANGE),
+            "k_grid": list(K_GRID),
+            "cells": cells,
+        },
+        "sigma_star": {
+            "batched_seconds": batched_sigma,
+            "looped_seconds": looped_sigma,
+            "speedup": looped_sigma / batched_sigma,
+            "batched_cells_per_second": cells / batched_sigma,
+            "looped_cells_per_second": cells / looped_sigma,
+        },
+        "optimal_coverage": {
+            "batched_seconds": batched_cover,
+            "looped_seconds": looped_cover,
+            "speedup": looped_cover / batched_cover,
+        },
+        "min_speedup_required": args.min_speedup,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+
+    speedup = report["sigma_star"]["speedup"]
+    print(
+        f"sigma_star_batch: {cells} cells in {batched_sigma * 1e3:.1f} ms "
+        f"(loop: {looped_sigma * 1e3:.1f} ms) -> {speedup:.1f}x"
+    )
+    print(
+        f"optimal_coverage_batch: {report['optimal_coverage']['speedup']:.1f}x; "
+        f"artifact written to {args.output}"
+    )
+    if speedup < args.min_speedup:
+        print(
+            f"FAIL: speedup {speedup:.1f}x below required {args.min_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,3 +1,5 @@
+"""Legacy shim: all packaging metadata lives in ``pyproject.toml``."""
+
 from setuptools import setup
 
 setup()

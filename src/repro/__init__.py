@@ -8,14 +8,21 @@ each of the ``l`` players that landed on site ``x``.  The package provides
 * the game model (:mod:`repro.core`): values, strategies, congestion policies,
   coverage, payoffs, the closed-form :func:`repro.core.sigma_star.sigma_star`,
   the general IFD solver, ESS machinery and the symmetric price of anarchy;
+* batched instance solvers (:mod:`repro.batch`): whole ``(instances x
+  k-grid)`` grids — ``sigma_star``, coverage optima, IFDs and SPoA — in a
+  handful of NumPy passes over padded ragged batches;
 * evolutionary and learning dynamics converging to the IFD
   (:mod:`repro.dynamics`);
 * a vectorised Monte-Carlo simulator of the one-shot game
-  (:mod:`repro.simulation`);
+  (:mod:`repro.simulation`), sampling through the shared inverse-CDF drawer
+  of :mod:`repro.utils.sampling`;
 * mechanism-design baselines (:mod:`repro.mechanism`) and the Bayesian
   parallel-search connection (:mod:`repro.search`);
 * the experiment harness that regenerates the paper's Figure 1 and the
-  numerical checks of Theorems 3, 4, 6 and Corollary 5 (:mod:`repro.analysis`).
+  numerical checks of Theorems 3, 4, 6 and Corollary 5 (:mod:`repro.analysis`),
+  built as thin clients of the declarative registry/runner subsystem of
+  :mod:`repro.experiments` (process-pool fan-out, deterministic per-task
+  seeding, JSON/CSV result artifacts).
 
 Quickstart
 ----------
@@ -31,6 +38,6 @@ True
 from repro.core import *  # noqa: F401,F403 -- re-export the stable public API
 from repro.core import __all__ as _core_all
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = list(_core_all) + ["__version__"]

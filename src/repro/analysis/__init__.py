@@ -1,23 +1,54 @@
 """Experiment harness: regenerate the paper's figure and theorem-level checks.
 
-Each module corresponds to one experiment family of ``EXPERIMENTS.md``:
+Each module corresponds to one experiment family of ``EXPERIMENTS.md``, and
+each is a thin client of the :mod:`repro.experiments` registry/runner (the
+heavy lifting happens in the batched solvers of :mod:`repro.batch`):
 
 * :mod:`repro.analysis.figure1` — the coverage-vs-competition curves of
-  Figure 1 (both panels, plus arbitrary instances);
+  Figure 1 (both panels, plus arbitrary instances); registered as ``figure1``;
 * :mod:`repro.analysis.observation1` — the ``(1 - 1/e)`` coverage bound;
+  registered as ``observation1``;
 * :mod:`repro.analysis.spoa_experiments` — Corollary 5 / Theorem 6 /
-  the sharing-policy ``SPoA <= 2`` bound;
-* :mod:`repro.analysis.ess_experiments` — Theorem 3 audits;
+  the sharing-policy ``SPoA <= 2`` bound; registered as ``spoa``;
+* :mod:`repro.analysis.ess_experiments` — Theorem 3 audits; registered as
+  ``ess``;
 * :mod:`repro.analysis.sweeps` — generic parameter sweeps over ``(M, k, C)``;
+  registered as ``sweep``;
 * :mod:`repro.analysis.reporting` / :mod:`repro.analysis.ascii_plot` — text
   tables and ASCII plots (the offline environment has no plotting backend).
+
+Importing this package registers the five experiments, so
+``repro.experiments.run_registered("spoa", quick=True)`` works immediately.
 """
 
-from repro.analysis.figure1 import Figure1Data, figure1_data, figure1_panels, write_figure1_csv
-from repro.analysis.observation1 import Observation1Row, observation1_experiment
-from repro.analysis.spoa_experiments import SPoARow, spoa_experiment, theorem6_certificates
+from repro.analysis.figure1 import (
+    Figure1Data,
+    assemble_figure1_panels,
+    figure1_data,
+    figure1_panels,
+    write_figure1_csv,
+    write_panels_csv,
+)
+from repro.analysis.observation1 import (
+    Observation1Row,
+    default_value_families,
+    observation1_experiment,
+)
+from repro.analysis.spoa_experiments import (
+    CertificateRow,
+    SharingBoundRow,
+    SPoARow,
+    spoa_experiment,
+    theorem6_certificates,
+)
 from repro.analysis.ess_experiments import ESSRow, ess_experiment
-from repro.analysis.sweeps import SweepResult, coverage_ratio_sweep, support_size_sweep
+from repro.analysis.sweeps import (
+    SweepPointRow,
+    SweepResult,
+    assemble_sweep,
+    coverage_ratio_sweep,
+    support_size_sweep,
+)
 from repro.analysis.reporting import render_report
 from repro.analysis.ascii_plot import ascii_line_plot
 
@@ -26,14 +57,21 @@ __all__ = [
     "figure1_data",
     "figure1_panels",
     "write_figure1_csv",
+    "write_panels_csv",
+    "assemble_figure1_panels",
     "Observation1Row",
     "observation1_experiment",
+    "default_value_families",
     "SPoARow",
+    "CertificateRow",
+    "SharingBoundRow",
     "spoa_experiment",
     "theorem6_certificates",
     "ESSRow",
     "ess_experiment",
     "SweepResult",
+    "SweepPointRow",
+    "assemble_sweep",
     "coverage_ratio_sweep",
     "support_size_sweep",
     "render_report",

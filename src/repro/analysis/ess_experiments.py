@@ -5,24 +5,31 @@ battery of mutants (pure strategies, uniform, value-proportional, local
 perturbations, Dirichlet-random) using the ESS characterisation, and records
 the worst strict-advantage margin together with an invasion-dynamics check
 that small mutant populations die out.
+
+Structured as a thin client of :mod:`repro.experiments`: the registered
+``ess`` experiment has one task per ``(M, family)`` pair; each task solves
+``sigma_star`` for its whole ``k`` grid in one :mod:`repro.batch` pass and
+then runs the (inherently per-``k``) mutant audits.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Mapping, Sequence
 
 import numpy as np
 
+from repro.batch import sigma_star_batch
 from repro.core.ess import ess_report, invasion_barrier
 from repro.core.policies import ExclusivePolicy
-from repro.core.sigma_star import sigma_star
 from repro.core.strategy import Strategy
-from repro.core.values import SiteValues
 from repro.dynamics.invasion import invasion_dynamics
-from repro.analysis.observation1 import default_value_families
+from repro.analysis.observation1 import default_value_families, make_family
+from repro.experiments.registry import register_experiment
+from repro.experiments.runner import coerce_seed, run_experiment
+from repro.experiments.spec import ExperimentSpec
 
-__all__ = ["ESSRow", "ess_experiment"]
+__all__ = ["ESSRow", "ess_experiment", "ess_audit_task", "build_ess_spec"]
 
 
 @dataclass(frozen=True)
@@ -46,6 +53,92 @@ class ESSRow:
     mutant_final_share: float
 
 
+def ess_audit_task(params: Mapping[str, Any], rng: np.random.Generator) -> list[ESSRow]:
+    """Audit one ``(family, M)`` instance across its whole ``k`` grid."""
+    family = str(params["family"])
+    m = int(params["m"])
+    k_values = tuple(int(k) for k in params["k_values"])
+    n_random_mutants = int(params["n_random_mutants"])
+    values = make_family(family, m, rng)
+    policy = ExclusivePolicy()
+
+    residents = sigma_star_batch([values], np.asarray(k_values, dtype=np.int64))
+    rows: list[ESSRow] = []
+    for k_index, k in enumerate(k_values):
+        resident = residents.result(0, k_index).strategy
+        report = ess_report(
+            values,
+            resident,
+            k,
+            policy,
+            n_random_mutants=n_random_mutants,
+            rng=rng,
+        )
+        # Sample mutant for the dynamic checks: value-proportional play,
+        # falling back to a pure strategy when that coincides with the
+        # resident (e.g. on uniform value profiles).
+        mutant = Strategy.proportional(values.as_array())
+        if mutant.total_variation(resident) <= 1e-9:
+            mutant = Strategy.point_mass(values.m, 0)
+        barrier = invasion_barrier(values, resident, mutant, k, policy)
+        initial_share = 0.02
+        dynamics = invasion_dynamics(
+            values, resident, mutant, k, policy, initial_share=initial_share
+        )
+        suppressed = (not dynamics.mutant_fixated) and (
+            dynamics.final_share < initial_share
+        )
+        rows.append(
+            ESSRow(
+                family=family,
+                m=values.m,
+                k=k,
+                is_ess=report.is_ess,
+                n_mutants=report.n_mutants,
+                worst_margin=report.worst_margin,
+                sample_invasion_barrier=barrier,
+                mutant_suppressed=suppressed,
+                mutant_final_share=dynamics.final_share,
+            )
+        )
+    return rows
+
+
+@register_experiment("ess", "ESS audit of sigma_star (Theorem 3)")
+def build_ess_spec(
+    *,
+    m_values: Sequence[int] = (3, 6),
+    k_values: Sequence[int] = (2, 3, 5),
+    n_random_mutants: int = 25,
+    seed: int = 0,
+) -> ExperimentSpec:
+    """Spec builder of the ``ess`` experiment (one task per family/M)."""
+    k_tuple = tuple(int(k) for k in k_values)
+    grid: list[dict[str, Any]] = []
+    for m in m_values:
+        for family in default_value_families(int(m)):
+            grid.append(
+                {
+                    "family": family,
+                    "m": int(m),
+                    "k_values": k_tuple,
+                    "n_random_mutants": int(n_random_mutants),
+                }
+            )
+    return ExperimentSpec(
+        name="ess",
+        description="Theorem 3: sigma_star is an ESS under the exclusive policy",
+        task=ess_audit_task,
+        grid=tuple(grid),
+        seed=int(seed),
+        metadata={
+            "m_values": tuple(int(m) for m in m_values),
+            "k_values": k_tuple,
+            "n_random_mutants": int(n_random_mutants),
+        },
+    )
+
+
 def ess_experiment(
     *,
     m_values: Sequence[int] = (3, 6),
@@ -53,48 +146,15 @@ def ess_experiment(
     n_random_mutants: int = 25,
     rng: np.random.Generator | int | None = 0,
 ) -> list[ESSRow]:
-    """Audit ``sigma_star`` on a grid of instances; one row per ``(family, M, k)``."""
-    generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
-    policy = ExclusivePolicy()
-    rows: list[ESSRow] = []
-    for m in m_values:
-        for family, make in default_value_families(m).items():
-            values = make()
-            for k in k_values:
-                resident = sigma_star(values, k).strategy
-                report = ess_report(
-                    values,
-                    resident,
-                    k,
-                    policy,
-                    n_random_mutants=n_random_mutants,
-                    rng=generator,
-                )
-                # Sample mutant for the dynamic checks: value-proportional play,
-                # falling back to a pure strategy when that coincides with the
-                # resident (e.g. on uniform value profiles).
-                mutant = Strategy.proportional(values.as_array())
-                if mutant.total_variation(resident) <= 1e-9:
-                    mutant = Strategy.point_mass(values.m, 0)
-                barrier = invasion_barrier(values, resident, mutant, k, policy)
-                initial_share = 0.02
-                dynamics = invasion_dynamics(
-                    values, resident, mutant, k, policy, initial_share=initial_share
-                )
-                suppressed = (not dynamics.mutant_fixated) and (
-                    dynamics.final_share < initial_share
-                )
-                rows.append(
-                    ESSRow(
-                        family=family,
-                        m=values.m,
-                        k=k,
-                        is_ess=report.is_ess,
-                        n_mutants=report.n_mutants,
-                        worst_margin=report.worst_margin,
-                        sample_invasion_barrier=barrier,
-                        mutant_suppressed=suppressed,
-                        mutant_final_share=dynamics.final_share,
-                    )
-                )
-    return rows
+    """Audit ``sigma_star`` on a grid of instances; one row per ``(family, M, k)``.
+
+    Thin client of the experiment runner (serial here; the CLI exposes the
+    process-pool path).
+    """
+    spec = build_ess_spec(
+        m_values=m_values,
+        k_values=k_values,
+        n_random_mutants=n_random_mutants,
+        seed=coerce_seed(rng),
+    )
+    return list(run_experiment(spec).rows)

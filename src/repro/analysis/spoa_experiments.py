@@ -9,15 +9,21 @@ Three claims are checked numerically:
   profile from the paper's proof;
 * **Kleinberg-Oren / Vetta bound** — the sharing policy's SPoA never exceeds 2
   on any instance encountered.
+
+The registered ``spoa`` experiment covers all three as task kinds
+(``worst-case`` / ``certificate`` / ``sharing-bound``) dispatched by
+:func:`spoa_task`; each task evaluates its whole instance grid with one or
+two :func:`repro.batch.spoa_batch` calls instead of per-instance loops.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Mapping, Sequence
 
 import numpy as np
 
+from repro.batch import spoa_batch
 from repro.core.policies import (
     AggressivePolicy,
     CongestionPolicy,
@@ -28,11 +34,24 @@ from repro.core.policies import (
     SharingPolicy,
     TwoLevelPolicy,
 )
-from repro.core.spoa import spoa_instance, spoa_lower_bound_certificate, spoa_search
+from repro.core.spoa import adversarial_values
 from repro.core.values import SiteValues
 from repro.analysis.observation1 import default_value_families
+from repro.experiments.registry import register_experiment
+from repro.experiments.runner import coerce_seed, run_experiment
+from repro.experiments.spec import ExperimentSpec
 
-__all__ = ["SPoARow", "spoa_experiment", "theorem6_certificates", "default_policy_roster"]
+__all__ = [
+    "SPoARow",
+    "CertificateRow",
+    "SharingBoundRow",
+    "spoa_experiment",
+    "theorem6_certificates",
+    "sharing_spoa_upper_bound_check",
+    "default_policy_roster",
+    "spoa_task",
+    "build_spoa_spec",
+]
 
 
 @dataclass(frozen=True)
@@ -43,6 +62,24 @@ class SPoARow:
     worst_ratio: float
     worst_m: int
     worst_k: int
+    n_instances: int
+
+
+@dataclass(frozen=True)
+class CertificateRow:
+    """Theorem 6 certificate: SPoA of one policy on the adversarial profile."""
+
+    policy_name: str
+    ratio: float
+    m: int
+    k: int
+
+
+@dataclass(frozen=True)
+class SharingBoundRow:
+    """Largest sharing-policy SPoA found by a randomized instance search."""
+
+    max_ratio: float
     n_instances: int
 
 
@@ -61,6 +98,165 @@ def default_policy_roster() -> list[CongestionPolicy]:
     ]
 
 
+def _structured_and_random_instances(
+    m_values: Sequence[int], n_random: int, rng: np.random.Generator
+) -> list[SiteValues]:
+    """The per-``M`` instance roster shared by the SPoA tasks."""
+    instances: list[SiteValues] = []
+    for m in m_values:
+        m = int(m)
+        instances.extend(make() for make in default_value_families(m).values())
+        instances.extend(SiteValues.random(m, rng) for _ in range(int(n_random)))
+    return instances
+
+
+def _worst_case_task(params: Mapping[str, Any], rng: np.random.Generator) -> SPoARow:
+    policy: CongestionPolicy = params["policy"]
+    m_values = tuple(int(m) for m in params["m_values"])
+    k_values = tuple(int(k) for k in params["k_values"])
+    n_random = int(params["n_random"])
+
+    instances = _structured_and_random_instances(m_values, n_random, rng)
+    batch = spoa_batch(instances, k_values, policy)
+    b, j = batch.argmax()
+    worst_ratio = float(batch.ratios[b, j])
+    worst_m = int(batch.padded.sizes[b])
+    worst_k = int(batch.k_grid[j])
+    count = batch.ratios.size
+
+    # The Theorem 6 adversarial profile, per (M, k) pair, evaluated at its
+    # own k only: one batched call per k over that k's ragged roster.
+    for k in k_values:
+        adversarial = [SiteValues.slowly_decreasing(max(int(m), 4 * k), k) for m in m_values]
+        adv_batch = spoa_batch(adversarial, [k], policy)
+        count += adv_batch.ratios.size
+        index = int(np.argmax(adv_batch.ratios[:, 0]))
+        ratio = float(adv_batch.ratios[index, 0])
+        if ratio > worst_ratio:
+            worst_ratio = ratio
+            worst_m = int(adv_batch.padded.sizes[index])
+            worst_k = k
+    return SPoARow(
+        policy_name=policy.name,
+        worst_ratio=worst_ratio,
+        worst_m=worst_m,
+        worst_k=worst_k,
+        n_instances=count,
+    )
+
+
+def _certificate_task(params: Mapping[str, Any], rng: np.random.Generator) -> CertificateRow:
+    policy: CongestionPolicy = params["policy"]
+    k = int(params["k"])
+    values = adversarial_values(policy, k, m=params.get("m"))
+    batch = spoa_batch([values], [k], policy)
+    return CertificateRow(
+        policy_name=policy.name, ratio=float(batch.ratios[0, 0]), m=values.m, k=k
+    )
+
+
+def _sharing_bound_task(params: Mapping[str, Any], rng: np.random.Generator) -> SharingBoundRow:
+    m_values = tuple(int(m) for m in params["m_values"])
+    k_values = tuple(int(k) for k in params["k_values"])
+    n_random = int(params["n_random"])
+    policy = SharingPolicy()
+
+    instances: list[SiteValues] = []
+    for m in m_values:
+        instances.extend(
+            [
+                SiteValues.uniform(m),
+                SiteValues.linear(m),
+                SiteValues.geometric(m, ratio=0.8),
+                SiteValues.zipf(m, exponent=1.0),
+            ]
+        )
+        instances.extend(SiteValues.slowly_decreasing(m, int(k)) for k in k_values)
+        instances.extend(SiteValues.random(m, rng) for _ in range(n_random))
+    batch = spoa_batch(instances, k_values, policy)
+    return SharingBoundRow(
+        max_ratio=float(batch.ratios.max()), n_instances=batch.ratios.size
+    )
+
+
+_TASK_KINDS = {
+    "worst-case": _worst_case_task,
+    "certificate": _certificate_task,
+    "sharing-bound": _sharing_bound_task,
+}
+
+
+def spoa_task(params: Mapping[str, Any], rng: np.random.Generator):
+    """Dispatching task of the ``spoa`` experiment (see module docstring)."""
+    return _TASK_KINDS[str(params["kind"])](params, rng)
+
+
+@register_experiment("spoa", "SPoA experiments: Corollary 5, Theorem 6, sharing bound")
+def build_spoa_spec(
+    *,
+    policies: Sequence[CongestionPolicy] | None = None,
+    m_values: Sequence[int] = (2, 5, 10),
+    k_values: Sequence[int] = (2, 3, 5),
+    n_random: int = 10,
+    certificate_k: int = 3,
+    sharing_k_values: Sequence[int] = (2, 3, 5, 8),
+    sharing_m_values: Sequence[int] = (2, 5, 10, 25),
+    sharing_n_random: int = 25,
+    include_certificates: bool = True,
+    include_sharing_bound: bool = True,
+    quick: bool = False,
+    seed: int = 0,
+) -> ExperimentSpec:
+    """Spec builder of the ``spoa`` experiment.
+
+    One ``worst-case`` task per policy, one ``certificate`` task per policy
+    (Theorem 6) and one ``sharing-bound`` task; ``quick=True`` shrinks every
+    grid to the CLI's fast preset.
+    """
+    if policies is None:
+        policies = default_policy_roster()
+    if quick:
+        m_values, k_values, n_random = (2, 5), (2, 3), 3
+        sharing_k_values, sharing_m_values, sharing_n_random = (2, 3), (2, 5), 5
+    grid: list[dict[str, Any]] = [
+        {
+            "kind": "worst-case",
+            "policy": policy,
+            "m_values": tuple(int(m) for m in m_values),
+            "k_values": tuple(int(k) for k in k_values),
+            "n_random": int(n_random),
+        }
+        for policy in policies
+    ]
+    if include_certificates:
+        grid.extend(
+            {"kind": "certificate", "policy": policy, "k": int(certificate_k)}
+            for policy in policies
+        )
+    if include_sharing_bound:
+        grid.append(
+            {
+                "kind": "sharing-bound",
+                "m_values": tuple(int(m) for m in sharing_m_values),
+                "k_values": tuple(int(k) for k in sharing_k_values),
+                "n_random": int(sharing_n_random),
+            }
+        )
+    return ExperimentSpec(
+        name="spoa",
+        description="Symmetric Price of Anarchy",
+        task=spoa_task,
+        grid=tuple(grid),
+        seed=int(seed),
+        metadata={
+            "policies": tuple(policy.name for policy in policies),
+            "m_values": tuple(int(m) for m in m_values),
+            "k_values": tuple(int(k) for k in k_values),
+            "n_random": int(n_random),
+        },
+    )
+
+
 def spoa_experiment(
     policies: Sequence[CongestionPolicy] | None = None,
     *,
@@ -70,36 +266,16 @@ def spoa_experiment(
     rng: np.random.Generator | int | None = 0,
 ) -> list[SPoARow]:
     """Evaluate the per-instance SPoA of each policy over a grid of instances."""
-    generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
-    if policies is None:
-        policies = default_policy_roster()
-
-    rows: list[SPoARow] = []
-    for policy in policies:
-        worst_ratio = -np.inf
-        worst_m = worst_k = 0
-        count = 0
-        for m in m_values:
-            instances = [make() for make in default_value_families(m).values()]
-            instances.extend(SiteValues.random(m, generator) for _ in range(n_random))
-            for k in k_values:
-                instances_k = instances + [SiteValues.slowly_decreasing(max(m, 4 * k), k)]
-                for values in instances_k:
-                    result = spoa_instance(values, k, policy)
-                    count += 1
-                    if result.ratio > worst_ratio:
-                        worst_ratio = result.ratio
-                        worst_m, worst_k = result.m, result.k
-        rows.append(
-            SPoARow(
-                policy_name=policy.name,
-                worst_ratio=float(worst_ratio),
-                worst_m=worst_m,
-                worst_k=worst_k,
-                n_instances=count,
-            )
-        )
-    return rows
+    spec = build_spoa_spec(
+        policies=policies,
+        m_values=m_values,
+        k_values=k_values,
+        n_random=n_random,
+        include_certificates=False,
+        include_sharing_bound=False,
+        seed=coerce_seed(rng),
+    )
+    return list(run_experiment(spec).rows)
 
 
 def theorem6_certificates(
@@ -114,13 +290,20 @@ def theorem6_certificates(
     """
     if policies is None:
         policies = default_policy_roster()
+    spec = ExperimentSpec(
+        name="spoa-certificates",
+        description="Theorem 6 certificates",
+        task=spoa_task,
+        grid=tuple(
+            {"kind": "certificate", "policy": policy, "k": int(k)} for policy in policies
+        ),
+    )
     certificates: dict[str, float] = {}
-    for policy in policies:
-        result = spoa_lower_bound_certificate(policy, k)
-        key = policy.name
+    for row in run_experiment(spec).rows:
+        key = row.policy_name
         if key in certificates:
             key = f"{key}-{len(certificates)}"
-        certificates[key] = float(result.ratio)
+        certificates[key] = float(row.ratio)
     return certificates
 
 
@@ -132,11 +315,19 @@ def sharing_spoa_upper_bound_check(
     rng: np.random.Generator | int | None = 0,
 ) -> float:
     """Largest sharing-policy SPoA found across a randomized search (should be <= 2)."""
-    ratio, _ = spoa_search(
-        SharingPolicy(),
-        k_values=tuple(k_values),
-        m_values=tuple(m_values),
-        n_random=n_random,
-        rng=rng,
+    spec = ExperimentSpec(
+        name="spoa-sharing-bound",
+        description="Sharing-policy SPoA randomized search",
+        task=spoa_task,
+        grid=(
+            {
+                "kind": "sharing-bound",
+                "m_values": tuple(int(m) for m in m_values),
+                "k_values": tuple(int(k) for k in k_values),
+                "n_random": int(n_random),
+            },
+        ),
+        seed=coerce_seed(rng),
     )
-    return float(ratio)
+    (row,) = run_experiment(spec).rows
+    return float(row.max_ratio)

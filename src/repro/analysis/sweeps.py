@@ -8,24 +8,40 @@ Two reusable sweeps back several benchmarks and examples:
 * :func:`support_size_sweep` — how the support ``W`` of ``sigma_star`` grows
   with ``k`` for different value-function shapes (the "how widely does intense
   competition spread the population" question).
+
+Both sweeps evaluate their whole ``k`` grid in one :mod:`repro.batch` pass
+per policy/family; the registered ``sweep`` experiment (one task per policy)
+is what backs the ``repro-dispersal sweep`` CLI command.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Any, Mapping, Sequence
 
 import numpy as np
 
-from repro.core.coverage import coverage
-from repro.core.ifd import ideal_free_distribution
-from repro.core.optimal_coverage import optimal_coverage
-from repro.core.policies import CongestionPolicy
-from repro.core.sigma_star import sigma_star
+from repro.batch import sigma_star_batch, spoa_batch
+from repro.core.policies import (
+    CongestionPolicy,
+    ConstantPolicy,
+    ExclusivePolicy,
+    SharingPolicy,
+)
 from repro.core.values import SiteValues
+from repro.experiments.registry import register_experiment
+from repro.experiments.spec import ExperimentSpec
 from repro.utils.validation import check_positive_integer
 
-__all__ = ["SweepResult", "coverage_ratio_sweep", "support_size_sweep"]
+__all__ = [
+    "SweepResult",
+    "SweepPointRow",
+    "coverage_ratio_sweep",
+    "support_size_sweep",
+    "coverage_ratio_task",
+    "build_sweep_spec",
+    "assemble_sweep",
+]
 
 
 @dataclass(frozen=True)
@@ -43,6 +59,114 @@ class SweepResult:
         return series
 
 
+@dataclass(frozen=True)
+class SweepPointRow:
+    """One ``(policy, k)`` point of a coverage-ratio sweep.
+
+    ``task_index`` is the position of the policy in the spec grid; the
+    assembler groups rows by it, so curves never have to be re-inferred from
+    the (possibly duplicated) policy names or ``k`` values.
+    """
+
+    policy_name: str
+    m: int
+    k: int
+    ratio: float
+    task_index: int = 0
+
+
+def _coverage_ratio_curve(
+    values: SiteValues, policy: CongestionPolicy, ks: np.ndarray, **solver_kwargs
+) -> np.ndarray:
+    """Equilibrium/optimal coverage for one policy over a whole ``k`` grid."""
+    batch = spoa_batch([values], ks, policy, **solver_kwargs)
+    optimal = batch.optimal_coverages[0]
+    equilibrium = batch.equilibrium_coverages[0]
+    return np.where(optimal > 0, equilibrium / np.where(optimal > 0, optimal, 1.0), 0.0)
+
+
+def coverage_ratio_task(params: Mapping[str, Any], rng: np.random.Generator) -> list[SweepPointRow]:
+    """Runner task: one policy's coverage-ratio curve over the ``k`` grid."""
+    policy: CongestionPolicy = params["policy"]
+    values = SiteValues.from_values(np.asarray(params["values"], dtype=float))
+    ks = np.asarray([int(k) for k in params["k_values"]], dtype=np.int64)
+    task_index = int(params.get("task_index", 0))
+    ratios = _coverage_ratio_curve(values, policy, ks)
+    return [
+        SweepPointRow(
+            policy_name=policy.name,
+            m=values.m,
+            k=int(k),
+            ratio=float(r),
+            task_index=task_index,
+        )
+        for k, r in zip(ks, ratios)
+    ]
+
+
+@register_experiment("sweep", "Coverage-ratio sweep over k for a roster of policies")
+def build_sweep_spec(
+    *,
+    policies: Sequence[CongestionPolicy] | None = None,
+    values: SiteValues | Sequence[float] | None = None,
+    m: int = 20,
+    k_values: Sequence[int] = (2, 3, 4, 6, 8, 12, 16),
+    seed: int = 0,
+) -> ExperimentSpec:
+    """Spec builder of the ``sweep`` experiment (one task per policy).
+
+    ``policies`` defaults to the three policies the paper names explicitly.
+    """
+    if policies is None:
+        policies = [ExclusivePolicy(), SharingPolicy(), ConstantPolicy()]
+    if values is None:
+        values = SiteValues.zipf(check_positive_integer(m, "m"), exponent=1.0)
+    f = values if isinstance(values, SiteValues) else SiteValues.from_values(np.asarray(values))
+    raw = tuple(float(v) for v in f.as_array())
+    k_tuple = tuple(check_positive_integer(int(k), "k") for k in k_values)
+    grid = [
+        {"policy": policy, "values": raw, "k_values": k_tuple, "task_index": index}
+        for index, policy in enumerate(policies)
+    ]
+    return ExperimentSpec(
+        name="sweep",
+        description=f"Equilibrium coverage / optimal coverage (M={f.m})",
+        task=coverage_ratio_task,
+        grid=tuple(grid),
+        seed=int(seed),
+        metadata={
+            "policies": tuple(policy.name for policy in policies),
+            "m": f.m,
+            "k_values": k_tuple,
+        },
+    )
+
+
+def assemble_sweep(rows: Sequence[SweepPointRow]) -> SweepResult:
+    """Fold per-point rows into the labelled-curves view.
+
+    Curves are grouped by the rows' ``task_index`` (the exact per-policy task
+    boundary recorded by the spec builder); a second policy with the same
+    display name is disambiguated with a suffix, matching
+    :func:`coverage_ratio_sweep`.
+    """
+    groups: dict[int, list[SweepPointRow]] = {}
+    for row in rows:
+        groups.setdefault(row.task_index, []).append(row)
+    curves: dict[str, np.ndarray] = {}
+    k_axis: np.ndarray = np.empty(0)
+    for task_index in sorted(groups):
+        points = groups[task_index]
+        name = points[0].policy_name
+        if name in curves:
+            name = f"{name}-{len(curves)}"
+        curves[name] = np.asarray([p.ratio for p in points])
+        if not k_axis.size:
+            # Every task shares the spec's k grid (duplicates preserved).
+            k_axis = np.asarray([p.k for p in points], dtype=float)
+    return SweepResult(x_label="k", x_values=k_axis, curves=curves)
+
+
 def coverage_ratio_sweep(
     values: SiteValues | np.ndarray,
     policies: Sequence[CongestionPolicy],
@@ -52,18 +176,13 @@ def coverage_ratio_sweep(
 ) -> SweepResult:
     """Equilibrium coverage / optimal coverage, per policy, as ``k`` grows."""
     f = values if isinstance(values, SiteValues) else SiteValues.from_values(values)
-    ks = np.asarray([check_positive_integer(k, "k") for k in k_values], dtype=int)
+    ks = np.asarray([check_positive_integer(k, "k") for k in k_values], dtype=np.int64)
     curves: dict[str, np.ndarray] = {}
     for policy in policies:
-        ratios = np.empty(ks.size)
-        for index, k in enumerate(ks):
-            best = optimal_coverage(f, int(k))
-            equilibrium = ideal_free_distribution(f, int(k), policy, **solver_kwargs)
-            ratios[index] = coverage(f, equilibrium.strategy, int(k)) / best
         name = policy.name
         if name in curves:
             name = f"{name}-{len(curves)}"
-        curves[name] = ratios
+        curves[name] = _coverage_ratio_curve(f, policy, ks, **solver_kwargs)
     return SweepResult(x_label="k", x_values=ks.astype(float), curves=curves)
 
 
@@ -72,12 +191,14 @@ def support_size_sweep(
     *,
     k_values: Sequence[int] = (2, 3, 5, 8, 13, 21, 34),
 ) -> SweepResult:
-    """Support size ``W`` of ``sigma_star`` as a function of ``k`` for each family."""
-    ks = np.asarray([check_positive_integer(k, "k") for k in k_values], dtype=int)
-    curves: dict[str, np.ndarray] = {}
-    for name, values in value_families.items():
-        supports = np.empty(ks.size)
-        for index, k in enumerate(ks):
-            supports[index] = sigma_star(values, int(k)).support_size
-        curves[name] = supports
+    """Support size ``W`` of ``sigma_star`` as a function of ``k`` for each family.
+
+    Solved for every ``(family, k)`` cell in a single batched pass.
+    """
+    ks = np.asarray([check_positive_integer(k, "k") for k in k_values], dtype=np.int64)
+    names = list(value_families)
+    supports = sigma_star_batch(list(value_families.values()), ks).support_sizes
+    curves = {
+        name: supports[index].astype(float) for index, name in enumerate(names)
+    }
     return SweepResult(x_label="k", x_values=ks.astype(float), curves=curves)

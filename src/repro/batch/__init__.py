@@ -1,0 +1,49 @@
+"""Batched instance solvers: whole ``(instances x k-grid)`` grids per call.
+
+The scalar solvers of :mod:`repro.core` operate on one ``(f, k)`` instance at
+a time, which makes large experiment grids dominated by Python-loop overhead.
+This subpackage solves entire grids in a handful of NumPy passes:
+
+* :class:`~repro.batch.padding.PaddedValues` — a ragged collection of value
+  profiles packed into one padded ``(B, M_max)`` matrix plus a validity mask;
+* :func:`~repro.batch.solvers.sigma_star_batch` /
+  :func:`~repro.batch.solvers.support_size_batch` — the closed-form
+  exclusive-policy equilibrium for every instance and every ``k`` at once
+  (shared cumulative-sum support computation across the ``k`` grid);
+* :func:`~repro.batch.solvers.coverage_batch` /
+  :func:`~repro.batch.solvers.optimal_coverage_batch` — the coverage
+  functional and its optimum over the same grid;
+* :func:`~repro.batch.ifd.ifd_batch` — the general nested-bisection IFD
+  solver vectorised over instances (outer bisection on a *vector* of
+  equilibrium values, inner bisection over all sites of all instances);
+* :func:`~repro.batch.spoa.spoa_batch` — per-instance symmetric price of
+  anarchy over the grid.
+
+Every ``*_batch`` function agrees elementwise with its scalar counterpart
+(property-tested in ``tests/test_batch.py``); the batch layer is what the
+experiment runner of :mod:`repro.experiments` builds on.
+"""
+
+from repro.batch.padding import PaddedValues
+from repro.batch.solvers import (
+    SigmaStarBatch,
+    coverage_batch,
+    optimal_coverage_batch,
+    sigma_star_batch,
+    support_size_batch,
+)
+from repro.batch.ifd import IFDBatch, ifd_batch
+from repro.batch.spoa import SPoABatch, spoa_batch
+
+__all__ = [
+    "PaddedValues",
+    "SigmaStarBatch",
+    "sigma_star_batch",
+    "support_size_batch",
+    "coverage_batch",
+    "optimal_coverage_batch",
+    "IFDBatch",
+    "ifd_batch",
+    "SPoABatch",
+    "spoa_batch",
+]

@@ -1,0 +1,228 @@
+"""Batched Ideal Free Distribution solver for arbitrary congestion policies.
+
+The scalar :func:`repro.core.ifd.ideal_free_distribution` runs a nested
+bisection per instance: an outer bisection on the equilibrium value ``v`` and
+an inner vectorised bisection solving ``f(x) * g(q_x) = v`` over sites.  Here
+the same algorithm runs over a whole instance batch at once — the outer
+bisection tracks a *vector* of brackets (one per instance) and the inner
+bisection solves all sites of all instances simultaneously, so the per-``k``
+cost is a few hundred NumPy passes regardless of the batch size.
+
+The exclusive policy short-circuits to the closed form
+:func:`repro.batch.solvers.sigma_star_batch`, exactly like the scalar solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.batch.padding import PaddedValues
+from repro.batch.solvers import SigmaStarBatch, as_k_grid, as_padded, sigma_star_batch
+from repro.core.policies import CongestionPolicy
+from repro.utils.numerics import binomial_pmf_matrix
+
+__all__ = ["IFDBatch", "ifd_batch"]
+
+
+@dataclass(frozen=True)
+class IFDBatch:
+    """The IFD of every ``(instance, k)`` cell of a grid.
+
+    Attributes
+    ----------
+    probabilities:
+        ``(B, K, M_max)`` equilibrium strategies; padding columns are zero.
+    values:
+        ``(B, K)`` equilibrium payoffs (realised support values).
+    support_sizes:
+        ``(B, K)`` support sizes.
+    converged:
+        ``(B, K)`` convergence flags of the nested bisection (always ``True``
+        on closed-form cells).
+    k_grid, padded:
+        Axes of the grid, as in :class:`~repro.batch.solvers.SigmaStarBatch`.
+    """
+
+    probabilities: np.ndarray
+    values: np.ndarray
+    support_sizes: np.ndarray
+    converged: np.ndarray
+    k_grid: np.ndarray
+    padded: PaddedValues
+
+
+def _congestion_expectation(
+    q: np.ndarray, c_table: np.ndarray, n_opponents: int
+) -> np.ndarray:
+    """``g(q) = E[C(1 + Binomial(n_opponents, q))]`` for an arbitrary-shape ``q``."""
+    flat = np.clip(q.ravel(), 0.0, 1.0)
+    pmf = binomial_pmf_matrix(n_opponents, flat)
+    return (pmf @ c_table).reshape(q.shape)
+
+
+def _ifd_fixed_k(
+    F: np.ndarray,
+    mask: np.ndarray,
+    k: int,
+    policy: CongestionPolicy,
+    *,
+    tol: float,
+    max_outer_iter: int,
+    max_inner_iter: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised nested bisection: all instances of the batch, one ``k``."""
+    B, M = F.shape
+    c_table = policy.table(k)
+    g_at_one = float(c_table[-1])  # g(1) = C(k)
+
+    def site_probabilities(v: np.ndarray) -> np.ndarray:
+        """Solve ``f(x) * g(q_x) = v_b`` for every site of every instance."""
+        v_col = v[:, None]
+        active = mask & (F > v_col)
+        saturated = active & (F * g_at_one >= v_col)
+        solve = active & ~saturated
+        q = np.zeros_like(F)
+        q[saturated] = 1.0
+        if np.any(solve):
+            lo = np.zeros_like(F)
+            hi = np.ones_like(F)
+            for _ in range(max_inner_iter):
+                mid = 0.5 * (lo + hi)
+                residual = F * _congestion_expectation(mid, c_table, k - 1) - v_col
+                go_right = residual > 0  # g is non-increasing in q
+                lo = np.where(go_right, mid, lo)
+                hi = np.where(go_right, hi, mid)
+                if np.all(hi - lo <= 1e-15):
+                    break
+            q = np.where(solve, 0.5 * (lo + hi), q)
+        return q
+
+    # Outer bisection on the per-instance equilibrium value v: the total
+    # probability mass is non-increasing in v.
+    last = np.take_along_axis(F, (mask.sum(axis=1) - 1)[:, None], axis=1)[:, 0]
+    hi = F[:, 0].astype(float).copy()
+    # g(1) may be negative (aggressive policies), so bracket from below with
+    # both endpoints of f * g(1) as well as zero.
+    lo = np.minimum(np.minimum(last * g_at_one, F[:, 0] * g_at_one), 0.0)
+    degenerate = lo == hi
+    lo[degenerate] = hi[degenerate] - 1.0
+    for _ in range(max_outer_iter):
+        mid = 0.5 * (lo + hi)
+        totals = site_probabilities(mid).sum(axis=1)
+        grow = totals >= 1.0
+        lo = np.where(grow, mid, lo)
+        hi = np.where(grow, hi, mid)
+        if np.all(hi - lo <= tol * np.maximum(1.0, np.abs(hi))):
+            break
+
+    probabilities = site_probabilities(0.5 * (lo + hi))
+    totals = probabilities.sum(axis=1)
+    if np.any(totals <= 0):
+        raise RuntimeError("batched IFD solver failed: zero total probability mass")
+    converged = np.isclose(totals, 1.0, atol=1e-6)
+    probabilities /= totals[:, None]
+    return probabilities, converged
+
+
+def ifd_batch(
+    values: PaddedValues | Sequence,
+    k_grid: Sequence[int] | np.ndarray | int,
+    policy: CongestionPolicy,
+    *,
+    tol: float = 1e-12,
+    max_outer_iter: int = 120,
+    max_inner_iter: int = 80,
+    use_closed_form: bool = True,
+    closed_form: SigmaStarBatch | None = None,
+) -> IFDBatch:
+    """Compute the IFD of every ``(instance, k)`` cell for one congestion policy.
+
+    Matches the scalar :func:`repro.core.ifd.ideal_free_distribution`
+    elementwise (property-tested to ``~1e-6`` total variation).  The batch
+    axis never appears in a Python loop; only the (small) ``k`` grid does,
+    because the congestion expectation ``g`` depends on ``k``.
+
+    ``closed_form`` may supply an already-computed
+    :func:`~repro.batch.solvers.sigma_star_batch` over the *same* instances
+    and ``k`` grid, which the exclusive-policy fast path then reuses instead
+    of solving again (:func:`repro.batch.spoa.spoa_batch` does this).
+    """
+    padded = as_padded(values)
+    ks = as_k_grid(k_grid)
+    B, M, K = padded.batch_size, padded.width, ks.size
+    F = padded.values
+    mask = padded.mask
+
+    probabilities = np.zeros((B, K, M), dtype=float)
+    eq_values = np.zeros((B, K), dtype=float)
+    support_sizes = np.zeros((B, K), dtype=np.int64)
+    converged = np.ones((B, K), dtype=bool)
+
+    closed_columns = np.array(
+        [bool(use_closed_form) and policy.is_exclusive(int(k)) and k > 1 for k in ks]
+    )
+    if np.any(closed_columns):
+        if (
+            closed_form is not None
+            and closed_form.padded is padded
+            and np.array_equal(closed_form.k_grid, ks)
+        ):
+            star = closed_form
+            probabilities[:, closed_columns, :] = star.probabilities[:, closed_columns, :]
+            eq_values[:, closed_columns] = star.equilibrium_values[:, closed_columns]
+            support_sizes[:, closed_columns] = star.support_sizes[:, closed_columns]
+        else:
+            star = sigma_star_batch(padded, ks[closed_columns])
+            probabilities[:, closed_columns, :] = star.probabilities
+            eq_values[:, closed_columns] = star.equilibrium_values
+            support_sizes[:, closed_columns] = star.support_sizes
+
+    for k_index, k in enumerate(ks):
+        if closed_columns[k_index]:
+            continue
+        k = int(k)
+        policy.validate(k)
+        if k == 1:
+            probabilities[:, k_index, 0] = 1.0
+            eq_values[:, k_index] = F[:, 0]
+            support_sizes[:, k_index] = 1
+            continue
+        c_table = policy.table(k)
+        if np.allclose(c_table, c_table[0], atol=1e-12):
+            # No congestion cost: mass spreads over the maximum-value sites.
+            top = np.isclose(F, F[:, :1], rtol=0.0, atol=1e-12) & mask
+            probs = top / top.sum(axis=1, keepdims=True)
+            probabilities[:, k_index, :] = probs
+            eq_values[:, k_index] = F[:, 0] * float(c_table[0])
+            support_sizes[:, k_index] = top.sum(axis=1)
+            continue
+        probs, ok = _ifd_fixed_k(
+            F,
+            mask,
+            k,
+            policy,
+            tol=tol,
+            max_outer_iter=max_outer_iter,
+            max_inner_iter=max_inner_iter,
+        )
+        probabilities[:, k_index, :] = probs
+        converged[:, k_index] = ok
+        support = probs > 1e-12
+        support_sizes[:, k_index] = support.sum(axis=1)
+        # Realised equilibrium value: mean site value over the support.
+        nu = F * _congestion_expectation(probs, c_table, k - 1)
+        masked = np.where(support, nu, 0.0)
+        counts = np.maximum(support.sum(axis=1), 1)
+        eq_values[:, k_index] = masked.sum(axis=1) / counts
+
+    return IFDBatch(
+        probabilities=probabilities,
+        values=eq_values,
+        support_sizes=support_sizes,
+        converged=converged,
+        k_grid=ks,
+        padded=padded,
+    )

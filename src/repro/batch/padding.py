@@ -1,0 +1,105 @@
+"""Packing ragged collections of value profiles into padded matrices.
+
+A batch of game instances rarely shares one site count ``M``.  The batch
+solvers therefore operate on a :class:`PaddedValues`: all profiles stacked
+into a single ``(B, M_max)`` matrix, short rows padded with their own smallest
+value (so logarithms and negative powers stay finite) and a boolean mask
+marking the real entries.  Padding never leaks into results — every solver
+masks it out of support computations and zeroes it in returned strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.values import SiteValues
+
+__all__ = ["PaddedValues"]
+
+
+@dataclass(frozen=True)
+class PaddedValues:
+    """A batch of ``B`` value profiles padded to a common width ``M_max``.
+
+    Attributes
+    ----------
+    values:
+        ``(B, M_max)`` float matrix; row ``b`` holds the ``sizes[b]`` site
+        values in non-increasing order, then copies of its smallest value.
+    sizes:
+        ``(B,)`` integer vector of true site counts.
+    """
+
+    values: np.ndarray
+    sizes: np.ndarray
+
+    def __post_init__(self) -> None:
+        values = np.ascontiguousarray(np.asarray(self.values, dtype=float))
+        sizes = np.ascontiguousarray(np.asarray(self.sizes, dtype=np.int64))
+        if values.ndim != 2:
+            raise ValueError("values must be a 2-D (B, M_max) matrix")
+        if sizes.shape != (values.shape[0],):
+            raise ValueError("sizes must be a (B,) vector matching values")
+        if np.any(sizes < 1) or np.any(sizes > values.shape[1]):
+            raise ValueError("sizes must lie in [1, M_max]")
+        if np.any(values <= 0):
+            raise ValueError("site values (including padding) must be strictly positive")
+        object.__setattr__(self, "values", values)
+        object.__setattr__(self, "sizes", sizes)
+        self.values.setflags(write=False)
+        self.sizes.setflags(write=False)
+
+    # ----------------------------------------------------------- constructors
+    @classmethod
+    def from_instances(
+        cls, instances: Iterable[SiteValues | Sequence[float] | np.ndarray]
+    ) -> "PaddedValues":
+        """Pack an iterable of value profiles (ragged ``M`` allowed).
+
+        Raw arrays are routed through :class:`~repro.core.values.SiteValues`
+        so they inherit its validation and non-increasing sort.
+        """
+        rows = [
+            item if isinstance(item, SiteValues) else SiteValues.from_values(np.asarray(item))
+            for item in instances
+        ]
+        if not rows:
+            raise ValueError("cannot pack an empty batch of instances")
+        sizes = np.array([row.m for row in rows], dtype=np.int64)
+        width = int(sizes.max())
+        values = np.empty((len(rows), width), dtype=float)
+        for index, row in enumerate(rows):
+            arr = row.as_array()
+            values[index, : arr.size] = arr
+            values[index, arr.size :] = arr[-1]
+        return cls(values, sizes)
+
+    # ----------------------------------------------------------------- basics
+    @property
+    def batch_size(self) -> int:
+        """Number of instances ``B``."""
+        return int(self.values.shape[0])
+
+    @property
+    def width(self) -> int:
+        """Padded width ``M_max``."""
+        return int(self.values.shape[1])
+
+    @property
+    def mask(self) -> np.ndarray:
+        """Boolean ``(B, M_max)`` matrix; ``True`` on real (non-padding) sites."""
+        return np.arange(self.width)[None, :] < self.sizes[:, None]
+
+    def row(self, index: int) -> SiteValues:
+        """Recover instance ``index`` as a :class:`~repro.core.values.SiteValues`."""
+        size = int(self.sizes[index])
+        return SiteValues.from_values(self.values[index, :size])
+
+    def __len__(self) -> int:
+        return self.batch_size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"PaddedValues(B={self.batch_size}, M_max={self.width})"

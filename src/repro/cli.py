@@ -2,44 +2,57 @@
 
 Usage (after ``pip install -e .``)::
 
-    repro-dispersal figure1 [--output-dir results/]
+    repro-dispersal figure1 [--output-dir results/] [--seed 0] [--json]
     repro-dispersal observation1
-    repro-dispersal spoa
-    repro-dispersal ess
+    repro-dispersal spoa [--quick]
+    repro-dispersal ess [--mutants 25]
     repro-dispersal sweep [--m 20] [--policy sharing exclusive]
+    repro-dispersal experiments
 
-or equivalently ``python -m repro.cli ...``.  Each sub-command prints a text
-report; ``figure1`` additionally writes the numeric series to CSV when an
-output directory is given.
+or equivalently ``python -m repro.cli ...``.  Every sub-command is a thin
+client of the experiment registry (:mod:`repro.experiments`): the command
+builds the registered spec, hands it to the runner and renders the resulting
+rows.  Three flags are shared by all sub-commands:
+
+``--seed S``
+    Base seed of the experiment; reruns with the same seed are bit-identical
+    (per-task generators are spawned deterministically from it).
+``--json``
+    Print the structured :class:`~repro.experiments.result.ExperimentResult`
+    as JSON instead of the text report.
+``--workers N``
+    Fan tasks out to ``N`` worker processes (``0`` = serial, ``-1`` = one per
+    CPU); the output does not depend on the worker count.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 from pathlib import Path
 from typing import Sequence
 
-import numpy as np
-
-from repro.analysis.ess_experiments import ess_experiment
-from repro.analysis.figure1 import figure1_panels, write_figure1_csv
-from repro.analysis.observation1 import observation1_experiment
+from repro.analysis.ess_experiments import build_ess_spec
+from repro.analysis.figure1 import assemble_figure1_panels, build_figure1_spec, write_panels_csv
+from repro.analysis.observation1 import build_observation1_spec
 from repro.analysis.reporting import figure1_report, render_report, rows_to_table
 from repro.analysis.spoa_experiments import (
-    sharing_spoa_upper_bound_check,
-    spoa_experiment,
-    theorem6_certificates,
+    CertificateRow,
+    SharingBoundRow,
+    SPoARow,
+    build_spoa_spec,
 )
-from repro.analysis.sweeps import coverage_ratio_sweep
+from repro.analysis.sweeps import assemble_sweep, build_sweep_spec
 from repro.core.policies import (
     AggressivePolicy,
-    CongestionPolicy,
     ConstantPolicy,
     ExclusivePolicy,
     PowerLawPolicy,
     SharingPolicy,
 )
-from repro.core.values import SiteValues
+from repro.experiments.registry import experiment_names, get_experiment
+from repro.experiments.result import ExperimentResult
+from repro.experiments.runner import run_experiment
 from repro.utils.tables import format_table
 
 __all__ = ["main", "build_parser"]
@@ -55,26 +68,46 @@ _POLICY_FACTORIES = {
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed separately for testing)."""
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--seed", type=int, default=0, help="Base seed (bit-identical reruns).")
+    common.add_argument(
+        "--json", action="store_true", help="Print the structured result as JSON."
+    )
+    common.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="Worker processes (0 = serial, -1 = one per CPU).",
+    )
+
     parser = argparse.ArgumentParser(
         prog="repro-dispersal",
         description="Reproduction experiments for Collet & Korman, SPAA 2018.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    fig = sub.add_parser("figure1", help="Regenerate the two panels of Figure 1.")
+    fig = sub.add_parser(
+        "figure1", parents=[common], help="Regenerate the two panels of Figure 1."
+    )
     fig.add_argument("--output-dir", type=Path, default=None, help="Write CSV series here.")
     fig.add_argument("--points", type=int, default=51, help="Grid points on c in [-0.5, 0.5].")
     fig.add_argument("--no-plot", action="store_true", help="Skip the ASCII plots.")
 
-    sub.add_parser("observation1", help="Check the (1 - 1/e) coverage bound.")
+    sub.add_parser(
+        "observation1", parents=[common], help="Check the (1 - 1/e) coverage bound."
+    )
 
-    spoa = sub.add_parser("spoa", help="SPoA experiments (Corollary 5, Theorem 6).")
+    spoa = sub.add_parser(
+        "spoa", parents=[common], help="SPoA experiments (Corollary 5, Theorem 6)."
+    )
     spoa.add_argument("--quick", action="store_true", help="Smaller instance grid.")
 
-    ess = sub.add_parser("ess", help="ESS audit of sigma_star (Theorem 3).")
+    ess = sub.add_parser("ess", parents=[common], help="ESS audit of sigma_star (Theorem 3).")
     ess.add_argument("--mutants", type=int, default=25, help="Random mutants per instance.")
 
-    sweep = sub.add_parser("sweep", help="Coverage-ratio sweep over k for several policies.")
+    sweep = sub.add_parser(
+        "sweep", parents=[common], help="Coverage-ratio sweep over k for several policies."
+    )
     sweep.add_argument("--m", type=int, default=20, help="Number of sites.")
     sweep.add_argument(
         "--policy",
@@ -82,21 +115,38 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(_POLICY_FACTORIES),
         default=["exclusive", "sharing", "constant"],
     )
+
+    sub.add_parser(
+        "experiments", parents=[common], help="List the registered experiments."
+    )
     return parser
 
 
+def _execute(spec, args: argparse.Namespace) -> ExperimentResult:
+    return run_experiment(spec, max_workers=args.workers)
+
+
 def _run_figure1(args: argparse.Namespace) -> str:
-    c_grid = np.linspace(-0.5, 0.5, args.points)
-    panels = figure1_panels(c_grid=c_grid)
+    spec = build_figure1_spec(points=args.points, seed=args.seed)
+    result = _execute(spec, args)
+    panels = assemble_figure1_panels(result.rows)
+    # CSV artifacts are written regardless of the output mode, so --json and
+    # --output-dir compose.
+    paths = write_panels_csv(panels, args.output_dir) if args.output_dir is not None else []
+    if args.json:
+        return result.to_json(timing=False)
     report = figure1_report(panels, plot=not args.no_plot)
-    if args.output_dir is not None:
-        paths = write_figure1_csv(args.output_dir, c_grid=c_grid)
+    if paths:
         report += "\n\nCSV written to:\n" + "\n".join(str(path) for path in paths)
     return report
 
 
-def _run_observation1(_: argparse.Namespace) -> str:
-    rows = observation1_experiment()
+def _run_observation1(args: argparse.Namespace) -> str:
+    spec = build_observation1_spec(seed=args.seed)
+    result = _execute(spec, args)
+    if args.json:
+        return result.to_json(timing=False)
+    rows = list(result.rows)
     holds = all(row.holds for row in rows)
     return render_report(
         "Observation 1: Cover(p*) > (1 - 1/e) * top-k value",
@@ -107,28 +157,51 @@ def _run_observation1(_: argparse.Namespace) -> str:
 
 
 def _run_spoa(args: argparse.Namespace) -> str:
-    if args.quick:
-        rows = spoa_experiment(m_values=(2, 5), k_values=(2, 3), n_random=3)
-    else:
-        rows = spoa_experiment()
-    certificates = theorem6_certificates()
+    spec = build_spoa_spec(quick=args.quick, seed=args.seed)
+    result = _execute(spec, args)
+    if args.json:
+        return result.to_json(timing=False)
+    worst_rows = result.rows_of_type(SPoARow)
+    certificates = result.rows_of_type(CertificateRow)
+    sharing_rows = result.rows_of_type(SharingBoundRow)
+    # Duplicate display names (two-level / power-law parameterisations) are
+    # suffixed, matching the legacy theorem6_certificates() dict keys.
+    cert_names: list[str] = []
+    for row in certificates:
+        name = row.policy_name
+        if name in cert_names:
+            name = f"{name}-{len(cert_names)}"
+        cert_names.append(name)
     cert_table = format_table(
-        ["policy", "SPoA on Theorem-6 instance"],
-        [[name, value] for name, value in certificates.items()],
+        ["policy", "m", "k", "SPoA on Theorem-6 instance"],
+        [
+            [name, row.m, row.k, row.ratio]
+            for name, row in zip(cert_names, certificates)
+        ],
     )
-    sharing_bound = sharing_spoa_upper_bound_check(n_random=5 if args.quick else 25)
+    sharing_line = "\n".join(
+        f"max ratio found: {row.max_ratio:.6f} ({row.n_instances} instances)"
+        for row in sharing_rows
+    )
     return render_report(
         "Symmetric Price of Anarchy",
         [
-            ("Worst per-instance SPoA per policy (Corollary 5: exclusive = 1)", rows_to_table(rows)),
+            (
+                "Worst per-instance SPoA per policy (Corollary 5: exclusive = 1)",
+                rows_to_table(worst_rows),
+            ),
             ("Theorem 6 certificates (non-exclusive policies are > 1)", cert_table),
-            ("Sharing policy randomized search (bound is 2)", f"max ratio found: {sharing_bound:.6f}"),
+            ("Sharing policy randomized search (bound is 2)", sharing_line),
         ],
     )
 
 
 def _run_ess(args: argparse.Namespace) -> str:
-    rows = ess_experiment(n_random_mutants=args.mutants)
+    spec = build_ess_spec(n_random_mutants=args.mutants, seed=args.seed)
+    result = _execute(spec, args)
+    if args.json:
+        return result.to_json(timing=False)
+    rows = list(result.rows)
     all_ess = all(row.is_ess for row in rows)
     return render_report(
         "Theorem 3: sigma_star is an ESS under the exclusive policy",
@@ -139,9 +212,12 @@ def _run_ess(args: argparse.Namespace) -> str:
 
 
 def _run_sweep(args: argparse.Namespace) -> str:
-    policies: list[CongestionPolicy] = [_POLICY_FACTORIES[name]() for name in args.policy]
-    values = SiteValues.zipf(args.m, exponent=1.0)
-    sweep = coverage_ratio_sweep(values, policies)
+    policies = [_POLICY_FACTORIES[name]() for name in args.policy]
+    spec = build_sweep_spec(policies=policies, m=args.m, seed=args.seed)
+    result = _execute(spec, args)
+    if args.json:
+        return result.to_json(timing=False)
+    sweep = assemble_sweep(result.rows)
     headers = [sweep.x_label] + list(sweep.curves.keys())
     rows = []
     for index, x in enumerate(sweep.x_values):
@@ -149,6 +225,19 @@ def _run_sweep(args: argparse.Namespace) -> str:
     return render_report(
         f"Equilibrium coverage / optimal coverage on a Zipf instance (M={args.m})",
         [("ratio by number of players k", format_table(headers, rows))],
+    )
+
+
+def _run_experiments(args: argparse.Namespace) -> str:
+    definitions = [get_experiment(name) for name in experiment_names()]
+    if args.json:
+        return json.dumps(
+            {d.name: d.summary for d in definitions}, indent=2, sort_keys=True
+        )
+    lines = [[d.name, d.summary] for d in definitions]
+    return render_report(
+        "Registered experiments",
+        [("name / summary", format_table(["experiment", "summary"], lines))],
     )
 
 
@@ -162,6 +251,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "spoa": _run_spoa,
         "ess": _run_ess,
         "sweep": _run_sweep,
+        "experiments": _run_experiments,
     }
     print(runners[args.command](args))
     return 0

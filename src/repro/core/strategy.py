@@ -14,6 +14,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.utils.sampling import inverse_cdf_sample, strategy_cdf
 from repro.utils.validation import check_positive_integer, check_probability, check_probability_vector
 
 __all__ = ["Strategy"]
@@ -155,12 +156,13 @@ class Strategy:
     ) -> np.ndarray:
         """Draw site choices for ``k`` players over ``n_trials`` independent games.
 
-        Returns an ``(n_trials, k)`` integer array of 0-based site indices.
+        Returns an ``(n_trials, k)`` integer array of 0-based site indices,
+        drawn with the shared batched inverse-CDF sampler.
         """
         k = check_positive_integer(k, "k")
         n_trials = check_positive_integer(n_trials, "n_trials")
         generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
-        return generator.choice(self.m, size=(n_trials, k), p=self.probabilities)
+        return inverse_cdf_sample(strategy_cdf(self.probabilities), (n_trials, k), generator)
 
     # ------------------------------------------------------------ constructors
     @staticmethod

@@ -1,0 +1,47 @@
+"""Declarative, parallel experiment runner for the reproduction harness.
+
+The subsystem splits an experiment into three orthogonal pieces:
+
+* a **spec** (:class:`~repro.experiments.spec.ExperimentSpec`): a picklable
+  task function plus a grid of task parameter mappings and a base seed — a
+  complete, declarative description of the computation;
+* a **runner** (:func:`~repro.experiments.runner.run_experiment`): expands the
+  grid, derives one independent child seed per task with NumPy's
+  ``SeedSequence`` spawning (deterministic in the base seed and the task
+  index, so results are bit-identical regardless of scheduling), and executes
+  the tasks either serially or on a chunked ``ProcessPoolExecutor``;
+* a **result** (:class:`~repro.experiments.result.ExperimentResult`): the
+  flattened task rows in grid order plus provenance metadata, serialisable to
+  JSON and CSV via :mod:`repro.utils.io`.
+
+Experiments register themselves by name in the
+:mod:`~repro.experiments.registry` (the five paper experiments of
+:mod:`repro.analysis` are registered on import); the CLI resolves its
+sub-commands through the registry, so ``repro-dispersal <name> --seed S``
+reruns any experiment bit-identically.
+"""
+
+from repro.experiments.spec import ExperimentSpec
+from repro.experiments.result import ExperimentResult
+from repro.experiments.runner import coerce_seed, run_experiment
+from repro.experiments.registry import (
+    ExperimentDefinition,
+    build_experiment,
+    experiment_names,
+    get_experiment,
+    register_experiment,
+    run_registered,
+)
+
+__all__ = [
+    "ExperimentSpec",
+    "ExperimentResult",
+    "run_experiment",
+    "coerce_seed",
+    "ExperimentDefinition",
+    "register_experiment",
+    "get_experiment",
+    "build_experiment",
+    "experiment_names",
+    "run_registered",
+]

@@ -1,0 +1,103 @@
+"""Name-based registry of experiment spec builders.
+
+Experiment modules register a *builder* — a function mapping keyword options
+to an :class:`~repro.experiments.spec.ExperimentSpec` — under a stable name::
+
+    @register_experiment("observation1", "Check the (1 - 1/e) coverage bound")
+    def build_observation1_spec(*, m_values=(5, 20, 100), seed=0) -> ExperimentSpec:
+        ...
+
+Clients (the CLI, tests, notebooks) then resolve experiments by name with
+:func:`build_experiment` / :func:`run_registered` without importing the
+experiment module directly.  The five paper experiments live in
+:mod:`repro.analysis` and are registered when that package is imported;
+:func:`get_experiment` imports it lazily so registry lookups work from a cold
+start.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.experiments.runner import run_experiment
+from repro.experiments.result import ExperimentResult
+from repro.experiments.spec import ExperimentSpec
+
+__all__ = [
+    "ExperimentDefinition",
+    "register_experiment",
+    "get_experiment",
+    "experiment_names",
+    "build_experiment",
+    "run_registered",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentDefinition:
+    """A named experiment: summary plus spec builder."""
+
+    name: str
+    summary: str
+    build: Callable[..., ExperimentSpec]
+
+
+_REGISTRY: dict[str, ExperimentDefinition] = {}
+_BUILTIN_MODULES = (
+    "repro.analysis.figure1",
+    "repro.analysis.observation1",
+    "repro.analysis.spoa_experiments",
+    "repro.analysis.ess_experiments",
+    "repro.analysis.sweeps",
+)
+
+
+def register_experiment(name: str, summary: str):
+    """Decorator registering a spec builder under ``name``.
+
+    Re-registering the same name overwrites the previous definition (so
+    module reloads in interactive sessions stay harmless).
+    """
+
+    def decorate(build: Callable[..., ExperimentSpec]):
+        _REGISTRY[name] = ExperimentDefinition(name=name, summary=summary, build=build)
+        return build
+
+    return decorate
+
+
+def _load_builtins() -> None:
+    import importlib
+
+    for module in _BUILTIN_MODULES:
+        importlib.import_module(module)
+
+
+def get_experiment(name: str) -> ExperimentDefinition:
+    """Resolve a registered experiment by name (loading built-ins on demand)."""
+    if name not in _REGISTRY:
+        _load_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        available = ", ".join(sorted(_REGISTRY)) or "(none)"
+        raise KeyError(f"unknown experiment {name!r}; available: {available}") from None
+
+
+def experiment_names() -> tuple[str, ...]:
+    """Sorted names of every registered experiment (built-ins included)."""
+    _load_builtins()
+    return tuple(sorted(_REGISTRY))
+
+
+def build_experiment(name: str, **options: Any) -> ExperimentSpec:
+    """Build the spec of a registered experiment with the given options."""
+    return get_experiment(name).build(**options)
+
+
+def run_registered(
+    name: str, *, max_workers: int | None = 0, **options: Any
+) -> ExperimentResult:
+    """Convenience: build a registered experiment and run it immediately."""
+    return run_experiment(build_experiment(name, **options), max_workers=max_workers)

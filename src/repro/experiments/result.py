@@ -1,0 +1,149 @@
+"""Structured experiment artifacts: rows + provenance, JSON/CSV serialisable.
+
+An :class:`ExperimentResult` is what the runner hands back: the flattened
+task rows in grid order together with everything needed to reproduce them
+(experiment name, base seed, task count, wall-clock time, spec metadata).
+Rows are typically small dataclasses; they are converted to plain records for
+serialisation, with NumPy scalars and arrays mapped to JSON-native types.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.utils.io import write_csv
+
+__all__ = ["ExperimentResult"]
+
+
+def _jsonify(value: Any) -> Any:
+    """Map a value (possibly NumPy-typed or a dataclass) to JSON-native types."""
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, np.ndarray):
+        return [_jsonify(item) for item in value.tolist()]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {k: _jsonify(v) for k, v in dataclasses.asdict(value).items()}
+    if isinstance(value, Mapping):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(item) for item in value]
+    if isinstance(value, Path):
+        return str(value)
+    if hasattr(value, "as_array"):  # SiteValues / Strategy
+        return [float(x) for x in value.as_array()]
+    return value
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Outcome of one experiment run.
+
+    Attributes
+    ----------
+    name, description:
+        Copied from the spec.
+    seed:
+        Base seed the per-task generators were spawned from; rerunning the
+        same spec with the same seed reproduces ``rows`` bit-identically.
+    n_tasks:
+        Number of grid points executed.
+    elapsed_seconds:
+        Wall-clock duration of the run.
+    rows:
+        Flattened task outputs in grid order (scheduling-independent).
+    metadata:
+        Spec metadata plus runner information (worker count, chunk size).
+    """
+
+    name: str
+    description: str
+    seed: int
+    n_tasks: int
+    elapsed_seconds: float
+    rows: tuple[Any, ...]
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+    # -------------------------------------------------------------- selection
+    def rows_of_type(self, row_type: type) -> list[Any]:
+        """The subset of rows that are instances of ``row_type``."""
+        return [row for row in self.rows if isinstance(row, row_type)]
+
+    # ---------------------------------------------------------- serialisation
+    def to_records(self) -> list[dict[str, Any]]:
+        """Rows as plain dictionaries; dataclasses gain a ``row_type`` field."""
+        records: list[dict[str, Any]] = []
+        for row in self.rows:
+            if dataclasses.is_dataclass(row) and not isinstance(row, type):
+                record = {"row_type": type(row).__name__}
+                record.update(_jsonify(row))
+            elif isinstance(row, Mapping):
+                record = {str(k): _jsonify(v) for k, v in row.items()}
+            else:
+                record = {"value": _jsonify(row)}
+            records.append(record)
+        return records
+
+    def to_dict(self, *, timing: bool = True) -> dict[str, Any]:
+        """Full JSON-ready view: provenance header plus row records.
+
+        ``timing=False`` omits the wall-clock field and the scheduling-
+        dependent ``runtime`` metadata (worker count, chunking), so that two
+        runs with the same seed serialise bit-identically regardless of how
+        they were executed (used by the CLI's ``--json``).
+        """
+        head: dict[str, Any] = {
+            "experiment": self.name,
+            "description": self.description,
+            "seed": self.seed,
+            "n_tasks": self.n_tasks,
+        }
+        metadata = dict(self.metadata)
+        if timing:
+            head["elapsed_seconds"] = self.elapsed_seconds
+        else:
+            metadata.pop("runtime", None)
+        head["metadata"] = _jsonify(metadata)
+        head["rows"] = self.to_records()
+        return head
+
+    def to_json(self, *, indent: int | None = 2, timing: bool = True) -> str:
+        """Serialise :meth:`to_dict` as JSON text."""
+        return json.dumps(self.to_dict(timing=timing), indent=indent, sort_keys=False)
+
+    def write_json(self, path: str | Path) -> Path:
+        """Write the JSON artifact to ``path`` and return the path."""
+        out = Path(path)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(self.to_json() + "\n")
+        return out
+
+    def write_csv(self, path: str | Path) -> Path:
+        """Write the rows as CSV (union of record fields; blanks for gaps)."""
+        records = self.to_records()
+        headers: list[str] = []
+        for record in records:
+            for key in record:
+                if key not in headers:
+                    headers.append(key)
+        body: list[list[Any]] = []
+        for record in records:
+            body.append([_csv_cell(record.get(key, "")) for key in headers])
+        return write_csv(path, headers, body)
+
+
+def _csv_cell(value: Any) -> Any:
+    """Flatten nested JSON values into a single CSV cell."""
+    if isinstance(value, (list, tuple, Mapping)):
+        return json.dumps(value)
+    return value

@@ -1,0 +1,86 @@
+"""Declarative experiment specifications.
+
+An :class:`ExperimentSpec` fully describes an experiment: *what* to compute
+(a task function), *where* (a grid of task parameter mappings) and *how
+reproducibly* (a base seed).  Specs are plain data — building one performs no
+computation, so they can be constructed, inspected, reseeded and serialised
+cheaply before being handed to :func:`repro.experiments.runner.run_experiment`.
+
+Task functions must be picklable (defined at module top level) because the
+runner may ship them to worker processes; task parameters should be built
+from plain Python scalars, strings and tuples for the same reason.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["ExperimentSpec", "TaskFunction"]
+
+#: A task maps ``(params, rng)`` to one result row or a list of rows.  Rows
+#: are typically small dataclasses (rendered by ``rows_to_table`` and
+#: serialised by ``ExperimentResult``); the ``rng`` is derived from the spec
+#: seed and the task's grid index, independently of every other task.
+TaskFunction = Callable[[Mapping[str, Any], np.random.Generator], Any]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Complete, declarative description of one experiment.
+
+    Attributes
+    ----------
+    name:
+        Registry/report name of the experiment.
+    description:
+        One-line human-readable summary (quoted in reports and JSON output).
+    task:
+        Top-level (picklable) function executed once per grid point.
+    grid:
+        One parameter mapping per task, in deterministic order.
+    seed:
+        Base seed; per-task generators are spawned from it so a spec with the
+        same seed always reproduces the same rows, bit for bit.
+    chunk_size:
+        Optional number of tasks per worker chunk; ``None`` lets the runner
+        pick roughly four chunks per worker.
+    metadata:
+        Free-form provenance (grid shape, solver options, ...) copied into
+        the :class:`~repro.experiments.result.ExperimentResult`.
+    """
+
+    name: str
+    description: str
+    task: TaskFunction
+    grid: tuple[Mapping[str, Any], ...]
+    seed: int = 0
+    chunk_size: int | None = None
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("experiment name must be non-empty")
+        if not callable(self.task):
+            raise TypeError("task must be callable")
+        object.__setattr__(self, "grid", tuple(dict(params) for params in self.grid))
+        object.__setattr__(self, "seed", int(self.seed))
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1 when given")
+        object.__setattr__(self, "metadata", dict(self.metadata))
+
+    @property
+    def n_tasks(self) -> int:
+        """Number of grid points (= tasks) in the spec."""
+        return len(self.grid)
+
+    def with_seed(self, seed: int) -> "ExperimentSpec":
+        """Copy of the spec under a different base seed."""
+        return dataclasses.replace(self, seed=int(seed))
+
+    def subset(self, indices: Sequence[int]) -> "ExperimentSpec":
+        """Copy of the spec restricted to the given grid indices."""
+        return dataclasses.replace(self, grid=tuple(self.grid[i] for i in indices))

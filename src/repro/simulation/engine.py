@@ -19,6 +19,7 @@ from repro.core.policies import CongestionPolicy
 from repro.core.strategy import Strategy
 from repro.core.values import SiteValues
 from repro.simulation.rng import as_generator
+from repro.utils.sampling import inverse_cdf_sample, inverse_cdf_sample_stacked, stacked_cdfs, strategy_cdf
 from repro.utils.validation import check_positive_integer
 
 __all__ = [
@@ -95,11 +96,15 @@ class DispersalSimulator:
 
     # ------------------------------------------------------------------ core
     def _simulate_choices(
-        self, probabilities: np.ndarray, n_trials: int, rng: np.random.Generator
+        self, cdf: np.ndarray, n_trials: int, rng: np.random.Generator
     ) -> np.ndarray:
-        """Draw an ``(n_trials, k)`` matrix of site choices for i.i.d. players."""
-        m = self.values.size
-        return rng.choice(m, size=(n_trials, self.k), p=probabilities)
+        """Draw an ``(n_trials, k)`` matrix of site choices for i.i.d. players.
+
+        One batched inverse-CDF draw (``rng.random`` + ``searchsorted``)
+        instead of ``generator.choice``, which re-validates its probability
+        vector on every call.
+        """
+        return inverse_cdf_sample(cdf, (n_trials, self.k), rng)
 
     def _occupancies(self, choices: np.ndarray) -> np.ndarray:
         """Per-trial site occupancy counts, shape ``(n_trials, M)``."""
@@ -132,10 +137,11 @@ class DispersalSimulator:
         occupancy_histogram = np.zeros(self.k + 1, dtype=np.int64)
         site_visits = np.zeros(m, dtype=np.int64)
 
+        cdf = strategy_cdf(probabilities)
         remaining = n_trials
         while remaining > 0:
             batch = min(remaining, self.batch_size)
-            choices = self._simulate_choices(probabilities, batch, generator)
+            choices = self._simulate_choices(cdf, batch, generator)
             occupancy = self._occupancies(choices)
 
             visited = occupancy > 0
@@ -186,22 +192,20 @@ class DispersalSimulator:
         if len(strategies) != self.k:
             raise ValueError(f"expected {self.k} strategies, got {len(strategies)}")
         generator = as_generator(rng)
-        m = self.values.size
 
         coverage_sum = 0.0
         coverage_sq_sum = 0.0
         payoff_sum = np.zeros(self.k)
         payoff_sq_sum = np.zeros(self.k)
 
+        # One stacked CDF per player, inverted jointly: the whole profile draw
+        # is a single vectorised inverse-CDF pass per batch instead of a
+        # per-player loop of ``generator.choice`` calls.
+        cdfs = stacked_cdfs([strategy.as_array() for strategy in strategies])
         remaining = n_trials
         while remaining > 0:
             batch = min(remaining, self.batch_size)
-            choices = np.column_stack(
-                [
-                    generator.choice(m, size=batch, p=strategy.as_array())
-                    for strategy in strategies
-                ]
-            )
+            choices = inverse_cdf_sample_stacked(cdfs, batch, generator)
             occupancy = self._occupancies(choices)
             visited = occupancy > 0
             coverage_batch = visited @ self.values

@@ -19,10 +19,20 @@ from repro.utils.validation import (
     check_probability_vector,
     check_value_vector,
 )
+from repro.utils.sampling import (
+    inverse_cdf_sample,
+    inverse_cdf_sample_stacked,
+    stacked_cdfs,
+    strategy_cdf,
+)
 from repro.utils.tables import format_table
 from repro.utils.io import write_csv, read_csv
 
 __all__ = [
+    "inverse_cdf_sample",
+    "inverse_cdf_sample_stacked",
+    "stacked_cdfs",
+    "strategy_cdf",
     "assert_shape",
     "binomial_pmf_matrix",
     "clip_probability",

@@ -1,0 +1,94 @@
+"""Shared batched inverse-CDF sampling of categorical site choices.
+
+``numpy.random.Generator.choice`` re-validates and re-normalises its
+probability vector on every call and cannot draw from several distributions
+at once.  The helpers here sample by inverting precomputed cumulative
+distributions instead:
+
+* :func:`inverse_cdf_sample` — one ``searchsorted`` against a single CDF;
+* :func:`stacked_cdfs` / :func:`inverse_cdf_sample_stacked` — one
+  ``searchsorted`` against ``k`` *offset* CDFs laid out in a single sorted
+  array, so a whole ``(n_trials, k)`` heterogeneous-profile draw costs one
+  vectorised pass instead of ``k`` ``generator.choice`` calls.
+
+Everything is NumPy-only (no :mod:`repro.core` imports), so both the core
+strategy objects and the simulation engine can route their sampling here.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "strategy_cdf",
+    "stacked_cdfs",
+    "inverse_cdf_sample",
+    "inverse_cdf_sample_stacked",
+]
+
+#: Gap between consecutive offset CDFs in the stacked layout.  Each CDF lives
+#: in [0, 1], so any spacing > 1 keeps the concatenation strictly sorted.
+_STACK_SPACING = 2.0
+
+
+def strategy_cdf(probabilities: np.ndarray) -> np.ndarray:
+    """Cumulative distribution of one probability vector (validated lightly)."""
+    p = np.asarray(probabilities, dtype=float)
+    if p.ndim != 1 or p.size == 0:
+        raise ValueError("probabilities must be a non-empty 1-D vector")
+    cdf = np.cumsum(p)
+    if not np.isclose(cdf[-1], 1.0, atol=1e-6):
+        raise ValueError("probabilities must sum to one")
+    return cdf
+
+
+def stacked_cdfs(probability_rows: Sequence[np.ndarray] | np.ndarray) -> np.ndarray:
+    """Row-wise CDFs of a ``(k, M)`` probability matrix (for the stacked sampler)."""
+    matrix = np.asarray(probability_rows, dtype=float)
+    if matrix.ndim != 2 or matrix.size == 0:
+        raise ValueError("probability_rows must form a non-empty (k, M) matrix")
+    cdfs = np.cumsum(matrix, axis=1)
+    if not np.allclose(cdfs[:, -1], 1.0, atol=1e-6):
+        raise ValueError("every probability row must sum to one")
+    return cdfs
+
+
+def inverse_cdf_sample(
+    cdf: np.ndarray,
+    shape: int | tuple[int, ...],
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Draw categorical samples of ``shape`` by inverting a single CDF.
+
+    Returns 0-based indices; index ``j`` is drawn with probability
+    ``cdf[j] - cdf[j-1]``.
+    """
+    u = rng.random(shape)
+    choices = np.searchsorted(cdf, u, side="right")
+    return np.minimum(choices, cdf.size - 1)
+
+
+def inverse_cdf_sample_stacked(
+    cdfs: np.ndarray,
+    n_trials: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Draw an ``(n_trials, k)`` matrix with column ``i`` following ``cdfs[i]``.
+
+    The ``k`` CDFs are shifted by ``2 * i`` and concatenated into one sorted
+    array, so a single ``searchsorted`` inverts all of them at once — the
+    whole heterogeneous-profile draw is ``rng.random`` plus one binary-search
+    pass, with no per-player Python loop.
+    """
+    cdfs = np.asarray(cdfs, dtype=float)
+    if cdfs.ndim != 2:
+        raise ValueError("cdfs must be a (k, M) matrix")
+    k, m = cdfs.shape
+    offsets = _STACK_SPACING * np.arange(k)
+    flat = (cdfs + offsets[:, None]).ravel()
+    u = rng.random((n_trials, k)) + offsets[None, :]
+    indices = np.searchsorted(flat, u.ravel(), side="right").reshape(n_trials, k)
+    choices = indices - (np.arange(k) * m)[None, :]
+    return np.minimum(choices, m - 1)

@@ -1,0 +1,225 @@
+"""Property tests: the batched solvers match the scalar solvers elementwise."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.batch import (
+    PaddedValues,
+    coverage_batch,
+    ifd_batch,
+    optimal_coverage_batch,
+    sigma_star_batch,
+    spoa_batch,
+    support_size_batch,
+)
+from repro.core.coverage import coverage
+from repro.core.ifd import ideal_free_distribution
+from repro.core.optimal_coverage import optimal_coverage
+from repro.core.policies import (
+    AggressivePolicy,
+    ConstantPolicy,
+    ExclusivePolicy,
+    SharingPolicy,
+    TwoLevelPolicy,
+)
+from repro.core.sigma_star import sigma_star
+from repro.core.spoa import spoa_instance
+from repro.core.strategy import Strategy
+from repro.core.values import SiteValues
+
+K_GRID = (1, 2, 3, 5, 11)
+
+#: Smaller grid for the tests that also run the scalar nested-bisection IFD
+#: per cell (the expensive side of the comparison is the scalar loop).
+IFD_K_GRID = (1, 2, 5)
+
+
+@pytest.fixture(scope="module")
+def ragged_instances() -> list[SiteValues]:
+    """A randomized ragged batch covering the solver edge cases.
+
+    Includes single-site instances (W = 1), uniform profiles (W = M), the
+    Figure 1 two-site instances, and random instances with M from 1 to 12.
+    """
+    rng = np.random.default_rng(20180503)
+    instances = [SiteValues.random(int(m), rng) for m in rng.integers(1, 13, size=12)]
+    instances += [
+        SiteValues.from_values([1.0]),  # M = 1: support W = 1 for every k
+        SiteValues.uniform(6),
+        SiteValues.two_sites(0.3),
+        SiteValues.two_sites(0.5),
+        SiteValues.geometric(9, ratio=0.6),
+        SiteValues.zipf(10, exponent=1.3),
+        SiteValues.slowly_decreasing(12, 3),
+    ]
+    return instances
+
+
+class TestPaddedValues:
+    def test_packing_round_trip(self, ragged_instances):
+        padded = PaddedValues.from_instances(ragged_instances)
+        assert padded.batch_size == len(ragged_instances)
+        assert padded.width == max(v.m for v in ragged_instances)
+        for index, values in enumerate(ragged_instances):
+            assert padded.row(index) == values
+
+    def test_mask_matches_sizes(self, ragged_instances):
+        padded = PaddedValues.from_instances(ragged_instances)
+        np.testing.assert_array_equal(padded.mask.sum(axis=1), padded.sizes)
+
+    def test_padding_is_positive_and_sorted(self, ragged_instances):
+        padded = PaddedValues.from_instances(ragged_instances)
+        assert np.all(padded.values > 0)
+        assert np.all(np.diff(padded.values, axis=1) <= 1e-12)
+
+    def test_rejects_empty_batch(self):
+        with pytest.raises(ValueError):
+            PaddedValues.from_instances([])
+
+    def test_unsorted_raw_arrays_are_sorted(self):
+        padded = PaddedValues.from_instances([np.array([0.2, 1.0, 0.5])])
+        np.testing.assert_allclose(padded.values[0], [1.0, 0.5, 0.2])
+
+
+class TestSigmaStarBatch:
+    def test_matches_scalar_elementwise(self, ragged_instances):
+        batch = sigma_star_batch(ragged_instances, K_GRID)
+        for b, values in enumerate(ragged_instances):
+            for j, k in enumerate(K_GRID):
+                scalar = sigma_star(values, k)
+                cell = batch.result(b, j)
+                assert cell.support_size == scalar.support_size, (b, k)
+                assert cell.k == k
+                assert cell.alpha == pytest.approx(scalar.alpha, abs=1e-12)
+                assert cell.equilibrium_value == pytest.approx(
+                    scalar.equilibrium_value, abs=1e-12
+                )
+                np.testing.assert_allclose(
+                    cell.probabilities, scalar.probabilities, atol=1e-9
+                )
+
+    def test_padding_columns_are_zero(self, ragged_instances):
+        batch = sigma_star_batch(ragged_instances, K_GRID)
+        inverse_mask = ~batch.padded.mask
+        leaked = batch.probabilities * inverse_mask[:, None, :]
+        assert np.abs(leaked).max() == 0.0
+
+    def test_rows_are_distributions(self, ragged_instances):
+        batch = sigma_star_batch(ragged_instances, K_GRID)
+        np.testing.assert_allclose(batch.probabilities.sum(axis=2), 1.0, atol=1e-9)
+        assert np.all(batch.probabilities >= 0)
+
+    def test_chunked_evaluation_identical(self, ragged_instances):
+        full = sigma_star_batch(ragged_instances, K_GRID)
+        chunked = sigma_star_batch(ragged_instances, K_GRID, max_elements=64)
+        np.testing.assert_array_equal(full.support_sizes, chunked.support_sizes)
+        np.testing.assert_array_equal(full.probabilities, chunked.probabilities)
+
+    def test_support_size_batch_shortcut(self, ragged_instances):
+        supports = support_size_batch(ragged_instances, K_GRID)
+        batch = sigma_star_batch(ragged_instances, K_GRID)
+        np.testing.assert_array_equal(supports, batch.support_sizes)
+
+    def test_k_grid_validation(self):
+        with pytest.raises(ValueError):
+            sigma_star_batch([SiteValues.uniform(3)], [0])
+        with pytest.raises(ValueError):
+            sigma_star_batch([SiteValues.uniform(3)], [])
+        with pytest.raises(ValueError):
+            sigma_star_batch([SiteValues.uniform(3)], [1.5])
+
+    def test_scalar_k_accepted(self):
+        batch = sigma_star_batch([SiteValues.zipf(5)], 3)
+        assert batch.probabilities.shape == (1, 1, 5)
+
+
+class TestCoverageBatch:
+    def test_matches_scalar_for_random_strategies(self, ragged_instances, rng):
+        padded = PaddedValues.from_instances(ragged_instances)
+        strategies = np.zeros((padded.batch_size, padded.width))
+        per_instance = []
+        for b, values in enumerate(ragged_instances):
+            strategy = Strategy.random(values.m, rng)
+            per_instance.append(strategy)
+            strategies[b, : values.m] = strategy.as_array()
+        batch_cover = coverage_batch(padded, strategies, K_GRID)
+        for b, values in enumerate(ragged_instances):
+            for j, k in enumerate(K_GRID):
+                exact = coverage(values, per_instance[b], k)
+                assert batch_cover[b, j] == pytest.approx(exact, abs=1e-10)
+
+    def test_optimal_coverage_matches_scalar(self, ragged_instances):
+        best = optimal_coverage_batch(ragged_instances, K_GRID)
+        for b, values in enumerate(ragged_instances):
+            for j, k in enumerate(K_GRID):
+                assert best[b, j] == pytest.approx(optimal_coverage(values, k), abs=1e-10)
+
+    def test_shape_validation(self):
+        padded = PaddedValues.from_instances([SiteValues.uniform(4)])
+        with pytest.raises(ValueError):
+            coverage_batch(padded, np.zeros((2, 4)), [2])
+
+
+class TestIFDBatch:
+    @pytest.mark.parametrize(
+        "policy",
+        [
+            ExclusivePolicy(),
+            SharingPolicy(),
+            ConstantPolicy(),
+            TwoLevelPolicy(0.25),
+            TwoLevelPolicy(-0.25),
+            AggressivePolicy(0.5),
+        ],
+        ids=["exclusive", "sharing", "constant", "two-level+", "two-level-", "aggressive"],
+    )
+    def test_matches_scalar_ifd(self, ragged_instances, policy):
+        batch = ifd_batch(ragged_instances, IFD_K_GRID, policy)
+        for b, values in enumerate(ragged_instances):
+            for j, k in enumerate(IFD_K_GRID):
+                scalar = ideal_free_distribution(values, k, policy)
+                tv = 0.5 * np.abs(
+                    batch.probabilities[b, j, : values.m] - scalar.strategy.as_array()
+                ).sum()
+                assert tv < 1e-5, (b, k, policy.name, tv)
+
+    def test_probabilities_are_distributions(self, ragged_instances):
+        batch = ifd_batch(ragged_instances, (2, 4), SharingPolicy())
+        np.testing.assert_allclose(batch.probabilities.sum(axis=2), 1.0, atol=1e-6)
+        assert bool(batch.converged.all())
+
+    def test_exclusive_uses_closed_form(self, ragged_instances):
+        closed = ifd_batch(ragged_instances, (2, 3), ExclusivePolicy())
+        star = sigma_star_batch(ragged_instances, (2, 3))
+        np.testing.assert_array_equal(closed.probabilities, star.probabilities)
+        np.testing.assert_array_equal(closed.support_sizes, star.support_sizes)
+
+
+class TestSPoABatch:
+    @pytest.mark.parametrize(
+        "policy",
+        [ExclusivePolicy(), SharingPolicy(), TwoLevelPolicy(-0.25)],
+        ids=["exclusive", "sharing", "two-level-"],
+    )
+    def test_matches_scalar_spoa(self, ragged_instances, policy):
+        batch = spoa_batch(ragged_instances, IFD_K_GRID, policy)
+        for b, values in enumerate(ragged_instances):
+            for j, k in enumerate(IFD_K_GRID):
+                scalar = spoa_instance(values, k, policy)
+                got = batch.instance(b, j)
+                assert got.k == k and got.m == values.m
+                if np.isinf(scalar.ratio):
+                    assert np.isinf(got.ratio)
+                else:
+                    assert got.ratio == pytest.approx(scalar.ratio, rel=1e-6, abs=1e-8)
+
+    def test_exclusive_ratios_are_one(self, ragged_instances):
+        batch = spoa_batch(ragged_instances, (2, 3, 5), ExclusivePolicy())
+        np.testing.assert_allclose(batch.ratios, 1.0, atol=1e-9)
+
+    def test_argmax_points_at_largest_ratio(self, ragged_instances):
+        batch = spoa_batch(ragged_instances, (2, 3), SharingPolicy())
+        b, j = batch.argmax()
+        assert batch.ratios[b, j] == batch.ratios.max()
