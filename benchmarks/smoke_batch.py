@@ -1,19 +1,24 @@
-"""Smoke benchmark: batched vs looped solver throughput, as a JSON artifact.
+"""Smoke benchmark: batched vs looped throughput, as JSON artifacts.
 
 Runs without pytest (plain script, stdlib + NumPy only) so CI can execute it
 as a standalone job::
 
-    PYTHONPATH=src python benchmarks/smoke_batch.py --output BENCH_batch.json
+    PYTHONPATH=src python benchmarks/smoke_batch.py --output BENCH_batch.json \
+        --dynamics-output BENCH_dynamics.json
 
-Two comparisons are timed on the scaling grid (many ragged instances times a
+Three comparisons are timed on scaling grids (many ragged instances times a
 player-count grid — the regime the experiment harness actually runs):
 
 * ``sigma_star_batch``  vs a loop of scalar ``sigma_star`` calls;
-* ``optimal_coverage_batch`` vs a loop of scalar ``optimal_coverage`` calls.
+* ``optimal_coverage_batch`` vs a loop of scalar ``optimal_coverage`` calls;
+* a 256-row replicator sweep through the batched ``DynamicsEngine`` vs a
+  loop of scalar ``replicator_dynamics`` calls (written to a separate
+  ``BENCH_dynamics.json`` artifact).
 
 The script exits non-zero when the closed-form batch speedup falls below
-``--min-speedup`` (default 10x), which is the acceptance bar the batch layer
-was built against.
+``--min-speedup`` (default 10x) or the dynamics speedup falls below
+``--min-dynamics-speedup`` (default 5x) — the acceptance bars the batch
+layer and the dynamics engine were built against.
 """
 
 from __future__ import annotations
@@ -27,10 +32,17 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.batch import PaddedValues, optimal_coverage_batch, sigma_star_batch
+from repro.batch import (
+    PaddedValues,
+    optimal_coverage_batch,
+    replicator_batch,
+    sigma_star_batch,
+)
 from repro.core.optimal_coverage import optimal_coverage
+from repro.core.policies import SharingPolicy
 from repro.core.sigma_star import sigma_star
 from repro.core.values import SiteValues
+from repro.dynamics import replicator_dynamics
 
 #: The scaling grid: ragged random instances plus the structured families,
 #: crossed with the player counts used by the analysis sweeps.
@@ -38,6 +50,14 @@ N_RANDOM_INSTANCES = 240
 M_RANGE = (20, 200)
 K_GRID = (2, 3, 5, 8, 16, 32)
 SEED = 20180503
+
+#: The dynamics grid: 64 ragged instances x 4 player counts = 256 replicator
+#: trajectories, stepped together by one DynamicsEngine run.
+DYN_N_INSTANCES = 64
+DYN_M_RANGE = (8, 40)
+DYN_K_GRID = (2, 3, 5, 8)
+DYN_MAX_ITER = 1_500
+DYN_TOL = 1e-9
 
 
 def build_instances(rng: np.random.Generator) -> list[SiteValues]:
@@ -64,11 +84,82 @@ def best_of(fn, repeats: int) -> float:
     return best
 
 
+def bench_dynamics(output: Path, repeats: int, min_speedup: float) -> tuple[bool, str]:
+    """Time the 256-row batched replicator sweep against the scalar loop."""
+    rng = np.random.default_rng(SEED + 1)
+    instances = [
+        SiteValues.random(int(m), rng)
+        for m in rng.integers(DYN_M_RANGE[0], DYN_M_RANGE[1], size=DYN_N_INSTANCES)
+    ]
+    # One row per (instance, k) cell: a ragged, mixed-k 256-row batch.
+    rows = [(values, k) for values in instances for k in DYN_K_GRID]
+    padded = PaddedValues.from_instances([values for values, _ in rows])
+    ks = np.asarray([k for _, k in rows], dtype=np.int64)
+    policy = SharingPolicy()
+    options = dict(max_iter=DYN_MAX_ITER, tol=DYN_TOL, record_every=500)
+
+    replicator_batch(padded, ks, policy, **options)  # warm-up
+
+    batched_seconds = best_of(
+        lambda: replicator_batch(padded, ks, policy, **options), repeats
+    )
+    looped_seconds = best_of(
+        lambda: [
+            replicator_dynamics(values, int(k), policy, **options)
+            for values, k in rows
+        ],
+        max(1, repeats // 2),
+    )
+
+    # Correctness spot check so the artifact can't report a fast wrong answer.
+    batch = replicator_batch(padded, ks, policy, **options)
+    for index in (0, len(rows) // 2, len(rows) - 1):
+        values, k = rows[index]
+        scalar = replicator_dynamics(values, int(k), policy, **options)
+        assert scalar.iterations == int(batch.iterations[index])
+        np.testing.assert_allclose(
+            batch.strategy(index).as_array(), scalar.strategy.as_array(), atol=1e-9
+        )
+
+    speedup = looped_seconds / batched_seconds
+    report = {
+        "benchmark": "batched vs looped replicator dynamics",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "grid": {
+            "rows": len(rows),
+            "instances": len(instances),
+            "m_range": list(DYN_M_RANGE),
+            "k_grid": list(DYN_K_GRID),
+            "max_iter": DYN_MAX_ITER,
+            "tol": DYN_TOL,
+        },
+        "replicator": {
+            "batched_seconds": batched_seconds,
+            "looped_seconds": looped_seconds,
+            "speedup": speedup,
+            "batched_rows_per_second": len(rows) / batched_seconds,
+            "looped_rows_per_second": len(rows) / looped_seconds,
+        },
+        "min_speedup_required": min_speedup,
+    }
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    line = (
+        f"replicator DynamicsEngine: {len(rows)} rows in {batched_seconds * 1e3:.1f} ms "
+        f"(loop: {looped_seconds * 1e3:.1f} ms) -> {speedup:.1f}x"
+    )
+    return speedup >= min_speedup, line
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", type=Path, default=Path("BENCH_batch.json"))
+    parser.add_argument(
+        "--dynamics-output", type=Path, default=Path("BENCH_dynamics.json")
+    )
     parser.add_argument("--repeats", type=int, default=5)
     parser.add_argument("--min-speedup", type=float, default=10.0)
+    parser.add_argument("--min-dynamics-speedup", type=float, default=5.0)
     args = parser.parse_args(argv)
 
     rng = np.random.default_rng(SEED)
@@ -138,13 +229,25 @@ def main(argv: list[str] | None = None) -> int:
         f"optimal_coverage_batch: {report['optimal_coverage']['speedup']:.1f}x; "
         f"artifact written to {args.output}"
     )
+    dynamics_ok, dynamics_line = bench_dynamics(
+        args.dynamics_output, args.repeats, args.min_dynamics_speedup
+    )
+    print(f"{dynamics_line}; artifact written to {args.dynamics_output}")
+
+    failed = False
     if speedup < args.min_speedup:
         print(
-            f"FAIL: speedup {speedup:.1f}x below required {args.min_speedup:.1f}x",
+            f"FAIL: solver speedup {speedup:.1f}x below required {args.min_speedup:.1f}x",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        failed = True
+    if not dynamics_ok:
+        print(
+            f"FAIL: dynamics speedup below required {args.min_dynamics_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -8,8 +8,10 @@ that small mutant populations die out.
 
 Structured as a thin client of :mod:`repro.experiments`: the registered
 ``ess`` experiment has one task per ``(M, family)`` pair; each task solves
-``sigma_star`` for its whole ``k`` grid in one :mod:`repro.batch` pass and
-then runs the (inherently per-``k``) mutant audits.
+``sigma_star`` for its whole ``k`` grid in one :mod:`repro.batch` pass, runs
+every invasion-dynamics check of the grid in one
+:func:`~repro.batch.dynamics.invasion_batch` call, and then performs the
+(inherently per-``k``) static mutant audits.
 """
 
 from __future__ import annotations
@@ -19,11 +21,10 @@ from typing import Any, Mapping, Sequence
 
 import numpy as np
 
-from repro.batch import sigma_star_batch
+from repro.batch import PaddedValues, invasion_batch, sigma_star_batch
 from repro.core.ess import ess_report, invasion_barrier
 from repro.core.policies import ExclusivePolicy
 from repro.core.strategy import Strategy
-from repro.dynamics.invasion import invasion_dynamics
 from repro.analysis.observation1 import default_value_families, make_family
 from repro.experiments.registry import register_experiment
 from repro.experiments.runner import coerce_seed, run_experiment
@@ -62,7 +63,34 @@ def ess_audit_task(params: Mapping[str, Any], rng: np.random.Generator) -> list[
     values = make_family(family, m, rng)
     policy = ExclusivePolicy()
 
-    residents = sigma_star_batch([values], np.asarray(k_values, dtype=np.int64))
+    ks = np.asarray(k_values, dtype=np.int64)
+    residents = sigma_star_batch([values], ks)
+
+    # Sample mutants for the dynamic checks: value-proportional play, falling
+    # back to a pure strategy when that coincides with the resident (e.g. on
+    # uniform value profiles).  The whole ``k`` grid's invasion runs are one
+    # batched engine call: row ``i`` pits ``sigma_star(k_i)`` against its
+    # mutant.
+    resident_matrix = residents.probabilities[0]  # (K, M)
+    proportional = Strategy.proportional(values.as_array())
+    mutants: list[Strategy] = []
+    for k_index in range(ks.size):
+        mutant = proportional
+        if mutant.total_variation(Strategy(resident_matrix[k_index])) <= 1e-9:
+            mutant = Strategy.point_mass(values.m, 0)
+        mutants.append(mutant)
+    mutant_matrix = np.stack([mutant.as_array() for mutant in mutants])
+    initial_share = 0.02
+    padded = PaddedValues.from_instances([values] * ks.size)
+    dynamics = invasion_batch(
+        padded,
+        resident_matrix,
+        mutant_matrix,
+        ks,
+        policy,
+        initial_shares=initial_share,
+    )
+
     rows: list[ESSRow] = []
     for k_index, k in enumerate(k_values):
         resident = residents.result(0, k_index).strategy
@@ -74,20 +102,10 @@ def ess_audit_task(params: Mapping[str, Any], rng: np.random.Generator) -> list[
             n_random_mutants=n_random_mutants,
             rng=rng,
         )
-        # Sample mutant for the dynamic checks: value-proportional play,
-        # falling back to a pure strategy when that coincides with the
-        # resident (e.g. on uniform value profiles).
-        mutant = Strategy.proportional(values.as_array())
-        if mutant.total_variation(resident) <= 1e-9:
-            mutant = Strategy.point_mass(values.m, 0)
-        barrier = invasion_barrier(values, resident, mutant, k, policy)
-        initial_share = 0.02
-        dynamics = invasion_dynamics(
-            values, resident, mutant, k, policy, initial_share=initial_share
-        )
-        suppressed = (not dynamics.mutant_fixated) and (
-            dynamics.final_share < initial_share
-        )
+        barrier = invasion_barrier(values, resident, mutants[k_index], k, policy)
+        final_share = float(dynamics.states[k_index, 0])
+        fixated = final_share >= 1.0 - 1e-6
+        suppressed = (not fixated) and (final_share < initial_share)
         rows.append(
             ESSRow(
                 family=family,
@@ -98,7 +116,7 @@ def ess_audit_task(params: Mapping[str, Any], rng: np.random.Generator) -> list[
                 worst_margin=report.worst_margin,
                 sample_invasion_barrier=barrier,
                 mutant_suppressed=suppressed,
-                mutant_final_share=dynamics.final_share,
+                mutant_final_share=final_share,
             )
         )
     return rows

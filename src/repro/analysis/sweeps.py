@@ -1,17 +1,22 @@
 """Generic parameter sweeps over the dispersal game.
 
-Two reusable sweeps back several benchmarks and examples:
+Three reusable sweeps back several benchmarks and examples:
 
 * :func:`coverage_ratio_sweep` — for a roster of congestion policies, how the
   equilibrium coverage (relative to the optimum) changes with the number of
   players ``k``;
 * :func:`support_size_sweep` — how the support ``W`` of ``sigma_star`` grows
   with ``k`` for different value-function shapes (the "how widely does intense
-  competition spread the population" question).
+  competition spread the population" question);
+* :func:`dynamics_grid` — evolutionary-dynamics trajectories over a whole
+  ``(family x M x k x initial condition)`` grid, evolved together by the
+  batched :class:`~repro.batch.dynamics.DynamicsEngine`.
 
-Both sweeps evaluate their whole ``k`` grid in one :mod:`repro.batch` pass
-per policy/family; the registered ``sweep`` experiment (one task per policy)
-is what backs the ``repro-dispersal sweep`` CLI command.
+The closed-form sweeps evaluate their whole ``k`` grid in one
+:mod:`repro.batch` pass per policy/family; the dynamics sweep chunks its row
+grid into runner tasks (``repro.experiments.chunk_grid``) and each task steps
+its chunk in a single engine run.  The registered ``sweep`` and ``dynamics``
+experiments back the matching ``repro-dispersal`` CLI commands.
 """
 
 from __future__ import annotations
@@ -21,26 +26,40 @@ from typing import Any, Mapping, Sequence
 
 import numpy as np
 
-from repro.batch import sigma_star_batch, spoa_batch
+from repro.batch import (
+    DynamicsEngine,
+    PaddedValues,
+    exploitability_batch,
+    make_rule,
+    sigma_star_batch,
+    spoa_batch,
+)
 from repro.core.policies import (
     CongestionPolicy,
     ConstantPolicy,
     ExclusivePolicy,
     SharingPolicy,
 )
+from repro.core.strategy import Strategy
 from repro.core.values import SiteValues
+from repro.analysis.observation1 import make_family
 from repro.experiments.registry import register_experiment
+from repro.experiments.runner import chunk_grid
 from repro.experiments.spec import ExperimentSpec
 from repro.utils.validation import check_positive_integer
 
 __all__ = [
     "SweepResult",
     "SweepPointRow",
+    "DynamicsGridRow",
     "coverage_ratio_sweep",
     "support_size_sweep",
     "coverage_ratio_task",
     "build_sweep_spec",
     "assemble_sweep",
+    "dynamics_grid_task",
+    "build_dynamics_spec",
+    "dynamics_grid",
 ]
 
 
@@ -184,6 +203,177 @@ def coverage_ratio_sweep(
             name = f"{name}-{len(curves)}"
         curves[name] = _coverage_ratio_curve(f, policy, ks, **solver_kwargs)
     return SweepResult(x_label="k", x_values=ks.astype(float), curves=curves)
+
+
+@dataclass(frozen=True)
+class DynamicsGridRow:
+    """Outcome of one dynamics trajectory of a batched grid run.
+
+    ``exploitability`` is the deviation gain at the final state (zero at an
+    exact equilibrium); ``support_size`` counts the sites that retained
+    non-negligible mass.
+    """
+
+    rule: str
+    policy_name: str
+    family: str
+    m: int
+    k: int
+    init: str
+    converged: bool
+    iterations: int
+    exploitability: float
+    support_size: int
+
+
+def _initial_state(init: str, values: SiteValues, rng: np.random.Generator) -> np.ndarray:
+    """Materialise a named initial condition for one grid row."""
+    if init == "uniform":
+        return np.full(values.m, 1.0 / values.m)
+    if init == "proportional":
+        return Strategy.proportional(values.as_array()).as_array()
+    if init == "random":
+        return rng.dirichlet(np.ones(values.m))
+    raise ValueError(f"unknown initial condition {init!r}")
+
+
+def dynamics_grid_task(
+    params: Mapping[str, Any], rng: np.random.Generator
+) -> list[DynamicsGridRow]:
+    """Runner task: evolve one chunk of grid rows in a single engine run.
+
+    Every cell of the chunk — a ``(family, M, k, init)`` tuple — becomes one
+    row of a ragged, mixed-``k`` batch; the :class:`DynamicsEngine` steps them
+    all together and a single :func:`exploitability_batch` pass scores the
+    final states.
+    """
+    rule_name = str(params["rule"])
+    policy: CongestionPolicy = params["policy"]
+    cells = tuple(params["cells"])
+    max_iter = int(params["max_iter"])
+    tol = float(params["tol"])
+
+    instances = [make_family(str(family), int(m), rng) for family, m, _, _ in cells]
+    padded = PaddedValues.from_instances(instances)
+    ks = np.asarray([int(k) for _, _, k, _ in cells], dtype=np.int64)
+    initial = np.zeros(padded.values.shape)
+    for index, (values, (_, _, _, init)) in enumerate(zip(instances, cells)):
+        initial[index, : values.m] = _initial_state(str(init), values, rng)
+
+    engine = DynamicsEngine(
+        padded, ks, policy, make_rule(rule_name), max_iter=max_iter, tol=tol
+    )
+    result = engine.run(initial)
+    states = np.clip(result.states, 0.0, None)
+    states /= states.sum(axis=1, keepdims=True)
+    gaps = exploitability_batch(padded, states, ks, policy)
+
+    return [
+        DynamicsGridRow(
+            rule=rule_name,
+            policy_name=policy.name,
+            family=str(family),
+            m=values.m,
+            k=int(k),
+            init=str(init),
+            converged=bool(result.converged[index]),
+            iterations=int(result.iterations[index]),
+            exploitability=float(gaps[index]),
+            support_size=int(np.count_nonzero(states[index, : values.m] > 1e-9)),
+        )
+        for index, (values, (family, _, k, init)) in enumerate(zip(instances, cells))
+    ]
+
+
+@register_experiment("dynamics", "Batched dynamics sweep over (family, M, k, init) grids")
+def build_dynamics_spec(
+    *,
+    rule: str = "discrete",
+    policy: CongestionPolicy | None = None,
+    families: Sequence[str] = ("uniform", "zipf", "geometric"),
+    m_values: Sequence[int] = (6, 12),
+    k_values: Sequence[int] = (2, 3, 5),
+    inits: Sequence[str] = ("uniform", "proportional", "random"),
+    batch_rows: int = 64,
+    max_iter: int = 20_000,
+    tol: float = 1e-10,
+    seed: int = 0,
+) -> ExperimentSpec:
+    """Spec builder of the ``dynamics`` experiment.
+
+    The full ``(family x M x k x init)`` grid is flattened into rows and
+    chunked into one task per ``batch_rows`` rows, so the process-pool runner
+    parallelises across chunks while each task amortises the batched payoff
+    kernel over its whole chunk.
+    """
+    if policy is None:
+        policy = SharingPolicy()
+    make_rule(rule)  # fail fast on unknown rule names
+    cells = [
+        (str(family), check_positive_integer(int(m), "m"), check_positive_integer(int(k), "k"), str(init))
+        for family in families
+        for m in m_values
+        for k in k_values
+        for init in inits
+    ]
+    grid = [
+        {
+            "rule": str(rule),
+            "policy": policy,
+            "cells": chunk,
+            "max_iter": int(max_iter),
+            "tol": float(tol),
+        }
+        for chunk in chunk_grid(cells, check_positive_integer(batch_rows, "batch_rows"))
+    ]
+    return ExperimentSpec(
+        name="dynamics",
+        description=f"{rule} dynamics under the {policy.name} policy ({len(cells)} trajectories)",
+        task=dynamics_grid_task,
+        grid=tuple(grid),
+        seed=int(seed),
+        metadata={
+            "rule": str(rule),
+            "policy": policy.name,
+            "families": tuple(str(f) for f in families),
+            "m_values": tuple(int(m) for m in m_values),
+            "k_values": tuple(int(k) for k in k_values),
+            "inits": tuple(str(i) for i in inits),
+            "batch_rows": int(batch_rows),
+            "n_trajectories": len(cells),
+        },
+    )
+
+
+def dynamics_grid(
+    *,
+    rule: str = "discrete",
+    policy: CongestionPolicy | None = None,
+    families: Sequence[str] = ("uniform", "zipf", "geometric"),
+    m_values: Sequence[int] = (6, 12),
+    k_values: Sequence[int] = (2, 3, 5),
+    inits: Sequence[str] = ("uniform", "proportional", "random"),
+    batch_rows: int = 64,
+    max_iter: int = 20_000,
+    tol: float = 1e-10,
+    seed: int = 0,
+) -> list[DynamicsGridRow]:
+    """Convenience entry point: build the ``dynamics`` spec and run it serially."""
+    from repro.experiments.runner import run_experiment
+
+    spec = build_dynamics_spec(
+        rule=rule,
+        policy=policy,
+        families=families,
+        m_values=m_values,
+        k_values=k_values,
+        inits=inits,
+        batch_rows=batch_rows,
+        max_iter=max_iter,
+        tol=tol,
+        seed=seed,
+    )
+    return list(run_experiment(spec).rows)
 
 
 def support_size_sweep(

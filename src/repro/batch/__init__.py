@@ -17,11 +17,19 @@ This subpackage solves entire grids in a handful of NumPy passes:
   solver vectorised over instances (outer bisection on a *vector* of
   equilibrium values, inner bisection over all sites of all instances);
 * :func:`~repro.batch.spoa.spoa_batch` — per-instance symmetric price of
-  anarchy over the grid.
+  anarchy over the grid;
+* :mod:`repro.batch.payoffs` — the batched payoff kernel: ``nu``, expected
+  payoffs, best-response values and exploitability for ``(B, M)`` strategy
+  matrices with per-row player counts;
+* :mod:`repro.batch.dynamics` — the unified :class:`DynamicsEngine` stepping
+  whole populations of game states under pluggable update rules (replicator,
+  logit, smoothed best response, invasion), with per-row convergence masking
+  and strided trajectory recording.
 
 Every ``*_batch`` function agrees elementwise with its scalar counterpart
-(property-tested in ``tests/test_batch.py``); the batch layer is what the
-experiment runner of :mod:`repro.experiments` builds on.
+(property-tested in ``tests/test_batch.py`` and
+``tests/test_batch_dynamics.py``); the batch layer is what the experiment
+runner of :mod:`repro.experiments` builds on.
 """
 
 from repro.batch.padding import PaddedValues
@@ -34,6 +42,23 @@ from repro.batch.solvers import (
 )
 from repro.batch.ifd import IFDBatch, ifd_batch
 from repro.batch.spoa import SPoABatch, spoa_batch
+from repro.batch.payoffs import (
+    best_response_value_batch,
+    congestion_table_batch,
+    exploitability_batch,
+    expected_payoff_batch,
+    occupancy_congestion_factor_batch,
+    site_values_batch,
+)
+from repro.batch.dynamics import (
+    DynamicsBatchResult,
+    DynamicsEngine,
+    best_response_batch,
+    invasion_batch,
+    logit_batch,
+    make_rule,
+    replicator_batch,
+)
 
 __all__ = [
     "PaddedValues",
@@ -46,4 +71,17 @@ __all__ = [
     "ifd_batch",
     "SPoABatch",
     "spoa_batch",
+    "congestion_table_batch",
+    "occupancy_congestion_factor_batch",
+    "site_values_batch",
+    "expected_payoff_batch",
+    "best_response_value_batch",
+    "exploitability_batch",
+    "DynamicsEngine",
+    "DynamicsBatchResult",
+    "make_rule",
+    "replicator_batch",
+    "logit_batch",
+    "best_response_batch",
+    "invasion_batch",
 ]

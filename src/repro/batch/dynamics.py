@@ -1,0 +1,662 @@
+"""Unified batched dynamics engine: one stepping loop for every update rule.
+
+Before this module, each dynamics flavour (discrete/Euler replicator, logit,
+smoothed best response, resident-vs-mutant invasion) carried its own copy of
+the same loop: evaluate the payoff kernel, apply an update, measure the L1
+step, record at strides, stop on tolerance or iteration cap.  The
+:class:`DynamicsEngine` hoists that loop out once and evolves a whole
+``(B, M)`` population of game states simultaneously:
+
+* **pluggable rules** — an :class:`UpdateRule` maps ``(states, t)`` to new
+  states; the bundled rules cover the replicator variants, logit response,
+  smoothed best response and the invasion share dynamic;
+* **one ``nu`` per step** — payoff-driven rules receive the batched
+  ``site_values`` evaluation exactly once per iteration and derive mean
+  payoff, best response and update direction from it;
+* **per-row convergence masking** — rows that meet the tolerance (or a rule's
+  own halting condition) are frozen and dropped from subsequent kernel
+  evaluations, and the loop exits early once every row is done;
+* **strided trajectory recording** — full-batch snapshots are taken every
+  ``record_every`` steps; :meth:`DynamicsBatchResult.trajectory` slices them
+  back into exactly the per-row trajectories the scalar loops used to build.
+
+The scalar entry points in :mod:`repro.dynamics` are thin ``B = 1`` wrappers
+around this engine, so batched and scalar runs share one implementation and
+agree elementwise (property-tested in ``tests/test_batch_dynamics.py``).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.batch.padding import PaddedValues
+from repro.batch.payoffs import (
+    as_k_vector,
+    congestion_table_batch,
+    occupancy_congestion_factor_batch,
+)
+from repro.batch.solvers import as_padded
+from repro.core.policies import CongestionPolicy
+from repro.core.strategy import Strategy
+from repro.utils.validation import check_positive_integer, check_probability
+
+__all__ = [
+    "UpdateRule",
+    "PayoffRule",
+    "DiscreteReplicatorRule",
+    "EulerReplicatorRule",
+    "LogitRule",
+    "SmoothedBestResponseRule",
+    "InvasionRule",
+    "DynamicsBatchResult",
+    "DynamicsEngine",
+    "make_rule",
+    "replicator_batch",
+    "logit_batch",
+    "best_response_batch",
+    "invasion_batch",
+]
+
+
+# --------------------------------------------------------------------- rules
+class UpdateRule(abc.ABC):
+    """One step of a batched dynamic: ``states -> new states`` on active rows.
+
+    A rule is bound to a :class:`DynamicsEngine` before the run; the engine
+    exposes the padded value batch, per-row player counts, the validity mask
+    and a precomputed congestion table, so rules never re-tabulate anything
+    inside the loop.
+    """
+
+    #: Registry/report name of the rule.
+    name: str = "rule"
+
+    def bind(self, engine: "DynamicsEngine") -> None:
+        """Attach the rule to an engine and precompute per-row constants."""
+        self.engine = engine
+
+    @abc.abstractmethod
+    def step(
+        self, states: np.ndarray, t: int, rows: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Advance the given (already row-sliced) states one iteration.
+
+        Returns the new states plus, for rules that track it, the mean payoff
+        of the *pre-update* states (used for strided payoff recording) —
+        ``None`` otherwise.
+        """
+
+    def finished(self, states: np.ndarray, rows: np.ndarray) -> np.ndarray | None:
+        """Optional extra halting condition (e.g. threshold crossing).
+
+        Evaluated on the *post-update* states of the active rows; ``None``
+        (the default) means only the engine's tolerance stops a row.
+        """
+        return None
+
+    def final_payoffs(self, states: np.ndarray) -> np.ndarray | None:
+        """Mean payoff of every row's final state (``None`` if not tracked)."""
+        return None
+
+
+class PayoffRule(UpdateRule):
+    """Base for rules driven by the batched payoff kernel.
+
+    ``step`` evaluates ``nu`` exactly once and hands it to :meth:`respond`;
+    subclasses derive best responses, mean payoffs and update directions from
+    that single evaluation instead of re-entering the kernel.
+    """
+
+    #: Whether the engine should keep a mean-payoff history for this rule.
+    records_payoffs: bool = False
+
+    def step(
+        self, states: np.ndarray, t: int, rows: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        nu = self.engine.site_values(states, rows)
+        payoffs = (states * nu).sum(axis=1) if self.records_payoffs else None
+        return self.respond(states, nu, t, rows), payoffs
+
+    def final_payoffs(self, states: np.ndarray) -> np.ndarray | None:
+        if not self.records_payoffs:
+            return None
+        nu = self.engine.site_values(states, None)
+        return (states * nu).sum(axis=1)
+
+    @abc.abstractmethod
+    def respond(
+        self, states: np.ndarray, nu: np.ndarray, t: int, rows: np.ndarray
+    ) -> np.ndarray:
+        """New states given the (single) ``nu`` evaluation of this step."""
+
+
+class DiscreteReplicatorRule(PayoffRule):
+    """Maynard Smith discrete replicator ``p' ~ p * (nu + shift)``.
+
+    The per-row ``shift`` makes fitnesses positive even for aggressive
+    (negative-payoff) policies, exactly as the scalar loop did.
+    """
+
+    name = "discrete"
+    records_payoffs = True
+
+    def bind(self, engine: "DynamicsEngine") -> None:
+        super().bind(engine)
+        # min over the zero-padded table equals min(table(k_b), 0); the shift
+        # formula only reacts to negative congestion, so the padding zeros
+        # are harmless.
+        worst_congestion = engine.tables.min(axis=1)
+        f_max = engine.values.max(axis=1)
+        self.shift = np.maximum(0.0, -worst_congestion * f_max) + 1e-3 * f_max
+
+    def respond(
+        self, states: np.ndarray, nu: np.ndarray, t: int, rows: np.ndarray
+    ) -> np.ndarray:
+        fitness = nu + self.shift[rows][:, None]
+        denominator = (states * fitness).sum(axis=1, keepdims=True)
+        return states * fitness / denominator
+
+
+class EulerReplicatorRule(PayoffRule):
+    """Euler discretisation of the continuous replicator equation."""
+
+    name = "euler"
+    records_payoffs = True
+
+    def __init__(self, step_size: float = 0.2):
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.step_size = float(step_size)
+
+    def respond(
+        self, states: np.ndarray, nu: np.ndarray, t: int, rows: np.ndarray
+    ) -> np.ndarray:
+        mean = (states * nu).sum(axis=1, keepdims=True)
+        new = np.clip(states + self.step_size * states * (nu - mean), 0.0, None)
+        totals = new.sum(axis=1, keepdims=True)
+        if np.any(totals <= 0):
+            raise RuntimeError("euler replicator step annihilated the population state")
+        return new / totals
+
+
+class LogitRule(PayoffRule):
+    """Damped logit (smooth fictitious play) response with decaying step."""
+
+    name = "logit"
+
+    def __init__(
+        self,
+        rationality: float = 50.0,
+        damping: float = 0.5,
+        step_decay: float = 0.01,
+    ):
+        if rationality <= 0:
+            raise ValueError("rationality must be positive")
+        if not 0 < damping <= 1:
+            raise ValueError("damping must lie in (0, 1]")
+        if step_decay < 0:
+            raise ValueError("step_decay must be non-negative")
+        self.rationality = float(rationality)
+        self.damping = float(damping)
+        self.step_decay = float(step_decay)
+
+    def respond(
+        self, states: np.ndarray, nu: np.ndarray, t: int, rows: np.ndarray
+    ) -> np.ndarray:
+        # Padding sites get -inf logits so the softmax never leaks mass onto
+        # them (their nu of zero could otherwise beat negative real payoffs).
+        logits = np.where(self.engine.mask[rows], self.rationality * nu, -np.inf)
+        logits -= logits.max(axis=1, keepdims=True)
+        weights = np.exp(logits)
+        response = weights / weights.sum(axis=1, keepdims=True)
+        gamma = self.damping / (1.0 + self.step_decay * t)
+        return (1.0 - gamma) * states + gamma * response
+
+
+class SmoothedBestResponseRule(PayoffRule):
+    """Damped best response mixing uniformly over near-maximal sites."""
+
+    name = "best-response"
+
+    def __init__(
+        self,
+        step_size: float = 0.5,
+        step_decay: float = 0.01,
+        tie_atol: float = 1e-12,
+    ):
+        if step_size <= 0 or not (0 <= step_decay):
+            raise ValueError("step_size must be positive and step_decay non-negative")
+        self.step_size = float(step_size)
+        self.step_decay = float(step_decay)
+        self.tie_atol = float(tie_atol)
+
+    def respond(
+        self, states: np.ndarray, nu: np.ndarray, t: int, rows: np.ndarray
+    ) -> np.ndarray:
+        masked_nu = np.where(self.engine.mask[rows], nu, -np.inf)
+        best = masked_nu >= masked_nu.max(axis=1, keepdims=True) - self.tie_atol
+        response = best / best.sum(axis=1, keepdims=True)
+        gamma = self.step_size / (1.0 + self.step_decay * t)
+        return (1.0 - gamma) * states + gamma * response
+
+
+class InvasionRule(UpdateRule):
+    """Two-type replicator on the mutant share (state width 1 per row).
+
+    The state is the ``(B, 1)`` mutant-share vector; every step builds the
+    per-row population mixture, evaluates its ``nu`` **once**, and derives
+    both the resident and the mutant payoff from it — the scalar loop used to
+    evaluate the kernel twice per step, once inside each ``mixture_payoff``.
+    """
+
+    name = "invasion"
+
+    def __init__(
+        self,
+        resident: np.ndarray,
+        mutant: np.ndarray,
+        *,
+        selection_strength: float = 0.5,
+        extinction_threshold: float = 1e-6,
+        fixation_threshold: float = 1.0 - 1e-6,
+    ):
+        if selection_strength <= 0:
+            raise ValueError("selection_strength must be positive")
+        self.resident = np.asarray(resident, dtype=float)
+        self.mutant = np.asarray(mutant, dtype=float)
+        self.selection_strength = float(selection_strength)
+        self.extinction_threshold = float(extinction_threshold)
+        self.fixation_threshold = float(fixation_threshold)
+
+    def bind(self, engine: "DynamicsEngine") -> None:
+        super().bind(engine)
+        shape = engine.values.shape
+        if self.resident.shape != shape or self.mutant.shape != shape:
+            raise ValueError(
+                "resident and mutant strategy matrices must match the padded "
+                f"batch shape {shape}"
+            )
+        # Payoff differences are normalised by the largest site value so the
+        # share step is dimensionless (values are positive, so max == max|.|).
+        self.scale = engine.values.max(axis=1)
+
+    def step(
+        self, states: np.ndarray, t: int, rows: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        share = states[:, 0]
+        resident = self.resident[rows]
+        mutant = self.mutant[rows]
+        mixed = (1.0 - share)[:, None] * resident + share[:, None] * mutant
+        nu = self.engine.site_values(mixed, rows)  # one kernel pass per step
+        delta = ((mutant - resident) * nu).sum(axis=1) / self.scale[rows]
+        new = share + self.selection_strength * share * (1.0 - share) * delta
+        return np.clip(new, 0.0, 1.0)[:, None], None
+
+    def finished(self, states: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        share = states[:, 0]
+        return (share <= self.extinction_threshold) | (share >= self.fixation_threshold)
+
+
+# -------------------------------------------------------------------- result
+@dataclass(frozen=True)
+class DynamicsBatchResult:
+    """Outcome of one :class:`DynamicsEngine` run over a ``(B, M)`` batch.
+
+    Attributes
+    ----------
+    states:
+        ``(B, M)`` final (raw, un-renormalised) states.
+    converged:
+        ``(B,)`` booleans — ``True`` where the tolerance (or the rule's own
+        halting condition) was met before the iteration cap.
+    iterations:
+        ``(B,)`` number of update steps each row actually performed (frozen
+        rows stop counting; unconverged rows show the cap).
+    record_times:
+        ``(R,)`` iteration numbers of the snapshots (``0`` first).
+    records:
+        ``(R, B, M)`` state snapshots (``records[0]`` is the initial batch).
+    payoff_records:
+        ``(R - 1, B)`` mean payoffs at the recorded iterations (empty when the
+        rule does not track payoffs).
+    final_payoffs:
+        ``(B,)`` mean payoffs of the final states (``None`` when untracked).
+    sizes:
+        ``(B,)`` true (unpadded) site counts.
+    rule_name:
+        Name of the update rule that produced the run.
+    """
+
+    states: np.ndarray
+    converged: np.ndarray
+    iterations: np.ndarray
+    record_times: np.ndarray
+    records: np.ndarray
+    payoff_records: np.ndarray
+    final_payoffs: np.ndarray | None
+    sizes: np.ndarray
+    rule_name: str
+
+    @property
+    def batch_size(self) -> int:
+        """Number of rows ``B``."""
+        return int(self.states.shape[0])
+
+    def strategy(self, row: int) -> Strategy:
+        """Final state of ``row`` as a normalised :class:`Strategy` (padding trimmed)."""
+        size = int(self.sizes[row])
+        p = self.states[row, :size]
+        return Strategy(np.clip(p, 0.0, None) / p.sum())
+
+    def trajectory(self, row: int) -> np.ndarray:
+        """Per-row recorded trajectory, exactly as the scalar loops built it.
+
+        The rows are the initial state, every stride snapshot taken while the
+        row was still active, and the final state when it differs from the
+        last snapshot.
+        """
+        size = int(self.sizes[row])
+        limit = int(self.iterations[row])
+        states = [
+            self.records[index, row, :size]
+            for index, t in enumerate(self.record_times)
+            if t <= limit
+        ]
+        final = self.states[row, :size]
+        if not np.array_equal(states[-1], final):
+            states.append(final)
+        return np.asarray(states)
+
+    def payoff_history(self, row: int) -> np.ndarray:
+        """Recorded mean payoffs of ``row`` plus the final-state payoff."""
+        if self.final_payoffs is None:
+            raise ValueError(f"rule {self.rule_name!r} does not track payoffs")
+        limit = int(self.iterations[row])
+        history = [
+            self.payoff_records[index, row]
+            for index, t in enumerate(self.record_times[1:])
+            if t <= limit
+        ]
+        history.append(self.final_payoffs[row])
+        return np.asarray(history)
+
+
+# -------------------------------------------------------------------- engine
+class DynamicsEngine:
+    """Evolve a whole batch of game states under one pluggable update rule.
+
+    Parameters
+    ----------
+    values:
+        Instance batch: a :class:`~repro.batch.padding.PaddedValues`, a 2-D
+        matrix of equal-width profiles, or any iterable of profiles (ragged
+        ``M`` allowed).
+    k:
+        Player count — a scalar for the whole batch or a per-row ``(B,)``
+        vector.
+    policy:
+        Congestion policy shared by every row (validated once per distinct
+        ``k``).
+    rule:
+        The :class:`UpdateRule` to iterate.
+    max_iter, tol:
+        Iteration cap and per-row L1 convergence tolerance.  ``tol=None``
+        disables tolerance-based stopping (rules with their own
+        :meth:`UpdateRule.finished` condition, e.g. invasion, run until they
+        halt or hit the cap).
+    record_every:
+        Snapshot stride of the trajectory recording.
+    """
+
+    def __init__(
+        self,
+        values: PaddedValues | Sequence | np.ndarray,
+        k: Sequence[int] | np.ndarray | int,
+        policy: CongestionPolicy,
+        rule: UpdateRule,
+        *,
+        max_iter: int = 20_000,
+        tol: float | None = 1e-12,
+        record_every: int = 100,
+    ) -> None:
+        self.padded = as_padded(values)
+        self.values = self.padded.values
+        self.mask = self.padded.mask
+        self.sizes = self.padded.sizes
+        self.ks = as_k_vector(k, self.padded.batch_size)
+        self.policy = policy
+        for distinct_k in np.unique(self.ks):
+            policy.validate(int(distinct_k))
+        self.max_iter = check_positive_integer(max_iter, "max_iter")
+        self.tol = None if tol is None else float(tol)
+        self.record_every = check_positive_integer(record_every, "record_every")
+        #: (B, n_max + 1) congestion tables, computed once and re-sliced per step.
+        self.tables = congestion_table_batch(policy, self.ks - 1)
+        self.rule = rule
+        rule.bind(self)
+
+    @property
+    def batch_size(self) -> int:
+        """Number of rows ``B``."""
+        return self.padded.batch_size
+
+    # ------------------------------------------------------------ payoff kernel
+    def site_values(self, states: np.ndarray, rows: np.ndarray | None) -> np.ndarray:
+        """Batched ``nu`` for the given rows, reusing the precomputed tables."""
+        if rows is None:
+            values, mask, n, tables = self.values, self.mask, self.ks - 1, self.tables
+        else:
+            values = self.values[rows]
+            mask = self.mask[rows]
+            n = self.ks[rows] - 1
+            tables = self.tables[rows]
+        factor = occupancy_congestion_factor_batch(self.policy, states, n, tables=tables)
+        return values * factor * mask
+
+    def initial_states(self) -> np.ndarray:
+        """Per-row uniform distributions (zero on padding columns)."""
+        return np.where(self.mask, 1.0 / self.sizes[:, None].astype(float), 0.0)
+
+    # -------------------------------------------------------------------- loop
+    def run(self, initial: np.ndarray | None = None) -> DynamicsBatchResult:
+        """Iterate the rule until every row converges, halts, or hits the cap."""
+        if initial is None:
+            states = self.initial_states()
+        else:
+            states = np.array(initial, dtype=float, copy=True)
+            if states.ndim == 1:
+                states = states[None, :]
+            if states.shape[0] != self.batch_size:
+                raise ValueError(
+                    f"initial states have {states.shape[0]} rows for a batch "
+                    f"of {self.batch_size}"
+                )
+
+        batch = self.batch_size
+        converged = np.zeros(batch, dtype=bool)
+        iterations = np.full(batch, self.max_iter, dtype=np.int64)
+        active = np.arange(batch)
+        record_times = [0]
+        records = [states.copy()]
+        payoff_records: list[np.ndarray] = []
+        current_payoffs = np.zeros(batch)
+
+        for t in range(1, self.max_iter + 1):
+            sub = states[active]
+            new_sub, payoffs = self.rule.step(sub, t, active)
+            recording = t % self.record_every == 0
+            if recording and payoffs is not None:
+                current_payoffs[active] = payoffs
+            change = np.abs(new_sub - sub).sum(axis=1)
+            states[active] = new_sub
+
+            done = (
+                np.zeros(active.size, dtype=bool)
+                if self.tol is None
+                else change <= self.tol
+            )
+            halted = self.rule.finished(states[active], active)
+            if halted is not None:
+                done |= halted
+            if done.any():
+                finished_rows = active[done]
+                converged[finished_rows] = True
+                iterations[finished_rows] = t
+                active = active[~done]
+
+            if recording:
+                record_times.append(t)
+                records.append(states.copy())
+                payoff_records.append(current_payoffs.copy())
+            if active.size == 0:
+                break
+
+        return DynamicsBatchResult(
+            states=states,
+            converged=converged,
+            iterations=iterations,
+            record_times=np.asarray(record_times, dtype=np.int64),
+            records=np.asarray(records),
+            payoff_records=np.asarray(payoff_records).reshape(
+                len(payoff_records), batch
+            ),
+            final_payoffs=self.rule.final_payoffs(states),
+            sizes=self.sizes,
+            rule_name=self.rule.name,
+        )
+
+
+# ------------------------------------------------------------- entry points
+_REPLICATOR_METHODS = ("discrete", "euler")
+
+
+def make_rule(rule: str | UpdateRule, **options) -> UpdateRule:
+    """Resolve a rule name (``discrete`` / ``euler`` / ``logit`` /
+    ``best-response``) into an :class:`UpdateRule` instance."""
+    if isinstance(rule, UpdateRule):
+        return rule
+    factories = {
+        "discrete": DiscreteReplicatorRule,
+        "euler": EulerReplicatorRule,
+        "logit": LogitRule,
+        "best-response": SmoothedBestResponseRule,
+    }
+    if rule not in factories:
+        raise ValueError(
+            f"unknown dynamics rule {rule!r}; available: {', '.join(sorted(factories))}"
+        )
+    return factories[rule](**options)
+
+
+def replicator_batch(
+    values: PaddedValues | Sequence | np.ndarray,
+    k: Sequence[int] | np.ndarray | int,
+    policy: CongestionPolicy,
+    *,
+    initial: np.ndarray | None = None,
+    method: str = "discrete",
+    step_size: float = 0.2,
+    max_iter: int = 20_000,
+    tol: float = 1e-12,
+    record_every: int = 100,
+) -> DynamicsBatchResult:
+    """Replicator dynamics for a whole batch (see :func:`repro.dynamics.replicator_dynamics`)."""
+    if method not in _REPLICATOR_METHODS:
+        raise ValueError("method must be 'discrete' or 'euler'")
+    if step_size <= 0:
+        raise ValueError("step_size must be positive")
+    rule: UpdateRule = (
+        DiscreteReplicatorRule() if method == "discrete" else EulerReplicatorRule(step_size)
+    )
+    engine = DynamicsEngine(
+        values, k, policy, rule, max_iter=max_iter, tol=tol, record_every=record_every
+    )
+    return engine.run(initial)
+
+
+def logit_batch(
+    values: PaddedValues | Sequence | np.ndarray,
+    k: Sequence[int] | np.ndarray | int,
+    policy: CongestionPolicy,
+    *,
+    rationality: float = 50.0,
+    damping: float = 0.5,
+    step_decay: float = 0.01,
+    initial: np.ndarray | None = None,
+    max_iter: int = 50_000,
+    tol: float = 1e-13,
+    record_every: int = 500,
+) -> DynamicsBatchResult:
+    """Logit dynamics for a whole batch (see :func:`repro.dynamics.logit_dynamics`)."""
+    rule = LogitRule(rationality=rationality, damping=damping, step_decay=step_decay)
+    engine = DynamicsEngine(
+        values, k, policy, rule, max_iter=max_iter, tol=tol, record_every=record_every
+    )
+    return engine.run(initial)
+
+
+def best_response_batch(
+    values: PaddedValues | Sequence | np.ndarray,
+    k: Sequence[int] | np.ndarray | int,
+    policy: CongestionPolicy,
+    *,
+    initial: np.ndarray | None = None,
+    step_size: float = 0.5,
+    step_decay: float = 0.01,
+    max_iter: int = 10_000,
+    tol: float = 1e-10,
+    record_every: int = 100,
+    tie_atol: float = 1e-12,
+) -> DynamicsBatchResult:
+    """Damped best-response dynamics for a whole batch
+    (see :func:`repro.dynamics.best_response_dynamics`)."""
+    rule = SmoothedBestResponseRule(
+        step_size=step_size, step_decay=step_decay, tie_atol=tie_atol
+    )
+    engine = DynamicsEngine(
+        values, k, policy, rule, max_iter=max_iter, tol=tol, record_every=record_every
+    )
+    return engine.run(initial)
+
+
+def invasion_batch(
+    values: PaddedValues | Sequence | np.ndarray,
+    residents: np.ndarray,
+    mutants: np.ndarray,
+    k: Sequence[int] | np.ndarray | int,
+    policy: CongestionPolicy,
+    *,
+    initial_shares: np.ndarray | float = 0.05,
+    selection_strength: float = 0.5,
+    max_iter: int = 5_000,
+    extinction_threshold: float = 1e-6,
+    fixation_threshold: float = 1.0 - 1e-6,
+) -> DynamicsBatchResult:
+    """Mutant-share dynamics for a whole batch of resident/mutant pairs.
+
+    ``residents`` and ``mutants`` are ``(B, M_max)`` strategy matrices aligned
+    with the padded value batch; the returned result's states are the
+    ``(B, 1)`` final shares (``trajectory(row)`` recovers each row's full
+    share history, recorded every step like the scalar loop).
+    """
+    padded = as_padded(values)
+    rule = InvasionRule(
+        residents,
+        mutants,
+        selection_strength=selection_strength,
+        extinction_threshold=extinction_threshold,
+        fixation_threshold=fixation_threshold,
+    )
+    engine = DynamicsEngine(
+        padded, k, policy, rule, max_iter=max_iter, tol=None, record_every=1
+    )
+    shares = np.broadcast_to(
+        np.asarray(initial_shares, dtype=float), (padded.batch_size,)
+    )
+    for share in np.unique(shares):
+        check_probability(float(share), "initial_share")
+    return engine.run(shares[:, None])

@@ -1,0 +1,199 @@
+"""Batched payoff kernel: ``nu``, best responses and exploitability for whole batches.
+
+The scalar payoff calculus of :mod:`repro.core.payoffs` evaluates one
+``(f, p, k)`` triple per call; dynamics sweeps re-enter it thousands of times
+per trajectory, so grids of trajectories are dominated by Python-call
+overhead.  The kernel here evaluates the same formulas for ``B`` game states
+at once:
+
+* strategies are ``(B, M_max)`` matrices riding on a
+  :class:`~repro.batch.padding.PaddedValues` value batch (ragged ``M``
+  allowed; padding columns carry zero probability and are zeroed in ``nu``);
+* the player count is a scalar or a per-row ``(B,)`` vector, so one batch can
+  mix instances of different ``k`` (the binomial occupancy laws are expanded
+  with one shared log-factorial table via
+  :func:`~repro.utils.numerics.binomial_pmf_tensor`);
+* the congestion policy enters through a per-row table
+  ``[C(1), ..., C(k_b)]`` broadcast as a ``(B, n_max + 1)`` matrix
+  (:func:`congestion_table_batch`), which callers stepping many times — the
+  :class:`~repro.batch.dynamics.DynamicsEngine` — precompute once.
+
+Every ``*_batch`` function agrees elementwise with its scalar counterpart
+(property-tested in ``tests/test_batch_dynamics.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.batch.padding import PaddedValues
+from repro.batch.solvers import as_k_grid, as_padded
+from repro.core.policies import CongestionPolicy
+from repro.utils.numerics import binomial_pmf_tensor
+
+__all__ = [
+    "as_k_vector",
+    "congestion_table_batch",
+    "occupancy_congestion_factor_batch",
+    "site_values_batch",
+    "expected_payoff_batch",
+    "best_response_value_batch",
+    "exploitability_batch",
+]
+
+
+def as_k_vector(k: Sequence[int] | np.ndarray | int, batch_size: int) -> np.ndarray:
+    """Coerce a player-count argument into a validated per-row ``(B,)`` vector.
+
+    A scalar is broadcast to every row; a vector must have one entry per row.
+    """
+    ks = as_k_grid(k)
+    if ks.size == 1:
+        return np.full(batch_size, int(ks[0]), dtype=np.int64)
+    if ks.size != batch_size:
+        raise ValueError(
+            f"per-row k vector has {ks.size} entries for a batch of {batch_size}"
+        )
+    return ks
+
+
+def congestion_table_batch(
+    policy: CongestionPolicy, n_opponents: np.ndarray | int
+) -> np.ndarray:
+    """Per-row congestion tables ``[C(1), ..., C(n_b + 1)]`` as a ``(B, n_max + 1)`` matrix.
+
+    Row ``b`` holds the table a player facing ``n_opponents[b]`` co-players
+    needs; entries beyond its own width are exactly zero, matching the
+    zero-padding of :func:`~repro.utils.numerics.binomial_pmf_tensor` so the
+    two can be contracted along the occupancy axis for any mix of per-row
+    player counts.
+    """
+    n = np.atleast_1d(np.asarray(n_opponents, dtype=np.int64))
+    if np.any(n < 0):
+        raise ValueError("n_opponents must be non-negative")
+    n_max = int(n.max())
+    table = policy.table(n_max + 1)  # C(1), ..., C(n_max + 1)
+    out = np.tile(table, (n.size, 1))
+    out[np.arange(n_max + 1)[None, :] > n[:, None]] = 0.0
+    return out
+
+
+def occupancy_congestion_factor_batch(
+    policy: CongestionPolicy,
+    opponent_probabilities: np.ndarray,
+    n_opponents: np.ndarray | int,
+    *,
+    tables: np.ndarray | None = None,
+) -> np.ndarray:
+    """Expected congestion factors ``E[C(1 + Binomial(n_b, q))]`` for a whole batch.
+
+    Parameters
+    ----------
+    policy:
+        Congestion policy supplying ``C``.
+    opponent_probabilities:
+        ``(B, M)`` matrix; entry ``[b, x]`` is the probability that one
+        opponent of row ``b`` selects site ``x``.
+    n_opponents:
+        Number of independent opponents per row (scalar or ``(B,)``).
+    tables:
+        Optional precomputed :func:`congestion_table_batch` output (at least
+        as wide as the occupancy axis); steppers reuse one table across
+        thousands of calls instead of re-tabulating the policy.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(B, M)`` matrix; multiplying by ``f`` yields the batched ``nu``.
+    """
+    q = np.asarray(opponent_probabilities, dtype=float)
+    if q.ndim != 2:
+        raise ValueError("opponent_probabilities must be a 2-D (B, M) matrix")
+    n = np.broadcast_to(np.asarray(n_opponents, dtype=np.int64), (q.shape[0],))
+    if np.any(n < 0):
+        raise ValueError("n_opponents must be non-negative")
+    pmf = binomial_pmf_tensor(n, q)  # (B, M, n_sub_max + 1)
+    if tables is None:
+        tables = congestion_table_batch(policy, n)
+    width = pmf.shape[2]
+    if tables.shape[1] < width:
+        raise ValueError(
+            f"congestion tables of width {tables.shape[1]} are too narrow for "
+            f"occupancies up to {width}"
+        )
+    return np.einsum("bmj,bj->bm", pmf, tables[:, :width])
+
+
+def site_values_batch(
+    values: PaddedValues | Sequence | np.ndarray,
+    strategies: np.ndarray,
+    k: Sequence[int] | np.ndarray | int,
+    policy: CongestionPolicy,
+    *,
+    tables: np.ndarray | None = None,
+) -> np.ndarray:
+    """Batched Eq. (2): ``nu_p(x)`` for every row's ``(f_b, p_b, k_b)`` at once.
+
+    Padding columns come back exactly zero; callers that need a best response
+    under negative payoffs must therefore mask with ``padded.mask`` rather
+    than rely on the zeros (see :func:`best_response_value_batch`).
+    """
+    padded = as_padded(values)
+    ks = as_k_vector(k, padded.batch_size)
+    P = np.asarray(strategies, dtype=float)
+    if P.shape != padded.values.shape:
+        raise ValueError(
+            f"strategies shape {P.shape} must match the padded batch "
+            f"{padded.values.shape}"
+        )
+    factor = occupancy_congestion_factor_batch(policy, P, ks - 1, tables=tables)
+    return padded.values * factor * padded.mask
+
+
+def expected_payoff_batch(
+    values: PaddedValues | Sequence | np.ndarray,
+    focal: np.ndarray,
+    opponents: np.ndarray,
+    k: Sequence[int] | np.ndarray | int,
+    policy: CongestionPolicy,
+) -> np.ndarray:
+    """Batched ``E(focal; opponents^(k-1))``: one expected payoff per row."""
+    rho = np.asarray(focal, dtype=float)
+    nu = site_values_batch(values, opponents, k, policy)
+    if rho.shape != nu.shape:
+        raise ValueError("focal strategies must match the padded batch shape")
+    return (rho * nu).sum(axis=1)
+
+
+def best_response_value_batch(
+    values: PaddedValues | Sequence | np.ndarray,
+    strategies: np.ndarray,
+    k: Sequence[int] | np.ndarray | int,
+    policy: CongestionPolicy,
+) -> np.ndarray:
+    """Per-row best-response value ``max_x nu_p(x)`` (maximum over real sites only)."""
+    padded = as_padded(values)
+    nu = site_values_batch(padded, strategies, k, policy)
+    return np.where(padded.mask, nu, -np.inf).max(axis=1)
+
+
+def exploitability_batch(
+    values: PaddedValues | Sequence | np.ndarray,
+    strategies: np.ndarray,
+    k: Sequence[int] | np.ndarray | int,
+    policy: CongestionPolicy,
+) -> np.ndarray:
+    """Per-row deviation gain ``max_x nu_p(x) - sum_x p(x) nu_p(x)``.
+
+    One ``nu`` evaluation serves both terms (the batch analogue of the
+    "compute ``nu`` once, derive best response *and* mean payoff from it"
+    rule the dynamics steppers follow).  Zero exactly on the rows whose state
+    is a symmetric equilibrium.
+    """
+    padded = as_padded(values)
+    P = np.asarray(strategies, dtype=float)
+    nu = site_values_batch(padded, P, k, policy)
+    best = np.where(padded.mask, nu, -np.inf).max(axis=1)
+    return best - (P * nu).sum(axis=1)

@@ -7,6 +7,7 @@ Usage (after ``pip install -e .``)::
     repro-dispersal spoa [--quick]
     repro-dispersal ess [--mutants 25]
     repro-dispersal sweep [--m 20] [--policy sharing exclusive]
+    repro-dispersal dynamics [--rule logit] [--grid full] [--batch 128]
     repro-dispersal experiments
 
 or equivalently ``python -m repro.cli ...``.  Every sub-command is a thin
@@ -42,7 +43,7 @@ from repro.analysis.spoa_experiments import (
     SPoARow,
     build_spoa_spec,
 )
-from repro.analysis.sweeps import assemble_sweep, build_sweep_spec
+from repro.analysis.sweeps import assemble_sweep, build_dynamics_spec, build_sweep_spec
 from repro.core.policies import (
     AggressivePolicy,
     ConstantPolicy,
@@ -63,6 +64,22 @@ _POLICY_FACTORIES = {
     "constant": ConstantPolicy,
     "aggressive": lambda: AggressivePolicy(0.5),
     "power-law": lambda: PowerLawPolicy(2.0),
+}
+
+#: Preset grid densities of the ``dynamics`` sub-command (``--grid``).
+_DYNAMICS_GRIDS = {
+    "quick": {
+        "families": ("uniform", "zipf"),
+        "m_values": (5, 8),
+        "k_values": (2, 3),
+        "inits": ("uniform", "random"),
+    },
+    "full": {
+        "families": ("uniform", "zipf", "geometric", "linear"),
+        "m_values": (6, 12, 24),
+        "k_values": (2, 3, 5, 8),
+        "inits": ("uniform", "proportional", "random"),
+    },
 }
 
 
@@ -115,6 +132,37 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(_POLICY_FACTORIES),
         default=["exclusive", "sharing", "constant"],
     )
+
+    dynamics = sub.add_parser(
+        "dynamics",
+        parents=[common],
+        help="Batched evolutionary-dynamics sweep over a (family, M, k, init) grid.",
+    )
+    dynamics.add_argument(
+        "--rule",
+        choices=["discrete", "euler", "logit", "best-response"],
+        default="discrete",
+        help="Update rule stepped by the batched DynamicsEngine.",
+    )
+    dynamics.add_argument(
+        "--policy",
+        choices=sorted(_POLICY_FACTORIES),
+        default="sharing",
+        help="Congestion policy shared by every trajectory.",
+    )
+    dynamics.add_argument(
+        "--grid",
+        choices=sorted(_DYNAMICS_GRIDS),
+        default="quick",
+        help="Preset (family, M, k, init) grid density, passed to the spec builder.",
+    )
+    dynamics.add_argument(
+        "--batch",
+        type=int,
+        default=64,
+        help="Trajectories per engine run (= rows per runner task).",
+    )
+    dynamics.add_argument("--max-iter", type=int, default=20_000, help="Iteration cap per row.")
 
     sub.add_parser(
         "experiments", parents=[common], help="List the registered experiments."
@@ -228,6 +276,33 @@ def _run_sweep(args: argparse.Namespace) -> str:
     )
 
 
+def _run_dynamics(args: argparse.Namespace) -> str:
+    spec = build_dynamics_spec(
+        rule=args.rule,
+        policy=_POLICY_FACTORIES[args.policy](),
+        batch_rows=args.batch,
+        max_iter=args.max_iter,
+        seed=args.seed,
+        **_DYNAMICS_GRIDS[args.grid],
+    )
+    result = _execute(spec, args)
+    if args.json:
+        return result.to_json(timing=False)
+    rows = list(result.rows)
+    n_converged = sum(row.converged for row in rows)
+    worst = max(row.exploitability for row in rows)
+    return render_report(
+        f"Batched {args.rule} dynamics under the {args.policy} policy",
+        [
+            (
+                f"{n_converged}/{len(rows)} trajectories converged; "
+                f"worst final exploitability {worst:.3e}",
+                rows_to_table(rows),
+            ),
+        ],
+    )
+
+
 def _run_experiments(args: argparse.Namespace) -> str:
     definitions = [get_experiment(name) for name in experiment_names()]
     if args.json:
@@ -251,6 +326,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "spoa": _run_spoa,
         "ess": _run_ess,
         "sweep": _run_sweep,
+        "dynamics": _run_dynamics,
         "experiments": _run_experiments,
     }
     print(runners[args.command](args))

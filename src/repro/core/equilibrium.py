@@ -19,6 +19,7 @@ from repro.core.payoffs import best_response_sites, exploitability, site_values
 from repro.core.policies import CongestionPolicy
 from repro.core.strategy import Strategy
 from repro.core.values import SiteValues
+from repro.utils.coercion import values_array
 from repro.utils.validation import check_positive_integer
 
 __all__ = [
@@ -41,10 +42,6 @@ class EquilibriumReport:
     equilibrium_payoff: float
 
 
-def _values_array(values: SiteValues | np.ndarray) -> np.ndarray:
-    return values.as_array() if isinstance(values, SiteValues) else np.asarray(values, dtype=float)
-
-
 def symmetric_equilibrium(
     values: SiteValues | np.ndarray,
     k: int,
@@ -65,7 +62,7 @@ def verify_symmetric_equilibrium(
 ) -> EquilibriumReport:
     """Check whether ``strategy`` is a symmetric Nash equilibrium of the game."""
     k = check_positive_integer(k, "k")
-    f = _values_array(values)
+    f = values_array(values)
     gap = exploitability(f, strategy, k, policy)
     nu = site_values(f, strategy, k, policy)
     payoff = float(np.dot(strategy.as_array(), nu))
@@ -106,7 +103,7 @@ def pure_equilibrium_occupancies(
     numerous; it raises for instances that would be too large.
     """
     k = check_positive_integer(k, "k")
-    f = _values_array(values)
+    f = values_array(values)
     m = f.size
     from math import comb
 

@@ -37,6 +37,7 @@ from repro.core.payoffs import (
 from repro.core.policies import CongestionPolicy
 from repro.core.strategy import Strategy
 from repro.core.values import SiteValues
+from repro.utils.coercion import values_array
 from repro.utils.validation import check_positive_integer, check_probability
 
 __all__ = [
@@ -82,10 +83,6 @@ class ESSReport:
     failures: tuple[int, ...]
 
 
-def _values_array(values: SiteValues | np.ndarray) -> np.ndarray:
-    return values.as_array() if isinstance(values, SiteValues) else np.asarray(values, dtype=float)
-
-
 def is_symmetric_nash(
     values: SiteValues | np.ndarray,
     strategy: Strategy,
@@ -96,7 +93,7 @@ def is_symmetric_nash(
 ) -> bool:
     """``True`` when no unilateral deviation from the symmetric profile is profitable."""
     k = check_positive_integer(k, "k")
-    f = _values_array(values)
+    f = values_array(values)
     nu = site_values(f, strategy, k, policy)
     own = float(np.dot(strategy.as_array(), nu))
     return bool(nu.max() <= own + atol)
@@ -119,7 +116,7 @@ def ess_conditions_against(
     difference (scanning ``l`` upwards) is strictly positive.
     """
     k = check_positive_integer(k, "k")
-    f = _values_array(values)
+    f = values_array(values)
     diffs = np.empty(k, dtype=float)
     for ell in range(k):
         groups = [(resident, k - 1 - ell), (mutant, ell)]
@@ -154,7 +151,7 @@ def invasion_barrier(
     ``1`` when it resists for every tested proportion.
     """
     k = check_positive_integer(k, "k")
-    f = _values_array(values)
+    f = values_array(values)
     if epsilon_grid is None:
         epsilon_grid = np.concatenate(
             [np.logspace(-6, -1, 16), np.linspace(0.15, 0.99, 18)]
@@ -189,7 +186,7 @@ def ess_report(
     the resident, and ``n_random_mutants`` Dirichlet-random strategies.
     """
     k = check_positive_integer(k, "k")
-    f = _values_array(values)
+    f = values_array(values)
     m = f.size
     generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
 
@@ -236,7 +233,7 @@ def resident_vs_mutant_payoffs(
     policy: CongestionPolicy,
 ) -> tuple[float, float]:
     """Convenience: ``(U[resident; mix], U[mutant; mix])`` for a mutant share ``epsilon``."""
-    f = _values_array(values)
+    f = values_array(values)
     return (
         mixture_payoff(f, resident, resident, mutant, epsilon, k, policy),
         mixture_payoff(f, mutant, resident, mutant, epsilon, k, policy),
@@ -250,5 +247,5 @@ def equilibrium_payoff(
     policy: CongestionPolicy,
 ) -> float:
     """Expected payoff of a player in the symmetric profile ``strategy`` (``E(sigma; sigma^{k-1})``)."""
-    f = _values_array(values)
+    f = values_array(values)
     return expected_payoff(f, strategy, strategy, k, policy)

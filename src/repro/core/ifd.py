@@ -30,6 +30,7 @@ from repro.core.policies import CongestionPolicy, ExclusivePolicy
 from repro.core.sigma_star import sigma_star
 from repro.core.strategy import Strategy
 from repro.core.values import SiteValues
+from repro.utils.coercion import values_array
 from repro.utils.validation import check_positive_integer
 
 __all__ = ["IFDResult", "IFDReport", "ideal_free_distribution", "verify_ifd"]
@@ -77,10 +78,6 @@ class IFDReport:
     value: float
 
 
-def _values_array(values: SiteValues | np.ndarray) -> np.ndarray:
-    return values.as_array() if isinstance(values, SiteValues) else np.asarray(values, dtype=float)
-
-
 def ideal_free_distribution(
     values: SiteValues | np.ndarray,
     k: int,
@@ -119,7 +116,7 @@ def ideal_free_distribution(
       uniformly over the maximum-value sites.
     """
     k = check_positive_integer(k, "k")
-    f = _values_array(values)
+    f = values_array(values)
     m = f.size
     policy.validate(k)
 
@@ -228,7 +225,7 @@ def verify_ifd(
     2. every unexplored site yields at most that payoff.
     """
     k = check_positive_integer(k, "k")
-    f = _values_array(values)
+    f = values_array(values)
     nu = site_values(f, strategy, k, policy)
     p = strategy.as_array()
     support = p > support_atol

@@ -30,6 +30,7 @@ from repro.core.coverage import coverage, coverage_gradient, full_coordination_c
 from repro.core.sigma_star import sigma_star
 from repro.core.strategy import Strategy
 from repro.core.values import SiteValues
+from repro.utils.coercion import values_array
 from repro.utils.numerics import safe_power, simplex_projection
 from repro.utils.validation import check_positive_integer
 
@@ -51,10 +52,6 @@ class CoverageOptimum:
     strategy: Strategy
     coverage: float
     method: str
-
-
-def _values_array(values: SiteValues | np.ndarray) -> np.ndarray:
-    return values.as_array() if isinstance(values, SiteValues) else np.asarray(values, dtype=float)
 
 
 def optimal_coverage_strategy(values: SiteValues | np.ndarray, k: int) -> CoverageOptimum:
@@ -90,7 +87,7 @@ def maximize_coverage_waterfilling(
     numerical witness for Theorem 4.
     """
     k = check_positive_integer(k, "k")
-    f = _values_array(values)
+    f = values_array(values)
     m = f.size
 
     if k == 1:
@@ -137,7 +134,7 @@ def maximize_coverage_projected_gradient(
     the gradient.
     """
     k = check_positive_integer(k, "k")
-    f = _values_array(values)
+    f = values_array(values)
     m = f.size
     if k == 1:
         strategy = Strategy.point_mass(m, int(np.argmax(f)))

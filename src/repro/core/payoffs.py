@@ -25,6 +25,7 @@ import numpy as np
 from repro.core.policies import CongestionPolicy
 from repro.core.strategy import Strategy
 from repro.core.values import SiteValues
+from repro.utils.coercion import strategy_array, values_array
 from repro.utils.numerics import binomial_coefficients, binomial_pmf_matrix
 from repro.utils.validation import check_positive_integer, check_probability
 
@@ -39,14 +40,6 @@ __all__ = [
     "best_response_sites",
     "exploitability",
 ]
-
-
-def _strategy_array(strategy: Strategy | np.ndarray) -> np.ndarray:
-    return strategy.as_array() if isinstance(strategy, Strategy) else np.asarray(strategy, dtype=float)
-
-
-def _values_array(values: SiteValues | np.ndarray) -> np.ndarray:
-    return values.as_array() if isinstance(values, SiteValues) else np.asarray(values, dtype=float)
 
 
 def occupancy_congestion_factor(
@@ -93,8 +86,8 @@ def site_values(
     independently selects a site according to ``strategy``.
     """
     k = check_positive_integer(k, "k")
-    f = _values_array(values)
-    p = _strategy_array(strategy)
+    f = values_array(values)
+    p = strategy_array(strategy)
     if f.shape != p.shape:
         raise ValueError("values and strategy must cover the same number of sites")
     return f * occupancy_congestion_factor(policy, p, k - 1)
@@ -112,7 +105,7 @@ def expected_payoff(
     The focal player draws its site from ``focal`` and each of the ``k - 1``
     opponents independently from ``opponents``.
     """
-    rho = _strategy_array(focal)
+    rho = strategy_array(focal)
     nu = site_values(values, opponents, k, policy)
     if rho.shape != nu.shape:
         raise ValueError("focal strategy and values must cover the same number of sites")
@@ -134,8 +127,8 @@ def payoff_against_groups(
     :func:`expected_payoff`; with two groups it is the
     ``E(rho; sigma^l, pi^(k-l-1))`` payoff of the ESS characterisation.
     """
-    f = _values_array(values)
-    rho = _strategy_array(focal)
+    f = values_array(values)
+    rho = strategy_array(focal)
     if f.shape != rho.shape:
         raise ValueError("focal strategy and values must cover the same number of sites")
 
@@ -148,7 +141,7 @@ def payoff_against_groups(
             raise ValueError("group sizes must be non-negative")
         if count == 0:
             continue
-        q = _strategy_array(strategy)
+        q = strategy_array(strategy)
         if q.shape != f.shape:
             raise ValueError("every group strategy must cover the same number of sites")
         pmf = binomial_pmf_matrix(count, q)  # (M, count + 1)

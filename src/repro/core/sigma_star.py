@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.core.strategy import Strategy
 from repro.core.values import SiteValues
+from repro.utils.coercion import values_array
 from repro.utils.numerics import safe_power
 from repro.utils.validation import check_positive_integer
 
@@ -70,9 +71,16 @@ class SigmaStarResult:
 
 
 def _values_array(values: SiteValues | np.ndarray) -> np.ndarray:
+    """Shared coercion plus the closed form's own preconditions.
+
+    Unlike the generic :func:`repro.utils.coercion.values_array`, the
+    water-filling formulas additionally require raw arrays to already follow
+    the paper's non-increasing order (``SiteValues`` sorts on construction,
+    so wrapped inputs skip the check).
+    """
+    arr = values_array(values)
     if isinstance(values, SiteValues):
-        return values.as_array()
-    arr = np.asarray(values, dtype=float)
+        return arr
     if np.any(np.diff(arr) > 1e-12):
         raise ValueError(
             "raw value arrays must be sorted in non-increasing order; "

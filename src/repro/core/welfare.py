@@ -26,6 +26,7 @@ from repro.core.payoffs import site_values
 from repro.core.policies import CongestionPolicy
 from repro.core.strategy import Strategy
 from repro.core.values import SiteValues
+from repro.utils.coercion import values_array
 from repro.utils.numerics import simplex_projection
 from repro.utils.validation import check_positive_integer
 
@@ -41,10 +42,6 @@ class WelfareOptimum:
     individual_payoff: float
     coverage: float
     method: str
-
-
-def _values_array(values: SiteValues | np.ndarray) -> np.ndarray:
-    return values.as_array() if isinstance(values, SiteValues) else np.asarray(values, dtype=float)
 
 
 def individual_payoff(
@@ -126,7 +123,7 @@ def welfare_optimal_strategy(
         Seed / generator for the random restarts.
     """
     k = check_positive_integer(k, "k")
-    f = _values_array(values)
+    f = values_array(values)
     policy.validate(k)
     m = f.size
 

@@ -12,6 +12,12 @@ adaptation:
   style iterations;
 * :mod:`repro.dynamics.invasion` — resident-vs-mutant share dynamics used to
   visualise the ESS property of ``sigma_star``.
+
+All four are thin ``B = 1`` wrappers around the unified batched stepping
+engine of :mod:`repro.batch.dynamics`; grids of trajectories should go
+through :class:`~repro.batch.dynamics.DynamicsEngine` (or the
+``replicator_batch`` / ``logit_batch`` / ``best_response_batch`` /
+``invasion_batch`` entry points) instead of looping these wrappers.
 """
 
 from repro.dynamics.replicator import ReplicatorResult, replicator_dynamics

@@ -7,6 +7,10 @@ decreasing step sequence (``gamma_t = gamma_0 / (1 + t * decay)``) the average
 play converges to the symmetric equilibrium for the congestion games studied
 in the paper; the exploitability of the final state is reported so callers can
 verify the quality of the approximation.
+
+This module is a thin ``B = 1`` client of the batched
+:class:`~repro.batch.dynamics.DynamicsEngine`; whole grids of best-response
+runs go through :func:`~repro.batch.dynamics.best_response_batch` instead.
 """
 
 from __future__ import annotations
@@ -15,11 +19,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.payoffs import exploitability, site_values
+from repro.batch.dynamics import best_response_batch
+from repro.batch.padding import PaddedValues
+from repro.batch.payoffs import exploitability_batch
 from repro.core.policies import CongestionPolicy
 from repro.core.strategy import Strategy
 from repro.core.values import SiteValues
-from repro.utils.validation import check_positive_integer
+from repro.utils.coercion import values_array
 
 __all__ = ["BestResponseResult", "best_response_dynamics"]
 
@@ -33,10 +39,6 @@ class BestResponseResult:
     iterations: int
     converged: bool
     trajectory: np.ndarray
-
-
-def _values_array(values: SiteValues | np.ndarray) -> np.ndarray:
-    return values.as_array() if isinstance(values, SiteValues) else np.asarray(values, dtype=float)
 
 
 def best_response_dynamics(
@@ -65,37 +67,26 @@ def best_response_dynamics(
         responses (the response mixes uniformly over them), which avoids the
         oscillations a strict argmax would cause near equilibrium.
     """
-    k = check_positive_integer(k, "k")
-    if step_size <= 0 or not (0 <= step_decay):
-        raise ValueError("step_size must be positive and step_decay non-negative")
-    f = _values_array(values)
-    m = f.size
-    policy.validate(k)
-    p = (initial.as_array() if initial is not None else np.full(m, 1.0 / m)).astype(float).copy()
-
-    states = [p.copy()]
-    converged = False
-    iterations = 0
-    for iterations in range(1, max_iter + 1):
-        nu = site_values(f, p, k, policy)
-        best_mask = nu >= nu.max() - tie_atol
-        response = best_mask / best_mask.sum()
-        gamma = step_size / (1.0 + step_decay * iterations)
-        new_p = (1.0 - gamma) * p + gamma * response
-        change = float(np.abs(new_p - p).sum())
-        p = new_p
-        if iterations % record_every == 0:
-            states.append(p.copy())
-        if change <= tol:
-            converged = True
-            break
-    if not np.array_equal(states[-1], p):
-        states.append(p.copy())
-    strategy = Strategy(p / p.sum())
+    f = values_array(values)
+    padded = PaddedValues(f[None, :], np.array([f.size], dtype=np.int64))
+    batch = best_response_batch(
+        padded,
+        k,
+        policy,
+        initial=None if initial is None else initial.as_array()[None, :],
+        step_size=step_size,
+        step_decay=step_decay,
+        max_iter=max_iter,
+        tol=tol,
+        record_every=record_every,
+        tie_atol=tie_atol,
+    )
+    strategy = batch.strategy(0)
+    gap = exploitability_batch(padded, strategy.as_array()[None, :], k, policy)
     return BestResponseResult(
         strategy=strategy,
-        exploitability=exploitability(f, strategy, k, policy),
-        iterations=iterations,
-        converged=converged,
-        trajectory=np.asarray(states),
+        exploitability=float(gap[0]),
+        iterations=int(batch.iterations[0]),
+        converged=bool(batch.converged[0]),
+        trajectory=batch.trajectory(0),
     )

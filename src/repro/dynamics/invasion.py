@@ -8,6 +8,12 @@ earn less (a two-type replicator equation on the share).  If the resident is
 an ESS and the initial mutant share is below its invasion barrier, the share
 converges to zero — which is exactly what the Theorem 3 experiments show for
 ``sigma_star`` under the exclusive policy.
+
+This module is a thin ``B = 1`` client of the batched
+:class:`~repro.batch.dynamics.DynamicsEngine`; whole batteries of invasion
+checks go through :func:`~repro.batch.dynamics.invasion_batch` instead.  Each
+step evaluates the mixture's payoff kernel once and derives both the resident
+and the mutant payoff from it (the old loop evaluated it twice per step).
 """
 
 from __future__ import annotations
@@ -16,11 +22,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.payoffs import mixture_payoff
+from repro.batch.dynamics import invasion_batch
+from repro.batch.padding import PaddedValues
 from repro.core.policies import CongestionPolicy
 from repro.core.strategy import Strategy
 from repro.core.values import SiteValues
-from repro.utils.validation import check_positive_integer, check_probability
+from repro.utils.coercion import values_array
 
 __all__ = ["InvasionResult", "invasion_dynamics"]
 
@@ -38,10 +45,6 @@ class InvasionResult:
     def final_share(self) -> float:
         """Mutant share at the end of the run."""
         return float(self.shares[-1])
-
-
-def _values_array(values: SiteValues | np.ndarray) -> np.ndarray:
-    return values.as_array() if isinstance(values, SiteValues) else np.asarray(values, dtype=float)
 
 
 def invasion_dynamics(
@@ -70,30 +73,23 @@ def invasion_dynamics(
     extinction_threshold, fixation_threshold:
         The run stops early once the share crosses either threshold.
     """
-    k = check_positive_integer(k, "k")
-    initial_share = check_probability(initial_share, "initial_share")
-    if selection_strength <= 0:
-        raise ValueError("selection_strength must be positive")
-    f = _values_array(values)
-    policy.validate(k)
-    scale = float(np.max(np.abs(f))) or 1.0
-
-    share = float(initial_share)
-    shares = [share]
-    iterations = 0
-    for iterations in range(1, max_iter + 1):
-        resident_payoff = mixture_payoff(f, resident, resident, mutant, share, k, policy)
-        mutant_payoff = mixture_payoff(f, mutant, resident, mutant, share, k, policy)
-        delta = (mutant_payoff - resident_payoff) / scale
-        share = share + selection_strength * share * (1.0 - share) * delta
-        share = float(np.clip(share, 0.0, 1.0))
-        shares.append(share)
-        if share <= extinction_threshold or share >= fixation_threshold:
-            break
-
+    f = values_array(values)
+    batch = invasion_batch(
+        PaddedValues(f[None, :], np.array([f.size], dtype=np.int64)),
+        resident.as_array()[None, :],
+        mutant.as_array()[None, :],
+        k,
+        policy,
+        initial_shares=initial_share,
+        selection_strength=selection_strength,
+        max_iter=max_iter,
+        extinction_threshold=extinction_threshold,
+        fixation_threshold=fixation_threshold,
+    )
+    final_share = float(batch.states[0, 0])
     return InvasionResult(
-        shares=np.asarray(shares),
-        mutant_extinct=bool(share <= extinction_threshold),
-        mutant_fixated=bool(share >= fixation_threshold),
-        iterations=iterations,
+        shares=batch.trajectory(0).ravel(),
+        mutant_extinct=bool(final_share <= extinction_threshold),
+        mutant_fixated=bool(final_share >= fixation_threshold),
+        iterations=int(batch.iterations[0]),
     )

@@ -7,6 +7,10 @@ grows, logit equilibria approach the exact symmetric Nash equilibrium (the
 IFD).  Unlike the discrete replicator, the logit map is well defined for
 negative payoffs, which makes it the dynamics of choice for aggressive
 congestion policies.
+
+This module is a thin ``B = 1`` client of the batched
+:class:`~repro.batch.dynamics.DynamicsEngine`; whole grids of logit runs go
+through :func:`~repro.batch.dynamics.logit_batch` instead.
 """
 
 from __future__ import annotations
@@ -15,11 +19,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.payoffs import site_values
+from repro.batch.dynamics import logit_batch
+from repro.batch.padding import PaddedValues
 from repro.core.policies import CongestionPolicy
 from repro.core.strategy import Strategy
 from repro.core.values import SiteValues
-from repro.utils.validation import check_positive_integer
+from repro.utils.coercion import values_array
 
 __all__ = ["LogitResult", "logit_dynamics", "quantal_response_equilibrium"]
 
@@ -33,17 +38,6 @@ class LogitResult:
     iterations: int
     rationality: float
     trajectory: np.ndarray
-
-
-def _values_array(values: SiteValues | np.ndarray) -> np.ndarray:
-    return values.as_array() if isinstance(values, SiteValues) else np.asarray(values, dtype=float)
-
-
-def _logit_response(nu: np.ndarray, eta: float) -> np.ndarray:
-    logits = eta * nu
-    logits -= logits.max()  # numerical stabilisation
-    weights = np.exp(logits)
-    return weights / weights.sum()
 
 
 def logit_dynamics(
@@ -66,41 +60,25 @@ def logit_dynamics(
     what makes the iteration converge for large rationality values, where a
     fixed step would oscillate around the equilibrium.
     """
-    k = check_positive_integer(k, "k")
-    if rationality <= 0:
-        raise ValueError("rationality must be positive")
-    if not 0 < damping <= 1:
-        raise ValueError("damping must lie in (0, 1]")
-    if step_decay < 0:
-        raise ValueError("step_decay must be non-negative")
-    f = _values_array(values)
-    m = f.size
-    policy.validate(k)
-    p = (initial.as_array() if initial is not None else np.full(m, 1.0 / m)).astype(float).copy()
-
-    states = [p.copy()]
-    converged = False
-    iterations = 0
-    for iterations in range(1, max_iter + 1):
-        nu = site_values(f, p, k, policy)
-        response = _logit_response(nu, rationality)
-        gamma = damping / (1.0 + step_decay * iterations)
-        new_p = (1.0 - gamma) * p + gamma * response
-        change = float(np.abs(new_p - p).sum())
-        p = new_p
-        if iterations % record_every == 0:
-            states.append(p.copy())
-        if change <= tol:
-            converged = True
-            break
-    if not np.array_equal(states[-1], p):
-        states.append(p.copy())
+    f = values_array(values)
+    batch = logit_batch(
+        PaddedValues(f[None, :], np.array([f.size], dtype=np.int64)),
+        k,
+        policy,
+        rationality=rationality,
+        damping=damping,
+        step_decay=step_decay,
+        initial=None if initial is None else initial.as_array()[None, :],
+        max_iter=max_iter,
+        tol=tol,
+        record_every=record_every,
+    )
     return LogitResult(
-        strategy=Strategy(p / p.sum()),
-        converged=converged,
-        iterations=iterations,
+        strategy=batch.strategy(0),
+        converged=bool(batch.converged[0]),
+        iterations=int(batch.iterations[0]),
         rationality=float(rationality),
-        trajectory=np.asarray(states),
+        trajectory=batch.trajectory(0),
     )
 
 

@@ -13,6 +13,10 @@ analyses.  Two update rules are provided:
   whose payoffs can be negative);
 * ``"euler"`` — an Euler discretisation of the continuous replicator
   ``dp/dt = p(x) (nu(x) - mean fitness)``.
+
+This module is a thin ``B = 1`` client of the batched
+:class:`~repro.batch.dynamics.DynamicsEngine`; whole grids of replicator runs
+go through :func:`~repro.batch.dynamics.replicator_batch` instead.
 """
 
 from __future__ import annotations
@@ -21,11 +25,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.payoffs import site_values
+from repro.batch.dynamics import replicator_batch
+from repro.batch.padding import PaddedValues
 from repro.core.policies import CongestionPolicy
 from repro.core.strategy import Strategy
 from repro.core.values import SiteValues
-from repro.utils.validation import check_positive_integer
+from repro.utils.coercion import values_array
 
 __all__ = ["ReplicatorResult", "replicator_dynamics"]
 
@@ -55,10 +60,6 @@ class ReplicatorResult:
     iterations: int
     trajectory: np.ndarray
     payoff_history: np.ndarray
-
-
-def _values_array(values: SiteValues | np.ndarray) -> np.ndarray:
-    return values.as_array() if isinstance(values, SiteValues) else np.asarray(values, dtype=float)
 
 
 def replicator_dynamics(
@@ -92,57 +93,22 @@ def replicator_dynamics(
     record_every:
         Record the state every this many iterations (plus first and last).
     """
-    k = check_positive_integer(k, "k")
-    if method not in {"discrete", "euler"}:
-        raise ValueError("method must be 'discrete' or 'euler'")
-    if step_size <= 0:
-        raise ValueError("step_size must be positive")
-    record_every = check_positive_integer(record_every, "record_every")
-
-    f = _values_array(values)
-    m = f.size
-    policy.validate(k)
-    p = (initial.as_array() if initial is not None else np.full(m, 1.0 / m)).astype(float).copy()
-
-    # Shift guaranteeing positive fitness even for aggressive (negative) policies.
-    worst_congestion = float(np.min(policy.table(k)))
-    shift = max(0.0, -worst_congestion * float(f.max())) + 1e-3 * float(f.max())
-
-    states = [p.copy()]
-    payoffs = []
-    converged = False
-    iterations = 0
-    for iterations in range(1, max_iter + 1):
-        nu = site_values(f, p, k, policy)
-        mean_payoff = float(np.dot(p, nu))
-        if method == "discrete":
-            fitness = nu + shift
-            denominator = float(np.dot(p, fitness))
-            new_p = p * fitness / denominator
-        else:
-            new_p = p + step_size * p * (nu - mean_payoff)
-            new_p = np.clip(new_p, 0.0, None)
-            total = new_p.sum()
-            if total <= 0:
-                raise RuntimeError("euler replicator step annihilated the population state")
-            new_p = new_p / total
-        change = float(np.abs(new_p - p).sum())
-        p = new_p
-        if iterations % record_every == 0:
-            states.append(p.copy())
-            payoffs.append(mean_payoff)
-        if change <= tol:
-            converged = True
-            break
-
-    final_nu = site_values(f, p, k, policy)
-    payoffs.append(float(np.dot(p, final_nu)))
-    if not np.array_equal(states[-1], p):
-        states.append(p.copy())
+    f = values_array(values)
+    batch = replicator_batch(
+        PaddedValues(f[None, :], np.array([f.size], dtype=np.int64)),
+        k,
+        policy,
+        initial=None if initial is None else initial.as_array()[None, :],
+        method=method,
+        step_size=step_size,
+        max_iter=max_iter,
+        tol=tol,
+        record_every=record_every,
+    )
     return ReplicatorResult(
-        strategy=Strategy(np.clip(p, 0.0, None) / p.sum()),
-        converged=converged,
-        iterations=iterations,
-        trajectory=np.asarray(states),
-        payoff_history=np.asarray(payoffs),
+        strategy=batch.strategy(0),
+        converged=bool(batch.converged[0]),
+        iterations=int(batch.iterations[0]),
+        trajectory=batch.trajectory(0),
+        payoff_history=batch.payoff_history(0),
     )

@@ -23,7 +23,7 @@ reruns any experiment bit-identically.
 
 from repro.experiments.spec import ExperimentSpec
 from repro.experiments.result import ExperimentResult
-from repro.experiments.runner import coerce_seed, run_experiment
+from repro.experiments.runner import chunk_grid, coerce_seed, run_experiment
 from repro.experiments.registry import (
     ExperimentDefinition,
     build_experiment,
@@ -38,6 +38,7 @@ __all__ = [
     "ExperimentResult",
     "run_experiment",
     "coerce_seed",
+    "chunk_grid",
     "ExperimentDefinition",
     "register_experiment",
     "get_experiment",

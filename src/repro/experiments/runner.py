@@ -20,14 +20,29 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Iterable, Mapping
+from typing import Any, Iterable, Mapping, Sequence
 
 import numpy as np
 
 from repro.experiments.result import ExperimentResult
 from repro.experiments.spec import ExperimentSpec, TaskFunction
 
-__all__ = ["run_experiment", "coerce_seed", "spawn_task_seeds"]
+__all__ = ["run_experiment", "coerce_seed", "spawn_task_seeds", "chunk_grid"]
+
+
+def chunk_grid(cells: Sequence[Any], chunk_size: int) -> list[tuple[Any, ...]]:
+    """Split a flat list of grid cells into runner-task-sized chunks.
+
+    Spec builders whose natural unit of work is one *batched* call (e.g. a
+    :class:`~repro.batch.dynamics.DynamicsEngine` run over many rows) use this
+    to turn a long row list into one task per chunk: the runner then
+    parallelises across chunks while each task keeps enough rows to amortise
+    the batched kernels.  The last chunk may be shorter; order is preserved.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    items = list(cells)
+    return [tuple(items[i : i + chunk_size]) for i in range(0, len(items), chunk_size)]
 
 
 def coerce_seed(rng: np.random.Generator | int | None) -> int:

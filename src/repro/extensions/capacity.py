@@ -20,14 +20,11 @@ import numpy as np
 from repro.core.optimal_coverage import CoverageOptimum
 from repro.core.strategy import Strategy
 from repro.core.values import SiteValues
+from repro.utils.coercion import values_array
 from repro.utils.numerics import binomial_pmf_matrix, simplex_projection
 from repro.utils.validation import check_positive_integer
 
 __all__ = ["capacity_coverage", "capacity_coverage_gradient", "maximize_capacity_coverage"]
-
-
-def _values_array(values: SiteValues | np.ndarray) -> np.ndarray:
-    return values.as_array() if isinstance(values, SiteValues) else np.asarray(values, dtype=float)
 
 
 def _requirements_array(requirements: np.ndarray | int, m: int) -> np.ndarray:
@@ -71,7 +68,7 @@ def capacity_coverage(
         or per-site vector).  ``r == 1`` recovers the paper's coverage.
     """
     k = check_positive_integer(k, "k")
-    f = _values_array(values)
+    f = values_array(values)
     r = _requirements_array(requirements, f.size)
     p = strategy.as_array() if isinstance(strategy, Strategy) else np.asarray(strategy, dtype=float)
     return float(np.dot(f, _consumption_fractions(k, p, r)))
@@ -89,7 +86,7 @@ def capacity_coverage_gradient(
     - h(Bin(k-1, p))]``, evaluated exactly from the ``Binomial(k-1, p)`` pmf.
     """
     k = check_positive_integer(k, "k")
-    f = _values_array(values)
+    f = values_array(values)
     r = _requirements_array(requirements, f.size)
     p = strategy.as_array() if isinstance(strategy, Strategy) else np.asarray(strategy, dtype=float)
     pmf = binomial_pmf_matrix(k - 1, p) if k > 1 else np.ones((f.size, 1))
@@ -116,7 +113,7 @@ def maximize_capacity_coverage(
     result matches the closed-form ``sigma_star`` (tested).
     """
     k = check_positive_integer(k, "k")
-    f = _values_array(values)
+    f = values_array(values)
     r = _requirements_array(requirements, f.size)
     m = f.size
     if step_size is None:

@@ -21,6 +21,7 @@ from repro.core.payoffs import occupancy_congestion_factor
 from repro.core.policies import CongestionPolicy
 from repro.core.strategy import Strategy
 from repro.core.values import SiteValues
+from repro.utils.coercion import values_array
 from repro.utils.validation import check_positive_integer
 
 __all__ = ["CostAdjustedEquilibrium", "cost_adjusted_site_values", "cost_adjusted_ifd"]
@@ -48,10 +49,6 @@ class CostAdjustedEquilibrium:
     converged: bool
 
 
-def _values_array(values: SiteValues | np.ndarray) -> np.ndarray:
-    return values.as_array() if isinstance(values, SiteValues) else np.asarray(values, dtype=float)
-
-
 def _costs_array(costs: np.ndarray | float, m: int) -> np.ndarray:
     arr = np.asarray(costs, dtype=float)
     if arr.ndim == 0:
@@ -72,7 +69,7 @@ def cost_adjusted_site_values(
 ) -> np.ndarray:
     """Net site values ``nu_p(x) = f(x) * g(p(x)) - d(x)`` of the extended game."""
     k = check_positive_integer(k, "k")
-    f = _values_array(values)
+    f = values_array(values)
     d = _costs_array(costs, f.size)
     p = strategy.as_array() if isinstance(strategy, Strategy) else np.asarray(strategy, dtype=float)
     return f * occupancy_congestion_factor(policy, p, k - 1) - d
@@ -104,7 +101,7 @@ def cost_adjusted_ifd(
       concentrates on ``argmax (f - d)``, which is what the solver returns).
     """
     k = check_positive_integer(k, "k")
-    f = _values_array(values)
+    f = values_array(values)
     m = f.size
     d = _costs_array(costs, m)
     policy.validate(k)

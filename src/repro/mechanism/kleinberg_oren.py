@@ -27,6 +27,7 @@ from repro.core.payoffs import occupancy_congestion_factor
 from repro.core.policies import CongestionPolicy, SharingPolicy
 from repro.core.strategy import Strategy
 from repro.core.values import SiteValues
+from repro.utils.coercion import values_array
 from repro.utils.validation import check_positive_integer
 
 __all__ = [
@@ -61,10 +62,6 @@ class GrantDesign:
     induced_coverage: float
     target_strategy: Strategy
     max_deviation: float
-
-
-def _values_array(values: SiteValues | np.ndarray) -> np.ndarray:
-    return values.as_array() if isinstance(values, SiteValues) else np.asarray(values, dtype=float)
 
 
 def design_rewards_for_target(
@@ -124,7 +121,7 @@ def optimal_grant_design(
     k = check_positive_integer(k, "k")
     if policy is None:
         policy = SharingPolicy()
-    f = _values_array(values)
+    f = values_array(values)
     target = optimal_coverage_strategy(f, k).strategy
     rewards = design_rewards_for_target(target, k, policy)
     induced = ideal_free_distribution(rewards, k, policy, use_closed_form=False, **solver_kwargs)
@@ -140,4 +137,4 @@ def optimal_grant_design(
 
 def proportional_rewards(values: SiteValues | np.ndarray) -> np.ndarray:
     """The naive baseline: grants proportional to the social values (``r = f``)."""
-    return _values_array(values).copy()
+    return values_array(values).copy()

@@ -19,6 +19,7 @@ from repro.core.policies import CongestionPolicy
 from repro.core.strategy import Strategy
 from repro.core.values import SiteValues
 from repro.simulation.rng import as_generator
+from repro.utils.coercion import values_array
 from repro.utils.sampling import inverse_cdf_sample, inverse_cdf_sample_stacked, stacked_cdfs, strategy_cdf
 from repro.utils.validation import check_positive_integer
 
@@ -63,10 +64,6 @@ class ProfileSimulationResult:
     player_payoff_sems: np.ndarray
 
 
-def _values_array(values: SiteValues | np.ndarray) -> np.ndarray:
-    return values.as_array() if isinstance(values, SiteValues) else np.asarray(values, dtype=float)
-
-
 class DispersalSimulator:
     """Reusable simulator bound to one game instance ``(f, k, policy)``.
 
@@ -87,7 +84,7 @@ class DispersalSimulator:
         *,
         batch_size: int = 100_000,
     ) -> None:
-        self.values = _values_array(values)
+        self.values = values_array(values)
         self.k = check_positive_integer(k, "k")
         self.policy = policy
         policy.validate(self.k)

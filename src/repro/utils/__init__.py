@@ -4,9 +4,11 @@ These helpers are deliberately dependency-free (NumPy only) and are used by
 every other subpackage.  Nothing in here is specific to the dispersal game.
 """
 
+from repro.utils.coercion import strategy_array, values_array
 from repro.utils.numerics import (
     assert_shape,
     binomial_pmf_matrix,
+    binomial_pmf_tensor,
     clip_probability,
     is_non_increasing,
     safe_power,
@@ -29,6 +31,9 @@ from repro.utils.tables import format_table
 from repro.utils.io import write_csv, read_csv
 
 __all__ = [
+    "strategy_array",
+    "values_array",
+    "binomial_pmf_tensor",
     "inverse_cdf_sample",
     "inverse_cdf_sample_stacked",
     "stacked_cdfs",

@@ -1,0 +1,37 @@
+"""Coercing user-facing wrapper objects into raw NumPy arrays.
+
+:class:`~repro.core.strategy.Strategy` and
+:class:`~repro.core.values.SiteValues` both expose their payload through an
+``as_array()`` method; most numerical kernels accept either the wrapper or a
+plain array.  The two helpers here centralise that duck-typed unwrapping (it
+used to be copy-pasted as private ``_strategy_array`` / ``_values_array``
+functions across ``core``, ``dynamics`` and ``simulation``).
+
+Duck typing keeps :mod:`repro.utils` free of imports from :mod:`repro.core`,
+preserving the utils layer's "NumPy only, nothing game-specific" rule.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+__all__ = ["strategy_array", "values_array"]
+
+
+def _as_float_array(obj: Any) -> np.ndarray:
+    as_array = getattr(obj, "as_array", None)
+    if callable(as_array):
+        return as_array()
+    return np.asarray(obj, dtype=float)
+
+
+def strategy_array(strategy: Any) -> np.ndarray:
+    """Unwrap a :class:`~repro.core.strategy.Strategy` (or pass an array through)."""
+    return _as_float_array(strategy)
+
+
+def values_array(values: Any) -> np.ndarray:
+    """Unwrap a :class:`~repro.core.values.SiteValues` (or pass an array through)."""
+    return _as_float_array(values)

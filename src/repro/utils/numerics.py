@@ -14,6 +14,7 @@ import numpy as np
 __all__ = [
     "assert_shape",
     "binomial_pmf_matrix",
+    "binomial_pmf_tensor",
     "clip_probability",
     "is_non_increasing",
     "safe_power",
@@ -156,6 +157,67 @@ def binomial_pmf_matrix(n: int, probs: np.ndarray) -> np.ndarray:
     pmf = np.clip(pmf, 0.0, None)
     row_sums = pmf.sum(axis=1, keepdims=True)
     # A row sum can only deviate from 1 by floating error; avoid division by 0.
+    row_sums[row_sums == 0.0] = 1.0
+    return pmf / row_sums
+
+
+def binomial_pmf_tensor(n: np.ndarray | int, probs: np.ndarray) -> np.ndarray:
+    """Binomial PMFs for a *batch* of probability rows with per-row trial counts.
+
+    Parameters
+    ----------
+    n:
+        Number of trials per row: a scalar or a ``(B,)`` integer vector, every
+        entry ``>= 0``.
+    probs:
+        ``(B, M)`` matrix of success probabilities.
+
+    Returns
+    -------
+    numpy.ndarray
+        Tensor of shape ``(B, M, n_max + 1)``; entry ``[b, x, j]`` is
+        ``P[Binomial(n[b], probs[b, x]) = j]`` for ``j <= n[b]`` and exactly
+        zero beyond (rows with a smaller trial count are zero-padded, so the
+        trailing axis can be contracted against any padded table).
+
+    Notes
+    -----
+    This is the batch counterpart of :func:`binomial_pmf_matrix`: one
+    log-factorial table is shared by every row, and rows are never looped over
+    in Python.
+    """
+    P = np.asarray(probs, dtype=float)
+    if P.ndim != 2:
+        raise ValueError("probs must be a 2-D (B, M) matrix")
+    trials = np.broadcast_to(np.asarray(n, dtype=np.int64), (P.shape[0],))
+    if np.any(trials < 0):
+        raise ValueError("n must be non-negative")
+    if np.any((P < -1e-12) | (P > 1 + 1e-12)):
+        raise ValueError("probs must lie in [0, 1]")
+    P = np.clip(P, 0.0, 1.0)
+    n_max = int(trials.max(initial=0))
+    if n_max == 0:
+        return np.ones((P.shape[0], P.shape[1], 1), dtype=float)
+
+    j = np.arange(n_max + 1)  # (J,)
+    valid = j[None, :] <= trials[:, None]  # (B, J)
+    # log C(n_b, j) via one shared log-factorial table; invalid cells clamped
+    # to a harmless index and masked out afterwards.
+    lf = log_factorial(n_max)
+    rest = np.clip(trials[:, None] - j[None, :], 0, None)
+    log_coeffs = lf[trials][:, None] - lf[j][None, :] - lf[rest]
+    coeffs = np.where(valid, np.exp(log_coeffs), 0.0)  # (B, J)
+
+    # Guard the 0 ** 0 corners exactly as binomial_pmf_matrix does.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        p_col = P[:, :, None]  # (B, M, 1)
+        pow_p = np.where(j[None, None, :] == 0, 1.0, p_col ** j[None, None, :])
+        pow_q = np.where(
+            rest[:, None, :] == 0, 1.0, (1.0 - p_col) ** rest[:, None, :]
+        )
+    pmf = coeffs[:, None, :] * pow_p * pow_q
+    pmf = np.clip(pmf, 0.0, None)
+    row_sums = pmf.sum(axis=2, keepdims=True)
     row_sums[row_sums == 0.0] = 1.0
     return pmf / row_sums
 

@@ -1,0 +1,371 @@
+"""Property tests for the batched payoff kernel and the unified dynamics engine.
+
+The core contract: every batched dynamics rule agrees **elementwise** with the
+scalar wrappers of :mod:`repro.dynamics` — including ragged site counts, mixed
+per-row player counts, rows that start at their equilibrium, and non-trivial
+``record_every`` strides — and rows that converge are frozen (never updated
+again) while the rest of the batch keeps stepping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.batch import (
+    PaddedValues,
+    best_response_batch,
+    best_response_value_batch,
+    congestion_table_batch,
+    exploitability_batch,
+    expected_payoff_batch,
+    invasion_batch,
+    logit_batch,
+    make_rule,
+    occupancy_congestion_factor_batch,
+    replicator_batch,
+    site_values_batch,
+)
+from repro.batch.dynamics import DynamicsEngine
+from repro.batch.payoffs import as_k_vector
+from repro.core.payoffs import (
+    best_response_value,
+    exploitability,
+    expected_payoff,
+    occupancy_congestion_factor,
+    site_values,
+)
+from repro.core.policies import (
+    AggressivePolicy,
+    ExclusivePolicy,
+    SharingPolicy,
+    TwoLevelPolicy,
+)
+from repro.core.sigma_star import sigma_star
+from repro.core.strategy import Strategy
+from repro.core.values import SiteValues
+from repro.dynamics import (
+    best_response_dynamics,
+    invasion_dynamics,
+    logit_dynamics,
+    replicator_dynamics,
+)
+from repro.utils.numerics import binomial_pmf_matrix, binomial_pmf_tensor
+
+POLICIES = [ExclusivePolicy(), SharingPolicy(), TwoLevelPolicy(-0.2)]
+
+
+@pytest.fixture
+def ragged_batch():
+    """Ragged instances with mixed per-row player counts."""
+    rng = np.random.default_rng(7)
+    instances = [SiteValues.random(int(m), rng) for m in (4, 9, 6, 3, 11)]
+    ks = np.array([2, 5, 3, 4, 2], dtype=np.int64)
+    return PaddedValues.from_instances(instances), instances, ks
+
+
+def random_states(padded: PaddedValues, rng: np.random.Generator) -> np.ndarray:
+    states = np.where(padded.mask, rng.random(padded.values.shape), 0.0)
+    return states / states.sum(axis=1, keepdims=True)
+
+
+class TestBinomialPmfTensor:
+    def test_matches_matrix_version_per_row(self, ragged_batch):
+        padded, _, ks = ragged_batch
+        rng = np.random.default_rng(3)
+        probs = rng.random(padded.values.shape)
+        tensor = binomial_pmf_tensor(ks - 1, probs)
+        for row, k in enumerate(ks):
+            n = int(k) - 1
+            expected = binomial_pmf_matrix(n, probs[row])
+            np.testing.assert_allclose(tensor[row, :, : n + 1], expected, atol=1e-14)
+            assert np.all(tensor[row, :, n + 1 :] == 0.0)
+
+    def test_scalar_trials_broadcast(self):
+        probs = np.array([[0.2, 0.8], [0.5, 0.5]])
+        tensor = binomial_pmf_tensor(3, probs)
+        assert tensor.shape == (2, 2, 4)
+        np.testing.assert_allclose(tensor.sum(axis=2), 1.0)
+
+    def test_zero_trials(self):
+        tensor = binomial_pmf_tensor(0, np.array([[0.3, 0.7]]))
+        np.testing.assert_allclose(tensor, np.ones((1, 2, 1)))
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            binomial_pmf_tensor(-1, np.array([[0.5]]))
+        with pytest.raises(ValueError):
+            binomial_pmf_tensor(2, np.array([0.5]))
+        with pytest.raises(ValueError):
+            binomial_pmf_tensor(2, np.array([[1.5]]))
+
+
+class TestBatchedPayoffKernel:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_site_values_match_scalar(self, ragged_batch, policy):
+        padded, instances, ks = ragged_batch
+        states = random_states(padded, np.random.default_rng(11))
+        nu = site_values_batch(padded, states, ks, policy)
+        for row, (values, k) in enumerate(zip(instances, ks)):
+            m = values.m
+            expected = site_values(values, states[row, :m], int(k), policy)
+            np.testing.assert_allclose(nu[row, :m], expected, atol=1e-12)
+            assert np.all(nu[row, m:] == 0.0)
+
+    def test_congestion_tables_are_zero_padded_per_row(self):
+        tables = congestion_table_batch(SharingPolicy(), np.array([1, 3, 0]))
+        np.testing.assert_allclose(tables[0], [1.0, 0.5, 0.0, 0.0])
+        np.testing.assert_allclose(tables[1], [1.0, 0.5, 1 / 3, 0.25])
+        np.testing.assert_allclose(tables[2], [1.0, 0.0, 0.0, 0.0])
+
+    def test_occupancy_factor_matches_scalar(self, ragged_batch):
+        padded, instances, ks = ragged_batch
+        policy = SharingPolicy()
+        states = random_states(padded, np.random.default_rng(13))
+        factor = occupancy_congestion_factor_batch(policy, states, ks - 1)
+        for row, (values, k) in enumerate(zip(instances, ks)):
+            expected = occupancy_congestion_factor(policy, states[row], int(k) - 1)
+            np.testing.assert_allclose(factor[row], expected, atol=1e-12)
+
+    @pytest.mark.parametrize("policy", POLICIES + [AggressivePolicy(0.7)])
+    def test_exploitability_and_best_response_match_scalar(self, ragged_batch, policy):
+        padded, instances, ks = ragged_batch
+        states = random_states(padded, np.random.default_rng(17))
+        gaps = exploitability_batch(padded, states, ks, policy)
+        best = best_response_value_batch(padded, states, ks, policy)
+        for row, (values, k) in enumerate(zip(instances, ks)):
+            m = values.m
+            strategy = Strategy(states[row, :m])
+            assert np.isclose(gaps[row], exploitability(values, strategy, int(k), policy), atol=1e-12)
+            assert np.isclose(best[row], best_response_value(values, strategy, int(k), policy), atol=1e-12)
+
+    def test_expected_payoff_matches_scalar(self, ragged_batch):
+        padded, instances, ks = ragged_batch
+        policy = SharingPolicy()
+        rng = np.random.default_rng(19)
+        focal = random_states(padded, rng)
+        opponents = random_states(padded, rng)
+        payoffs = expected_payoff_batch(padded, focal, opponents, ks, policy)
+        for row, (values, k) in enumerate(zip(instances, ks)):
+            m = values.m
+            expected = expected_payoff(
+                values, focal[row, :m], opponents[row, :m], int(k), policy
+            )
+            assert np.isclose(payoffs[row], expected, atol=1e-12)
+
+    def test_masked_best_response_beats_padding_zeros(self):
+        # Aggressive payoffs are all negative away from singleton occupancy;
+        # the padded columns' zero nu must not win the max.
+        padded = PaddedValues.from_instances([[1.0, 0.9], [1.0, 0.8, 0.6]])
+        states = np.array([[0.5, 0.5, 0.0], [0.4, 0.3, 0.3]])
+        policy = AggressivePolicy(2.0)
+        best = best_response_value_batch(padded, states, [3, 3], policy)
+        scalar0 = best_response_value([1.0, 0.9], states[0, :2], 3, policy)
+        assert np.isclose(best[0], scalar0, atol=1e-12)
+
+    def test_shape_validation(self, ragged_batch):
+        padded, _, ks = ragged_batch
+        with pytest.raises(ValueError):
+            site_values_batch(padded, np.zeros((2, 2)), ks, SharingPolicy())
+        with pytest.raises(ValueError):
+            as_k_vector([2, 3], 5)
+        with pytest.raises(ValueError):
+            as_k_vector(0, 3)
+
+
+def scalar_replicator(values, k, **kwargs):
+    return replicator_dynamics(values, int(k), kwargs.pop("policy"), **kwargs)
+
+
+class TestBatchedDynamicsAgainstScalar:
+    """Each batched rule agrees elementwise with the scalar wrappers."""
+
+    @pytest.mark.parametrize("method", ["discrete", "euler"])
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_replicator_elementwise(self, ragged_batch, method, policy):
+        padded, instances, ks = ragged_batch
+        batch = replicator_batch(
+            padded, ks, policy, method=method, max_iter=4_000, record_every=77
+        )
+        for row, (values, k) in enumerate(zip(instances, ks)):
+            scalar = replicator_dynamics(
+                values, int(k), policy, method=method, max_iter=4_000, record_every=77
+            )
+            assert scalar.converged == bool(batch.converged[row])
+            assert scalar.iterations == int(batch.iterations[row])
+            np.testing.assert_allclose(
+                scalar.strategy.as_array(), batch.strategy(row).as_array(), atol=1e-10
+            )
+            np.testing.assert_allclose(scalar.trajectory, batch.trajectory(row), atol=1e-10)
+            np.testing.assert_allclose(
+                scalar.payoff_history, batch.payoff_history(row), atol=1e-10
+            )
+
+    def test_replicator_negative_payoffs(self, ragged_batch):
+        padded, instances, ks = ragged_batch
+        policy = AggressivePolicy(0.5)
+        batch = replicator_batch(padded, ks, policy, max_iter=6_000)
+        for row, (values, k) in enumerate(zip(instances, ks)):
+            scalar = replicator_dynamics(values, int(k), policy, max_iter=6_000)
+            np.testing.assert_allclose(
+                scalar.strategy.as_array(), batch.strategy(row).as_array(), atol=1e-9
+            )
+
+    # Rationality is kept in the contractive regime: with a strongly expanding
+    # logit map, padded-width float-association differences (einsum reduction
+    # order) amplify chaotically mid-trajectory even though the fixed point
+    # agrees, so trajectory-level comparison is only meaningful when the map
+    # contracts.
+    @pytest.mark.parametrize("policy", [SharingPolicy(), AggressivePolicy(1.0)])
+    def test_logit_elementwise(self, ragged_batch, policy):
+        padded, instances, ks = ragged_batch
+        batch = logit_batch(
+            padded, ks, policy, rationality=25.0, max_iter=5_000, record_every=311
+        )
+        for row, (values, k) in enumerate(zip(instances, ks)):
+            scalar = logit_dynamics(
+                values, int(k), policy, rationality=25.0, max_iter=5_000, record_every=311
+            )
+            assert scalar.converged == bool(batch.converged[row])
+            assert scalar.iterations == int(batch.iterations[row])
+            np.testing.assert_allclose(
+                scalar.strategy.as_array(), batch.strategy(row).as_array(), atol=1e-10
+            )
+            np.testing.assert_allclose(scalar.trajectory, batch.trajectory(row), atol=1e-10)
+
+    def test_best_response_elementwise(self, ragged_batch):
+        padded, instances, ks = ragged_batch
+        policy = SharingPolicy()
+        batch = best_response_batch(padded, ks, policy, max_iter=3_000, record_every=59)
+        for row, (values, k) in enumerate(zip(instances, ks)):
+            scalar = best_response_dynamics(
+                values, int(k), policy, max_iter=3_000, record_every=59
+            )
+            assert scalar.converged == bool(batch.converged[row])
+            assert scalar.iterations == int(batch.iterations[row])
+            np.testing.assert_allclose(
+                scalar.strategy.as_array(), batch.strategy(row).as_array(), atol=1e-10
+            )
+            np.testing.assert_allclose(scalar.trajectory, batch.trajectory(row), atol=1e-10)
+
+    def test_invasion_elementwise(self, ragged_batch):
+        padded, instances, ks = ragged_batch
+        policy = ExclusivePolicy()
+        residents = np.zeros(padded.values.shape)
+        mutants = np.zeros(padded.values.shape)
+        for row, (values, k) in enumerate(zip(instances, ks)):
+            residents[row, : values.m] = sigma_star(values, int(k)).strategy.as_array()
+            mutants[row, : values.m] = Strategy.uniform(values.m).as_array()
+        batch = invasion_batch(padded, residents, mutants, ks, policy, initial_shares=0.05)
+        for row, (values, k) in enumerate(zip(instances, ks)):
+            scalar = invasion_dynamics(
+                values,
+                Strategy(residents[row, : values.m]),
+                Strategy(mutants[row, : values.m]),
+                int(k),
+                policy,
+                initial_share=0.05,
+            )
+            assert scalar.iterations == int(batch.iterations[row])
+            assert scalar.mutant_extinct == bool(
+                batch.states[row, 0] <= 1e-6
+            )
+            np.testing.assert_allclose(
+                scalar.shares, batch.trajectory(row).ravel(), atol=1e-10
+            )
+
+    def test_already_converged_rows(self):
+        # Row 0 starts exactly at its equilibrium (converges in one step);
+        # row 1 starts far away and must keep stepping unaffected.
+        values = SiteValues.zipf(6, exponent=0.8)
+        k = 3
+        policy = ExclusivePolicy()
+        equilibrium = sigma_star(values, k).strategy.as_array()
+        far = Strategy.point_mass(6, 5).as_array() * 0.9 + 0.1 / 6
+        padded = PaddedValues.from_instances([values, values])
+        initial = np.stack([equilibrium, far / far.sum()])
+        batch = replicator_batch(padded, k, policy, initial=initial, max_iter=20_000)
+        assert bool(batch.converged[0]) and int(batch.iterations[0]) <= 2
+        assert int(batch.iterations[1]) > int(batch.iterations[0])
+        # The early row's result equals its own scalar run bit-for-bit.
+        scalar = replicator_dynamics(
+            values, k, policy, initial=Strategy(equilibrium), max_iter=20_000
+        )
+        np.testing.assert_allclose(
+            scalar.strategy.as_array(), batch.strategy(0).as_array(), atol=1e-12
+        )
+
+    def test_record_every_strides_match_scalar(self, ragged_batch):
+        padded, instances, ks = ragged_batch
+        policy = SharingPolicy()
+        for stride in (1, 13, 100):
+            batch = replicator_batch(
+                padded, ks, policy, max_iter=500, record_every=stride
+            )
+            for row, (values, k) in enumerate(zip(instances, ks)):
+                scalar = replicator_dynamics(
+                    values, int(k), policy, max_iter=500, record_every=stride
+                )
+                assert scalar.trajectory.shape == batch.trajectory(row).shape
+                np.testing.assert_allclose(
+                    scalar.trajectory, batch.trajectory(row), atol=1e-10
+                )
+
+
+class TestConvergenceMasking:
+    def test_converged_rows_are_frozen(self):
+        """Regression: per-row masking must stop updating converged rows."""
+        values_fast = SiteValues.uniform(4)  # uniform start == equilibrium
+        values_slow = SiteValues.zipf(4, exponent=1.0)
+        padded = PaddedValues.from_instances([values_fast, values_slow])
+        batch = replicator_batch(
+            padded, 3, SharingPolicy(), max_iter=2_000, tol=1e-12, record_every=10
+        )
+        fast_t = int(batch.iterations[0])
+        assert bool(batch.converged[0])
+        assert fast_t < int(batch.iterations[1])
+        # Every snapshot taken after row 0 converged is bit-identical to its
+        # final state: the engine never touched the frozen row again.
+        later = batch.record_times > fast_t
+        assert later.any()
+        for index in np.nonzero(later)[0]:
+            np.testing.assert_array_equal(
+                batch.records[index, 0], batch.states[0]
+            )
+
+    def test_early_exit_before_iteration_cap(self):
+        values = SiteValues.uniform(5)
+        padded = PaddedValues.from_instances([values, values])
+        batch = replicator_batch(padded, 2, SharingPolicy(), max_iter=10_000)
+        # Uniform values + uniform start converge immediately for every row,
+        # so the recorded snapshots stop right away instead of running the cap.
+        assert batch.converged.all()
+        assert batch.record_times.max() <= batch.iterations.max()
+        assert batch.iterations.max() <= 2
+
+
+class TestEngineValidation:
+    def test_unknown_rule_name(self):
+        with pytest.raises(ValueError):
+            make_rule("rk4")
+
+    def test_initial_shape_mismatch(self):
+        padded = PaddedValues.from_instances([[1.0, 0.5], [1.0, 0.9]])
+        engine = DynamicsEngine(padded, 2, SharingPolicy(), make_rule("discrete"))
+        with pytest.raises(ValueError):
+            engine.run(np.full((3, 2), 0.5))
+
+    def test_invasion_strategy_shape_mismatch(self):
+        padded = PaddedValues.from_instances([[1.0, 0.5]])
+        with pytest.raises(ValueError):
+            invasion_batch(
+                padded, np.zeros((2, 2)), np.zeros((2, 2)), 2, SharingPolicy()
+            )
+
+    def test_rule_parameter_validation(self):
+        with pytest.raises(ValueError):
+            make_rule("euler", step_size=0.0)
+        with pytest.raises(ValueError):
+            make_rule("logit", rationality=0.0)
+        with pytest.raises(ValueError):
+            make_rule("best-response", step_size=0.0)

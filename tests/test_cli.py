@@ -24,6 +24,18 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "--policy", "nonsense"])
 
+    def test_dynamics_defaults_and_choices(self):
+        args = build_parser().parse_args(["dynamics"])
+        assert args.rule == "discrete"
+        assert args.grid == "quick"
+        assert args.batch == 64
+        args = build_parser().parse_args(
+            ["dynamics", "--rule", "logit", "--grid", "full", "--batch", "16"]
+        )
+        assert (args.rule, args.grid, args.batch) == ("logit", "full", 16)
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dynamics", "--rule", "rk4"])
+
 
 class TestCommands:
     def test_figure1_command(self, capsys, tmp_path):
@@ -54,3 +66,20 @@ class TestCommands:
         assert main(["sweep", "--m", "8", "--policy", "exclusive", "sharing"]) == 0
         out = capsys.readouterr().out
         assert "exclusive" in out and "sharing" in out
+
+    def test_dynamics_command(self, capsys):
+        assert main(["dynamics", "--grid", "quick", "--batch", "8", "--max-iter", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "trajectories converged" in out
+        assert "exploitability" in out
+
+    def test_dynamics_command_json_worker_invariant(self, capsys):
+        # Fanning the row chunks out over worker processes must not change
+        # the structured result.  (Changing --batch legitimately reshuffles
+        # per-task seeds for the rng-backed cells, so only the worker count
+        # is varied here.)
+        assert main(["dynamics", "--grid", "quick", "--batch", "16", "--json"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["dynamics", "--grid", "quick", "--batch", "16", "--json", "--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
