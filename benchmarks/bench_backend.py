@@ -1,0 +1,302 @@
+"""Backend benchmark: batched kernel throughput per available array backend.
+
+Runs without pytest (plain script, stdlib + NumPy only) so CI can execute it
+as a standalone job::
+
+    PYTHONPATH=src python benchmarks/bench_backend.py --output BENCH_backend.json \
+        --baseline BENCH_batch.json --dynamics-baseline BENCH_dynamics.json
+
+For every backend the registry detects (``numpy`` always;
+``array_api_strict`` / ``torch`` / ``cupy`` when installed) the script times
+the same grids the smoke benchmark uses — the closed-form ``sigma_star`` /
+coverage solvers and a 256-row batched replicator sweep — under
+``use_backend(name)``, checks the alternate backends agree elementwise with
+NumPy, and records everything into one JSON artifact.
+
+Two gates guard the NumPy backend (the production default):
+
+* **no-overhead gate** — the backend-dispatched NumPy timings must stay
+  within ``--max-slowdown`` (default 10%) of the baseline artifacts written
+  by ``smoke_batch.py`` in the same run, so the ``xp`` indirection can never
+  silently tax the hot paths;
+* **speedup gate** — the batched-vs-looped speedups re-derived against the
+  baseline's looped timings must still clear the historical ``>= 10x``
+  solver and ``>= 5x`` dynamics bars.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import smoke_batch  # noqa: E402  (shared grid constants and timing helper)
+
+from repro.backend import available_backends, backend_failures, use_backend  # noqa: E402
+from repro.batch import (  # noqa: E402
+    PaddedValues,
+    optimal_coverage_batch,
+    replicator_batch,
+    sigma_star_batch,
+)
+from repro.core.policies import SharingPolicy  # noqa: E402
+from repro.core.values import SiteValues  # noqa: E402
+
+
+def _build_grids():
+    """The exact grids ``smoke_batch.py`` times, rebuilt from the same seeds."""
+    rng = np.random.default_rng(smoke_batch.SEED)
+    solver_padded = PaddedValues.from_instances(smoke_batch.build_instances(rng))
+    dyn_rng = np.random.default_rng(smoke_batch.SEED + 1)
+    dyn_instances = [
+        SiteValues.random(int(m), dyn_rng)
+        for m in dyn_rng.integers(
+            smoke_batch.DYN_M_RANGE[0],
+            smoke_batch.DYN_M_RANGE[1],
+            size=smoke_batch.DYN_N_INSTANCES,
+        )
+    ]
+    rows = [(values, k) for values in dyn_instances for k in smoke_batch.DYN_K_GRID]
+    dyn_padded = PaddedValues.from_instances([values for values, _ in rows])
+    dyn_ks = np.asarray([k for _, k in rows], dtype=np.int64)
+    return solver_padded, dyn_padded, dyn_ks
+
+
+#: Scaled-down dynamics profile for the alternate backends: the conformance
+#: and device namespaces exist for correctness/portability, not CPU speed, so
+#: they get one repeat over a short sweep instead of the full 1500-iteration
+#: grid (which would take minutes under a pure-Python strict wrapper).
+_LIGHT_DYN_ROWS = 32
+_LIGHT_DYN_MAX_ITER = 200
+
+
+def _time_backend(name, solver_padded, dyn_padded, dyn_ks, repeats, references):
+    """Time the solver and dynamics grids under one backend.
+
+    The numpy backend runs the full smoke grids; alternate backends run the
+    full solver grid once plus the light dynamics profile, and every result
+    is checked elementwise against the numpy reference of the same profile.
+    """
+    policy = SharingPolicy()
+    full = name == "numpy"
+    repeats = repeats if full else 1
+    if full:
+        dyn_values, dyn_k, dyn_options = dyn_padded, dyn_ks, dict(
+            max_iter=smoke_batch.DYN_MAX_ITER, tol=smoke_batch.DYN_TOL, record_every=500
+        )
+    else:
+        dyn_values = PaddedValues(
+            dyn_padded.values[:_LIGHT_DYN_ROWS], dyn_padded.sizes[:_LIGHT_DYN_ROWS]
+        )
+        dyn_k = dyn_ks[:_LIGHT_DYN_ROWS]
+        dyn_options = dict(
+            max_iter=_LIGHT_DYN_MAX_ITER, tol=smoke_batch.DYN_TOL, record_every=100
+        )
+    k_grid = smoke_batch.K_GRID
+    with use_backend(name):
+        star = sigma_star_batch(solver_padded, k_grid)  # warm-up + correctness probe
+        solver_seconds = smoke_batch.best_of(
+            lambda: sigma_star_batch(solver_padded, k_grid), repeats
+        )
+        coverage_seconds = smoke_batch.best_of(
+            lambda: optimal_coverage_batch(solver_padded, k_grid), repeats
+        )
+        dyn = replicator_batch(dyn_values, dyn_k, policy, **dyn_options)
+        dynamics_seconds = smoke_batch.best_of(
+            lambda: replicator_batch(dyn_values, dyn_k, policy, **dyn_options),
+            repeats,
+        )
+    if full:
+        references["star"] = star
+        with use_backend("numpy"):
+            references["light_dyn"] = replicator_batch(
+                PaddedValues(
+                    dyn_padded.values[:_LIGHT_DYN_ROWS], dyn_padded.sizes[:_LIGHT_DYN_ROWS]
+                ),
+                dyn_ks[:_LIGHT_DYN_ROWS],
+                policy,
+                max_iter=_LIGHT_DYN_MAX_ITER,
+                tol=smoke_batch.DYN_TOL,
+                record_every=100,
+            )
+    else:
+        # Alternate backends must reproduce the NumPy results elementwise.
+        # The contraction adapter (einsum vs multiply-reduce) may differ in
+        # float association, so the trajectory comparison allows round-off.
+        ref_star, ref_dyn = references["star"], references["light_dyn"]
+        np.testing.assert_allclose(star.probabilities, ref_star.probabilities, atol=1e-9)
+        np.testing.assert_array_equal(star.support_sizes, ref_star.support_sizes)
+        assert int(np.max(np.abs(dyn.iterations - ref_dyn.iterations))) <= 1
+        np.testing.assert_allclose(dyn.states, ref_dyn.states, atol=1e-6)
+    cells = solver_padded.batch_size * len(k_grid)
+    return {
+        "profile": "full" if full else "light",
+        "sigma_star_seconds": solver_seconds,
+        "optimal_coverage_seconds": coverage_seconds,
+        "dynamics_seconds": dynamics_seconds,
+        "dynamics_rows": int(dyn_values.batch_size),
+        "dynamics_max_iter": int(dyn_options["max_iter"]),
+        "sigma_star_cells_per_second": cells / solver_seconds,
+        "dynamics_rows_per_second": dyn_values.batch_size / dynamics_seconds,
+    }
+
+
+def _load_baseline(path: Path) -> dict | None:
+    if path is None or not path.exists():
+        return None
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def run_backend_bench(
+    output: Path,
+    *,
+    baseline: Path | None = None,
+    dynamics_baseline: Path | None = None,
+    repeats: int = 5,
+    max_slowdown: float = 1.10,
+    min_speedup: float = 10.0,
+    min_dynamics_speedup: float = 5.0,
+) -> tuple[bool, list[str]]:
+    """Time every available backend, write the artifact, evaluate the gates.
+
+    Returns ``(ok, report_lines)``.
+    """
+    solver_padded, dyn_padded, dyn_ks = _build_grids()
+    backends: dict[str, dict] = {}
+    references: dict = {}
+    lines: list[str] = []
+    for name in available_backends():
+        timings = _time_backend(
+            name, solver_padded, dyn_padded, dyn_ks, repeats, references
+        )
+        backends[name] = timings
+        lines.append(
+            f"backend {name} ({timings['profile']} profile): "
+            f"sigma_star {timings['sigma_star_seconds'] * 1e3:.1f} ms, "
+            f"dynamics {timings['dynamics_seconds'] * 1e3:.1f} ms "
+            f"({timings['dynamics_rows']} rows x {timings['dynamics_max_iter']} iter cap)"
+        )
+
+    gates: dict[str, dict] = {}
+    ok = True
+    numpy_timings = backends["numpy"]
+    solver_base = _load_baseline(baseline)
+    dynamics_base = _load_baseline(dynamics_baseline)
+
+    #: Tiny absolute slack so microsecond-scale timer noise cannot trip the
+    #: ratio gate on very fast grids.
+    noise_floor = 5e-3
+
+    if solver_base is not None:
+        base_seconds = float(solver_base["sigma_star"]["batched_seconds"])
+        seconds = numpy_timings["sigma_star_seconds"]
+        ratio = seconds / base_seconds
+        passed = ratio <= max_slowdown or seconds - base_seconds <= noise_floor
+        gates["solver_overhead"] = {
+            "baseline_seconds": base_seconds,
+            "backend_seconds": seconds,
+            "ratio": ratio,
+            "max_slowdown": max_slowdown,
+            "passed": passed,
+        }
+        ok &= passed
+        looped = float(solver_base["sigma_star"]["looped_seconds"])
+        speedup = looped / seconds
+        passed = speedup >= min_speedup
+        gates["solver_speedup"] = {
+            "speedup": speedup,
+            "required": min_speedup,
+            "passed": passed,
+        }
+        ok &= passed
+        lines.append(
+            f"numpy backend solver gate: {ratio:.3f}x baseline "
+            f"(<= {max_slowdown:.2f}), speedup {speedup:.1f}x (>= {min_speedup:.0f}x)"
+        )
+    if dynamics_base is not None:
+        base_seconds = float(dynamics_base["replicator"]["batched_seconds"])
+        seconds = numpy_timings["dynamics_seconds"]
+        ratio = seconds / base_seconds
+        passed = ratio <= max_slowdown or seconds - base_seconds <= noise_floor
+        gates["dynamics_overhead"] = {
+            "baseline_seconds": base_seconds,
+            "backend_seconds": seconds,
+            "ratio": ratio,
+            "max_slowdown": max_slowdown,
+            "passed": passed,
+        }
+        ok &= passed
+        looped = float(dynamics_base["replicator"]["looped_seconds"])
+        speedup = looped / seconds
+        passed = speedup >= min_dynamics_speedup
+        gates["dynamics_speedup"] = {
+            "speedup": speedup,
+            "required": min_dynamics_speedup,
+            "passed": passed,
+        }
+        ok &= passed
+        lines.append(
+            f"numpy backend dynamics gate: {ratio:.3f}x baseline "
+            f"(<= {max_slowdown:.2f}), speedup {speedup:.1f}x "
+            f"(>= {min_dynamics_speedup:.0f}x)"
+        )
+
+    report = {
+        "benchmark": "batched kernel throughput per array backend",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "grid": {
+            "solver_instances": solver_padded.batch_size,
+            "solver_k_grid": list(smoke_batch.K_GRID),
+            "dynamics_rows": dyn_padded.batch_size,
+            "dynamics_max_iter": smoke_batch.DYN_MAX_ITER,
+        },
+        "backends": backends,
+        "unavailable_backends": backend_failures(),
+        "gates": gates,
+    }
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    lines.append(f"artifact written to {output}")
+    return ok, lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", type=Path, default=Path("BENCH_backend.json"))
+    parser.add_argument("--baseline", type=Path, default=Path("BENCH_batch.json"))
+    parser.add_argument(
+        "--dynamics-baseline", type=Path, default=Path("BENCH_dynamics.json")
+    )
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--max-slowdown", type=float, default=1.10)
+    parser.add_argument("--min-speedup", type=float, default=10.0)
+    parser.add_argument("--min-dynamics-speedup", type=float, default=5.0)
+    args = parser.parse_args(argv)
+
+    ok, lines = run_backend_bench(
+        args.output,
+        baseline=args.baseline,
+        dynamics_baseline=args.dynamics_baseline,
+        repeats=args.repeats,
+        max_slowdown=args.max_slowdown,
+        min_speedup=args.min_speedup,
+        min_dynamics_speedup=args.min_dynamics_speedup,
+    )
+    for line in lines:
+        print(line)
+    if not ok:
+        print("FAIL: numpy backend regressed a throughput gate", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

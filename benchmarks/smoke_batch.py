@@ -19,6 +19,12 @@ The script exits non-zero when the closed-form batch speedup falls below
 ``--min-speedup`` (default 10x) or the dynamics speedup falls below
 ``--min-dynamics-speedup`` (default 5x) — the acceptance bars the batch
 layer and the dynamics engine were built against.
+
+After the two main gates it hands the freshly written artifacts to
+``bench_backend.py`` (``--backend-output``, default ``BENCH_backend.json``),
+which times the same grids under every available array backend and asserts
+the NumPy backend stays within 10% of the just-measured baselines — the
+regression guard of the pluggable backend layer.
 """
 
 from __future__ import annotations
@@ -157,9 +163,21 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--dynamics-output", type=Path, default=Path("BENCH_dynamics.json")
     )
+    parser.add_argument(
+        "--backend-output",
+        type=str,
+        default="BENCH_backend.json",
+        help="Per-backend timing artifact (empty string disables the backend pass).",
+    )
     parser.add_argument("--repeats", type=int, default=5)
     parser.add_argument("--min-speedup", type=float, default=10.0)
     parser.add_argument("--min-dynamics-speedup", type=float, default=5.0)
+    parser.add_argument(
+        "--max-backend-slowdown",
+        type=float,
+        default=1.10,
+        help="Allowed numpy-backend slowdown vs the artifacts written above.",
+    )
     args = parser.parse_args(argv)
 
     rng = np.random.default_rng(SEED)
@@ -247,6 +265,30 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         failed = True
+
+    if args.backend_output:
+        # Deferred import: bench_backend imports this module for the shared
+        # grid constants.
+        sys.path.insert(0, str(Path(__file__).resolve().parent))
+        import bench_backend
+
+        backend_ok, backend_lines = bench_backend.run_backend_bench(
+            Path(args.backend_output),
+            baseline=args.output,
+            dynamics_baseline=args.dynamics_output,
+            repeats=args.repeats,
+            max_slowdown=args.max_backend_slowdown,
+            min_speedup=args.min_speedup,
+            min_dynamics_speedup=args.min_dynamics_speedup,
+        )
+        for line in backend_lines:
+            print(line)
+        if not backend_ok:
+            print(
+                "FAIL: numpy backend regressed a backend-layer throughput gate",
+                file=sys.stderr,
+            )
+            failed = True
     return 1 if failed else 0
 
 

@@ -10,7 +10,11 @@ each of the ``l`` players that landed on site ``x``.  The package provides
   the general IFD solver, ESS machinery and the symmetric price of anarchy;
 * batched instance solvers (:mod:`repro.batch`): whole ``(instances x
   k-grid)`` grids — ``sigma_star``, coverage optima, IFDs and SPoA — in a
-  handful of NumPy passes over padded ragged batches;
+  handful of tensor passes over padded ragged batches, expressed as pure
+  Array-API kernels against the pluggable backend layer of
+  :mod:`repro.backend` (``numpy`` default; ``array_api_strict`` / ``torch``
+  / ``cupy`` auto-detected, selected via ``use_backend`` / ``REPRO_BACKEND``
+  / the CLI's ``--backend``);
 * evolutionary and learning dynamics converging to the IFD
   (:mod:`repro.dynamics`);
 * a vectorised Monte-Carlo simulator of the one-shot game

@@ -1,0 +1,212 @@
+"""Backend adapter functions: the seams between Array-API kernels and NumPy.
+
+The batched kernel bodies are pure Array-API code, but a few operations are
+genuinely outside the standard — ``einsum`` contractions, ``bincount``
+histograms, RNG draws, error-state management and host I/O.  Each of those
+lives here as a small adapter that takes the :class:`~repro.backend.registry.Backend`
+handle explicitly, keeps the NumPy fast path bit-identical to the
+pre-backend code, and provides a portable fallback for every other
+namespace.  Nothing outside this module (and the host-side packing in
+:mod:`repro.batch.padding`) is allowed to assume NumPy.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.backend.registry import Backend, resolve_backend
+
+__all__ = [
+    "asarray_float",
+    "bincount",
+    "contract_occupancy",
+    "ensure_numpy",
+    "errstate_ignore",
+    "from_numpy",
+    "is_native",
+    "random_uniform",
+    "resolve_namespace",
+    "scatter_rows",
+    "take_along_axis",
+    "take_rows",
+    "to_numpy",
+]
+
+
+def is_native(backend: Backend, obj: Any) -> bool:
+    """``True`` when ``obj`` is an array belonging to ``backend``'s namespace.
+
+    Used by the public kernels to decide where their result should live:
+    backend-native inputs get backend-native outputs, host inputs (lists,
+    NumPy arrays under a non-NumPy backend, wrapper objects) get host NumPy
+    outputs.
+    """
+    namespace = getattr(obj, "__array_namespace__", None)
+    if namespace is not None:
+        try:
+            if namespace() is backend.xp:
+                return True
+        except TypeError:  # pragma: no cover - exotic __array_namespace__ signature
+            pass
+    if isinstance(obj, np.ndarray):
+        return backend.is_numpy
+    if isinstance(obj, np.generic) or not hasattr(obj, "ndim"):
+        return False
+    # torch/cupy tensors predate __array_namespace__; match on the array
+    # type's root module (the registry names backends after it).
+    root = type(obj).__module__.split(".")[0]
+    return root == backend.name
+
+
+def to_numpy(obj: Any) -> np.ndarray:
+    """Materialise any backend's array on the host as a plain ``numpy.ndarray``.
+
+    The NumPy path is a no-op; other namespaces are converted through
+    ``__array__`` / the buffer protocol, DLPack, or a ``.cpu()`` transfer for
+    device-resident tensors — in that order.
+    """
+    if isinstance(obj, np.ndarray):
+        return obj
+    try:
+        return np.asarray(obj)
+    except (TypeError, ValueError, RuntimeError):
+        pass
+    try:
+        return np.from_dlpack(obj)
+    except (TypeError, ValueError, RuntimeError, AttributeError):
+        pass
+    cpu = getattr(obj, "cpu", None)
+    if callable(cpu):  # pragma: no cover - device backends only
+        return np.asarray(cpu())
+    raise TypeError(f"cannot convert {type(obj).__name__} to a numpy array")
+
+
+def from_numpy(backend: Backend, array: Any, *, dtype: Any = None) -> Any:
+    """Place a host array into ``backend``'s namespace (no-op for NumPy)."""
+    xp = backend.xp
+    if dtype is None:
+        return xp.asarray(array)
+    return xp.asarray(array, dtype=dtype)
+
+
+def asarray_float(backend: Backend, obj: Any) -> Any:
+    """Coerce ``obj`` (wrapper, sequence or array) to a float array of ``backend``.
+
+    Objects exposing ``as_array()`` (the :class:`~repro.core.strategy.Strategy`
+    / :class:`~repro.core.values.SiteValues` duck type) are unwrapped first;
+    arrays native to another namespace are routed through the host.
+    """
+    as_array = getattr(obj, "as_array", None)
+    if callable(as_array):
+        obj = as_array()
+    if is_native(backend, obj):
+        return backend.xp.astype(obj, backend.float_dtype) if _dtype_of(obj) != backend.float_dtype else obj
+    if not isinstance(obj, np.ndarray) and hasattr(obj, "__array_namespace__"):
+        obj = to_numpy(obj)
+    return backend.xp.asarray(obj, dtype=backend.float_dtype)
+
+
+def _dtype_of(obj: Any) -> Any:
+    return getattr(obj, "dtype", None)
+
+
+def contract_occupancy(backend: Backend, pmf: Any, tables: Any) -> Any:
+    """Contract ``(B, M, J)`` occupancy PMFs with per-row ``(B, J)`` tables.
+
+    The NumPy (and any einsum-capable) backend keeps the original
+    ``einsum("bmj,bj->bm")`` formulation, which avoids materialising the
+    ``(B, M, J)`` product; standard-only namespaces fall back to a
+    broadcast multiply plus reduction — same result, one extra temporary.
+    """
+    if backend.supports_einsum:
+        return backend.xp.einsum("bmj,bj->bm", pmf, tables)
+    xp = backend.xp
+    return xp.sum(pmf * tables[:, None, :], axis=2)
+
+
+def take_along_axis(backend: Backend, array: Any, indices: Any, *, axis: int) -> Any:
+    """``take_along_axis`` with a host round-trip fallback for old namespaces."""
+    xp = backend.xp
+    fn = getattr(xp, "take_along_axis", None)
+    if fn is not None:
+        return fn(array, indices, axis=axis)
+    host = np.take_along_axis(to_numpy(array), to_numpy(indices), axis=axis)
+    return from_numpy(backend, host)
+
+
+def take_rows(backend: Backend, array: Any, rows: np.ndarray | None) -> Any:
+    """Select a subset of leading-axis rows (``rows`` is a host index vector)."""
+    if rows is None:
+        return array
+    if backend.is_numpy:
+        return array[rows]
+    return backend.xp.take(array, from_numpy(backend, rows), axis=0)
+
+
+def scatter_rows(backend: Backend, dest: Any, rows: np.ndarray, src: Any) -> Any:
+    """Write ``src`` into ``dest`` at the given leading-axis rows, returning ``dest``.
+
+    NumPy-style integer-array assignment where supported; otherwise a
+    documented host round-trip (the :class:`~repro.batch.dynamics.DynamicsEngine`
+    avoids this path entirely for such backends by stepping the full batch).
+    """
+    if backend.supports_fancy_assignment:
+        dest[rows] = src
+        return dest
+    host = to_numpy(dest).copy()
+    host[rows] = to_numpy(src)
+    return from_numpy(backend, host)
+
+
+def bincount(values: Any, *, minlength: int = 0) -> np.ndarray:
+    """Host-side ``bincount`` (no Array-API equivalent exists).
+
+    Accepts any backend's integer array, counts on the host, and returns a
+    NumPy ``int64`` vector — histogram consumers (the Monte-Carlo simulation
+    engine) are host-side by design.
+    """
+    return np.bincount(to_numpy(values).ravel(), minlength=minlength)
+
+
+def random_uniform(
+    backend: Backend,
+    rng: np.random.Generator,
+    shape: int | Sequence[int],
+) -> Any:
+    """Uniform ``[0, 1)`` draws via the host NumPy generator, placed on ``backend``.
+
+    RNG is deliberately *not* delegated to the backend: experiment
+    reproducibility is keyed to ``numpy.random.SeedSequence`` streams, so
+    every backend sees the same draws, transferred once per batch.
+    """
+    draws = rng.random(shape)
+    if backend.is_numpy:
+        return draws
+    return from_numpy(backend, draws, dtype=backend.float_dtype)
+
+
+def errstate_ignore(backend: Backend):
+    """``numpy.errstate(divide/invalid ignore)`` on NumPy, a no-op elsewhere."""
+    if backend.is_numpy:
+        return np.errstate(divide="ignore", invalid="ignore")
+    return contextlib.nullcontext()
+
+
+def ensure_numpy(obj: Any) -> np.ndarray:
+    """Host float array from a wrapper, sequence or any backend's array."""
+    as_array = getattr(obj, "as_array", None)
+    if callable(as_array):
+        obj = as_array()
+    if isinstance(obj, np.ndarray):
+        return obj
+    if hasattr(obj, "__array_namespace__"):
+        return to_numpy(obj)
+    return np.asarray(obj, dtype=float)
+
+
+def resolve_namespace(spec: "Backend | str | None" = None) -> Any:
+    """Shorthand: the raw ``xp`` namespace of :func:`resolve_backend`."""
+    return resolve_backend(spec).xp

@@ -1,0 +1,382 @@
+"""Backend registry: resolving Array-API namespaces for the batched kernels.
+
+The batch layer (:mod:`repro.batch`) expresses every kernel body against an
+Array-API-compatible namespace ``xp`` instead of importing NumPy at module
+scope.  This module owns the mapping from a backend *name* to a resolved
+:class:`Backend` handle:
+
+* ``numpy`` — always available; NumPy >= 2.0 implements the standard names
+  (``cumulative_sum``, ``pow``, ``take_along_axis``, ...) in its main
+  namespace, so no wrapper is needed;
+* ``array_api_strict`` — auto-detected when importable;
+* ``torch`` / ``cupy`` — auto-detected when importable *and* a
+  standard-conforming namespace resolves (via ``array_api_compat`` for
+  torch, whose raw namespace predates the standard; cupy's own namespace is
+  accepted when it passes the surface check);
+* anything else — registrable via :func:`register_backend`.
+
+Detection never crashes: loaders map every import/conformance failure to
+:class:`BackendNotAvailableError` with the reason, surfaced through
+:func:`backend_failures`.
+
+Selection order for the *active* backend:
+
+1. the innermost :func:`use_backend` context, if any;
+2. the process-wide override installed by :func:`set_default_backend`;
+3. the ``REPRO_BACKEND`` environment variable;
+4. ``numpy``.
+
+The active backend is tracked with a :class:`contextvars.ContextVar`, so
+``use_backend`` nests correctly and is safe under threads and asyncio.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "Backend",
+    "BackendNotAvailableError",
+    "ENV_VAR",
+    "available_backends",
+    "backend_failures",
+    "get_backend",
+    "load_backend",
+    "register_backend",
+    "resolve_backend",
+    "set_default_backend",
+    "use_backend",
+]
+
+#: Environment variable consulted when no explicit backend is active.
+ENV_VAR = "REPRO_BACKEND"
+
+#: Standard functions a candidate namespace must expose before the registry
+#: accepts it (the subset the batched kernels actually call).
+_REQUIRED_FUNCTIONS = (
+    "asarray",
+    "astype",
+    "arange",
+    "broadcast_to",
+    "clip",
+    "concat",
+    "cumulative_sum",
+    "exp",
+    "flip",
+    "log",
+    "maximum",
+    "minimum",
+    "pow",
+    "searchsorted",
+    "stack",
+    "sum",
+    "take",
+    "where",
+    "zeros",
+)
+
+
+class BackendNotAvailableError(RuntimeError):
+    """Raised when a requested backend cannot be imported or is incomplete."""
+
+
+@dataclass(frozen=True)
+class Backend:
+    """A resolved array backend: namespace plus defaults and capability flags.
+
+    Attributes
+    ----------
+    name:
+        Registry name (``"numpy"``, ``"array_api_strict"``, ...).
+    xp:
+        The Array-API-compatible namespace itself; kernel bodies call
+        ``xp.sum``, ``xp.cumulative_sum`` etc. on it and nothing else.
+    float_dtype, int_dtype, bool_dtype:
+        Default dtypes used when kernels materialise new arrays.
+    device:
+        Default device new arrays are placed on (``None`` = the namespace's
+        own default, which is correct for every CPU backend).
+    is_numpy:
+        ``True`` only for the NumPy backend; adapters use it to keep the
+        NumPy fast paths (``einsum``, fancy assignment) byte-identical to the
+        pre-backend code.
+    supports_einsum:
+        Namespace has ``einsum`` (not part of the Array-API standard);
+        :func:`repro.backend.adapters.contract_occupancy` falls back to a
+        broadcast-multiply-reduce when it is missing.
+    supports_fancy_assignment:
+        Namespace supports NumPy-style integer-array ``__setitem__``
+        (scatter).  The :class:`repro.batch.dynamics.DynamicsEngine` only
+        uses its active-row subset stepping when this holds and otherwise
+        steps the full batch with ``where``-masked freezing.
+    supports_object_dtype:
+        Namespace can hold ``object`` dtype arrays (NumPy only); nothing in
+        the batch layer needs it, but callers staging ragged metadata can ask.
+    """
+
+    name: str
+    xp: Any
+    float_dtype: Any
+    int_dtype: Any
+    bool_dtype: Any
+    device: Any = None
+    is_numpy: bool = False
+    supports_einsum: bool = False
+    supports_fancy_assignment: bool = False
+    supports_object_dtype: bool = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Backend({self.name!r})"
+
+
+def _check_namespace(name: str, xp: Any) -> None:
+    missing = [fn for fn in _REQUIRED_FUNCTIONS if not hasattr(xp, fn)]
+    if missing:
+        raise BackendNotAvailableError(
+            f"backend {name!r} is importable but its namespace lacks the "
+            f"standard functions the kernels need: {', '.join(sorted(missing))}"
+        )
+
+
+def _load_numpy() -> Backend:
+    import numpy as np
+
+    return Backend(
+        name="numpy",
+        xp=np,
+        float_dtype=np.float64,
+        int_dtype=np.int64,
+        bool_dtype=np.bool_,
+        is_numpy=True,
+        supports_einsum=True,
+        supports_fancy_assignment=True,
+        supports_object_dtype=True,
+    )
+
+
+def _load_array_api_strict() -> Backend:
+    try:
+        import array_api_strict as xp
+    except Exception as error:  # pragma: no cover - environment dependent
+        # Broken installs can raise more than ImportError; any failure just
+        # means the backend is unavailable, never that the registry crashes.
+        raise BackendNotAvailableError(
+            f"array_api_strict is not importable ({error})"
+        ) from error
+    _check_namespace("array_api_strict", xp)
+    return Backend(
+        name="array_api_strict",
+        xp=xp,
+        float_dtype=xp.float64,
+        int_dtype=xp.int64,
+        bool_dtype=xp.bool,
+    )
+
+
+def _compat_namespace(module_name: str):
+    """Resolve a namespace through ``array_api_compat`` when it is installed.
+
+    The raw ``torch`` / ``cupy`` namespaces predate the standard (``cumsum``
+    instead of ``cumulative_sum``, no ``astype`` function, ...), so the
+    standard-conforming wrappers of ``array_api_compat`` are required for
+    those backends; without the compat package they are reported unavailable
+    with an actionable reason.
+    """
+    try:
+        import importlib
+
+        return importlib.import_module(f"array_api_compat.{module_name}")
+    except Exception:
+        return None
+
+
+def _load_torch() -> Backend:  # pragma: no cover - exercised only with torch
+    try:
+        import torch
+    except Exception as error:
+        raise BackendNotAvailableError(f"torch is not importable ({error})") from error
+    xp = _compat_namespace("torch")
+    if xp is None:
+        raise BackendNotAvailableError(
+            "torch is installed but its raw namespace is not Array-API "
+            "conforming; install array-api-compat to use the torch backend"
+        )
+    _check_namespace("torch", xp)
+    return Backend(
+        name="torch",
+        xp=xp,
+        float_dtype=torch.float64,
+        int_dtype=torch.int64,
+        bool_dtype=torch.bool,
+        supports_einsum=True,
+        supports_fancy_assignment=True,
+    )
+
+
+def _load_cupy() -> Backend:  # pragma: no cover - exercised only with cupy
+    try:
+        import cupy
+    except Exception as error:
+        raise BackendNotAvailableError(f"cupy is not importable ({error})") from error
+    xp = _compat_namespace("cupy")
+    if xp is None:
+        # cupy's main namespace tracks numpy's, so recent versions conform on
+        # their own; fall back to it when the compat wrapper is absent.
+        xp = cupy
+    _check_namespace("cupy", xp)
+    return Backend(
+        name="cupy",
+        xp=xp,
+        float_dtype=cupy.float64,
+        int_dtype=cupy.int64,
+        bool_dtype=cupy.bool_,
+        supports_einsum=True,
+        supports_fancy_assignment=True,
+    )
+
+
+#: Built-in loaders in registry (and therefore fallback/auto-detect) order.
+_LOADERS: dict[str, Callable[[], Backend]] = {
+    "numpy": _load_numpy,
+    "array_api_strict": _load_array_api_strict,
+    "torch": _load_torch,
+    "cupy": _load_cupy,
+}
+
+_CACHE: dict[str, Backend] = {}
+_FAILURES: dict[str, str] = {}
+
+#: Innermost-first stack of ``use_backend`` activations (per context).
+_ACTIVE: ContextVar[tuple[Backend, ...]] = ContextVar("repro_backend_stack", default=())
+
+#: Process-wide default installed by :func:`set_default_backend` (overrides
+#: the environment variable but not an enclosing ``use_backend``).
+_DEFAULT_OVERRIDE: list[Backend | None] = [None]
+
+
+def register_backend(
+    name: str, loader: Callable[[], Backend], *, overwrite: bool = False
+) -> None:
+    """Register (or replace) a backend loader under ``name``.
+
+    ``loader`` is called lazily on first resolution and must return a
+    :class:`Backend` or raise :class:`BackendNotAvailableError`.
+    """
+    if not name:
+        raise ValueError("backend name must be non-empty")
+    if name in _LOADERS and not overwrite:
+        raise ValueError(f"backend {name!r} is already registered")
+    _LOADERS[name] = loader
+    _CACHE.pop(name, None)
+    _FAILURES.pop(name, None)
+
+
+def load_backend(name: str) -> Backend:
+    """Resolve ``name`` into a cached :class:`Backend` (raising if unavailable)."""
+    cached = _CACHE.get(name)
+    if cached is not None:
+        return cached
+    loader = _LOADERS.get(name)
+    if loader is None:
+        raise BackendNotAvailableError(
+            f"unknown backend {name!r}; registered: {', '.join(_LOADERS)}"
+        )
+    try:
+        backend = loader()
+    except BackendNotAvailableError as error:
+        _FAILURES[name] = str(error)
+        raise
+    _CACHE[name] = backend
+    _FAILURES.pop(name, None)
+    return backend
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of every registered backend that resolves on this machine.
+
+    The numpy backend is always first; the rest follow registration order,
+    which is the fallback order the docs promise.
+    """
+    names = []
+    for name in _LOADERS:
+        try:
+            load_backend(name)
+        except BackendNotAvailableError:
+            continue
+        names.append(name)
+    return tuple(names)
+
+
+def backend_failures() -> dict[str, str]:
+    """Why each unavailable backend failed to load (for diagnostics)."""
+    for name in _LOADERS:
+        if name not in _CACHE and name not in _FAILURES:
+            try:
+                load_backend(name)
+            except BackendNotAvailableError:
+                pass
+    return dict(_FAILURES)
+
+
+def _default_backend() -> Backend:
+    override = _DEFAULT_OVERRIDE[0]
+    if override is not None:
+        return override
+    name = os.environ.get(ENV_VAR, "").strip()
+    return load_backend(name) if name else load_backend("numpy")
+
+
+def get_backend() -> Backend:
+    """The currently active backend (context > process default > env > numpy)."""
+    stack = _ACTIVE.get()
+    if stack:
+        return stack[-1]
+    return _default_backend()
+
+
+def resolve_backend(spec: "Backend | str | None" = None) -> Backend:
+    """Resolve a user-facing backend argument.
+
+    ``None`` means "whatever is active" (:func:`get_backend`), a string is a
+    registry lookup, and a :class:`Backend` passes through unchanged.  Every
+    batched kernel funnels its ``backend=`` keyword through here.
+    """
+    if spec is None:
+        return get_backend()
+    if isinstance(spec, Backend):
+        return spec
+    return load_backend(spec)
+
+
+def set_default_backend(spec: "Backend | str | None") -> None:
+    """Install (or with ``None`` clear) the process-wide default backend.
+
+    Unlike :func:`use_backend` this is not scoped; it overrides the
+    ``REPRO_BACKEND`` environment variable for the rest of the process but is
+    still shadowed by any enclosing ``use_backend`` context.
+    """
+    _DEFAULT_OVERRIDE[0] = None if spec is None else resolve_backend(spec)
+
+
+@contextlib.contextmanager
+def use_backend(spec: "Backend | str") -> Iterator[Backend]:
+    """Activate a backend for the duration of a ``with`` block.
+
+    Nests: the innermost activation wins, and the previous active backend is
+    restored on exit even when the body raises.
+
+    >>> from repro.backend import use_backend, get_backend
+    >>> with use_backend("numpy") as backend:
+    ...     assert get_backend() is backend
+    """
+    backend = resolve_backend(spec)
+    stack = _ACTIVE.get()
+    token = _ACTIVE.set(stack + (backend,))
+    try:
+        yield backend
+    finally:
+        _ACTIVE.reset(token)

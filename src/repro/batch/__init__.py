@@ -24,7 +24,17 @@ This subpackage solves entire grids in a handful of NumPy passes:
 * :mod:`repro.batch.dynamics` — the unified :class:`DynamicsEngine` stepping
   whole populations of game states under pluggable update rules (replicator,
   logit, smoothed best response, invasion), with per-row convergence masking
-  and strided trajectory recording.
+  and strided trajectory recording;
+* :mod:`repro.batch.extensions` — batched kernels for the model extensions
+  (capacity-constrained coverage and its exact gradient over ``(B, M)``
+  profile batches).
+
+Every kernel body is pure Array-API code against the backend resolved by
+:mod:`repro.backend` (``numpy`` by default; ``array_api_strict`` / ``torch``
+/ ``cupy`` when installed): activate an alternative with
+``repro.backend.use_backend(...)``, the ``REPRO_BACKEND`` environment
+variable, or the CLI's ``--backend`` flag.  Public results always come back
+as host NumPy arrays; intermediates between kernels stay backend-native.
 
 Every ``*_batch`` function agrees elementwise with its scalar counterpart
 (property-tested in ``tests/test_batch.py`` and
@@ -59,6 +69,11 @@ from repro.batch.dynamics import (
     make_rule,
     replicator_batch,
 )
+from repro.batch.extensions import (
+    capacity_coverage_batch,
+    capacity_coverage_gradient_batch,
+    capacity_payoff_batch,
+)
 
 __all__ = [
     "PaddedValues",
@@ -84,4 +99,7 @@ __all__ = [
     "logit_batch",
     "best_response_batch",
     "invasion_batch",
+    "capacity_coverage_batch",
+    "capacity_coverage_gradient_batch",
+    "capacity_payoff_batch",
 ]

@@ -20,6 +20,15 @@ step, record at strides, stop on tolerance or iteration cap.  The
   ``record_every`` steps; :meth:`DynamicsBatchResult.trajectory` slices them
   back into exactly the per-row trajectories the scalar loops used to build.
 
+The stepping math is pure Array-API code on the backend resolved at engine
+construction (:mod:`repro.backend`): states, payoff evaluations and rule
+updates live in the backend's namespace, while control flow — convergence
+masks, iteration counters, recording strides — stays on the host.  Backends
+with NumPy-style integer-array assignment step only the active row subset
+(the NumPy fast path, byte-identical to the pre-backend engine); standard-
+only namespaces step the full batch and freeze finished rows with ``where``,
+which preserves frozen rows bit-for-bit without any scatter.
+
 The scalar entry points in :mod:`repro.dynamics` are thin ``B = 1`` wrappers
 around this engine, so batched and scalar runs share one implementation and
 agree elementwise (property-tested in ``tests/test_batch_dynamics.py``).
@@ -29,10 +38,19 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
+from repro.backend import (
+    Backend,
+    ensure_numpy,
+    from_numpy,
+    resolve_backend,
+    scatter_rows,
+    take_rows,
+    to_numpy,
+)
 from repro.batch.padding import PaddedValues
 from repro.batch.payoffs import (
     as_k_vector,
@@ -69,7 +87,9 @@ class UpdateRule(abc.ABC):
     A rule is bound to a :class:`DynamicsEngine` before the run; the engine
     exposes the padded value batch, per-row player counts, the validity mask
     and a precomputed congestion table, so rules never re-tabulate anything
-    inside the loop.
+    inside the loop.  ``states`` are arrays of the engine's backend; per-row
+    constants a rule precomputes in :meth:`bind` should be staged on the host
+    and transferred once via ``engine.device``.
     """
 
     #: Registry/report name of the rule.
@@ -81,24 +101,26 @@ class UpdateRule(abc.ABC):
 
     @abc.abstractmethod
     def step(
-        self, states: np.ndarray, t: int, rows: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray | None]:
+        self, states: Any, t: int, rows: np.ndarray | None
+    ) -> tuple[Any, Any | None]:
         """Advance the given (already row-sliced) states one iteration.
 
+        ``rows`` is a host index vector of the rows being stepped, or ``None``
+        when the full batch is stepped (the non-scatter backend path).
         Returns the new states plus, for rules that track it, the mean payoff
         of the *pre-update* states (used for strided payoff recording) —
         ``None`` otherwise.
         """
 
-    def finished(self, states: np.ndarray, rows: np.ndarray) -> np.ndarray | None:
+    def finished(self, states: Any, rows: np.ndarray | None) -> Any | None:
         """Optional extra halting condition (e.g. threshold crossing).
 
-        Evaluated on the *post-update* states of the active rows; ``None``
+        Evaluated on the *post-update* states of the stepped rows; ``None``
         (the default) means only the engine's tolerance stops a row.
         """
         return None
 
-    def final_payoffs(self, states: np.ndarray) -> np.ndarray | None:
+    def final_payoffs(self, states: Any) -> Any | None:
         """Mean payoff of every row's final state (``None`` if not tracked)."""
         return None
 
@@ -115,22 +137,24 @@ class PayoffRule(UpdateRule):
     records_payoffs: bool = False
 
     def step(
-        self, states: np.ndarray, t: int, rows: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray | None]:
+        self, states: Any, t: int, rows: np.ndarray | None
+    ) -> tuple[Any, Any | None]:
+        xp = self.engine.xp
         nu = self.engine.site_values(states, rows)
-        payoffs = (states * nu).sum(axis=1) if self.records_payoffs else None
+        payoffs = xp.sum(states * nu, axis=1) if self.records_payoffs else None
         return self.respond(states, nu, t, rows), payoffs
 
-    def final_payoffs(self, states: np.ndarray) -> np.ndarray | None:
+    def final_payoffs(self, states: Any) -> Any | None:
         if not self.records_payoffs:
             return None
+        xp = self.engine.xp
         nu = self.engine.site_values(states, None)
-        return (states * nu).sum(axis=1)
+        return xp.sum(states * nu, axis=1)
 
     @abc.abstractmethod
     def respond(
-        self, states: np.ndarray, nu: np.ndarray, t: int, rows: np.ndarray
-    ) -> np.ndarray:
+        self, states: Any, nu: Any, t: int, rows: np.ndarray | None
+    ) -> Any:
         """New states given the (single) ``nu`` evaluation of this step."""
 
 
@@ -148,16 +172,18 @@ class DiscreteReplicatorRule(PayoffRule):
         super().bind(engine)
         # min over the zero-padded table equals min(table(k_b), 0); the shift
         # formula only reacts to negative congestion, so the padding zeros
-        # are harmless.
+        # are harmless.  Staged on the host once, shipped to the backend once.
         worst_congestion = engine.tables.min(axis=1)
         f_max = engine.values.max(axis=1)
-        self.shift = np.maximum(0.0, -worst_congestion * f_max) + 1e-3 * f_max
+        shift = np.maximum(0.0, -worst_congestion * f_max) + 1e-3 * f_max
+        self.shift = engine.device(shift)
 
     def respond(
-        self, states: np.ndarray, nu: np.ndarray, t: int, rows: np.ndarray
-    ) -> np.ndarray:
-        fitness = nu + self.shift[rows][:, None]
-        denominator = (states * fitness).sum(axis=1, keepdims=True)
+        self, states: Any, nu: Any, t: int, rows: np.ndarray | None
+    ) -> Any:
+        xp = self.engine.xp
+        fitness = nu + self.engine.rows_of(self.shift, rows)[:, None]
+        denominator = xp.sum(states * fitness, axis=1, keepdims=True)
         return states * fitness / denominator
 
 
@@ -173,12 +199,13 @@ class EulerReplicatorRule(PayoffRule):
         self.step_size = float(step_size)
 
     def respond(
-        self, states: np.ndarray, nu: np.ndarray, t: int, rows: np.ndarray
-    ) -> np.ndarray:
-        mean = (states * nu).sum(axis=1, keepdims=True)
-        new = np.clip(states + self.step_size * states * (nu - mean), 0.0, None)
-        totals = new.sum(axis=1, keepdims=True)
-        if np.any(totals <= 0):
+        self, states: Any, nu: Any, t: int, rows: np.ndarray | None
+    ) -> Any:
+        xp = self.engine.xp
+        mean = xp.sum(states * nu, axis=1, keepdims=True)
+        new = xp.clip(states + self.step_size * states * (nu - mean), 0.0, None)
+        totals = xp.sum(new, axis=1, keepdims=True)
+        if bool(xp.any(totals <= 0)):
             raise RuntimeError("euler replicator step annihilated the population state")
         return new / totals
 
@@ -205,14 +232,17 @@ class LogitRule(PayoffRule):
         self.step_decay = float(step_decay)
 
     def respond(
-        self, states: np.ndarray, nu: np.ndarray, t: int, rows: np.ndarray
-    ) -> np.ndarray:
+        self, states: Any, nu: Any, t: int, rows: np.ndarray | None
+    ) -> Any:
+        xp = self.engine.xp
         # Padding sites get -inf logits so the softmax never leaks mass onto
         # them (their nu of zero could otherwise beat negative real payoffs).
-        logits = np.where(self.engine.mask[rows], self.rationality * nu, -np.inf)
-        logits -= logits.max(axis=1, keepdims=True)
-        weights = np.exp(logits)
-        response = weights / weights.sum(axis=1, keepdims=True)
+        mask = self.engine.rows_of(self.engine.mask_dev, rows)
+        neg_inf = xp.asarray(-xp.inf, dtype=self.engine.backend.float_dtype)
+        logits = xp.where(mask, self.rationality * nu, neg_inf)
+        logits = logits - xp.max(logits, axis=1, keepdims=True)
+        weights = xp.exp(logits)
+        response = weights / xp.sum(weights, axis=1, keepdims=True)
         gamma = self.damping / (1.0 + self.step_decay * t)
         return (1.0 - gamma) * states + gamma * response
 
@@ -235,11 +265,16 @@ class SmoothedBestResponseRule(PayoffRule):
         self.tie_atol = float(tie_atol)
 
     def respond(
-        self, states: np.ndarray, nu: np.ndarray, t: int, rows: np.ndarray
-    ) -> np.ndarray:
-        masked_nu = np.where(self.engine.mask[rows], nu, -np.inf)
-        best = masked_nu >= masked_nu.max(axis=1, keepdims=True) - self.tie_atol
-        response = best / best.sum(axis=1, keepdims=True)
+        self, states: Any, nu: Any, t: int, rows: np.ndarray | None
+    ) -> Any:
+        xp = self.engine.xp
+        fdt = self.engine.backend.float_dtype
+        mask = self.engine.rows_of(self.engine.mask_dev, rows)
+        neg_inf = xp.asarray(-xp.inf, dtype=fdt)
+        masked_nu = xp.where(mask, nu, neg_inf)
+        best = masked_nu >= xp.max(masked_nu, axis=1, keepdims=True) - self.tie_atol
+        bestf = xp.astype(best, fdt)
+        response = bestf / xp.sum(bestf, axis=1, keepdims=True)
         gamma = self.step_size / (1.0 + self.step_decay * t)
         return (1.0 - gamma) * states + gamma * response
 
@@ -266,8 +301,8 @@ class InvasionRule(UpdateRule):
     ):
         if selection_strength <= 0:
             raise ValueError("selection_strength must be positive")
-        self.resident = np.asarray(resident, dtype=float)
-        self.mutant = np.asarray(mutant, dtype=float)
+        self._resident_host = np.asarray(ensure_numpy(resident), dtype=float)
+        self._mutant_host = np.asarray(ensure_numpy(mutant), dtype=float)
         self.selection_strength = float(selection_strength)
         self.extinction_threshold = float(extinction_threshold)
         self.fixation_threshold = float(fixation_threshold)
@@ -275,28 +310,32 @@ class InvasionRule(UpdateRule):
     def bind(self, engine: "DynamicsEngine") -> None:
         super().bind(engine)
         shape = engine.values.shape
-        if self.resident.shape != shape or self.mutant.shape != shape:
+        if self._resident_host.shape != shape or self._mutant_host.shape != shape:
             raise ValueError(
                 "resident and mutant strategy matrices must match the padded "
                 f"batch shape {shape}"
             )
+        self.resident = engine.device(self._resident_host)
+        self.mutant = engine.device(self._mutant_host)
         # Payoff differences are normalised by the largest site value so the
         # share step is dimensionless (values are positive, so max == max|.|).
-        self.scale = engine.values.max(axis=1)
+        self.scale = engine.device(engine.values.max(axis=1))
 
     def step(
-        self, states: np.ndarray, t: int, rows: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray | None]:
+        self, states: Any, t: int, rows: np.ndarray | None
+    ) -> tuple[Any, Any | None]:
+        xp = self.engine.xp
         share = states[:, 0]
-        resident = self.resident[rows]
-        mutant = self.mutant[rows]
+        resident = self.engine.rows_of(self.resident, rows)
+        mutant = self.engine.rows_of(self.mutant, rows)
         mixed = (1.0 - share)[:, None] * resident + share[:, None] * mutant
         nu = self.engine.site_values(mixed, rows)  # one kernel pass per step
-        delta = ((mutant - resident) * nu).sum(axis=1) / self.scale[rows]
+        scale = self.engine.rows_of(self.scale, rows)
+        delta = xp.sum((mutant - resident) * nu, axis=1) / scale
         new = share + self.selection_strength * share * (1.0 - share) * delta
-        return np.clip(new, 0.0, 1.0)[:, None], None
+        return xp.clip(new, 0.0, 1.0)[:, None], None
 
-    def finished(self, states: np.ndarray, rows: np.ndarray) -> np.ndarray:
+    def finished(self, states: Any, rows: np.ndarray | None) -> Any:
         share = states[:, 0]
         return (share <= self.extinction_threshold) | (share >= self.fixation_threshold)
 
@@ -329,6 +368,10 @@ class DynamicsBatchResult:
         ``(B,)`` true (unpadded) site counts.
     rule_name:
         Name of the update rule that produced the run.
+
+    All array attributes are host NumPy arrays regardless of the backend the
+    engine stepped on (snapshots are materialised on the host as they are
+    recorded).
     """
 
     states: np.ndarray
@@ -410,6 +453,9 @@ class DynamicsEngine:
         halt or hit the cap).
     record_every:
         Snapshot stride of the trajectory recording.
+    backend:
+        Array backend the stepping runs on — a name, a resolved
+        :class:`~repro.backend.Backend`, or ``None`` for the active one.
     """
 
     def __init__(
@@ -422,8 +468,12 @@ class DynamicsEngine:
         max_iter: int = 20_000,
         tol: float | None = 1e-12,
         record_every: int = 100,
+        backend: Backend | str | None = None,
     ) -> None:
+        self.backend = resolve_backend(backend)
+        self.xp = self.backend.xp
         self.padded = as_padded(values)
+        #: Host-side views (rules stage their per-row constants from these).
         self.values = self.padded.values
         self.mask = self.padded.mask
         self.sizes = self.padded.sizes
@@ -434,8 +484,13 @@ class DynamicsEngine:
         self.max_iter = check_positive_integer(max_iter, "max_iter")
         self.tol = None if tol is None else float(tol)
         self.record_every = check_positive_integer(record_every, "record_every")
-        #: (B, n_max + 1) congestion tables, computed once and re-sliced per step.
+        #: (B, n_max + 1) host congestion tables, computed once per run.
         self.tables = congestion_table_batch(policy, self.ks - 1)
+        #: Backend-resident copies used by every step.
+        self.values_dev = self.padded.values_for(self.backend)
+        self.mask_dev = self.padded.mask_for(self.backend)
+        self.fmask_dev = self.padded.fmask_for(self.backend)
+        self.tables_dev = self.device(self.tables)
         self.rule = rule
         rule.bind(self)
 
@@ -444,64 +499,105 @@ class DynamicsEngine:
         """Number of rows ``B``."""
         return self.padded.batch_size
 
-    # ------------------------------------------------------------ payoff kernel
-    def site_values(self, states: np.ndarray, rows: np.ndarray | None) -> np.ndarray:
-        """Batched ``nu`` for the given rows, reusing the precomputed tables."""
-        if rows is None:
-            values, mask, n, tables = self.values, self.mask, self.ks - 1, self.tables
-        else:
-            values = self.values[rows]
-            mask = self.mask[rows]
-            n = self.ks[rows] - 1
-            tables = self.tables[rows]
-        factor = occupancy_congestion_factor_batch(self.policy, states, n, tables=tables)
-        return values * factor * mask
+    # --------------------------------------------------------- backend plumbing
+    def device(self, array: np.ndarray) -> Any:
+        """Ship a host float array to the engine's backend (no-op on NumPy)."""
+        return from_numpy(self.backend, np.asarray(array, dtype=float),
+                          dtype=self.backend.float_dtype)
 
-    def initial_states(self) -> np.ndarray:
-        """Per-row uniform distributions (zero on padding columns)."""
-        return np.where(self.mask, 1.0 / self.sizes[:, None].astype(float), 0.0)
+    def rows_of(self, array: Any, rows: np.ndarray | None) -> Any:
+        """Slice backend-resident per-row constants to the stepped rows."""
+        return take_rows(self.backend, array, rows)
+
+    # ------------------------------------------------------------ payoff kernel
+    def site_values(self, states: Any, rows: np.ndarray | None) -> Any:
+        """Batched ``nu`` for the given rows, reusing the precomputed tables.
+
+        ``states`` is an array of the engine's backend; the result stays on
+        the backend (rules consume it in place).
+        """
+        values = self.rows_of(self.values_dev, rows)
+        fmask = self.rows_of(self.fmask_dev, rows)
+        tables = self.rows_of(self.tables_dev, rows)
+        n = (self.ks - 1) if rows is None else (self.ks[rows] - 1)
+        factor = occupancy_congestion_factor_batch(
+            self.policy, states, n, tables=tables, backend=self.backend
+        )
+        return values * factor * fmask
+
+    def initial_states(self) -> Any:
+        """Per-row uniform distributions (zero on padding columns), backend-resident."""
+        xp = self.xp
+        fdt = self.backend.float_dtype
+        sizes = from_numpy(self.backend, self.sizes, dtype=self.backend.int_dtype)
+        uniform = 1.0 / xp.astype(sizes, fdt)[:, None]
+        return xp.where(self.mask_dev, uniform, xp.asarray(0.0, dtype=fdt))
 
     # -------------------------------------------------------------------- loop
     def run(self, initial: np.ndarray | None = None) -> DynamicsBatchResult:
         """Iterate the rule until every row converges, halts, or hits the cap."""
+        xp = self.xp
+        be = self.backend
         if initial is None:
             states = self.initial_states()
         else:
-            states = np.array(initial, dtype=float, copy=True)
-            if states.ndim == 1:
-                states = states[None, :]
-            if states.shape[0] != self.batch_size:
+            host = np.array(ensure_numpy(initial), dtype=float, copy=True)
+            if host.ndim == 1:
+                host = host[None, :]
+            if host.shape[0] != self.batch_size:
                 raise ValueError(
-                    f"initial states have {states.shape[0]} rows for a batch "
+                    f"initial states have {host.shape[0]} rows for a batch "
                     f"of {self.batch_size}"
                 )
+            states = self.device(host)
 
         batch = self.batch_size
+        subset_stepping = be.supports_fancy_assignment
         converged = np.zeros(batch, dtype=bool)
         iterations = np.full(batch, self.max_iter, dtype=np.int64)
         active = np.arange(batch)
         record_times = [0]
-        records = [states.copy()]
+        records = [np.array(to_numpy(states), copy=True)]
         payoff_records: list[np.ndarray] = []
         current_payoffs = np.zeros(batch)
 
         for t in range(1, self.max_iter + 1):
-            sub = states[active]
-            new_sub, payoffs = self.rule.step(sub, t, active)
+            if subset_stepping:
+                # NumPy-style path: step only the active rows, scatter back.
+                sub = take_rows(be, states, active)
+                new_sub, payoffs = self.rule.step(sub, t, active)
+                change = to_numpy(xp.sum(xp.abs(new_sub - sub), axis=1))
+                scatter_rows(be, states, active, new_sub)
+                post = new_sub
+                payoffs_host = None if payoffs is None else to_numpy(payoffs)
+                halted = self.rule.finished(post, active)
+                halted_host = None if halted is None else to_numpy(halted)
+            else:
+                # Standard-only path: step the full batch, freeze finished
+                # rows with ``where`` (bit-exact pass-through, no scatter).
+                new_full, payoffs_full = self.rule.step(states, t, None)
+                active_mask = np.zeros(batch, dtype=bool)
+                active_mask[active] = True
+                change = to_numpy(xp.sum(xp.abs(new_full - states), axis=1))[active]
+                mask_dev = from_numpy(be, active_mask)
+                states = xp.where(mask_dev[:, None], new_full, states)
+                payoffs_host = (
+                    None if payoffs_full is None else to_numpy(payoffs_full)[active]
+                )
+                halted = self.rule.finished(states, None)
+                halted_host = None if halted is None else to_numpy(halted)[active]
+
             recording = t % self.record_every == 0
-            if recording and payoffs is not None:
-                current_payoffs[active] = payoffs
-            change = np.abs(new_sub - sub).sum(axis=1)
-            states[active] = new_sub
+            if recording and payoffs_host is not None:
+                current_payoffs[active] = payoffs_host
 
             done = (
                 np.zeros(active.size, dtype=bool)
                 if self.tol is None
                 else change <= self.tol
             )
-            halted = self.rule.finished(states[active], active)
-            if halted is not None:
-                done |= halted
+            if halted_host is not None:
+                done |= halted_host
             if done.any():
                 finished_rows = active[done]
                 converged[finished_rows] = True
@@ -510,13 +606,14 @@ class DynamicsEngine:
 
             if recording:
                 record_times.append(t)
-                records.append(states.copy())
+                records.append(np.array(to_numpy(states), copy=True))
                 payoff_records.append(current_payoffs.copy())
             if active.size == 0:
                 break
 
+        final = self.rule.final_payoffs(states)
         return DynamicsBatchResult(
-            states=states,
+            states=np.array(to_numpy(states), copy=True),
             converged=converged,
             iterations=iterations,
             record_times=np.asarray(record_times, dtype=np.int64),
@@ -524,7 +621,7 @@ class DynamicsEngine:
             payoff_records=np.asarray(payoff_records).reshape(
                 len(payoff_records), batch
             ),
-            final_payoffs=self.rule.final_payoffs(states),
+            final_payoffs=None if final is None else to_numpy(final),
             sizes=self.sizes,
             rule_name=self.rule.name,
         )
@@ -563,6 +660,7 @@ def replicator_batch(
     max_iter: int = 20_000,
     tol: float = 1e-12,
     record_every: int = 100,
+    backend: Backend | str | None = None,
 ) -> DynamicsBatchResult:
     """Replicator dynamics for a whole batch (see :func:`repro.dynamics.replicator_dynamics`)."""
     if method not in _REPLICATOR_METHODS:
@@ -573,7 +671,8 @@ def replicator_batch(
         DiscreteReplicatorRule() if method == "discrete" else EulerReplicatorRule(step_size)
     )
     engine = DynamicsEngine(
-        values, k, policy, rule, max_iter=max_iter, tol=tol, record_every=record_every
+        values, k, policy, rule, max_iter=max_iter, tol=tol,
+        record_every=record_every, backend=backend,
     )
     return engine.run(initial)
 
@@ -590,11 +689,13 @@ def logit_batch(
     max_iter: int = 50_000,
     tol: float = 1e-13,
     record_every: int = 500,
+    backend: Backend | str | None = None,
 ) -> DynamicsBatchResult:
     """Logit dynamics for a whole batch (see :func:`repro.dynamics.logit_dynamics`)."""
     rule = LogitRule(rationality=rationality, damping=damping, step_decay=step_decay)
     engine = DynamicsEngine(
-        values, k, policy, rule, max_iter=max_iter, tol=tol, record_every=record_every
+        values, k, policy, rule, max_iter=max_iter, tol=tol,
+        record_every=record_every, backend=backend,
     )
     return engine.run(initial)
 
@@ -611,6 +712,7 @@ def best_response_batch(
     tol: float = 1e-10,
     record_every: int = 100,
     tie_atol: float = 1e-12,
+    backend: Backend | str | None = None,
 ) -> DynamicsBatchResult:
     """Damped best-response dynamics for a whole batch
     (see :func:`repro.dynamics.best_response_dynamics`)."""
@@ -618,7 +720,8 @@ def best_response_batch(
         step_size=step_size, step_decay=step_decay, tie_atol=tie_atol
     )
     engine = DynamicsEngine(
-        values, k, policy, rule, max_iter=max_iter, tol=tol, record_every=record_every
+        values, k, policy, rule, max_iter=max_iter, tol=tol,
+        record_every=record_every, backend=backend,
     )
     return engine.run(initial)
 
@@ -635,6 +738,7 @@ def invasion_batch(
     max_iter: int = 5_000,
     extinction_threshold: float = 1e-6,
     fixation_threshold: float = 1.0 - 1e-6,
+    backend: Backend | str | None = None,
 ) -> DynamicsBatchResult:
     """Mutant-share dynamics for a whole batch of resident/mutant pairs.
 
@@ -652,7 +756,8 @@ def invasion_batch(
         fixation_threshold=fixation_threshold,
     )
     engine = DynamicsEngine(
-        padded, k, policy, rule, max_iter=max_iter, tol=None, record_every=1
+        padded, k, policy, rule, max_iter=max_iter, tol=None,
+        record_every=1, backend=backend,
     )
     shares = np.broadcast_to(
         np.asarray(initial_shares, dtype=float), (padded.batch_size,)

@@ -6,7 +6,12 @@ an inner vectorised bisection solving ``f(x) * g(q_x) = v`` over sites.  Here
 the same algorithm runs over a whole instance batch at once — the outer
 bisection tracks a *vector* of brackets (one per instance) and the inner
 bisection solves all sites of all instances simultaneously, so the per-``k``
-cost is a few hundred NumPy passes regardless of the batch size.
+cost is a few hundred array passes regardless of the batch size.
+
+The bisections are pure Array-API code on the backend resolved through
+:mod:`repro.backend`; each ``k`` column of the grid is solved independently
+and the columns are stacked at the end (no in-place column scatter), so the
+same code path serves NumPy and standard-only namespaces.
 
 The exclusive policy short-circuits to the closed form
 :func:`repro.batch.solvers.sigma_star_batch`, exactly like the scalar solver.
@@ -19,10 +24,11 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.backend import Backend, from_numpy, resolve_backend, take_along_axis, to_numpy
 from repro.batch.padding import PaddedValues
 from repro.batch.solvers import SigmaStarBatch, as_k_grid, as_padded, sigma_star_batch
 from repro.core.policies import CongestionPolicy
-from repro.utils.numerics import binomial_pmf_matrix
+from repro.utils.numerics import binomial_pmf_tensor
 
 __all__ = ["IFDBatch", "ifd_batch"]
 
@@ -44,6 +50,8 @@ class IFDBatch:
         on closed-form cells).
     k_grid, padded:
         Axes of the grid, as in :class:`~repro.batch.solvers.SigmaStarBatch`.
+
+    All array attributes are host NumPy arrays whatever backend solved them.
     """
 
     probabilities: np.ndarray
@@ -54,76 +62,82 @@ class IFDBatch:
     padded: PaddedValues
 
 
-def _congestion_expectation(
-    q: np.ndarray, c_table: np.ndarray, n_opponents: int
-) -> np.ndarray:
-    """``g(q) = E[C(1 + Binomial(n_opponents, q))]`` for an arbitrary-shape ``q``."""
-    flat = np.clip(q.ravel(), 0.0, 1.0)
-    pmf = binomial_pmf_matrix(n_opponents, flat)
-    return (pmf @ c_table).reshape(q.shape)
+def _congestion_expectation(q, c_table, n_opponents: int, be: Backend):
+    """``g(q) = E[C(1 + Binomial(n_opponents, q))]`` for a ``(B, M)`` matrix ``q``.
+
+    ``c_table`` is the backend-resident ``(n_opponents + 1,)`` congestion
+    table ``[C(1), ..., C(n+1)]``.
+    """
+    xp = be.xp
+    pmf = binomial_pmf_tensor(n_opponents, xp.clip(q, 0.0, 1.0), backend=be)
+    return xp.sum(pmf * c_table[None, None, :], axis=2)
 
 
 def _ifd_fixed_k(
-    F: np.ndarray,
-    mask: np.ndarray,
+    F,
+    mask,
     k: int,
-    policy: CongestionPolicy,
+    c_table_host: np.ndarray,
+    be: Backend,
     *,
     tol: float,
     max_outer_iter: int,
     max_inner_iter: int,
-) -> tuple[np.ndarray, np.ndarray]:
+):
     """Vectorised nested bisection: all instances of the batch, one ``k``."""
-    B, M = F.shape
-    c_table = policy.table(k)
-    g_at_one = float(c_table[-1])  # g(1) = C(k)
+    xp = be.xp
+    fdt = be.float_dtype
+    g_at_one = float(c_table_host[-1])  # g(1) = C(k)
+    c_table = from_numpy(be, c_table_host, dtype=fdt)
+    zero = xp.asarray(0.0, dtype=fdt)
+    one = xp.asarray(1.0, dtype=fdt)
 
-    def site_probabilities(v: np.ndarray) -> np.ndarray:
+    def site_probabilities(v):
         """Solve ``f(x) * g(q_x) = v_b`` for every site of every instance."""
         v_col = v[:, None]
         active = mask & (F > v_col)
         saturated = active & (F * g_at_one >= v_col)
         solve = active & ~saturated
-        q = np.zeros_like(F)
-        q[saturated] = 1.0
-        if np.any(solve):
-            lo = np.zeros_like(F)
-            hi = np.ones_like(F)
+        q = xp.where(saturated, one, zero)
+        if bool(xp.any(solve)):
+            lo = xp.zeros_like(F)
+            hi = xp.ones_like(F)
             for _ in range(max_inner_iter):
                 mid = 0.5 * (lo + hi)
-                residual = F * _congestion_expectation(mid, c_table, k - 1) - v_col
+                residual = F * _congestion_expectation(mid, c_table, k - 1, be) - v_col
                 go_right = residual > 0  # g is non-increasing in q
-                lo = np.where(go_right, mid, lo)
-                hi = np.where(go_right, hi, mid)
-                if np.all(hi - lo <= 1e-15):
+                lo = xp.where(go_right, mid, lo)
+                hi = xp.where(go_right, hi, mid)
+                if bool(xp.all(hi - lo <= 1e-15)):
                     break
-            q = np.where(solve, 0.5 * (lo + hi), q)
+            q = xp.where(solve, 0.5 * (lo + hi), q)
         return q
 
     # Outer bisection on the per-instance equilibrium value v: the total
     # probability mass is non-increasing in v.
-    last = np.take_along_axis(F, (mask.sum(axis=1) - 1)[:, None], axis=1)[:, 0]
-    hi = F[:, 0].astype(float).copy()
+    sizes = xp.sum(xp.astype(mask, be.int_dtype), axis=1)
+    last = take_along_axis(be, F, (sizes - 1)[:, None], axis=1)[:, 0]
+    hi = xp.asarray(F[:, 0], copy=True)
     # g(1) may be negative (aggressive policies), so bracket from below with
     # both endpoints of f * g(1) as well as zero.
-    lo = np.minimum(np.minimum(last * g_at_one, F[:, 0] * g_at_one), 0.0)
+    lo = xp.minimum(xp.minimum(last * g_at_one, F[:, 0] * g_at_one), zero)
     degenerate = lo == hi
-    lo[degenerate] = hi[degenerate] - 1.0
+    lo = xp.where(degenerate, hi - 1.0, lo)
     for _ in range(max_outer_iter):
         mid = 0.5 * (lo + hi)
-        totals = site_probabilities(mid).sum(axis=1)
+        totals = xp.sum(site_probabilities(mid), axis=1)
         grow = totals >= 1.0
-        lo = np.where(grow, mid, lo)
-        hi = np.where(grow, hi, mid)
-        if np.all(hi - lo <= tol * np.maximum(1.0, np.abs(hi))):
+        lo = xp.where(grow, mid, lo)
+        hi = xp.where(grow, hi, mid)
+        if bool(xp.all(hi - lo <= tol * xp.maximum(one, xp.abs(hi)))):
             break
 
     probabilities = site_probabilities(0.5 * (lo + hi))
-    totals = probabilities.sum(axis=1)
-    if np.any(totals <= 0):
+    totals = xp.sum(probabilities, axis=1)
+    if bool(xp.any(totals <= 0)):
         raise RuntimeError("batched IFD solver failed: zero total probability mass")
-    converged = np.isclose(totals, 1.0, atol=1e-6)
-    probabilities /= totals[:, None]
+    converged = np.isclose(to_numpy(totals), 1.0, atol=1e-6)
+    probabilities = probabilities / totals[:, None]
     return probabilities, converged
 
 
@@ -137,6 +151,7 @@ def ifd_batch(
     max_inner_iter: int = 80,
     use_closed_form: bool = True,
     closed_form: SigmaStarBatch | None = None,
+    backend: Backend | str | None = None,
 ) -> IFDBatch:
     """Compute the IFD of every ``(instance, k)`` cell for one congestion policy.
 
@@ -150,20 +165,19 @@ def ifd_batch(
     and ``k`` grid, which the exclusive-policy fast path then reuses instead
     of solving again (:func:`repro.batch.spoa.spoa_batch` does this).
     """
+    be = resolve_backend(backend)
+    xp = be.xp
     padded = as_padded(values)
     ks = as_k_grid(k_grid)
-    B, M, K = padded.batch_size, padded.width, ks.size
-    F = padded.values
-    mask = padded.mask
-
-    probabilities = np.zeros((B, K, M), dtype=float)
-    eq_values = np.zeros((B, K), dtype=float)
-    support_sizes = np.zeros((B, K), dtype=np.int64)
-    converged = np.ones((B, K), dtype=bool)
+    B, M = padded.batch_size, padded.width
+    F = padded.values_for(be)
+    mask = padded.mask_for(be)
+    F_host = padded.values
 
     closed_columns = np.array(
         [bool(use_closed_form) and policy.is_exclusive(int(k)) and k > 1 for k in ks]
     )
+    star: SigmaStarBatch | None = None
     if np.any(closed_columns):
         if (
             closed_form is not None
@@ -171,58 +185,80 @@ def ifd_batch(
             and np.array_equal(closed_form.k_grid, ks)
         ):
             star = closed_form
-            probabilities[:, closed_columns, :] = star.probabilities[:, closed_columns, :]
-            eq_values[:, closed_columns] = star.equilibrium_values[:, closed_columns]
-            support_sizes[:, closed_columns] = star.support_sizes[:, closed_columns]
+            star_columns = {
+                int(index): int(index) for index in np.nonzero(closed_columns)[0]
+            }
         else:
-            star = sigma_star_batch(padded, ks[closed_columns])
-            probabilities[:, closed_columns, :] = star.probabilities
-            eq_values[:, closed_columns] = star.equilibrium_values
-            support_sizes[:, closed_columns] = star.support_sizes
+            star = sigma_star_batch(padded, ks[closed_columns], backend=be)
+            star_columns = {
+                int(index): position
+                for position, index in enumerate(np.nonzero(closed_columns)[0])
+            }
+
+    # Per-column results (host NumPy), stacked along the k axis at the end —
+    # no in-place column scatter, so the assembly is backend-agnostic.
+    prob_columns: list[np.ndarray] = []
+    value_columns: list[np.ndarray] = []
+    support_columns: list[np.ndarray] = []
+    converged_columns: list[np.ndarray] = []
 
     for k_index, k in enumerate(ks):
-        if closed_columns[k_index]:
-            continue
         k = int(k)
+        if closed_columns[k_index]:
+            star_col = star_columns[k_index]
+            prob_columns.append(star.probabilities[:, star_col, :])
+            value_columns.append(star.equilibrium_values[:, star_col])
+            support_columns.append(star.support_sizes[:, star_col])
+            converged_columns.append(np.ones(B, dtype=bool))
+            continue
         policy.validate(k)
         if k == 1:
-            probabilities[:, k_index, 0] = 1.0
-            eq_values[:, k_index] = F[:, 0]
-            support_sizes[:, k_index] = 1
+            column = np.zeros((B, M))
+            column[:, 0] = 1.0
+            prob_columns.append(column)
+            value_columns.append(F_host[:, 0].copy())
+            support_columns.append(np.ones(B, dtype=np.int64))
+            converged_columns.append(np.ones(B, dtype=bool))
             continue
-        c_table = policy.table(k)
-        if np.allclose(c_table, c_table[0], atol=1e-12):
+        c_table_host = policy.table(k)
+        if np.allclose(c_table_host, c_table_host[0], atol=1e-12):
             # No congestion cost: mass spreads over the maximum-value sites.
-            top = np.isclose(F, F[:, :1], rtol=0.0, atol=1e-12) & mask
-            probs = top / top.sum(axis=1, keepdims=True)
-            probabilities[:, k_index, :] = probs
-            eq_values[:, k_index] = F[:, 0] * float(c_table[0])
-            support_sizes[:, k_index] = top.sum(axis=1)
+            top_dev = (xp.abs(F - F[:, :1]) <= 1e-12) & mask
+            topf = xp.astype(top_dev, be.float_dtype)
+            probs = topf / xp.sum(topf, axis=1, keepdims=True)
+            prob_columns.append(to_numpy(probs))
+            value_columns.append(F_host[:, 0] * float(c_table_host[0]))
+            support_columns.append(to_numpy(xp.sum(xp.astype(top_dev, be.int_dtype), axis=1)).astype(np.int64))
+            converged_columns.append(np.ones(B, dtype=bool))
             continue
         probs, ok = _ifd_fixed_k(
             F,
             mask,
             k,
-            policy,
+            c_table_host,
+            be,
             tol=tol,
             max_outer_iter=max_outer_iter,
             max_inner_iter=max_inner_iter,
         )
-        probabilities[:, k_index, :] = probs
-        converged[:, k_index] = ok
         support = probs > 1e-12
-        support_sizes[:, k_index] = support.sum(axis=1)
+        supportf = xp.astype(support, be.float_dtype)
+        counts = xp.sum(supportf, axis=1)
         # Realised equilibrium value: mean site value over the support.
-        nu = F * _congestion_expectation(probs, c_table, k - 1)
-        masked = np.where(support, nu, 0.0)
-        counts = np.maximum(support.sum(axis=1), 1)
-        eq_values[:, k_index] = masked.sum(axis=1) / counts
+        c_table = from_numpy(be, c_table_host, dtype=be.float_dtype)
+        nu = F * _congestion_expectation(probs, c_table, k - 1, be)
+        masked = xp.where(support, nu, xp.asarray(0.0, dtype=be.float_dtype))
+        eq = xp.sum(masked, axis=1) / xp.maximum(counts, xp.asarray(1.0, dtype=be.float_dtype))
+        prob_columns.append(to_numpy(probs))
+        value_columns.append(to_numpy(eq))
+        support_columns.append(to_numpy(xp.sum(xp.astype(support, be.int_dtype), axis=1)).astype(np.int64))
+        converged_columns.append(to_numpy(ok).astype(bool))
 
     return IFDBatch(
-        probabilities=probabilities,
-        values=eq_values,
-        support_sizes=support_sizes,
-        converged=converged,
+        probabilities=np.stack(prob_columns, axis=1),
+        values=np.stack(value_columns, axis=1),
+        support_sizes=np.stack(support_columns, axis=1).astype(np.int64),
+        converged=np.stack(converged_columns, axis=1),
         k_grid=ks,
         padded=padded,
     )

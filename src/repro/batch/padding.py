@@ -6,15 +6,23 @@ into a single ``(B, M_max)`` matrix, short rows padded with their own smallest
 value (so logarithms and negative powers stay finite) and a boolean mask
 marking the real entries.  Padding never leaks into results — every solver
 masks it out of support computations and zeroes it in returned strategies.
+
+``PaddedValues`` is deliberately a **host-side** container: packing ragged
+Python iterables, validating positivity and sorting rows is staging work, not
+kernel work, so the canonical storage is NumPy.  Kernels running on another
+backend fetch device copies through :meth:`PaddedValues.values_for` /
+:meth:`PaddedValues.mask_for`, which cache one transfer per backend so a grid
+of kernel calls ships the batch to the device exactly once.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 import numpy as np
 
+from repro.backend import Backend, ensure_numpy, from_numpy
 from repro.core.values import SiteValues
 
 __all__ = ["PaddedValues"]
@@ -37,8 +45,8 @@ class PaddedValues:
     sizes: np.ndarray
 
     def __post_init__(self) -> None:
-        values = np.ascontiguousarray(np.asarray(self.values, dtype=float))
-        sizes = np.ascontiguousarray(np.asarray(self.sizes, dtype=np.int64))
+        values = np.ascontiguousarray(np.asarray(ensure_numpy(self.values), dtype=float))
+        sizes = np.ascontiguousarray(np.asarray(ensure_numpy(self.sizes), dtype=np.int64))
         if values.ndim != 2:
             raise ValueError("values must be a 2-D (B, M_max) matrix")
         if sizes.shape != (values.shape[0],):
@@ -49,6 +57,7 @@ class PaddedValues:
             raise ValueError("site values (including padding) must be strictly positive")
         object.__setattr__(self, "values", values)
         object.__setattr__(self, "sizes", sizes)
+        object.__setattr__(self, "_device_cache", {})
         self.values.setflags(write=False)
         self.sizes.setflags(write=False)
 
@@ -92,6 +101,46 @@ class PaddedValues:
     def mask(self) -> np.ndarray:
         """Boolean ``(B, M_max)`` matrix; ``True`` on real (non-padding) sites."""
         return np.arange(self.width)[None, :] < self.sizes[:, None]
+
+    # --------------------------------------------------------- device copies
+    def _cached(self, backend: Backend, key: str, build) -> Any:
+        """One transfer per ``(backend, field)``; NumPy short-circuits entirely."""
+        cache = self._device_cache
+        slot = cache.get((backend.name, key))
+        if slot is None:
+            slot = build()
+            cache[(backend.name, key)] = slot
+        return slot
+
+    def values_for(self, backend: Backend) -> Any:
+        """The ``(B, M_max)`` value matrix in ``backend``'s namespace (cached)."""
+        if backend.is_numpy:
+            return self.values
+        return self._cached(
+            backend, "values", lambda: from_numpy(backend, self.values, dtype=backend.float_dtype)
+        )
+
+    def mask_for(self, backend: Backend) -> Any:
+        """The boolean validity mask in ``backend``'s namespace (cached)."""
+        if backend.is_numpy:
+            return self.mask
+        return self._cached(backend, "mask", lambda: from_numpy(backend, self.mask))
+
+    def fmask_for(self, backend: Backend) -> Any:
+        """The validity mask as a float ``0/1`` matrix (cached; used as a multiplier)."""
+        return self._cached(
+            backend,
+            "fmask",
+            lambda: from_numpy(backend, self.mask.astype(float), dtype=backend.float_dtype),
+        )
+
+    def sizes_for(self, backend: Backend) -> Any:
+        """The ``(B,)`` site-count vector in ``backend``'s namespace (cached)."""
+        if backend.is_numpy:
+            return self.sizes
+        return self._cached(
+            backend, "sizes", lambda: from_numpy(backend, self.sizes, dtype=backend.int_dtype)
+        )
 
     def row(self, index: int) -> SiteValues:
         """Recover instance ``index`` as a :class:`~repro.core.values.SiteValues`."""

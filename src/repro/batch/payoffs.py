@@ -18,6 +18,12 @@ at once:
   (:func:`congestion_table_batch`), which callers stepping many times — the
   :class:`~repro.batch.dynamics.DynamicsEngine` — precompute once.
 
+Every kernel body is pure Array-API code on the backend resolved through
+:mod:`repro.backend`; the occupancy contraction (``einsum`` on NumPy) and the
+policy tabulation are isolated behind backend adapters.  Backend-native
+strategy inputs produce backend-native ``nu`` outputs (the engine's hot
+path); host inputs produce host NumPy outputs.
+
 Every ``*_batch`` function agrees elementwise with its scalar counterpart
 (property-tested in ``tests/test_batch_dynamics.py``).
 """
@@ -28,6 +34,16 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.backend import (
+    Backend,
+    asarray_float,
+    contract_occupancy,
+    ensure_numpy,
+    from_numpy,
+    is_native,
+    resolve_backend,
+    to_numpy,
+)
 from repro.batch.padding import PaddedValues
 from repro.batch.solvers import as_k_grid, as_padded
 from repro.core.policies import CongestionPolicy
@@ -48,6 +64,7 @@ def as_k_vector(k: Sequence[int] | np.ndarray | int, batch_size: int) -> np.ndar
     """Coerce a player-count argument into a validated per-row ``(B,)`` vector.
 
     A scalar is broadcast to every row; a vector must have one entry per row.
+    Player counts are host-side (they steer table widths and chunking).
     """
     ks = as_k_grid(k)
     if ks.size == 1:
@@ -69,8 +86,11 @@ def congestion_table_batch(
     zero-padding of :func:`~repro.utils.numerics.binomial_pmf_tensor` so the
     two can be contracted along the occupancy axis for any mix of per-row
     player counts.
+
+    Tabulating a policy is host-side staging (policies are Python objects);
+    steppers transfer the result to their backend once and reuse it.
     """
-    n = np.atleast_1d(np.asarray(n_opponents, dtype=np.int64))
+    n = np.atleast_1d(np.asarray(ensure_numpy(n_opponents), dtype=np.int64))
     if np.any(n < 0):
         raise ValueError("n_opponents must be non-negative")
     n_max = int(n.max())
@@ -86,6 +106,7 @@ def occupancy_congestion_factor_batch(
     n_opponents: np.ndarray | int,
     *,
     tables: np.ndarray | None = None,
+    backend: Backend | str | None = None,
 ) -> np.ndarray:
     """Expected congestion factors ``E[C(1 + Binomial(n_b, q))]`` for a whole batch.
 
@@ -100,30 +121,41 @@ def occupancy_congestion_factor_batch(
         Number of independent opponents per row (scalar or ``(B,)``).
     tables:
         Optional precomputed :func:`congestion_table_batch` output (at least
-        as wide as the occupancy axis); steppers reuse one table across
-        thousands of calls instead of re-tabulating the policy.
+        as wide as the occupancy axis; host or backend-native); steppers
+        reuse one table across thousands of calls instead of re-tabulating
+        the policy.
+    backend:
+        Array backend to compute on (``None`` = active backend).
 
     Returns
     -------
-    numpy.ndarray
-        ``(B, M)`` matrix; multiplying by ``f`` yields the batched ``nu``.
+    ``(B, M)`` matrix; multiplying by ``f`` yields the batched ``nu``.
+    Backend-native when ``opponent_probabilities`` was backend-native, host
+    NumPy otherwise.
     """
-    q = np.asarray(opponent_probabilities, dtype=float)
+    be = resolve_backend(backend)
+    native = is_native(be, opponent_probabilities)
+    q = asarray_float(be, opponent_probabilities)
     if q.ndim != 2:
         raise ValueError("opponent_probabilities must be a 2-D (B, M) matrix")
-    n = np.broadcast_to(np.asarray(n_opponents, dtype=np.int64), (q.shape[0],))
+    n = np.broadcast_to(np.asarray(ensure_numpy(n_opponents), dtype=np.int64), (q.shape[0],))
     if np.any(n < 0):
         raise ValueError("n_opponents must be non-negative")
-    pmf = binomial_pmf_tensor(n, q)  # (B, M, n_sub_max + 1)
+    pmf = binomial_pmf_tensor(n, q, backend=be)  # (B, M, n_sub_max + 1)
+    if not is_native(be, pmf):
+        pmf = from_numpy(be, pmf, dtype=be.float_dtype)
     if tables is None:
         tables = congestion_table_batch(policy, n)
+    if not is_native(be, tables):
+        tables = from_numpy(be, np.asarray(tables, dtype=float), dtype=be.float_dtype)
     width = pmf.shape[2]
     if tables.shape[1] < width:
         raise ValueError(
             f"congestion tables of width {tables.shape[1]} are too narrow for "
             f"occupancies up to {width}"
         )
-    return np.einsum("bmj,bj->bm", pmf, tables[:, :width])
+    factor = contract_occupancy(be, pmf, tables[:, :width])
+    return factor if native else to_numpy(factor)
 
 
 def site_values_batch(
@@ -133,6 +165,7 @@ def site_values_batch(
     policy: CongestionPolicy,
     *,
     tables: np.ndarray | None = None,
+    backend: Backend | str | None = None,
 ) -> np.ndarray:
     """Batched Eq. (2): ``nu_p(x)`` for every row's ``(f_b, p_b, k_b)`` at once.
 
@@ -140,16 +173,23 @@ def site_values_batch(
     under negative payoffs must therefore mask with ``padded.mask`` rather
     than rely on the zeros (see :func:`best_response_value_batch`).
     """
+    be = resolve_backend(backend)
+    native = is_native(be, strategies)
     padded = as_padded(values)
     ks = as_k_vector(k, padded.batch_size)
-    P = np.asarray(strategies, dtype=float)
-    if P.shape != padded.values.shape:
+    P = asarray_float(be, strategies)
+    if tuple(P.shape) != padded.values.shape:
         raise ValueError(
-            f"strategies shape {P.shape} must match the padded batch "
+            f"strategies shape {tuple(P.shape)} must match the padded batch "
             f"{padded.values.shape}"
         )
-    factor = occupancy_congestion_factor_batch(policy, P, ks - 1, tables=tables)
-    return padded.values * factor * padded.mask
+    factor = occupancy_congestion_factor_batch(
+        policy, P, ks - 1, tables=tables, backend=be
+    )
+    if not is_native(be, factor):
+        factor = from_numpy(be, factor, dtype=be.float_dtype)
+    nu = padded.values_for(be) * factor * padded.fmask_for(be)
+    return nu if native else to_numpy(nu)
 
 
 def expected_payoff_batch(
@@ -158,13 +198,19 @@ def expected_payoff_batch(
     opponents: np.ndarray,
     k: Sequence[int] | np.ndarray | int,
     policy: CongestionPolicy,
+    *,
+    backend: Backend | str | None = None,
 ) -> np.ndarray:
     """Batched ``E(focal; opponents^(k-1))``: one expected payoff per row."""
-    rho = np.asarray(focal, dtype=float)
-    nu = site_values_batch(values, opponents, k, policy)
-    if rho.shape != nu.shape:
+    be = resolve_backend(backend)
+    xp = be.xp
+    native = is_native(be, focal)
+    rho = asarray_float(be, focal)
+    nu = site_values_batch(values, asarray_float(be, opponents), k, policy, backend=be)
+    if tuple(rho.shape) != tuple(nu.shape):
         raise ValueError("focal strategies must match the padded batch shape")
-    return (rho * nu).sum(axis=1)
+    out = xp.sum(rho * nu, axis=1)
+    return out if native else to_numpy(out)
 
 
 def best_response_value_batch(
@@ -172,11 +218,19 @@ def best_response_value_batch(
     strategies: np.ndarray,
     k: Sequence[int] | np.ndarray | int,
     policy: CongestionPolicy,
+    *,
+    backend: Backend | str | None = None,
 ) -> np.ndarray:
     """Per-row best-response value ``max_x nu_p(x)`` (maximum over real sites only)."""
+    be = resolve_backend(backend)
+    xp = be.xp
+    native = is_native(be, strategies)
     padded = as_padded(values)
-    nu = site_values_batch(padded, strategies, k, policy)
-    return np.where(padded.mask, nu, -np.inf).max(axis=1)
+    P = asarray_float(be, strategies)
+    nu = site_values_batch(padded, P, k, policy, backend=be)
+    neg_inf = xp.asarray(-xp.inf, dtype=be.float_dtype)
+    best = xp.max(xp.where(padded.mask_for(be), nu, neg_inf), axis=1)
+    return best if native else to_numpy(best)
 
 
 def exploitability_batch(
@@ -184,6 +238,8 @@ def exploitability_batch(
     strategies: np.ndarray,
     k: Sequence[int] | np.ndarray | int,
     policy: CongestionPolicy,
+    *,
+    backend: Backend | str | None = None,
 ) -> np.ndarray:
     """Per-row deviation gain ``max_x nu_p(x) - sum_x p(x) nu_p(x)``.
 
@@ -192,8 +248,13 @@ def exploitability_batch(
     rule the dynamics steppers follow).  Zero exactly on the rows whose state
     is a symmetric equilibrium.
     """
+    be = resolve_backend(backend)
+    xp = be.xp
+    native = is_native(be, strategies)
     padded = as_padded(values)
-    P = np.asarray(strategies, dtype=float)
-    nu = site_values_batch(padded, P, k, policy)
-    best = np.where(padded.mask, nu, -np.inf).max(axis=1)
-    return best - (P * nu).sum(axis=1)
+    P = asarray_float(be, strategies)
+    nu = site_values_batch(padded, P, k, policy, backend=be)
+    neg_inf = xp.asarray(-xp.inf, dtype=be.float_dtype)
+    best = xp.max(xp.where(padded.mask_for(be), nu, neg_inf), axis=1)
+    gap = best - xp.sum(P * nu, axis=1)
+    return gap if native else to_numpy(gap)

@@ -10,6 +10,12 @@ The support computation is shared across the ``k`` grid: one cumulative sum of
 ``f(x)^(-1/(k-1))`` per ``k`` column yields both the support condition
 ``h(y) <= 1`` and the normalisation constant ``alpha`` for every instance
 simultaneously — no per-instance Python loops anywhere.
+
+Every kernel body is pure Array-API code against the namespace resolved by
+:func:`repro.backend.resolve_backend` (``numpy`` by default; see
+:mod:`repro.backend`): the compute runs on whichever backend is active, and
+the public results come back as host NumPy arrays — grid artifacts are host
+objects by convention.
 """
 
 from __future__ import annotations
@@ -19,6 +25,15 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.backend import (
+    Backend,
+    asarray_float,
+    ensure_numpy,
+    from_numpy,
+    resolve_backend,
+    take_along_axis,
+    to_numpy,
+)
 from repro.batch.padding import PaddedValues
 from repro.core.sigma_star import SigmaStarResult
 from repro.core.strategy import Strategy
@@ -41,9 +56,16 @@ _DEFAULT_MAX_ELEMENTS = 1 << 24
 
 
 def as_padded(values: PaddedValues | Sequence | np.ndarray) -> PaddedValues:
-    """Coerce a batch argument into :class:`~repro.batch.padding.PaddedValues`."""
+    """Coerce a batch argument into :class:`~repro.batch.padding.PaddedValues`.
+
+    Arrays native to a non-NumPy backend are brought back to the host first —
+    the padded container is host-canonical and re-ships device copies on
+    demand (:meth:`~repro.batch.padding.PaddedValues.values_for`).
+    """
     if isinstance(values, PaddedValues):
         return values
+    if not isinstance(values, np.ndarray) and hasattr(values, "__array_namespace__"):
+        values = ensure_numpy(values)
     if isinstance(values, np.ndarray) and values.ndim == 2:
         return PaddedValues(values, np.full(values.shape[0], values.shape[1], dtype=np.int64))
     if isinstance(values, (SiteValues, np.ndarray)):
@@ -52,7 +74,13 @@ def as_padded(values: PaddedValues | Sequence | np.ndarray) -> PaddedValues:
 
 
 def as_k_grid(k_grid: Sequence[int] | np.ndarray | int) -> np.ndarray:
-    """Validate and coerce a player-count grid into a 1-D integer array."""
+    """Validate and coerce a player-count grid into a host 1-D integer array.
+
+    Player counts steer control flow (chunking, table widths), so they are
+    host-side by design regardless of the active backend.
+    """
+    if hasattr(k_grid, "__array_namespace__") and not isinstance(k_grid, np.ndarray):
+        k_grid = ensure_numpy(k_grid)
     ks = np.atleast_1d(np.asarray(k_grid))
     if ks.ndim != 1 or ks.size == 0:
         raise ValueError("k_grid must be a non-empty 1-D sequence of integers")
@@ -85,6 +113,9 @@ class SigmaStarBatch:
         The player counts of the ``K`` axis.
     padded:
         The packed instance batch of the ``B`` axis.
+
+    All array attributes are host NumPy arrays whatever backend computed
+    them (converted once at the kernel boundary).
     """
 
     probabilities: np.ndarray
@@ -106,56 +137,55 @@ class SigmaStarBatch:
         )
 
 
-def _sigma_star_chunk(
-    F: np.ndarray, mask: np.ndarray, ks: np.ndarray
-) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """Solve one chunk of instances for the whole k grid (no Python loops)."""
+def _sigma_star_chunk(F, mask, ks_dev, be: Backend):
+    """Solve one chunk of instances for the whole k grid (pure Array-API body)."""
+    xp = be.xp
+    fdt = be.float_dtype
     B, M = F.shape
-    K = ks.size
     # Exponent 1/(k-1); the k = 1 columns are overwritten at the end.
-    exponents = 1.0 / np.maximum(ks - 1, 1).astype(float)  # (K,)
+    exponents = 1.0 / xp.astype(xp.maximum(ks_dev - 1, xp.ones_like(ks_dev)), fdt)  # (K,)
     # One log of the (B, M) value matrix is shared by the whole k grid, and
     # f^(1/(k-1)) is recovered as the reciprocal of f^(-1/(k-1)) — a single
     # transcendental pass over the (B, K, M) tensor instead of 2 K of them.
-    log_f = np.log(F)
-    inv_pow = np.exp(log_f[:, None, :] * -exponents[None, :, None])  # f^(-1/(k-1))
-    cumulative = np.cumsum(inv_pow, axis=2)
-    positions = np.arange(1, M + 1, dtype=float)
+    log_f = xp.log(F)
+    inv_pow = xp.exp(log_f[:, None, :] * (-exponents)[None, :, None])  # f^(-1/(k-1))
+    cumulative = xp.cumulative_sum(inv_pow, axis=2)
+    positions = xp.arange(1, M + 1, dtype=fdt)
     # h(y) = y - f(y)^(1/(k-1)) * sum_{x<=y} f(x)^(-1/(k-1))
     h = positions[None, None, :] - cumulative / inv_pow
     admissible = (h <= 1.0 + _SUPPORT_ATOL) & mask[:, None, :]
-    reversed_adm = admissible[:, :, ::-1]
-    any_admissible = reversed_adm.any(axis=2)
-    last_admissible = M - 1 - reversed_adm.argmax(axis=2)
-    support = np.where(any_admissible, last_admissible + 1, 1).astype(np.int64)  # (B, K)
+    reversed_adm = xp.flip(admissible, axis=2)
+    any_admissible = xp.any(reversed_adm, axis=2)
+    last_admissible = (M - 1) - xp.argmax(xp.astype(reversed_adm, xp.int8), axis=2)
+    support = xp.astype(
+        xp.where(any_admissible, last_admissible + 1, xp.ones_like(last_admissible)),
+        be.int_dtype,
+    )  # (B, K)
 
-    denom = np.take_along_axis(cumulative, (support - 1)[:, :, None], axis=2)[:, :, 0]
-    alpha = (support - 1) / denom
+    denom = take_along_axis(be, cumulative, (support - 1)[:, :, None], axis=2)[:, :, 0]
+    alpha = xp.astype(support - 1, fdt) / denom
 
-    prefix = np.arange(M)[None, None, :] < support[:, :, None]
-    probabilities = np.clip(1.0 - alpha[:, :, None] * inv_pow, 0.0, None)
-    probabilities *= prefix
-    totals = probabilities.sum(axis=2)
-    probabilities /= np.where(totals > 0, totals, 1.0)[:, :, None]
+    prefix = xp.arange(M, dtype=be.int_dtype)[None, None, :] < support[:, :, None]
+    probabilities = xp.clip(1.0 - alpha[:, :, None] * inv_pow, 0.0, None)
+    probabilities = probabilities * xp.astype(prefix, fdt)
+    totals = xp.sum(probabilities, axis=2)
+    probabilities = probabilities / xp.where(totals > 0, totals, xp.ones_like(totals))[:, :, None]
 
-    equilibrium = np.power(alpha, (ks - 1).astype(float)[None, :])
+    equilibrium = alpha ** xp.astype(ks_dev - 1, fdt)[None, :]
 
     # Single-site supports: all mass on the top site; several colliding players
     # earn zero under the exclusive policy.
+    onehot = xp.astype(xp.arange(M, dtype=be.int_dtype) == 0, fdt)  # (M,)
     single = support == 1
-    if np.any(single):
-        probabilities[single] = 0.0
-        probabilities[single, 0] = 1.0
-        equilibrium = np.where(single, 0.0, equilibrium)
+    probabilities = xp.where(single[:, :, None], onehot[None, None, :], probabilities)
+    equilibrium = xp.where(single, xp.zeros_like(equilibrium), equilibrium)
 
     # k = 1 columns: one player exploits the most valuable site.
-    solo = ks == 1
-    if np.any(solo):
-        probabilities[:, solo, :] = 0.0
-        probabilities[:, solo, 0] = 1.0
-        support[:, solo] = 1
-        alpha[:, solo] = 0.0
-        equilibrium = np.where(solo[None, :], F[:, :1], equilibrium)
+    solo = (ks_dev == 1)[None, :]  # (1, K)
+    probabilities = xp.where(solo[:, :, None], onehot[None, None, :], probabilities)
+    support = xp.where(solo, xp.ones_like(support), support)
+    alpha = xp.where(solo, xp.zeros_like(alpha), alpha)
+    equilibrium = xp.where(solo, F[:, :1], equilibrium)
 
     return probabilities, support, alpha, equilibrium
 
@@ -165,8 +195,9 @@ def sigma_star_batch(
     k_grid: Sequence[int] | np.ndarray | int,
     *,
     max_elements: int = _DEFAULT_MAX_ELEMENTS,
+    backend: Backend | str | None = None,
 ) -> SigmaStarBatch:
-    """Solve ``sigma_star`` for a whole ``(instances x k-grid)`` in NumPy passes.
+    """Solve ``sigma_star`` for a whole ``(instances x k-grid)`` in tensor passes.
 
     Parameters
     ----------
@@ -178,6 +209,10 @@ def sigma_star_batch(
     max_elements:
         Peak-memory knob: instances are processed in chunks so no intermediate
         tensor exceeds roughly this many elements.
+    backend:
+        Array backend to compute on — a name, a resolved
+        :class:`~repro.backend.Backend`, or ``None`` for the active one
+        (see :func:`repro.backend.use_backend`).
 
     Returns
     -------
@@ -187,46 +222,56 @@ def sigma_star_batch(
         float round-off in the final renormalisation) to looping the scalar
         :func:`repro.core.sigma_star.sigma_star`.
     """
+    be = resolve_backend(backend)
+    xp = be.xp
     padded = as_padded(values)
     ks = as_k_grid(k_grid)
     B, M, K = padded.batch_size, padded.width, ks.size
-    mask = padded.mask
 
-    probabilities = np.zeros((B, K, M), dtype=float)
-    support = np.empty((B, K), dtype=np.int64)
-    alpha = np.empty((B, K), dtype=float)
-    equilibrium = np.empty((B, K), dtype=float)
+    F = padded.values_for(be)
+    mask = padded.mask_for(be)
+    ks_dev = from_numpy(be, ks, dtype=be.int_dtype)
 
     chunk = max(1, int(max_elements // max(K * M, 1)))
+    parts = []
     for start in range(0, B, chunk):
         stop = min(start + chunk, B)
-        p, w, a, eq = _sigma_star_chunk(padded.values[start:stop], mask[start:stop], ks)
-        probabilities[start:stop] = p
-        support[start:stop] = w
-        alpha[start:stop] = a
-        equilibrium[start:stop] = eq
+        parts.append(_sigma_star_chunk(F[start:stop, :], mask[start:stop, :], ks_dev, be))
+
+    if len(parts) == 1:
+        p, w, a, eq = parts[0]
+    else:
+        p = xp.concat([part[0] for part in parts], axis=0)
+        w = xp.concat([part[1] for part in parts], axis=0)
+        a = xp.concat([part[2] for part in parts], axis=0)
+        eq = xp.concat([part[3] for part in parts], axis=0)
 
     return SigmaStarBatch(
-        probabilities=probabilities,
-        support_sizes=support,
-        alpha=alpha,
-        equilibrium_values=equilibrium,
+        probabilities=to_numpy(p),
+        support_sizes=to_numpy(w).astype(np.int64),
+        alpha=to_numpy(a),
+        equilibrium_values=to_numpy(eq),
         k_grid=ks,
         padded=padded,
     )
 
 
 def support_size_batch(
-    values: PaddedValues | Sequence, k_grid: Sequence[int] | np.ndarray | int
+    values: PaddedValues | Sequence,
+    k_grid: Sequence[int] | np.ndarray | int,
+    *,
+    backend: Backend | str | None = None,
 ) -> np.ndarray:
     """The ``(B, K)`` matrix of ``sigma_star`` support sizes ``W``."""
-    return sigma_star_batch(values, k_grid).support_sizes
+    return sigma_star_batch(values, k_grid, backend=backend).support_sizes
 
 
 def coverage_batch(
     values: PaddedValues | Sequence,
     strategies: np.ndarray,
     k_grid: Sequence[int] | np.ndarray | int,
+    *,
+    backend: Backend | str | None = None,
 ) -> np.ndarray:
     """Weighted coverage of every ``(instance, k)`` cell in one pass.
 
@@ -240,26 +285,31 @@ def coverage_batch(
         strategy per instance, evaluated at every ``k``).
     k_grid:
         Player counts of the ``K`` axis.
+    backend:
+        Array backend to compute on (``None`` = active backend).
 
     Returns
     -------
     numpy.ndarray
         ``(B, K)`` matrix ``Cover(p) = sum_x f(x) * (1 - (1 - p(x))**k)``.
     """
+    be = resolve_backend(backend)
+    xp = be.xp
     padded = as_padded(values)
     ks = as_k_grid(k_grid)
-    P = np.asarray(strategies, dtype=float)
+    P = asarray_float(be, strategies)
     if P.ndim == 2:
         P = P[:, None, :]
     if P.shape[0] != padded.batch_size or P.shape[2] != padded.width:
         raise ValueError(
-            f"strategies shape {P.shape} incompatible with batch "
+            f"strategies shape {tuple(P.shape)} incompatible with batch "
             f"({padded.batch_size}, {ks.size}, {padded.width})"
         )
-    missed = np.power(1.0 - P, ks.astype(float)[None, :, None])
-    weighted = (1.0 - missed) * padded.values[:, None, :]
-    weighted *= padded.mask[:, None, :]
-    return weighted.sum(axis=2)
+    ksf = from_numpy(be, ks.astype(float), dtype=be.float_dtype)
+    missed = (1.0 - P) ** ksf[None, :, None]
+    weighted = (1.0 - missed) * padded.values_for(be)[:, None, :]
+    weighted = weighted * padded.fmask_for(be)[:, None, :]
+    return to_numpy(xp.sum(weighted, axis=2))
 
 
 def optimal_coverage_batch(
@@ -267,13 +317,15 @@ def optimal_coverage_batch(
     k_grid: Sequence[int] | np.ndarray | int,
     *,
     max_elements: int = _DEFAULT_MAX_ELEMENTS,
+    backend: Backend | str | None = None,
 ) -> np.ndarray:
     """``Cover(p_star)`` for every grid cell: the batched Theorem 4 optimum.
 
     Equivalent to (but much faster than) looping the scalar
     :func:`repro.core.optimal_coverage.optimal_coverage`.
     """
+    be = resolve_backend(backend)
     padded = as_padded(values)
     ks = as_k_grid(k_grid)
-    star = sigma_star_batch(padded, ks, max_elements=max_elements)
-    return coverage_batch(padded, star.probabilities, ks)
+    star = sigma_star_batch(padded, ks, max_elements=max_elements, backend=be)
+    return coverage_batch(padded, star.probabilities, ks, backend=be)

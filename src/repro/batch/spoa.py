@@ -5,6 +5,11 @@ evaluates the ratio for every cell of an ``(instances x k-grid)`` in a few
 tensor passes: one :func:`~repro.batch.solvers.sigma_star_batch` call for the
 coverage optimum (Theorem 4), one :func:`~repro.batch.ifd.ifd_batch` call for
 the equilibria, and one :func:`~repro.batch.solvers.coverage_batch` call each.
+
+This is an orchestration layer: the heavy tensor work happens inside the
+sub-kernels on whichever backend is resolved (the ``backend`` keyword is
+forwarded), and the final ratio assembly runs on the host results they
+return.
 """
 
 from __future__ import annotations
@@ -14,6 +19,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.backend import Backend, resolve_backend
 from repro.batch.ifd import ifd_batch
 from repro.batch.padding import PaddedValues
 from repro.batch.solvers import as_k_grid, as_padded, coverage_batch, sigma_star_batch
@@ -64,22 +70,26 @@ def spoa_batch(
     values: PaddedValues | Sequence,
     k_grid: Sequence[int] | np.ndarray | int,
     policy: CongestionPolicy,
+    *,
+    backend: Backend | str | None = None,
     **ifd_kwargs,
 ) -> SPoABatch:
     """Per-instance SPoA of ``policy`` on every ``(instance, k)`` cell.
 
     Elementwise equivalent to looping :func:`repro.core.spoa.spoa_instance`
     over the grid; extra keyword arguments are forwarded to
-    :func:`~repro.batch.ifd.ifd_batch`.
+    :func:`~repro.batch.ifd.ifd_batch`, and the ``backend`` choice to every
+    sub-kernel.
     """
+    be = resolve_backend(backend)
     padded = as_padded(values)
     ks = as_k_grid(k_grid)
-    star = sigma_star_batch(padded, ks)
-    optimal = coverage_batch(padded, star.probabilities, ks)
+    star = sigma_star_batch(padded, ks, backend=be)
+    optimal = coverage_batch(padded, star.probabilities, ks, backend=be)
     # Reuse the closed-form solve for the equilibria of exclusive columns
     # instead of solving the same grid twice.
-    equilibrium = ifd_batch(padded, ks, policy, closed_form=star, **ifd_kwargs)
-    eq_coverage = coverage_batch(padded, equilibrium.probabilities, ks)
+    equilibrium = ifd_batch(padded, ks, policy, closed_form=star, backend=be, **ifd_kwargs)
+    eq_coverage = coverage_batch(padded, equilibrium.probabilities, ks, backend=be)
     positive = eq_coverage > 0
     ratios = np.where(positive, optimal / np.where(positive, eq_coverage, 1.0), np.inf)
     return SPoABatch(

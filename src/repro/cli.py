@@ -24,6 +24,12 @@ rows.  Three flags are shared by all sub-commands:
 ``--workers N``
     Fan tasks out to ``N`` worker processes (``0`` = serial, ``-1`` = one per
     CPU); the output does not depend on the worker count.
+``--backend NAME``
+    Array backend the batched kernels run on (``numpy`` default;
+    ``array_api_strict`` / ``torch`` / ``cupy`` when installed — see
+    ``repro.backend``).  The choice is activated around every task, in
+    worker processes too, and the results do not depend on it; the
+    ``REPRO_BACKEND`` environment variable sets the same default globally.
 """
 
 from __future__ import annotations
@@ -44,6 +50,7 @@ from repro.analysis.spoa_experiments import (
     build_spoa_spec,
 )
 from repro.analysis.sweeps import assemble_sweep, build_dynamics_spec, build_sweep_spec
+from repro.backend import BackendNotAvailableError, available_backends, load_backend
 from repro.core.policies import (
     AggressivePolicy,
     ConstantPolicy,
@@ -95,6 +102,16 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="Worker processes (0 = serial, -1 = one per CPU).",
+    )
+    common.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help=(
+            "Array backend for the batched kernels (default: REPRO_BACKEND or "
+            "numpy; array_api_strict/torch/cupy when installed — an unknown "
+            "name lists what resolved on this machine)."
+        ),
     )
 
     parser = argparse.ArgumentParser(
@@ -171,7 +188,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _execute(spec, args: argparse.Namespace) -> ExperimentResult:
-    return run_experiment(spec, max_workers=args.workers)
+    backend = getattr(args, "backend", None)
+    if backend is not None:
+        # Validate eagerly for a clean error; backend detection stays lazy so
+        # plain CLI runs never pay (or crash on) torch/cupy imports.
+        try:
+            load_backend(backend)
+        except BackendNotAvailableError as error:
+            raise SystemExit(
+                f"error: {error} (available: {', '.join(available_backends())})"
+            ) from error
+    return run_experiment(spec, max_workers=args.workers, backend=backend)
 
 
 def _run_figure1(args: argparse.Namespace) -> str:

@@ -12,11 +12,17 @@ The runner turns an :class:`~repro.experiments.spec.ExperimentSpec` into an
   ``ProcessPoolExecutor``;
 * outputs are collected **in grid order** and flattened (a task may return a
   single row or a list of rows), so serial and parallel runs of the same
-  spec produce identical results, bit for bit.
+  spec produce identical results, bit for bit;
+* each task runs under the spec's array backend (``spec.backend`` or the
+  runner's ``backend=`` override): the backend *name* travels in the task
+  payload and is activated with :func:`repro.backend.use_backend` inside the
+  executing process, so worker processes honor the choice even though
+  backend handles themselves are not picklable.
 """
 
 from __future__ import annotations
 
+import contextlib
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -24,6 +30,7 @@ from typing import Any, Iterable, Mapping, Sequence
 
 import numpy as np
 
+from repro.backend import use_backend
 from repro.experiments.result import ExperimentResult
 from repro.experiments.spec import ExperimentSpec, TaskFunction
 
@@ -67,11 +74,13 @@ def spawn_task_seeds(seed: int, n_tasks: int) -> list[np.random.SeedSequence]:
 
 
 def _execute_task(
-    payload: tuple[TaskFunction, Mapping[str, Any], np.random.SeedSequence],
+    payload: tuple[TaskFunction, Mapping[str, Any], np.random.SeedSequence, str | None],
 ) -> Any:
-    """Worker entry point: rebuild the task generator and run the task."""
-    task, params, seed_seq = payload
-    return task(params, np.random.default_rng(seed_seq))
+    """Worker entry point: activate the backend, rebuild the generator, run."""
+    task, params, seed_seq, backend = payload
+    scope = use_backend(backend) if backend is not None else contextlib.nullcontext()
+    with scope:
+        return task(params, np.random.default_rng(seed_seq))
 
 
 def _flatten(outputs: Iterable[Any]) -> tuple[Any, ...]:
@@ -101,6 +110,7 @@ def run_experiment(
     spec: ExperimentSpec,
     *,
     max_workers: int | None = 0,
+    backend: str | None = None,
 ) -> ExperimentResult:
     """Execute every task of ``spec`` and assemble the structured result.
 
@@ -113,10 +123,19 @@ def run_experiment(
         to that many worker processes in chunks of ``spec.chunk_size`` (or
         about four chunks per worker when unset); ``-1`` uses one worker per
         CPU.  The result is identical either way.
+    backend:
+        Array-backend name activated around every task (overrides
+        ``spec.backend``; ``None`` falls back to it).  Travels by name into
+        worker processes, so parallel runs honor the choice; the results are
+        identical across backends by the batch layer's elementwise contract.
     """
     workers = resolve_workers(max_workers)
     seeds = spawn_task_seeds(spec.seed, spec.n_tasks)
-    payloads = [(spec.task, params, seed) for params, seed in zip(spec.grid, seeds)]
+    task_backend = backend if backend is not None else spec.backend
+    payloads = [
+        (spec.task, params, seed, task_backend)
+        for params, seed in zip(spec.grid, seeds)
+    ]
 
     start = time.perf_counter()
     if workers <= 1 or len(payloads) <= 1:
@@ -137,7 +156,11 @@ def run_experiment(
     # `to_dict(timing=False)` can strip everything scheduling-dependent and
     # keep the serialised artifact identical across worker counts.
     metadata = dict(spec.metadata)
-    metadata["runtime"] = {"max_workers": used_workers, "chunk_size": chunk_size}
+    metadata["runtime"] = {
+        "max_workers": used_workers,
+        "chunk_size": chunk_size,
+        "backend": task_backend or "default",
+    }
     return ExperimentResult(
         name=spec.name,
         description=spec.description,

@@ -48,6 +48,12 @@ class ExperimentSpec:
     chunk_size:
         Optional number of tasks per worker chunk; ``None`` lets the runner
         pick roughly four chunks per worker.
+    backend:
+        Optional array-backend name every task runs under (see
+        :mod:`repro.backend`).  ``None`` inherits whatever is active in the
+        executing process; a name is activated around each task by the
+        runner — including inside worker processes, so a spec pinned to
+        ``"torch"`` keeps running on torch when fanned out.
     metadata:
         Free-form provenance (grid shape, solver options, ...) copied into
         the :class:`~repro.experiments.result.ExperimentResult`.
@@ -59,6 +65,7 @@ class ExperimentSpec:
     grid: tuple[Mapping[str, Any], ...]
     seed: int = 0
     chunk_size: int | None = None
+    backend: str | None = None
     metadata: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -70,6 +77,8 @@ class ExperimentSpec:
         object.__setattr__(self, "seed", int(self.seed))
         if self.chunk_size is not None and self.chunk_size < 1:
             raise ValueError("chunk_size must be >= 1 when given")
+        if self.backend is not None:
+            object.__setattr__(self, "backend", str(self.backend))
         object.__setattr__(self, "metadata", dict(self.metadata))
 
     @property
@@ -80,6 +89,10 @@ class ExperimentSpec:
     def with_seed(self, seed: int) -> "ExperimentSpec":
         """Copy of the spec under a different base seed."""
         return dataclasses.replace(self, seed=int(seed))
+
+    def with_backend(self, backend: str | None) -> "ExperimentSpec":
+        """Copy of the spec pinned to (or freed from) an array backend."""
+        return dataclasses.replace(self, backend=backend)
 
     def subset(self, indices: Sequence[int]) -> "ExperimentSpec":
         """Copy of the spec restricted to the given grid indices."""

@@ -17,6 +17,11 @@ that they can be explored with the same tooling as the core model:
 
 Each module documents how its model reduces to the paper's when the new
 parameter is switched off, and the test-suite verifies those reductions.
+
+The capacity functional also has a batched, backend-agnostic entry point:
+:func:`repro.batch.extensions.capacity_coverage_batch` (and its exact
+gradient) evaluates whole ``(B, M)`` profile batches through the Array-API
+backend layer of :mod:`repro.backend`.
 """
 
 from repro.extensions.travel_costs import (

@@ -6,6 +6,15 @@ engine simulates many trials at once using NumPy (one ``(n_trials, k)`` draw
 and a ``bincount`` per batch) and reports coverage, payoffs and collision
 statistics, each with a standard error so tests can perform calibrated
 comparisons against the exact formulas of :mod:`repro.core`.
+
+Backend note: simulation is **host-side by design** — its hot path is RNG
+draws and ``bincount`` histograms, both of which live behind the NumPy-only
+adapters of :mod:`repro.backend` rather than the Array-API standard.  The
+engine therefore accepts values/strategies from any backend (they are
+materialised on the host on entry) and always returns plain NumPy arrays
+with documented dtypes: ``occupancy_histogram`` is ``int64`` counts and
+``site_visit_frequencies`` is ``float64`` per-trial frequencies, whatever
+backend produced the inputs.
 """
 
 from __future__ import annotations
@@ -37,7 +46,22 @@ class SimulationResult:
     """Summary statistics of a symmetric-profile simulation.
 
     All "mean" quantities are per-trial averages; the matching ``*_sem``
-    fields are standard errors of those means.
+    fields are standard errors of those means.  A single trial carries no
+    spread information, so every ``*_sem`` is ``nan`` when
+    ``n_trials == 1`` (rather than a misleading ``0.0``).
+
+    Attributes
+    ----------
+    occupancy_histogram:
+        Plain ``numpy.int64`` array of length ``k + 1``; entry ``l`` counts
+        the ``(trial, site)`` pairs with exactly ``l`` visitors, summed over
+        all trials.  Always a host NumPy array regardless of the active
+        array backend.
+    site_visit_frequencies:
+        Plain ``numpy.float64`` array of length ``M``; entry ``x`` is the
+        fraction of trials in which site ``x`` received at least one
+        visitor.  Always a host NumPy array regardless of the active array
+        backend.
     """
 
     n_trials: int
@@ -54,7 +78,12 @@ class SimulationResult:
 
 @dataclass(frozen=True)
 class ProfileSimulationResult:
-    """Summary of a simulation in which each player may use a different strategy."""
+    """Summary of a simulation in which each player may use a different strategy.
+
+    As in :class:`SimulationResult`, every ``*_sem`` field is ``nan`` when
+    ``n_trials == 1``; ``player_payoff_means`` / ``player_payoff_sems`` are
+    plain ``numpy.float64`` arrays of length ``k``.
+    """
 
     n_trials: int
     k: int
@@ -165,17 +194,24 @@ class DispersalSimulator:
         coverage_var = max(coverage_sq_sum / n_trials - coverage_mean**2, 0.0)
         payoff_mean = payoff_sum / n_trials
         payoff_var = max(payoff_sq_sum / n_trials - payoff_mean**2, 0.0)
+        # One trial has no spread information: report nan instead of a
+        # spuriously confident 0.0 standard error.
+        if n_trials == 1:
+            coverage_sem = payoff_sem = float("nan")
+        else:
+            coverage_sem = float(np.sqrt(coverage_var / n_trials))
+            payoff_sem = float(np.sqrt(payoff_var / n_trials))
         return SimulationResult(
             n_trials=n_trials,
             k=self.k,
             coverage_mean=coverage_mean,
-            coverage_sem=float(np.sqrt(coverage_var / n_trials)),
+            coverage_sem=coverage_sem,
             payoff_mean=payoff_mean,
-            payoff_sem=float(np.sqrt(payoff_var / n_trials)),
+            payoff_sem=payoff_sem,
             collision_rate=collisions / (n_trials * self.k),
             sites_visited_mean=sites_visited_sum / n_trials,
-            occupancy_histogram=occupancy_histogram,
-            site_visit_frequencies=site_visits / n_trials,
+            occupancy_histogram=np.asarray(occupancy_histogram, dtype=np.int64),
+            site_visit_frequencies=np.asarray(site_visits / n_trials, dtype=np.float64),
         )
 
     def run_profile(
@@ -219,13 +255,20 @@ class DispersalSimulator:
         coverage_var = max(coverage_sq_sum / n_trials - coverage_mean**2, 0.0)
         payoff_means = payoff_sum / n_trials
         payoff_vars = np.maximum(payoff_sq_sum / n_trials - payoff_means**2, 0.0)
+        if n_trials == 1:
+            # A single trial has no spread information (see SimulationResult).
+            coverage_sem = float("nan")
+            payoff_sems = np.full(self.k, np.nan)
+        else:
+            coverage_sem = float(np.sqrt(coverage_var / n_trials))
+            payoff_sems = np.sqrt(payoff_vars / n_trials)
         return ProfileSimulationResult(
             n_trials=n_trials,
             k=self.k,
             coverage_mean=coverage_mean,
-            coverage_sem=float(np.sqrt(coverage_var / n_trials)),
+            coverage_sem=coverage_sem,
             player_payoff_means=payoff_means,
-            player_payoff_sems=np.sqrt(payoff_vars / n_trials),
+            player_payoff_sems=payoff_sems,
         )
 
 

@@ -1,4 +1,4 @@
-"""Coercing user-facing wrapper objects into raw NumPy arrays.
+"""Coercing user-facing wrapper objects into raw arrays of the active backend.
 
 :class:`~repro.core.strategy.Strategy` and
 :class:`~repro.core.values.SiteValues` both expose their payload through an
@@ -7,8 +7,14 @@ plain array.  The two helpers here centralise that duck-typed unwrapping (it
 used to be copy-pasted as private ``_strategy_array`` / ``_values_array``
 functions across ``core``, ``dynamics`` and ``simulation``).
 
+By default the result is a host NumPy array — the scalar layers are
+host-side.  Pass ``backend=`` (a name, a resolved
+:class:`~repro.backend.Backend`, or the active one via a resolved handle) to
+place the unwrapped payload in another Array-API namespace instead; the
+batched kernels use this to ingest wrappers directly onto their backend.
+
 Duck typing keeps :mod:`repro.utils` free of imports from :mod:`repro.core`,
-preserving the utils layer's "NumPy only, nothing game-specific" rule.
+preserving the utils layer's "arrays only, nothing game-specific" rule.
 """
 
 from __future__ import annotations
@@ -17,21 +23,35 @@ from typing import Any
 
 import numpy as np
 
+from repro.backend import Backend, asarray_float, ensure_numpy, resolve_backend
+
 __all__ = ["strategy_array", "values_array"]
 
 
-def _as_float_array(obj: Any) -> np.ndarray:
+def _as_float_array(obj: Any, backend: Backend | str | None) -> Any:
+    if backend is not None:
+        return asarray_float(resolve_backend(backend), obj)
     as_array = getattr(obj, "as_array", None)
     if callable(as_array):
         return as_array()
+    if hasattr(obj, "__array_namespace__") and not isinstance(obj, np.ndarray):
+        return np.asarray(ensure_numpy(obj), dtype=float)
     return np.asarray(obj, dtype=float)
 
 
-def strategy_array(strategy: Any) -> np.ndarray:
-    """Unwrap a :class:`~repro.core.strategy.Strategy` (or pass an array through)."""
-    return _as_float_array(strategy)
+def strategy_array(strategy: Any, *, backend: Backend | str | None = None) -> Any:
+    """Unwrap a :class:`~repro.core.strategy.Strategy` (or pass an array through).
+
+    ``backend=None`` (the default) returns a host NumPy array; otherwise the
+    payload is placed in the resolved backend's namespace.
+    """
+    return _as_float_array(strategy, backend)
 
 
-def values_array(values: Any) -> np.ndarray:
-    """Unwrap a :class:`~repro.core.values.SiteValues` (or pass an array through)."""
-    return _as_float_array(values)
+def values_array(values: Any, *, backend: Backend | str | None = None) -> Any:
+    """Unwrap a :class:`~repro.core.values.SiteValues` (or pass an array through).
+
+    ``backend=None`` (the default) returns a host NumPy array; otherwise the
+    payload is placed in the resolved backend's namespace.
+    """
+    return _as_float_array(values, backend)

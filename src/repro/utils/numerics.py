@@ -161,16 +161,22 @@ def binomial_pmf_matrix(n: int, probs: np.ndarray) -> np.ndarray:
     return pmf / row_sums
 
 
-def binomial_pmf_tensor(n: np.ndarray | int, probs: np.ndarray) -> np.ndarray:
+def binomial_pmf_tensor(
+    n: np.ndarray | int, probs: np.ndarray, *, backend=None
+) -> np.ndarray:
     """Binomial PMFs for a *batch* of probability rows with per-row trial counts.
 
     Parameters
     ----------
     n:
         Number of trials per row: a scalar or a ``(B,)`` integer vector, every
-        entry ``>= 0``.
+        entry ``>= 0`` (host-side; per-row counts steer control flow).
     probs:
-        ``(B, M)`` matrix of success probabilities.
+        ``(B, M)`` matrix of success probabilities (host array or an array
+        native to the active backend).
+    backend:
+        Backend handle or name; ``None`` uses the active backend (see
+        :mod:`repro.backend`).
 
     Returns
     -------
@@ -178,48 +184,77 @@ def binomial_pmf_tensor(n: np.ndarray | int, probs: np.ndarray) -> np.ndarray:
         Tensor of shape ``(B, M, n_max + 1)``; entry ``[b, x, j]`` is
         ``P[Binomial(n[b], probs[b, x]) = j]`` for ``j <= n[b]`` and exactly
         zero beyond (rows with a smaller trial count are zero-padded, so the
-        trailing axis can be contracted against any padded table).
+        trailing axis can be contracted against any padded table).  Returned
+        in the backend's namespace when ``probs`` was backend-native, as a
+        host NumPy array otherwise.
 
     Notes
     -----
     This is the batch counterpart of :func:`binomial_pmf_matrix`: one
-    log-factorial table is shared by every row, and rows are never looped over
-    in Python.
+    log-factorial table is shared by every row, rows are never looped over in
+    Python, and the body is pure Array-API code.
     """
-    P = np.asarray(probs, dtype=float)
+    from repro.backend import (
+        asarray_float,
+        errstate_ignore,
+        from_numpy,
+        is_native,
+        resolve_backend,
+        to_numpy,
+    )
+
+    be = resolve_backend(backend)
+    xp = be.xp
+    fdt = be.float_dtype
+    native = is_native(be, probs)
+    P = asarray_float(be, probs)
     if P.ndim != 2:
         raise ValueError("probs must be a 2-D (B, M) matrix")
-    trials = np.broadcast_to(np.asarray(n, dtype=np.int64), (P.shape[0],))
+    trials = np.broadcast_to(
+        np.asarray(n if not hasattr(n, "__array_namespace__") else to_numpy(n), dtype=np.int64),
+        (P.shape[0],),
+    )
     if np.any(trials < 0):
         raise ValueError("n must be non-negative")
-    if np.any((P < -1e-12) | (P > 1 + 1e-12)):
+    if bool(xp.any((P < -1e-12) | (P > 1 + 1e-12))):
         raise ValueError("probs must lie in [0, 1]")
-    P = np.clip(P, 0.0, 1.0)
+    P = xp.clip(P, 0.0, 1.0)
     n_max = int(trials.max(initial=0))
     if n_max == 0:
-        return np.ones((P.shape[0], P.shape[1], 1), dtype=float)
+        out = xp.ones((P.shape[0], P.shape[1], 1), dtype=fdt)
+        return out if native else to_numpy(out)
 
-    j = np.arange(n_max + 1)  # (J,)
-    valid = j[None, :] <= trials[:, None]  # (B, J)
+    one = xp.asarray(1.0, dtype=fdt)
+    zero = xp.asarray(0.0, dtype=fdt)
+    trials_dev = from_numpy(be, trials, dtype=be.int_dtype)
+    j = xp.arange(n_max + 1, dtype=be.int_dtype)  # (J,)
+    valid = j[None, :] <= trials_dev[:, None]  # (B, J)
     # log C(n_b, j) via one shared log-factorial table; invalid cells clamped
     # to a harmless index and masked out afterwards.
-    lf = log_factorial(n_max)
-    rest = np.clip(trials[:, None] - j[None, :], 0, None)
-    log_coeffs = lf[trials][:, None] - lf[j][None, :] - lf[rest]
-    coeffs = np.where(valid, np.exp(log_coeffs), 0.0)  # (B, J)
+    lf = from_numpy(be, log_factorial(n_max), dtype=fdt)
+    rest = xp.clip(trials_dev[:, None] - j[None, :], 0, None)  # (B, J)
+    log_coeffs = (
+        xp.take(lf, trials_dev)[:, None]
+        - xp.take(lf, j)[None, :]
+        - xp.reshape(xp.take(lf, xp.reshape(rest, (-1,))), rest.shape)
+    )
+    coeffs = xp.where(valid, xp.exp(log_coeffs), zero)  # (B, J)
 
     # Guard the 0 ** 0 corners exactly as binomial_pmf_matrix does.
-    with np.errstate(divide="ignore", invalid="ignore"):
+    jf = xp.astype(j, fdt)
+    restf = xp.astype(rest, fdt)
+    with errstate_ignore(be):
         p_col = P[:, :, None]  # (B, M, 1)
-        pow_p = np.where(j[None, None, :] == 0, 1.0, p_col ** j[None, None, :])
-        pow_q = np.where(
-            rest[:, None, :] == 0, 1.0, (1.0 - p_col) ** rest[:, None, :]
+        pow_p = xp.where(j[None, None, :] == 0, one, p_col ** jf[None, None, :])
+        pow_q = xp.where(
+            rest[:, None, :] == 0, one, (1.0 - p_col) ** restf[:, None, :]
         )
     pmf = coeffs[:, None, :] * pow_p * pow_q
-    pmf = np.clip(pmf, 0.0, None)
-    row_sums = pmf.sum(axis=2, keepdims=True)
-    row_sums[row_sums == 0.0] = 1.0
-    return pmf / row_sums
+    pmf = xp.clip(pmf, 0.0, None)
+    row_sums = xp.sum(pmf, axis=2, keepdims=True)
+    row_sums = xp.where(row_sums > 0, row_sums, xp.ones_like(row_sums))
+    pmf = pmf / row_sums
+    return pmf if native else to_numpy(pmf)
 
 
 def simplex_projection(v: np.ndarray) -> np.ndarray:

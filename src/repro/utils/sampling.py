@@ -11,8 +11,15 @@ distributions instead:
   array, so a whole ``(n_trials, k)`` heterogeneous-profile draw costs one
   vectorised pass instead of ``k`` ``generator.choice`` calls.
 
-Everything is NumPy-only (no :mod:`repro.core` imports), so both the core
-strategy objects and the simulation engine can route their sampling here.
+Randomness always comes from the host ``numpy.random.Generator`` (seed
+streams are part of the experiment contract and identical across backends);
+the CDF construction and the ``searchsorted`` inversion are Array-API code,
+so passing ``backend=`` runs the search on another namespace with the host
+draws transferred per batch.  The default (``backend=None`` resolving to
+NumPy, or an inactive context) keeps the original pure-NumPy fast path.
+
+Nothing here imports :mod:`repro.core`, so both the core strategy objects and
+the simulation engine can route their sampling through one implementation.
 """
 
 from __future__ import annotations
@@ -20,6 +27,8 @@ from __future__ import annotations
 from typing import Sequence
 
 import numpy as np
+
+from repro.backend import Backend, asarray_float, random_uniform, resolve_backend, to_numpy
 
 __all__ = [
     "strategy_cdf",
@@ -33,24 +42,60 @@ __all__ = [
 _STACK_SPACING = 2.0
 
 
-def strategy_cdf(probabilities: np.ndarray) -> np.ndarray:
+def strategy_cdf(
+    probabilities: np.ndarray, *, backend: Backend | str | None = None
+) -> np.ndarray:
     """Cumulative distribution of one probability vector (validated lightly)."""
-    p = np.asarray(probabilities, dtype=float)
-    if p.ndim != 1 or p.size == 0:
+    if backend is None:
+        p = np.asarray(probabilities, dtype=float)
+        if p.ndim != 1 or p.size == 0:
+            raise ValueError("probabilities must be a non-empty 1-D vector")
+        cdf = np.cumsum(p)
+        if not np.isclose(cdf[-1], 1.0, atol=1e-6):
+            raise ValueError("probabilities must sum to one")
+        return cdf
+    be = resolve_backend(backend)
+    xp = be.xp
+    p = asarray_float(be, probabilities)
+    if p.ndim != 1 or p.shape[0] == 0:
         raise ValueError("probabilities must be a non-empty 1-D vector")
-    cdf = np.cumsum(p)
-    if not np.isclose(cdf[-1], 1.0, atol=1e-6):
+    cdf = xp.cumulative_sum(p)
+    # Same tolerance as the fast path above, evaluated on the host scalar.
+    if not np.isclose(float(cdf[-1]), 1.0, atol=1e-6):
         raise ValueError("probabilities must sum to one")
     return cdf
 
 
-def stacked_cdfs(probability_rows: Sequence[np.ndarray] | np.ndarray) -> np.ndarray:
+def stacked_cdfs(
+    probability_rows: Sequence[np.ndarray] | np.ndarray,
+    *,
+    backend: Backend | str | None = None,
+) -> np.ndarray:
     """Row-wise CDFs of a ``(k, M)`` probability matrix (for the stacked sampler)."""
-    matrix = np.asarray(probability_rows, dtype=float)
-    if matrix.ndim != 2 or matrix.size == 0:
+    if backend is None:
+        matrix = np.asarray(probability_rows, dtype=float)
+        if matrix.ndim != 2 or matrix.size == 0:
+            raise ValueError("probability_rows must form a non-empty (k, M) matrix")
+        cdfs = np.cumsum(matrix, axis=1)
+        if not np.allclose(cdfs[:, -1], 1.0, atol=1e-6):
+            raise ValueError("every probability row must sum to one")
+        return cdfs
+    be = resolve_backend(backend)
+    xp = be.xp
+    if not (
+        isinstance(probability_rows, np.ndarray)
+        or hasattr(probability_rows, "__array_namespace__")
+    ):
+        # Mixed Python sequences are staged on the host once; array inputs
+        # (NumPy or backend-native) go straight to asarray_float, so native
+        # matrices never take a device round-trip.
+        probability_rows = np.asarray([to_numpy(row) for row in probability_rows])
+    matrix = asarray_float(be, probability_rows)
+    if matrix.ndim != 2 or matrix.shape[0] * matrix.shape[1] == 0:
         raise ValueError("probability_rows must form a non-empty (k, M) matrix")
-    cdfs = np.cumsum(matrix, axis=1)
-    if not np.allclose(cdfs[:, -1], 1.0, atol=1e-6):
+    cdfs = xp.cumulative_sum(matrix, axis=1)
+    # Same tolerance as the fast path above, evaluated on the host column.
+    if not np.allclose(to_numpy(cdfs[:, -1]), 1.0, atol=1e-6):
         raise ValueError("every probability row must sum to one")
     return cdfs
 
@@ -59,36 +104,67 @@ def inverse_cdf_sample(
     cdf: np.ndarray,
     shape: int | tuple[int, ...],
     rng: np.random.Generator,
+    *,
+    backend: Backend | str | None = None,
 ) -> np.ndarray:
     """Draw categorical samples of ``shape`` by inverting a single CDF.
 
     Returns 0-based indices; index ``j`` is drawn with probability
-    ``cdf[j] - cdf[j-1]``.
+    ``cdf[j] - cdf[j-1]``.  The uniform draws always come from the host
+    ``rng`` (identical streams on every backend); with ``backend`` set, the
+    ``searchsorted`` inversion runs on that namespace and the indices are
+    returned in it.
     """
-    u = rng.random(shape)
-    choices = np.searchsorted(cdf, u, side="right")
-    return np.minimum(choices, cdf.size - 1)
+    if backend is None:
+        u = rng.random(shape)
+        choices = np.searchsorted(cdf, u, side="right")
+        return np.minimum(choices, cdf.size - 1)
+    be = resolve_backend(backend)
+    xp = be.xp
+    cdf_dev = asarray_float(be, cdf)
+    u = random_uniform(be, rng, shape)
+    # searchsorted in the standard operates on 1-D x2; flatten and restore.
+    flat = xp.reshape(u, (-1,))
+    choices = xp.searchsorted(cdf_dev, flat, side="right")
+    choices = xp.minimum(choices, cdf_dev.shape[0] - 1)
+    return xp.reshape(choices, u.shape)
 
 
 def inverse_cdf_sample_stacked(
     cdfs: np.ndarray,
     n_trials: int,
     rng: np.random.Generator,
+    *,
+    backend: Backend | str | None = None,
 ) -> np.ndarray:
     """Draw an ``(n_trials, k)`` matrix with column ``i`` following ``cdfs[i]``.
 
     The ``k`` CDFs are shifted by ``2 * i`` and concatenated into one sorted
     array, so a single ``searchsorted`` inverts all of them at once — the
-    whole heterogeneous-profile draw is ``rng.random`` plus one binary-search
-    pass, with no per-player Python loop.
+    whole heterogeneous-profile draw is one uniform block plus one
+    binary-search pass, with no per-player Python loop.
     """
-    cdfs = np.asarray(cdfs, dtype=float)
-    if cdfs.ndim != 2:
+    if backend is None:
+        cdfs = np.asarray(cdfs, dtype=float)
+        if cdfs.ndim != 2:
+            raise ValueError("cdfs must be a (k, M) matrix")
+        k, m = cdfs.shape
+        offsets = _STACK_SPACING * np.arange(k)
+        flat = (cdfs + offsets[:, None]).ravel()
+        u = rng.random((n_trials, k)) + offsets[None, :]
+        indices = np.searchsorted(flat, u.ravel(), side="right").reshape(n_trials, k)
+        choices = indices - (np.arange(k) * m)[None, :]
+        return np.minimum(choices, m - 1)
+    be = resolve_backend(backend)
+    xp = be.xp
+    cdfs_dev = asarray_float(be, cdfs)
+    if cdfs_dev.ndim != 2:
         raise ValueError("cdfs must be a (k, M) matrix")
-    k, m = cdfs.shape
-    offsets = _STACK_SPACING * np.arange(k)
-    flat = (cdfs + offsets[:, None]).ravel()
-    u = rng.random((n_trials, k)) + offsets[None, :]
-    indices = np.searchsorted(flat, u.ravel(), side="right").reshape(n_trials, k)
-    choices = indices - (np.arange(k) * m)[None, :]
-    return np.minimum(choices, m - 1)
+    k, m = int(cdfs_dev.shape[0]), int(cdfs_dev.shape[1])
+    offsets = _STACK_SPACING * xp.astype(xp.arange(k), be.float_dtype)
+    flat = xp.reshape(cdfs_dev + offsets[:, None], (-1,))
+    u = random_uniform(be, rng, (n_trials, k)) + offsets[None, :]
+    indices = xp.searchsorted(flat, xp.reshape(u, (-1,)), side="right")
+    indices = xp.reshape(indices, (n_trials, k))
+    choices = indices - (xp.arange(k) * m)[None, :]
+    return xp.minimum(choices, m - 1)

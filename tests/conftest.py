@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.backend import available_backends
 from repro.core.policies import (
     AggressivePolicy,
     ConstantPolicy,
@@ -15,6 +16,28 @@ from repro.core.policies import (
     TwoLevelPolicy,
 )
 from repro.core.values import SiteValues
+
+
+def backend_params() -> list:
+    """Backend roster for suites that re-run under every available backend.
+
+    Always contains ``"numpy"``; ``array_api_strict`` is skip-marked when the
+    strict conformance namespace is not installed (the CI job installs it).
+    The batch test modules build an autouse fixture from this so every
+    property test runs once per backend.
+    """
+    installed = available_backends()
+    params = ["numpy"]
+    params.append(
+        pytest.param(
+            "array_api_strict",
+            marks=pytest.mark.skipif(
+                "array_api_strict" not in installed,
+                reason="array_api_strict backend not installed",
+            ),
+        )
+    )
+    return params
 
 
 @pytest.fixture

@@ -1,10 +1,19 @@
-"""Property tests: the batched solvers match the scalar solvers elementwise."""
+"""Property tests: the batched solvers match the scalar solvers elementwise.
+
+The whole module runs once per available array backend (numpy always;
+``array_api_strict`` when installed, skip-marked otherwise): an autouse
+fixture activates each backend around every test, so the batched kernels are
+exercised on the alternative namespace while the scalar references stay on
+the host — results must agree elementwise either way.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
 
+from conftest import backend_params
+from repro.backend import use_backend
 from repro.batch import (
     PaddedValues,
     coverage_batch,
@@ -34,6 +43,13 @@ K_GRID = (1, 2, 3, 5, 11)
 #: Smaller grid for the tests that also run the scalar nested-bisection IFD
 #: per cell (the expensive side of the comparison is the scalar loop).
 IFD_K_GRID = (1, 2, 5)
+
+
+@pytest.fixture(autouse=True, params=backend_params())
+def array_backend(request):
+    """Re-run every solver property test under each available backend."""
+    with use_backend(request.param):
+        yield request.param
 
 
 @pytest.fixture(scope="module")

@@ -5,6 +5,12 @@ scalar wrappers of :mod:`repro.dynamics` — including ragged site counts, mixed
 per-row player counts, rows that start at their equilibrium, and non-trivial
 ``record_every`` strides — and rows that converge are frozen (never updated
 again) while the rest of the batch keeps stepping.
+
+The whole module runs once per available array backend (numpy always;
+``array_api_strict`` when installed, skip-marked otherwise) through the
+autouse ``array_backend`` fixture, so the engine's scatter-free stepping path
+is exercised under the strict namespace while the scalar references stay on
+the host.
 """
 
 from __future__ import annotations
@@ -12,6 +18,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from conftest import backend_params
+from repro.backend import use_backend
 from repro.batch import (
     PaddedValues,
     best_response_batch,
@@ -53,6 +61,13 @@ from repro.dynamics import (
 from repro.utils.numerics import binomial_pmf_matrix, binomial_pmf_tensor
 
 POLICIES = [ExclusivePolicy(), SharingPolicy(), TwoLevelPolicy(-0.2)]
+
+
+@pytest.fixture(autouse=True, params=backend_params())
+def array_backend(request):
+    """Re-run every dynamics property test under each available backend."""
+    with use_backend(request.param):
+        yield request.param
 
 
 @pytest.fixture
