@@ -9,13 +9,17 @@ reports the key qualitative facts, and writes the numeric series to CSV.
 
 Run with::
 
-    python examples/competition_sweep.py [output_dir]
+    python examples/competition_sweep.py [--points 51] [output_dir]
+
+``--points`` controls the resolution of the ``c`` grid (the paper-quality
+default is 51; the test suite runs a coarse grid for speed).
 """
 
 from __future__ import annotations
 
-import sys
+import argparse
 from pathlib import Path
+from typing import Sequence
 
 import numpy as np
 
@@ -23,9 +27,23 @@ from repro.analysis.figure1 import figure1_panels, write_figure1_csv
 from repro.analysis.reporting import figure1_report
 
 
-def main() -> None:
-    c_grid = np.linspace(-0.5, 0.5, 51)
-    panels = figure1_panels(c_grid=c_grid, welfare_grid_points=1001)
+def main(argv: Sequence[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description="Reproduce Figure 1.")
+    parser.add_argument(
+        "output_dir", nargs="?", type=Path, default=Path("results"),
+        help="Directory the CSV series are written to.",
+    )
+    parser.add_argument(
+        "--points", type=int, default=51, help="Grid points on c in [-0.5, 0.5]."
+    )
+    parser.add_argument(
+        "--welfare-grid-points", type=int, default=1001,
+        help="Resolution of the welfare-optimum search.",
+    )
+    args = parser.parse_args(argv)
+
+    c_grid = np.linspace(-0.5, 0.5, args.points)
+    panels = figure1_panels(c_grid=c_grid, welfare_grid_points=args.welfare_grid_points)
 
     print(figure1_report(panels))
 
@@ -37,8 +55,9 @@ def main() -> None:
             f"(optimum coverage {panel.optimal_coverage:.4f})"
         )
 
-    output_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("results")
-    paths = write_figure1_csv(output_dir, c_grid=c_grid, welfare_grid_points=1001)
+    paths = write_figure1_csv(
+        args.output_dir, c_grid=c_grid, welfare_grid_points=args.welfare_grid_points
+    )
     print("\nNumeric series written to:")
     for path in paths:
         print(f"  {path}")

@@ -8,10 +8,12 @@ looks wasteful (collisions destroy value), yet the paper predicts it can make
 the species superior, because it drives individuals to cover the patches more
 thoroughly, leaving less for the competitor.
 
-This example quantifies that prediction with the
-:mod:`repro.extensions.group_competition` model: for each pair of within-group
-rules (sharing / exclusive / costly aggression) it reports how the environment
-is split when one species feeds first and the other feeds on the leftovers.
+This example quantifies that prediction with the *batched* scenario kernel
+:func:`repro.batch.scenarios.two_group_competition_batch`: every ordered pair
+of within-group rules (sharing / exclusive / costly aggression) becomes one
+row of a ``(B,)`` policy-pair roster, and a single call reports how the
+environment is split when one species feeds first and the other feeds on the
+leftovers.
 
 Run with::
 
@@ -23,7 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro import AggressivePolicy, ExclusivePolicy, SharingPolicy, SiteValues, optimal_coverage
-from repro.extensions import two_group_competition
+from repro.batch import two_group_competition_batch
 from repro.utils.tables import format_table
 
 
@@ -42,24 +44,31 @@ def main() -> None:
           f"{group_size} foragers per species")
     print(f"Best symmetric single-species coverage: {optimal_coverage(values, group_size):.3f}\n")
 
-    rows = []
-    for first_name, first_rule in rules.items():
-        for second_name, second_rule in rules.items():
-            if first_name == second_name:
-                continue
-            outcome = two_group_competition(
-                values, first_rule, second_rule, k_first=group_size
-            )
-            rows.append(
-                [
-                    first_name,
-                    second_name,
-                    float(outcome.first_consumption),
-                    float(outcome.second_consumption),
-                    float(outcome.first_share),
-                    float(outcome.first_individual_payoff),
-                ]
-            )
+    # The whole matchup roster — every ordered pair of distinct rules, sharing
+    # one instance — is a (B,) batch solved in grouped batched-IFD passes.
+    matchups = [
+        (first_name, second_name)
+        for first_name in rules
+        for second_name in rules
+        if first_name != second_name
+    ]
+    outcome = two_group_competition_batch(
+        [values] * len(matchups),
+        [rules[first] for first, _ in matchups],
+        [rules[second] for _, second in matchups],
+        k_first=group_size,
+    )
+    rows = [
+        [
+            first_name,
+            second_name,
+            float(outcome.first_consumption[index]),
+            float(outcome.second_consumption[index]),
+            float(outcome.first_shares[index]),
+            float(outcome.first_individual_payoffs[index]),
+        ]
+        for index, (first_name, second_name) in enumerate(matchups)
+    ]
 
     print(
         format_table(

@@ -9,12 +9,13 @@ each of the ``l`` players that landed on site ``x``.  The package provides
   coverage, payoffs, the closed-form :func:`repro.core.sigma_star.sigma_star`,
   the general IFD solver, ESS machinery and the symmetric price of anarchy;
 * batched instance solvers (:mod:`repro.batch`): whole ``(instances x
-  k-grid)`` grids — ``sigma_star``, coverage optima, IFDs and SPoA — in a
-  handful of tensor passes over padded ragged batches, expressed as pure
-  Array-API kernels against the pluggable backend layer of
-  :mod:`repro.backend` (``numpy`` default; ``array_api_strict`` / ``torch``
-  / ``cupy`` auto-detected, selected via ``use_backend`` / ``REPRO_BACKEND``
-  / the CLI's ``--backend``);
+  k-grid)`` grids — ``sigma_star``, coverage optima, IFDs, SPoA, the
+  Section-5 scenario extensions and the Theorems 4-6 mechanism sweeps
+  (:mod:`repro.batch.scenarios`) — in a handful of tensor passes over
+  padded ragged batches, expressed as pure Array-API kernels against the
+  pluggable backend layer of :mod:`repro.backend` (``numpy`` default;
+  ``array_api_strict`` / ``torch`` / ``cupy`` auto-detected, selected via
+  ``use_backend`` / ``REPRO_BACKEND`` / the CLI's ``--backend``);
 * evolutionary and learning dynamics converging to the IFD
   (:mod:`repro.dynamics`);
 * a vectorised Monte-Carlo simulator of the one-shot game
@@ -22,11 +23,15 @@ each of the ``l`` players that landed on site ``x``.  The package provides
   of :mod:`repro.utils.sampling`;
 * mechanism-design baselines (:mod:`repro.mechanism`) and the Bayesian
   parallel-search connection (:mod:`repro.search`);
-* the experiment harness that regenerates the paper's Figure 1 and the
-  numerical checks of Theorems 3, 4, 6 and Corollary 5 (:mod:`repro.analysis`),
-  built as thin clients of the declarative registry/runner subsystem of
-  :mod:`repro.experiments` (process-pool fan-out, deterministic per-task
-  seeding, JSON/CSV result artifacts).
+* the experiment harness that regenerates the paper's Figure 1, the
+  numerical checks of Theorems 3, 4, 6 and Corollary 5, and the scenario
+  sweeps (:mod:`repro.analysis`), built as thin clients of the declarative
+  registry/runner subsystem of :mod:`repro.experiments` (process-pool
+  fan-out, deterministic per-task seeding, JSON/CSV result artifacts).
+
+The documentation site under ``docs/`` (mkdocs-material, built with
+``mkdocs build --strict`` in CI) covers the architecture, the backend
+conventions, every registered experiment and the full API reference.
 
 Quickstart
 ----------

@@ -13,11 +13,14 @@ heavy lifting happens in the batched solvers of :mod:`repro.batch`):
 * :mod:`repro.analysis.ess_experiments` — Theorem 3 audits; registered as
   ``ess``;
 * :mod:`repro.analysis.sweeps` — generic parameter sweeps over ``(M, k, C)``;
-  registered as ``sweep``;
+  registered as ``sweep`` and ``dynamics``;
+* :mod:`repro.analysis.scenario_experiments` — the Section-5 scenario sweeps
+  on the batched kernels of :mod:`repro.batch.scenarios`; registered as
+  ``travel-costs``, ``group-competition`` and ``repeated``;
 * :mod:`repro.analysis.reporting` / :mod:`repro.analysis.ascii_plot` — text
   tables and ASCII plots (the offline environment has no plotting backend).
 
-Importing this package registers the five experiments, so
+Importing this package registers every built-in experiment, so
 ``repro.experiments.run_registered("spoa", quick=True)`` works immediately.
 """
 
@@ -49,6 +52,14 @@ from repro.analysis.sweeps import (
     coverage_ratio_sweep,
     support_size_sweep,
 )
+from repro.analysis.scenario_experiments import (
+    GroupCompetitionRow,
+    RepeatedDispersalRow,
+    TravelCostRow,
+    build_group_competition_spec,
+    build_repeated_spec,
+    build_travel_costs_spec,
+)
 from repro.analysis.reporting import render_report
 from repro.analysis.ascii_plot import ascii_line_plot
 
@@ -74,6 +85,12 @@ __all__ = [
     "assemble_sweep",
     "coverage_ratio_sweep",
     "support_size_sweep",
+    "TravelCostRow",
+    "build_travel_costs_spec",
+    "GroupCompetitionRow",
+    "build_group_competition_spec",
+    "RepeatedDispersalRow",
+    "build_repeated_spec",
     "render_report",
     "ascii_line_plot",
 ]

@@ -27,7 +27,13 @@ This subpackage solves entire grids in a handful of NumPy passes:
   and strided trajectory recording;
 * :mod:`repro.batch.extensions` — batched kernels for the model extensions
   (capacity-constrained coverage and its exact gradient over ``(B, M)``
-  profile batches).
+  profile batches);
+* :mod:`repro.batch.scenarios` — batched kernels for the Section-5 scenario
+  extensions and the Theorems 4-6 mechanism sweeps: cost-adjusted IFDs with
+  per-row cost vectors, two-group competition over ``(B,)`` policy-pair
+  rosters, repeated dispersal with depletion, and congestion-policy roster
+  sweeps (``compare_policies_batch`` / ``best_two_level_batch``) over whole
+  instance grids.
 
 Every kernel body is pure Array-API code against the backend resolved by
 :mod:`repro.backend` (``numpy`` by default; ``array_api_strict`` / ``torch``
@@ -74,6 +80,19 @@ from repro.batch.extensions import (
     capacity_coverage_gradient_batch,
     capacity_payoff_batch,
 )
+from repro.batch.scenarios import (
+    BestTwoLevelBatch,
+    CostAdjustedIFDBatch,
+    PolicyComparisonBatch,
+    RepeatedDispersalBatch,
+    TwoGroupCompetitionBatch,
+    best_two_level_batch,
+    compare_policies_batch,
+    cost_adjusted_ifd_batch,
+    cost_adjusted_site_values_batch,
+    repeated_dispersal_batch,
+    two_group_competition_batch,
+)
 
 __all__ = [
     "PaddedValues",
@@ -102,4 +121,15 @@ __all__ = [
     "capacity_coverage_batch",
     "capacity_coverage_gradient_batch",
     "capacity_payoff_batch",
+    "CostAdjustedIFDBatch",
+    "cost_adjusted_site_values_batch",
+    "cost_adjusted_ifd_batch",
+    "TwoGroupCompetitionBatch",
+    "two_group_competition_batch",
+    "RepeatedDispersalBatch",
+    "repeated_dispersal_batch",
+    "PolicyComparisonBatch",
+    "compare_policies_batch",
+    "BestTwoLevelBatch",
+    "best_two_level_batch",
 ]

@@ -1,0 +1,968 @@
+"""Batched kernels for the Section-5 scenario extensions and mechanism sweeps.
+
+The scalar scenario code of :mod:`repro.extensions` (travel costs, two-group
+competition, repeated dispersal) and :mod:`repro.mechanism.policy_design`
+(Theorems 4-6 policy sweeps) evaluates one instance per call; experiment
+grids re-enter it per cell and are dominated by Python-loop overhead.  This
+module evaluates the same models for whole instance batches at once:
+
+* :func:`cost_adjusted_ifd_batch` — the nested-bisection equilibrium of the
+  travel-cost game for ``B`` instances with per-row cost vectors and per-row
+  player counts (the batch counterpart of
+  :func:`repro.extensions.travel_costs.cost_adjusted_ifd`);
+* :func:`two_group_competition_batch` — both waves of the sequential
+  two-group competition vectorised over a ``(B,)`` roster of policy pairs,
+  reusing :func:`~repro.batch.ifd.ifd_batch` for the equilibria of each wave;
+* :func:`repeated_dispersal_batch` — a ``T``-step depletion loop over
+  ``(B, M)`` expected-value tensors under the constant and adaptive
+  ``sigma_star`` schedules, with the per-round visit probabilities taken from
+  :func:`~repro.utils.numerics.binomial_pmf_tensor`;
+* :func:`compare_policies_batch` / :func:`best_two_level_batch` — the
+  mechanism-design sweep of a congestion-policy roster (in particular the
+  one-parameter family ``C_c`` of Figure 1) over whole ``(instances x
+  k-grid)`` grids.
+
+Conventions match the rest of :mod:`repro.batch`: instance batches ride on a
+host-canonical :class:`~repro.batch.padding.PaddedValues` (rows sorted
+non-increasing, padding masked out of every result), kernel bodies are pure
+Array-API code on the backend resolved through :mod:`repro.backend`, and
+public results come back as host NumPy arrays.  Because padded rows are
+sorted, **per-site inputs (costs) align with the sorted site order** — cost
+``costs[b, j]`` belongs to the ``j``-th most valuable site of row ``b``.
+
+Every kernel agrees elementwise with its scalar counterpart (property-tested
+in ``tests/test_batch_scenarios.py``, including under ``array_api_strict``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.backend import (
+    Backend,
+    ensure_numpy,
+    from_numpy,
+    resolve_backend,
+    to_numpy,
+)
+from repro.batch.ifd import ifd_batch
+from repro.batch.padding import PaddedValues
+from repro.batch.payoffs import as_k_vector, congestion_table_batch
+from repro.batch.solvers import as_k_grid, as_padded, coverage_batch, sigma_star_batch
+from repro.core.policies import CongestionPolicy, TwoLevelPolicy
+from repro.mechanism.policy_design import PolicyComparison
+from repro.utils.numerics import binomial_pmf_tensor
+from repro.utils.validation import check_positive_integer
+
+__all__ = [
+    "CostAdjustedIFDBatch",
+    "as_costs_batch",
+    "cost_adjusted_site_values_batch",
+    "cost_adjusted_ifd_batch",
+    "TwoGroupCompetitionBatch",
+    "two_group_competition_batch",
+    "RepeatedDispersalBatch",
+    "repeated_dispersal_batch",
+    "PolicyComparisonBatch",
+    "compare_policies_batch",
+    "BestTwoLevelBatch",
+    "best_two_level_batch",
+]
+
+
+# --------------------------------------------------------------------------
+# shared staging helpers
+# --------------------------------------------------------------------------
+
+
+def _sorted_padded(
+    values_matrix: np.ndarray, padded: PaddedValues
+) -> tuple[PaddedValues, np.ndarray]:
+    """Re-sort each row of a (strictly positive) value matrix non-increasing.
+
+    Returns the re-padded batch (padding columns overwritten with each row's
+    last real value, so :class:`PaddedValues` validation holds) plus the
+    ``(B, M)`` sort permutation; :func:`_unsort_rows` inverts it.  Padding
+    positions sort last (their key is ``-inf``).
+    """
+    mask = padded.mask
+    sort_key = np.where(mask, values_matrix, -np.inf)
+    order = np.argsort(-sort_key, axis=1, kind="stable")
+    sorted_vals = np.take_along_axis(values_matrix, order, axis=1)
+    last_real = sorted_vals[np.arange(padded.batch_size), padded.sizes - 1]
+    sorted_vals = np.where(mask, sorted_vals, last_real[:, None])
+    return PaddedValues(sorted_vals, padded.sizes), order
+
+
+def _unsort_rows(sorted_matrix: np.ndarray, order: np.ndarray) -> np.ndarray:
+    """Scatter per-row results back to the pre-:func:`_sorted_padded` order."""
+    out = np.zeros_like(sorted_matrix)
+    np.put_along_axis(out, order, sorted_matrix, axis=1)
+    return out
+
+
+def _solve_columns(ks: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Distinct player counts to solve as one grid, plus each row's column."""
+    unique_ks = np.unique(ks)
+    return unique_ks, np.searchsorted(unique_ks, ks)
+
+
+# --------------------------------------------------------------------------
+# travel costs
+# --------------------------------------------------------------------------
+
+
+def as_costs_batch(
+    costs: np.ndarray | Sequence | float, padded: PaddedValues
+) -> np.ndarray:
+    """Validate visiting costs into a host ``(B, M_max)`` float matrix.
+
+    Parameters
+    ----------
+    costs:
+        A scalar (every site of every row), an ``(M_max,)`` vector (shared by
+        every row) or a full ``(B, M_max)`` matrix.  Entries must be finite
+        and non-negative on real (non-padding) sites; padding columns are
+        forced to zero so they can never enter a support.
+    padded:
+        The instance batch the costs ride on.  Padded rows are sorted
+        non-increasing, so per-site costs must follow the same order.
+
+    Returns
+    -------
+    numpy.ndarray
+        Host ``(B, M_max)`` cost matrix with zeroed padding columns.
+    """
+    arr = np.asarray(ensure_numpy(costs), dtype=float)
+    b, m = padded.batch_size, padded.width
+    if arr.ndim == 0:
+        arr = np.full((b, m), float(arr))
+    elif arr.ndim == 1:
+        if arr.shape != (m,):
+            raise ValueError(f"per-site costs must have length {m}, got {arr.shape[0]}")
+        arr = np.broadcast_to(arr, (b, m)).copy()
+    elif arr.shape != (b, m):
+        raise ValueError(
+            f"costs must be scalar, ({m},) or ({b}, {m}); got {arr.shape}"
+        )
+    else:
+        arr = arr.copy()
+    real = arr[padded.mask]
+    if np.any(real < 0) or not np.all(np.isfinite(real)):
+        raise ValueError("costs must be finite and non-negative")
+    arr[~padded.mask] = 0.0
+    return arr
+
+
+@dataclass(frozen=True)
+class CostAdjustedIFDBatch:
+    """The cost-adjusted equilibrium of every instance of a batch.
+
+    Attributes
+    ----------
+    probabilities:
+        ``(B, M_max)`` equilibrium strategies; padding columns are zero.
+    values:
+        ``(B,)`` common net payoffs on the support (may be negative when
+        every site is expensive).
+    support_sizes:
+        ``(B,)`` number of sites visited with positive probability.
+    converged:
+        ``(B,)`` convergence flags of the outer bisection (always ``True``
+        on closed-form rows).
+    k:
+        ``(B,)`` per-row player counts.
+    costs:
+        The validated host ``(B, M_max)`` cost matrix the solve used.
+    padded:
+        The instance batch of the ``B`` axis.
+
+    All array attributes are host NumPy arrays whatever backend solved them.
+    """
+
+    probabilities: np.ndarray
+    values: np.ndarray
+    support_sizes: np.ndarray
+    converged: np.ndarray
+    k: np.ndarray
+    costs: np.ndarray
+    padded: PaddedValues
+
+
+def _per_row_congestion(q, tables, ks: np.ndarray, be: Backend):
+    """``g_b(q) = E[C(1 + Binomial(k_b - 1, q))]`` for a ``(B, M)`` matrix ``q``.
+
+    ``tables`` is the backend-resident ``(B, k_max)`` matrix of per-row
+    congestion tables ``[C(1), ..., C(k_b)]`` zero-padded on the right, so the
+    zero-padded PMF tensor contracts against it for any mix of per-row ``k``.
+    """
+    xp = be.xp
+    pmf = binomial_pmf_tensor(ks - 1, xp.clip(q, 0.0, 1.0), backend=be)
+    return xp.sum(pmf * tables[:, None, :], axis=2)
+
+
+def cost_adjusted_site_values_batch(
+    values: PaddedValues | Sequence | np.ndarray,
+    costs: np.ndarray | Sequence | float,
+    strategies: np.ndarray,
+    k: Sequence[int] | np.ndarray | int,
+    policy: CongestionPolicy,
+    *,
+    backend: Backend | str | None = None,
+) -> np.ndarray:
+    """Batched net site values ``nu_p(x) = f(x) * g(p(x)) - d(x)``.
+
+    The batch counterpart of
+    :func:`repro.extensions.travel_costs.cost_adjusted_site_values`: one
+    ``(B, M_max)`` pass for the whole batch, with per-row player counts.
+    Padding columns come back exactly zero.
+
+    Returns
+    -------
+    numpy.ndarray
+        Host ``(B, M_max)`` matrix of net values.
+    """
+    be = resolve_backend(backend)
+    xp = be.xp
+    padded = as_padded(values)
+    ks = as_k_vector(k, padded.batch_size)
+    d_host = as_costs_batch(costs, padded)
+    p = from_numpy(be, np.asarray(ensure_numpy(strategies), dtype=float), dtype=be.float_dtype)
+    if tuple(p.shape) != padded.values.shape:
+        raise ValueError(
+            f"strategies shape {tuple(p.shape)} must match the padded batch "
+            f"{padded.values.shape}"
+        )
+    tables = from_numpy(be, congestion_table_batch(policy, ks - 1), dtype=be.float_dtype)
+    d = from_numpy(be, d_host, dtype=be.float_dtype)
+    nu = padded.values_for(be) * _per_row_congestion(p, tables, ks, be) - d
+    return to_numpy(nu * padded.fmask_for(be))
+
+
+def cost_adjusted_ifd_batch(
+    values: PaddedValues | Sequence | np.ndarray,
+    costs: np.ndarray | Sequence | float,
+    k: Sequence[int] | np.ndarray | int,
+    policy: CongestionPolicy,
+    *,
+    tol: float = 1e-12,
+    max_outer_iter: int = 200,
+    max_inner_iter: int = 80,
+    backend: Backend | str | None = None,
+) -> CostAdjustedIFDBatch:
+    """Cost-adjusted symmetric equilibrium for a whole instance batch.
+
+    Runs the same nested bisection as the scalar
+    :func:`repro.extensions.travel_costs.cost_adjusted_ifd` — an outer
+    bisection on the per-row equilibrium value ``v`` and an inner, fully
+    vectorised bisection solving ``f(x) * g(q_x) - d(x) = v`` over all sites
+    of all instances at once.  Because the net payoff ``f - d`` is not
+    monotone in the site index, the support search is where-masked rather
+    than prefix-based.
+
+    Parameters
+    ----------
+    values:
+        Instance batch (ragged ``M`` allowed; see
+        :func:`~repro.batch.solvers.as_padded`).
+    costs:
+        Visiting costs: scalar, ``(M_max,)`` or per-row ``(B, M_max)``,
+        aligned with the **sorted** site order of the padded rows (see
+        :func:`as_costs_batch`).
+    k:
+        Player count — scalar or per-row ``(B,)`` vector; one batch can mix
+        instances of different ``k``.
+    policy:
+        Congestion policy shared by every row.
+    tol, max_outer_iter, max_inner_iter:
+        Bisection controls, defaults matching the scalar solver.
+    backend:
+        Array backend to compute on (``None`` = active backend).
+
+    Returns
+    -------
+    CostAdjustedIFDBatch
+        Elementwise equal (to solver tolerance, property-tested at ``1e-6``)
+        to looping the scalar ``cost_adjusted_ifd`` over the rows.  Rows with
+        ``k_b = 1`` (point mass on ``argmax(f - d)``) and rows whose
+        congestion table restricted to ``{1..k_b}`` is constant (mass spread
+        over the argmax set of ``f - d``) are resolved in closed form,
+        exactly like the scalar solver.
+    """
+    be = resolve_backend(backend)
+    xp = be.xp
+    fdt = be.float_dtype
+    padded = as_padded(values)
+    b, m = padded.batch_size, padded.width
+    ks = as_k_vector(k, padded.batch_size)
+    k_max = int(ks.max())
+    policy.validate(k_max)
+    d_host = as_costs_batch(costs, padded)
+
+    # Host staging: per-row tables [C(1)..C(k_b)] (zero-padded), g(1) = C(k_b),
+    # and the closed-form row classes.
+    tables_host = congestion_table_batch(policy, ks - 1)  # (B, k_max)
+    full_table = policy.table(k_max)
+    g_at_one_host = full_table[ks - 1]  # C(k_b) per row
+    solo_host = ks == 1
+    width_mask = np.arange(k_max)[None, :] < ks[:, None]
+    # Mirror the scalar's np.allclose(c_table, c_table[0], atol=1e-12), whose
+    # default rtol=1e-5 also forgives near-constant tables.
+    flat_tol = 1e-12 + 1e-05 * np.abs(tables_host[:, :1])
+    flat_host = (
+        np.all(
+            np.where(width_mask, np.abs(tables_host - tables_host[:, :1]) - flat_tol, 0.0) <= 0.0,
+            axis=1,
+        )
+        & ~solo_host
+    )
+    bisect_host = ~solo_host & ~flat_host
+
+    F = padded.values_for(be)
+    mask = padded.mask_for(be)
+    fmask = padded.fmask_for(be)
+    D = from_numpy(be, d_host, dtype=fdt)
+    tables = from_numpy(be, tables_host, dtype=fdt)
+    g1 = from_numpy(be, g_at_one_host, dtype=fdt)
+    zero = xp.asarray(0.0, dtype=fdt)
+    one = xp.asarray(1.0, dtype=fdt)
+    neg_inf = xp.asarray(-xp.inf, dtype=fdt)
+    pos_inf = xp.asarray(xp.inf, dtype=fdt)
+
+    net_solo = F - D
+    net_solo_masked = xp.where(mask, net_solo, neg_inf)
+    saturated_net = F * g1[:, None] - D  # payoff of a site visited by everyone
+
+    def site_probabilities(v):
+        """Solve ``f(x) * g(q_x) - d(x) = v_b`` for every site of every row."""
+        v_col = v[:, None]
+        active = mask & (net_solo > v_col)
+        saturated = active & (saturated_net >= v_col)
+        solve = active & ~saturated
+        q = xp.where(saturated, one, zero)
+        if bool(xp.any(solve)):
+            lo_q = xp.zeros_like(F)
+            hi_q = xp.ones_like(F)
+            for _ in range(max_inner_iter):
+                mid = 0.5 * (lo_q + hi_q)
+                residual = F * _per_row_congestion(mid, tables, ks, be) - D - v_col
+                go_right = residual > 0  # g is non-increasing in q
+                lo_q = xp.where(go_right, mid, lo_q)
+                hi_q = xp.where(go_right, hi_q, mid)
+                if bool(xp.all(hi_q - lo_q <= 1e-15)):
+                    break
+            q = xp.where(solve, 0.5 * (lo_q + hi_q), q)
+        return q
+
+    # Outer bisection on the per-row equilibrium value v (total probability
+    # mass is non-increasing in v).  Closed-form rows get a degenerate bracket
+    # so they never hold the convergence check hostage.
+    v_high = xp.max(net_solo_masked, axis=1)
+    floor_term = xp.min(xp.where(mask, saturated_net, pos_inf), axis=1)
+    lo = xp.minimum(xp.minimum(floor_term, zero), v_high - 1.0)
+    bisect = from_numpy(be, bisect_host)
+    hi = xp.asarray(v_high, copy=True)
+    lo = xp.where(bisect, lo, hi)
+    for _ in range(max_outer_iter):
+        mid = 0.5 * (lo + hi)
+        totals = xp.sum(site_probabilities(mid), axis=1)
+        grow = totals >= 1.0
+        lo = xp.where(grow, mid, lo)
+        hi = xp.where(grow, hi, mid)
+        if bool(xp.all(hi - lo <= tol * xp.maximum(one, xp.abs(hi)))):
+            break
+
+    probabilities = site_probabilities(0.5 * (lo + hi))
+
+    # Closed-form merges, mirroring the scalar branches exactly.
+    positions = xp.arange(m, dtype=be.int_dtype)
+    solo = from_numpy(be, solo_host)
+    flat = from_numpy(be, flat_host)
+    best_index = xp.argmax(net_solo_masked, axis=1)
+    onehot = xp.astype(positions[None, :] == best_index[:, None], fdt)
+    # The scalar uses np.isclose(net_solo, max, atol=1e-12) with its default
+    # relative tolerance; replicate the formula for elementwise agreement.
+    top = mask & (
+        xp.abs(net_solo - v_high[:, None])
+        <= 1e-12 + 1e-05 * xp.abs(v_high[:, None])
+    )
+    topf = xp.astype(top, fdt)
+    # The row maximum is always attained, so every row's top set is non-empty.
+    flat_probs = topf / xp.sum(topf, axis=1, keepdims=True)
+    probabilities = xp.where(solo[:, None], onehot, probabilities)
+    probabilities = xp.where(flat[:, None], flat_probs, probabilities)
+
+    totals = xp.sum(probabilities, axis=1)
+    if bool(xp.any(totals <= 0)):
+        raise RuntimeError(
+            "batched cost-adjusted IFD solver failed to allocate probability mass"
+        )
+    closed = solo | flat
+    converged = np.isclose(to_numpy(totals), 1.0, atol=1e-6) | to_numpy(closed)
+    probabilities = probabilities / totals[:, None]
+
+    # Realised equilibrium values: closed-form rows report max(f - d); the
+    # generic rows average the net value over their support.
+    nu = (F * _per_row_congestion(probabilities, tables, ks, be) - D) * fmask
+    support = probabilities > 1e-12
+    supportf = xp.astype(support, fdt)
+    counts = xp.sum(supportf, axis=1)
+    mean_nu = xp.sum(xp.where(support, nu, zero), axis=1) / xp.maximum(counts, one)
+    fallback = xp.max(xp.where(mask, nu, neg_inf), axis=1)
+    realised = xp.where(counts > 0, mean_nu, fallback)
+    values_out = xp.where(closed, v_high, realised)
+    support_sizes = xp.where(
+        solo,
+        xp.ones_like(counts),
+        xp.where(flat, xp.sum(topf, axis=1), counts),
+    )
+
+    return CostAdjustedIFDBatch(
+        probabilities=to_numpy(probabilities),
+        values=to_numpy(values_out),
+        support_sizes=to_numpy(support_sizes).astype(np.int64),
+        converged=np.asarray(converged, dtype=bool),
+        k=ks,
+        costs=d_host,
+        padded=padded,
+    )
+
+
+# --------------------------------------------------------------------------
+# two-group competition
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TwoGroupCompetitionBatch:
+    """Outcomes of a batch of sequential two-group competitions.
+
+    Attributes
+    ----------
+    first_consumption, second_consumption:
+        ``(B,)`` expected total value consumed by each group.
+    first_strategies, second_strategies:
+        ``(B, M_max)`` equilibrium dispersal distributions (the second
+        group's equilibrium is computed on the expected leftovers and
+        reported in the original site order).
+    first_individual_payoffs, second_individual_payoffs:
+        ``(B,)`` expected equilibrium payoffs per group member.
+    leftover_values:
+        ``(B,)`` expected value remaining after both groups fed.
+    k_first, k_second:
+        ``(B,)`` group sizes.
+    padded:
+        The instance batch of the ``B`` axis.
+
+    All array attributes are host NumPy arrays.
+    """
+
+    first_consumption: np.ndarray
+    second_consumption: np.ndarray
+    first_strategies: np.ndarray
+    second_strategies: np.ndarray
+    first_individual_payoffs: np.ndarray
+    second_individual_payoffs: np.ndarray
+    leftover_values: np.ndarray
+    k_first: np.ndarray
+    k_second: np.ndarray
+    padded: PaddedValues
+
+    @property
+    def first_shares(self) -> np.ndarray:
+        """``(B,)`` fraction of the consumed value captured by the first group."""
+        total = self.first_consumption + self.second_consumption
+        return np.where(total > 0, self.first_consumption / np.where(total > 0, total, 1.0), np.nan)
+
+
+def _policy_roster(
+    policies: CongestionPolicy | Sequence[CongestionPolicy], batch_size: int, name: str
+) -> list[CongestionPolicy]:
+    """Broadcast a single policy (or validate a per-row roster) to ``B`` rows."""
+    if isinstance(policies, CongestionPolicy):
+        return [policies] * batch_size
+    roster = list(policies)
+    if len(roster) != batch_size:
+        raise ValueError(
+            f"{name} roster has {len(roster)} policies for a batch of {batch_size}"
+        )
+    for policy in roster:
+        if not isinstance(policy, CongestionPolicy):
+            raise TypeError(f"{name} roster entries must be CongestionPolicy instances")
+    return roster
+
+
+def _grouped_ifd(
+    padded: PaddedValues,
+    ks: np.ndarray,
+    roster: list[CongestionPolicy],
+    be: Backend,
+    **ifd_kwargs,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row IFD for a per-row policy roster, grouped into ``ifd_batch`` calls.
+
+    Rows sharing a policy object are solved together (the grids a roster
+    sweep builds repeat a handful of policy objects many times), each group
+    solving its distinct ``k`` values as one :func:`ifd_batch` grid.
+    """
+    groups: dict[int, list[int]] = {}
+    policies: dict[int, CongestionPolicy] = {}
+    for row, policy in enumerate(roster):
+        groups.setdefault(id(policy), []).append(row)
+        policies[id(policy)] = policy
+    probabilities = np.zeros(padded.values.shape)
+    equilibrium_values = np.zeros(padded.batch_size)
+    for key, rows in groups.items():
+        rows_arr = np.asarray(rows, dtype=np.int64)
+        sub = PaddedValues(padded.values[rows_arr], padded.sizes[rows_arr])
+        unique_ks, columns = _solve_columns(ks[rows_arr])
+        batch = ifd_batch(sub, unique_ks, policies[key], backend=be, **ifd_kwargs)
+        take = np.arange(rows_arr.size)
+        probabilities[rows_arr] = batch.probabilities[take, columns, :]
+        equilibrium_values[rows_arr] = batch.values[take, columns]
+    return probabilities, equilibrium_values
+
+
+def two_group_competition_batch(
+    values: PaddedValues | Sequence | np.ndarray,
+    first_policies: CongestionPolicy | Sequence[CongestionPolicy],
+    second_policies: CongestionPolicy | Sequence[CongestionPolicy],
+    k_first: Sequence[int] | np.ndarray | int,
+    k_second: Sequence[int] | np.ndarray | int | None = None,
+    *,
+    backend: Backend | str | None = None,
+    **ifd_kwargs,
+) -> TwoGroupCompetitionBatch:
+    """Sequential two-group competition for a whole batch of matchups.
+
+    The batch counterpart of
+    :func:`repro.extensions.group_competition.two_group_competition`: row
+    ``b`` plays ``first_policies[b]`` against ``second_policies[b]`` on
+    instance ``b`` with group sizes ``k_first[b]`` / ``k_second[b]``.  Both
+    waves are solved through :func:`~repro.batch.ifd.ifd_batch` (rows are
+    grouped by policy object, so a roster built from a handful of policies
+    costs a handful of batched solves, not ``B`` scalar ones), and the
+    expected-leftover bookkeeping between the waves is vectorised over the
+    batch.
+
+    Parameters
+    ----------
+    values:
+        Instance batch (ragged ``M`` allowed).
+    first_policies, second_policies:
+        One policy for every row, or a ``(B,)`` roster of policy objects.
+    k_first, k_second:
+        Group sizes — scalars or per-row ``(B,)`` vectors (``k_second``
+        defaults to ``k_first``).
+    backend:
+        Array backend forwarded to the wave solvers.
+    **ifd_kwargs:
+        Extra solver options forwarded to :func:`ifd_batch`.
+
+    Returns
+    -------
+    TwoGroupCompetitionBatch
+        Elementwise equal (to solver tolerance) to looping the scalar
+        ``two_group_competition`` over the rows.
+    """
+    be = resolve_backend(backend)
+    padded = as_padded(values)
+    b, m = padded.batch_size, padded.width
+    ks1 = as_k_vector(k_first, b)
+    ks2 = ks1 if k_second is None else as_k_vector(k_second, b)
+    first = _policy_roster(first_policies, b, "first_policies")
+    second = _policy_roster(second_policies, b, "second_policies")
+
+    f_host = padded.values
+    mask = padded.mask
+
+    # First wave on the full values.
+    p1, v1 = _grouped_ifd(padded, ks1, first, be, **ifd_kwargs)
+    visit1 = 1.0 - (1.0 - p1) ** ks1[:, None].astype(float)
+    first_consumption = np.sum(f_host * visit1 * mask, axis=1)
+
+    # Expected leftovers define the second wave's game; clamp to the scalar
+    # model's tiny floor (the solver needs positive values) and re-sort each
+    # row non-increasing so the padded batch honours the solver convention.
+    leftovers = np.maximum(f_host * (1.0 - visit1), 1e-12)
+    padded2, order = _sorted_padded(leftovers, padded)
+    p2_sorted, v2 = _grouped_ifd(padded2, ks2, second, be, **ifd_kwargs)
+    p2 = _unsort_rows(p2_sorted, order)
+
+    visit2 = 1.0 - (1.0 - p2) ** ks2[:, None].astype(float)
+    second_consumption = np.sum(leftovers * visit2 * mask, axis=1)
+    leftover_values = np.sum(leftovers * (1.0 - visit2) * mask, axis=1)
+
+    return TwoGroupCompetitionBatch(
+        first_consumption=first_consumption,
+        second_consumption=second_consumption,
+        first_strategies=p1,
+        second_strategies=p2,
+        first_individual_payoffs=v1,
+        second_individual_payoffs=v2,
+        leftover_values=leftover_values,
+        k_first=ks1,
+        k_second=ks2,
+        padded=padded,
+    )
+
+
+# --------------------------------------------------------------------------
+# repeated dispersal with depletion
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RepeatedDispersalBatch:
+    """Expected outcomes of a batch of repeated-dispersal horizons.
+
+    Attributes
+    ----------
+    per_round_consumption:
+        ``(B, T)`` expected group consumption per round.
+    cumulative_consumption:
+        ``(B,)`` expected total consumption across the horizon.
+    remaining_values:
+        ``(B,)`` expected value left in the environment after the last round.
+    final_strategies:
+        ``(B, M_max)`` strategy played in the last round.
+    rounds:
+        Horizon length ``T``.
+    k, depletion:
+        ``(B,)`` per-row player counts and depletion factors.
+    schedule:
+        The schedule mode the batch ran (``"constant"`` or ``"adaptive"``).
+    padded:
+        The instance batch.
+    """
+
+    per_round_consumption: np.ndarray
+    cumulative_consumption: np.ndarray
+    remaining_values: np.ndarray
+    final_strategies: np.ndarray
+    rounds: int
+    k: np.ndarray
+    depletion: np.ndarray
+    schedule: str
+    padded: PaddedValues
+
+
+def _as_depletion_vector(depletion, batch_size: int) -> np.ndarray:
+    """Validate a scalar or ``(B,)`` depletion argument into ``[0, 1)``."""
+    arr = np.atleast_1d(np.asarray(ensure_numpy(depletion), dtype=float))
+    if arr.size == 1:
+        arr = np.full(batch_size, float(arr[0]))
+    if arr.shape != (batch_size,):
+        raise ValueError(
+            f"depletion must be a scalar or a ({batch_size},) vector, got {arr.shape}"
+        )
+    if np.any(~np.isfinite(arr)) or np.any(arr < 0.0) or np.any(arr >= 1.0):
+        raise ValueError(
+            f"depletion must lie in [0, 1) — 0 means a visited patch is fully "
+            f"consumed; got {arr}"
+        )
+    return arr
+
+
+def _sigma_star_rows(remaining: np.ndarray, padded: PaddedValues, ks: np.ndarray, be: Backend, floor: float) -> np.ndarray:
+    """Per-row ``sigma_star`` on the current expected remaining values.
+
+    Mirrors :func:`repro.extensions.repeated.adaptive_sigma_star_schedule`
+    for every row at once: clamp to ``floor``, sort non-increasing, solve the
+    closed form, un-sort.  Mixed per-row ``k`` is handled by solving the
+    distinct player counts as one ``sigma_star_batch`` grid and gathering
+    each row's column.
+    """
+    clamped = np.maximum(remaining, floor)
+    sorted_padded, order = _sorted_padded(clamped, padded)
+    unique_ks, columns = _solve_columns(ks)
+    star = sigma_star_batch(sorted_padded, unique_ks, backend=be)
+    solved = star.probabilities[np.arange(padded.batch_size), columns, :]
+    return _unsort_rows(solved, order)
+
+
+def repeated_dispersal_batch(
+    values: PaddedValues | Sequence | np.ndarray,
+    k: Sequence[int] | np.ndarray | int,
+    *,
+    rounds: int = 5,
+    depletion: np.ndarray | Sequence | float = 0.0,
+    schedule: str = "adaptive",
+    strategies: np.ndarray | None = None,
+    floor: float = 1e-9,
+    backend: Backend | str | None = None,
+) -> RepeatedDispersalBatch:
+    """Expected ``T``-round depletion dynamics for a whole instance batch.
+
+    Evolves the deterministic *expected* remaining-value tensor that the
+    scalar simulator's schedules condition on (see
+    :func:`repro.extensions.repeated.expected_repeated_dispersal`): per round,
+    every patch is visited with probability ``1 - P[Binomial(k_b, p) = 0]``
+    (taken from the zeroth column of
+    :func:`~repro.utils.numerics.binomial_pmf_tensor`), consumed values are
+    accumulated and remaining values decay by the per-row ``depletion``
+    factor.  Because consumption is linear in the remaining values and round
+    choices are independent, this expected track is exact — it equals the
+    ``n_trials -> inf`` limit of the Monte-Carlo simulator.
+
+    Parameters
+    ----------
+    values, k:
+        Instance batch and per-row (or scalar) player counts.
+    rounds:
+        Horizon length ``T``.
+    depletion:
+        Fraction of a visited patch's value that survives a visit — scalar or
+        per-row ``(B,)`` vector in ``[0, 1)`` (``0`` = fully consumed).
+    schedule:
+        ``"adaptive"`` re-solves ``sigma_star`` on the expected remaining
+        values before every round (the greedy multi-round extension of the
+        paper's analysis); ``"constant"`` plays one fixed strategy every
+        round.
+    strategies:
+        The fixed ``(B, M_max)`` strategy matrix of the ``"constant"``
+        schedule; ``None`` solves ``sigma_star`` on the initial values once
+        and holds it fixed.
+    floor:
+        Clamp applied to depleted values before the adaptive re-solve,
+        matching the scalar schedule's default.
+    backend:
+        Array backend the per-round kernels run on.
+
+    Returns
+    -------
+    RepeatedDispersalBatch
+        Elementwise equal to looping the scalar expected-track recursion
+        (property-tested, including the ``depletion == 0`` full-consumption
+        case).
+    """
+    be = resolve_backend(backend)
+    xp = be.xp
+    fdt = be.float_dtype
+    padded = as_padded(values)
+    b = padded.batch_size
+    ks = as_k_vector(k, b)
+    rounds = check_positive_integer(rounds, "rounds")
+    depletion_vec = _as_depletion_vector(depletion, b)
+    if schedule not in ("adaptive", "constant"):
+        raise ValueError(f"schedule must be 'adaptive' or 'constant', got {schedule!r}")
+
+    fixed = None
+    if schedule == "constant":
+        if strategies is None:
+            fixed = _sigma_star_rows(padded.values, padded, ks, be, floor)
+        else:
+            fixed = np.asarray(ensure_numpy(strategies), dtype=float)
+            if fixed.shape != padded.values.shape:
+                raise ValueError(
+                    f"strategies shape {fixed.shape} must match the padded batch "
+                    f"{padded.values.shape}"
+                )
+    elif strategies is not None:
+        raise ValueError("strategies is only meaningful with schedule='constant'")
+
+    fmask = padded.fmask_for(be)
+    # ``depletion`` is the fraction that survives a visit, so a visited
+    # patch's value is consumed at rate (1 - depletion).
+    consumed_fraction = from_numpy(be, 1.0 - depletion_vec, dtype=fdt)
+    remaining = xp.asarray(padded.values_for(be), copy=True)
+    per_round = np.zeros((b, rounds))
+    last_probabilities = np.zeros(padded.values.shape)
+
+    for round_index in range(rounds):
+        if schedule == "adaptive":
+            probabilities = _sigma_star_rows(to_numpy(remaining), padded, ks, be, floor)
+        else:
+            probabilities = fixed
+        last_probabilities = probabilities
+        p_dev = from_numpy(be, probabilities, dtype=fdt)
+        pmf = binomial_pmf_tensor(ks, p_dev, backend=be)
+        visit = (1.0 - pmf[:, :, 0]) * fmask
+        consumed = xp.sum(remaining * visit, axis=1) * consumed_fraction
+        per_round[:, round_index] = to_numpy(consumed)
+        remaining = remaining * (1.0 - visit * consumed_fraction[:, None])
+
+    remaining_host = to_numpy(remaining)
+    return RepeatedDispersalBatch(
+        per_round_consumption=per_round,
+        cumulative_consumption=per_round.sum(axis=1),
+        remaining_values=np.sum(remaining_host * padded.mask, axis=1),
+        final_strategies=np.asarray(last_probabilities),
+        rounds=rounds,
+        k=ks,
+        depletion=depletion_vec,
+        schedule=schedule,
+        padded=padded,
+    )
+
+
+# --------------------------------------------------------------------------
+# mechanism-design sweeps (Theorems 4-6)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PolicyComparisonBatch:
+    """Equilibrium outcomes of a policy roster on every ``(instance, k)`` cell.
+
+    Attributes
+    ----------
+    policy_names:
+        Display names of the ``P`` policies, in roster order.
+    equilibrium_coverages:
+        ``(P, B, K)`` equilibrium (IFD) coverages.
+    optimal_coverages:
+        ``(B, K)`` coverage optima (policy-independent, computed once).
+    spoa:
+        ``(P, B, K)`` per-cell symmetric price of anarchy (``inf`` where the
+        equilibrium coverage is non-positive).
+    equilibrium_payoffs, support_sizes:
+        ``(P, B, K)`` equilibrium payoffs and support sizes.
+    k_grid, padded:
+        Axes of the grid.
+    """
+
+    policy_names: tuple[str, ...]
+    equilibrium_coverages: np.ndarray
+    optimal_coverages: np.ndarray
+    spoa: np.ndarray
+    equilibrium_payoffs: np.ndarray
+    support_sizes: np.ndarray
+    k_grid: np.ndarray
+    padded: PaddedValues
+
+    def comparison(self, policy_index: int, instance: int, k_index: int) -> PolicyComparison:
+        """Hydrate one grid cell into the scalar :class:`PolicyComparison`."""
+        return PolicyComparison(
+            policy_name=self.policy_names[policy_index],
+            equilibrium_coverage=float(self.equilibrium_coverages[policy_index, instance, k_index]),
+            optimal_coverage=float(self.optimal_coverages[instance, k_index]),
+            spoa=float(self.spoa[policy_index, instance, k_index]),
+            equilibrium_payoff=float(self.equilibrium_payoffs[policy_index, instance, k_index]),
+            support_size=int(self.support_sizes[policy_index, instance, k_index]),
+        )
+
+
+def compare_policies_batch(
+    values: PaddedValues | Sequence | np.ndarray,
+    k_grid: Sequence[int] | np.ndarray | int,
+    policies: Sequence[CongestionPolicy],
+    *,
+    backend: Backend | str | None = None,
+    **ifd_kwargs,
+) -> PolicyComparisonBatch:
+    """Evaluate a congestion-policy roster over a whole ``(instances x k)`` grid.
+
+    The batch counterpart of
+    :func:`repro.mechanism.policy_design.compare_policies`: one
+    :func:`~repro.batch.solvers.sigma_star_batch` call fixes the coverage
+    optimum of every cell (Theorem 4), then each policy's equilibria come
+    from one :func:`~repro.batch.ifd.ifd_batch` call (reusing the
+    closed-form solve on exclusive policies) and one coverage pass.
+
+    Returns
+    -------
+    PolicyComparisonBatch
+        Elementwise equal (to solver tolerance) to looping the scalar
+        ``compare_policies`` over instances and ``k`` values.
+    """
+    be = resolve_backend(backend)
+    padded = as_padded(values)
+    ks = as_k_grid(k_grid)
+    roster = list(policies)
+    if not roster:
+        raise ValueError("policies roster must not be empty")
+    star = sigma_star_batch(padded, ks, backend=be)
+    optimal = coverage_batch(padded, star.probabilities, ks, backend=be)
+
+    eq_coverages, payoffs, supports = [], [], []
+    for policy in roster:
+        equilibrium = ifd_batch(padded, ks, policy, closed_form=star, backend=be, **ifd_kwargs)
+        eq_coverages.append(coverage_batch(padded, equilibrium.probabilities, ks, backend=be))
+        payoffs.append(equilibrium.values)
+        supports.append(equilibrium.support_sizes)
+    eq = np.stack(eq_coverages, axis=0)
+    positive = eq > 0
+    spoa = np.where(positive, optimal[None, :, :] / np.where(positive, eq, 1.0), np.inf)
+    return PolicyComparisonBatch(
+        policy_names=tuple(policy.name for policy in roster),
+        equilibrium_coverages=eq,
+        optimal_coverages=optimal,
+        spoa=spoa,
+        equilibrium_payoffs=np.stack(payoffs, axis=0),
+        support_sizes=np.stack(supports, axis=0),
+        k_grid=ks,
+        padded=padded,
+    )
+
+
+@dataclass(frozen=True)
+class BestTwoLevelBatch:
+    """The ``C_c`` family sweep of Theorem 6 over a whole instance grid.
+
+    Attributes
+    ----------
+    c_grid:
+        The swept collision payoffs.
+    best_c:
+        ``(B, K)`` collision payoff maximising the equilibrium coverage of
+        each cell (first maximiser in grid order, like the scalar sweep).
+    best_coverages:
+        ``(B, K)`` the equilibrium coverage at ``best_c``.
+    comparisons:
+        The full :class:`PolicyComparisonBatch` of the sweep (one roster
+        entry per ``c``).
+    """
+
+    c_grid: np.ndarray
+    best_c: np.ndarray
+    best_coverages: np.ndarray
+    comparisons: PolicyComparisonBatch
+
+
+def best_two_level_batch(
+    values: PaddedValues | Sequence | np.ndarray,
+    k_grid: Sequence[int] | np.ndarray | int,
+    *,
+    c_grid: np.ndarray | Sequence[float] | None = None,
+    backend: Backend | str | None = None,
+    **ifd_kwargs,
+) -> BestTwoLevelBatch:
+    """Sweep the two-level family ``C_c`` over a whole ``(instances x k)`` grid.
+
+    The batch counterpart of
+    :func:`repro.mechanism.policy_design.best_two_level_policy`: every
+    ``(instance, k)`` cell reports the collision payoff with the best
+    equilibrium coverage.  Theorem 6 predicts the maximiser sits at ``c = 0``
+    (the exclusive policy) whenever the exclusive support differs from the
+    alternatives'.
+
+    Returns
+    -------
+    BestTwoLevelBatch
+        ``best_c`` agrees with the scalar sweep cell by cell (first-argmax
+        tie-breaking in grid order).
+    """
+    if c_grid is None:
+        c_grid = np.linspace(-0.5, 0.5, 41)
+    c_values = np.asarray(c_grid, dtype=float)
+    if c_values.ndim != 1 or c_values.size == 0:
+        raise ValueError("c_grid must be a non-empty 1-D sequence")
+    roster = [TwoLevelPolicy(float(c)) for c in c_values]
+    comparisons = compare_policies_batch(
+        values, k_grid, roster, backend=backend, **ifd_kwargs
+    )
+    best_index = np.argmax(comparisons.equilibrium_coverages, axis=0)  # (B, K)
+    best_c = c_values[best_index]
+    best_coverages = np.take_along_axis(
+        comparisons.equilibrium_coverages, best_index[None, :, :], axis=0
+    )[0]
+    return BestTwoLevelBatch(
+        c_grid=c_values,
+        best_c=best_c,
+        best_coverages=best_coverages,
+        comparisons=comparisons,
+    )

@@ -8,6 +8,9 @@ Usage (after ``pip install -e .``)::
     repro-dispersal ess [--mutants 25]
     repro-dispersal sweep [--m 20] [--policy sharing exclusive]
     repro-dispersal dynamics [--rule logit] [--grid full] [--batch 128]
+    repro-dispersal travel-costs [--policy sharing] [--cost-scales 0 0.1 0.3]
+    repro-dispersal group-competition [--policies exclusive sharing aggressive]
+    repro-dispersal repeated [--rounds 6] [--depletions 0 0.25 0.5]
     repro-dispersal experiments
 
 or equivalently ``python -m repro.cli ...``.  Every sub-command is a thin
@@ -39,6 +42,8 @@ import json
 from pathlib import Path
 from typing import Sequence
 
+import numpy as np
+
 from repro.analysis.ess_experiments import build_ess_spec
 from repro.analysis.figure1 import assemble_figure1_panels, build_figure1_spec, write_panels_csv
 from repro.analysis.observation1 import build_observation1_spec
@@ -49,29 +54,20 @@ from repro.analysis.spoa_experiments import (
     SPoARow,
     build_spoa_spec,
 )
+from repro.analysis.scenario_experiments import (
+    POLICY_FACTORIES as _POLICY_FACTORIES,
+    build_group_competition_spec,
+    build_repeated_spec,
+    build_travel_costs_spec,
+)
 from repro.analysis.sweeps import assemble_sweep, build_dynamics_spec, build_sweep_spec
 from repro.backend import BackendNotAvailableError, available_backends, load_backend
-from repro.core.policies import (
-    AggressivePolicy,
-    ConstantPolicy,
-    ExclusivePolicy,
-    PowerLawPolicy,
-    SharingPolicy,
-)
 from repro.experiments.registry import experiment_names, get_experiment
 from repro.experiments.result import ExperimentResult
 from repro.experiments.runner import run_experiment
 from repro.utils.tables import format_table
 
 __all__ = ["main", "build_parser"]
-
-_POLICY_FACTORIES = {
-    "exclusive": ExclusivePolicy,
-    "sharing": SharingPolicy,
-    "constant": ConstantPolicy,
-    "aggressive": lambda: AggressivePolicy(0.5),
-    "power-law": lambda: PowerLawPolicy(2.0),
-}
 
 #: Preset grid densities of the ``dynamics`` sub-command (``--grid``).
 _DYNAMICS_GRIDS = {
@@ -180,6 +176,74 @@ def build_parser() -> argparse.ArgumentParser:
         help="Trajectories per engine run (= rows per runner task).",
     )
     dynamics.add_argument("--max-iter", type=int, default=20_000, help="Iteration cap per row.")
+
+    travel = sub.add_parser(
+        "travel-costs",
+        parents=[common],
+        help="Cost-adjusted equilibria over a (family, M, k, cost-scale) grid.",
+    )
+    travel.add_argument(
+        "--policy",
+        choices=sorted(_POLICY_FACTORIES),
+        default="sharing",
+        help="Congestion policy shared by every cell.",
+    )
+    travel.add_argument(
+        "--cost-scales",
+        type=float,
+        nargs="+",
+        default=[0.0, 0.1, 0.3],
+        metavar="S",
+        help="Cost ceilings as fractions of the mean site value (0 = cost-free).",
+    )
+    travel.add_argument(
+        "--batch", type=int, default=64, help="Grid cells per batched solver call."
+    )
+
+    competition = sub.add_parser(
+        "group-competition",
+        parents=[common],
+        help="Sequential two-group contests over every ordered policy pair.",
+    )
+    competition.add_argument(
+        "--policies",
+        nargs="+",
+        choices=sorted(_POLICY_FACTORIES),
+        default=["exclusive", "sharing", "aggressive"],
+        help="Within-group rule roster (every ordered pair competes).",
+    )
+    competition.add_argument("--k", type=int, default=6, help="First group size.")
+    competition.add_argument(
+        "--k-second", type=int, default=None, help="Second group size (default: --k)."
+    )
+    competition.add_argument(
+        "--batch", type=int, default=64, help="Matchups per batched solver call."
+    )
+
+    repeated = sub.add_parser(
+        "repeated",
+        parents=[common],
+        help="Expected multi-round depletion horizons (constant vs adaptive).",
+    )
+    repeated.add_argument(
+        "--schedules",
+        nargs="+",
+        choices=["adaptive", "constant"],
+        default=["adaptive", "constant"],
+        help="Round-strategy schedules to evaluate.",
+    )
+    repeated.add_argument("--rounds", type=int, default=6, help="Horizon length T.")
+    repeated.add_argument(
+        "--depletions",
+        type=float,
+        nargs="+",
+        default=[0.0, 0.25, 0.5],
+        metavar="D",
+        help="Surviving value fractions in [0, 1) (0 = fully consumed).",
+    )
+    repeated.add_argument(
+        "--batch", type=int, default=64, help="Horizons per batched kernel call."
+    )
 
     sub.add_parser(
         "experiments", parents=[common], help="List the registered experiments."
@@ -330,6 +394,89 @@ def _run_dynamics(args: argparse.Namespace) -> str:
     )
 
 
+def _run_travel_costs(args: argparse.Namespace) -> str:
+    spec = build_travel_costs_spec(
+        policy=args.policy,
+        cost_scales=args.cost_scales,
+        batch_rows=args.batch,
+        seed=args.seed,
+    )
+    result = _execute(spec, args)
+    if args.json:
+        return result.to_json(timing=False)
+    rows = list(result.rows)
+    free = [row for row in rows if row.cost_scale == 0.0]
+    costly = [row for row in rows if row.cost_scale > 0.0]
+    free_line = (
+        f"cost-free rows reduce to the core model "
+        f"(mean coverage ratio {np.mean([r.coverage_ratio for r in free]):.4f})"
+        if free
+        else "(no cost-free rows in the grid)"
+    )
+    costly_line = (
+        f"costly rows: mean coverage ratio "
+        f"{np.mean([r.coverage_ratio for r in costly]):.4f}, "
+        f"worst {min(r.coverage_ratio for r in costly):.4f}"
+        if costly
+        else "(no costly rows in the grid)"
+    )
+    return render_report(
+        f"Travel costs under the {args.policy} policy",
+        [(f"{free_line}; {costly_line}", rows_to_table(rows))],
+    )
+
+
+def _run_group_competition(args: argparse.Namespace) -> str:
+    spec = build_group_competition_spec(
+        policies=args.policies,
+        k=args.k,
+        k_second=args.k_second,
+        batch_rows=args.batch,
+        seed=args.seed,
+    )
+    result = _execute(spec, args)
+    if args.json:
+        return result.to_json(timing=False)
+    rows = list(result.rows)
+    by_first: dict[str, list[float]] = {}
+    for row in rows:
+        by_first.setdefault(row.first_policy, []).append(row.first_share)
+    ranking = sorted(by_first.items(), key=lambda item: -float(np.mean(item[1])))
+    headline = ", ".join(
+        f"{name} eats {float(np.mean(shares)):.3f} of the pie when first"
+        for name, shares in ranking
+    )
+    return render_report(
+        "Two-group competition (first feeds, second takes the leftovers)",
+        [(headline, rows_to_table(rows))],
+    )
+
+
+def _run_repeated(args: argparse.Namespace) -> str:
+    spec = build_repeated_spec(
+        schedules=args.schedules,
+        rounds=args.rounds,
+        depletions=args.depletions,
+        batch_rows=args.batch,
+        seed=args.seed,
+    )
+    result = _execute(spec, args)
+    if args.json:
+        return result.to_json(timing=False)
+    rows = list(result.rows)
+    by_schedule: dict[str, list[float]] = {}
+    for row in rows:
+        by_schedule.setdefault(row.schedule, []).append(row.cumulative_consumption)
+    headline = "; ".join(
+        f"{name}: mean cumulative consumption {float(np.mean(total)):.3f}"
+        for name, total in sorted(by_schedule.items())
+    )
+    return render_report(
+        f"Repeated dispersal with depletion over {args.rounds} rounds",
+        [(headline, rows_to_table(rows))],
+    )
+
+
 def _run_experiments(args: argparse.Namespace) -> str:
     definitions = [get_experiment(name) for name in experiment_names()]
     if args.json:
@@ -354,6 +501,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         "ess": _run_ess,
         "sweep": _run_sweep,
         "dynamics": _run_dynamics,
+        "travel-costs": _run_travel_costs,
+        "group-competition": _run_group_competition,
+        "repeated": _run_repeated,
         "experiments": _run_experiments,
     }
     print(runners[args.command](args))

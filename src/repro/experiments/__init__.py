@@ -15,10 +15,11 @@ The subsystem splits an experiment into three orthogonal pieces:
   JSON and CSV via :mod:`repro.utils.io`.
 
 Experiments register themselves by name in the
-:mod:`~repro.experiments.registry` (the five paper experiments of
-:mod:`repro.analysis` are registered on import); the CLI resolves its
-sub-commands through the registry, so ``repro-dispersal <name> --seed S``
-reruns any experiment bit-identically.
+:mod:`~repro.experiments.registry` (the built-in experiments of
+:mod:`repro.analysis` — paper reproductions and scenario sweeps — are
+registered on import); the CLI resolves its sub-commands through the
+registry, so ``repro-dispersal <name> --seed S`` reruns any experiment
+bit-identically.
 """
 
 from repro.experiments.spec import ExperimentSpec

@@ -9,10 +9,10 @@ to an :class:`~repro.experiments.spec.ExperimentSpec` — under a stable name::
 
 Clients (the CLI, tests, notebooks) then resolve experiments by name with
 :func:`build_experiment` / :func:`run_registered` without importing the
-experiment module directly.  The five paper experiments live in
-:mod:`repro.analysis` and are registered when that package is imported;
-:func:`get_experiment` imports it lazily so registry lookups work from a cold
-start.
+experiment module directly.  The built-in experiments (the paper
+reproductions plus the scenario sweeps) live in :mod:`repro.analysis` and
+are registered when that package is imported; :func:`get_experiment` imports
+it lazily so registry lookups work from a cold start.
 """
 
 from __future__ import annotations
@@ -50,6 +50,7 @@ _BUILTIN_MODULES = (
     "repro.analysis.spoa_experiments",
     "repro.analysis.ess_experiments",
     "repro.analysis.sweeps",
+    "repro.analysis.scenario_experiments",
 )
 
 

@@ -18,10 +18,16 @@ that they can be explored with the same tooling as the core model:
 Each module documents how its model reduces to the paper's when the new
 parameter is switched off, and the test-suite verifies those reductions.
 
-The capacity functional also has a batched, backend-agnostic entry point:
+Every scenario here also has a batched, backend-agnostic entry point:
 :func:`repro.batch.extensions.capacity_coverage_batch` (and its exact
-gradient) evaluates whole ``(B, M)`` profile batches through the Array-API
-backend layer of :mod:`repro.backend`.
+gradient) evaluates whole ``(B, M)`` profile batches, and
+:mod:`repro.batch.scenarios` provides ``cost_adjusted_ifd_batch``,
+``two_group_competition_batch`` and ``repeated_dispersal_batch`` — whole
+instance batches per call through the Array-API backend layer of
+:mod:`repro.backend`, elementwise equal to the scalar models in this
+subpackage.  The registered ``travel-costs`` / ``group-competition`` /
+``repeated`` experiments (and the matching ``repro-dispersal`` CLI
+sub-commands) run on those batched paths.
 """
 
 from repro.extensions.travel_costs import (
@@ -35,8 +41,11 @@ from repro.extensions.capacity import (
     maximize_capacity_coverage,
 )
 from repro.extensions.repeated import (
+    ExpectedDispersalResult,
     RepeatedDispersalResult,
     adaptive_sigma_star_schedule,
+    constant_schedule,
+    expected_repeated_dispersal,
     simulate_repeated_dispersal,
 )
 from repro.extensions.group_competition import (
@@ -51,9 +60,12 @@ __all__ = [
     "capacity_coverage",
     "capacity_coverage_gradient",
     "maximize_capacity_coverage",
+    "ExpectedDispersalResult",
     "RepeatedDispersalResult",
     "simulate_repeated_dispersal",
+    "expected_repeated_dispersal",
     "adaptive_sigma_star_schedule",
+    "constant_schedule",
     "GroupCompetitionResult",
     "two_group_competition",
 ]

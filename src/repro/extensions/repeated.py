@@ -11,13 +11,17 @@ analysis, and the dispersal analogue of running Korman-Rodeh's ``A*`` for
 several rounds).
 
 The simulator tracks the realised cumulative group consumption so that
-different congestion policies / schedules can be compared over a horizon.
+different congestion policies / schedules can be compared over a horizon;
+:func:`expected_repeated_dispersal` evaluates the exact expectation of the
+same process (the ``n_trials -> inf`` limit) deterministically, and
+:func:`repro.batch.scenarios.repeated_dispersal_batch` evolves that expected
+track for whole instance batches at once.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable
 
 import numpy as np
 
@@ -25,17 +29,39 @@ from repro.core.sigma_star import sigma_star
 from repro.core.strategy import Strategy
 from repro.core.values import SiteValues
 from repro.simulation.rng import as_generator
-from repro.utils.validation import check_in_range, check_positive_integer
+from repro.utils.validation import check_positive_integer
 
 __all__ = [
+    "ExpectedDispersalResult",
     "RepeatedDispersalResult",
     "adaptive_sigma_star_schedule",
     "constant_schedule",
+    "expected_repeated_dispersal",
     "simulate_repeated_dispersal",
 ]
 
-#: A schedule maps (round index, current expected values) -> strategy for that round.
+#: The round-strategy contract: a ``Schedule`` is any callable mapping
+#: ``(round_index, current_expected_values) -> Strategy``.  It is invoked once
+#: per round with the 0-based round index and the *expected* remaining value
+#: vector (deterministic, shared by every trial — players cannot condition on
+#: the realised outcomes of others in the no-communication setting).  The
+#: returned :class:`~repro.core.strategy.Strategy` must cover exactly the
+#: instance's ``M`` sites; the simulator raises ``ValueError`` otherwise.
+#: Schedules may keep internal state, but the expected-value argument already
+#: carries everything the greedy adaptive schedules need.
 Schedule = Callable[[int, np.ndarray], Strategy]
+
+
+def _check_depletion(depletion: float) -> float:
+    """Validate the depletion factor with an explicit-contract error message."""
+    value = float(depletion)
+    if not np.isfinite(value) or value < 0.0 or value >= 1.0:
+        raise ValueError(
+            f"depletion must lie in [0, 1) — it is the fraction of a visited "
+            f"patch's value that survives the visit (0 = fully consumed, "
+            f"values approaching 1 = nearly indestructible); got {depletion!r}"
+        )
+    return value
 
 
 @dataclass(frozen=True)
@@ -124,7 +150,7 @@ def simulate_repeated_dispersal(
     k = check_positive_integer(k, "k")
     rounds = check_positive_integer(rounds, "rounds")
     n_trials = check_positive_integer(n_trials, "n_trials")
-    depletion = check_in_range(depletion, "depletion", lo=0.0, hi=1.0 - 1e-12)
+    depletion = _check_depletion(depletion)
     generator = as_generator(rng)
 
     f0 = values.as_array() if isinstance(values, SiteValues) else np.asarray(values, dtype=float)
@@ -160,6 +186,90 @@ def simulate_repeated_dispersal(
         per_round_consumption=per_round,
         remaining_value_mean=float(remaining.sum(axis=1).mean()),
         n_trials=n_trials,
+        rounds=rounds,
+        k=k,
+    )
+
+
+@dataclass(frozen=True)
+class ExpectedDispersalResult:
+    """Deterministic expected-track outcome of a repeated-dispersal horizon.
+
+    Attributes
+    ----------
+    cumulative_consumption:
+        Expected total value consumed by the group across all rounds.
+    per_round_consumption:
+        Expected consumption per round, shape ``(rounds,)``.
+    remaining_value:
+        Expected total value left after the last round.
+    rounds, k:
+        Horizon parameters.
+    """
+
+    cumulative_consumption: float
+    per_round_consumption: np.ndarray
+    remaining_value: float
+    rounds: int
+    k: int
+
+
+def expected_repeated_dispersal(
+    values: SiteValues | np.ndarray,
+    k: int,
+    schedule: Schedule,
+    *,
+    rounds: int = 5,
+    depletion: float = 0.0,
+) -> ExpectedDispersalResult:
+    """Exact expected consumption of :func:`simulate_repeated_dispersal`.
+
+    Because per-round consumption is linear in the remaining values and round
+    choices are independent across rounds, the expectation of the Monte-Carlo
+    simulator factorises into the same recursion its schedules already
+    condition on: per round, each patch is visited with probability
+    ``1 - (1 - p(x))**k`` and its expected remaining value decays by the
+    depletion factor.  This deterministic track therefore equals the
+    ``n_trials -> inf`` limit of the simulator (the test suite checks the
+    convergence), with no sampling noise — and it is the scalar reference the
+    batched :func:`repro.batch.scenarios.repeated_dispersal_batch` is
+    property-tested against.
+
+    Parameters
+    ----------
+    values, k:
+        Patch values and number of players.
+    schedule:
+        Round-strategy :data:`Schedule` (same contract as the simulator).
+    rounds:
+        Number of rounds ``T``.
+    depletion:
+        Fraction of a visited patch's value that survives a visit, in
+        ``[0, 1)`` (``0`` = fully consumed).
+    """
+    k = check_positive_integer(k, "k")
+    rounds = check_positive_integer(rounds, "rounds")
+    depletion = _check_depletion(depletion)
+    f0 = values.as_array() if isinstance(values, SiteValues) else np.asarray(values, dtype=float)
+
+    expected_remaining = f0.copy()
+    per_round = np.zeros(rounds)
+    for round_index in range(rounds):
+        probabilities = schedule(round_index, expected_remaining).as_array()
+        if probabilities.size != f0.size:
+            raise ValueError("schedule returned a strategy over the wrong number of sites")
+        visit_probability = 1.0 - (1.0 - probabilities) ** k
+        per_round[round_index] = float(
+            np.dot(expected_remaining, visit_probability) * (1.0 - depletion)
+        )
+        expected_remaining = expected_remaining * (
+            1.0 - visit_probability * (1.0 - depletion)
+        )
+
+    return ExpectedDispersalResult(
+        cumulative_consumption=float(per_round.sum()),
+        per_round_consumption=per_round,
+        remaining_value=float(expected_remaining.sum()),
         rounds=rounds,
         k=k,
     )

@@ -1,0 +1,355 @@
+"""Property tests for the batched scenario kernels of ``repro.batch.scenarios``.
+
+The core contract: every scenario kernel agrees **elementwise** with its
+scalar counterpart from :mod:`repro.extensions` /
+:mod:`repro.mechanism.policy_design` — including ragged site counts, mixed
+per-row player counts, per-row cost vectors and depletion factors, and the
+reduction-to-core cases (``d == 0`` costs, ``k = 1`` rows, constant
+congestion tables).
+
+The whole module runs once per available array backend (numpy always;
+``array_api_strict`` when installed, skip-marked otherwise) through the
+autouse ``array_backend`` fixture, mirroring ``tests/test_batch_dynamics.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import backend_params
+from repro.backend import use_backend
+from repro.batch import (
+    PaddedValues,
+    best_two_level_batch,
+    compare_policies_batch,
+    cost_adjusted_ifd_batch,
+    cost_adjusted_site_values_batch,
+    repeated_dispersal_batch,
+    two_group_competition_batch,
+)
+from repro.batch.scenarios import as_costs_batch
+from repro.core.ifd import ideal_free_distribution
+from repro.core.policies import (
+    AggressivePolicy,
+    ConstantPolicy,
+    ExclusivePolicy,
+    SharingPolicy,
+    TwoLevelPolicy,
+)
+from repro.core.strategy import Strategy
+from repro.core.values import SiteValues
+from repro.extensions import (
+    cost_adjusted_ifd,
+    cost_adjusted_site_values,
+    expected_repeated_dispersal,
+    two_group_competition,
+)
+from repro.extensions.repeated import adaptive_sigma_star_schedule, constant_schedule
+from repro.core.sigma_star import sigma_star
+from repro.mechanism import best_two_level_policy, compare_policies
+
+POLICIES = [SharingPolicy(), ExclusivePolicy(), TwoLevelPolicy(-0.2)]
+
+
+@pytest.fixture(autouse=True, params=backend_params())
+def array_backend(request):
+    """Re-run every scenario property test under each available backend."""
+    with use_backend(request.param):
+        yield request.param
+
+
+@pytest.fixture
+def ragged_batch():
+    """Ragged instances with mixed per-row player counts (k = 1 included)."""
+    rng = np.random.default_rng(20180503)
+    instances = [SiteValues.random(int(m), rng, low=0.1, high=3.0) for m in (4, 9, 6, 3, 11)]
+    ks = np.array([2, 5, 3, 1, 4], dtype=np.int64)
+    return PaddedValues.from_instances(instances), instances, ks
+
+
+def random_costs(padded: PaddedValues, rng: np.random.Generator, scale: float = 0.4) -> np.ndarray:
+    return np.where(padded.mask, rng.uniform(0.0, scale, padded.values.shape), 0.0)
+
+
+class TestAsCostsBatch:
+    def test_scalar_vector_and_matrix_forms(self, ragged_batch):
+        padded, _, _ = ragged_batch
+        scalar = as_costs_batch(0.25, padded)
+        assert scalar.shape == padded.values.shape
+        np.testing.assert_allclose(scalar[padded.mask], 0.25)
+        assert np.all(scalar[~padded.mask] == 0.0)
+        vector = as_costs_batch(np.linspace(0.0, 1.0, padded.width), padded)
+        assert vector.shape == padded.values.shape
+
+    def test_rejects_bad_costs(self, ragged_batch):
+        padded, _, _ = ragged_batch
+        with pytest.raises(ValueError):
+            as_costs_batch(np.full(padded.width + 1, 0.1), padded)
+        with pytest.raises(ValueError):
+            as_costs_batch(-0.1, padded)
+        bad = np.zeros(padded.values.shape)
+        bad[0, 0] = np.nan
+        with pytest.raises(ValueError):
+            as_costs_batch(bad, padded)
+
+
+class TestCostAdjustedIFDBatch:
+    @pytest.mark.parametrize("policy", POLICIES, ids=lambda p: p.name)
+    def test_matches_scalar_rows(self, ragged_batch, policy):
+        padded, instances, ks = ragged_batch
+        costs = random_costs(padded, np.random.default_rng(11))
+        batch = cost_adjusted_ifd_batch(padded, costs, ks, policy)
+        for index, (values, k) in enumerate(zip(instances, ks)):
+            scalar = cost_adjusted_ifd(values, costs[index, : values.m], int(k), policy)
+            np.testing.assert_allclose(
+                batch.probabilities[index, : values.m],
+                scalar.strategy.as_array(),
+                atol=2e-6,
+            )
+            np.testing.assert_allclose(batch.values[index], scalar.value, atol=2e-6)
+            assert int(batch.support_sizes[index]) == scalar.support_size
+            assert bool(batch.converged[index]) == scalar.converged
+            assert np.all(batch.probabilities[index, values.m :] == 0.0)
+
+    def test_zero_costs_reduce_to_core_ifd(self, ragged_batch):
+        padded, instances, ks = ragged_batch
+        policy = SharingPolicy()
+        batch = cost_adjusted_ifd_batch(padded, 0.0, ks, policy)
+        for index, (values, k) in enumerate(zip(instances, ks)):
+            core = ideal_free_distribution(values, int(k), policy)
+            np.testing.assert_allclose(
+                batch.probabilities[index, : values.m],
+                core.strategy.as_array(),
+                atol=2e-6,
+            )
+
+    def test_k_equals_one_rows_pick_the_best_net_site(self, ragged_batch):
+        padded, instances, _ = ragged_batch
+        costs = random_costs(padded, np.random.default_rng(5), scale=1.0)
+        batch = cost_adjusted_ifd_batch(padded, costs, 1, SharingPolicy())
+        for index, values in enumerate(instances):
+            net = values.as_array() - costs[index, : values.m]
+            best = int(np.argmax(net))
+            assert batch.support_sizes[index] == 1
+            np.testing.assert_allclose(batch.probabilities[index, best], 1.0)
+            np.testing.assert_allclose(batch.values[index], net[best], atol=1e-12)
+
+    def test_constant_policy_rows_match_scalar_closed_form(self, ragged_batch):
+        padded, instances, ks = ragged_batch
+        costs = random_costs(padded, np.random.default_rng(7))
+        batch = cost_adjusted_ifd_batch(padded, costs, ks, ConstantPolicy())
+        for index, (values, k) in enumerate(zip(instances, ks)):
+            scalar = cost_adjusted_ifd(values, costs[index, : values.m], int(k), ConstantPolicy())
+            np.testing.assert_allclose(
+                batch.probabilities[index, : values.m],
+                scalar.strategy.as_array(),
+                atol=1e-12,
+            )
+            assert int(batch.support_sizes[index]) == scalar.support_size
+
+    def test_aggressive_policy_supports_negative_values(self):
+        values = SiteValues.from_values([1.0, 0.9, 0.8])
+        padded = PaddedValues.from_instances([values])
+        costs = np.array([[0.9, 0.9, 0.9]])
+        batch = cost_adjusted_ifd_batch(padded, costs, 4, AggressivePolicy(0.5))
+        scalar = cost_adjusted_ifd(values, costs[0], 4, AggressivePolicy(0.5))
+        np.testing.assert_allclose(batch.probabilities[0], scalar.strategy.as_array(), atol=2e-6)
+        np.testing.assert_allclose(batch.values[0], scalar.value, atol=2e-6)
+
+    def test_site_values_batch_matches_scalar(self, ragged_batch):
+        padded, instances, ks = ragged_batch
+        rng = np.random.default_rng(3)
+        costs = random_costs(padded, rng)
+        states = np.where(padded.mask, rng.random(padded.values.shape), 0.0)
+        states /= states.sum(axis=1, keepdims=True)
+        policy = SharingPolicy()
+        nu = cost_adjusted_site_values_batch(padded, costs, states, ks, policy)
+        for index, (values, k) in enumerate(zip(instances, ks)):
+            expected = cost_adjusted_site_values(
+                values,
+                costs[index, : values.m],
+                Strategy(states[index, : values.m]),
+                int(k),
+                policy,
+            )
+            np.testing.assert_allclose(nu[index, : values.m], expected, atol=1e-12)
+            assert np.all(nu[index, values.m :] == 0.0)
+
+
+class TestTwoGroupCompetitionBatch:
+    def test_mixed_policy_pairs_match_scalar(self, ragged_batch):
+        padded, instances, _ = ragged_batch
+        firsts = [SharingPolicy(), ExclusivePolicy(), AggressivePolicy(0.5), SharingPolicy(), ExclusivePolicy()]
+        seconds = [ExclusivePolicy(), SharingPolicy(), SharingPolicy(), AggressivePolicy(0.5), SharingPolicy()]
+        k1 = np.array([3, 5, 2, 4, 2], dtype=np.int64)
+        k2 = np.array([4, 3, 2, 2, 5], dtype=np.int64)
+        batch = two_group_competition_batch(padded, firsts, seconds, k1, k2)
+        for index, values in enumerate(instances):
+            scalar = two_group_competition(
+                values, firsts[index], seconds[index], int(k1[index]), int(k2[index])
+            )
+            np.testing.assert_allclose(batch.first_consumption[index], scalar.first_consumption, atol=1e-5)
+            np.testing.assert_allclose(batch.second_consumption[index], scalar.second_consumption, atol=1e-5)
+            np.testing.assert_allclose(
+                batch.first_strategies[index, : values.m], scalar.first_strategy.as_array(), atol=1e-5
+            )
+            np.testing.assert_allclose(
+                batch.second_strategies[index, : values.m], scalar.second_strategy.as_array(), atol=1e-5
+            )
+            np.testing.assert_allclose(batch.first_individual_payoffs[index], scalar.first_individual_payoff, atol=1e-5)
+            np.testing.assert_allclose(batch.second_individual_payoffs[index], scalar.second_individual_payoff, atol=1e-5)
+            np.testing.assert_allclose(batch.leftover_values[index], scalar.leftover_value, atol=1e-5)
+            np.testing.assert_allclose(batch.first_shares[index], scalar.first_share, atol=1e-5)
+
+    def test_single_policy_broadcasts(self, small_values):
+        batch = two_group_competition_batch(
+            [small_values], SharingPolicy(), ExclusivePolicy(), 3
+        )
+        scalar = two_group_competition(small_values, SharingPolicy(), ExclusivePolicy(), 3)
+        np.testing.assert_allclose(batch.first_consumption[0], scalar.first_consumption, atol=1e-6)
+        np.testing.assert_allclose(batch.first_shares[0], scalar.first_share, atol=1e-6)
+
+    def test_roster_length_mismatch_raises(self, small_values):
+        with pytest.raises(ValueError):
+            two_group_competition_batch(
+                [small_values], [SharingPolicy(), SharingPolicy()], ExclusivePolicy(), 3
+            )
+
+
+class TestRepeatedDispersalBatch:
+    @pytest.mark.parametrize("schedule", ["adaptive", "constant"])
+    def test_matches_scalar_expected_track(self, ragged_batch, schedule):
+        padded, instances, ks = ragged_batch
+        depletions = np.array([0.0, 0.3, 0.5, 0.25, 0.6])
+        batch = repeated_dispersal_batch(
+            padded, ks, rounds=4, depletion=depletions, schedule=schedule
+        )
+        for index, (values, k) in enumerate(zip(instances, ks)):
+            if schedule == "adaptive":
+                scalar_schedule = adaptive_sigma_star_schedule(int(k))
+            else:
+                scalar_schedule = constant_schedule(sigma_star(values, int(k)).strategy)
+            scalar = expected_repeated_dispersal(
+                values,
+                int(k),
+                scalar_schedule,
+                rounds=4,
+                depletion=float(depletions[index]),
+            )
+            np.testing.assert_allclose(
+                batch.per_round_consumption[index], scalar.per_round_consumption, atol=1e-9
+            )
+            np.testing.assert_allclose(
+                batch.cumulative_consumption[index], scalar.cumulative_consumption, atol=1e-9
+            )
+            np.testing.assert_allclose(
+                batch.remaining_values[index], scalar.remaining_value, atol=1e-9
+            )
+
+    def test_full_consumption_depletes_visited_sites(self, small_values):
+        batch = repeated_dispersal_batch(
+            [small_values], 3, rounds=12, depletion=0.0, schedule="adaptive"
+        )
+        # With depletion 0 every visited patch is fully consumed, so the
+        # cumulative consumption approaches the total value from below.
+        total = float(small_values.total)
+        assert batch.cumulative_consumption[0] <= total + 1e-9
+        assert batch.cumulative_consumption[0] > 0.9 * total
+        np.testing.assert_allclose(
+            batch.cumulative_consumption[0] + batch.remaining_values[0], total, atol=1e-9
+        )
+
+    def test_explicit_constant_strategies(self, ragged_batch):
+        padded, instances, ks = ragged_batch
+        rng = np.random.default_rng(2)
+        states = np.where(padded.mask, rng.random(padded.values.shape), 0.0)
+        states /= states.sum(axis=1, keepdims=True)
+        batch = repeated_dispersal_batch(
+            padded, ks, rounds=3, depletion=0.2, schedule="constant", strategies=states
+        )
+        for index, (values, k) in enumerate(zip(instances, ks)):
+            scalar = expected_repeated_dispersal(
+                values,
+                int(k),
+                constant_schedule(Strategy(states[index, : values.m])),
+                rounds=3,
+                depletion=0.2,
+            )
+            np.testing.assert_allclose(
+                batch.per_round_consumption[index], scalar.per_round_consumption, atol=1e-9
+            )
+
+    def test_rejects_bad_arguments(self, small_values):
+        with pytest.raises(ValueError):
+            repeated_dispersal_batch([small_values], 3, depletion=1.0)
+        with pytest.raises(ValueError):
+            repeated_dispersal_batch([small_values], 3, depletion=-0.1)
+        with pytest.raises(ValueError):
+            repeated_dispersal_batch([small_values], 3, schedule="greedy")
+        with pytest.raises(ValueError):
+            repeated_dispersal_batch(
+                [small_values], 3, schedule="adaptive", strategies=np.ones((1, 4)) / 4
+            )
+
+
+class TestMechanismSweeps:
+    def test_compare_policies_matches_scalar_grid(self, ragged_batch):
+        padded, instances, _ = ragged_batch
+        k_grid = np.array([2, 4], dtype=np.int64)
+        roster = [ExclusivePolicy(), SharingPolicy(), TwoLevelPolicy(-0.2)]
+        batch = compare_policies_batch(padded, k_grid, roster)
+        assert batch.policy_names == ("exclusive", "sharing", "two-level")
+        for index, values in enumerate(instances):
+            for k_index, k in enumerate(k_grid):
+                rows = compare_policies(values, int(k), roster)
+                for policy_index, row in enumerate(rows):
+                    cell = batch.comparison(policy_index, index, k_index)
+                    np.testing.assert_allclose(
+                        cell.equilibrium_coverage, row.equilibrium_coverage, atol=1e-5
+                    )
+                    np.testing.assert_allclose(
+                        cell.optimal_coverage, row.optimal_coverage, atol=1e-7
+                    )
+                    np.testing.assert_allclose(cell.spoa, row.spoa, atol=1e-5)
+                    np.testing.assert_allclose(
+                        cell.equilibrium_payoff, row.equilibrium_payoff, atol=1e-5
+                    )
+                    assert cell.support_size == row.support_size
+
+    def test_exclusive_policy_is_never_beaten(self, ragged_batch):
+        padded, _, _ = ragged_batch
+        k_grid = np.array([2, 3, 5], dtype=np.int64)
+        batch = compare_policies_batch(
+            padded, k_grid, [ExclusivePolicy(), SharingPolicy(), ConstantPolicy()]
+        )
+        # Corollary 5: the exclusive equilibrium achieves the optimum.
+        np.testing.assert_allclose(
+            batch.equilibrium_coverages[0], batch.optimal_coverages, atol=1e-6
+        )
+        assert np.all(
+            batch.equilibrium_coverages[0] >= batch.equilibrium_coverages[1:] - 1e-6
+        )
+
+    def test_best_two_level_matches_scalar_argmax(self, figure1_left, figure1_right):
+        padded = PaddedValues.from_instances([figure1_left, figure1_right])
+        c_grid = np.linspace(-0.5, 0.5, 11)
+        k_grid = np.array([2, 3], dtype=np.int64)
+        batch = best_two_level_batch(padded, k_grid, c_grid=c_grid)
+        for index, values in enumerate((figure1_left, figure1_right)):
+            for k_index, k in enumerate(k_grid):
+                best_c, rows = best_two_level_policy(values, int(k), c_grid=c_grid)
+                assert batch.best_c[index, k_index] == pytest.approx(best_c, abs=1e-12)
+                np.testing.assert_allclose(
+                    batch.comparisons.equilibrium_coverages[:, index, k_index],
+                    [row.equilibrium_coverage for row in rows],
+                    atol=1e-5,
+                )
+        # Theorem 6: the maximiser sits at the exclusive policy c = 0.
+        np.testing.assert_allclose(batch.best_c, 0.0, atol=1e-12)
+
+    def test_empty_roster_rejected(self, small_values):
+        with pytest.raises(ValueError):
+            compare_policies_batch([small_values], 2, [])
+        with pytest.raises(ValueError):
+            best_two_level_batch([small_values], 2, c_grid=[])

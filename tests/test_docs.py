@@ -1,0 +1,131 @@
+"""Consistency checks for the documentation site.
+
+``mkdocs build --strict`` runs in CI (the ``docs`` job) and catches broken
+nav entries and links; these tests enforce the *content* contracts locally,
+without the docs toolchain installed:
+
+* every file referenced by ``mkdocs.yml`` exists (and vice versa: every docs
+  page is reachable from the nav);
+* the "Experiments & CLI" page documents every registered experiment;
+* the API pages cover every public ``repro.batch`` / ``repro.backend``
+  symbol (via the mkdocstrings module directives whose ``__all__`` the site
+  renders);
+* the examples gallery documents every example script;
+* internal relative links point at files that exist.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.registry import experiment_names
+
+REPO = Path(__file__).resolve().parent.parent
+DOCS = REPO / "docs"
+MKDOCS_YML = REPO / "mkdocs.yml"
+
+
+def nav_pages() -> list[str]:
+    """Extract the page paths referenced by the mkdocs nav (regex, no yaml dep)."""
+    text = MKDOCS_YML.read_text()
+    nav = text[text.index("\nnav:") :]
+    return re.findall(r":\s*([\w./-]+\.md)\s*$", nav, flags=re.MULTILINE)
+
+
+def test_mkdocs_config_exists_and_is_strict_ready():
+    text = MKDOCS_YML.read_text()
+    assert "mkdocstrings" in text, "API reference requires the mkdocstrings plugin"
+    assert "paths: [src]" in text, "mkdocstrings must resolve the src layout"
+    assert "docstring_style: numpy" in text
+
+
+def test_every_nav_entry_resolves_to_a_docs_file():
+    pages = nav_pages()
+    assert pages, "mkdocs.yml nav must reference at least one page"
+    for page in pages:
+        assert (DOCS / page).is_file(), f"nav references missing page {page}"
+
+
+def test_every_docs_page_is_reachable_from_the_nav():
+    pages = set(nav_pages())
+    on_disk = {
+        str(path.relative_to(DOCS)) for path in DOCS.rglob("*.md")
+    }
+    # (The converse — nav entries resolving to files — is checked above.)
+    assert on_disk <= pages, (
+        f"docs pages missing from nav: {sorted(on_disk - pages)}"
+    )
+
+
+def test_experiments_page_documents_every_registered_experiment():
+    from repro.experiments.registry import _BUILTIN_MODULES, _REGISTRY
+
+    text = (DOCS / "experiments.md").read_text()
+    # Other test modules may register throwaway experiments in the process-wide
+    # registry; the docs contract covers the built-in modules' experiments.
+    experiment_names()  # force built-in registration
+    builtin = {
+        name
+        for name, definition in _REGISTRY.items()
+        if definition.build.__module__ in _BUILTIN_MODULES
+    }
+    assert builtin, "no built-in experiments registered"
+    for name in sorted(builtin):
+        assert f"`{name}`" in text, f"experiments.md does not document {name!r}"
+
+
+def test_api_pages_cover_public_batch_and_backend_symbols():
+    import repro.backend
+    import repro.batch
+
+    batch_page = (DOCS / "api" / "batch.md").read_text()
+    backend_page = (DOCS / "api" / "backend.md").read_text()
+    # The mkdocstrings directives render every __all__ member of the module.
+    assert "::: repro.batch" in batch_page
+    assert "::: repro.backend" in backend_page
+    assert repro.batch.__all__, "repro.batch must declare its public API"
+    assert repro.backend.__all__, "repro.backend must declare its public API"
+    # Scenario kernels get their own directive so the padded/roster contracts
+    # render with full signatures.
+    assert "::: repro.batch.scenarios" in batch_page
+
+
+def test_examples_gallery_documents_every_example_script():
+    text = (DOCS / "examples.md").read_text()
+    for script in sorted((REPO / "examples").glob("*.py")):
+        assert f"`{script.name}`" in text, (
+            f"examples.md does not document {script.name}"
+        )
+
+
+@pytest.mark.parametrize("page", sorted(DOCS.rglob("*.md"), key=str))
+def test_internal_relative_links_resolve(page: Path):
+    text = page.read_text()
+    for target in re.findall(r"\]\(([^)#\s]+\.md)(?:#[\w-]+)?\)", text):
+        if target.startswith(("http://", "https://")):
+            continue
+        resolved = (page.parent / target).resolve()
+        assert resolved.is_file(), f"{page.name} links to missing page {target}"
+
+
+def test_public_symbols_have_docstrings():
+    """The docstring-audit guard: every public symbol the site renders is documented."""
+    import repro
+    import repro.backend
+    import repro.batch
+    import repro.experiments
+
+    for module in (repro, repro.batch, repro.backend, repro.experiments):
+        assert (module.__doc__ or "").strip(), f"{module.__name__} needs a module docstring"
+        for name in module.__all__:
+            if name.startswith("__"):
+                continue
+            obj = getattr(module, name)
+            if isinstance(obj, (str, int, float, tuple, dict)):
+                continue
+            assert (getattr(obj, "__doc__", None) or "").strip(), (
+                f"{module.__name__}.{name} needs a docstring"
+            )

@@ -1,13 +1,15 @@
 """Smoke tests: the example scripts run end-to-end and print sensible output.
 
-The Figure 1 sweep example (`competition_sweep.py`) is exercised through its
-underlying harness in ``tests/test_analysis.py`` instead of here, because the
-full 51-point sweep is too slow for the unit-test suite.
+Every script of the documented examples gallery (``docs/examples.md``) runs
+here.  The Figure 1 sweep (`competition_sweep.py`) runs on a coarse ``c``
+grid via its ``--points`` flag — the full 51-point sweep is paper-quality
+but too slow for the unit-test suite.
 """
 
 from __future__ import annotations
 
 import runpy
+import sys
 from pathlib import Path
 
 import pytest
@@ -15,9 +17,14 @@ import pytest
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 
 
-def run_example(name: str, capsys) -> str:
+def run_example(name: str, capsys, argv: list[str] | None = None) -> str:
     """Execute an example script as ``__main__`` and return its stdout."""
-    runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    old_argv = sys.argv
+    sys.argv = [str(EXAMPLES_DIR / name)] + list(argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
     return capsys.readouterr().out
 
 
@@ -36,6 +43,18 @@ def test_example_runs_and_mentions_key_output(script, expected_phrases, capsys):
     assert out.strip(), f"{script} produced no output"
     for phrase in expected_phrases:
         assert phrase in out, f"{script} output missing {phrase!r}"
+
+
+def test_competition_sweep_runs_on_a_coarse_grid(tmp_path, capsys):
+    out = run_example(
+        "competition_sweep.py",
+        capsys,
+        argv=["--points", "9", "--welfare-grid-points", "201", str(tmp_path)],
+    )
+    assert "Key facts reproduced from the paper" in out
+    assert "ESS coverage peaks at c = +0.000" in out
+    written = sorted(tmp_path.glob("figure1_*.csv"))
+    assert len(written) == 2, f"expected two CSV panels, got {written}"
 
 
 def test_examples_directory_contains_documented_scripts():

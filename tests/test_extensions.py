@@ -26,6 +26,7 @@ from repro.extensions import (
     capacity_coverage_gradient,
     cost_adjusted_ifd,
     cost_adjusted_site_values,
+    expected_repeated_dispersal,
     maximize_capacity_coverage,
     simulate_repeated_dispersal,
     two_group_competition,
@@ -228,6 +229,56 @@ class TestRepeatedDispersal:
             simulate_repeated_dispersal(
                 small_values, 2, constant_schedule(Strategy.uniform(3))
             )
+
+    @pytest.mark.parametrize("bad", [1.0, -0.01, float("nan"), float("inf")])
+    def test_depletion_bounds_error_states_the_contract(self, small_values, bad):
+        star = sigma_star(small_values, 2).strategy
+        with pytest.raises(ValueError, match=r"depletion must lie in \[0, 1\)"):
+            simulate_repeated_dispersal(
+                small_values, 2, constant_schedule(star), depletion=bad
+            )
+        with pytest.raises(ValueError, match=r"depletion must lie in \[0, 1\)"):
+            expected_repeated_dispersal(
+                small_values, 2, constant_schedule(star), depletion=bad
+            )
+
+    def test_zero_depletion_fully_consumes_visited_sites(self, small_values):
+        # Regression for the depletion == 0 contract: one round with a point
+        # mass on the top site consumes exactly that site's value, and the
+        # site contributes nothing in later rounds.
+        point = constant_schedule(Strategy.point_mass(small_values.m, 0))
+        result = simulate_repeated_dispersal(
+            small_values, 3, point, rounds=3, depletion=0.0, n_trials=64, rng=0
+        )
+        top = float(small_values.as_array()[0])
+        assert result.per_round_consumption[0] == pytest.approx(top, abs=1e-12)
+        np.testing.assert_allclose(result.per_round_consumption[1:], 0.0, atol=1e-12)
+        assert result.remaining_value_mean == pytest.approx(
+            small_values.total - top, abs=1e-12
+        )
+        exact = expected_repeated_dispersal(
+            small_values, 3, point, rounds=3, depletion=0.0
+        )
+        assert exact.cumulative_consumption == pytest.approx(top, abs=1e-12)
+        assert exact.remaining_value == pytest.approx(small_values.total - top, abs=1e-12)
+
+    def test_expected_track_matches_monte_carlo(self, small_values):
+        schedule = adaptive_sigma_star_schedule(3)
+        exact = expected_repeated_dispersal(
+            small_values, 3, schedule, rounds=4, depletion=0.25
+        )
+        simulated = simulate_repeated_dispersal(
+            small_values, 3, schedule, rounds=4, depletion=0.25, n_trials=6_000, rng=4
+        )
+        assert simulated.cumulative_consumption_mean == pytest.approx(
+            exact.cumulative_consumption, abs=0.05
+        )
+        np.testing.assert_allclose(
+            simulated.per_round_consumption, exact.per_round_consumption, atol=0.05
+        )
+        assert exact.cumulative_consumption + exact.remaining_value == pytest.approx(
+            small_values.total, rel=1e-9
+        )
 
 
 class TestGroupCompetition:
