@@ -24,7 +24,10 @@ After the two main gates it hands the freshly written artifacts to
 ``bench_backend.py`` (``--backend-output``, default ``BENCH_backend.json``),
 which times the same grids under every available array backend and asserts
 the NumPy backend stays within 10% of the just-measured baselines — the
-regression guard of the pluggable backend layer.
+regression guard of the pluggable backend layer.  Finally it runs
+``bench_mc.py`` (``--mc-output``, default ``BENCH_mc.json``), which times
+the batched stochastic layer (Monte-Carlo simulation, Bayesian search,
+mechanism design) against scalar loops with a >=5x-per-family gate.
 """
 
 from __future__ import annotations
@@ -169,9 +172,21 @@ def main(argv: list[str] | None = None) -> int:
         default="BENCH_backend.json",
         help="Per-backend timing artifact (empty string disables the backend pass).",
     )
+    parser.add_argument(
+        "--mc-output",
+        type=str,
+        default="BENCH_mc.json",
+        help="Stochastic-layer timing artifact (empty string disables the pass).",
+    )
     parser.add_argument("--repeats", type=int, default=5)
     parser.add_argument("--min-speedup", type=float, default=10.0)
     parser.add_argument("--min-dynamics-speedup", type=float, default=5.0)
+    parser.add_argument(
+        "--min-mc-speedup",
+        type=float,
+        default=5.0,
+        help="Required batched-vs-looped speedup for each stochastic family.",
+    )
     parser.add_argument(
         "--max-backend-slowdown",
         type=float,
@@ -286,6 +301,25 @@ def main(argv: list[str] | None = None) -> int:
         if not backend_ok:
             print(
                 "FAIL: numpy backend regressed a backend-layer throughput gate",
+                file=sys.stderr,
+            )
+            failed = True
+
+    if args.mc_output:
+        sys.path.insert(0, str(Path(__file__).resolve().parent))
+        import bench_mc
+
+        mc_ok, mc_lines = bench_mc.run_mc_bench(
+            Path(args.mc_output),
+            repeats=max(1, args.repeats // 2),
+            min_speedup=args.min_mc_speedup,
+        )
+        for line in mc_lines:
+            print(line)
+        if not mc_ok:
+            print(
+                f"FAIL: a stochastic-family speedup fell below "
+                f"{args.min_mc_speedup:.1f}x",
                 file=sys.stderr,
             )
             failed = True

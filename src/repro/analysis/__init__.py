@@ -17,6 +17,9 @@ heavy lifting happens in the batched solvers of :mod:`repro.batch`):
 * :mod:`repro.analysis.scenario_experiments` — the Section-5 scenario sweeps
   on the batched kernels of :mod:`repro.batch.scenarios`; registered as
   ``travel-costs``, ``group-competition`` and ``repeated``;
+* :mod:`repro.analysis.stochastic_experiments` — the batched stochastic
+  layer's sweeps (:mod:`repro.batch.search` / :mod:`repro.batch.mechanism`);
+  registered as ``search`` and ``mechanism``;
 * :mod:`repro.analysis.reporting` / :mod:`repro.analysis.ascii_plot` — text
   tables and ASCII plots (the offline environment has no plotting backend).
 
@@ -60,6 +63,13 @@ from repro.analysis.scenario_experiments import (
     build_repeated_spec,
     build_travel_costs_spec,
 )
+from repro.analysis.stochastic_experiments import (
+    GrantDesignRow,
+    MechanismPolicyRow,
+    SearchRow,
+    build_mechanism_spec,
+    build_search_spec,
+)
 from repro.analysis.reporting import render_report
 from repro.analysis.ascii_plot import ascii_line_plot
 
@@ -91,6 +101,11 @@ __all__ = [
     "build_group_competition_spec",
     "RepeatedDispersalRow",
     "build_repeated_spec",
+    "SearchRow",
+    "build_search_spec",
+    "MechanismPolicyRow",
+    "GrantDesignRow",
+    "build_mechanism_spec",
     "render_report",
     "ascii_line_plot",
 ]

@@ -40,6 +40,7 @@ choice as ``repro-dispersal <command> --backend NAME``.
 
 from repro.backend.adapters import (
     asarray_float,
+    batched_bincount,
     bincount,
     contract_occupancy,
     ensure_numpy,
@@ -80,6 +81,7 @@ __all__ = [
     "set_default_backend",
     "use_backend",
     "asarray_float",
+    "batched_bincount",
     "bincount",
     "contract_occupancy",
     "ensure_numpy",

@@ -21,6 +21,7 @@ from repro.backend.registry import Backend, resolve_backend
 
 __all__ = [
     "asarray_float",
+    "batched_bincount",
     "bincount",
     "contract_occupancy",
     "ensure_numpy",
@@ -169,6 +170,41 @@ def bincount(values: Any, *, minlength: int = 0) -> np.ndarray:
     engine) are host-side by design.
     """
     return np.bincount(to_numpy(values).ravel(), minlength=minlength)
+
+
+def batched_bincount(values: Any, n_bins: int) -> np.ndarray:
+    """Row-wise histogram of an integer matrix: one segment-sum ``bincount``.
+
+    The batched Monte-Carlo kernels need one histogram **per row** of an
+    ``(R, N)`` index matrix (per-trial occupancy counts, per-row occupancy
+    histograms) — the operation the scalar engine used to run as a Python
+    loop of ``np.bincount`` calls.  Offsetting row ``r`` by ``r * n_bins``
+    turns the whole matrix into a single segment-sum, so every row is counted
+    in one flat ``bincount`` pass.
+
+    Parameters
+    ----------
+    values:
+        Integer array of shape ``(R, N)`` (any backend; transferred to the
+        host), every entry in ``[0, n_bins)``.
+    n_bins:
+        Number of bins per row.
+
+    Returns
+    -------
+    numpy.ndarray
+        Host ``(R, n_bins)`` ``int64`` count matrix; ``out[r, v]`` is the
+        number of entries of row ``r`` equal to ``v``.
+    """
+    host = to_numpy(values)
+    if host.ndim != 2:
+        raise ValueError("values must be a 2-D (R, N) integer matrix")
+    if n_bins < 1:
+        raise ValueError("n_bins must be >= 1")
+    rows = host.shape[0]
+    flat = host + n_bins * np.arange(rows, dtype=host.dtype)[:, None]
+    counts = np.bincount(flat.ravel(), minlength=rows * n_bins)
+    return counts.reshape(rows, n_bins)
 
 
 def random_uniform(

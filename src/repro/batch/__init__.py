@@ -29,11 +29,22 @@ This subpackage solves entire grids in a handful of NumPy passes:
   (capacity-constrained coverage and its exact gradient over ``(B, M)``
   profile batches);
 * :mod:`repro.batch.scenarios` — batched kernels for the Section-5 scenario
-  extensions and the Theorems 4-6 mechanism sweeps: cost-adjusted IFDs with
-  per-row cost vectors, two-group competition over ``(B,)`` policy-pair
-  rosters, repeated dispersal with depletion, and congestion-policy roster
-  sweeps (``compare_policies_batch`` / ``best_two_level_batch``) over whole
-  instance grids.
+  extensions: cost-adjusted IFDs with per-row cost vectors, two-group
+  competition over ``(B,)`` policy-pair rosters, and repeated dispersal with
+  depletion;
+* :mod:`repro.batch.mechanism` — batched mechanism design: the Theorems 4-6
+  congestion-policy roster sweeps (``compare_policies_batch`` /
+  ``best_two_level_batch``) and the Kleinberg-Oren reward-design pipeline
+  (``design_rewards_batch`` / ``optimal_grant_design_batch``) over whole
+  ``(instances x k x policy)`` grids;
+* :mod:`repro.batch.simulation` — batched Monte-Carlo dispersal: one
+  ``(n_trials, B, k)`` inverse-CDF draw and one segment-sum ``bincount`` per
+  memory chunk simulates every instance of a batch at once, with a
+  ``max_chunk_draws`` cap bounding peak memory;
+* :mod:`repro.batch.search` — batched Bayesian search: closed-form success
+  probabilities and (where-masked, ``inf``-aware) expected discovery times,
+  plus a whole-search Monte-Carlo simulator with geometric and lockstep
+  round-stepping methods.
 
 Every kernel body is pure Array-API code against the backend resolved by
 :mod:`repro.backend` (``numpy`` by default; ``array_api_strict`` / ``torch``
@@ -81,17 +92,37 @@ from repro.batch.extensions import (
     capacity_payoff_batch,
 )
 from repro.batch.scenarios import (
-    BestTwoLevelBatch,
     CostAdjustedIFDBatch,
-    PolicyComparisonBatch,
     RepeatedDispersalBatch,
     TwoGroupCompetitionBatch,
-    best_two_level_batch,
-    compare_policies_batch,
     cost_adjusted_ifd_batch,
     cost_adjusted_site_values_batch,
     repeated_dispersal_batch,
     two_group_competition_batch,
+)
+from repro.batch.mechanism import (
+    BestTwoLevelBatch,
+    GrantDesignBatch,
+    PolicyComparisonBatch,
+    best_two_level_batch,
+    compare_policies_batch,
+    design_rewards_batch,
+    optimal_grant_design_batch,
+)
+from repro.batch.simulation import (
+    DispersalSimulationBatch,
+    ProfileSimulationBatch,
+    as_strategy_batch,
+    simulate_dispersal_batch,
+    simulate_profile_batch,
+)
+from repro.batch.search import (
+    SearchSimulationBatch,
+    as_prior_batch,
+    as_search_strategy_batch,
+    expected_discovery_time_batch,
+    simulate_search_batch,
+    success_probability_batch,
 )
 
 __all__ = [
@@ -132,4 +163,18 @@ __all__ = [
     "compare_policies_batch",
     "BestTwoLevelBatch",
     "best_two_level_batch",
+    "GrantDesignBatch",
+    "design_rewards_batch",
+    "optimal_grant_design_batch",
+    "DispersalSimulationBatch",
+    "ProfileSimulationBatch",
+    "as_strategy_batch",
+    "simulate_dispersal_batch",
+    "simulate_profile_batch",
+    "SearchSimulationBatch",
+    "as_prior_batch",
+    "as_search_strategy_batch",
+    "success_probability_batch",
+    "expected_discovery_time_batch",
+    "simulate_search_batch",
 ]

@@ -1,0 +1,478 @@
+"""Batched mechanism design: policy-roster sweeps and reward (grant) design.
+
+The paper's mechanism lever fixes rewards at the social values and designs
+the congestion rule (Theorems 4-6); the Kleinberg-Oren baseline fixes the
+rule and re-prices the sites.  The scalar implementations in
+:mod:`repro.mechanism` evaluate one instance per call; this module evaluates
+whole ``(instances x k x policy)`` grids at once:
+
+* :func:`compare_policies_batch` — a congestion-policy roster over every
+  ``(instance, k)`` cell: one :func:`~repro.batch.solvers.sigma_star_batch`
+  call fixes all coverage optima, one :func:`~repro.batch.ifd.ifd_batch`
+  call per policy solves all equilibria;
+* :func:`best_two_level_batch` — the Theorem-6 sweep of the one-parameter
+  family ``C_c`` over a whole grid;
+* :func:`design_rewards_batch` — reward vectors making per-row target
+  distributions the IFD of the design policy (the batch counterpart of
+  :func:`repro.mechanism.kleinberg_oren.design_rewards_for_target`), one
+  batched congestion-factor pass for all rows;
+* :func:`optimal_grant_design_batch` — the full reward-design pipeline
+  (coverage-optimal targets, designed grants, induced equilibria of the
+  re-priced games, deviations) for a whole instance batch with mixed per-row
+  player counts.
+
+Conventions match the rest of :mod:`repro.batch`: instance batches ride on
+:class:`~repro.batch.padding.PaddedValues`, kernel bodies run on the backend
+resolved through :mod:`repro.backend`, and public results are host NumPy
+arrays.  Derived value matrices (the designed rewards) are re-sorted through
+:func:`~repro.batch.padding.sorted_padded` before re-entering the IFD solver
+and un-sorted on the way out, so results stay in the caller's site order.
+
+The scalar entry points of :mod:`repro.mechanism` are thin ``B = 1``
+wrappers over these kernels (property-tested elementwise in
+``tests/test_batch_mechanism.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Sequence
+
+import numpy as np
+
+from repro.backend import Backend, ensure_numpy, resolve_backend
+from repro.batch.ifd import ifd_batch
+from repro.batch.padding import PaddedValues, sorted_padded, unsort_rows
+from repro.batch.payoffs import as_k_vector, occupancy_congestion_factor_batch
+from repro.batch.solvers import as_k_grid, as_padded, coverage_batch, sigma_star_batch
+from repro.core.policies import CongestionPolicy, SharingPolicy, TwoLevelPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (scalar -> batch)
+    from repro.mechanism.kleinberg_oren import GrantDesign
+    from repro.mechanism.policy_design import PolicyComparison
+
+__all__ = [
+    "PolicyComparisonBatch",
+    "compare_policies_batch",
+    "BestTwoLevelBatch",
+    "best_two_level_batch",
+    "GrantDesignBatch",
+    "design_rewards_batch",
+    "optimal_grant_design_batch",
+]
+
+
+# --------------------------------------------------------------------------
+# congestion-policy roster sweeps (Theorems 4-6)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PolicyComparisonBatch:
+    """Equilibrium outcomes of a policy roster on every ``(instance, k)`` cell.
+
+    Attributes
+    ----------
+    policy_names:
+        Display names of the ``P`` policies, in roster order.
+    equilibrium_coverages:
+        ``(P, B, K)`` equilibrium (IFD) coverages.
+    optimal_coverages:
+        ``(B, K)`` coverage optima (policy-independent, computed once).
+    spoa:
+        ``(P, B, K)`` per-cell symmetric price of anarchy (``inf`` where the
+        equilibrium coverage is non-positive).
+    equilibrium_payoffs, support_sizes:
+        ``(P, B, K)`` equilibrium payoffs and support sizes.
+    k_grid, padded:
+        Axes of the grid.
+    """
+
+    policy_names: tuple[str, ...]
+    equilibrium_coverages: np.ndarray
+    optimal_coverages: np.ndarray
+    spoa: np.ndarray
+    equilibrium_payoffs: np.ndarray
+    support_sizes: np.ndarray
+    k_grid: np.ndarray
+    padded: PaddedValues
+
+    def comparison(self, policy_index: int, instance: int, k_index: int) -> "PolicyComparison":
+        """Hydrate one grid cell into the scalar :class:`~repro.mechanism.policy_design.PolicyComparison`."""
+        from repro.mechanism.policy_design import PolicyComparison
+
+        return PolicyComparison(
+            policy_name=self.policy_names[policy_index],
+            equilibrium_coverage=float(self.equilibrium_coverages[policy_index, instance, k_index]),
+            optimal_coverage=float(self.optimal_coverages[instance, k_index]),
+            spoa=float(self.spoa[policy_index, instance, k_index]),
+            equilibrium_payoff=float(self.equilibrium_payoffs[policy_index, instance, k_index]),
+            support_size=int(self.support_sizes[policy_index, instance, k_index]),
+        )
+
+
+def compare_policies_batch(
+    values: PaddedValues | Sequence | np.ndarray,
+    k_grid: Sequence[int] | np.ndarray | int,
+    policies: Sequence[CongestionPolicy],
+    *,
+    backend: Backend | str | None = None,
+    **ifd_kwargs,
+) -> PolicyComparisonBatch:
+    """Evaluate a congestion-policy roster over a whole ``(instances x k)`` grid.
+
+    The batch counterpart of
+    :func:`repro.mechanism.policy_design.compare_policies`: one
+    :func:`~repro.batch.solvers.sigma_star_batch` call fixes the coverage
+    optimum of every cell (Theorem 4), then each policy's equilibria come
+    from one :func:`~repro.batch.ifd.ifd_batch` call (reusing the
+    closed-form solve on exclusive policies) and one coverage pass.
+
+    Returns
+    -------
+    PolicyComparisonBatch
+        Elementwise equal (to solver tolerance) to looping the scalar
+        ``compare_policies`` over instances and ``k`` values.
+    """
+    be = resolve_backend(backend)
+    padded = as_padded(values)
+    ks = as_k_grid(k_grid)
+    roster = list(policies)
+    if not roster:
+        raise ValueError("policies roster must not be empty")
+    star = sigma_star_batch(padded, ks, backend=be)
+    optimal = coverage_batch(padded, star.probabilities, ks, backend=be)
+
+    eq_coverages, payoffs, supports = [], [], []
+    for policy in roster:
+        equilibrium = ifd_batch(padded, ks, policy, closed_form=star, backend=be, **ifd_kwargs)
+        eq_coverages.append(coverage_batch(padded, equilibrium.probabilities, ks, backend=be))
+        payoffs.append(equilibrium.values)
+        supports.append(equilibrium.support_sizes)
+    eq = np.stack(eq_coverages, axis=0)
+    positive = eq > 0
+    spoa = np.where(positive, optimal[None, :, :] / np.where(positive, eq, 1.0), np.inf)
+    return PolicyComparisonBatch(
+        policy_names=tuple(policy.name for policy in roster),
+        equilibrium_coverages=eq,
+        optimal_coverages=optimal,
+        spoa=spoa,
+        equilibrium_payoffs=np.stack(payoffs, axis=0),
+        support_sizes=np.stack(supports, axis=0),
+        k_grid=ks,
+        padded=padded,
+    )
+
+
+@dataclass(frozen=True)
+class BestTwoLevelBatch:
+    """The ``C_c`` family sweep of Theorem 6 over a whole instance grid.
+
+    Attributes
+    ----------
+    c_grid:
+        The swept collision payoffs.
+    best_c:
+        ``(B, K)`` collision payoff maximising the equilibrium coverage of
+        each cell (first maximiser in grid order, like the scalar sweep).
+    best_coverages:
+        ``(B, K)`` the equilibrium coverage at ``best_c``.
+    comparisons:
+        The full :class:`PolicyComparisonBatch` of the sweep (one roster
+        entry per ``c``).
+    """
+
+    c_grid: np.ndarray
+    best_c: np.ndarray
+    best_coverages: np.ndarray
+    comparisons: PolicyComparisonBatch
+
+
+def best_two_level_batch(
+    values: PaddedValues | Sequence | np.ndarray,
+    k_grid: Sequence[int] | np.ndarray | int,
+    *,
+    c_grid: np.ndarray | Sequence[float] | None = None,
+    backend: Backend | str | None = None,
+    **ifd_kwargs,
+) -> BestTwoLevelBatch:
+    """Sweep the two-level family ``C_c`` over a whole ``(instances x k)`` grid.
+
+    The batch counterpart of
+    :func:`repro.mechanism.policy_design.best_two_level_policy`: every
+    ``(instance, k)`` cell reports the collision payoff with the best
+    equilibrium coverage.  Theorem 6 predicts the maximiser sits at ``c = 0``
+    (the exclusive policy) whenever the exclusive support differs from the
+    alternatives'.
+
+    Returns
+    -------
+    BestTwoLevelBatch
+        ``best_c`` agrees with the scalar sweep cell by cell (first-argmax
+        tie-breaking in grid order).
+    """
+    if c_grid is None:
+        c_grid = np.linspace(-0.5, 0.5, 41)
+    c_values = np.asarray(c_grid, dtype=float)
+    if c_values.ndim != 1 or c_values.size == 0:
+        raise ValueError("c_grid must be a non-empty 1-D sequence")
+    roster = [TwoLevelPolicy(float(c)) for c in c_values]
+    comparisons = compare_policies_batch(
+        values, k_grid, roster, backend=backend, **ifd_kwargs
+    )
+    best_index = np.argmax(comparisons.equilibrium_coverages, axis=0)  # (B, K)
+    best_c = c_values[best_index]
+    best_coverages = np.take_along_axis(
+        comparisons.equilibrium_coverages, best_index[None, :, :], axis=0
+    )[0]
+    return BestTwoLevelBatch(
+        c_grid=c_values,
+        best_c=best_c,
+        best_coverages=best_coverages,
+        comparisons=comparisons,
+    )
+
+
+# --------------------------------------------------------------------------
+# reward (grant) design — the Kleinberg-Oren baseline, batched
+# --------------------------------------------------------------------------
+
+
+def _as_target_batch(targets: np.ndarray | Sequence[Any]) -> np.ndarray:
+    """Validate a batch of target distributions into a host ``(B, M_max)`` matrix."""
+    if isinstance(targets, np.ndarray) or hasattr(targets, "__array_namespace__"):
+        matrix = np.asarray(ensure_numpy(targets), dtype=float)
+        if matrix.ndim != 2 or matrix.size == 0:
+            raise ValueError("targets must form a non-empty (B, M) matrix")
+    else:
+        rows = [np.asarray(ensure_numpy(row), dtype=float).ravel() for row in targets]
+        if not rows:
+            raise ValueError("cannot pack an empty batch of targets")
+        width = max(row.size for row in rows)
+        matrix = np.zeros((len(rows), width))
+        for index, row in enumerate(rows):
+            matrix[index, : row.size] = row
+    if np.any(matrix < 0):
+        raise ValueError("target probabilities must be non-negative")
+    sums = matrix.sum(axis=1)
+    if not np.allclose(sums, 1.0, atol=1e-6):
+        bad = int(np.argmax(np.abs(sums - 1.0)))
+        raise ValueError(
+            f"every target row must sum to one; row {bad} sums to {sums[bad]!r}"
+        )
+    return matrix
+
+
+def design_rewards_batch(
+    targets: np.ndarray | Sequence[Any],
+    k: Sequence[int] | np.ndarray | int,
+    policy: CongestionPolicy | None = None,
+    *,
+    equilibrium_value: float = 1.0,
+    off_support_fraction: float = 0.5,
+    backend: Backend | str | None = None,
+) -> np.ndarray:
+    """Rewards making each row's ``target`` the IFD of the game under ``policy``.
+
+    The batch counterpart of
+    :func:`repro.mechanism.kleinberg_oren.design_rewards_for_target`.  The
+    IFD condition under rewards ``r`` is ``r(x) * g_b(p(x)) = v`` on the
+    support (where ``g_b(q) = E[C(1 + Binomial(k_b - 1, q))]``) and
+    ``r(x) <= v`` outside it; fixing the equilibrium value ``v`` gives
+    ``r(x) = v / g_b(target_b(x))`` on the support and
+    ``off_support_fraction * v`` elsewhere.  All congestion factors come
+    from one :func:`~repro.batch.payoffs.occupancy_congestion_factor_batch`
+    pass with per-row player counts.
+
+    Parameters
+    ----------
+    targets:
+        Per-row target distributions — a ``(B, M)`` matrix or a sequence of
+        :class:`~repro.core.strategy.Strategy` vectors (ragged rows are
+        zero-padded; a padding column is off-support by construction).
+    k:
+        Player count — scalar or per-row ``(B,)`` vector.
+    policy:
+        Design policy (default: the sharing policy, the ecological baseline).
+    equilibrium_value, off_support_fraction:
+        The designed common payoff ``v > 0`` (grants are scale free) and the
+        off-support reward fraction in ``(0, 1)``.
+    backend:
+        Array backend for the congestion-factor pass.
+
+    Returns
+    -------
+    numpy.ndarray
+        Host ``(B, M)`` reward matrix.
+
+    Raises
+    ------
+    ValueError
+        When any row's target is not implementable with positive rewards
+        (non-positive congestion factor on its support — e.g. aggressive
+        policies at high occupancy probabilities); the error names the
+        offending rows.
+    """
+    be = resolve_backend(backend)
+    if policy is None:
+        policy = SharingPolicy()
+    if equilibrium_value <= 0:
+        raise ValueError("equilibrium_value must be positive")
+    if not 0 < off_support_fraction < 1:
+        raise ValueError("off_support_fraction must lie in (0, 1)")
+    matrix = _as_target_batch(targets)
+    ks = as_k_vector(k, matrix.shape[0])
+    policy.validate(int(ks.max()))
+
+    g = occupancy_congestion_factor_batch(policy, matrix, ks - 1, backend=be)
+    g = np.asarray(ensure_numpy(g), dtype=float)
+    support = matrix > 0
+    infeasible = np.any(support & (g <= 0), axis=1)
+    if np.any(infeasible):
+        rows = np.nonzero(infeasible)[0].tolist()
+        raise ValueError(
+            "target not implementable: non-positive congestion factor on its "
+            f"support (rows {rows})"
+        )
+    safe_g = np.where(support & (g > 0), g, 1.0)
+    return np.where(
+        support,
+        equilibrium_value / safe_g,
+        off_support_fraction * equilibrium_value,
+    )
+
+
+@dataclass(frozen=True)
+class GrantDesignBatch:
+    """Designed reward vectors and the equilibria they induce, per instance.
+
+    Attributes
+    ----------
+    rewards:
+        ``(B, M_max)`` designed grants, in the instances' (sorted) site
+        order.
+    induced_strategies:
+        ``(B, M_max)`` IFDs of the re-priced games under the design policy.
+    induced_coverages:
+        ``(B,)`` coverage of the induced equilibria measured with the
+        *original* social values (the planner cares about ``f``, not the
+        grants).
+    target_strategies:
+        ``(B, M_max)`` distributions the designs aimed for (the coverage
+        optima of the original values).
+    max_deviations:
+        ``(B,)`` worst per-site gaps ``max_x |induced(x) - target(x)|``.
+    k:
+        ``(B,)`` per-row player counts.
+    padded:
+        The instance batch of the ``B`` axis.
+
+    All array attributes are host NumPy arrays whatever backend solved them.
+    """
+
+    rewards: np.ndarray
+    induced_strategies: np.ndarray
+    induced_coverages: np.ndarray
+    target_strategies: np.ndarray
+    max_deviations: np.ndarray
+    k: np.ndarray
+    padded: PaddedValues
+
+    def design(self, index: int) -> "GrantDesign":
+        """Hydrate one row into the scalar :class:`~repro.mechanism.kleinberg_oren.GrantDesign`."""
+        from repro.core.strategy import Strategy
+        from repro.mechanism.kleinberg_oren import GrantDesign
+
+        size = int(self.padded.sizes[index])
+        return GrantDesign(
+            rewards=np.asarray(self.rewards[index, :size]),
+            induced_strategy=Strategy(self.induced_strategies[index, :size]),
+            induced_coverage=float(self.induced_coverages[index]),
+            target_strategy=Strategy(self.target_strategies[index, :size]),
+            max_deviation=float(self.max_deviations[index]),
+        )
+
+
+def optimal_grant_design_batch(
+    values: PaddedValues | Sequence | np.ndarray,
+    k: Sequence[int] | np.ndarray | int,
+    policy: CongestionPolicy | None = None,
+    *,
+    backend: Backend | str | None = None,
+    **solver_kwargs,
+) -> GrantDesignBatch:
+    """Design grants steering every instance's IFD to its coverage optimum.
+
+    The batch counterpart of
+    :func:`repro.mechanism.kleinberg_oren.optimal_grant_design`: the targets
+    are the ``sigma_star`` of each row's social values (solved once per
+    distinct ``k`` through :func:`~repro.batch.solvers.sigma_star_batch`),
+    the grants come from :func:`design_rewards_batch`, and the induced
+    equilibria of the re-priced games are solved by
+    :func:`~repro.batch.ifd.ifd_batch` with the closed form disabled (the
+    designed rewards are a genuinely different game, exactly like the scalar
+    pipeline).  Designed rewards are re-sorted through
+    :func:`~repro.batch.padding.sorted_padded` for the solver and un-sorted
+    on the way out.
+
+    Parameters
+    ----------
+    values, k:
+        Instance batch (ragged ``M`` allowed) and scalar or per-row player
+        counts.
+    policy:
+        Design policy (default: sharing).
+    backend:
+        Array backend forwarded to every kernel.
+    **solver_kwargs:
+        Extra options for the induced-IFD solve (``tol``, iteration caps).
+
+    Returns
+    -------
+    GrantDesignBatch
+        Elementwise equal (to solver tolerance) to looping the scalar
+        ``optimal_grant_design`` over the rows.
+    """
+    be = resolve_backend(backend)
+    if policy is None:
+        policy = SharingPolicy()
+    padded = as_padded(values)
+    b = padded.batch_size
+    ks = as_k_vector(k, b)
+    unique_ks = np.unique(ks)
+    columns = np.searchsorted(unique_ks, ks)
+    take = np.arange(b)
+
+    star = sigma_star_batch(padded, unique_ks, backend=be)
+    targets = star.probabilities[take, columns, :]
+    # Padding columns of sigma_star are exactly zero, so they read as
+    # off-support sites and receive the (positive) off-support grant — which
+    # keeps the re-priced PaddedValues valid.
+    rewards = design_rewards_batch(targets, ks, policy, backend=be)
+
+    # The induced-IFD solve is the expensive part: group rows by their player
+    # count so exactly B cells are solved (a full (B, K) ifd_batch grid would
+    # discard every off-diagonal cell).
+    reward_padded, order = sorted_padded(rewards, padded)
+    induced_sorted = np.zeros(reward_padded.values.shape)
+    for k_value in unique_ks:
+        rows = np.nonzero(ks == k_value)[0]
+        sub = PaddedValues(reward_padded.values[rows], reward_padded.sizes[rows])
+        equilibrium = ifd_batch(
+            sub, [int(k_value)], policy, use_closed_form=False, backend=be, **solver_kwargs
+        )
+        induced_sorted[rows] = equilibrium.probabilities[:, 0, :]
+    induced_strategies = unsort_rows(induced_sorted, order)
+    induced_coverages = coverage_batch(padded, induced_strategies, unique_ks, backend=be)[
+        take, columns
+    ]
+    max_deviations = np.max(np.abs(induced_strategies - targets), axis=1)
+    return GrantDesignBatch(
+        rewards=rewards,
+        induced_strategies=induced_strategies,
+        induced_coverages=induced_coverages,
+        target_strategies=targets,
+        max_deviations=max_deviations,
+        k=ks,
+        padded=padded,
+    )

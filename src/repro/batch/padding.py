@@ -25,7 +25,7 @@ import numpy as np
 from repro.backend import Backend, ensure_numpy, from_numpy
 from repro.core.values import SiteValues
 
-__all__ = ["PaddedValues"]
+__all__ = ["PaddedValues", "sorted_padded", "unsort_rows"]
 
 
 @dataclass(frozen=True)
@@ -152,3 +152,32 @@ class PaddedValues:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"PaddedValues(B={self.batch_size}, M_max={self.width})"
+
+
+def sorted_padded(
+    values_matrix: np.ndarray, padded: PaddedValues
+) -> tuple[PaddedValues, np.ndarray]:
+    """Re-sort each row of a (strictly positive) value matrix non-increasing.
+
+    Solvers assume padded rows are sorted; kernels that derive new per-site
+    values mid-computation (expected leftovers, designed rewards, depleted
+    tracks) re-pack them through this helper before re-entering a solver.
+    Returns the re-padded batch (padding columns overwritten with each row's
+    last real value, so :class:`PaddedValues` validation holds) plus the
+    ``(B, M)`` sort permutation; :func:`unsort_rows` inverts it.  Padding
+    positions sort last (their key is ``-inf``).
+    """
+    mask = padded.mask
+    sort_key = np.where(mask, values_matrix, -np.inf)
+    order = np.argsort(-sort_key, axis=1, kind="stable")
+    sorted_vals = np.take_along_axis(values_matrix, order, axis=1)
+    last_real = sorted_vals[np.arange(padded.batch_size), padded.sizes - 1]
+    sorted_vals = np.where(mask, sorted_vals, last_real[:, None])
+    return PaddedValues(sorted_vals, padded.sizes), order
+
+
+def unsort_rows(sorted_matrix: np.ndarray, order: np.ndarray) -> np.ndarray:
+    """Scatter per-row results back to the pre-:func:`sorted_padded` order."""
+    out = np.zeros_like(sorted_matrix)
+    np.put_along_axis(out, order, sorted_matrix, axis=1)
+    return out

@@ -18,9 +18,9 @@ module evaluates the same models for whole instance batches at once:
   ``sigma_star`` schedules, with the per-round visit probabilities taken from
   :func:`~repro.utils.numerics.binomial_pmf_tensor`;
 * :func:`compare_policies_batch` / :func:`best_two_level_batch` — the
-  mechanism-design sweep of a congestion-policy roster (in particular the
-  one-parameter family ``C_c`` of Figure 1) over whole ``(instances x
-  k-grid)`` grids.
+  mechanism-design sweeps of a congestion-policy roster, re-exported from
+  their new home :mod:`repro.batch.mechanism` (they grew a batched
+  reward-design counterpart and moved in with it).
 
 Conventions match the rest of :mod:`repro.batch`: instance batches ride on a
 host-canonical :class:`~repro.batch.padding.PaddedValues` (rows sorted
@@ -49,11 +49,10 @@ from repro.backend import (
     to_numpy,
 )
 from repro.batch.ifd import ifd_batch
-from repro.batch.padding import PaddedValues
+from repro.batch.padding import PaddedValues, sorted_padded, unsort_rows
 from repro.batch.payoffs import as_k_vector, congestion_table_batch
-from repro.batch.solvers import as_k_grid, as_padded, coverage_batch, sigma_star_batch
-from repro.core.policies import CongestionPolicy, TwoLevelPolicy
-from repro.mechanism.policy_design import PolicyComparison
+from repro.batch.solvers import as_padded, sigma_star_batch
+from repro.core.policies import CongestionPolicy
 from repro.utils.numerics import binomial_pmf_tensor
 from repro.utils.validation import check_positive_integer
 
@@ -76,32 +75,6 @@ __all__ = [
 # --------------------------------------------------------------------------
 # shared staging helpers
 # --------------------------------------------------------------------------
-
-
-def _sorted_padded(
-    values_matrix: np.ndarray, padded: PaddedValues
-) -> tuple[PaddedValues, np.ndarray]:
-    """Re-sort each row of a (strictly positive) value matrix non-increasing.
-
-    Returns the re-padded batch (padding columns overwritten with each row's
-    last real value, so :class:`PaddedValues` validation holds) plus the
-    ``(B, M)`` sort permutation; :func:`_unsort_rows` inverts it.  Padding
-    positions sort last (their key is ``-inf``).
-    """
-    mask = padded.mask
-    sort_key = np.where(mask, values_matrix, -np.inf)
-    order = np.argsort(-sort_key, axis=1, kind="stable")
-    sorted_vals = np.take_along_axis(values_matrix, order, axis=1)
-    last_real = sorted_vals[np.arange(padded.batch_size), padded.sizes - 1]
-    sorted_vals = np.where(mask, sorted_vals, last_real[:, None])
-    return PaddedValues(sorted_vals, padded.sizes), order
-
-
-def _unsort_rows(sorted_matrix: np.ndarray, order: np.ndarray) -> np.ndarray:
-    """Scatter per-row results back to the pre-:func:`_sorted_padded` order."""
-    out = np.zeros_like(sorted_matrix)
-    np.put_along_axis(out, order, sorted_matrix, axis=1)
-    return out
 
 
 def _solve_columns(ks: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -588,9 +561,9 @@ def two_group_competition_batch(
     # model's tiny floor (the solver needs positive values) and re-sort each
     # row non-increasing so the padded batch honours the solver convention.
     leftovers = np.maximum(f_host * (1.0 - visit1), 1e-12)
-    padded2, order = _sorted_padded(leftovers, padded)
+    padded2, order = sorted_padded(leftovers, padded)
     p2_sorted, v2 = _grouped_ifd(padded2, ks2, second, be, **ifd_kwargs)
-    p2 = _unsort_rows(p2_sorted, order)
+    p2 = unsort_rows(p2_sorted, order)
 
     visit2 = 1.0 - (1.0 - p2) ** ks2[:, None].astype(float)
     second_consumption = np.sum(leftovers * visit2 * mask, axis=1)
@@ -677,11 +650,11 @@ def _sigma_star_rows(remaining: np.ndarray, padded: PaddedValues, ks: np.ndarray
     each row's column.
     """
     clamped = np.maximum(remaining, floor)
-    sorted_padded, order = _sorted_padded(clamped, padded)
+    clamped_padded, order = sorted_padded(clamped, padded)
     unique_ks, columns = _solve_columns(ks)
-    star = sigma_star_batch(sorted_padded, unique_ks, backend=be)
+    star = sigma_star_batch(clamped_padded, unique_ks, backend=be)
     solved = star.probabilities[np.arange(padded.batch_size), columns, :]
-    return _unsort_rows(solved, order)
+    return unsort_rows(solved, order)
 
 
 def repeated_dispersal_batch(
@@ -800,169 +773,15 @@ def repeated_dispersal_batch(
 
 
 # --------------------------------------------------------------------------
-# mechanism-design sweeps (Theorems 4-6)
+# mechanism-design sweeps (Theorems 4-6) — moved to repro.batch.mechanism
 # --------------------------------------------------------------------------
 
-
-@dataclass(frozen=True)
-class PolicyComparisonBatch:
-    """Equilibrium outcomes of a policy roster on every ``(instance, k)`` cell.
-
-    Attributes
-    ----------
-    policy_names:
-        Display names of the ``P`` policies, in roster order.
-    equilibrium_coverages:
-        ``(P, B, K)`` equilibrium (IFD) coverages.
-    optimal_coverages:
-        ``(B, K)`` coverage optima (policy-independent, computed once).
-    spoa:
-        ``(P, B, K)`` per-cell symmetric price of anarchy (``inf`` where the
-        equilibrium coverage is non-positive).
-    equilibrium_payoffs, support_sizes:
-        ``(P, B, K)`` equilibrium payoffs and support sizes.
-    k_grid, padded:
-        Axes of the grid.
-    """
-
-    policy_names: tuple[str, ...]
-    equilibrium_coverages: np.ndarray
-    optimal_coverages: np.ndarray
-    spoa: np.ndarray
-    equilibrium_payoffs: np.ndarray
-    support_sizes: np.ndarray
-    k_grid: np.ndarray
-    padded: PaddedValues
-
-    def comparison(self, policy_index: int, instance: int, k_index: int) -> PolicyComparison:
-        """Hydrate one grid cell into the scalar :class:`PolicyComparison`."""
-        return PolicyComparison(
-            policy_name=self.policy_names[policy_index],
-            equilibrium_coverage=float(self.equilibrium_coverages[policy_index, instance, k_index]),
-            optimal_coverage=float(self.optimal_coverages[instance, k_index]),
-            spoa=float(self.spoa[policy_index, instance, k_index]),
-            equilibrium_payoff=float(self.equilibrium_payoffs[policy_index, instance, k_index]),
-            support_size=int(self.support_sizes[policy_index, instance, k_index]),
-        )
-
-
-def compare_policies_batch(
-    values: PaddedValues | Sequence | np.ndarray,
-    k_grid: Sequence[int] | np.ndarray | int,
-    policies: Sequence[CongestionPolicy],
-    *,
-    backend: Backend | str | None = None,
-    **ifd_kwargs,
-) -> PolicyComparisonBatch:
-    """Evaluate a congestion-policy roster over a whole ``(instances x k)`` grid.
-
-    The batch counterpart of
-    :func:`repro.mechanism.policy_design.compare_policies`: one
-    :func:`~repro.batch.solvers.sigma_star_batch` call fixes the coverage
-    optimum of every cell (Theorem 4), then each policy's equilibria come
-    from one :func:`~repro.batch.ifd.ifd_batch` call (reusing the
-    closed-form solve on exclusive policies) and one coverage pass.
-
-    Returns
-    -------
-    PolicyComparisonBatch
-        Elementwise equal (to solver tolerance) to looping the scalar
-        ``compare_policies`` over instances and ``k`` values.
-    """
-    be = resolve_backend(backend)
-    padded = as_padded(values)
-    ks = as_k_grid(k_grid)
-    roster = list(policies)
-    if not roster:
-        raise ValueError("policies roster must not be empty")
-    star = sigma_star_batch(padded, ks, backend=be)
-    optimal = coverage_batch(padded, star.probabilities, ks, backend=be)
-
-    eq_coverages, payoffs, supports = [], [], []
-    for policy in roster:
-        equilibrium = ifd_batch(padded, ks, policy, closed_form=star, backend=be, **ifd_kwargs)
-        eq_coverages.append(coverage_batch(padded, equilibrium.probabilities, ks, backend=be))
-        payoffs.append(equilibrium.values)
-        supports.append(equilibrium.support_sizes)
-    eq = np.stack(eq_coverages, axis=0)
-    positive = eq > 0
-    spoa = np.where(positive, optimal[None, :, :] / np.where(positive, eq, 1.0), np.inf)
-    return PolicyComparisonBatch(
-        policy_names=tuple(policy.name for policy in roster),
-        equilibrium_coverages=eq,
-        optimal_coverages=optimal,
-        spoa=spoa,
-        equilibrium_payoffs=np.stack(payoffs, axis=0),
-        support_sizes=np.stack(supports, axis=0),
-        k_grid=ks,
-        padded=padded,
-    )
-
-
-@dataclass(frozen=True)
-class BestTwoLevelBatch:
-    """The ``C_c`` family sweep of Theorem 6 over a whole instance grid.
-
-    Attributes
-    ----------
-    c_grid:
-        The swept collision payoffs.
-    best_c:
-        ``(B, K)`` collision payoff maximising the equilibrium coverage of
-        each cell (first maximiser in grid order, like the scalar sweep).
-    best_coverages:
-        ``(B, K)`` the equilibrium coverage at ``best_c``.
-    comparisons:
-        The full :class:`PolicyComparisonBatch` of the sweep (one roster
-        entry per ``c``).
-    """
-
-    c_grid: np.ndarray
-    best_c: np.ndarray
-    best_coverages: np.ndarray
-    comparisons: PolicyComparisonBatch
-
-
-def best_two_level_batch(
-    values: PaddedValues | Sequence | np.ndarray,
-    k_grid: Sequence[int] | np.ndarray | int,
-    *,
-    c_grid: np.ndarray | Sequence[float] | None = None,
-    backend: Backend | str | None = None,
-    **ifd_kwargs,
-) -> BestTwoLevelBatch:
-    """Sweep the two-level family ``C_c`` over a whole ``(instances x k)`` grid.
-
-    The batch counterpart of
-    :func:`repro.mechanism.policy_design.best_two_level_policy`: every
-    ``(instance, k)`` cell reports the collision payoff with the best
-    equilibrium coverage.  Theorem 6 predicts the maximiser sits at ``c = 0``
-    (the exclusive policy) whenever the exclusive support differs from the
-    alternatives'.
-
-    Returns
-    -------
-    BestTwoLevelBatch
-        ``best_c`` agrees with the scalar sweep cell by cell (first-argmax
-        tie-breaking in grid order).
-    """
-    if c_grid is None:
-        c_grid = np.linspace(-0.5, 0.5, 41)
-    c_values = np.asarray(c_grid, dtype=float)
-    if c_values.ndim != 1 or c_values.size == 0:
-        raise ValueError("c_grid must be a non-empty 1-D sequence")
-    roster = [TwoLevelPolicy(float(c)) for c in c_values]
-    comparisons = compare_policies_batch(
-        values, k_grid, roster, backend=backend, **ifd_kwargs
-    )
-    best_index = np.argmax(comparisons.equilibrium_coverages, axis=0)  # (B, K)
-    best_c = c_values[best_index]
-    best_coverages = np.take_along_axis(
-        comparisons.equilibrium_coverages, best_index[None, :, :], axis=0
-    )[0]
-    return BestTwoLevelBatch(
-        c_grid=c_values,
-        best_c=best_c,
-        best_coverages=best_coverages,
-        comparisons=comparisons,
-    )
+# Re-exported for backward compatibility: the congestion-policy roster sweeps
+# grew a reward-design counterpart and now live with it in
+# :mod:`repro.batch.mechanism`.
+from repro.batch.mechanism import (  # noqa: E402  (re-export)
+    BestTwoLevelBatch,
+    PolicyComparisonBatch,
+    best_two_level_batch,
+    compare_policies_batch,
+)

@@ -1,0 +1,461 @@
+"""Batched Bayesian search: closed forms and whole-search simulation per batch.
+
+The scalar :mod:`repro.search.simulator` evaluates one ``(prior, strategy,
+k)`` triple per call; sweeping the Korman-Rodeh "treasure in M boxes"
+connection over experiment grids therefore re-enters Python per cell.  The
+kernels here evaluate whole ``(B,)`` batches of search problems at once:
+
+* :func:`success_probability_batch` — the single-round success probability
+  ``sum_x q(x) (1 - (1 - p(x))**k)`` as one ``(B,)`` tensor pass (pure
+  Array-API on the active backend);
+* :func:`expected_discovery_time_batch` — the geometric-rounds closed form
+  ``sum_x q(x) / (1 - (1 - p(x))**k)``, with rows in which some possible box
+  is never searched **where-masked to ``inf``** instead of tripping
+  divide-by-zero warnings;
+* :func:`simulate_search_batch` — a Monte-Carlo simulator of complete
+  searches for all ``(B, n_trials)`` cells.  The default ``"geometric"``
+  method inverts the conditional geometric law in one pass (the scalar
+  simulator's approach, vectorised over the batch); the ``"lockstep"``
+  method plays every round explicitly — all still-active searches across all
+  rows step together, found searches are masked out per row, and the loop
+  exits early once every treasure is found (mirroring the
+  :class:`~repro.batch.dynamics.DynamicsEngine` convergence masking).
+
+Priors and strategies ride on zero-padded ``(B, M_max)`` matrices (ragged
+box counts allowed); padding columns carry zero prior mass and zero search
+probability, so they can never hold or hide a treasure.  Randomness comes
+from the host generator under the seed policy of :mod:`repro.utils.rng`;
+public results are host NumPy arrays.
+
+Every kernel agrees with its scalar counterpart (the scalar entry points of
+:mod:`repro.search.simulator` are thin ``B = 1`` wrappers; property-tested
+in ``tests/test_batch_search.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.backend import (
+    Backend,
+    ensure_numpy,
+    from_numpy,
+    resolve_backend,
+    to_numpy,
+)
+from repro.utils.rng import as_generator
+from repro.utils.sampling import STACK_SPACING, stacked_flat_cdfs
+from repro.utils.validation import check_positive_integer
+
+__all__ = [
+    "SearchSimulationBatch",
+    "as_prior_batch",
+    "as_search_strategy_batch",
+    "expected_discovery_time_batch",
+    "simulate_search_batch",
+    "success_probability_batch",
+]
+
+# --------------------------------------------------------------------------
+# staging helpers
+# --------------------------------------------------------------------------
+
+
+def as_prior_batch(priors: np.ndarray | Sequence[Any]) -> np.ndarray:
+    """Validate a batch of box priors into a host ``(B, M_max)`` matrix.
+
+    Parameters
+    ----------
+    priors:
+        A ``(B, M_max)`` probability matrix, or a length-``B`` sequence of
+        :class:`~repro.search.boxes.BayesianSearchProblem` objects / 1-D
+        prior vectors (ragged box counts allowed).  Rows are normalised but
+        **not** re-sorted — strategies must follow the same box order the
+        caller used (problem objects come pre-sorted).
+
+    Returns
+    -------
+    numpy.ndarray
+        Host ``(B, M_max)`` float matrix; short rows are zero-padded (a
+        padding box can never hold the treasure) and every row sums to one.
+    """
+    if isinstance(priors, np.ndarray) or hasattr(priors, "__array_namespace__"):
+        matrix = np.asarray(ensure_numpy(priors), dtype=float)
+        if matrix.ndim != 2 or matrix.size == 0:
+            raise ValueError("priors must form a non-empty (B, M) matrix")
+    else:
+        rows = [
+            np.asarray(
+                ensure_numpy(getattr(row, "prior", row)), dtype=float
+            ).ravel()
+            for row in priors
+        ]
+        if not rows:
+            raise ValueError("cannot pack an empty batch of priors")
+        width = max(row.size for row in rows)
+        matrix = np.zeros((len(rows), width))
+        for index, row in enumerate(rows):
+            matrix[index, : row.size] = row
+    if np.any(matrix < 0) or not np.all(np.isfinite(matrix)):
+        raise ValueError("priors must be finite and non-negative")
+    sums = matrix.sum(axis=1)
+    if np.any(sums <= 0):
+        raise ValueError("every prior row must have positive mass")
+    return matrix / sums[:, None]
+
+
+def as_search_strategy_batch(
+    strategies: np.ndarray | Sequence[Any], priors: np.ndarray
+) -> np.ndarray:
+    """Validate per-row round strategies against a packed prior batch.
+
+    Accepts a ``(B, M_max)`` matrix or a length-``B`` sequence of
+    :class:`~repro.core.strategy.Strategy` objects / 1-D vectors; ragged
+    rows are zero-padded to the priors' width.  Every row must be a
+    distribution over its problem's boxes (same order as the prior row).
+    """
+    b, m = priors.shape
+    if isinstance(strategies, np.ndarray) or hasattr(strategies, "__array_namespace__"):
+        matrix = np.asarray(ensure_numpy(strategies), dtype=float)
+        if matrix.shape != (b, m):
+            raise ValueError(
+                f"strategies must form a ({b}, {m}) matrix over the problems' "
+                f"boxes, got {matrix.shape}"
+            )
+    else:
+        rows = [np.asarray(ensure_numpy(row), dtype=float).ravel() for row in strategies]
+        if len(rows) != b:
+            raise ValueError(f"expected {b} strategies, got {len(rows)}")
+        matrix = np.zeros((b, m))
+        for index, row in enumerate(rows):
+            if row.size > m:
+                raise ValueError(
+                    f"strategy {index} covers {row.size} boxes; problem has {m}"
+                )
+            matrix[index, : row.size] = row
+    if np.any(matrix < 0):
+        raise ValueError("strategy probabilities must be non-negative")
+    sums = matrix.sum(axis=1)
+    if not np.allclose(sums, 1.0, atol=1e-6):
+        bad = int(np.argmax(np.abs(sums - 1.0)))
+        raise ValueError(
+            f"every strategy row must sum to one; row {bad} sums to {sums[bad]!r}"
+        )
+    return matrix
+
+
+def _as_searcher_counts(k: Sequence[int] | np.ndarray | int, batch_size: int) -> np.ndarray:
+    """Validate a scalar or per-row searcher-count roster (clear ``k <= 0`` error)."""
+    ks = np.atleast_1d(np.asarray(ensure_numpy(k)))
+    if ks.ndim != 1 or ks.size == 0:
+        raise ValueError("k must be a positive integer or a (B,) roster of them")
+    if not np.issubdtype(ks.dtype, np.integer):
+        rounded = np.rint(np.asarray(ks, dtype=float)).astype(np.int64)
+        if not np.allclose(ks, rounded):
+            raise ValueError(f"searcher counts k must be integers, got {ks!r}")
+        ks = rounded
+    ks = ks.astype(np.int64)
+    if np.any(ks < 1):
+        raise ValueError(
+            f"searcher counts k must be >= 1 (a search needs at least one "
+            f"searcher); got {int(ks.min())}"
+        )
+    if ks.size == 1:
+        return np.full(batch_size, int(ks[0]), dtype=np.int64)
+    if ks.size != batch_size:
+        raise ValueError(
+            f"per-row k roster has {ks.size} entries for a batch of {batch_size}"
+        )
+    return ks
+
+
+# --------------------------------------------------------------------------
+# closed forms
+# --------------------------------------------------------------------------
+
+
+def success_probability_batch(
+    priors: np.ndarray | Sequence[Any],
+    strategies: np.ndarray | Sequence[Any],
+    k: Sequence[int] | np.ndarray | int,
+    *,
+    backend: Backend | str | None = None,
+) -> np.ndarray:
+    """Single-round success probability of every search of a batch.
+
+    The batch counterpart of
+    :func:`repro.search.simulator.single_round_success_probability`:
+    ``sum_x q_b(x) * (1 - (1 - p_b(x))**k_b)`` computed as one ``(B, M)``
+    tensor pass (this is exactly the coverage of ``p_b`` with the prior as
+    value function).
+
+    Returns
+    -------
+    numpy.ndarray
+        Host ``(B,)`` vector of probabilities.
+    """
+    be = resolve_backend(backend)
+    xp = be.xp
+    q_host = as_prior_batch(priors)
+    p_host = as_search_strategy_batch(strategies, q_host)
+    ks = _as_searcher_counts(k, q_host.shape[0])
+    q = from_numpy(be, q_host, dtype=be.float_dtype)
+    p = from_numpy(be, p_host, dtype=be.float_dtype)
+    kcol = from_numpy(be, ks.astype(float), dtype=be.float_dtype)[:, None]
+    hit = 1.0 - (1.0 - p) ** kcol
+    return to_numpy(xp.sum(q * hit, axis=1))
+
+
+def expected_discovery_time_batch(
+    priors: np.ndarray | Sequence[Any],
+    strategies: np.ndarray | Sequence[Any],
+    k: Sequence[int] | np.ndarray | int,
+    *,
+    backend: Backend | str | None = None,
+) -> np.ndarray:
+    """Expected rounds until discovery for every search of a batch.
+
+    The batch counterpart of
+    :func:`repro.search.simulator.expected_discovery_time`.  Conditionally on
+    the treasure's box the round count is geometric, so the expectation is
+    ``sum_x q_b(x) / (1 - (1 - p_b(x))**k_b)``.  Rows in which some box with
+    positive prior mass is never searched are **where-masked** to ``inf`` —
+    the division never touches the zero per-round probabilities, so no
+    overflow or invalid-value warnings are emitted on any backend.
+
+    Returns
+    -------
+    numpy.ndarray
+        Host ``(B,)`` vector; ``inf`` rows mark searches that may never end.
+    """
+    be = resolve_backend(backend)
+    xp = be.xp
+    q_host = as_prior_batch(priors)
+    p_host = as_search_strategy_batch(strategies, q_host)
+    ks = _as_searcher_counts(k, q_host.shape[0])
+    q = from_numpy(be, q_host, dtype=be.float_dtype)
+    p = from_numpy(be, p_host, dtype=be.float_dtype)
+    kcol = from_numpy(be, ks.astype(float), dtype=be.float_dtype)[:, None]
+    per_round = 1.0 - (1.0 - p) ** kcol
+    possible = q > 0
+    findable = per_round > 0
+    never_found = xp.any(possible & ~findable, axis=1)
+    one = xp.asarray(1.0, dtype=be.float_dtype)
+    zero = xp.asarray(0.0, dtype=be.float_dtype)
+    safe = xp.where(findable, per_round, one)
+    total = xp.sum(xp.where(possible & findable, q / safe, zero), axis=1)
+    inf = xp.asarray(xp.inf, dtype=be.float_dtype)
+    return to_numpy(xp.where(never_found, inf, total))
+
+
+# --------------------------------------------------------------------------
+# whole-search simulation
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SearchSimulationBatch:
+    """Empirical summary of simulated searches, one row per problem.
+
+    ``rounds[b, t] == max_rounds + 1`` marks a **censored** trial (the
+    treasure was not found within ``max_rounds`` rounds); all success and
+    round statistics condition on the uncensored trials, so
+    ``mean_rounds_when_found`` under-estimates the true expected discovery
+    time whenever ``success_rates[b] < 1``.  All attributes are host NumPy
+    arrays.
+
+    Attributes
+    ----------
+    n_trials, max_rounds, method:
+        Simulation parameters (``method`` is ``"geometric"`` or
+        ``"lockstep"``).
+    k:
+        ``(B,)`` ``int64`` searcher counts.
+    success_rates:
+        ``(B,)`` fraction of trials in which the treasure was found.
+    mean_rounds_when_found:
+        ``(B,)`` mean discovery round over the found trials (``nan`` rows
+        where nothing was found).
+    round_one_success_rates:
+        ``(B,)`` fraction of trials decided in the first round.
+    rounds:
+        ``(B, n_trials)`` ``int64`` per-trial discovery rounds
+        (``max_rounds + 1`` = censored).
+    """
+
+    n_trials: int
+    max_rounds: int
+    method: str
+    k: np.ndarray
+    success_rates: np.ndarray
+    mean_rounds_when_found: np.ndarray
+    round_one_success_rates: np.ndarray
+    rounds: np.ndarray
+
+
+def simulate_search_batch(
+    priors: np.ndarray | Sequence[Any],
+    strategies: np.ndarray | Sequence[Any],
+    k: Sequence[int] | np.ndarray | int,
+    n_trials: int,
+    *,
+    max_rounds: int = 200,
+    rng: np.random.Generator | int | None = None,
+    method: str = "geometric",
+    backend: Backend | str | None = None,
+) -> SearchSimulationBatch:
+    """Simulate complete searches for every problem of a batch at once.
+
+    Each trial hides a treasure according to its row's prior, then plays
+    rounds in which ``k_b`` searchers independently sample boxes from the
+    row's strategy until the treasure is found or ``max_rounds`` is
+    exhausted.
+
+    Parameters
+    ----------
+    priors, strategies, k:
+        The packed search batch (see :func:`as_prior_batch`,
+        :func:`as_search_strategy_batch`, and the ``k <= 0`` roster
+        validation of the closed-form kernels).
+    n_trials:
+        Independent searches per row.
+    max_rounds:
+        Censoring horizon; unfinished searches report ``max_rounds + 1``.
+    rng:
+        Seed or host generator.
+    method:
+        ``"geometric"`` (default) inverts the conditional geometric round
+        law in one vectorised pass — statistically identical to playing
+        every round, at a per-trial (not per-round) cost; the scalar
+        :func:`repro.search.simulator.simulate_search` wraps this path.
+        ``"lockstep"`` plays every round explicitly: all still-active
+        ``(B, n_trials)`` searches draw their ``k_b`` box choices together,
+        found searches are masked out of the next round per row, and the
+        loop exits as soon as every search has ended (rows whose strategy
+        cannot reach the treasure keep their trials active until
+        ``max_rounds``).
+    backend:
+        Array backend for the geometric path's inverse-CDF ``searchsorted``
+        passes.  The lockstep stepper is host-side by design (its active-set
+        masking is fancy-indexing-shaped); results never depend on the
+        choice.
+
+    Returns
+    -------
+    SearchSimulationBatch
+        The two methods draw different streams from ``rng`` but agree in
+        distribution (property-tested against each other and the closed
+        forms).
+    """
+    n_trials = check_positive_integer(n_trials, "n_trials")
+    max_rounds = check_positive_integer(max_rounds, "max_rounds")
+    if method not in ("geometric", "lockstep"):
+        raise ValueError(f"method must be 'geometric' or 'lockstep', got {method!r}")
+    be = resolve_backend(backend)
+    generator = as_generator(rng)
+    q = as_prior_batch(priors)
+    p = as_search_strategy_batch(strategies, q)
+    b, m = q.shape
+    ks = _as_searcher_counts(k, b)
+
+    # Hide the treasures: one stacked inverse-CDF pass over the B priors.
+    flat_prior = stacked_flat_cdfs(q)
+    offsets = np.arange(b, dtype=np.int64)
+    u_hide = generator.random((b, n_trials))
+    positions = np.searchsorted(
+        flat_prior, u_hide + STACK_SPACING * offsets[:, None], side="right"
+    )
+    treasure = np.minimum(positions - (offsets * m)[:, None], m - 1)
+
+    if method == "geometric":
+        rounds = _geometric_rounds(q, p, ks, treasure, max_rounds, generator, be)
+    else:
+        rounds = _lockstep_rounds(p, ks, treasure, max_rounds, generator)
+
+    found = rounds <= max_rounds
+    counts = found.sum(axis=1)
+    sums = (rounds * found).sum(axis=1)
+    mean_rounds = np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+    return SearchSimulationBatch(
+        n_trials=n_trials,
+        max_rounds=max_rounds,
+        method=method,
+        k=ks,
+        success_rates=found.mean(axis=1),
+        mean_rounds_when_found=mean_rounds,
+        round_one_success_rates=(rounds == 1).mean(axis=1),
+        rounds=rounds.astype(np.int64),
+    )
+
+
+def _geometric_rounds(
+    q: np.ndarray,
+    p: np.ndarray,
+    ks: np.ndarray,
+    treasure: np.ndarray,
+    max_rounds: int,
+    generator: np.random.Generator,
+    be: Backend,
+) -> np.ndarray:
+    """Invert the conditional geometric round law for all ``(B, n_trials)`` cells."""
+    xp = be.xp
+    b, n_trials = treasure.shape
+    p_at_treasure = p[np.arange(b)[:, None], treasure]
+    per_round_host = 1.0 - (1.0 - p_at_treasure) ** ks[:, None].astype(float)
+    u = generator.random((b, n_trials))
+    # Inverse-CDF sampling of the geometric distribution, where-masked so the
+    # log of the unfindable cells (per-round probability 0) is never taken.
+    per_round = from_numpy(be, per_round_host, dtype=be.float_dtype)
+    u_dev = from_numpy(be, u, dtype=be.float_dtype)
+    findable = per_round > 0
+    clipped = xp.clip(
+        xp.where(findable, per_round, xp.asarray(0.5, dtype=be.float_dtype)),
+        1e-300,
+        1.0 - 1e-16,
+    )
+    drawn = xp.ceil(xp.log1p(-u_dev) / xp.log1p(-clipped))
+    rounds = np.where(to_numpy(findable), to_numpy(drawn), np.inf)
+    rounds = np.maximum(rounds, 1.0)
+    return np.where(rounds > max_rounds, max_rounds + 1, rounds).astype(np.int64)
+
+
+def _lockstep_rounds(
+    p: np.ndarray,
+    ks: np.ndarray,
+    treasure: np.ndarray,
+    max_rounds: int,
+    generator: np.random.Generator,
+) -> np.ndarray:
+    """Play every round explicitly with per-search masking and early exit."""
+    b, n_trials = treasure.shape
+    m = p.shape[1]
+    k_max = int(ks.max())
+    flat_strategy = stacked_flat_cdfs(p)
+    searcher_mask = np.arange(k_max)[None, :] < ks[:, None]  # (B, k_max)
+
+    rounds = np.full((b, n_trials), max_rounds + 1, dtype=np.int64)
+    active = np.ones(b * n_trials, dtype=bool)
+    row_of = np.repeat(np.arange(b, dtype=np.int64), n_trials)
+    treasure_flat = treasure.ravel()
+    rounds_flat = rounds.ravel()
+
+    for round_index in range(1, max_rounds + 1):
+        index = np.nonzero(active)[0]
+        if index.size == 0:
+            break  # every search has ended: early exit
+        rows = row_of[index]
+        u = generator.random((index.size, k_max))
+        positions = np.searchsorted(
+            flat_strategy,
+            (u + STACK_SPACING * rows[:, None]).ravel(),
+            side="right",
+        ).reshape(index.size, k_max)
+        choices = np.minimum(positions - (rows * m)[:, None], m - 1)
+        hit = (choices == treasure_flat[index][:, None]) & searcher_mask[rows]
+        found = hit.any(axis=1)
+        rounds_flat[index[found]] = round_index
+        active[index[found]] = False
+    return rounds_flat.reshape(b, n_trials)

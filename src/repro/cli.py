@@ -11,6 +11,8 @@ Usage (after ``pip install -e .``)::
     repro-dispersal travel-costs [--policy sharing] [--cost-scales 0 0.1 0.3]
     repro-dispersal group-competition [--policies exclusive sharing aggressive]
     repro-dispersal repeated [--rounds 6] [--depletions 0 0.25 0.5]
+    repro-dispersal search [--trials 600] [--strategies sigma_star uniform]
+    repro-dispersal mechanism [--policies exclusive sharing] [--design-policy sharing]
     repro-dispersal experiments
 
 or equivalently ``python -m repro.cli ...``.  Every sub-command is a thin
@@ -59,6 +61,13 @@ from repro.analysis.scenario_experiments import (
     build_group_competition_spec,
     build_repeated_spec,
     build_travel_costs_spec,
+)
+from repro.analysis.stochastic_experiments import (
+    SEARCH_STRATEGY_FACTORIES as _SEARCH_STRATEGIES,
+    GrantDesignRow,
+    MechanismPolicyRow,
+    build_mechanism_spec,
+    build_search_spec,
 )
 from repro.analysis.sweeps import assemble_sweep, build_dynamics_spec, build_sweep_spec
 from repro.backend import BackendNotAvailableError, available_backends, load_backend
@@ -243,6 +252,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     repeated.add_argument(
         "--batch", type=int, default=64, help="Horizons per batched kernel call."
+    )
+
+    search = sub.add_parser(
+        "search",
+        parents=[common],
+        help="Bayesian box-search baselines: closed forms vs batched simulation.",
+    )
+    search.add_argument(
+        "--strategies",
+        nargs="+",
+        choices=sorted(_SEARCH_STRATEGIES),
+        default=["sigma_star", "uniform", "proportional", "greedy_top_k"],
+        help="Round-strategy roster evaluated on every problem.",
+    )
+    search.add_argument("--trials", type=int, default=600, help="Simulated searches per cell.")
+    search.add_argument(
+        "--max-rounds", type=int, default=400, help="Censoring horizon of the simulation."
+    )
+    search.add_argument(
+        "--batch", type=int, default=64, help="Grid cells per batched kernel call."
+    )
+
+    mechanism = sub.add_parser(
+        "mechanism",
+        parents=[common],
+        help="Congestion-rule design vs Kleinberg-Oren reward design.",
+    )
+    mechanism.add_argument(
+        "--policies",
+        nargs="+",
+        choices=sorted(_POLICY_FACTORIES),
+        default=["exclusive", "sharing", "constant", "aggressive"],
+        help="Congestion-rule roster swept over the grid (the paper's lever).",
+    )
+    mechanism.add_argument(
+        "--design-policy",
+        choices=sorted(_POLICY_FACTORIES),
+        default="sharing",
+        help="Fixed rule the reward-design lever re-prices sites under.",
+    )
+    mechanism.add_argument(
+        "--batch", type=int, default=64, help="Grid cells per batched kernel call."
     )
 
     sub.add_parser(
@@ -477,6 +528,77 @@ def _run_repeated(args: argparse.Namespace) -> str:
     )
 
 
+def _run_search(args: argparse.Namespace) -> str:
+    spec = build_search_spec(
+        strategies=args.strategies,
+        n_trials=args.trials,
+        max_rounds=args.max_rounds,
+        batch_rows=args.batch,
+        seed=args.seed,
+    )
+    result = _execute(spec, args)
+    if args.json:
+        return result.to_json(timing=False)
+    rows = list(result.rows)
+    by_cell: dict[tuple, list] = {}
+    for row in rows:
+        by_cell.setdefault((row.family, row.m, row.k), []).append(row)
+    wins = sum(
+        1
+        for cell_rows in by_cell.values()
+        if max(cell_rows, key=lambda r: r.success_probability).strategy == "sigma_star"
+    )
+    headline = (
+        f"sigma_star has the best single-round success probability on "
+        f"{wins}/{len(by_cell)} problems (Theorem 4 with the prior as value function)"
+    )
+    return render_report(
+        "Parallel Bayesian search: round-strategy baselines",
+        [(headline, rows_to_table(rows))],
+    )
+
+
+def _run_mechanism(args: argparse.Namespace) -> str:
+    spec = build_mechanism_spec(
+        policies=args.policies,
+        design_policy=args.design_policy,
+        batch_rows=args.batch,
+        seed=args.seed,
+    )
+    result = _execute(spec, args)
+    if args.json:
+        return result.to_json(timing=False)
+    policy_rows = result.rows_of_type(MechanismPolicyRow)
+    grant_rows = result.rows_of_type(GrantDesignRow)
+    by_policy: dict[str, list[float]] = {}
+    for row in policy_rows:
+        by_policy.setdefault(row.policy_name, []).append(
+            row.equilibrium_coverage / row.optimal_coverage if row.optimal_coverage > 0 else np.nan
+        )
+    ranking = sorted(by_policy.items(), key=lambda item: -float(np.mean(item[1])))
+    policy_line = ", ".join(
+        f"{name}: {float(np.mean(ratios)):.4f}" for name, ratios in ranking
+    )
+    grant_line = (
+        f"grant design under the {args.design_policy} rule reaches "
+        f"{float(np.mean([r.induced_coverage / r.optimal_coverage for r in grant_rows if r.optimal_coverage > 0])):.4f} "
+        f"of the optimum (worst max deviation "
+        f"{max(r.max_deviation for r in grant_rows):.2e})"
+        if grant_rows
+        else "(no grant-design rows)"
+    )
+    return render_report(
+        "Mechanism design: congestion rules vs reward (grant) design",
+        [
+            (
+                f"mean coverage ratio by congestion rule — {policy_line}",
+                rows_to_table(policy_rows),
+            ),
+            (grant_line, rows_to_table(grant_rows)),
+        ],
+    )
+
+
 def _run_experiments(args: argparse.Namespace) -> str:
     definitions = [get_experiment(name) for name in experiment_names()]
     if args.json:
@@ -504,6 +626,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "travel-costs": _run_travel_costs,
         "group-competition": _run_group_competition,
         "repeated": _run_repeated,
+        "search": _run_search,
+        "mechanism": _run_mechanism,
         "experiments": _run_experiments,
     }
     print(runners[args.command](args))

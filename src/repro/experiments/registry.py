@@ -51,6 +51,7 @@ _BUILTIN_MODULES = (
     "repro.analysis.ess_experiments",
     "repro.analysis.sweeps",
     "repro.analysis.scenario_experiments",
+    "repro.analysis.stochastic_experiments",
 )
 
 

@@ -33,6 +33,7 @@ import numpy as np
 from repro.backend import use_backend
 from repro.experiments.result import ExperimentResult
 from repro.experiments.spec import ExperimentSpec, TaskFunction
+from repro.utils.rng import spawn_seed_sequences
 
 __all__ = ["run_experiment", "coerce_seed", "spawn_task_seeds", "chunk_grid"]
 
@@ -67,10 +68,13 @@ def coerce_seed(rng: np.random.Generator | int | None) -> int:
 
 
 def spawn_task_seeds(seed: int, n_tasks: int) -> list[np.random.SeedSequence]:
-    """Derive one independent child ``SeedSequence`` per task index."""
-    if n_tasks == 0:
-        return []
-    return np.random.SeedSequence(int(seed)).spawn(n_tasks)
+    """Derive one independent child ``SeedSequence`` per task index.
+
+    Thin alias of :func:`repro.utils.rng.spawn_seed_sequences`, which
+    documents the library-wide seed-derivation policy (root seed -> per-task
+    child streams keyed by grid index, stable under re-chunking).
+    """
+    return spawn_seed_sequences(int(seed), n_tasks)
 
 
 def _execute_task(

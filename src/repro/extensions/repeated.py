@@ -28,7 +28,7 @@ import numpy as np
 from repro.core.sigma_star import sigma_star
 from repro.core.strategy import Strategy
 from repro.core.values import SiteValues
-from repro.simulation.rng import as_generator
+from repro.utils.rng import as_generator
 from repro.utils.validation import check_positive_integer
 
 __all__ = [

@@ -12,6 +12,10 @@ keeping ``r = f``): reward design requires knowing the number of players ``k``
 and the freedom to re-price sites, neither of which is available in ecological
 settings; the congestion-policy route needs neither (Section 1.6 of the
 paper).  Both implementations are provided so the benchmarks can compare them.
+
+The public entry points are thin ``B = 1`` wrappers (original signatures)
+over the batched kernels of :mod:`repro.batch.mechanism`, which design
+grants for whole instance batches with mixed per-row player counts.
 """
 
 from __future__ import annotations
@@ -20,11 +24,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.coverage import coverage
-from repro.core.ifd import ideal_free_distribution
-from repro.core.optimal_coverage import optimal_coverage_strategy
-from repro.core.payoffs import occupancy_congestion_factor
-from repro.core.policies import CongestionPolicy, SharingPolicy
+from repro.batch.mechanism import design_rewards_batch, optimal_grant_design_batch
+from repro.core.policies import CongestionPolicy
 from repro.core.strategy import Strategy
 from repro.core.values import SiteValues
 from repro.utils.coercion import values_array
@@ -84,26 +85,18 @@ def design_rewards_for_target(
     Raises ``ValueError`` when the congestion factor at the target occupancy is
     non-positive (the target is then not implementable with positive rewards,
     e.g. aggressive policies at high occupancy probabilities).
+
+    Thin ``B = 1`` wrapper over
+    :func:`repro.batch.mechanism.design_rewards_batch`.
     """
     k = check_positive_integer(k, "k")
-    if policy is None:
-        policy = SharingPolicy()
-    policy.validate(k)
-    if equilibrium_value <= 0:
-        raise ValueError("equilibrium_value must be positive")
-    if not 0 < off_support_fraction < 1:
-        raise ValueError("off_support_fraction must lie in (0, 1)")
-
-    p = target.as_array()
-    g = occupancy_congestion_factor(policy, p, k - 1)
-    support = p > 0
-    if np.any(g[support] <= 0):
-        raise ValueError(
-            "target not implementable: non-positive congestion factor on its support"
-        )
-    rewards = np.full(p.size, off_support_fraction * equilibrium_value)
-    rewards[support] = equilibrium_value / g[support]
-    return rewards
+    return design_rewards_batch(
+        target.as_array()[None, :],
+        k,
+        policy,
+        equilibrium_value=equilibrium_value,
+        off_support_fraction=off_support_fraction,
+    )[0]
 
 
 def optimal_grant_design(
@@ -117,22 +110,13 @@ def optimal_grant_design(
     The target is ``sigma_star`` of the social values ``f`` (the symmetric
     strategy maximising coverage); the returned design reports how closely the
     induced equilibrium matches it and the coverage it achieves on ``f``.
+
+    Thin ``B = 1`` wrapper over
+    :func:`repro.batch.mechanism.optimal_grant_design_batch`.
     """
     k = check_positive_integer(k, "k")
-    if policy is None:
-        policy = SharingPolicy()
-    f = values_array(values)
-    target = optimal_coverage_strategy(f, k).strategy
-    rewards = design_rewards_for_target(target, k, policy)
-    induced = ideal_free_distribution(rewards, k, policy, use_closed_form=False, **solver_kwargs)
-    deviation = float(np.abs(induced.strategy.as_array() - target.as_array()).max())
-    return GrantDesign(
-        rewards=rewards,
-        induced_strategy=induced.strategy,
-        induced_coverage=coverage(f, induced.strategy, k),
-        target_strategy=target,
-        max_deviation=deviation,
-    )
+    batch = optimal_grant_design_batch([values], k, policy, **solver_kwargs)
+    return batch.design(0)
 
 
 def proportional_rewards(values: SiteValues | np.ndarray) -> np.ndarray:

@@ -10,6 +10,10 @@ statement quantitative:
 * :func:`best_two_level_policy` sweeps the one-parameter family ``C_c`` of
   Figure 1 and returns the collision payoff ``c`` with the best equilibrium
   coverage — the ablation showing the maximum sits at ``c = 0``.
+
+Both are thin ``B = 1`` wrappers (original signatures) over the batched
+roster sweeps of :mod:`repro.batch.mechanism`, which evaluate whole
+``(instances x k x policy)`` grids per call.
 """
 
 from __future__ import annotations
@@ -19,10 +23,8 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.coverage import coverage
-from repro.core.ifd import ideal_free_distribution
-from repro.core.optimal_coverage import optimal_coverage
-from repro.core.policies import CongestionPolicy, TwoLevelPolicy
+from repro.batch.mechanism import best_two_level_batch, compare_policies_batch
+from repro.core.policies import CongestionPolicy
 from repro.core.values import SiteValues
 from repro.utils.validation import check_positive_integer
 
@@ -47,24 +49,14 @@ def compare_policies(
     policies: Sequence[CongestionPolicy],
     **solver_kwargs,
 ) -> list[PolicyComparison]:
-    """Evaluate each policy's IFD coverage against the coverage optimum."""
+    """Evaluate each policy's IFD coverage against the coverage optimum.
+
+    Thin ``B = 1`` wrapper over
+    :func:`repro.batch.mechanism.compare_policies_batch`.
+    """
     k = check_positive_integer(k, "k")
-    best = optimal_coverage(values, k)
-    rows: list[PolicyComparison] = []
-    for policy in policies:
-        result = ideal_free_distribution(values, k, policy, **solver_kwargs)
-        eq_coverage = coverage(values, result.strategy, k)
-        rows.append(
-            PolicyComparison(
-                policy_name=policy.name,
-                equilibrium_coverage=float(eq_coverage),
-                optimal_coverage=float(best),
-                spoa=float(best / eq_coverage) if eq_coverage > 0 else float("inf"),
-                equilibrium_payoff=float(result.value),
-                support_size=result.support_size,
-            )
-        )
-    return rows
+    batch = compare_policies_batch([values], [k], list(policies), **solver_kwargs)
+    return [batch.comparison(index, 0, 0) for index in range(len(batch.policy_names))]
 
 
 def best_two_level_policy(
@@ -81,11 +73,15 @@ def best_two_level_policy(
     predicts the best ``c`` to be 0 for every instance in which the exclusive
     support differs from the others' — the benchmarks confirm the maximiser of
     equilibrium coverage sits at ``c = 0`` on the Figure 1 instances.
+
+    Thin ``B = 1`` wrapper over
+    :func:`repro.batch.mechanism.best_two_level_batch` (same first-argmax
+    tie-breaking in grid order).
     """
-    if c_grid is None:
-        c_grid = np.linspace(-0.5, 0.5, 41)
-    policies = [TwoLevelPolicy(float(c)) for c in c_grid]
-    rows = compare_policies(values, k, policies, **solver_kwargs)
-    coverages = np.array([row.equilibrium_coverage for row in rows])
-    best_index = int(np.argmax(coverages))
-    return float(np.asarray(c_grid, dtype=float)[best_index]), rows
+    k = check_positive_integer(k, "k")
+    batch = best_two_level_batch([values], [k], c_grid=c_grid, **solver_kwargs)
+    rows = [
+        batch.comparisons.comparison(index, 0, 0)
+        for index in range(batch.c_grid.size)
+    ]
+    return float(batch.best_c[0, 0]), rows

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.values import SiteValues
-from repro.simulation.rng import as_generator
+from repro.utils.rng import as_generator
 from repro.utils.validation import check_positive_integer, check_probability_vector
 
 __all__ = ["BayesianSearchProblem"]

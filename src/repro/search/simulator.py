@@ -9,19 +9,27 @@ For memoryless round strategies the relevant quantities have closed forms:
   expected discovery time is ``sum_x q(x) / (1 - (1 - p(x))**k)`` (infinite if
   some possible box is never searched).
 
-The simulator plays whole searches (bounded by ``max_rounds``) and reports the
-empirical distribution of discovery times, which tests compare against the
-closed forms.
+Since the batched stochastic layer landed, the formulas and the simulator
+live in :mod:`repro.batch.search` — one tensor pass (or one vectorised
+whole-search simulation) per ``(B,)`` batch of problems — and the public
+entry points here are thin ``B = 1`` wrappers with their original
+signatures.  The simulator plays whole searches (censored at ``max_rounds``)
+and reports the empirical distribution of discovery times, which tests
+compare against the closed forms.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Mapping
 
 import numpy as np
 
-from repro.core.coverage import coverage
+from repro.batch.search import (
+    expected_discovery_time_batch,
+    simulate_search_batch,
+    success_probability_batch,
+)
 from repro.core.strategy import Strategy
 from repro.search.boxes import BayesianSearchProblem
 from repro.search.strategies import (
@@ -30,7 +38,7 @@ from repro.search.strategies import (
     sigma_star_strategy,
     uniform_strategy,
 )
-from repro.simulation.rng import as_generator
+from repro.utils.rng import as_generator
 from repro.utils.validation import check_positive_integer
 
 __all__ = [
@@ -44,7 +52,15 @@ __all__ = [
 
 @dataclass(frozen=True)
 class SearchOutcome:
-    """Empirical summary of a batch of simulated searches."""
+    """Empirical summary of a batch of simulated searches.
+
+    ``rounds`` holds one entry per trial; ``max_rounds + 1`` marks a
+    **censored** trial whose treasure was not found within ``max_rounds``
+    rounds.  ``mean_rounds_when_found`` conditions on the uncensored trials
+    only, so it under-estimates the true
+    :func:`expected_discovery_time` whenever ``success_rate < 1`` (and in
+    particular whenever the closed form is infinite).
+    """
 
     n_trials: int
     k: int
@@ -55,16 +71,26 @@ class SearchOutcome:
     rounds: np.ndarray
 
 
+def _check_strategy(problem: BayesianSearchProblem, strategy: Strategy) -> np.ndarray:
+    p = strategy.as_array()
+    if p.size != problem.prior.size:
+        raise ValueError("strategy must be over the problem's boxes")
+    return p
+
+
 def single_round_success_probability(
     problem: BayesianSearchProblem, strategy: Strategy, k: int
 ) -> float:
-    """Probability that at least one of ``k`` searchers opens the treasure box in one round."""
-    check_positive_integer(k, "k")
-    q = problem.prior
-    p = strategy.as_array()
-    if p.size != q.size:
-        raise ValueError("strategy must be over the problem's boxes")
-    return float(np.dot(q, 1.0 - (1.0 - p) ** k))
+    """Probability that at least one of ``k`` searchers opens the treasure box in one round.
+
+    Thin ``B = 1`` wrapper over
+    :func:`repro.batch.search.success_probability_batch`.
+    """
+    k = check_positive_integer(k, "k")
+    p = _check_strategy(problem, strategy)
+    return float(
+        success_probability_batch(problem.prior[None, :], p[None, :], k)[0]
+    )
 
 
 def expected_discovery_time(
@@ -73,16 +99,16 @@ def expected_discovery_time(
     """Expected number of rounds until discovery for a memoryless round strategy.
 
     Returns ``inf`` when some box with positive prior probability is never
-    searched (the treasure might be there forever).
+    searched (the treasure might be there forever); the unreachable boxes are
+    where-masked out of the division, so no floating-point warnings are
+    emitted on the way to ``inf``.  Thin ``B = 1`` wrapper over
+    :func:`repro.batch.search.expected_discovery_time_batch`.
     """
-    check_positive_integer(k, "k")
-    q = problem.prior
-    p = strategy.as_array()
-    per_round = 1.0 - (1.0 - p) ** k
-    possible = q > 0
-    if np.any(per_round[possible] <= 0):
-        return float("inf")
-    return float(np.sum(q[possible] / per_round[possible]))
+    k = check_positive_integer(k, "k")
+    p = _check_strategy(problem, strategy)
+    return float(
+        expected_discovery_time_batch(problem.prior[None, :], p[None, :], k)[0]
+    )
 
 
 def simulate_search(
@@ -99,39 +125,33 @@ def simulate_search(
     Each trial hides the treasure according to the prior, then repeats rounds
     in which each of the ``k`` searchers independently samples a box from
     ``strategy``, until the treasure is found or ``max_rounds`` is exhausted.
-    The per-trial round counts are returned (``max_rounds + 1`` marks failure).
+    The per-trial round counts are returned (``max_rounds + 1`` marks a
+    censored, unfound trial — see :class:`SearchOutcome`).
+
+    Thin ``B = 1`` wrapper over
+    :func:`repro.batch.search.simulate_search_batch` with the default
+    ``"geometric"`` method (each trial's round count is geometric
+    conditionally on the treasure's box, so inverting that law is equivalent
+    to simulating every individual box opening).
     """
     k = check_positive_integer(k, "k")
-    n_trials = check_positive_integer(n_trials, "n_trials")
-    max_rounds = check_positive_integer(max_rounds, "max_rounds")
-    generator = as_generator(rng)
-
-    treasure = problem.sample_treasure(n_trials, generator)
-    p = strategy.as_array()
-    # Probability that one round finds the treasure, per trial (depends only on
-    # the treasure's box), so each trial's round count is geometric: simulate it
-    # directly, which is equivalent to simulating every individual box opening.
-    per_round = 1.0 - (1.0 - p[treasure]) ** k
-    uniforms = generator.random(n_trials)
-    rounds = np.full(n_trials, max_rounds + 1, dtype=int)
-    findable = per_round > 0
-    # Inverse-CDF sampling of the geometric distribution.
-    rounds[findable] = np.ceil(
-        np.log1p(-uniforms[findable]) / np.log1p(-np.clip(per_round[findable], 1e-300, 1 - 1e-16))
-    ).astype(int)
-    rounds[findable] = np.clip(rounds[findable], 1, None)
-    rounds = np.where(rounds > max_rounds, max_rounds + 1, rounds)
-
-    found = rounds <= max_rounds
-    mean_rounds = float(rounds[found].mean()) if np.any(found) else float("nan")
-    return SearchOutcome(
-        n_trials=n_trials,
-        k=k,
+    p = _check_strategy(problem, strategy)
+    batch = simulate_search_batch(
+        problem.prior[None, :],
+        p[None, :],
+        k,
+        n_trials,
         max_rounds=max_rounds,
-        success_rate=float(found.mean()),
-        mean_rounds_when_found=mean_rounds,
-        round_one_success_rate=float((rounds == 1).mean()),
-        rounds=rounds,
+        rng=as_generator(rng),
+    )
+    return SearchOutcome(
+        n_trials=batch.n_trials,
+        k=k,
+        max_rounds=batch.max_rounds,
+        success_rate=float(batch.success_rates[0]),
+        mean_rounds_when_found=float(batch.mean_rounds_when_found[0]),
+        round_one_success_rate=float(batch.round_one_success_rates[0]),
+        rounds=np.asarray(batch.rounds[0], dtype=int),
     )
 
 
@@ -145,7 +165,11 @@ def compare_search_strategies(
 
     Returns a mapping ``name -> {"success_probability", "expected_rounds"}``
     covering ``sigma_star``, uniform, prior-proportional and greedy-top-k
-    (plus any extra strategies supplied by the caller).
+    (plus any extra strategies supplied by the caller).  Both quantities for
+    all strategies come from one batched pass each
+    (:func:`~repro.batch.search.success_probability_batch` /
+    :func:`~repro.batch.search.expected_discovery_time_batch` with the
+    strategy roster as the batch axis).
     """
     k = check_positive_integer(k, "k")
     strategies: dict[str, Strategy] = {
@@ -156,10 +180,15 @@ def compare_search_strategies(
     }
     if extra_strategies:
         strategies.update(extra_strategies)
-    report: dict[str, dict[str, float]] = {}
-    for name, strategy in strategies.items():
-        report[name] = {
-            "success_probability": single_round_success_probability(problem, strategy, k),
-            "expected_rounds": expected_discovery_time(problem, strategy, k),
+    names = list(strategies)
+    priors = np.tile(problem.prior, (len(names), 1))
+    matrix = np.stack([_check_strategy(problem, strategies[name]) for name in names])
+    successes = success_probability_batch(priors, matrix, k)
+    rounds = expected_discovery_time_batch(priors, matrix, k)
+    return {
+        name: {
+            "success_probability": float(successes[index]),
+            "expected_rounds": float(rounds[index]),
         }
-    return report
+        for index, name in enumerate(names)
+    }

@@ -20,7 +20,7 @@ from repro.simulation.estimators import (
     empirical_site_values,
     standard_error,
 )
-from repro.simulation.rng import spawn_generators
+from repro.utils.rng import spawn_generators
 
 __all__ = [
     "DispersalSimulator",

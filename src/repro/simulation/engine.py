@@ -1,11 +1,13 @@
-"""Vectorised Monte-Carlo engine for the one-shot dispersal game.
+"""Monte-Carlo engine for the one-shot dispersal game (thin ``B = 1`` wrappers).
 
 A single *trial* consists of ``k`` players independently drawing a site and
-collecting the policy reward determined by how many of them collided.  The
-engine simulates many trials at once using NumPy (one ``(n_trials, k)`` draw
-and a ``bincount`` per batch) and reports coverage, payoffs and collision
-statistics, each with a standard error so tests can perform calibrated
-comparisons against the exact formulas of :mod:`repro.core`.
+collecting the policy reward determined by how many of them collided.  Since
+the batched stochastic layer landed, the actual simulation loop lives in
+:mod:`repro.batch.simulation` — one ``(n_trials, B, k)`` inverse-CDF draw and
+one segment-sum ``bincount`` per memory chunk for a whole instance batch —
+and this module wraps it for the single-instance case with the original
+public signatures, exactly like the ``dynamics/`` wrappers over the batched
+:class:`~repro.batch.dynamics.DynamicsEngine`.
 
 Backend note: simulation is **host-side by design** — its hot path is RNG
 draws and ``bincount`` histograms, both of which live behind the NumPy-only
@@ -24,12 +26,12 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.batch.simulation import simulate_dispersal_batch, simulate_profile_batch
 from repro.core.policies import CongestionPolicy
 from repro.core.strategy import Strategy
 from repro.core.values import SiteValues
-from repro.simulation.rng import as_generator
 from repro.utils.coercion import values_array
-from repro.utils.sampling import inverse_cdf_sample, inverse_cdf_sample_stacked, stacked_cdfs, strategy_cdf
+from repro.utils.rng import as_generator
 from repro.utils.validation import check_positive_integer
 
 __all__ = [
@@ -96,13 +98,22 @@ class ProfileSimulationResult:
 class DispersalSimulator:
     """Reusable simulator bound to one game instance ``(f, k, policy)``.
 
+    A thin ``B = 1`` client of :func:`repro.batch.simulation.simulate_dispersal_batch`
+    (and :func:`~repro.batch.simulation.simulate_profile_batch`): the draw
+    layouts coincide for a single instance, so a wrapped run consumes exactly
+    the same uniform stream the pre-batch engine did.
+
     Parameters
     ----------
     values, k, policy:
-        Game instance.  The congestion table is precomputed once.
+        Game instance.  Values must be strictly positive (the padded-batch
+        convention of :mod:`repro.batch`); the congestion table is
+        precomputed once by the batch kernel.
     batch_size:
-        Maximum number of trials simulated per NumPy batch; larger requests
-        are split to bound peak memory at roughly ``batch_size * k`` integers.
+        Maximum number of trials simulated per chunk; larger requests are
+        split to bound peak memory at roughly ``batch_size * k`` integers
+        (forwarded to the batch kernel's ``max_chunk_draws`` cap as
+        ``batch_size * k`` draws).
     """
 
     def __init__(
@@ -118,27 +129,7 @@ class DispersalSimulator:
         self.policy = policy
         policy.validate(self.k)
         self.batch_size = check_positive_integer(batch_size, "batch_size")
-        self._congestion_table = policy.table(self.k)
-
-    # ------------------------------------------------------------------ core
-    def _simulate_choices(
-        self, cdf: np.ndarray, n_trials: int, rng: np.random.Generator
-    ) -> np.ndarray:
-        """Draw an ``(n_trials, k)`` matrix of site choices for i.i.d. players.
-
-        One batched inverse-CDF draw (``rng.random`` + ``searchsorted``)
-        instead of ``generator.choice``, which re-validates its probability
-        vector on every call.
-        """
-        return inverse_cdf_sample(cdf, (n_trials, self.k), rng)
-
-    def _occupancies(self, choices: np.ndarray) -> np.ndarray:
-        """Per-trial site occupancy counts, shape ``(n_trials, M)``."""
-        n_trials = choices.shape[0]
-        m = self.values.size
-        flat = choices + m * np.arange(n_trials)[:, None]
-        counts = np.bincount(flat.ravel(), minlength=n_trials * m)
-        return counts.reshape(n_trials, m)
+        self._values_row = self.values[None, :]
 
     def run(
         self,
@@ -148,70 +139,31 @@ class DispersalSimulator:
     ) -> SimulationResult:
         """Simulate ``n_trials`` games of the symmetric profile ``strategy``."""
         n_trials = check_positive_integer(n_trials, "n_trials")
-        generator = as_generator(rng)
-        m = self.values.size
         probabilities = strategy.as_array()
-        if probabilities.size != m:
+        if probabilities.size != self.values.size:
             raise ValueError("strategy and values must cover the same number of sites")
-
-        coverage_sum = 0.0
-        coverage_sq_sum = 0.0
-        payoff_sum = 0.0
-        payoff_sq_sum = 0.0
-        collisions = 0
-        sites_visited_sum = 0.0
-        occupancy_histogram = np.zeros(self.k + 1, dtype=np.int64)
-        site_visits = np.zeros(m, dtype=np.int64)
-
-        cdf = strategy_cdf(probabilities)
-        remaining = n_trials
-        while remaining > 0:
-            batch = min(remaining, self.batch_size)
-            choices = self._simulate_choices(cdf, batch, generator)
-            occupancy = self._occupancies(choices)
-
-            visited = occupancy > 0
-            coverage_batch = visited @ self.values
-            coverage_sum += float(coverage_batch.sum())
-            coverage_sq_sum += float((coverage_batch**2).sum())
-            sites_visited_sum += float(visited.sum())
-            site_visits += visited.sum(axis=0)
-
-            # Occupancy of the site chosen by each player, then its payoff.
-            player_occupancy = np.take_along_axis(occupancy, choices, axis=1)
-            player_payoffs = self.values[choices] * self._congestion_table[player_occupancy - 1]
-            per_trial_payoff = player_payoffs.mean(axis=1)
-            payoff_sum += float(per_trial_payoff.sum())
-            payoff_sq_sum += float((per_trial_payoff**2).sum())
-            collisions += int((player_occupancy > 1).sum())
-
-            histogram = np.bincount(occupancy.ravel(), minlength=self.k + 1)
-            occupancy_histogram += histogram[: self.k + 1]
-
-            remaining -= batch
-
-        coverage_mean = coverage_sum / n_trials
-        coverage_var = max(coverage_sq_sum / n_trials - coverage_mean**2, 0.0)
-        payoff_mean = payoff_sum / n_trials
-        payoff_var = max(payoff_sq_sum / n_trials - payoff_mean**2, 0.0)
-        # One trial has no spread information: report nan instead of a
-        # spuriously confident 0.0 standard error.
-        if n_trials == 1:
-            coverage_sem = payoff_sem = float("nan")
-        else:
-            coverage_sem = float(np.sqrt(coverage_var / n_trials))
-            payoff_sem = float(np.sqrt(payoff_var / n_trials))
+        batch = simulate_dispersal_batch(
+            self._values_row,
+            probabilities[None, :],
+            self.k,
+            self.policy,
+            n_trials,
+            as_generator(rng),
+            max_chunk_draws=self.batch_size * self.k,
+        )
         return SimulationResult(
             n_trials=n_trials,
             k=self.k,
-            coverage_mean=coverage_mean,
-            coverage_sem=coverage_sem,
-            payoff_mean=payoff_mean,
-            payoff_sem=payoff_sem,
-            collision_rate=collisions / (n_trials * self.k),
-            sites_visited_mean=sites_visited_sum / n_trials,
-            occupancy_histogram=np.asarray(occupancy_histogram, dtype=np.int64),
-            site_visit_frequencies=np.asarray(site_visits / n_trials, dtype=np.float64),
+            coverage_mean=float(batch.coverage_means[0]),
+            coverage_sem=float(batch.coverage_sems[0]),
+            payoff_mean=float(batch.payoff_means[0]),
+            payoff_sem=float(batch.payoff_sems[0]),
+            collision_rate=float(batch.collision_rates[0]),
+            sites_visited_mean=float(batch.sites_visited_means[0]),
+            occupancy_histogram=np.asarray(batch.occupancy_histograms[0], dtype=np.int64),
+            site_visit_frequencies=np.asarray(
+                batch.site_visit_frequencies[0], dtype=np.float64
+            ),
         )
 
     def run_profile(
@@ -224,51 +176,22 @@ class DispersalSimulator:
         n_trials = check_positive_integer(n_trials, "n_trials")
         if len(strategies) != self.k:
             raise ValueError(f"expected {self.k} strategies, got {len(strategies)}")
-        generator = as_generator(rng)
-
-        coverage_sum = 0.0
-        coverage_sq_sum = 0.0
-        payoff_sum = np.zeros(self.k)
-        payoff_sq_sum = np.zeros(self.k)
-
-        # One stacked CDF per player, inverted jointly: the whole profile draw
-        # is a single vectorised inverse-CDF pass per batch instead of a
-        # per-player loop of ``generator.choice`` calls.
-        cdfs = stacked_cdfs([strategy.as_array() for strategy in strategies])
-        remaining = n_trials
-        while remaining > 0:
-            batch = min(remaining, self.batch_size)
-            choices = inverse_cdf_sample_stacked(cdfs, batch, generator)
-            occupancy = self._occupancies(choices)
-            visited = occupancy > 0
-            coverage_batch = visited @ self.values
-            coverage_sum += float(coverage_batch.sum())
-            coverage_sq_sum += float((coverage_batch**2).sum())
-
-            player_occupancy = np.take_along_axis(occupancy, choices, axis=1)
-            player_payoffs = self.values[choices] * self._congestion_table[player_occupancy - 1]
-            payoff_sum += player_payoffs.sum(axis=0)
-            payoff_sq_sum += (player_payoffs**2).sum(axis=0)
-            remaining -= batch
-
-        coverage_mean = coverage_sum / n_trials
-        coverage_var = max(coverage_sq_sum / n_trials - coverage_mean**2, 0.0)
-        payoff_means = payoff_sum / n_trials
-        payoff_vars = np.maximum(payoff_sq_sum / n_trials - payoff_means**2, 0.0)
-        if n_trials == 1:
-            # A single trial has no spread information (see SimulationResult).
-            coverage_sem = float("nan")
-            payoff_sems = np.full(self.k, np.nan)
-        else:
-            coverage_sem = float(np.sqrt(coverage_var / n_trials))
-            payoff_sems = np.sqrt(payoff_vars / n_trials)
+        batch = simulate_profile_batch(
+            self._values_row,
+            [list(strategies)],
+            self.k,
+            self.policy,
+            n_trials,
+            as_generator(rng),
+            max_chunk_draws=self.batch_size * self.k,
+        )
         return ProfileSimulationResult(
             n_trials=n_trials,
             k=self.k,
-            coverage_mean=coverage_mean,
-            coverage_sem=coverage_sem,
-            player_payoff_means=payoff_means,
-            player_payoff_sems=payoff_sems,
+            coverage_mean=float(batch.coverage_means[0]),
+            coverage_sem=float(batch.coverage_sems[0]),
+            player_payoff_means=np.asarray(batch.player_payoff_means[0], dtype=np.float64),
+            player_payoff_sems=np.asarray(batch.player_payoff_sems[0], dtype=np.float64),
         )
 
 

@@ -13,7 +13,7 @@ from repro.core.policies import CongestionPolicy
 from repro.core.strategy import Strategy
 from repro.core.values import SiteValues
 from repro.simulation.engine import DispersalSimulator
-from repro.simulation.rng import as_generator
+from repro.utils.rng import as_generator
 from repro.utils.validation import check_positive_integer
 
 __all__ = [

@@ -1,43 +1,13 @@
-"""Random-number-generation helpers for reproducible simulations.
+"""Backward-compatible shim: RNG helpers now live in :mod:`repro.utils.rng`.
 
-Every stochastic entry point of the library accepts either a seed or a
-``numpy.random.Generator``.  When a simulation is split into independent
-chunks (for example to bound memory, or to distribute work across processes),
-:func:`spawn_generators` derives statistically independent child generators
-from a single seed using NumPy's ``SeedSequence`` spawning mechanism.
+The generator coercion and ``SeedSequence`` spawning used by the simulation
+engine were folded into :mod:`repro.utils.rng` together with the experiment
+runner's per-task seed spawning, so the whole library shares one documented
+seed-derivation policy.  Import from :mod:`repro.utils.rng` in new code.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from repro.utils.rng import as_generator, spawn_generators, spawn_seed_sequences
 
-__all__ = ["as_generator", "spawn_generators"]
-
-
-def as_generator(rng: np.random.Generator | int | None) -> np.random.Generator:
-    """Coerce a seed / generator / ``None`` into a ``numpy.random.Generator``."""
-    if isinstance(rng, np.random.Generator):
-        return rng
-    return np.random.default_rng(rng)
-
-
-def spawn_generators(n: int, rng: np.random.Generator | int | None = None) -> list[np.random.Generator]:
-    """Create ``n`` independent generators derived from one seed.
-
-    Parameters
-    ----------
-    n:
-        Number of child generators.
-    rng:
-        Base seed or generator.  When a generator is supplied its bit
-        generator's seed sequence is spawned, so children are independent of
-        each other *and* of the parent stream.
-    """
-    if n < 1:
-        raise ValueError("n must be >= 1")
-    if isinstance(rng, np.random.Generator):
-        seed_seq = rng.bit_generator.seed_seq  # type: ignore[attr-defined]
-        children = seed_seq.spawn(n)
-    else:
-        children = np.random.SeedSequence(rng).spawn(n)
-    return [np.random.default_rng(child) for child in children]
+__all__ = ["as_generator", "spawn_generators", "spawn_seed_sequences"]

@@ -21,6 +21,7 @@ from repro.utils.validation import (
     check_probability_vector,
     check_value_vector,
 )
+from repro.utils.rng import as_generator, spawn_generators, spawn_seed_sequences
 from repro.utils.sampling import (
     inverse_cdf_sample,
     inverse_cdf_sample_stacked,
@@ -33,6 +34,9 @@ from repro.utils.io import write_csv, read_csv
 __all__ = [
     "strategy_array",
     "values_array",
+    "as_generator",
+    "spawn_generators",
+    "spawn_seed_sequences",
     "binomial_pmf_tensor",
     "inverse_cdf_sample",
     "inverse_cdf_sample_stacked",

@@ -31,15 +31,40 @@ import numpy as np
 from repro.backend import Backend, asarray_float, random_uniform, resolve_backend, to_numpy
 
 __all__ = [
+    "STACK_SPACING",
     "strategy_cdf",
     "stacked_cdfs",
+    "stacked_flat_cdfs",
     "inverse_cdf_sample",
     "inverse_cdf_sample_stacked",
 ]
 
 #: Gap between consecutive offset CDFs in the stacked layout.  Each CDF lives
 #: in [0, 1], so any spacing > 1 keeps the concatenation strictly sorted.
-_STACK_SPACING = 2.0
+#: Shared by every stacked sampler (including the batched Monte-Carlo kernels
+#: of :mod:`repro.batch.simulation` / :mod:`repro.batch.search`): a uniform
+#: draw for row ``r`` is shifted by ``STACK_SPACING * r`` before one
+#: ``searchsorted`` against the flat layout inverts all rows at once.
+STACK_SPACING = 2.0
+
+_STACK_SPACING = STACK_SPACING
+
+
+def stacked_flat_cdfs(probability_rows: np.ndarray) -> np.ndarray:
+    """Offset row-wise CDFs of an ``(R, M)`` matrix, flattened strictly sorted.
+
+    The host-side builder of the stacked inverse-CDF layout: row ``r``'s CDF
+    is shifted by ``STACK_SPACING * r`` and the rows are concatenated, so a
+    single ``searchsorted`` of shifted uniforms inverts every row's
+    distribution at once.  Rows are used as given (callers validate); the
+    result is a plain NumPy vector of length ``R * M``.
+    """
+    matrix = np.asarray(probability_rows, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError("probability_rows must form an (R, M) matrix")
+    cdfs = np.cumsum(matrix, axis=1)
+    offsets = STACK_SPACING * np.arange(matrix.shape[0])
+    return (cdfs + offsets[:, None]).ravel()
 
 
 def strategy_cdf(

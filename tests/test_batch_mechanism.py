@@ -1,0 +1,168 @@
+"""Property tests for the batched mechanism-design kernels of ``repro.batch.mechanism``.
+
+The core contracts:
+
+* :func:`~repro.batch.mechanism.design_rewards_batch` and
+  :func:`~repro.batch.mechanism.optimal_grant_design_batch` agree
+  **elementwise** with looping the scalar :mod:`repro.mechanism` pipeline
+  over the rows — ragged site counts, mixed per-row ``k``, and the sorted /
+  unsorted round trip of the designed-reward games included;
+* infeasible targets fail with the scalar error message and name the
+  offending rows;
+* the roster sweeps that moved here from ``repro.batch.scenarios`` remain
+  importable from their old home and unchanged in behaviour.
+
+The whole module runs once per available array backend through the autouse
+fixture, mirroring the other batch suites.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import backend_params
+from repro.backend import use_backend
+from repro.batch import (
+    PaddedValues,
+    design_rewards_batch,
+    optimal_grant_design_batch,
+)
+from repro.batch.mechanism import best_two_level_batch, compare_policies_batch
+from repro.core.optimal_coverage import optimal_coverage
+from repro.core.policies import AggressivePolicy, ExclusivePolicy, SharingPolicy
+from repro.core.sigma_star import sigma_star
+from repro.core.strategy import Strategy
+from repro.core.values import SiteValues
+from repro.mechanism import (
+    best_two_level_policy,
+    compare_policies,
+    design_rewards_for_target,
+    optimal_grant_design,
+)
+
+
+@pytest.fixture(autouse=True, params=backend_params())
+def array_backend(request):
+    """Re-run every mechanism property test under each available backend."""
+    with use_backend(request.param):
+        yield request.param
+
+
+def ragged_instances(rng, count=6, m_range=(3, 8)):
+    instances = [
+        SiteValues.random(int(m), rng)
+        for m in rng.integers(m_range[0], m_range[1], size=count)
+    ]
+    ks = rng.integers(2, 6, size=count).astype(np.int64)
+    return instances, ks
+
+
+class TestDesignRewardsBatch:
+    def test_matches_scalar_elementwise_on_ragged_mixed_k_targets(self, rng):
+        instances, ks = ragged_instances(rng)
+        targets = [
+            sigma_star(values, int(k)).strategy for values, k in zip(instances, ks)
+        ]
+        batch = design_rewards_batch(targets, ks, SharingPolicy())
+        for index, (values, target) in enumerate(zip(instances, targets)):
+            scalar = design_rewards_for_target(target, int(ks[index]), SharingPolicy())
+            np.testing.assert_allclose(
+                batch[index, : values.m], scalar, rtol=1e-12, atol=1e-12
+            )
+
+    def test_padding_columns_receive_off_support_grant(self, rng):
+        targets = [Strategy.uniform(2), Strategy.uniform(4)]
+        batch = design_rewards_batch(targets, 3, SharingPolicy(), off_support_fraction=0.25)
+        assert batch.shape == (2, 4)
+        np.testing.assert_allclose(batch[0, 2:], 0.25)
+
+    def test_infeasible_rows_raise_and_are_named(self):
+        # A well-spread target keeps the aggressive congestion factor
+        # positive; the concentrated one drives it negative (as in the
+        # scalar test) — only the infeasible row is named.
+        feasible = Strategy.uniform(8)
+        concentrated = Strategy(np.array([0.95, 0.05]))
+        with pytest.raises(ValueError, match=r"not implementable.*rows \[1\]"):
+            design_rewards_batch([feasible, concentrated], 4, AggressivePolicy(1.0))
+
+    def test_parameter_validation(self):
+        target = Strategy.uniform(3)
+        with pytest.raises(ValueError, match="equilibrium_value"):
+            design_rewards_batch([target], 2, SharingPolicy(), equilibrium_value=0.0)
+        with pytest.raises(ValueError, match="off_support_fraction"):
+            design_rewards_batch([target], 2, SharingPolicy(), off_support_fraction=1.5)
+        with pytest.raises(ValueError, match="sum to one"):
+            design_rewards_batch(np.array([[0.7, 0.7]]), 2, SharingPolicy())
+
+
+class TestOptimalGrantDesignBatch:
+    def test_matches_scalar_elementwise(self, rng):
+        instances, ks = ragged_instances(rng, count=5)
+        padded = PaddedValues.from_instances(instances)
+        batch = optimal_grant_design_batch(padded, ks, SharingPolicy())
+        for index, values in enumerate(instances):
+            scalar = optimal_grant_design(values, int(ks[index]), SharingPolicy())
+            m = values.m
+            np.testing.assert_allclose(
+                batch.rewards[index, :m], scalar.rewards, rtol=1e-9, atol=1e-9
+            )
+            np.testing.assert_allclose(
+                batch.induced_strategies[index, :m],
+                scalar.induced_strategy.as_array(),
+                atol=1e-6,
+            )
+            assert batch.induced_coverages[index] == pytest.approx(
+                scalar.induced_coverage, abs=1e-6
+            )
+            assert batch.max_deviations[index] == pytest.approx(
+                scalar.max_deviation, abs=1e-6
+            )
+
+    def test_designs_recover_the_coverage_optimum(self, rng):
+        instances, ks = ragged_instances(rng, count=4)
+        batch = optimal_grant_design_batch(instances, ks, SharingPolicy())
+        assert np.all(batch.max_deviations < 1e-5)
+        for index, values in enumerate(instances):
+            assert batch.induced_coverages[index] == pytest.approx(
+                optimal_coverage(values, int(ks[index])), abs=1e-5
+            )
+
+    def test_hydrated_design_matches_scalar_type(self, rng):
+        values = SiteValues.zipf(5)
+        batch = optimal_grant_design_batch([values], 3)
+        design = batch.design(0)
+        assert design.rewards.shape == (5,)
+        assert design.induced_strategy.m == 5
+        assert design.max_deviation < 1e-6
+
+
+class TestRosterSweepsMoved:
+    def test_backward_compatible_import_from_scenarios(self):
+        from repro.batch import scenarios
+
+        assert scenarios.compare_policies_batch is compare_policies_batch
+        assert scenarios.best_two_level_batch is best_two_level_batch
+
+    def test_compare_policies_batch_matches_scalar(self, rng):
+        instances = [SiteValues.zipf(5), SiteValues.random(4, rng)]
+        padded = PaddedValues.from_instances(instances)
+        roster = [ExclusivePolicy(), SharingPolicy()]
+        batch = compare_policies_batch(padded, [2, 4], roster)
+        for instance_index, values in enumerate(instances):
+            for k_index, k in enumerate((2, 4)):
+                scalar_rows = compare_policies(values, k, roster)
+                for policy_index, scalar in enumerate(scalar_rows):
+                    cell = batch.comparison(policy_index, instance_index, k_index)
+                    assert cell.equilibrium_coverage == pytest.approx(
+                        scalar.equilibrium_coverage, abs=1e-9
+                    )
+                    assert cell.spoa == pytest.approx(scalar.spoa, abs=1e-9)
+
+    def test_best_two_level_batch_matches_scalar_wrapper(self, figure1_left):
+        c_grid = np.linspace(-0.5, 0.5, 11)
+        batch = best_two_level_batch([figure1_left], [2], c_grid=c_grid)
+        best_c, rows = best_two_level_policy(figure1_left, 2, c_grid=c_grid)
+        assert float(batch.best_c[0, 0]) == pytest.approx(best_c, abs=1e-12)
+        assert len(rows) == c_grid.size
+        assert best_c == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,292 @@
+"""Property tests for the batched Monte-Carlo kernels of ``repro.batch.simulation``.
+
+The core contracts:
+
+* the scalar engine is a thin ``B = 1`` wrapper, so a single-row batch must
+  reproduce :class:`~repro.simulation.engine.DispersalSimulator` **bit for
+  bit** under the same seed;
+* the sampled choices — and every integer statistic — are bit-identical for
+  every ``max_chunk_draws`` memory cap (trial-major chunk draws concatenate
+  to the unchunked stream); float accumulations agree to rounding;
+* batched statistics agree with the exact formulas of :mod:`repro.core`
+  within calibrated standard errors, on ragged batches with mixed per-row
+  ``k``;
+* ``n_trials == 1`` rows report ``nan`` standard errors.
+
+The whole module runs once per available array backend (numpy always;
+``array_api_strict`` when installed) through the autouse fixture, mirroring
+the other batch suites.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import backend_params
+from repro.backend import use_backend
+from repro.batch import (
+    PaddedValues,
+    coverage_batch,
+    simulate_dispersal_batch,
+    simulate_profile_batch,
+)
+from repro.batch.simulation import as_strategy_batch
+from repro.core.policies import ExclusivePolicy, SharingPolicy
+from repro.core.sigma_star import sigma_star
+from repro.core.strategy import Strategy
+from repro.core.values import SiteValues
+from repro.core.welfare import individual_payoff
+from repro.simulation import DispersalSimulator
+
+SIGMAS = 6.0
+
+
+@pytest.fixture(autouse=True, params=backend_params())
+def array_backend(request):
+    """Re-run every simulation property test under each available backend."""
+    with use_backend(request.param):
+        yield request.param
+
+
+def ragged_batch(rng, count=6, m_range=(3, 9)):
+    instances = [
+        SiteValues.random(int(m), rng)
+        for m in rng.integers(m_range[0], m_range[1], size=count)
+    ]
+    padded = PaddedValues.from_instances(instances)
+    ks = rng.integers(2, 6, size=count).astype(np.int64)
+    strategies = np.zeros(padded.values.shape)
+    for index, values in enumerate(instances):
+        strategies[index, : values.m] = sigma_star(values, int(ks[index])).strategy.as_array()
+    return instances, padded, ks, strategies
+
+
+class TestSingleRowEqualsEngine:
+    def test_run_is_bit_identical_to_wrapped_engine(self, rng):
+        values = SiteValues.zipf(7)
+        strategy = Strategy.proportional(values.as_array())
+        k, n_trials = 4, 3_000
+        engine = DispersalSimulator(values, k, SharingPolicy(), batch_size=512).run(
+            strategy, n_trials, 42
+        )
+        batch = simulate_dispersal_batch(
+            values.as_array()[None, :],
+            strategy.as_array()[None, :],
+            k,
+            SharingPolicy(),
+            n_trials,
+            42,
+            max_chunk_draws=512 * k,
+        )
+        assert engine.coverage_mean == batch.coverage_means[0]
+        assert engine.coverage_sem == batch.coverage_sems[0]
+        assert engine.payoff_mean == batch.payoff_means[0]
+        assert engine.collision_rate == batch.collision_rates[0]
+        np.testing.assert_array_equal(
+            engine.occupancy_histogram, batch.occupancy_histograms[0]
+        )
+        np.testing.assert_array_equal(
+            engine.site_visit_frequencies, batch.site_visit_frequencies[0]
+        )
+
+    def test_profile_is_bit_identical_to_wrapped_engine(self, rng):
+        values = SiteValues.zipf(5)
+        profile = [
+            Strategy.proportional(values.as_array()),
+            Strategy.uniform(5),
+            Strategy.point_mass(5, 0),
+        ]
+        engine = DispersalSimulator(values, 3, ExclusivePolicy()).run_profile(
+            profile, 2_000, 7
+        )
+        batch = simulate_profile_batch(
+            values.as_array()[None, :],
+            [profile],
+            3,
+            ExclusivePolicy(),
+            2_000,
+            7,
+        )
+        assert engine.coverage_mean == batch.coverage_means[0]
+        np.testing.assert_array_equal(engine.player_payoff_means, batch.player_payoff_means[0])
+        np.testing.assert_array_equal(engine.player_payoff_sems, batch.player_payoff_sems[0])
+
+
+class TestChunkInvariance:
+    def test_results_do_not_depend_on_max_chunk_draws(self, rng):
+        _, padded, ks, strategies = ragged_batch(rng)
+        policy = SharingPolicy()
+        n_trials = 600
+        whole = simulate_dispersal_batch(
+            padded, strategies, ks, policy, n_trials, 11, max_chunk_draws=1 << 24
+        )
+        tiny = simulate_dispersal_batch(
+            padded, strategies, ks, policy, n_trials, 11, max_chunk_draws=padded.batch_size * int(ks.max()) * 7
+        )
+        # Integer statistics see the exact same sampled choices ...
+        np.testing.assert_array_equal(whole.occupancy_histograms, tiny.occupancy_histograms)
+        np.testing.assert_array_equal(
+            whole.site_visit_frequencies, tiny.site_visit_frequencies
+        )
+        np.testing.assert_array_equal(whole.collision_rates, tiny.collision_rates)
+        # ... and float accumulations agree to summation rounding.
+        np.testing.assert_allclose(whole.coverage_means, tiny.coverage_means, rtol=1e-12)
+        np.testing.assert_allclose(whole.coverage_sems, tiny.coverage_sems, rtol=1e-9, atol=1e-12)
+        np.testing.assert_allclose(whole.payoff_means, tiny.payoff_means, rtol=1e-12)
+
+    def test_minimum_cap_still_works(self, rng):
+        # A cap below one trial's draw cost degrades to one trial per chunk.
+        _, padded, ks, strategies = ragged_batch(rng, count=3)
+        small = simulate_dispersal_batch(
+            padded, strategies, ks, SharingPolicy(), 5, 0, max_chunk_draws=1
+        )
+        assert small.n_trials == 5
+
+
+class TestAgreementWithExactFormulas:
+    def test_coverage_and_payoff_within_sem(self, rng):
+        instances, padded, ks, strategies = ragged_batch(rng)
+        policy = SharingPolicy()
+        n_trials = 4_000
+        batch = simulate_dispersal_batch(padded, strategies, ks, policy, n_trials, 5)
+        unique_ks = np.unique(ks)
+        columns = np.searchsorted(unique_ks, ks)
+        exact = coverage_batch(padded, strategies, unique_ks)[
+            np.arange(padded.batch_size), columns
+        ]
+        for index, values in enumerate(instances):
+            tolerance = SIGMAS * max(float(batch.coverage_sems[index]), 1e-9)
+            assert abs(float(batch.coverage_means[index]) - float(exact[index])) < tolerance
+            strategy = Strategy(strategies[index, : values.m])
+            payoff = individual_payoff(values, strategy, int(ks[index]), policy)
+            tolerance = SIGMAS * max(float(batch.payoff_sems[index]), 1e-9)
+            assert abs(float(batch.payoff_means[index]) - payoff) < tolerance
+
+    def test_histogram_invariants_on_ragged_mixed_k_batches(self, rng):
+        instances, padded, ks, strategies = ragged_batch(rng)
+        n_trials = 500
+        batch = simulate_dispersal_batch(
+            padded, strategies, ks, ExclusivePolicy(), n_trials, 9
+        )
+        for index, values in enumerate(instances):
+            histogram = batch.occupancy_histograms[index]
+            # Every real (trial, site) pair lands in exactly one bin ...
+            assert histogram.sum() == n_trials * values.m
+            # ... and the players of every trial are conserved.
+            assert (histogram * np.arange(histogram.size)).sum() == n_trials * int(ks[index])
+            # Occupancies beyond the row's own player count are impossible.
+            assert np.all(histogram[int(ks[index]) + 1 :] == 0)
+        # Padding sites are never visited.
+        assert np.all(batch.site_visit_frequencies[~padded.mask] == 0.0)
+        assert np.all((batch.collision_rates >= 0) & (batch.collision_rates <= 1))
+
+    def test_point_mass_collisions_are_deterministic(self):
+        # Everyone on site 0: payoff C(k) * f(0), full collision, coverage f(0).
+        values = np.array([[2.0, 1.0, 0.5]])
+        strategies = np.array([[1.0, 0.0, 0.0]])
+        batch = simulate_dispersal_batch(
+            values, strategies, 3, SharingPolicy(), 50, 1
+        )
+        assert batch.coverage_means[0] == pytest.approx(2.0)
+        assert batch.collision_rates[0] == pytest.approx(1.0)
+        assert batch.payoff_means[0] == pytest.approx(2.0 / 3.0)
+        assert batch.coverage_sems[0] == pytest.approx(0.0)
+
+
+class TestSpreadReporting:
+    def test_single_trial_rows_report_nan_sems(self, rng):
+        _, padded, ks, strategies = ragged_batch(rng, count=4)
+        batch = simulate_dispersal_batch(padded, strategies, ks, SharingPolicy(), 1, 0)
+        assert np.all(np.isnan(batch.coverage_sems))
+        assert np.all(np.isnan(batch.payoff_sems))
+
+    def test_single_trial_profile_rows_report_nan_sems(self, rng):
+        values = SiteValues.zipf(4)
+        profile = [[Strategy.uniform(4), Strategy.uniform(4)]]
+        batch = simulate_profile_batch(
+            values.as_array()[None, :], profile, None, SharingPolicy(), 1, 0
+        )
+        assert np.isnan(batch.coverage_sems[0])
+        assert np.all(np.isnan(batch.player_payoff_sems[0]))
+
+
+class TestProfileBatch:
+    def test_mixed_per_row_k_masks_surplus_players(self, rng):
+        instances = [SiteValues.zipf(5), SiteValues.zipf(3)]
+        padded = PaddedValues.from_instances(instances)
+        profiles = [
+            [Strategy.uniform(5), Strategy.uniform(5), Strategy.uniform(5)],
+            [Strategy.uniform(3)],
+        ]
+        batch = simulate_profile_batch(padded, profiles, None, SharingPolicy(), 300, 2)
+        np.testing.assert_array_equal(batch.k, [3, 1])
+        # Row 1 has a single player: no collisions, payoff spread over sites.
+        assert batch.player_payoff_means[1, 0] > 0
+        assert np.all(batch.player_payoff_means[1, 1:] == 0.0)
+        assert np.all(np.isnan(batch.player_payoff_sems[1, 1:]))
+
+    def test_profile_statistics_match_symmetric_kernel(self, rng):
+        # A profile in which every player uses the same strategy must agree
+        # with the symmetric kernel in distribution.
+        values = SiteValues.zipf(6)
+        strategy = Strategy.proportional(values.as_array())
+        k, n_trials = 3, 6_000
+        symmetric = simulate_dispersal_batch(
+            values.as_array()[None, :],
+            strategy.as_array()[None, :],
+            k,
+            SharingPolicy(),
+            n_trials,
+            21,
+        )
+        profile = simulate_profile_batch(
+            values.as_array()[None, :],
+            [[strategy] * k],
+            k,
+            SharingPolicy(),
+            n_trials,
+            22,
+        )
+        sem = max(float(symmetric.coverage_sems[0]), float(profile.coverage_sems[0]))
+        assert abs(
+            float(symmetric.coverage_means[0]) - float(profile.coverage_means[0])
+        ) < SIGMAS * np.sqrt(2) * max(sem, 1e-9)
+
+
+class TestValidation:
+    def test_strategy_shape_and_mass_errors(self, rng):
+        _, padded, ks, strategies = ragged_batch(rng, count=3)
+        with pytest.raises(ValueError, match="matrix"):
+            simulate_dispersal_batch(padded, strategies[:, :-1], ks, SharingPolicy(), 5)
+        with pytest.raises(ValueError, match="non-negative"):
+            bad = strategies.copy()
+            bad[0, 0] = -0.1
+            simulate_dispersal_batch(padded, bad, ks, SharingPolicy(), 5)
+        with pytest.raises(ValueError, match="sum to one"):
+            bad = strategies.copy()
+            bad[1, 0] += 0.5
+            simulate_dispersal_batch(padded, bad, ks, SharingPolicy(), 5)
+        with pytest.raises(ValueError, match="padding"):
+            bad = strategies.copy()
+            row = int(np.argmin(padded.sizes))
+            bad[row, padded.sizes[row]] = 0.25
+            bad[row, 0] -= 0.25
+            simulate_dispersal_batch(padded, bad, ks, SharingPolicy(), 5)
+
+    def test_max_chunk_draws_must_be_positive(self, rng):
+        _, padded, ks, strategies = ragged_batch(rng, count=2)
+        with pytest.raises(ValueError):
+            simulate_dispersal_batch(
+                padded, strategies, ks, SharingPolicy(), 5, max_chunk_draws=0
+            )
+
+    def test_as_strategy_batch_accepts_ragged_strategy_objects(self, rng):
+        instances = [SiteValues.zipf(5), SiteValues.zipf(3)]
+        padded = PaddedValues.from_instances(instances)
+        matrix = as_strategy_batch(
+            [Strategy.uniform(5), Strategy.uniform(3)], padded
+        )
+        assert matrix.shape == padded.values.shape
+        np.testing.assert_allclose(matrix.sum(axis=1), 1.0)
+        assert np.all(matrix[1, 3:] == 0.0)
