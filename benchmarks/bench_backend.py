@@ -28,11 +28,12 @@ from __future__ import annotations
 
 import argparse
 import json
-import platform
 import sys
 from pathlib import Path
 
 import numpy as np
+
+from repro.utils.envinfo import environment_metadata
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 import smoke_batch  # noqa: E402  (shared grid constants and timing helper)
@@ -251,8 +252,7 @@ def run_backend_bench(
 
     report = {
         "benchmark": "batched kernel throughput per array backend",
-        "python": platform.python_version(),
-        "numpy": np.__version__,
+        "environment": environment_metadata(),
         "grid": {
             "solver_instances": solver_padded.batch_size,
             "solver_k_grid": list(smoke_batch.K_GRID),

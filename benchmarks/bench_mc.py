@@ -29,12 +29,13 @@ from __future__ import annotations
 
 import argparse
 import json
-import platform
 import sys
 import time
 from pathlib import Path
 
 import numpy as np
+
+from repro.utils.envinfo import environment_metadata
 
 from repro.batch import (
     PaddedValues,
@@ -248,8 +249,7 @@ def run_mc_bench(output: Path, *, repeats: int, min_speedup: float) -> tuple[boo
     }
     report = {
         "benchmark": "batched stochastic kernels vs scalar loops",
-        "python": platform.python_version(),
-        "numpy": np.__version__,
+        "environment": environment_metadata(),
         "min_speedup_required": min_speedup,
         "families": families,
     }

@@ -27,12 +27,13 @@ from __future__ import annotations
 
 import argparse
 import json
-import platform
 import sys
 import time
 from pathlib import Path
 
 import numpy as np
+
+from repro.utils.envinfo import environment_metadata
 
 from repro.batch import (
     PaddedValues,
@@ -286,8 +287,7 @@ def main(argv: list[str] | None = None) -> int:
 
     report = {
         "benchmark": "batched scenario kernels vs scalar loops",
-        "python": platform.python_version(),
-        "numpy": np.__version__,
+        "environment": environment_metadata(),
         "min_speedup_required": args.min_speedup,
         "families": families,
     }

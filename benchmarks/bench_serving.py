@@ -1,0 +1,311 @@
+"""Load-generator benchmark for the online equilibrium service.
+
+Closed-loop concurrent clients drive the serving layer in-process and the
+script writes ``BENCH_serving.json``::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py --output BENCH_serving.json
+
+Three phases:
+
+* **naive** — every request of the workload is solved one at a time through
+  the direct batch-of-one path (:func:`repro.serving.engine.evaluate_one`),
+  i.e. what a per-request service without coalescing would do;
+* **coalesced** — the same workload driven by ``--concurrency`` closed-loop
+  asyncio clients through a :class:`~repro.serving.coalescer.BatchCoalescer`
+  (cache disabled, so the gain measured is coalescing, not memoisation);
+  per-request latencies give p50/p99;
+* **warm cache** — an expensive mechanism request is solved once (miss) and
+  then re-requested with fresh request objects (parse + hash + LRU lookup
+  each time), measuring the end-to-end warm-hit latency.
+
+Every coalesced answer is asserted equal to the naive answer for the same
+request — the service's bit-identity contract — so the artifact cannot
+report a fast wrong answer.
+
+The script exits non-zero when coalesced throughput falls below
+``--min-throughput-ratio`` times naive throughput (default 3x at concurrency
+32) or the warm-cache speedup falls below ``--min-cache-speedup`` (default
+100x) — the acceptance bars the serving layer was built against.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.values import SiteValues
+from repro.serving.cache import ResultCache
+from repro.serving.coalescer import BatchCoalescer
+from repro.serving.engine import evaluate_one
+from repro.serving.requests import MechanismRequest, ServingRequest, SolveRequest, SweepRequest
+from repro.utils.envinfo import environment_metadata
+
+SEED = 20180503
+
+#: Workload shape: ragged instances in the size range the experiment grids
+#: use (all inside one power-of-two width bucket, see
+#: ``ServingRequest.pad_width``), solve requests over two player counts,
+#: sweeps over the analysis k-grid.  Requests only coalesce into one kernel
+#: call when they share a ``group_key`` (kind, policy, ``k`` signature,
+#: width bucket), so the group diversity here — 2 solve groups + 1 sweep
+#: group — is part of what the benchmark measures: a maximally diverse
+#: workload would degrade towards the naive path, a single-group workload
+#: would overstate the win.
+M_RANGE = (65, 128)
+SOLVE_K_CHOICES = (3, 8)
+SWEEP_K_GRID = (2, 3, 5, 8, 13, 21)
+
+#: The warm-cache probe: one mechanism comparison whose IFD bisections make
+#: the miss expensive enough that the hit/miss contrast is unambiguous.
+CACHE_PROBE_M = 60
+CACHE_PROBE_K = 6
+CACHE_PROBE_POLICIES = ("exclusive", "sharing")
+
+
+def build_workload(n_requests: int, rng: np.random.Generator) -> list[ServingRequest]:
+    """Distinct solve/sweep requests (no duplicates, so caching cannot help)."""
+    requests: list[ServingRequest] = []
+    sizes = rng.integers(M_RANGE[0], M_RANGE[1], size=n_requests)
+    for index, m in enumerate(sizes):
+        values = SiteValues.random(int(m), rng)
+        if index % 2 == 0:
+            k = int(SOLVE_K_CHOICES[index % len(SOLVE_K_CHOICES)])
+            requests.append(SolveRequest(values.as_array(), k=k, policy="exclusive"))
+        else:
+            requests.append(SweepRequest(values.as_array(), k_grid=SWEEP_K_GRID))
+    return requests
+
+
+def run_naive(requests: list[ServingRequest]) -> tuple[float, list[float], list[dict]]:
+    """Per-request direct solving; returns (seconds, latencies, answers)."""
+    latencies: list[float] = []
+    answers: list[dict] = []
+    start = time.perf_counter()
+    for request in requests:
+        t0 = time.perf_counter()
+        answers.append(evaluate_one(request))
+        latencies.append(time.perf_counter() - t0)
+    return time.perf_counter() - start, latencies, answers
+
+
+async def _client(
+    coalescer: BatchCoalescer,
+    requests: list[ServingRequest],
+    latencies: list[float],
+    answers: dict[int, dict],
+    offsets: list[int],
+) -> None:
+    """One closed-loop client: submit, await, record, next."""
+    for index in offsets:
+        t0 = time.perf_counter()
+        answers[index] = await coalescer.submit(requests[index])
+        latencies.append(time.perf_counter() - t0)
+
+
+async def run_coalesced(
+    requests: list[ServingRequest], concurrency: int, max_batch: int, max_wait_ms: float
+) -> tuple[float, list[float], dict[int, dict], dict]:
+    """The same workload through the coalescer under closed-loop concurrency."""
+    coalescer = BatchCoalescer(max_batch=max_batch, max_wait_ms=max_wait_ms, cache=None)
+    latencies: list[float] = []
+    answers: dict[int, dict] = {}
+    # Round-robin assignment keeps every client busy until the tail.
+    offsets = [list(range(c, len(requests), concurrency)) for c in range(concurrency)]
+    start = time.perf_counter()
+    await asyncio.gather(
+        *(_client(coalescer, requests, latencies, answers, chunk) for chunk in offsets)
+    )
+    elapsed = time.perf_counter() - start
+    await coalescer.close()
+    return elapsed, latencies, answers, coalescer.stats()
+
+
+async def run_cache_phase(n_hits: int) -> dict:
+    """Warm-cache probe: one expensive miss, then ``n_hits`` fresh-object hits."""
+    rng = np.random.default_rng(SEED + 7)
+    values = SiteValues.random(CACHE_PROBE_M, rng).as_array()
+
+    def probe() -> MechanismRequest:
+        # A fresh object per hit: the timing includes request canonicalisation
+        # and key hashing, i.e. the full warm path a served request takes.
+        return MechanismRequest(values, k=CACHE_PROBE_K, policies=CACHE_PROBE_POLICIES)
+
+    cache = ResultCache(64)
+    coalescer = BatchCoalescer(max_batch=8, max_wait_ms=0.0, cache=cache)
+    t0 = time.perf_counter()
+    miss_answer = await coalescer.submit(probe())
+    miss_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for _ in range(n_hits):
+        hit_answer = await coalescer.submit(probe())
+    hit_seconds = (time.perf_counter() - t0) / n_hits
+    assert hit_answer == miss_answer, "cache returned a different answer"
+    await coalescer.close()
+    return {
+        "probe": {
+            "m": CACHE_PROBE_M,
+            "k": CACHE_PROBE_K,
+            "policies": list(CACHE_PROBE_POLICIES),
+        },
+        "miss_seconds": miss_seconds,
+        "hit_seconds": hit_seconds,
+        "speedup": miss_seconds / hit_seconds,
+        "hits_timed": n_hits,
+        "stats": cache.stats(),
+    }
+
+
+def percentile_ms(latencies: list[float], q: float) -> float:
+    return float(np.percentile(np.asarray(latencies), q) * 1e3)
+
+
+def run_serving_bench(
+    output: Path,
+    *,
+    n_requests: int = 256,
+    concurrency: int = 32,
+    max_batch: int = 32,
+    max_wait_ms: float = 2.0,
+    repeats: int = 3,
+    n_cache_hits: int = 500,
+    min_throughput_ratio: float = 3.0,
+    min_cache_speedup: float = 100.0,
+) -> tuple[bool, list[str]]:
+    """Run all three phases, write the artifact, return (ok, report lines)."""
+    rng = np.random.default_rng(SEED)
+    requests = build_workload(n_requests, rng)
+
+    evaluate_one(requests[0])  # warm-up: first-call numpy/dispatch overhead
+
+    naive_seconds, naive_latencies, naive_answers = None, None, None
+    for _ in range(max(1, repeats)):
+        seconds, latencies, answers = run_naive(requests)
+        if naive_seconds is None or seconds < naive_seconds:
+            naive_seconds, naive_latencies, naive_answers = seconds, latencies, answers
+
+    coalesced_seconds = None
+    for _ in range(max(1, repeats)):
+        seconds, latencies, answers, stats = asyncio.run(
+            run_coalesced(requests, concurrency, max_batch, max_wait_ms)
+        )
+        if coalesced_seconds is None or seconds < coalesced_seconds:
+            coalesced_seconds, coalesced_latencies = seconds, latencies
+            coalesced_answers, coalesced_stats = answers, stats
+
+    # Bit-identity: every coalesced answer equals the direct per-request one.
+    for index, naive_answer in enumerate(naive_answers):
+        assert coalesced_answers[index] == naive_answer, (
+            f"coalesced answer differs from direct solve for request {index}"
+        )
+
+    cache_report = asyncio.run(run_cache_phase(n_cache_hits))
+
+    naive_rps = len(requests) / naive_seconds
+    coalesced_rps = len(requests) / coalesced_seconds
+    ratio = coalesced_rps / naive_rps
+    report = {
+        "benchmark": "coalesced vs naive per-request serving",
+        "environment": environment_metadata(),
+        "workload": {
+            "requests": len(requests),
+            "m_range": list(M_RANGE),
+            "solve_k_choices": list(SOLVE_K_CHOICES),
+            "sweep_k_grid": list(SWEEP_K_GRID),
+            "concurrency": concurrency,
+            "max_batch": max_batch,
+            "max_wait_ms": max_wait_ms,
+            "repeats": repeats,
+        },
+        "naive": {
+            "seconds": naive_seconds,
+            "throughput_rps": naive_rps,
+            "latency_p50_ms": percentile_ms(naive_latencies, 50),
+            "latency_p99_ms": percentile_ms(naive_latencies, 99),
+        },
+        "coalesced": {
+            "seconds": coalesced_seconds,
+            "throughput_rps": coalesced_rps,
+            "latency_p50_ms": percentile_ms(coalesced_latencies, 50),
+            "latency_p99_ms": percentile_ms(coalesced_latencies, 99),
+            "batches": coalesced_stats["batches"],
+            "mean_batch_size": coalesced_stats["mean_batch_size"],
+            "largest_batch": coalesced_stats["largest_batch"],
+        },
+        "throughput_ratio": ratio,
+        "cache": cache_report,
+        "min_throughput_ratio_required": min_throughput_ratio,
+        "min_cache_speedup_required": min_cache_speedup,
+    }
+    output.write_text(json.dumps(report, indent=2) + "\n")
+
+    lines = [
+        f"serving coalesced: {len(requests)} requests at concurrency {concurrency} "
+        f"in {coalesced_seconds * 1e3:.1f} ms ({coalesced_rps:.0f} rps, "
+        f"p50 {report['coalesced']['latency_p50_ms']:.2f} ms / "
+        f"p99 {report['coalesced']['latency_p99_ms']:.2f} ms, "
+        f"mean batch {coalesced_stats['mean_batch_size']:.1f})",
+        f"serving naive: {naive_seconds * 1e3:.1f} ms ({naive_rps:.0f} rps) "
+        f"-> coalesced/naive throughput {ratio:.1f}x",
+        f"serving cache: miss {cache_report['miss_seconds'] * 1e3:.1f} ms, warm hit "
+        f"{cache_report['hit_seconds'] * 1e6:.1f} us -> {cache_report['speedup']:.0f}x",
+    ]
+    ok = ratio >= min_throughput_ratio and cache_report["speedup"] >= min_cache_speedup
+    return ok, lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", type=Path, default=Path("BENCH_serving.json"))
+    parser.add_argument("--requests", type=int, default=256)
+    parser.add_argument("--concurrency", type=int, default=32)
+    parser.add_argument("--max-batch", type=int, default=32)
+    parser.add_argument("--max-wait-ms", type=float, default=2.0)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--cache-hits", type=int, default=500)
+    parser.add_argument(
+        "--min-throughput-ratio",
+        type=float,
+        default=3.0,
+        help="Required coalesced/naive throughput ratio.",
+    )
+    parser.add_argument(
+        "--min-cache-speedup",
+        type=float,
+        default=100.0,
+        help="Required warm-cache-hit vs solve speedup.",
+    )
+    args = parser.parse_args(argv)
+
+    ok, lines = run_serving_bench(
+        args.output,
+        n_requests=args.requests,
+        concurrency=args.concurrency,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        repeats=args.repeats,
+        n_cache_hits=args.cache_hits,
+        min_throughput_ratio=args.min_throughput_ratio,
+        min_cache_speedup=args.min_cache_speedup,
+    )
+    for line in lines:
+        print(line)
+    print(f"artifact written to {args.output}")
+    if not ok:
+        print(
+            f"FAIL: serving gates not met (need >= {args.min_throughput_ratio:.1f}x "
+            f"throughput and >= {args.min_cache_speedup:.0f}x warm-cache speedup)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -34,12 +34,13 @@ from __future__ import annotations
 
 import argparse
 import json
-import platform
 import sys
 import time
 from pathlib import Path
 
 import numpy as np
+
+from repro.utils.envinfo import environment_metadata
 
 from repro.batch import (
     PaddedValues,
@@ -133,8 +134,7 @@ def bench_dynamics(output: Path, repeats: int, min_speedup: float) -> tuple[bool
     speedup = looped_seconds / batched_seconds
     report = {
         "benchmark": "batched vs looped replicator dynamics",
-        "python": platform.python_version(),
-        "numpy": np.__version__,
+        "environment": environment_metadata(),
         "grid": {
             "rows": len(rows),
             "instances": len(instances),
@@ -229,8 +229,7 @@ def main(argv: list[str] | None = None) -> int:
 
     report = {
         "benchmark": "batched vs looped solver throughput",
-        "python": platform.python_version(),
-        "numpy": np.__version__,
+        "environment": environment_metadata(),
         "grid": {
             "instances": len(instances),
             "m_range": list(M_RANGE),

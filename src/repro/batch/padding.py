@@ -13,6 +13,18 @@ kernel work, so the canonical storage is NumPy.  Kernels running on another
 backend fetch device copies through :meth:`PaddedValues.values_for` /
 :meth:`PaddedValues.mask_for`, which cache one transfer per backend so a grid
 of kernel calls ships the batch to the device exactly once.
+
+Thread-safety of the transfer cache
+-----------------------------------
+The per-backend cache is a plain dict keyed by ``(backend name, field)``.
+The canonical host arrays are immutable (read-only flags), cached transfers
+are pure functions of them, and dict get/set are single atomic bytecode
+operations under the GIL — so concurrent readers (worker threads, or
+requests held across asyncio event-loop turns by the serving coalescer) can
+race at worst into building the *same* transfer twice, with last-writer-wins
+on the slot; never into observing a partially built entry.  Long-lived
+holders that migrate a batch off an accelerator can drop the cached copies
+with :meth:`clear_device_cache`.
 """
 
 from __future__ import annotations
@@ -64,12 +76,20 @@ class PaddedValues:
     # ----------------------------------------------------------- constructors
     @classmethod
     def from_instances(
-        cls, instances: Iterable[SiteValues | Sequence[float] | np.ndarray]
+        cls,
+        instances: Iterable[SiteValues | Sequence[float] | np.ndarray],
+        *,
+        width: int | None = None,
     ) -> "PaddedValues":
         """Pack an iterable of value profiles (ragged ``M`` allowed).
 
         Raw arrays are routed through :class:`~repro.core.values.SiteValues`
-        so they inherit its validation and non-increasing sort.
+        so they inherit its validation and non-increasing sort.  ``width``
+        forces a padded width beyond the longest row: reduction trees over
+        the site axis depend on the padded length, so callers that must get
+        bit-identical results across different batchings of the same row
+        (the serving coalescer) pin the width per request instead of letting
+        it float with the batch.
         """
         rows = [
             item if isinstance(item, SiteValues) else SiteValues.from_values(np.asarray(item))
@@ -78,7 +98,12 @@ class PaddedValues:
         if not rows:
             raise ValueError("cannot pack an empty batch of instances")
         sizes = np.array([row.m for row in rows], dtype=np.int64)
-        width = int(sizes.max())
+        if width is None:
+            width = int(sizes.max())
+        elif width < int(sizes.max()):
+            raise ValueError(
+                f"width={width} is narrower than the longest instance ({int(sizes.max())})"
+            )
         values = np.empty((len(rows), width), dtype=float)
         for index, row in enumerate(rows):
             arr = row.as_array()
@@ -141,6 +166,15 @@ class PaddedValues:
         return self._cached(
             backend, "sizes", lambda: from_numpy(backend, self.sizes, dtype=backend.int_dtype)
         )
+
+    def clear_device_cache(self) -> None:
+        """Drop every cached per-backend transfer (host arrays are untouched).
+
+        The cache repopulates lazily on the next ``*_for`` call; clearing is
+        only needed by long-lived holders (e.g. a serving process) that want
+        to release device memory for batches they are done with.
+        """
+        self._device_cache.clear()
 
     def row(self, index: int) -> SiteValues:
         """Recover instance ``index`` as a :class:`~repro.core.values.SiteValues`."""

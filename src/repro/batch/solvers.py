@@ -137,7 +137,26 @@ class SigmaStarBatch:
         )
 
 
-def _sigma_star_chunk(F, mask, ks_dev, be: Backend):
+def _int_power_column(xp, base, exponent: int):
+    """``base ** exponent`` for an integer ``exponent >= 0`` by binary exponentiation.
+
+    Plain multiplies are correctly rounded on every backend, so unlike ``**``
+    — whose inner-loop dispatch (and last-ulp rounding) can depend on how the
+    operands are shaped and strided — the result is independent of the batch
+    shape.  The serving layer's bit-identity contract relies on this for the
+    equilibrium values.
+    """
+    result = None
+    while exponent:
+        if exponent & 1:
+            result = base if result is None else result * base
+        exponent >>= 1
+        if exponent:
+            base = base * base
+    return xp.ones_like(base) if result is None else result
+
+
+def _sigma_star_chunk(F, mask, ks_dev, ks_host: np.ndarray, be: Backend):
     """Solve one chunk of instances for the whole k grid (pure Array-API body)."""
     xp = be.xp
     fdt = be.float_dtype
@@ -171,7 +190,13 @@ def _sigma_star_chunk(F, mask, ks_dev, be: Backend):
     totals = xp.sum(probabilities, axis=2)
     probabilities = probabilities / xp.where(totals > 0, totals, xp.ones_like(totals))[:, :, None]
 
-    equilibrium = alpha ** xp.astype(ks_dev - 1, fdt)[None, :]
+    equilibrium = xp.stack(
+        [
+            _int_power_column(xp, alpha[:, column], int(k) - 1)
+            for column, k in enumerate(ks_host)
+        ],
+        axis=1,
+    )
 
     # Single-site supports: all mass on the top site; several colliding players
     # earn zero under the exclusive policy.
@@ -236,7 +261,7 @@ def sigma_star_batch(
     parts = []
     for start in range(0, B, chunk):
         stop = min(start + chunk, B)
-        parts.append(_sigma_star_chunk(F[start:stop, :], mask[start:stop, :], ks_dev, be))
+        parts.append(_sigma_star_chunk(F[start:stop, :], mask[start:stop, :], ks_dev, ks, be))
 
     if len(parts) == 1:
         p, w, a, eq = parts[0]

@@ -13,6 +13,7 @@ Usage (after ``pip install -e .``)::
     repro-dispersal repeated [--rounds 6] [--depletions 0 0.25 0.5]
     repro-dispersal search [--trials 600] [--strategies sigma_star uniform]
     repro-dispersal mechanism [--policies exclusive sharing] [--design-policy sharing]
+    repro-dispersal serve [--host 127.0.0.1] [--port 8080] [--max-batch 64]
     repro-dispersal experiments
 
 or equivalently ``python -m repro.cli ...``.  Every sub-command is a thin
@@ -294,6 +295,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     mechanism.add_argument(
         "--batch", type=int, default=64, help="Grid cells per batched kernel call."
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="Run the online equilibrium service (micro-batch coalescing + cache).",
+        description=(
+            "Persistent asyncio HTTP service exposing /solve, /sweep, /mechanism, "
+            "/healthz and /stats.  Concurrent requests accumulate for up to "
+            "--max-wait-ms (or until --max-batch queue up) and are solved in one "
+            "batched kernel call; repeated requests are answered from a "
+            "content-addressed LRU cache."
+        ),
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="Interface to bind.")
+    serve.add_argument("--port", type=int, default=8080, help="TCP port (0 = ephemeral).")
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="Flush the coalescing window once this many requests are queued.",
+    )
+    serve.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="Maximum milliseconds a request waits for co-batchable traffic.",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=4096,
+        help="LRU result-cache capacity in entries (0 disables caching).",
+    )
+    serve.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="Array backend the coalesced kernels run on (default: REPRO_BACKEND or numpy).",
     )
 
     sub.add_parser(
@@ -599,6 +638,35 @@ def _run_mechanism(args: argparse.Namespace) -> str:
     )
 
 
+def _run_serve(args: argparse.Namespace) -> str:
+    # Deferred import: plain experiment commands never pay for asyncio/serving.
+    import asyncio
+
+    from repro.serving import serve_forever
+
+    if args.backend is not None:
+        try:
+            load_backend(args.backend)
+        except BackendNotAvailableError as error:
+            raise SystemExit(
+                f"error: {error} (available: {', '.join(available_backends())})"
+            ) from error
+    try:
+        asyncio.run(
+            serve_forever(
+                args.host,
+                args.port,
+                max_batch=args.max_batch,
+                max_wait_ms=args.max_wait_ms,
+                cache_size=args.cache_size,
+                backend=args.backend,
+            )
+        )
+    except KeyboardInterrupt:
+        pass
+    return "serve: shut down"
+
+
 def _run_experiments(args: argparse.Namespace) -> str:
     definitions = [get_experiment(name) for name in experiment_names()]
     if args.json:
@@ -628,6 +696,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "repeated": _run_repeated,
         "search": _run_search,
         "mechanism": _run_mechanism,
+        "serve": _run_serve,
         "experiments": _run_experiments,
     }
     print(runners[args.command](args))

@@ -23,7 +23,6 @@ The runner turns an :class:`~repro.experiments.spec.ExperimentSpec` into an
 from __future__ import annotations
 
 import contextlib
-import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Iterable, Mapping, Sequence
@@ -33,6 +32,7 @@ import numpy as np
 from repro.backend import use_backend
 from repro.experiments.result import ExperimentResult
 from repro.experiments.spec import ExperimentSpec, TaskFunction
+from repro.utils.envinfo import available_cpus
 from repro.utils.rng import spawn_seed_sequences
 
 __all__ = ["run_experiment", "coerce_seed", "spawn_task_seeds", "chunk_grid"]
@@ -105,8 +105,10 @@ def resolve_workers(max_workers: int | None) -> int:
         return 0
     workers = int(max_workers)
     if workers < 0:
-        # Convention: -1 means "one worker per CPU".
-        workers = os.cpu_count() or 1
+        # Convention: -1 means "one worker per *available* CPU" — the
+        # affinity mask, not the machine's core count, so container CPU
+        # limits (cgroups, taskset) are respected.
+        workers = available_cpus()
     return workers
 
 

@@ -1,0 +1,74 @@
+"""Online equilibrium service: micro-batch coalescing + content-addressed cache.
+
+The batch layer (:mod:`repro.batch`) amortises per-call overhead across the
+rows of one caller's grid; this package amortises it across *callers*.  A
+persistent asyncio service accumulates concurrent solve/sweep/mechanism
+requests for a short window, packs them into one
+:class:`~repro.batch.padding.PaddedValues` batch, dispatches a single
+batched kernel call, and answers each caller with its slice — bit-identical
+to what a direct batch-of-one call of the public kernels returns (see
+:mod:`repro.serving.engine` for why).  Repeated questions never reach a
+kernel at all: a content-addressed LRU cache keyed by the canonical instance
+hash (:mod:`repro.utils.canonical`) answers them in O(lookup), and
+single-flight dedup collapses identical in-flight requests into one
+computation.
+
+Layers
+------
+:mod:`repro.serving.requests`
+    Canonicalised request models (``solve`` / ``sweep`` / ``mechanism``).
+:mod:`repro.serving.engine`
+    Grouping + batched evaluation; the bit-identity contract.
+:mod:`repro.serving.cache`
+    Bounded LRU result cache with hit/miss/eviction counters.
+:mod:`repro.serving.coalescer`
+    The accumulation window (``max_batch`` / ``max_wait_ms``), single-flight
+    dedup, and per-caller futures.
+:mod:`repro.serving.http`
+    Dependency-free asyncio HTTP front (``repro-dispersal serve``).
+:mod:`repro.serving.fastapi_app`
+    The same routes as a FastAPI app (optional ``serve`` extra).
+
+Benchmarked by ``benchmarks/bench_serving.py`` (``BENCH_serving.json``):
+coalesced vs naive per-request throughput at fixed concurrency, latency
+percentiles and warm-cache hit speedup, CI-gated like the other families.
+"""
+
+from repro.serving.cache import ResultCache
+from repro.serving.coalescer import BatchCoalescer
+from repro.serving.engine import (
+    EQUILIBRIUM_OPTS,
+    evaluate_group,
+    evaluate_one,
+    evaluate_requests,
+    group_requests,
+)
+from repro.serving.fastapi_app import create_fastapi_app
+from repro.serving.http import EquilibriumService, RunningServer, serve_forever, start_server
+from repro.serving.requests import (
+    MechanismRequest,
+    ServingRequest,
+    SolveRequest,
+    SweepRequest,
+    parse_request,
+)
+
+__all__ = [
+    "BatchCoalescer",
+    "ResultCache",
+    "EquilibriumService",
+    "RunningServer",
+    "ServingRequest",
+    "SolveRequest",
+    "SweepRequest",
+    "MechanismRequest",
+    "parse_request",
+    "EQUILIBRIUM_OPTS",
+    "evaluate_group",
+    "evaluate_one",
+    "evaluate_requests",
+    "group_requests",
+    "create_fastapi_app",
+    "serve_forever",
+    "start_server",
+]

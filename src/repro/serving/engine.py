@@ -1,0 +1,226 @@
+"""Batched evaluation of serving requests — the coalescer's kernel dispatch.
+
+One flush of the coalescer hands a mixed list of requests to
+:func:`evaluate_requests`: requests are grouped by ``group_key`` (same
+family, policy roster and player-count signature, same padded-width
+bucket), each group is packed into one
+:class:`~repro.batch.padding.PaddedValues`, one batched kernel call solves
+the whole group, and each request's answer is sliced out of its
+``(row, k)`` cell.
+
+Bit-identical coalescing
+------------------------
+The service promises that a coalesced answer equals the answer the same
+request gets from a direct (batch-of-one) call of the public kernels, bit
+for bit.  Three properties make that hold:
+
+* a group is homogeneous in everything but the instance — the family, the
+  policy roster, the ``k`` signature and the padded-width bucket are all
+  part of ``group_key`` — so coalescing only ever grows the batch-row count
+  ``B``, and every kernel involved
+  (:func:`~repro.batch.solvers.sigma_star_batch`,
+  :func:`~repro.batch.solvers.coverage_batch`,
+  :func:`~repro.batch.ifd.ifd_batch`,
+  :func:`~repro.batch.mechanism.compare_policies_batch`) is elementwise in
+  the row: co-batched instances cannot perturb each other's cells.  (Pinning
+  the ``k`` signature matters beyond row-independence: a wider ``k`` axis
+  changes the broadcast strides of the coverage exponent, which can select
+  a different ufunc inner loop for ``**`` whose results differ in the last
+  ulp.  It also means a group never computes ``(row, k)`` cells nobody
+  asked for);
+* the one data-dependent control flow — the IFD solver's bisection early
+  exits, which fire when *all* rows of a batch have converged — is pinned by
+  :data:`EQUILIBRIUM_OPTS`: ``tol=0.0`` disables the outer early exit and
+  ``max_inner_iter=40`` keeps the inner bisection short of its ``1e-15``
+  exit width (``2**-40 > 1e-15``), so both loops always run their full fixed
+  budget regardless of what else is in the batch.  The budgets still drive
+  the brackets to ``~4e-15`` relative (outer) and ``~9e-13`` absolute
+  (inner) — far inside the ``1e-6`` convergence check;
+* reductions over the site axis (coverage sums, the bisection's total
+  probability mass) use a summation tree that depends on the *padded*
+  width, which would otherwise float with whatever the request was batched
+  with.  Groups therefore only mix requests of one power-of-two width
+  bucket (:attr:`~repro.serving.requests.ServingRequest.pad_width`, part of
+  ``group_key``) and :func:`_pack` pads to exactly that bucket, so direct
+  and coalesced runs reduce over identically shaped rows.  Padding cells
+  hold the row's own smallest value and contribute exact zeros to every
+  masked reduction, so widening a row never changes its answer — only
+  *where* in the tree its real terms sit, which bucketing pins.
+
+Responses are plain JSON-native dicts (floats/ints/lists), so they can be
+cached, serialised and compared for exact equality.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.analysis.scenario_experiments import policy_from_name
+from repro.backend import Backend
+from repro.batch.ifd import ifd_batch
+from repro.batch.mechanism import compare_policies_batch
+from repro.batch.padding import PaddedValues
+from repro.batch.solvers import coverage_batch, sigma_star_batch
+from repro.serving.requests import (
+    MechanismRequest,
+    ServingRequest,
+    SolveRequest,
+    SweepRequest,
+)
+
+__all__ = ["EQUILIBRIUM_OPTS", "group_requests", "evaluate_group", "evaluate_requests", "evaluate_one"]
+
+#: Fixed iteration budgets of the IFD bisections (see module docstring):
+#: results become independent of batch composition, which the bit-identity
+#: contract of the coalescer relies on.
+EQUILIBRIUM_OPTS: Mapping[str, float | int] = {
+    "tol": 0.0,
+    "max_outer_iter": 48,
+    "max_inner_iter": 40,
+}
+
+
+def group_requests(requests: Sequence[ServingRequest]) -> dict[tuple, list[int]]:
+    """Indices of ``requests`` grouped by coalescible ``(kind, group_key)``."""
+    groups: dict[tuple, list[int]] = {}
+    for index, request in enumerate(requests):
+        groups.setdefault(request.group_key, []).append(index)
+    return groups
+
+
+def _pack(batch: Sequence[ServingRequest]) -> PaddedValues:
+    """One padded batch, at the group's fixed width bucket (see module docs)."""
+    return PaddedValues.from_instances(
+        [request.site_values for request in batch], width=batch[0].pad_width
+    )
+
+
+def _finite_or_none(value: float) -> float | None:
+    """Map non-finite ratios (SPoA of a zero-coverage cell) to JSON ``null``."""
+    value = float(value)
+    return value if math.isfinite(value) else None
+
+
+def _evaluate_solve(batch: Sequence[SolveRequest], backend) -> list[dict]:
+    padded = _pack(batch)
+    ks = sorted({request.k for request in batch})
+    policy = batch[0].policy_object()
+    equilibrium = ifd_batch(padded, ks, policy, backend=backend, **EQUILIBRIUM_OPTS)
+    coverages = coverage_batch(padded, equilibrium.probabilities, ks, backend=backend)
+    k_index = {k: column for column, k in enumerate(ks)}
+    payloads = []
+    for row, request in enumerate(batch):
+        column = k_index[request.k]
+        payloads.append(
+            {
+                "kind": "solve",
+                "m": request.m,
+                "k": request.k,
+                "policy": request.policy,
+                "probabilities": [
+                    float(p) for p in equilibrium.probabilities[row, column, : request.m]
+                ],
+                "equilibrium_value": float(equilibrium.values[row, column]),
+                "support_size": int(equilibrium.support_sizes[row, column]),
+                "coverage": float(coverages[row, column]),
+                "converged": bool(equilibrium.converged[row, column]),
+            }
+        )
+    return payloads
+
+
+def _evaluate_sweep(batch: Sequence[SweepRequest], backend) -> list[dict]:
+    padded = _pack(batch)
+    union = sorted({k for request in batch for k in request.k_grid})
+    star = sigma_star_batch(padded, union, backend=backend)
+    coverages = coverage_batch(padded, star.probabilities, union, backend=backend)
+    k_index = {k: column for column, k in enumerate(union)}
+    payloads = []
+    for row, request in enumerate(batch):
+        columns = [k_index[k] for k in request.k_grid]
+        payloads.append(
+            {
+                "kind": "sweep",
+                "m": request.m,
+                "k_grid": list(request.k_grid),
+                "support_sizes": [int(star.support_sizes[row, c]) for c in columns],
+                "equilibrium_values": [float(star.equilibrium_values[row, c]) for c in columns],
+                "coverages": [float(coverages[row, c]) for c in columns],
+            }
+        )
+    return payloads
+
+
+def _evaluate_mechanism(batch: Sequence[MechanismRequest], backend) -> list[dict]:
+    padded = _pack(batch)
+    ks = sorted({request.k for request in batch})
+    roster_names = batch[0].policies
+    roster = [policy_from_name(name) for name in roster_names]
+    comparison = compare_policies_batch(padded, ks, roster, backend=backend, **EQUILIBRIUM_OPTS)
+    k_index = {k: column for column, k in enumerate(ks)}
+    payloads = []
+    for row, request in enumerate(batch):
+        column = k_index[request.k]
+        payloads.append(
+            {
+                "kind": "mechanism",
+                "m": request.m,
+                "k": request.k,
+                "policies": list(roster_names),
+                "equilibrium_coverages": [
+                    float(comparison.equilibrium_coverages[p, row, column])
+                    for p in range(len(roster_names))
+                ],
+                "optimal_coverage": float(comparison.optimal_coverages[row, column]),
+                "spoa": [
+                    _finite_or_none(comparison.spoa[p, row, column])
+                    for p in range(len(roster_names))
+                ],
+                "equilibrium_payoffs": [
+                    float(comparison.equilibrium_payoffs[p, row, column])
+                    for p in range(len(roster_names))
+                ],
+                "support_sizes": [
+                    int(comparison.support_sizes[p, row, column])
+                    for p in range(len(roster_names))
+                ],
+            }
+        )
+    return payloads
+
+
+_EVALUATORS = {
+    "solve": _evaluate_solve,
+    "sweep": _evaluate_sweep,
+    "mechanism": _evaluate_mechanism,
+}
+
+
+def evaluate_group(
+    batch: Sequence[ServingRequest], *, backend: Backend | str | None = None
+) -> list[dict]:
+    """Solve one coalescible group (same ``group_key``) in one kernel call."""
+    if not batch:
+        return []
+    kinds = {request.group_key for request in batch}
+    if len(kinds) != 1:
+        raise ValueError(f"cannot evaluate a mixed group: {sorted(kinds)}")
+    return _EVALUATORS[batch[0].kind](batch, backend)
+
+
+def evaluate_requests(
+    requests: Sequence[ServingRequest], *, backend: Backend | str | None = None
+) -> list[dict]:
+    """Solve a mixed request list, grouped and batched; results in input order."""
+    results: list[dict | None] = [None] * len(requests)
+    for indices in group_requests(requests).values():
+        payloads = evaluate_group([requests[i] for i in indices], backend=backend)
+        for index, payload in zip(indices, payloads):
+            results[index] = payload
+    return results  # type: ignore[return-value]
+
+
+def evaluate_one(request: ServingRequest, *, backend: Backend | str | None = None) -> dict:
+    """The direct (batch-of-one) path — the reference the coalescer must match."""
+    return evaluate_requests([request], backend=backend)[0]

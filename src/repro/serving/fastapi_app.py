@@ -1,0 +1,93 @@
+"""Optional FastAPI front for production ASGI deployments.
+
+The reference server (:mod:`repro.serving.http`) is dependency-free; this
+module builds the same routes as a FastAPI application for users who want a
+real ASGI stack (workers, middleware, OpenAPI docs).  FastAPI is **not** a
+dependency of the package — install the extra::
+
+    pip install repro-dispersal[serve]
+    uvicorn --factory repro.serving.fastapi_app:create_fastapi_app
+
+Route semantics, coalescing and caching are identical to the reference
+front: both delegate to one :class:`~repro.serving.coalescer.BatchCoalescer`.
+Note that one uvicorn worker hosts one coalescer (and one cache); scaling to
+several workers shards the traffic — and therefore the micro-batches —
+across them.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.serving.cache import ResultCache
+from repro.serving.coalescer import BatchCoalescer
+from repro.serving.requests import parse_request
+from repro.utils.envinfo import environment_metadata
+
+__all__ = ["create_fastapi_app"]
+
+
+def create_fastapi_app(
+    coalescer: BatchCoalescer | None = None,
+    *,
+    max_batch: int = 64,
+    max_wait_ms: float = 2.0,
+    cache_size: int = 4096,
+    backend: str | None = None,
+) -> Any:
+    """Build the FastAPI application (requires the ``serve`` extra).
+
+    Raises
+    ------
+    RuntimeError
+        When FastAPI is not installed (with the install hint).
+    """
+    try:
+        from fastapi import FastAPI, HTTPException
+    except ImportError as error:  # pragma: no cover - exercised without the extra
+        raise RuntimeError(
+            "FastAPI is not installed; the stdlib front (repro.serving.http) "
+            "works without it, or install the extra: pip install repro-dispersal[serve]"
+        ) from error
+
+    if coalescer is None:
+        cache = ResultCache(cache_size) if cache_size > 0 else None
+        coalescer = BatchCoalescer(
+            max_batch=max_batch, max_wait_ms=max_wait_ms, cache=cache, backend=backend
+        )
+
+    app = FastAPI(
+        title="repro-dispersal equilibrium service",
+        description="Micro-batched solve/sweep/mechanism endpoints with a "
+        "content-addressed result cache.",
+    )
+    app.state.coalescer = coalescer
+
+    async def _submit(kind: str, payload: dict) -> dict:
+        try:
+            request = parse_request(kind, payload)
+        except (TypeError, ValueError) as error:
+            raise HTTPException(status_code=400, detail=str(error)) from None
+        return await coalescer.submit(request)
+
+    @app.post("/solve")
+    async def solve(payload: dict) -> dict:  # pragma: no cover - thin route
+        return await _submit("solve", payload)
+
+    @app.post("/sweep")
+    async def sweep(payload: dict) -> dict:  # pragma: no cover - thin route
+        return await _submit("sweep", payload)
+
+    @app.post("/mechanism")
+    async def mechanism(payload: dict) -> dict:  # pragma: no cover - thin route
+        return await _submit("mechanism", payload)
+
+    @app.get("/healthz")
+    async def healthz() -> dict:  # pragma: no cover - thin route
+        return {"status": "ok"}
+
+    @app.get("/stats")
+    async def stats() -> dict:  # pragma: no cover - thin route
+        return {"coalescer": coalescer.stats(), "environment": environment_metadata()}
+
+    return app

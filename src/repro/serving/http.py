@@ -1,0 +1,211 @@
+"""Dependency-free asyncio HTTP front of the equilibrium service.
+
+A deliberately small HTTP/1.1 server (stdlib ``asyncio.start_server``, no
+web framework) exposing the coalescer over five routes:
+
+================  =======  ====================================================
+``/solve``        POST     one equilibrium (``values``, ``k``, ``policy``)
+``/sweep``        POST     ``sigma_star`` + coverage over a ``k_grid``
+``/mechanism``    POST     policy-roster comparison (``values``, ``k``,
+                           ``policies``)
+``/healthz``      GET      liveness probe
+``/stats``        GET      coalescer / cache counters + host environment
+================  =======  ====================================================
+
+Bodies and responses are JSON.  Malformed requests get ``400`` with an
+``{"error": ...}`` body; unknown routes ``404``.  Connections are keep-alive
+(closed-loop load generators reuse them), one in-flight request per
+connection — concurrency comes from many connections, which is exactly the
+regime the coalescer packs into shared kernel calls.
+
+For a production deployment behind a real ASGI stack, see
+:func:`repro.serving.fastapi_app.create_fastapi_app` (``pip install
+repro-dispersal[serve]``); this module is the zero-dependency reference
+front used by the CLI (``repro-dispersal serve``) and the benchmark.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from repro.serving.cache import ResultCache
+from repro.serving.coalescer import BatchCoalescer
+from repro.serving.requests import parse_request
+from repro.utils.envinfo import environment_metadata
+
+__all__ = ["EquilibriumService", "start_server", "serve_forever"]
+
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+_POST_KINDS = ("solve", "sweep", "mechanism")
+
+
+class EquilibriumService:
+    """Routes HTTP requests into a :class:`~repro.serving.coalescer.BatchCoalescer`."""
+
+    def __init__(self, coalescer: BatchCoalescer) -> None:
+        self.coalescer = coalescer
+
+    # ---------------------------------------------------------------- routing
+    async def dispatch(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+        """Map one parsed HTTP request to ``(status, JSON payload)``."""
+        path = path.split("?", 1)[0].rstrip("/") or "/"
+        if method == "GET" and path == "/healthz":
+            return 200, {"status": "ok"}
+        if method == "GET" and path == "/stats":
+            return 200, {
+                "coalescer": self.coalescer.stats(),
+                "environment": environment_metadata(),
+            }
+        kind = path.lstrip("/")
+        if kind in _POST_KINDS:
+            if method != "POST":
+                return 405, {"error": f"{path} expects POST"}
+            try:
+                payload = json.loads(body.decode("utf-8")) if body else {}
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                return 400, {"error": f"invalid JSON body: {error}"}
+            try:
+                request = parse_request(kind, payload)
+            except (TypeError, ValueError) as error:
+                return 400, {"error": str(error)}
+            try:
+                return 200, await self.coalescer.submit(request)
+            except Exception as error:  # noqa: BLE001 - reported, not raised
+                return 500, {"error": f"{type(error).__name__}: {error}"}
+        return 404, {"error": f"no route for {method} {path}"}
+
+    # ------------------------------------------------------------- connection
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve one keep-alive connection until the peer closes it."""
+        try:
+            while True:
+                request_line = await reader.readline()
+                if not request_line or request_line.strip() == b"":
+                    break
+                try:
+                    method, path, _version = request_line.decode("latin-1").split(None, 2)
+                except ValueError:
+                    await self._respond(writer, 400, {"error": "malformed request line"})
+                    break
+                headers: dict[str, str] = {}
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    name, _, value = line.decode("latin-1").partition(":")
+                    headers[name.strip().lower()] = value.strip()
+                try:
+                    length = int(headers.get("content-length", "0") or "0")
+                except ValueError:
+                    await self._respond(writer, 400, {"error": "bad Content-Length"})
+                    break
+                if length < 0 or length > _MAX_BODY_BYTES:
+                    await self._respond(writer, 413, {"error": "body too large"})
+                    break
+                body = await reader.readexactly(length) if length else b""
+                status, payload = await self.dispatch(method.upper(), path, body)
+                keep_alive = headers.get("connection", "").lower() != "close"
+                await self._respond(writer, status, payload, keep_alive=keep_alive)
+                if not keep_alive:
+                    break
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            pass  # peer went away mid-request; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+                # The handler task is cancelled by Server.close(); the socket
+                # is already closing, so there is nothing left to wait for.
+                pass
+
+    @staticmethod
+    async def _respond(
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        *,
+        keep_alive: bool = False,
+    ) -> None:
+        reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                   405: "Method Not Allowed", 413: "Payload Too Large",
+                   500: "Internal Server Error"}
+        body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+
+@dataclass
+class RunningServer:
+    """A started server plus its service; ``async with`` closes both."""
+
+    server: asyncio.base_events.Server
+    service: EquilibriumService
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (useful with ``port=0`` in tests)."""
+        return self.server.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        self.server.close()
+        await self.server.wait_closed()
+        await self.service.coalescer.close()
+
+    async def __aenter__(self) -> "RunningServer":
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()
+
+
+async def start_server(
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    *,
+    coalescer: BatchCoalescer | None = None,
+    max_batch: int = 64,
+    max_wait_ms: float = 2.0,
+    cache_size: int = 4096,
+    backend: str | None = None,
+) -> RunningServer:
+    """Bind the service and return a handle (``port=0`` picks a free port).
+
+    Without an explicit ``coalescer``, one is built from ``max_batch`` /
+    ``max_wait_ms`` / ``cache_size`` (``cache_size=0`` disables the cache).
+    """
+    if coalescer is None:
+        cache = ResultCache(cache_size) if cache_size > 0 else None
+        coalescer = BatchCoalescer(
+            max_batch=max_batch, max_wait_ms=max_wait_ms, cache=cache, backend=backend
+        )
+    service = EquilibriumService(coalescer)
+    server = await asyncio.start_server(service.handle_connection, host, port)
+    return RunningServer(server=server, service=service)
+
+
+async def serve_forever(host: str, port: int, **options: Any) -> None:
+    """Run the service until cancelled (the ``repro-dispersal serve`` body)."""
+    running = await start_server(host, port, **options)
+    addresses = ", ".join(
+        f"{sock.getsockname()[0]}:{sock.getsockname()[1]}" for sock in running.server.sockets
+    )
+    print(f"repro-dispersal serving on {addresses} "
+          f"(max_batch={running.service.coalescer.max_batch}, "
+          f"max_wait_ms={running.service.coalescer.max_wait_ms})")
+    try:
+        await running.server.serve_forever()
+    finally:
+        await running.close()

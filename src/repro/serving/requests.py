@@ -1,0 +1,223 @@
+"""Typed request models of the online equilibrium service.
+
+Three request families mirror the service endpoints (and the three batched
+kernel families the coalescer dispatches to):
+
+* :class:`SolveRequest` — one equilibrium: instance + player count + one
+  congestion policy (:func:`~repro.batch.ifd.ifd_batch`, which
+  short-circuits to the closed form for the exclusive policy);
+* :class:`SweepRequest` — the closed-form ``sigma_star`` and its coverage
+  over a whole player-count grid
+  (:func:`~repro.batch.solvers.sigma_star_batch`);
+* :class:`MechanismRequest` — a congestion-policy roster comparison on one
+  ``(instance, k)`` cell (:func:`~repro.batch.mechanism.compare_policies_batch`).
+
+Requests canonicalise their payload at construction (values sorted
+non-increasing, grids as sorted unique tuples — see
+:mod:`repro.utils.canonical`), so two requests are equal exactly when they
+denote the same mathematical question; ``cache_key`` is the matching
+content-addressed hash.  ``group_key`` identifies requests the coalescer may
+pack into one kernel call: same family, policy roster and player-count
+signature, same padded-width bucket (:attr:`ServingRequest.pad_width`) — a
+group is homogeneous in everything but the instance, so coalescing only ever
+changes the batch-row count, which the kernels are elementwise in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.analysis.scenario_experiments import POLICY_FACTORIES, policy_from_name
+from repro.core.policies import CongestionPolicy
+from repro.core.values import SiteValues
+from repro.utils.canonical import canonical_k_grid, canonical_values, content_key
+
+__all__ = [
+    "ServingRequest",
+    "SolveRequest",
+    "SweepRequest",
+    "MechanismRequest",
+    "parse_request",
+]
+
+
+def _coerce_values(values: Any) -> tuple[float, ...]:
+    if values is None:
+        raise ValueError("request is missing the site-value profile 'values'")
+    return canonical_values(values)
+
+
+@dataclass(frozen=True)
+class ServingRequest:
+    """Base of the three request families.
+
+    Attributes
+    ----------
+    values:
+        Canonical (non-increasing, strictly positive) site-value tuple.
+    """
+
+    values: tuple[float, ...]
+
+    #: Family tag; also the endpoint path segment (``/solve`` etc.).
+    kind = "abstract"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "values", _coerce_values(self.values))
+
+    @property
+    def site_values(self) -> SiteValues:
+        """The instance as a :class:`~repro.core.values.SiteValues` (already sorted)."""
+        return SiteValues.from_values(np.asarray(self.values))
+
+    @property
+    def m(self) -> int:
+        """Number of sites of the instance."""
+        return len(self.values)
+
+    @property
+    def cache_key(self) -> str:
+        """Content-addressed key: equal for all spellings of the same request."""
+        key = self.__dict__.get("_cache_key")
+        if key is None:
+            key = content_key(self.kind, self.values, **self._params())
+            object.__setattr__(self, "_cache_key", key)
+        return key
+
+    @property
+    def pad_width(self) -> int:
+        """The power-of-two padded width this request's group is packed to.
+
+        Reduction trees over the site axis (pairwise summation, device
+        reductions) depend on the padded length, so the coalescer only packs
+        requests of the same width bucket together and pads the batch to
+        exactly that bucket — the direct (batch-of-one) path then reduces
+        over identically shaped arrays and answers stay bit-identical no
+        matter what the request was coalesced with.
+        """
+        return max(8, 1 << (self.m - 1).bit_length())
+
+    @property
+    def group_key(self) -> tuple:
+        """Requests sharing a ``group_key`` coalesce into one kernel call."""
+        return (self.kind, self.pad_width)
+
+    def _params(self) -> dict[str, Any]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class SolveRequest(ServingRequest):
+    """Equilibrium of one instance for ``k`` players under one congestion policy."""
+
+    k: int = 2
+    policy: str = "exclusive"
+
+    kind = "solve"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "k", int(self.k))
+        object.__setattr__(self, "policy", str(self.policy))
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        if self.policy not in POLICY_FACTORIES:
+            available = ", ".join(sorted(POLICY_FACTORIES))
+            raise ValueError(f"unknown policy {self.policy!r}; available: {available}")
+
+    def _params(self) -> dict[str, Any]:
+        return {"k": self.k, "policy": self.policy}
+
+    @property
+    def group_key(self) -> tuple:
+        return (self.kind, self.policy, self.k, self.pad_width)
+
+    def policy_object(self) -> CongestionPolicy:
+        """A fresh policy instance resolved from the stable name."""
+        return policy_from_name(self.policy)
+
+
+@dataclass(frozen=True)
+class SweepRequest(ServingRequest):
+    """``sigma_star`` support/value/coverage over a player-count grid."""
+
+    k_grid: tuple[int, ...] = (2, 3, 5, 8)
+
+    kind = "sweep"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "k_grid", canonical_k_grid(self.k_grid))
+
+    def _params(self) -> dict[str, Any]:
+        return {"k_grid": self.k_grid}
+
+    @property
+    def group_key(self) -> tuple:
+        return (self.kind, self.k_grid, self.pad_width)
+
+
+@dataclass(frozen=True)
+class MechanismRequest(ServingRequest):
+    """Congestion-policy roster comparison on one ``(instance, k)`` cell."""
+
+    k: int = 2
+    policies: tuple[str, ...] = ("exclusive", "sharing")
+
+    kind = "mechanism"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "k", int(self.k))
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        roster = tuple(str(name) for name in self.policies)
+        if not roster:
+            raise ValueError("policies roster must not be empty")
+        for name in roster:
+            if name not in POLICY_FACTORIES:
+                available = ", ".join(sorted(POLICY_FACTORIES))
+                raise ValueError(f"unknown policy {name!r}; available: {available}")
+        # Roster order only affects response presentation, not the answers:
+        # canonicalise to sorted-unique so equivalent requests share a key.
+        object.__setattr__(self, "policies", tuple(sorted(set(roster))))
+
+    def _params(self) -> dict[str, Any]:
+        return {"k": self.k, "policies": self.policies}
+
+    @property
+    def group_key(self) -> tuple:
+        return (self.kind, self.policies, self.k, self.pad_width)
+
+
+_KINDS: dict[str, type[ServingRequest]] = {
+    "solve": SolveRequest,
+    "sweep": SweepRequest,
+    "mechanism": MechanismRequest,
+}
+
+
+def parse_request(kind: str, payload: Mapping[str, Any]) -> ServingRequest:
+    """Build a request of family ``kind`` from a JSON-ish payload dict.
+
+    Unknown fields are rejected (a typo'd parameter silently falling back to
+    a default would be served — and cached — as the wrong question).
+    """
+    cls = _KINDS.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown request kind {kind!r}; expected one of {sorted(_KINDS)}")
+    if not isinstance(payload, Mapping):
+        raise ValueError("request payload must be a JSON object")
+    allowed = set(cls.__dataclass_fields__)
+    unknown = set(payload) - allowed
+    if unknown:
+        raise ValueError(
+            f"unknown field(s) {sorted(unknown)} for {kind!r}; allowed: {sorted(allowed)}"
+        )
+    try:
+        return cls(**payload)
+    except TypeError as error:
+        raise ValueError(f"invalid {kind!r} payload: {error}") from None

@@ -4,7 +4,14 @@ These helpers are deliberately dependency-free (NumPy only) and are used by
 every other subpackage.  Nothing in here is specific to the dispersal game.
 """
 
+from repro.utils.canonical import (
+    canonical_k_grid,
+    canonical_request,
+    canonical_values,
+    content_key,
+)
 from repro.utils.coercion import strategy_array, values_array
+from repro.utils.envinfo import available_cpus, environment_metadata
 from repro.utils.numerics import (
     assert_shape,
     binomial_pmf_matrix,
@@ -34,6 +41,12 @@ from repro.utils.io import write_csv, read_csv
 __all__ = [
     "strategy_array",
     "values_array",
+    "available_cpus",
+    "environment_metadata",
+    "canonical_k_grid",
+    "canonical_request",
+    "canonical_values",
+    "content_key",
     "as_generator",
     "spawn_generators",
     "spawn_seed_sequences",

@@ -1,0 +1,140 @@
+"""Canonical, backend-independent hashing of game instances and requests.
+
+The serving layer's content-addressed cache (:mod:`repro.serving.cache`)
+needs one stable key per *mathematical* request: two callers asking for the
+equilibrium of the same instance must hit the same cache slot no matter how
+they spelled the instance (list / tuple / NumPy array / backend-native
+array / :class:`~repro.core.values.SiteValues`), in which order they listed
+the site values, or which array backend is active.  The helpers here define
+that canonical form:
+
+* site values are routed through :class:`~repro.core.values.SiteValues`, so
+  they inherit its validation and non-increasing sort (the paper's
+  ``f(x) >= f(x + 1)`` convention) and come out as a plain float tuple;
+* player-count grids become sorted tuples of unique ints;
+* the key is a SHA-256 digest of an unambiguous byte encoding in which
+  floats are rendered with :meth:`float.hex` — exact round-trip, so values
+  differing in the last bit get different keys and equal values always get
+  the same one.
+
+Nothing here touches the array backend: canonicalisation is host-side
+staging work, exactly like :class:`~repro.batch.padding.PaddedValues`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING, Any, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.values import SiteValues
+
+__all__ = ["canonical_values", "canonical_k_grid", "canonical_request", "content_key"]
+
+
+def canonical_values(values: "SiteValues | Sequence[float] | np.ndarray") -> tuple[float, ...]:
+    """The canonical (validated, non-increasing) float tuple of an instance.
+
+    Accepts anything :meth:`PaddedValues.from_instances
+    <repro.batch.padding.PaddedValues.from_instances>` accepts for one row,
+    plus backend-native arrays (brought to the host first).
+    """
+    # Imported lazily: ``repro.core.values`` itself imports ``repro.utils``
+    # (validation helpers), so a module-level import here would be circular.
+    from repro.core.values import SiteValues
+
+    if not isinstance(values, SiteValues):
+        if not isinstance(values, np.ndarray) and hasattr(values, "__array_namespace__"):
+            from repro.backend import ensure_numpy
+
+            values = ensure_numpy(values)
+        values = SiteValues.from_values(np.asarray(values, dtype=float))
+    return tuple(float(v) for v in values.as_array())
+
+
+def canonical_k_grid(k_grid: Sequence[int] | np.ndarray | int) -> tuple[int, ...]:
+    """Player-count grids as sorted tuples of unique positive ints.
+
+    The serving sweep endpoint treats the grid as a *set* of player counts
+    (responses are reported per ``k``), so ``[3, 2, 3]`` and ``(2, 3)`` are
+    the same request and must share a cache key.
+    """
+    ks = np.unique(np.atleast_1d(np.asarray(k_grid)))
+    if ks.size == 0:
+        raise ValueError("k_grid must contain at least one player count")
+    if not np.issubdtype(ks.dtype, np.integer):
+        rounded = np.rint(np.asarray(ks, dtype=float)).astype(np.int64)
+        if not np.allclose(ks, rounded):
+            raise ValueError("k_grid entries must be integers")
+        ks = np.unique(rounded)
+    if np.any(ks < 1):
+        raise ValueError("k_grid entries must be >= 1")
+    return tuple(int(k) for k in ks)
+
+
+def canonical_request(
+    kind: str, values: SiteValues | Sequence[float] | np.ndarray, **params: Any
+) -> tuple:
+    """The canonical nested-tuple form of one serving request.
+
+    ``params`` are sorted by name; every value must be an int, float, bool,
+    string, or a (possibly nested) sequence of those.  The result is
+    hashable and equality-comparable, and :func:`content_key` digests it.
+    """
+    items = tuple(
+        (name, _canonical_param(params[name])) for name in sorted(params)
+    )
+    return (str(kind), canonical_values(values), items)
+
+
+def _canonical_param(value: Any) -> Any:
+    if isinstance(value, (bool, np.bool_)):
+        return bool(value)
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return float(value)
+    if isinstance(value, str):
+        return value
+    if isinstance(value, np.ndarray):
+        value = value.tolist()
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical_param(item) for item in value)
+    raise TypeError(f"cannot canonicalise request parameter of type {type(value).__name__}")
+
+
+def _encode(value: Any, out: list[str]) -> None:
+    """Render a canonical tuple unambiguously (type-tagged, length-prefixed)."""
+    if isinstance(value, bool):
+        out.append(f"b{int(value)}")
+    elif isinstance(value, int):
+        out.append(f"i{value}")
+    elif isinstance(value, float):
+        # float.hex round-trips exactly; no repr-precision ambiguity.
+        out.append(f"f{value.hex()}")
+    elif isinstance(value, str):
+        out.append(f"s{len(value)}:{value}")
+    elif isinstance(value, tuple):
+        out.append(f"t{len(value)}(")
+        for item in value:
+            _encode(item, out)
+        out.append(")")
+    else:  # pragma: no cover - _canonical_param already rejects these
+        raise TypeError(f"cannot encode {type(value).__name__}")
+
+
+def content_key(
+    kind: str, values: SiteValues | Sequence[float] | np.ndarray, **params: Any
+) -> str:
+    """SHA-256 hex key of a request's canonical form.
+
+    >>> content_key("solve", [0.3, 1.0], k=3) == content_key(
+    ...     "solve", np.array([1.0, 0.3]), k=3
+    ... )
+    True
+    """
+    out: list[str] = []
+    _encode(canonical_request(kind, values, **params), out)
+    return hashlib.sha256("".join(out).encode("utf-8")).hexdigest()

@@ -137,6 +137,42 @@ class TestActivation:
                 raise RuntimeError("boom")
         assert get_backend() is before
 
+    def test_use_backend_isolated_across_asyncio_tasks(self):
+        # The activation stack lives in a ContextVar, so each asyncio task
+        # gets its own copy-on-write context: one task's ``use_backend``
+        # must never leak into a concurrently running sibling.  Cached
+        # backends are singletons (two ``use_backend("numpy")`` activations
+        # yield the same object), so each task activates its own distinct
+        # handle — ``dataclasses.replace`` of the numpy backend — to make
+        # leakage observable by identity.
+        import asyncio
+        import dataclasses
+
+        base = load_backend("numpy")
+        default = get_backend()
+        handles = [dataclasses.replace(base, name=f"numpy-task-{i}") for i in range(4)]
+
+        async def worker(handle: Backend, hops: int) -> None:
+            assert get_backend() is default  # nothing leaked in before activation
+            with use_backend(handle) as scoped:
+                assert scoped is handle
+                for _ in range(hops):
+                    await asyncio.sleep(0)  # yield so siblings interleave
+                    assert get_backend() is handle
+                with use_backend(base) as inner:
+                    await asyncio.sleep(0)
+                    assert get_backend() is inner
+                assert get_backend() is handle
+            await asyncio.sleep(0)
+            assert get_backend() is default  # nothing leaked out after exit
+
+        async def run() -> None:
+            await asyncio.gather(*(worker(h, i + 1) for i, h in enumerate(handles)))
+            assert get_backend() is default
+
+        asyncio.run(run())
+        assert get_backend() is default
+
     def test_set_default_backend_shadowed_by_context(self, monkeypatch):
         monkeypatch.setenv(registry.ENV_VAR, "no-such-backend")
         set_default_backend("numpy")

@@ -13,7 +13,7 @@ import numpy as np
 import pytest
 
 from conftest import backend_params
-from repro.backend import use_backend
+from repro.backend import load_backend, use_backend
 from repro.batch import (
     PaddedValues,
     coverage_batch,
@@ -97,6 +97,59 @@ class TestPaddedValues:
     def test_unsorted_raw_arrays_are_sorted(self):
         padded = PaddedValues.from_instances([np.array([0.2, 1.0, 0.5])])
         np.testing.assert_allclose(padded.values[0], [1.0, 0.5, 0.2])
+
+    def test_explicit_width_pads_beyond_longest_row(self, ragged_instances):
+        longest = max(v.m for v in ragged_instances)
+        padded = PaddedValues.from_instances(ragged_instances, width=longest + 5)
+        assert padded.width == longest + 5
+        np.testing.assert_array_equal(
+            padded.sizes, [v.m for v in ragged_instances]
+        )
+        # Padding columns replicate each row's own smallest value and stay
+        # out of the mask, so downstream masked reductions see exact zeros.
+        for index, values in enumerate(ragged_instances):
+            assert padded.row(index) == values
+            tail = padded.values[index, values.m :]
+            np.testing.assert_array_equal(tail, values.as_array()[-1])
+        np.testing.assert_array_equal(padded.mask.sum(axis=1), padded.sizes)
+
+    def test_explicit_width_too_narrow_raises(self, ragged_instances):
+        longest = max(v.m for v in ragged_instances)
+        with pytest.raises(ValueError, match="narrower than the longest"):
+            PaddedValues.from_instances(ragged_instances, width=longest - 1)
+
+    def test_explicit_width_preserves_results(self, ragged_instances):
+        # Widening the padding must not change any answer — only where the
+        # real terms sit in the reduction tree (which is why the serving
+        # layer pins a width bucket per request).
+        narrow = sigma_star_batch(
+            PaddedValues.from_instances(ragged_instances), K_GRID
+        )
+        wide = sigma_star_batch(
+            PaddedValues.from_instances(ragged_instances, width=32), K_GRID
+        )
+        np.testing.assert_array_equal(narrow.support_sizes, wide.support_sizes)
+        np.testing.assert_allclose(
+            narrow.equilibrium_values, wide.equilibrium_values, rtol=1e-12
+        )
+        np.testing.assert_allclose(
+            narrow.probabilities,
+            wide.probabilities[:, :, : narrow.padded.width],
+            atol=1e-12,
+        )
+        assert np.abs(wide.probabilities[:, :, narrow.padded.width :]).max() == 0.0
+
+    def test_clear_device_cache_repopulates_lazily(self, ragged_instances):
+        padded = PaddedValues.from_instances(ragged_instances)
+        backend = load_backend("numpy")
+        first = padded.fmask_for(backend)  # fmask caches even on numpy
+        assert padded.fmask_for(backend) is first
+        padded.clear_device_cache()
+        second = padded.fmask_for(backend)
+        assert second is not first
+        np.testing.assert_array_equal(second, first)
+        # Host-side canonical arrays are untouched by the cache drop.
+        assert padded.values.flags.writeable is False
 
 
 class TestSigmaStarBatch:

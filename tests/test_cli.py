@@ -24,6 +24,24 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "--policy", "nonsense"])
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert (args.host, args.port) == ("127.0.0.1", 8080)
+        assert args.max_batch == 64
+        assert args.max_wait_ms == 2.0
+        assert args.cache_size == 4096
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--max-batch", "8", "--max-wait-ms", "0.5"]
+        )
+        assert (args.port, args.max_batch, args.max_wait_ms) == (0, 8, 0.5)
+
+    def test_serve_help_exits_cleanly(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--help"])
+        assert excinfo.value.code == 0
+        assert "--max-batch" in capsys.readouterr().out
+
     def test_dynamics_defaults_and_choices(self):
         args = build_parser().parse_args(["dynamics"])
         assert args.rule == "discrete"

@@ -93,6 +93,25 @@ def test_api_pages_cover_public_batch_and_backend_symbols():
     assert "::: repro.batch.scenarios" in batch_page
 
 
+def test_serving_api_page_covers_service_and_canonical_hashing():
+    import repro.serving
+
+    serving_page = (DOCS / "api" / "serving.md").read_text()
+    assert "::: repro.serving" in serving_page
+    # The cache-key machinery is part of the serving contract even though it
+    # lives in utils — the serving API page renders it alongside.
+    assert "::: repro.utils.canonical" in serving_page
+    assert repro.serving.__all__, "repro.serving must declare its public API"
+
+
+def test_serving_guide_documents_every_endpoint_and_cli_flag():
+    text = (DOCS / "serving.md").read_text()
+    for route in ("/solve", "/sweep", "/mechanism", "/healthz", "/stats"):
+        assert f"`{route}`" in text, f"serving.md does not document {route}"
+    for flag in ("--max-batch", "--max-wait-ms", "--cache-size"):
+        assert flag in text, f"serving.md does not document {flag}"
+
+
 def test_examples_gallery_documents_every_example_script():
     text = (DOCS / "examples.md").read_text()
     for script in sorted((REPO / "examples").glob("*.py")):
@@ -117,8 +136,9 @@ def test_public_symbols_have_docstrings():
     import repro.backend
     import repro.batch
     import repro.experiments
+    import repro.serving
 
-    for module in (repro, repro.batch, repro.backend, repro.experiments):
+    for module in (repro, repro.batch, repro.backend, repro.experiments, repro.serving):
         assert (module.__doc__ or "").strip(), f"{module.__name__} needs a module docstring"
         for name in module.__all__:
             if name.startswith("__"):

@@ -20,7 +20,8 @@ from repro.experiments import (
     run_experiment,
     run_registered,
 )
-from repro.experiments.runner import spawn_task_seeds
+from repro.experiments.runner import resolve_workers, spawn_task_seeds
+from repro.utils.envinfo import available_cpus
 from repro.utils.io import read_csv
 
 SMALL_GRID = dict(m_values=(4,), k_values=(2, 3), n_random=1)
@@ -120,6 +121,22 @@ class TestRunner:
         assert parallel.metadata["runtime"]["max_workers"] == 2
         # The deterministic serialisation must not leak scheduling details.
         assert serial.to_json(timing=False) == parallel.to_json(timing=False)
+
+    def test_resolve_workers_normalisation(self, monkeypatch):
+        assert resolve_workers(None) == 0
+        assert resolve_workers(0) == 0
+        assert resolve_workers(3) == 3
+        # -1 means "one worker per available CPU", where "available" is the
+        # scheduling-affinity mask (cgroup/taskset aware), not the machine's
+        # raw core count.
+        assert resolve_workers(-1) == available_cpus()
+        import repro.utils.envinfo as envinfo
+
+        if hasattr(envinfo.os, "sched_getaffinity"):
+            monkeypatch.setattr(
+                envinfo.os, "sched_getaffinity", lambda pid: {0, 2, 5}
+            )
+            assert resolve_workers(-1) == 3
 
     def test_coerce_seed(self):
         assert coerce_seed(None) == 0

@@ -1,0 +1,386 @@
+"""Tests of the online equilibrium service: hashing, cache, coalescer, HTTP.
+
+The asyncio pieces run through ``asyncio.run`` inside synchronous tests, so
+the suite needs no async test plugin.  The bit-identity battery is the
+load-bearing part: a coalesced answer must equal the direct batch-of-one
+answer **exactly** (``==`` on the JSON payload, not ``allclose``), for every
+request family and also for requests deliberately co-batched with different
+instance sizes — see ``repro/serving/engine.py`` for why that holds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.values import SiteValues
+from repro.serving import (
+    BatchCoalescer,
+    EquilibriumService,
+    MechanismRequest,
+    ResultCache,
+    SolveRequest,
+    SweepRequest,
+    evaluate_group,
+    evaluate_one,
+    evaluate_requests,
+    parse_request,
+    start_server,
+)
+from repro.utils.canonical import canonical_k_grid, canonical_values, content_key
+
+RNG = np.random.default_rng(1234)
+
+
+def random_values(m: int) -> np.ndarray:
+    return SiteValues.random(m, np.random.default_rng(m)).as_array()
+
+
+# --------------------------------------------------------------------------
+# canonical hashing
+# --------------------------------------------------------------------------
+class TestCanonical:
+    def test_values_order_independent(self):
+        assert canonical_values([0.3, 1.0, 0.7]) == canonical_values([1.0, 0.7, 0.3])
+        assert canonical_values(np.array([0.5, 0.25])) == (0.5, 0.25)
+
+    def test_values_validation(self):
+        with pytest.raises(ValueError):
+            canonical_values([1.0, -0.5])
+
+    def test_k_grid_sorted_unique(self):
+        assert canonical_k_grid([3, 2, 3]) == (2, 3)
+        assert canonical_k_grid(5) == (5,)
+        with pytest.raises(ValueError):
+            canonical_k_grid([0, 2])
+        with pytest.raises(ValueError):
+            canonical_k_grid([2.5])
+
+    def test_content_key_equal_across_spellings(self):
+        a = content_key("solve", [0.3, 1.0], k=3, policy="exclusive")
+        b = content_key("solve", np.array([1.0, 0.3]), k=np.int64(3), policy="exclusive")
+        assert a == b
+
+    def test_content_key_separates_params(self):
+        base = content_key("solve", [0.3, 1.0], k=3)
+        assert content_key("solve", [0.3, 1.0], k=4) != base
+        assert content_key("sweep", [0.3, 1.0], k=3) != base
+        # last-bit value changes must change the key (float.hex encoding)
+        assert content_key("solve", [np.nextafter(0.3, 1.0), 1.0], k=3) != base
+
+
+# --------------------------------------------------------------------------
+# result cache
+# --------------------------------------------------------------------------
+class TestResultCache:
+    def test_hit_miss_counters(self):
+        cache = ResultCache(4)
+        assert cache.get("a") is None
+        cache.put("a", {"x": 1})
+        assert cache.get("a") == {"x": 1}
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+        assert "a" in cache and len(cache) == 1
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a": "b" becomes least recent
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert cache.stats()["evictions"] == 1
+
+    def test_clear(self):
+        cache = ResultCache(2)
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0 and cache.get("a") is None
+
+
+# --------------------------------------------------------------------------
+# request models
+# --------------------------------------------------------------------------
+class TestRequests:
+    def test_solve_canonicalises_and_validates(self):
+        request = SolveRequest([0.3, 1.0, 0.7], k=np.int64(3))
+        assert request.values == (1.0, 0.7, 0.3)
+        assert request.m == 3 and request.k == 3
+        with pytest.raises(ValueError):
+            SolveRequest([1.0], k=0)
+        with pytest.raises(ValueError):
+            SolveRequest([1.0], policy="nonsense")
+
+    def test_equal_requests_share_cache_key(self):
+        a = SolveRequest([0.3, 1.0], k=2)
+        b = SolveRequest(np.array([1.0, 0.3]), k=2)
+        assert a == b and a.cache_key == b.cache_key
+        assert a.cache_key != SolveRequest([0.3, 1.0], k=3).cache_key
+
+    def test_mechanism_roster_canonicalised(self):
+        a = MechanismRequest([1.0, 0.5], k=2, policies=("sharing", "exclusive", "sharing"))
+        assert a.policies == ("exclusive", "sharing")
+        with pytest.raises(ValueError):
+            MechanismRequest([1.0], k=2, policies=())
+
+    def test_pad_width_buckets(self):
+        assert SolveRequest([1.0] * 1).pad_width == 8
+        assert SolveRequest(random_values(8)).pad_width == 8
+        assert SolveRequest(random_values(9)).pad_width == 16
+        assert SolveRequest(random_values(65)).pad_width == 128
+
+    def test_group_key_pins_everything_but_the_instance(self):
+        a = SolveRequest(random_values(20), k=3)
+        assert a.group_key == SolveRequest(random_values(25), k=3).group_key
+        assert a.group_key != SolveRequest(random_values(20), k=4).group_key
+        assert a.group_key != SolveRequest(random_values(20), k=3, policy="sharing").group_key
+        assert a.group_key != SolveRequest(random_values(40), k=3).group_key  # bucket
+        s = SweepRequest(random_values(20), k_grid=(2, 3))
+        assert s.group_key != SweepRequest(random_values(20), k_grid=(2, 4)).group_key
+
+    def test_parse_request_rejects_unknowns(self):
+        request = parse_request("solve", {"values": [1.0, 0.5], "k": 2})
+        assert isinstance(request, SolveRequest)
+        with pytest.raises(ValueError, match="unknown request kind"):
+            parse_request("solv", {"values": [1.0]})
+        with pytest.raises(ValueError, match="unknown field"):
+            parse_request("solve", {"values": [1.0], "kk": 2})
+        with pytest.raises(ValueError):
+            parse_request("solve", [1.0])
+
+
+# --------------------------------------------------------------------------
+# engine: grouped evaluation and the bit-identity contract
+# --------------------------------------------------------------------------
+def mixed_workload() -> list:
+    # Ragged sizes inside and across width buckets, repeated ks, every family,
+    # both the closed-form (exclusive) and bisection (sharing) solver paths.
+    return [
+        SolveRequest(random_values(12), k=3),
+        SolveRequest(random_values(20), k=3),
+        SolveRequest(random_values(17), k=3),
+        SolveRequest(random_values(12), k=5),
+        SolveRequest(random_values(14), k=3, policy="sharing"),
+        SolveRequest(random_values(19), k=3, policy="sharing"),
+        SweepRequest(random_values(11), k_grid=(2, 3, 5)),
+        SweepRequest(random_values(16), k_grid=(2, 3, 5)),
+        MechanismRequest(random_values(10), k=4, policies=("exclusive", "sharing")),
+        MechanismRequest(random_values(13), k=4, policies=("exclusive", "sharing")),
+    ]
+
+
+class TestEngine:
+    def test_coalesced_equals_direct_bitwise(self):
+        requests = mixed_workload()
+        direct = [evaluate_one(request) for request in requests]
+        batched = evaluate_requests(requests)
+        for index, (one, many) in enumerate(zip(direct, batched)):
+            assert one == many, f"request {index} differs between direct and coalesced"
+
+    def test_solve_payload_shape(self):
+        payload = evaluate_one(SolveRequest(random_values(9), k=4))
+        assert payload["kind"] == "solve" and payload["k"] == 4
+        assert len(payload["probabilities"]) == 9
+        assert payload["converged"] is True
+        total = sum(payload["probabilities"])
+        assert total == pytest.approx(1.0, abs=1e-9)
+        assert payload["coverage"] > 0
+
+    def test_sweep_payload_shape(self):
+        payload = evaluate_one(SweepRequest(random_values(9), k_grid=(2, 4)))
+        assert payload["k_grid"] == [2, 4]
+        assert len(payload["coverages"]) == 2
+        assert payload["support_sizes"][0] >= 1
+
+    def test_mechanism_payload_shape(self):
+        payload = evaluate_one(
+            MechanismRequest(random_values(9), k=3, policies=("exclusive", "sharing"))
+        )
+        assert payload["policies"] == ["exclusive", "sharing"]
+        assert len(payload["spoa"]) == 2
+        for ratio in payload["spoa"]:
+            assert ratio is None or ratio >= 1.0 - 1e-9
+
+    def test_payloads_are_json_native(self):
+        for request in mixed_workload()[:4]:
+            json.dumps(evaluate_one(request))  # raises on numpy scalars
+
+    def test_mixed_group_rejected(self):
+        with pytest.raises(ValueError, match="mixed group"):
+            evaluate_group(
+                [SolveRequest(random_values(9), k=2), SolveRequest(random_values(9), k=3)]
+            )
+
+
+# --------------------------------------------------------------------------
+# coalescer
+# --------------------------------------------------------------------------
+class TestCoalescer:
+    def test_concurrent_submits_coalesce_into_one_batch(self):
+        async def run():
+            coalescer = BatchCoalescer(max_batch=64, max_wait_ms=5.0)
+            requests = [SolveRequest(random_values(10 + i), k=3) for i in range(8)]
+            answers = await asyncio.gather(*(coalescer.submit(r) for r in requests))
+            await coalescer.close()
+            return answers, coalescer.stats(), [evaluate_one(r) for r in requests]
+
+        answers, stats, direct = asyncio.run(run())
+        assert answers == direct
+        assert stats["batches"] == 1 and stats["largest_batch"] == 8
+
+    def test_max_batch_triggers_immediate_flush(self):
+        async def run():
+            coalescer = BatchCoalescer(max_batch=2, max_wait_ms=60_000.0)
+            requests = [SolveRequest(random_values(10 + i), k=3) for i in range(4)]
+            answers = await asyncio.gather(*(coalescer.submit(r) for r in requests))
+            await coalescer.close()
+            return answers, coalescer.stats()
+
+        answers, stats = asyncio.run(run())
+        assert len(answers) == 4 and stats["batches"] == 2
+        assert stats["largest_batch"] == 2
+
+    def test_single_flight_dedup(self):
+        async def run():
+            coalescer = BatchCoalescer(max_batch=64, max_wait_ms=5.0)
+            request = SolveRequest(random_values(11), k=3)
+            duplicate = SolveRequest(list(reversed(request.values)), k=3)
+            answers = await asyncio.gather(
+                *(coalescer.submit(r) for r in (request, duplicate, request))
+            )
+            await coalescer.close()
+            return answers, coalescer.stats()
+
+        answers, stats = asyncio.run(run())
+        assert answers[0] == answers[1] == answers[2]
+        assert stats["solved"] == 1 and stats["singleflight_hits"] == 2
+
+    def test_cache_hits_skip_the_queue(self):
+        async def run():
+            coalescer = BatchCoalescer(max_batch=64, max_wait_ms=1.0, cache=ResultCache(8))
+            request = SolveRequest(random_values(11), k=3)
+            first = await coalescer.submit(request)
+            second = await coalescer.submit(SolveRequest(request.values, k=3))
+            await coalescer.close()
+            return first, second, coalescer.stats()
+
+        first, second, stats = asyncio.run(run())
+        assert first == second
+        assert stats["cache_hits"] == 1 and stats["solved"] == 1
+        assert stats["cache"]["hits"] == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BatchCoalescer(max_batch=0)
+        with pytest.raises(ValueError):
+            BatchCoalescer(max_wait_ms=-1.0)
+
+    def test_failing_group_does_not_poison_others(self):
+        async def run():
+            coalescer = BatchCoalescer(max_batch=64, max_wait_ms=5.0)
+            good = SolveRequest(random_values(9), k=3)
+            bad = SolveRequest(random_values(9), k=3, policy="sharing")
+            # Sabotage only the sharing group's evaluator path.
+            object.__setattr__(bad, "policy", "no-such-policy")
+            results = await asyncio.gather(
+                coalescer.submit(good), coalescer.submit(bad), return_exceptions=True
+            )
+            await coalescer.close()
+            return results
+
+        good_answer, bad_answer = asyncio.run(run())
+        assert isinstance(good_answer, dict)
+        assert isinstance(bad_answer, Exception)
+
+
+# --------------------------------------------------------------------------
+# HTTP front
+# --------------------------------------------------------------------------
+async def http_request(
+    port: int, method: str, path: str, payload: dict | None = None
+) -> tuple[int, dict]:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    body = json.dumps(payload).encode() if payload is not None else b""
+    head = (
+        f"{method} {path} HTTP/1.1\r\nHost: localhost\r\n"
+        f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n"
+    )
+    writer.write(head.encode() + body)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    status_line, _, rest = raw.partition(b"\r\n")
+    status = int(status_line.split()[1])
+    _, _, response_body = rest.partition(b"\r\n\r\n")
+    return status, json.loads(response_body)
+
+
+class TestHTTPServer:
+    def test_routes_end_to_end(self):
+        async def run():
+            async with await start_server("127.0.0.1", 0, max_wait_ms=1.0) as running:
+                port = running.port
+                health = await http_request(port, "GET", "/healthz")
+                values = [round(v, 6) for v in random_values(9).tolist()]
+                solve = await http_request(
+                    port, "POST", "/solve", {"values": values, "k": 3}
+                )
+                stats = await http_request(port, "GET", "/stats")
+                bad = await http_request(port, "POST", "/solve", {"values": values, "kk": 1})
+                missing = await http_request(port, "GET", "/nope")
+                wrong_method = await http_request(port, "GET", "/solve")
+                expected = evaluate_one(parse_request("solve", {"values": values, "k": 3}))
+                return health, solve, stats, bad, missing, wrong_method, expected
+
+        health, solve, stats, bad, missing, wrong_method, expected = asyncio.run(run())
+        assert health == (200, {"status": "ok"})
+        assert solve[0] == 200 and solve[1] == expected
+        assert stats[0] == 200
+        assert stats[1]["coalescer"]["requests"] == 1
+        assert "environment" in stats[1]
+        assert bad[0] == 400 and "unknown field" in bad[1]["error"]
+        assert missing[0] == 404
+        assert wrong_method[0] == 405
+
+    def test_invalid_json_is_a_400(self):
+        async def run():
+            async with await start_server("127.0.0.1", 0, max_wait_ms=1.0) as running:
+                reader, writer = await asyncio.open_connection("127.0.0.1", running.port)
+                body = b"{not json"
+                writer.write(
+                    b"POST /solve HTTP/1.1\r\nHost: x\r\nConnection: close\r\n"
+                    + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                    + body
+                )
+                await writer.drain()
+                raw = await reader.read()
+                writer.close()
+                await writer.wait_closed()
+                return raw
+
+        raw = asyncio.run(run())
+        assert raw.startswith(b"HTTP/1.1 400")
+
+
+class TestFastAPIFront:
+    def test_create_app_or_clear_install_hint(self):
+        try:
+            import fastapi  # noqa: F401
+
+            has_fastapi = True
+        except ImportError:
+            has_fastapi = False
+        from repro.serving import create_fastapi_app
+
+        if has_fastapi:
+            app = create_fastapi_app()
+            assert app is not None
+        else:
+            with pytest.raises(RuntimeError, match="serve"):
+                create_fastapi_app()
