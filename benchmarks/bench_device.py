@@ -1,0 +1,335 @@
+"""Device-residency benchmark: torch-vs-NumPy timings and the zero-transfer gate.
+
+Runs without pytest (plain script, stdlib + NumPy only) so CI can execute it
+as a standalone job::
+
+    PYTHONPATH=src python benchmarks/bench_device.py --output BENCH_device.json \
+        --require-torch
+
+For each kernel family — dispersal **simulation**, **search** (closed forms
+plus the geometric round sampler) and replicator **dynamics** — the script:
+
+* times the family on the NumPy backend and on every non-NumPy backend the
+  registry detects (torch-CPU in CI; CUDA/MPS when present), checking the
+  device results agree elementwise with NumPy;
+* counts host<->device crossings with
+  :func:`repro.backend.track_transfers` and records them per family; the
+  **zero-transfer gate** requires ``mid_kernel == 0`` on every non-NumPy
+  backend — all staging must flow through ``expected_transfer`` seams;
+* on torch, additionally runs the dynamics family with ``compile=True`` and
+  records the max elementwise deviation from eager stepping (gated at
+  ``--compile-atol``).
+
+Two ratio gates bound the cost of portability: torch-CPU may be at most
+``--max-overhead`` times slower than NumPy per family (CPU tensor dispatch
+is expected to lose on small batches — the bound is generous by design and
+merely catches pathological regressions), and NumPy itself must not regress
+(its transfer count is structurally zero).
+
+Without torch installed the script writes the artifact with a ``skipped``
+marker and exits 0, unless ``--require-torch`` is given (CI passes it).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.backend import (
+    available_backends,
+    backend_failures,
+    resolve_backend,
+    track_transfers,
+)
+from repro.batch import PaddedValues, replicator_batch
+from repro.batch.search import (
+    expected_discovery_time_batch,
+    simulate_search_batch,
+    success_probability_batch,
+)
+from repro.batch.simulation import simulate_dispersal_batch
+from repro.core.policies import SharingPolicy
+from repro.core.values import SiteValues
+from repro.utils.envinfo import environment_metadata
+
+SEED = 2026
+
+#: Modest grid sizes: the point is the transfer accounting and the overhead
+#: ratio, not peak throughput (bench_scenarios.py covers that).
+SIM_ROWS = 64
+SIM_TRIALS = 2_000
+SEARCH_ROWS = 128
+SEARCH_TRIALS = 512
+DYN_ROWS = 48
+DYN_MAX_ITER = 300
+
+
+def best_of(fn, repeats: int) -> float:
+    """Best wall-clock of ``repeats`` runs (same convention as smoke_batch)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _build_grids():
+    rng = np.random.default_rng(SEED)
+    sim_instances = [
+        SiteValues.random(int(m), rng) for m in rng.integers(4, 12, size=SIM_ROWS)
+    ]
+    sim_padded = PaddedValues.from_instances(sim_instances)
+    sim_strategies = [
+        (lambda w: w / w.sum())(rng.random(int(size))) for size in sim_padded.sizes
+    ]
+    sim_ks = rng.integers(2, 7, size=SIM_ROWS)
+
+    sizes = rng.integers(4, 12, size=SEARCH_ROWS)
+    priors = [(lambda w: w / w.sum())(rng.random(int(s))) for s in sizes]
+    strategies = [(lambda w: w / w.sum())(rng.random(int(s))) for s in sizes]
+    search_ks = rng.integers(1, 5, size=SEARCH_ROWS)
+
+    dyn_instances = [
+        SiteValues.random(int(m), rng) for m in rng.integers(4, 10, size=DYN_ROWS)
+    ]
+    dyn_padded = PaddedValues.from_instances(dyn_instances)
+    dyn_ks = rng.integers(2, 6, size=DYN_ROWS)
+    return {
+        "simulation": (sim_padded, sim_strategies, sim_ks),
+        "search": (priors, strategies, search_ks),
+        "dynamics": (dyn_padded, dyn_ks),
+    }
+
+
+def _run_family(family: str, grids, backend, *, compile: bool = False):
+    """One full pass of a kernel family under ``backend``; returns the result."""
+    policy = SharingPolicy()
+    if family == "simulation":
+        padded, strategies, ks = grids["simulation"]
+        return simulate_dispersal_batch(
+            padded, strategies, ks, policy, SIM_TRIALS, SEED + 1, backend=backend
+        )
+    if family == "search":
+        priors, strategies, ks = grids["search"]
+        return (
+            success_probability_batch(priors, strategies, ks, backend=backend),
+            expected_discovery_time_batch(priors, strategies, ks, backend=backend),
+            simulate_search_batch(
+                priors, strategies, ks, SEARCH_TRIALS, rng=SEED + 2, backend=backend
+            ).rounds,
+        )
+    if family == "dynamics":
+        padded, ks = grids["dynamics"]
+        return replicator_batch(
+            padded,
+            ks,
+            policy,
+            max_iter=DYN_MAX_ITER,
+            tol=1e-12,
+            record_every=100,
+            backend=backend,
+            compile=compile,
+        )
+    raise ValueError(f"unknown family {family!r}")
+
+
+def _family_arrays(family: str, result):
+    """Comparable host arrays of one family result (for cross-backend checks)."""
+    if family == "simulation":
+        return {
+            "coverage_means": result.coverage_means,
+            "payoff_means": result.payoff_means,
+            "occupancy_histograms": result.occupancy_histograms,
+        }
+    if family == "search":
+        success, expected, rounds = result
+        return {"success": success, "expected": expected, "rounds": rounds}
+    return {
+        "states": result.states,
+        "iterations": result.iterations,
+        "payoff_records": result.payoff_records,
+    }
+
+
+def _check_agreement(family: str, reference, candidate) -> float:
+    """Assert elementwise agreement and return the max absolute deviation."""
+    ref = _family_arrays(family, reference)
+    cand = _family_arrays(family, candidate)
+    worst = 0.0
+    for name, expected in ref.items():
+        got = np.asarray(cand[name])
+        expected = np.asarray(expected)
+        if np.issubdtype(expected.dtype, np.integer):
+            np.testing.assert_array_equal(got, expected, err_msg=f"{family}.{name}")
+        else:
+            finite = np.isfinite(expected)
+            np.testing.assert_array_equal(
+                np.isfinite(got), finite, err_msg=f"{family}.{name} (finiteness)"
+            )
+            np.testing.assert_allclose(
+                got[finite], expected[finite], atol=1e-9, rtol=1e-9,
+                err_msg=f"{family}.{name}",
+            )
+            if finite.any():
+                worst = max(worst, float(np.max(np.abs(got[finite] - expected[finite]))))
+    return worst
+
+
+FAMILIES = ("simulation", "search", "dynamics")
+
+
+def run_device_bench(
+    output: Path,
+    *,
+    repeats: int = 3,
+    max_overhead: float = 25.0,
+    compile_atol: float = 1e-8,
+    require_torch: bool = False,
+) -> tuple[bool, list[str]]:
+    """Benchmark every family per backend, write the artifact, evaluate gates."""
+    grids = _build_grids()
+    lines: list[str] = []
+    gates: dict[str, dict] = {}
+    ok = True
+
+    detected = available_backends()
+    device_backends = [name for name in detected if name != "numpy"]
+    if require_torch and "torch" not in detected:
+        failure = backend_failures().get("torch", "torch backend not detected")
+        return False, [f"FAIL: --require-torch given but torch is unavailable: {failure}"]
+
+    backends: dict[str, dict] = {}
+    references: dict[str, object] = {}
+    for name in ["numpy"] + device_backends:
+        backend = resolve_backend(name)
+        families: dict[str, dict] = {}
+        for family in FAMILIES:
+            result = _run_family(family, grids, backend)  # warm-up + probe
+            with track_transfers() as stats:
+                _run_family(family, grids, backend)
+            seconds = best_of(lambda: _run_family(family, grids, backend), repeats)
+            entry = {
+                "seconds": seconds,
+                "transfers": stats.as_dict(),
+                "mid_kernel_transfers": stats.mid_kernel,
+            }
+            if name == "numpy":
+                references[family] = result
+            else:
+                entry["max_abs_deviation_vs_numpy"] = _check_agreement(
+                    family, references[family], result
+                )
+                ratio = seconds / backends["numpy"]["families"][family]["seconds"]
+                entry["overhead_vs_numpy"] = ratio
+                passed = ratio <= max_overhead
+                gates[f"{name}_{family}_overhead"] = {
+                    "ratio": ratio,
+                    "max_overhead": max_overhead,
+                    "passed": passed,
+                }
+                ok &= passed
+                passed = stats.mid_kernel == 0
+                gates[f"{name}_{family}_zero_transfer"] = {
+                    "mid_kernel_transfers": stats.mid_kernel,
+                    "boundary_transfers": stats.boundary_to_host
+                    + stats.boundary_to_device,
+                    "passed": passed,
+                }
+                ok &= passed
+            families[family] = entry
+            lines.append(
+                f"{name}/{family}: {seconds * 1e3:.1f} ms, "
+                f"{stats.mid_kernel} mid-kernel / "
+                f"{stats.boundary_to_host + stats.boundary_to_device} boundary transfers"
+            )
+        backends[name] = {"families": families}
+
+    compiled: dict[str, object] = {"available": False}
+    if "torch" in device_backends:
+        torch_backend = resolve_backend("torch")
+        eager = _run_family("dynamics", grids, torch_backend)
+        piloted = _run_family("dynamics", grids, torch_backend, compile=True)
+        deviation = float(np.max(np.abs(piloted.states - eager.states)))
+        seconds = best_of(
+            lambda: _run_family("dynamics", grids, torch_backend, compile=True), repeats
+        )
+        passed = deviation <= compile_atol
+        compiled = {
+            "available": True,
+            "seconds": seconds,
+            "max_abs_deviation_vs_eager": deviation,
+        }
+        gates["torch_compile_agreement"] = {
+            "max_abs_deviation": deviation,
+            "atol": compile_atol,
+            "passed": passed,
+        }
+        ok &= passed
+        lines.append(
+            f"torch/dynamics compiled: {seconds * 1e3:.1f} ms, "
+            f"max |compiled - eager| = {deviation:.2e}"
+        )
+
+    report = {
+        "benchmark": "device-resident kernels: transfer counts and torch-vs-numpy ratios",
+        "environment": environment_metadata(),
+        "grid": {
+            "simulation_rows": SIM_ROWS,
+            "simulation_trials": SIM_TRIALS,
+            "search_rows": SEARCH_ROWS,
+            "search_trials": SEARCH_TRIALS,
+            "dynamics_rows": DYN_ROWS,
+            "dynamics_max_iter": DYN_MAX_ITER,
+        },
+        "backends": backends,
+        "compiled_dynamics": compiled,
+        "unavailable_backends": backend_failures(),
+        "skipped": not device_backends,
+        "gates": gates,
+    }
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    if not device_backends:
+        lines.append(
+            "no non-NumPy backend available: transfer/overhead gates skipped "
+            "(install torch to exercise them)"
+        )
+    lines.append(f"artifact written to {output}")
+    return ok, lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", type=Path, default=Path("BENCH_device.json"))
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--max-overhead", type=float, default=25.0)
+    parser.add_argument("--compile-atol", type=float, default=1e-8)
+    parser.add_argument(
+        "--require-torch",
+        action="store_true",
+        help="fail (exit 1) instead of skipping when torch is unavailable",
+    )
+    args = parser.parse_args(argv)
+
+    ok, lines = run_device_bench(
+        args.output,
+        repeats=args.repeats,
+        max_overhead=args.max_overhead,
+        compile_atol=args.compile_atol,
+        require_torch=args.require_torch,
+    )
+    for line in lines:
+        print(line)
+    if not ok:
+        print("FAIL: a device gate did not pass", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -39,12 +39,14 @@ choice as ``repro-dispersal <command> --backend NAME``.
 """
 
 from repro.backend.adapters import (
+    TransferStats,
     asarray_float,
     batched_bincount,
     bincount,
     contract_occupancy,
     ensure_numpy,
     errstate_ignore,
+    expected_transfer,
     from_numpy,
     is_native,
     random_uniform,
@@ -53,8 +55,10 @@ from repro.backend.adapters import (
     take_along_axis,
     take_rows,
     to_numpy,
+    track_transfers,
 )
 from repro.backend.registry import (
+    DEVICE_ENV_VAR,
     ENV_VAR,
     Backend,
     BackendNotAvailableError,
@@ -66,11 +70,13 @@ from repro.backend.registry import (
     resolve_backend,
     set_default_backend,
     use_backend,
+    with_device,
 )
 
 __all__ = [
     "Backend",
     "BackendNotAvailableError",
+    "DEVICE_ENV_VAR",
     "ENV_VAR",
     "available_backends",
     "backend_failures",
@@ -80,12 +86,15 @@ __all__ = [
     "resolve_backend",
     "set_default_backend",
     "use_backend",
+    "with_device",
+    "TransferStats",
     "asarray_float",
     "batched_bincount",
     "bincount",
     "contract_occupancy",
     "ensure_numpy",
     "errstate_ignore",
+    "expected_transfer",
     "from_numpy",
     "is_native",
     "random_uniform",
@@ -94,4 +103,5 @@ __all__ = [
     "take_along_axis",
     "take_rows",
     "to_numpy",
+    "track_transfers",
 ]

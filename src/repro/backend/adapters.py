@@ -8,24 +8,40 @@ handle explicitly, keeps the NumPy fast path bit-identical to the
 pre-backend code, and provides a portable fallback for every other
 namespace.  Nothing outside this module (and the host-side packing in
 :mod:`repro.batch.padding`) is allowed to assume NumPy.
+
+Transfer accounting
+-------------------
+Every host crossing funnels through :func:`to_numpy` / :func:`from_numpy`,
+so "the pipeline never bounces through the host mid-kernel" is an
+*assertable* property rather than a code-review promise: wrap a kernel call
+in :func:`track_transfers` and check :attr:`TransferStats.mid_kernel`.
+Kernels mark their documented boundary crossings — input staging, the
+once-per-chunk draw placement, the final host materialisation — with
+:func:`expected_transfer`; every crossing outside such a block counts as a
+mid-kernel transfer.  Scalar synchronisations (``bool(xp.any(...))``,
+``float(x)``) do not move arrays across the seam and are not counted.
 """
 
 from __future__ import annotations
 
 import contextlib
-from typing import Any, Sequence
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
 
 import numpy as np
 
 from repro.backend.registry import Backend, resolve_backend
 
 __all__ = [
+    "TransferStats",
     "asarray_float",
     "batched_bincount",
     "bincount",
     "contract_occupancy",
     "ensure_numpy",
     "errstate_ignore",
+    "expected_transfer",
     "from_numpy",
     "is_native",
     "random_uniform",
@@ -34,7 +50,109 @@ __all__ = [
     "take_along_axis",
     "take_rows",
     "to_numpy",
+    "track_transfers",
 ]
+
+
+# ------------------------------------------------------------------ counting
+@dataclass
+class TransferStats:
+    """Counts of host crossings observed inside a :func:`track_transfers` block.
+
+    Attributes
+    ----------
+    to_host, to_device:
+        **Mid-kernel** crossings — transfers that happened outside any
+        :func:`expected_transfer` block.  The device-residency gate asserts
+        both are zero for the simulation/search/dynamics pipelines.
+    boundary_to_host, boundary_to_device:
+        Crossings inside :func:`expected_transfer` blocks: documented
+        staging, per-chunk draw placement and final result materialisation.
+    """
+
+    to_host: int = 0
+    to_device: int = 0
+    boundary_to_host: int = 0
+    boundary_to_device: int = 0
+
+    @property
+    def mid_kernel(self) -> int:
+        """Total mid-kernel crossings (the quantity gated to zero)."""
+        return self.to_host + self.to_device
+
+    @property
+    def total(self) -> int:
+        """All crossings, boundary and mid-kernel alike."""
+        return self.mid_kernel + self.boundary_to_host + self.boundary_to_device
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view for JSON artifacts (``BENCH_device.json``)."""
+        return {
+            "to_host": self.to_host,
+            "to_device": self.to_device,
+            "boundary_to_host": self.boundary_to_host,
+            "boundary_to_device": self.boundary_to_device,
+            "mid_kernel": self.mid_kernel,
+            "total": self.total,
+        }
+
+
+#: Innermost-last stack of active collectors (per context, like use_backend).
+_TRACKERS: ContextVar[tuple[TransferStats, ...]] = ContextVar(
+    "repro_transfer_trackers", default=()
+)
+#: Nesting depth of expected_transfer blocks (> 0 = crossings are boundaries).
+_BOUNDARY_DEPTH: ContextVar[int] = ContextVar("repro_transfer_boundary", default=0)
+
+
+@contextlib.contextmanager
+def track_transfers() -> Iterator[TransferStats]:
+    """Collect host-crossing counts for the duration of a ``with`` block.
+
+    Nests: every active collector sees every crossing, so an outer tracker
+    around a whole benchmark and an inner one around a single kernel call
+    both stay correct.  Contextvar-scoped, so threads and asyncio tasks do
+    not observe each other's kernels.
+    """
+    stats = TransferStats()
+    token = _TRACKERS.set(_TRACKERS.get() + (stats,))
+    try:
+        yield stats
+    finally:
+        _TRACKERS.reset(token)
+
+
+@contextlib.contextmanager
+def expected_transfer() -> Iterator[None]:
+    """Mark enclosed crossings as documented kernel boundaries.
+
+    Kernels wrap their input staging, once-per-chunk draw placement and
+    final host materialisation in this context; anything crossing outside it
+    is counted as a mid-kernel transfer by :func:`track_transfers`.
+    """
+    token = _BOUNDARY_DEPTH.set(_BOUNDARY_DEPTH.get() + 1)
+    try:
+        yield
+    finally:
+        _BOUNDARY_DEPTH.reset(token)
+
+
+def _record_crossing(to_host: bool) -> None:
+    trackers = _TRACKERS.get()
+    if not trackers:
+        return
+    boundary = _BOUNDARY_DEPTH.get() > 0
+    for stats in trackers:
+        if to_host:
+            if boundary:
+                stats.boundary_to_host += 1
+            else:
+                stats.to_host += 1
+        else:
+            if boundary:
+                stats.boundary_to_device += 1
+            else:
+                stats.to_device += 1
 
 
 def is_native(backend: Backend, obj: Any) -> bool:
@@ -67,10 +185,13 @@ def to_numpy(obj: Any) -> np.ndarray:
 
     The NumPy path is a no-op; other namespaces are converted through
     ``__array__`` / the buffer protocol, DLPack, or a ``.cpu()`` transfer for
-    device-resident tensors — in that order.
+    device-resident tensors — in that order.  Non-NumPy inputs count as one
+    device→host crossing for any active :func:`track_transfers` collector.
     """
     if isinstance(obj, np.ndarray):
         return obj
+    if not isinstance(obj, np.generic):
+        _record_crossing(to_host=True)
     try:
         return np.asarray(obj)
     except (TypeError, ValueError, RuntimeError):
@@ -86,11 +207,22 @@ def to_numpy(obj: Any) -> np.ndarray:
 
 
 def from_numpy(backend: Backend, array: Any, *, dtype: Any = None) -> Any:
-    """Place a host array into ``backend``'s namespace (no-op for NumPy)."""
+    """Place a host array into ``backend``'s namespace (no-op for NumPy).
+
+    Arrays land on ``backend.device`` when the handle pins one (the
+    ``--device`` option); non-NumPy placements count as one host→device
+    crossing for any active :func:`track_transfers` collector.
+    """
     xp = backend.xp
-    if dtype is None:
-        return xp.asarray(array)
-    return xp.asarray(array, dtype=dtype)
+    if backend.is_numpy:
+        return xp.asarray(array) if dtype is None else xp.asarray(array, dtype=dtype)
+    _record_crossing(to_host=False)
+    kwargs: dict[str, Any] = {}
+    if dtype is not None:
+        kwargs["dtype"] = dtype
+    if backend.device is not None:
+        kwargs["device"] = backend.device
+    return xp.asarray(array, **kwargs)
 
 
 def asarray_float(backend: Backend, obj: Any) -> Any:
@@ -129,11 +261,19 @@ def contract_occupancy(backend: Backend, pmf: Any, tables: Any) -> Any:
 
 
 def take_along_axis(backend: Backend, array: Any, indices: Any, *, axis: int) -> Any:
-    """``take_along_axis`` with a host round-trip fallback for old namespaces."""
+    """``take_along_axis`` staying on-device wherever the namespace allows.
+
+    Resolution order: the namespace's own ``take_along_axis`` (standard since
+    2024.12), ``torch.take_along_dim`` for torch, and only then the host
+    round-trip fallback for old standard-only namespaces.
+    """
     xp = backend.xp
     fn = getattr(xp, "take_along_axis", None)
     if fn is not None:
         return fn(array, indices, axis=axis)
+    native = _native_module(backend)
+    if native is not None and hasattr(native, "take_along_dim"):
+        return native.take_along_dim(array, indices, dim=axis)
     host = np.take_along_axis(to_numpy(array), to_numpy(indices), axis=axis)
     return from_numpy(backend, host)
 
@@ -148,31 +288,79 @@ def take_rows(backend: Backend, array: Any, rows: np.ndarray | None) -> Any:
 
 
 def scatter_rows(backend: Backend, dest: Any, rows: np.ndarray, src: Any) -> Any:
-    """Write ``src`` into ``dest`` at the given leading-axis rows, returning ``dest``.
+    """Write ``src`` into ``dest`` at the given leading-axis rows, returning the result.
 
-    NumPy-style integer-array assignment where supported; otherwise a
-    documented host round-trip (the :class:`~repro.batch.dynamics.DynamicsEngine`
-    avoids this path entirely for such backends by stepping the full batch).
+    NumPy-style integer-array assignment where supported (in-place, returning
+    ``dest`` itself).  Standard-only namespaces get a pure gather instead of
+    the old full-array host round-trip: ``dest`` and ``src`` are concatenated
+    along the leading axis and re-selected with a host-built index vector, so
+    the array data never leaves the device — only the small ``(B,)`` index
+    upload crosses, once.
     """
     if backend.supports_fancy_assignment:
         dest[rows] = src
         return dest
-    host = to_numpy(dest).copy()
-    host[rows] = to_numpy(src)
-    return from_numpy(backend, host)
+    xp = backend.xp
+    n = int(dest.shape[0])
+    index = np.arange(n, dtype=np.int64)
+    index[np.asarray(rows, dtype=np.int64)] = n + np.arange(len(rows), dtype=np.int64)
+    stacked = xp.concat([dest, src], axis=0)
+    return xp.take(stacked, from_numpy(backend, index, dtype=backend.int_dtype), axis=0)
 
 
-def bincount(values: Any, *, minlength: int = 0) -> np.ndarray:
-    """Host-side ``bincount`` (no Array-API equivalent exists).
+def _native_module(backend: Backend) -> Any | None:
+    """The raw ``torch`` / ``cupy`` module behind a compat namespace, if any."""
+    if backend.name not in ("torch", "cupy"):
+        return None
+    try:
+        import importlib
 
-    Accepts any backend's integer array, counts on the host, and returns a
-    NumPy ``int64`` vector — histogram consumers (the Monte-Carlo simulation
-    engine) are host-side by design.
+        return importlib.import_module(backend.name)
+    except Exception:  # pragma: no cover - backend resolved but module gone
+        return None
+
+
+def bincount(
+    values: Any, *, minlength: int = 0, backend: Backend | None = None
+) -> Any:
+    """``bincount`` with an on-device path (no Array-API equivalent exists).
+
+    Without ``backend`` (or on NumPy) this is the original host path: any
+    backend's integer array is transferred, counted with ``numpy.bincount``
+    and returned as a host ``int64`` vector.  With a non-NumPy ``backend``
+    and a native ``values`` array, the histogram is computed **on the
+    device** — ``torch.bincount`` / ``cupy.bincount`` where available, a
+    one-hot reduction for standard-only namespaces — and returned
+    device-resident (identical counts; callers materialise once at their
+    result boundary).
     """
+    if backend is not None and not backend.is_numpy and is_native(backend, values):
+        xp = backend.xp
+        flat = xp.reshape(values, (-1,))
+        native = _native_module(backend)
+        if native is not None:
+            return native.bincount(flat, minlength=minlength)
+        return _one_hot_counts(backend, flat[None, :], max(minlength, 1))[0, :]
     return np.bincount(to_numpy(values).ravel(), minlength=minlength)
 
 
-def batched_bincount(values: Any, n_bins: int) -> np.ndarray:
+def _one_hot_counts(backend: Backend, values: Any, n_bins: int) -> Any:
+    """Row-wise counts via a one-hot comparison sum (standard-only namespaces).
+
+    ``values`` is an ``(R, N)`` integer array on ``backend``; the result is
+    the ``(R, n_bins)`` count matrix.  Memory is ``R * N * n_bins`` booleans,
+    so this is the small-batch fallback — torch/cupy take their native
+    scatter-sum paths instead.
+    """
+    xp = backend.xp
+    bins = xp.arange(n_bins, dtype=backend.int_dtype)
+    if backend.device is not None:  # pragma: no cover - device backends only
+        bins = xp.asarray(bins, device=backend.device)
+    hits = values[:, :, None] == bins[None, None, :]
+    return xp.astype(xp.sum(xp.astype(hits, backend.int_dtype), axis=1), backend.int_dtype)
+
+
+def batched_bincount(values: Any, n_bins: int, *, backend: Backend | None = None) -> Any:
     """Row-wise histogram of an integer matrix: one segment-sum ``bincount``.
 
     The batched Monte-Carlo kernels need one histogram **per row** of an
@@ -185,22 +373,45 @@ def batched_bincount(values: Any, n_bins: int) -> np.ndarray:
     Parameters
     ----------
     values:
-        Integer array of shape ``(R, N)`` (any backend; transferred to the
-        host), every entry in ``[0, n_bins)``.
+        Integer array of shape ``(R, N)``, every entry in ``[0, n_bins)``.
+        Host arrays (or ``backend=None``) take the original host path;
+        arrays native to a non-NumPy ``backend`` are counted **on the
+        device** without any host round-trip.
     n_bins:
         Number of bins per row.
+    backend:
+        Optional backend handle enabling the device-native path:
+        ``torch.Tensor.scatter_add_`` / ``cupy.bincount`` segment-sums where
+        the namespace has them, a one-hot reduction otherwise.  The host
+        fallback is retained bit-identically for NumPy and host inputs.
 
     Returns
     -------
-    numpy.ndarray
-        Host ``(R, n_bins)`` ``int64`` count matrix; ``out[r, v]`` is the
-        number of entries of row ``r`` equal to ``v``.
+    ``(R, n_bins)`` ``int64`` count matrix — host NumPy on the host path,
+    device-resident on the native path; ``out[r, v]`` is the number of
+    entries of row ``r`` equal to ``v``.
     """
-    host = to_numpy(values)
-    if host.ndim != 2:
-        raise ValueError("values must be a 2-D (R, N) integer matrix")
     if n_bins < 1:
         raise ValueError("n_bins must be >= 1")
+    if values.ndim != 2:
+        raise ValueError("values must be a 2-D (R, N) integer matrix")
+    if backend is not None and not backend.is_numpy and is_native(backend, values):
+        xp = backend.xp
+        native = _native_module(backend)
+        if native is not None and backend.name == "torch":
+            rows = int(values.shape[0])
+            out = native.zeros(
+                (rows, n_bins), dtype=native.int64, device=values.device
+            )
+            return out.scatter_add_(1, values, native.ones_like(values))
+        if native is not None:  # pragma: no cover - cupy only
+            rows = int(values.shape[0])
+            offsets = xp.arange(rows, dtype=backend.int_dtype)[:, None] * n_bins
+            flat = xp.reshape(values + offsets, (-1,))
+            counts = native.bincount(flat, minlength=rows * n_bins)
+            return xp.reshape(counts, (rows, n_bins))
+        return _one_hot_counts(backend, values, n_bins)
+    host = to_numpy(values)
     rows = host.shape[0]
     flat = host + n_bins * np.arange(rows, dtype=host.dtype)[:, None]
     counts = np.bincount(flat.ravel(), minlength=rows * n_bins)

@@ -33,6 +33,7 @@ The active backend is tracked with a :class:`contextvars.ContextVar`, so
 from __future__ import annotations
 
 import contextlib
+import dataclasses
 import os
 from contextvars import ContextVar
 from dataclasses import dataclass, field
@@ -41,6 +42,7 @@ from typing import Any, Callable, Iterator
 __all__ = [
     "Backend",
     "BackendNotAvailableError",
+    "DEVICE_ENV_VAR",
     "ENV_VAR",
     "available_backends",
     "backend_failures",
@@ -50,10 +52,14 @@ __all__ = [
     "resolve_backend",
     "set_default_backend",
     "use_backend",
+    "with_device",
 ]
 
 #: Environment variable consulted when no explicit backend is active.
 ENV_VAR = "REPRO_BACKEND"
+
+#: Environment variable pinning the default device (``cpu`` / ``cuda`` / ``mps``).
+DEVICE_ENV_VAR = "REPRO_DEVICE"
 
 #: Standard functions a candidate namespace must expose before the registry
 #: accepts it (the subset the batched kernels actually call).
@@ -322,12 +328,67 @@ def backend_failures() -> dict[str, str]:
     return dict(_FAILURES)
 
 
+def with_device(backend: Backend, device: "str | None") -> Backend:
+    """Pin a :class:`Backend` handle to a device (``cpu`` / ``cuda`` / ``mps``).
+
+    ``None`` (and ``"default"``) leave the handle untouched.  Host
+    namespaces (NumPy, ``array_api_strict``) accept only ``cpu``; ``cupy``
+    arrays are CUDA-resident by construction so only ``cuda`` is valid; the
+    torch backend resolves any of the three, raising
+    :class:`BackendNotAvailableError` with the reason when the requested
+    accelerator is absent — callers (tests, CLI validation) skip-guard on
+    that error.  On ``mps`` the default float dtype drops to ``float32``
+    (Apple silicon has no native ``float64``).
+    """
+    if device is None:
+        return backend
+    name = str(device).strip().lower()
+    if name in ("", "default"):
+        return backend
+    if backend.name == "torch":
+        import torch
+
+        if name == "cpu":
+            return dataclasses.replace(backend, device=torch.device("cpu"))
+        if name == "cuda":
+            if not torch.cuda.is_available():
+                raise BackendNotAvailableError(
+                    "device 'cuda' requested but torch.cuda.is_available() is False"
+                )
+            return dataclasses.replace(backend, device=torch.device("cuda"))
+        if name == "mps":
+            mps = getattr(torch.backends, "mps", None)
+            if mps is None or not mps.is_available():
+                raise BackendNotAvailableError(
+                    "device 'mps' requested but the MPS backend is unavailable"
+                )
+            return dataclasses.replace(
+                backend, device=torch.device("mps"), float_dtype=torch.float32
+            )
+        raise BackendNotAvailableError(
+            f"unknown device {device!r} for the torch backend (cpu/cuda/mps)"
+        )
+    if backend.name == "cupy":
+        if name == "cuda":
+            return backend
+        raise BackendNotAvailableError(
+            f"the cupy backend is CUDA-resident; device {device!r} is not supported"
+        )
+    if name == "cpu":
+        return backend
+    raise BackendNotAvailableError(
+        f"backend {backend.name!r} runs on the host; device {device!r} is not supported"
+    )
+
+
 def _default_backend() -> Backend:
     override = _DEFAULT_OVERRIDE[0]
     if override is not None:
         return override
     name = os.environ.get(ENV_VAR, "").strip()
-    return load_backend(name) if name else load_backend("numpy")
+    backend = load_backend(name) if name else load_backend("numpy")
+    device = os.environ.get(DEVICE_ENV_VAR, "").strip()
+    return with_device(backend, device) if device else backend
 
 
 def get_backend() -> Backend:
@@ -338,32 +399,39 @@ def get_backend() -> Backend:
     return _default_backend()
 
 
-def resolve_backend(spec: "Backend | str | None" = None) -> Backend:
+def resolve_backend(
+    spec: "Backend | str | None" = None, *, device: "str | None" = None
+) -> Backend:
     """Resolve a user-facing backend argument.
 
     ``None`` means "whatever is active" (:func:`get_backend`), a string is a
     registry lookup, and a :class:`Backend` passes through unchanged.  Every
-    batched kernel funnels its ``backend=`` keyword through here.
+    batched kernel funnels its ``backend=`` keyword through here.  ``device``
+    optionally pins the handle via :func:`with_device`.
     """
     if spec is None:
-        return get_backend()
-    if isinstance(spec, Backend):
-        return spec
-    return load_backend(spec)
+        backend = get_backend()
+    elif isinstance(spec, Backend):
+        backend = spec
+    else:
+        backend = load_backend(spec)
+    return with_device(backend, device)
 
 
-def set_default_backend(spec: "Backend | str | None") -> None:
+def set_default_backend(
+    spec: "Backend | str | None", *, device: "str | None" = None
+) -> None:
     """Install (or with ``None`` clear) the process-wide default backend.
 
     Unlike :func:`use_backend` this is not scoped; it overrides the
     ``REPRO_BACKEND`` environment variable for the rest of the process but is
     still shadowed by any enclosing ``use_backend`` context.
     """
-    _DEFAULT_OVERRIDE[0] = None if spec is None else resolve_backend(spec)
+    _DEFAULT_OVERRIDE[0] = None if spec is None else resolve_backend(spec, device=device)
 
 
 @contextlib.contextmanager
-def use_backend(spec: "Backend | str") -> Iterator[Backend]:
+def use_backend(spec: "Backend | str", *, device: "str | None" = None) -> Iterator[Backend]:
     """Activate a backend for the duration of a ``with`` block.
 
     Nests: the innermost activation wins, and the previous active backend is
@@ -373,7 +441,7 @@ def use_backend(spec: "Backend | str") -> Iterator[Backend]:
     >>> with use_backend("numpy") as backend:
     ...     assert get_backend() is backend
     """
-    backend = resolve_backend(spec)
+    backend = resolve_backend(spec, device=device)
     stack = _ACTIVE.get()
     token = _ACTIVE.set(stack + (backend,))
     try:

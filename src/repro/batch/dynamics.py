@@ -21,13 +21,19 @@ step, record at strides, stop on tolerance or iteration cap.  The
   back into exactly the per-row trajectories the scalar loops used to build.
 
 The stepping math is pure Array-API code on the backend resolved at engine
-construction (:mod:`repro.backend`): states, payoff evaluations and rule
-updates live in the backend's namespace, while control flow — convergence
-masks, iteration counters, recording strides — stays on the host.  Backends
-with NumPy-style integer-array assignment step only the active row subset
-(the NumPy fast path, byte-identical to the pre-backend engine); standard-
-only namespaces step the full batch and freeze finished rows with ``where``,
-which preserves frozen rows bit-for-bit without any scatter.
+construction (:mod:`repro.backend`).  On NumPy the engine steps only the
+active row subset and scatters back in place — byte-identical to the
+pre-backend engine.  On every other backend the run is *device-resident*:
+all constants (padded values, masks, congestion tables, the binomial-PMF
+plan, rule-specific shifts) are staged once at construction under an
+expected-transfer boundary, the full batch is stepped each iteration with
+finished rows frozen by ``where``, and the convergence mask, iteration
+counters and trajectory snapshots live on the device until one documented
+host materialisation at the end of :meth:`DynamicsEngine.run`.  The only
+per-iteration host contact is a scalar ``any(active)`` early-exit check, so
+``repro.backend.track_transfers`` observes zero mid-kernel crossings.
+With ``compile=True`` the per-rule step is additionally wrapped in
+``torch.compile`` on the torch backend (see :mod:`repro.batch.compiled`).
 
 The scalar entry points in :mod:`repro.dynamics` are thin ``B = 1`` wrappers
 around this engine, so batched and scalar runs share one implementation and
@@ -45,12 +51,14 @@ import numpy as np
 from repro.backend import (
     Backend,
     ensure_numpy,
+    expected_transfer,
     from_numpy,
     resolve_backend,
     scatter_rows,
     take_rows,
     to_numpy,
 )
+from repro.batch.compiled import compiled_step_for
 from repro.batch.padding import PaddedValues
 from repro.batch.payoffs import (
     as_k_vector,
@@ -60,6 +68,7 @@ from repro.batch.payoffs import (
 from repro.batch.solvers import as_padded
 from repro.core.policies import CongestionPolicy
 from repro.core.strategy import Strategy
+from repro.utils.numerics import make_binomial_pmf_plan
 from repro.utils.validation import check_positive_integer, check_probability
 
 __all__ = [
@@ -238,8 +247,7 @@ class LogitRule(PayoffRule):
         # Padding sites get -inf logits so the softmax never leaks mass onto
         # them (their nu of zero could otherwise beat negative real payoffs).
         mask = self.engine.rows_of(self.engine.mask_dev, rows)
-        neg_inf = xp.asarray(-xp.inf, dtype=self.engine.backend.float_dtype)
-        logits = xp.where(mask, self.rationality * nu, neg_inf)
+        logits = xp.where(mask, self.rationality * nu, self.engine.neg_inf_dev)
         logits = logits - xp.max(logits, axis=1, keepdims=True)
         weights = xp.exp(logits)
         response = weights / xp.sum(weights, axis=1, keepdims=True)
@@ -270,8 +278,7 @@ class SmoothedBestResponseRule(PayoffRule):
         xp = self.engine.xp
         fdt = self.engine.backend.float_dtype
         mask = self.engine.rows_of(self.engine.mask_dev, rows)
-        neg_inf = xp.asarray(-xp.inf, dtype=fdt)
-        masked_nu = xp.where(mask, nu, neg_inf)
+        masked_nu = xp.where(mask, nu, self.engine.neg_inf_dev)
         best = masked_nu >= xp.max(masked_nu, axis=1, keepdims=True) - self.tie_atol
         bestf = xp.astype(best, fdt)
         response = bestf / xp.sum(bestf, axis=1, keepdims=True)
@@ -456,6 +463,12 @@ class DynamicsEngine:
     backend:
         Array backend the stepping runs on — a name, a resolved
         :class:`~repro.backend.Backend`, or ``None`` for the active one.
+    compile:
+        Opt-in compiled stepping: on the torch backend the per-rule step is
+        wrapped in ``torch.compile`` (graphs cached per rule and
+        power-of-two width bucket, see :mod:`repro.batch.compiled`); on any
+        other backend — or when compilation is unavailable — the flag
+        silently falls back to eager stepping.
     """
 
     def __init__(
@@ -469,6 +482,7 @@ class DynamicsEngine:
         tol: float | None = 1e-12,
         record_every: int = 100,
         backend: Backend | str | None = None,
+        compile: bool = False,
     ) -> None:
         self.backend = resolve_backend(backend)
         self.xp = self.backend.xp
@@ -486,13 +500,33 @@ class DynamicsEngine:
         self.record_every = check_positive_integer(record_every, "record_every")
         #: (B, n_max + 1) host congestion tables, computed once per run.
         self.tables = congestion_table_batch(policy, self.ks - 1)
-        #: Backend-resident copies used by every step.
-        self.values_dev = self.padded.values_for(self.backend)
-        self.mask_dev = self.padded.mask_for(self.backend)
-        self.fmask_dev = self.padded.fmask_for(self.backend)
-        self.tables_dev = self.device(self.tables)
-        self.rule = rule
-        rule.bind(self)
+        # Everything the loop touches is staged on the backend exactly once,
+        # under one expected-transfer boundary: per-step work never crosses
+        # the host/device seam again.
+        with expected_transfer():
+            #: Backend-resident copies used by every step.
+            self.values_dev = self.padded.values_for(self.backend)
+            self.mask_dev = self.padded.mask_for(self.backend)
+            self.fmask_dev = self.padded.fmask_for(self.backend)
+            self.tables_dev = self.device(self.tables)
+            self.sizes_dev = from_numpy(
+                self.backend, self.sizes, dtype=self.backend.int_dtype
+            )
+            #: Device scalars shared by rules (a per-step ``asarray`` would
+            #: land on the default device, not the engine's).
+            self.neg_inf_dev = self.device(np.asarray(-np.inf))
+            self.zero_dev = self.device(np.asarray(0.0))
+            #: Precomputed binomial-PMF constants for full-batch stepping
+            #: (the NumPy subset path keeps its original plan-free kernel).
+            self._pmf_plan = (
+                None
+                if self.backend.is_numpy
+                else make_binomial_pmf_plan(self.ks - 1, backend=self.backend)
+            )
+            self.rule = rule
+            rule.bind(self)
+        self.compile = bool(compile)
+        self._compiled_step = compiled_step_for(self) if self.compile else None
 
     @property
     def batch_size(self) -> int:
@@ -521,7 +555,12 @@ class DynamicsEngine:
         tables = self.rows_of(self.tables_dev, rows)
         n = (self.ks - 1) if rows is None else (self.ks[rows] - 1)
         factor = occupancy_congestion_factor_batch(
-            self.policy, states, n, tables=tables, backend=self.backend
+            self.policy,
+            states,
+            n,
+            tables=tables,
+            backend=self.backend,
+            plan=self._pmf_plan if rows is None else None,
         )
         return values * factor * fmask
 
@@ -529,15 +568,12 @@ class DynamicsEngine:
         """Per-row uniform distributions (zero on padding columns), backend-resident."""
         xp = self.xp
         fdt = self.backend.float_dtype
-        sizes = from_numpy(self.backend, self.sizes, dtype=self.backend.int_dtype)
-        uniform = 1.0 / xp.astype(sizes, fdt)[:, None]
-        return xp.where(self.mask_dev, uniform, xp.asarray(0.0, dtype=fdt))
+        uniform = 1.0 / xp.astype(self.sizes_dev, fdt)[:, None]
+        return xp.where(self.mask_dev, uniform, self.zero_dev)
 
     # -------------------------------------------------------------------- loop
     def run(self, initial: np.ndarray | None = None) -> DynamicsBatchResult:
         """Iterate the rule until every row converges, halts, or hits the cap."""
-        xp = self.xp
-        be = self.backend
         if initial is None:
             states = self.initial_states()
         else:
@@ -549,10 +585,22 @@ class DynamicsEngine:
                     f"initial states have {host.shape[0]} rows for a batch "
                     f"of {self.batch_size}"
                 )
-            states = self.device(host)
+            with expected_transfer():
+                states = self.device(host)
+        if self.backend.is_numpy:
+            return self._run_host(states)
+        return self._run_device(states)
 
+    def _run_host(self, states: Any) -> DynamicsBatchResult:
+        """NumPy path: step only the active row subset, scatter back in place.
+
+        Byte-identical to the pre-backend engine; control flow (masks,
+        counters) is host NumPy like the data, so there is nothing to
+        transfer.
+        """
+        xp = self.xp
+        be = self.backend
         batch = self.batch_size
-        subset_stepping = be.supports_fancy_assignment
         converged = np.zeros(batch, dtype=bool)
         iterations = np.full(batch, self.max_iter, dtype=np.int64)
         active = np.arange(batch)
@@ -562,30 +610,14 @@ class DynamicsEngine:
         current_payoffs = np.zeros(batch)
 
         for t in range(1, self.max_iter + 1):
-            if subset_stepping:
-                # NumPy-style path: step only the active rows, scatter back.
-                sub = take_rows(be, states, active)
-                new_sub, payoffs = self.rule.step(sub, t, active)
-                change = to_numpy(xp.sum(xp.abs(new_sub - sub), axis=1))
-                scatter_rows(be, states, active, new_sub)
-                post = new_sub
-                payoffs_host = None if payoffs is None else to_numpy(payoffs)
-                halted = self.rule.finished(post, active)
-                halted_host = None if halted is None else to_numpy(halted)
-            else:
-                # Standard-only path: step the full batch, freeze finished
-                # rows with ``where`` (bit-exact pass-through, no scatter).
-                new_full, payoffs_full = self.rule.step(states, t, None)
-                active_mask = np.zeros(batch, dtype=bool)
-                active_mask[active] = True
-                change = to_numpy(xp.sum(xp.abs(new_full - states), axis=1))[active]
-                mask_dev = from_numpy(be, active_mask)
-                states = xp.where(mask_dev[:, None], new_full, states)
-                payoffs_host = (
-                    None if payoffs_full is None else to_numpy(payoffs_full)[active]
-                )
-                halted = self.rule.finished(states, None)
-                halted_host = None if halted is None else to_numpy(halted)[active]
+            sub = take_rows(be, states, active)
+            new_sub, payoffs = self.rule.step(sub, t, active)
+            change = to_numpy(xp.sum(xp.abs(new_sub - sub), axis=1))
+            scatter_rows(be, states, active, new_sub)
+            post = new_sub
+            payoffs_host = None if payoffs is None else to_numpy(payoffs)
+            halted = self.rule.finished(post, active)
+            halted_host = None if halted is None else to_numpy(halted)
 
             recording = t % self.record_every == 0
             if recording and payoffs_host is not None:
@@ -626,6 +658,97 @@ class DynamicsEngine:
             rule_name=self.rule.name,
         )
 
+    def _run_device(self, states: Any) -> DynamicsBatchResult:
+        """Device path (every non-NumPy backend): the whole loop stays native.
+
+        The full batch is stepped every iteration and finished rows are
+        frozen with ``where`` (bit-exact pass-through, no scatter); the
+        convergence mask, iteration counters, payoff carries and trajectory
+        snapshots are all device tensors.  The only per-iteration host
+        contact is one scalar ``any(active)`` synchronisation deciding the
+        early exit — no array ever crosses the seam until the single
+        expected-transfer materialisation at the end.
+        """
+        xp = self.xp
+        be = self.backend
+        batch = self.batch_size
+        with expected_transfer():  # loop-state staging, once per run
+            active = from_numpy(be, np.ones(batch, dtype=bool), dtype=be.bool_dtype)
+            converged = from_numpy(be, np.zeros(batch, dtype=bool), dtype=be.bool_dtype)
+            iterations = from_numpy(
+                be, np.full(batch, self.max_iter, dtype=np.int64), dtype=be.int_dtype
+            )
+            current_payoffs = from_numpy(be, np.zeros(batch), dtype=be.float_dtype)
+            step_one = from_numpy(be, np.asarray(1, dtype=np.int64), dtype=be.int_dtype)
+            step_index = from_numpy(
+                be, np.asarray(0, dtype=np.int64), dtype=be.int_dtype
+            )
+
+        step_fn = self._compiled_step
+        record_times = [0]
+        records = [states]
+        payoff_records: list[Any] = []
+
+        for t in range(1, self.max_iter + 1):
+            step_index = step_index + step_one  # device-side iteration counter
+            if step_fn is None:
+                new_full, payoffs = self.rule.step(states, t, None)
+            else:
+                new_full, payoffs = step_fn(self.rule, states, t)
+            change = xp.sum(xp.abs(new_full - states), axis=1)
+            states = xp.where(active[:, None], new_full, states)
+            halted = self.rule.finished(states, None)
+
+            recording = t % self.record_every == 0
+            if recording and payoffs is not None:
+                current_payoffs = xp.where(active, payoffs, current_payoffs)
+
+            done = None
+            if self.tol is not None:
+                done = active & (change <= self.tol)
+            if halted is not None:
+                extra = active & halted
+                done = extra if done is None else (done | extra)
+            if done is not None:
+                converged = converged | done
+                iterations = xp.where(done, step_index, iterations)
+                active = active & ~done
+
+            if recording:
+                record_times.append(t)
+                records.append(states)
+                payoff_records.append(current_payoffs)
+            # Deliberate scalar synchronisation: one bool per iteration
+            # decides the early exit; no array payload crosses the seam.
+            if not bool(xp.any(active)):
+                break
+
+        final = self.rule.final_payoffs(states)
+        with expected_transfer():  # the single documented host materialisation
+            states_host = np.array(to_numpy(states), dtype=np.float64, copy=True)
+            converged_host = np.asarray(to_numpy(converged), dtype=bool)
+            iterations_host = np.asarray(to_numpy(iterations), dtype=np.int64)
+            records_host = np.asarray(to_numpy(xp.stack(records)), dtype=np.float64)
+            payoffs_host = (
+                np.asarray(to_numpy(xp.stack(payoff_records)), dtype=np.float64)
+                if payoff_records
+                else np.zeros((0, batch))
+            )
+            final_host = (
+                None if final is None else np.asarray(to_numpy(final), dtype=np.float64)
+            )
+        return DynamicsBatchResult(
+            states=states_host,
+            converged=converged_host,
+            iterations=iterations_host,
+            record_times=np.asarray(record_times, dtype=np.int64),
+            records=records_host,
+            payoff_records=payoffs_host,
+            final_payoffs=final_host,
+            sizes=self.sizes,
+            rule_name=self.rule.name,
+        )
+
 
 # ------------------------------------------------------------- entry points
 _REPLICATOR_METHODS = ("discrete", "euler")
@@ -661,6 +784,7 @@ def replicator_batch(
     tol: float = 1e-12,
     record_every: int = 100,
     backend: Backend | str | None = None,
+    compile: bool = False,
 ) -> DynamicsBatchResult:
     """Replicator dynamics for a whole batch (see :func:`repro.dynamics.replicator_dynamics`)."""
     if method not in _REPLICATOR_METHODS:
@@ -672,7 +796,7 @@ def replicator_batch(
     )
     engine = DynamicsEngine(
         values, k, policy, rule, max_iter=max_iter, tol=tol,
-        record_every=record_every, backend=backend,
+        record_every=record_every, backend=backend, compile=compile,
     )
     return engine.run(initial)
 
@@ -690,12 +814,13 @@ def logit_batch(
     tol: float = 1e-13,
     record_every: int = 500,
     backend: Backend | str | None = None,
+    compile: bool = False,
 ) -> DynamicsBatchResult:
     """Logit dynamics for a whole batch (see :func:`repro.dynamics.logit_dynamics`)."""
     rule = LogitRule(rationality=rationality, damping=damping, step_decay=step_decay)
     engine = DynamicsEngine(
         values, k, policy, rule, max_iter=max_iter, tol=tol,
-        record_every=record_every, backend=backend,
+        record_every=record_every, backend=backend, compile=compile,
     )
     return engine.run(initial)
 
@@ -713,6 +838,7 @@ def best_response_batch(
     record_every: int = 100,
     tie_atol: float = 1e-12,
     backend: Backend | str | None = None,
+    compile: bool = False,
 ) -> DynamicsBatchResult:
     """Damped best-response dynamics for a whole batch
     (see :func:`repro.dynamics.best_response_dynamics`)."""
@@ -721,7 +847,7 @@ def best_response_batch(
     )
     engine = DynamicsEngine(
         values, k, policy, rule, max_iter=max_iter, tol=tol,
-        record_every=record_every, backend=backend,
+        record_every=record_every, backend=backend, compile=compile,
     )
     return engine.run(initial)
 
@@ -739,6 +865,7 @@ def invasion_batch(
     extinction_threshold: float = 1e-6,
     fixation_threshold: float = 1.0 - 1e-6,
     backend: Backend | str | None = None,
+    compile: bool = False,
 ) -> DynamicsBatchResult:
     """Mutant-share dynamics for a whole batch of resident/mutant pairs.
 
@@ -757,7 +884,7 @@ def invasion_batch(
     )
     engine = DynamicsEngine(
         padded, k, policy, rule, max_iter=max_iter, tol=None,
-        record_every=1, backend=backend,
+        record_every=1, backend=backend, compile=compile,
     )
     shares = np.broadcast_to(
         np.asarray(initial_shares, dtype=float), (padded.batch_size,)

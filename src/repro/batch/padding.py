@@ -16,7 +16,7 @@ of kernel calls ships the batch to the device exactly once.
 
 Thread-safety of the transfer cache
 -----------------------------------
-The per-backend cache is a plain dict keyed by ``(backend name, field)``.
+The per-backend cache is a plain dict keyed by ``(backend name, device, field)``.
 The canonical host arrays are immutable (read-only flags), cached transfers
 are pure functions of them, and dict get/set are single atomic bytecode
 operations under the GIL — so concurrent readers (worker threads, or
@@ -129,12 +129,13 @@ class PaddedValues:
 
     # --------------------------------------------------------- device copies
     def _cached(self, backend: Backend, key: str, build) -> Any:
-        """One transfer per ``(backend, field)``; NumPy short-circuits entirely."""
+        """One transfer per ``(backend, device, field)``; NumPy short-circuits entirely."""
         cache = self._device_cache
-        slot = cache.get((backend.name, key))
+        slot_key = (backend.name, str(backend.device), key)
+        slot = cache.get(slot_key)
         if slot is None:
             slot = build()
-            cache[(backend.name, key)] = slot
+            cache[slot_key] = slot
         return slot
 
     def values_for(self, backend: Backend) -> Any:

@@ -47,7 +47,7 @@ from repro.backend import (
 from repro.batch.padding import PaddedValues
 from repro.batch.solvers import as_k_grid, as_padded
 from repro.core.policies import CongestionPolicy
-from repro.utils.numerics import binomial_pmf_tensor
+from repro.utils.numerics import BinomialPmfPlan, binomial_pmf_tensor
 
 __all__ = [
     "as_k_vector",
@@ -107,6 +107,7 @@ def occupancy_congestion_factor_batch(
     *,
     tables: np.ndarray | None = None,
     backend: Backend | str | None = None,
+    plan: "BinomialPmfPlan | None" = None,
 ) -> np.ndarray:
     """Expected congestion factors ``E[C(1 + Binomial(n_b, q))]`` for a whole batch.
 
@@ -126,6 +127,10 @@ def occupancy_congestion_factor_batch(
         the policy.
     backend:
         Array backend to compute on (``None`` = active backend).
+    plan:
+        Optional :class:`~repro.utils.numerics.BinomialPmfPlan` built for the
+        same ``n_opponents`` and backend; hot loops pass one so the PMF step
+        performs no host transfers or synchronisations.
 
     Returns
     -------
@@ -141,7 +146,7 @@ def occupancy_congestion_factor_batch(
     n = np.broadcast_to(np.asarray(ensure_numpy(n_opponents), dtype=np.int64), (q.shape[0],))
     if np.any(n < 0):
         raise ValueError("n_opponents must be non-negative")
-    pmf = binomial_pmf_tensor(n, q, backend=be)  # (B, M, n_sub_max + 1)
+    pmf = binomial_pmf_tensor(n, q, backend=be, plan=plan)  # (B, M, n_sub_max + 1)
     if not is_native(be, pmf):
         pmf = from_numpy(be, pmf, dtype=be.float_dtype)
     if tables is None:

@@ -42,6 +42,7 @@ import numpy as np
 from repro.backend import (
     Backend,
     ensure_numpy,
+    expected_transfer,
     from_numpy,
     resolve_backend,
     to_numpy,
@@ -202,11 +203,14 @@ def success_probability_batch(
     q_host = as_prior_batch(priors)
     p_host = as_search_strategy_batch(strategies, q_host)
     ks = _as_searcher_counts(k, q_host.shape[0])
-    q = from_numpy(be, q_host, dtype=be.float_dtype)
-    p = from_numpy(be, p_host, dtype=be.float_dtype)
-    kcol = from_numpy(be, ks.astype(float), dtype=be.float_dtype)[:, None]
+    with expected_transfer():  # input staging
+        q = from_numpy(be, q_host, dtype=be.float_dtype)
+        p = from_numpy(be, p_host, dtype=be.float_dtype)
+        kcol = from_numpy(be, ks.astype(float), dtype=be.float_dtype)[:, None]
     hit = 1.0 - (1.0 - p) ** kcol
-    return to_numpy(xp.sum(q * hit, axis=1))
+    total = xp.sum(q * hit, axis=1)
+    with expected_transfer():  # result materialisation
+        return to_numpy(total)
 
 
 def expected_discovery_time_batch(
@@ -236,19 +240,22 @@ def expected_discovery_time_batch(
     q_host = as_prior_batch(priors)
     p_host = as_search_strategy_batch(strategies, q_host)
     ks = _as_searcher_counts(k, q_host.shape[0])
-    q = from_numpy(be, q_host, dtype=be.float_dtype)
-    p = from_numpy(be, p_host, dtype=be.float_dtype)
-    kcol = from_numpy(be, ks.astype(float), dtype=be.float_dtype)[:, None]
+    with expected_transfer():  # input staging
+        q = from_numpy(be, q_host, dtype=be.float_dtype)
+        p = from_numpy(be, p_host, dtype=be.float_dtype)
+        kcol = from_numpy(be, ks.astype(float), dtype=be.float_dtype)[:, None]
+        one = from_numpy(be, np.asarray(1.0), dtype=be.float_dtype)
+        zero = from_numpy(be, np.asarray(0.0), dtype=be.float_dtype)
+        inf = from_numpy(be, np.asarray(np.inf), dtype=be.float_dtype)
     per_round = 1.0 - (1.0 - p) ** kcol
     possible = q > 0
     findable = per_round > 0
     never_found = xp.any(possible & ~findable, axis=1)
-    one = xp.asarray(1.0, dtype=be.float_dtype)
-    zero = xp.asarray(0.0, dtype=be.float_dtype)
     safe = xp.where(findable, per_round, one)
     total = xp.sum(xp.where(possible & findable, q / safe, zero), axis=1)
-    inf = xp.asarray(xp.inf, dtype=be.float_dtype)
-    return to_numpy(xp.where(never_found, inf, total))
+    result = xp.where(never_found, inf, total)
+    with expected_transfer():  # result materialisation
+        return to_numpy(result)
 
 
 # --------------------------------------------------------------------------
@@ -362,17 +369,19 @@ def simulate_search_batch(
     ks = _as_searcher_counts(k, b)
 
     # Hide the treasures: one stacked inverse-CDF pass over the B priors.
+    # The geometric path runs that pass (and everything after it) on the
+    # active backend's device; the lockstep stepper is host-by-design.
     flat_prior = stacked_flat_cdfs(q)
     offsets = np.arange(b, dtype=np.int64)
     u_hide = generator.random((b, n_trials))
-    positions = np.searchsorted(
-        flat_prior, u_hide + STACK_SPACING * offsets[:, None], side="right"
-    )
-    treasure = np.minimum(positions - (offsets * m)[:, None], m - 1)
 
     if method == "geometric":
-        rounds = _geometric_rounds(q, p, ks, treasure, max_rounds, generator, be)
+        rounds = _geometric_rounds(p, ks, flat_prior, u_hide, max_rounds, generator, be)
     else:
+        positions = np.searchsorted(
+            flat_prior, u_hide + STACK_SPACING * offsets[:, None], side="right"
+        )
+        treasure = np.minimum(positions - (offsets * m)[:, None], m - 1)
         rounds = _lockstep_rounds(p, ks, treasure, max_rounds, generator)
 
     found = rounds <= max_rounds
@@ -392,34 +401,56 @@ def simulate_search_batch(
 
 
 def _geometric_rounds(
-    q: np.ndarray,
     p: np.ndarray,
     ks: np.ndarray,
-    treasure: np.ndarray,
+    flat_prior: np.ndarray,
+    u_hide: np.ndarray,
     max_rounds: int,
     generator: np.random.Generator,
     be: Backend,
 ) -> np.ndarray:
-    """Invert the conditional geometric round law for all ``(B, n_trials)`` cells."""
+    """Invert the conditional geometric round law for all ``(B, n_trials)`` cells.
+
+    Device-resident end-to-end: the treasure-hiding ``searchsorted``, the
+    per-treasure strategy gather and the geometric inversion all run on the
+    backend; the one upload (staging + both host uniform blocks) and the one
+    download (the finished round matrix) are the documented boundaries.
+    """
     xp = be.xp
-    b, n_trials = treasure.shape
-    p_at_treasure = p[np.arange(b)[:, None], treasure]
-    per_round_host = 1.0 - (1.0 - p_at_treasure) ** ks[:, None].astype(float)
+    fdt, idt = be.float_dtype, be.int_dtype
+    b, n_trials = u_hide.shape
+    m = p.shape[1]
+    offsets = np.arange(b, dtype=np.int64)
     u = generator.random((b, n_trials))
+    with expected_transfer():  # staging + per-call draw placement
+        hide_dev = from_numpy(
+            be, u_hide + STACK_SPACING * offsets[:, None], dtype=fdt
+        )
+        flat_prior_dev = from_numpy(be, flat_prior, dtype=fdt)
+        p_flat_dev = from_numpy(be, p.reshape(-1), dtype=fdt)
+        k_col_dev = from_numpy(be, ks.astype(float)[:, None], dtype=fdt)
+        row_off_dev = from_numpy(be, (offsets * m)[:, None], dtype=idt)
+        limit_dev = from_numpy(be, np.asarray(m - 1, dtype=np.int64), dtype=idt)
+        u_dev = from_numpy(be, u, dtype=fdt)
+        half = from_numpy(be, np.asarray(0.5), dtype=fdt)
+        one = from_numpy(be, np.asarray(1.0), dtype=fdt)
+        inf = from_numpy(be, np.asarray(np.inf), dtype=fdt)
+        censored = from_numpy(be, np.asarray(float(max_rounds + 1)), dtype=fdt)
+    positions = xp.searchsorted(flat_prior_dev, xp.reshape(hide_dev, (-1,)), side="right")
+    treasure = xp.minimum(xp.reshape(positions, (b, n_trials)) - row_off_dev, limit_dev)
+    p_at_treasure = xp.reshape(
+        xp.take(p_flat_dev, xp.reshape(treasure + row_off_dev, (-1,))), (b, n_trials)
+    )
+    per_round = 1.0 - (1.0 - p_at_treasure) ** k_col_dev
     # Inverse-CDF sampling of the geometric distribution, where-masked so the
     # log of the unfindable cells (per-round probability 0) is never taken.
-    per_round = from_numpy(be, per_round_host, dtype=be.float_dtype)
-    u_dev = from_numpy(be, u, dtype=be.float_dtype)
     findable = per_round > 0
-    clipped = xp.clip(
-        xp.where(findable, per_round, xp.asarray(0.5, dtype=be.float_dtype)),
-        1e-300,
-        1.0 - 1e-16,
-    )
+    clipped = xp.clip(xp.where(findable, per_round, half), 1e-300, 1.0 - 1e-16)
     drawn = xp.ceil(xp.log1p(-u_dev) / xp.log1p(-clipped))
-    rounds = np.where(to_numpy(findable), to_numpy(drawn), np.inf)
-    rounds = np.maximum(rounds, 1.0)
-    return np.where(rounds > max_rounds, max_rounds + 1, rounds).astype(np.int64)
+    rounds = xp.where(findable, xp.maximum(drawn, one), inf)
+    rounds = xp.where(rounds > float(max_rounds), censored, rounds)
+    with expected_transfer():  # result materialisation
+        return np.asarray(to_numpy(rounds)).astype(np.int64)
 
 
 def _lockstep_rounds(

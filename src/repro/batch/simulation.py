@@ -26,12 +26,17 @@ the seed policy in :mod:`repro.utils.rng`); the accumulated floating-point
 means and standard errors agree to summation rounding (``~1e-15``
 relative).
 
-Backend note: like the scalar engine, simulation statistics are **host-side
-by design** — the hot path is RNG draws and ``bincount`` histograms, which
-live behind NumPy-only adapters.  The inverse-CDF ``searchsorted`` inversion
-runs on the active array backend; every public result is a plain host NumPy
-array with documented dtypes (``int64`` occupancy histograms, ``float64``
-frequencies and statistics), whatever backend was active.
+Backend note: under a non-NumPy backend the whole chunk pipeline is
+**device-resident**: uniforms are placed on the device once per chunk (a
+documented :func:`~repro.backend.expected_transfer` boundary, like the input
+staging), the inverse-CDF inversion, occupancy counts, histograms and all
+statistic sums stay native, and the host is touched exactly once — when the
+accumulated sums are materialised into the result dataclass.  Wrap a call in
+:func:`repro.backend.track_transfers` to assert the zero-mid-kernel-transfer
+property.  The NumPy path is bit-identical to the pre-backend code; every
+public result is a plain host NumPy array with documented dtypes (``int64``
+occupancy histograms, ``float64`` frequencies and statistics), whatever
+backend was active.
 
 Every kernel agrees with its scalar counterpart (the scalar engine is a thin
 ``B = 1`` wrapper over this module; property-tested in
@@ -49,9 +54,11 @@ from repro.backend import (
     Backend,
     batched_bincount,
     ensure_numpy,
+    expected_transfer,
     from_numpy,
     random_uniform,
     resolve_backend,
+    take_along_axis,
     to_numpy,
 )
 from repro.batch.padding import PaddedValues
@@ -143,28 +150,30 @@ def as_strategy_batch(
 
 def _draw_choices(
     flat_cdfs_dev: Any,
-    row_offsets: np.ndarray,
+    shifts_dev: Any,
     n_trials: int,
     rng: np.random.Generator,
     be: Backend,
-) -> np.ndarray:
+) -> Any:
     """One trial-major ``(n_trials, B, k_max)`` inverse-CDF draw.
 
-    ``row_offsets`` is the host ``(B, k_max)`` matrix of stacked-CDF row
-    indices (symmetric draws repeat each row's index across the player axis;
+    ``shifts_dev`` is the device ``(B, k_max)`` matrix of stacked-CDF row
+    shifts (symmetric draws repeat each row's shift across the player axis;
     profile draws give every player their own row).  The uniforms always come
     from the host ``rng`` — trial-major, so chunked draws concatenate to the
-    unchunked stream — while the ``searchsorted`` inversion runs on the
-    active backend.  Returns host choices (columns are *global* stacked-row
-    positions; the caller subtracts ``row_offsets * M`` and clamps).
+    unchunked stream — and are placed on the device once per chunk (the
+    documented draw boundary); the ``searchsorted`` inversion runs on the
+    active backend.  Returns **device** choices (columns are *global*
+    stacked-row positions; the caller subtracts the row offsets and clamps,
+    also on the device).
     """
     xp = be.xp
-    b, k_max = row_offsets.shape
-    u = random_uniform(be, rng, (n_trials, b, k_max))
-    shifts = from_numpy(be, STACK_SPACING * row_offsets, dtype=be.float_dtype)
-    flat = xp.reshape(u + shifts[None, :, :], (-1,))
+    b, k_max = shifts_dev.shape
+    with expected_transfer():
+        u = random_uniform(be, rng, (n_trials, int(b), int(k_max)))
+    flat = xp.reshape(u + shifts_dev[None, :, :], (-1,))
     positions = xp.searchsorted(flat_cdfs_dev, flat, side="right")
-    return to_numpy(positions).reshape(n_trials, b, k_max)
+    return xp.reshape(positions, (n_trials, int(b), int(k_max)))
 
 
 def _chunk_trials(n_trials: int, batch_size: int, k_max: int, max_chunk_draws: int) -> int:
@@ -289,19 +298,21 @@ def simulate_dispersal_batch(
     policy.validate(k_max)
     probabilities = as_strategy_batch(strategies, padded)
 
-    flat_cdfs = from_numpy(be, stacked_flat_cdfs(probabilities), dtype=be.float_dtype)
     row_offsets = np.broadcast_to(np.arange(b, dtype=np.int64)[:, None], (b, k_max))
-    accum = _Accumulators(padded, ks, policy, profile=False)
+    with expected_transfer():  # input staging: one upload per kernel call
+        flat_cdfs = from_numpy(be, stacked_flat_cdfs(probabilities), dtype=be.float_dtype)
+        shifts = from_numpy(be, STACK_SPACING * row_offsets, dtype=be.float_dtype)
+        offsets = from_numpy(be, row_offsets * m, dtype=be.int_dtype)
+        limits = from_numpy(be, (padded.sizes - 1)[None, :, None], dtype=be.int_dtype)
+    accum = _Accumulators(padded, ks, policy, profile=False, backend=be)
 
+    xp = be.xp
     chunk = _chunk_trials(n_trials, b, k_max, max_chunk_draws)
     remaining = n_trials
     while remaining > 0:
         batch = min(remaining, chunk)
-        positions = _draw_choices(flat_cdfs, row_offsets, batch, generator, be)
-        choices = np.minimum(
-            positions - (row_offsets * m)[None, :, :],
-            (padded.sizes - 1)[None, :, None],
-        )
+        positions = _draw_choices(flat_cdfs, shifts, batch, generator, be)
+        choices = xp.minimum(positions - offsets[None, :, :], limits)
         accum.update(choices)
         remaining -= batch
 
@@ -413,22 +424,24 @@ def simulate_profile_batch(
     expanded = PaddedValues(np.repeat(padded.values, k_max, axis=0), expanded_sizes)
     flat_rows = as_strategy_batch(flat_rows, expanded)
 
-    flat_cdfs = from_numpy(be, stacked_flat_cdfs(flat_rows), dtype=be.float_dtype)
     row_offsets = (
         np.arange(b, dtype=np.int64)[:, None] * k_max
         + np.arange(k_max, dtype=np.int64)[None, :]
     )
-    accum = _Accumulators(padded, ks, policy, profile=True)
+    with expected_transfer():  # input staging: one upload per kernel call
+        flat_cdfs = from_numpy(be, stacked_flat_cdfs(flat_rows), dtype=be.float_dtype)
+        shifts = from_numpy(be, STACK_SPACING * row_offsets, dtype=be.float_dtype)
+        offsets = from_numpy(be, row_offsets * m, dtype=be.int_dtype)
+        limits = from_numpy(be, (padded.sizes - 1)[None, :, None], dtype=be.int_dtype)
+    accum = _Accumulators(padded, ks, policy, profile=True, backend=be)
 
+    xp = be.xp
     chunk = _chunk_trials(n_trials, b, k_max, max_chunk_draws)
     remaining = n_trials
     while remaining > 0:
         batch = min(remaining, chunk)
-        positions = _draw_choices(flat_cdfs, row_offsets, batch, generator, be)
-        choices = np.minimum(
-            positions - (row_offsets * m)[None, :, :],
-            (padded.sizes - 1)[None, :, None],
-        )
+        positions = _draw_choices(flat_cdfs, shifts, batch, generator, be)
+        choices = xp.minimum(positions - offsets[None, :, :], limits)
         accum.update(choices)
         remaining -= batch
 
@@ -443,13 +456,22 @@ def simulate_profile_batch(
 class _Accumulators:
     """Chunk-wise statistics shared by the two simulation kernels.
 
-    All arithmetic is host NumPy; the per-chunk heavy lifting (occupancy
-    counts, per-row histograms) goes through the
-    :func:`~repro.backend.batched_bincount` segment-sum adapter.
+    Two bodies behind one interface: the NumPy path is the original host
+    arithmetic, bit for bit, while non-NumPy backends accumulate every sum
+    **on the device** (per-chunk heavy lifting through the
+    :func:`~repro.backend.batched_bincount` segment-sum adapter either way).
+    The device sums cross to the host exactly once, inside
+    :meth:`_materialise`, as the documented result boundary.
     """
 
     def __init__(
-        self, padded: PaddedValues, ks: np.ndarray, policy: CongestionPolicy, *, profile: bool
+        self,
+        padded: PaddedValues,
+        ks: np.ndarray,
+        policy: CongestionPolicy,
+        *,
+        profile: bool,
+        backend: Backend,
     ) -> None:
         b, m = padded.batch_size, padded.width
         k_max = int(ks.max())
@@ -457,6 +479,7 @@ class _Accumulators:
         self.ks = ks
         self.k_max = k_max
         self.profile = profile
+        self.be = backend
         self.mask = padded.mask
         # Values extended with a zero sentinel column: padding players point
         # their choices at site M_max and earn exactly nothing.
@@ -479,9 +502,54 @@ class _Accumulators:
         else:
             self.payoff_sum = np.zeros(b)
             self.payoff_sq_sum = np.zeros(b)
+        if not backend.is_numpy:
+            self._init_device()
 
-    def update(self, choices: np.ndarray) -> None:
+    def _init_device(self) -> None:
+        """Stage the per-batch constants and zeroed sums on the device."""
+        be, b, m, k_max = self.be, self.padded.batch_size, self.padded.width, self.k_max
+        xp = be.xp
+        fdt, idt = be.float_dtype, be.int_dtype
+        with expected_transfer():  # input staging: one upload per kernel call
+            self.values_ext_dev = from_numpy(be, self.values_ext, dtype=fdt)
+            self.tables_flat_dev = from_numpy(be, self.tables.reshape(-1), dtype=fdt)
+            self.pad_players_dev = from_numpy(be, self.pad_players)
+            self.mask_dev = from_numpy(be, self.mask)
+            self.ks_f_dev = from_numpy(be, np.asarray(self.ks, dtype=float), dtype=fdt)
+            self.sentinel_dev = from_numpy(be, np.asarray(m, dtype=np.int64), dtype=idt)
+            self.hist_sentinel_dev = from_numpy(
+                be, np.asarray(k_max + 1, dtype=np.int64), dtype=idt
+            )
+            # Flat-gather row offsets: ``xp.take`` over a raveled matrix
+            # replaces NumPy's 2-D fancy indexing on standard namespaces.
+            self.val_rows_dev = from_numpy(
+                be, (np.arange(b, dtype=np.int64) * (m + 1))[None, :, None], dtype=idt
+            )
+            self.table_rows_dev = from_numpy(
+                be, (np.arange(b, dtype=np.int64) * k_max)[None, :, None], dtype=idt
+            )
+        self.values_flat_dev = xp.reshape(self.values_ext_dev, (-1,))
+        self.values_m_dev = self.values_ext_dev[:, :m]
+        self.coverage_sum = xp.zeros((b,), dtype=fdt)
+        self.coverage_sq_sum = xp.zeros((b,), dtype=fdt)
+        self.sites_visited_sum = xp.zeros((b,), dtype=idt)
+        self.collisions = xp.zeros((b,), dtype=idt)
+        self.occupancy_histogram = xp.zeros((b, k_max + 1), dtype=idt)
+        self.site_visits = xp.zeros((b, m), dtype=idt)
+        shape = (b, k_max) if self.profile else (b,)
+        self.payoff_sum = xp.zeros(shape, dtype=fdt)
+        self.payoff_sq_sum = xp.zeros(shape, dtype=fdt)
+        self._materialised = False
+
+    def update(self, choices: Any) -> None:
         """Fold one ``(n_chunk, B, k_max)`` chunk of site choices into the sums."""
+        if self.be.is_numpy:
+            self._update_host(np.asarray(choices))
+        else:
+            self._update_device(choices)
+
+    def _update_host(self, choices: np.ndarray) -> None:
+        """Original host accumulation (bit-identical NumPy fast path)."""
         n_chunk, b, k_max = choices.shape
         m = self.padded.width
         if self.pad_players.any():
@@ -523,8 +591,90 @@ class _Accumulators:
         counts = np.bincount(occ_h.ravel(), minlength=b * bins).reshape(b, bins)
         self.occupancy_histogram += counts[:, : self.k_max + 1]
 
+    def _update_device(self, choices: Any) -> None:
+        """Device-resident accumulation: same sums, zero host crossings."""
+        be = self.be
+        xp = be.xp
+        fdt, idt = be.float_dtype, be.int_dtype
+        n_chunk, b, k_max = (int(s) for s in choices.shape)
+        m = self.padded.width
+        if bool(self.pad_players.any()):  # host-known at staging time
+            choices = xp.where(self.pad_players_dev[None, :, :], self.sentinel_dev, choices)
+
+        occ3 = batched_bincount(
+            xp.reshape(choices, (n_chunk * b, k_max)), m + 1, backend=be
+        )
+        occ3 = xp.reshape(occ3, (n_chunk, b, m + 1))
+        occ = occ3[:, :, :m]
+
+        visited = occ > 0
+        visited_f = xp.astype(visited, fdt)
+        if be.supports_einsum:
+            coverage = xp.einsum("tbm,bm->tb", visited_f, self.values_m_dev)
+        else:
+            coverage = xp.sum(visited_f * self.values_m_dev[None, :, :], axis=2)
+        self.coverage_sum = self.coverage_sum + xp.sum(coverage, axis=0)
+        self.coverage_sq_sum = self.coverage_sq_sum + xp.sum(coverage * coverage, axis=0)
+        visited_i = xp.astype(visited, idt)
+        self.sites_visited_sum = self.sites_visited_sum + xp.sum(visited_i, axis=(0, 2))
+        self.site_visits = self.site_visits + xp.sum(visited_i, axis=0)
+
+        player_occ = take_along_axis(be, occ3, choices, axis=2)
+        site_vals = xp.reshape(
+            xp.take(self.values_flat_dev, xp.reshape(choices + self.val_rows_dev, (-1,))),
+            choices.shape,
+        )
+        factors = xp.reshape(
+            xp.take(
+                self.tables_flat_dev,
+                xp.reshape(player_occ - 1 + self.table_rows_dev, (-1,)),
+            ),
+            choices.shape,
+        )
+        payoffs = site_vals * factors
+        if self.profile:
+            self.payoff_sum = self.payoff_sum + xp.sum(payoffs, axis=0)
+            self.payoff_sq_sum = self.payoff_sq_sum + xp.sum(payoffs * payoffs, axis=0)
+        else:
+            per_trial = xp.sum(payoffs, axis=2) / self.ks_f_dev[None, :]
+            self.payoff_sum = self.payoff_sum + xp.sum(per_trial, axis=0)
+            self.payoff_sq_sum = self.payoff_sq_sum + xp.sum(per_trial * per_trial, axis=0)
+        colliding = (player_occ > 1) & ~self.pad_players_dev[None, :, :]
+        self.collisions = self.collisions + xp.sum(xp.astype(colliding, idt), axis=(0, 2))
+
+        # Per-row occupancy histogram: padding sites go to a sentinel bin
+        # that is sliced off; transposing to (B, n_chunk * M) makes each row
+        # one segment of the batched bincount, all on the device.
+        bins = self.k_max + 2
+        occ_h = xp.where(self.mask_dev[None, :, :], occ, self.hist_sentinel_dev)
+        occ_rows = xp.reshape(xp.permute_dims(occ_h, (1, 0, 2)), (b, n_chunk * m))
+        counts = batched_bincount(occ_rows, bins, backend=be)
+        self.occupancy_histogram = self.occupancy_histogram + counts[:, : self.k_max + 1]
+
+    def _materialise(self) -> None:
+        """The single documented device→host crossing of the result boundary."""
+        if self.be.is_numpy or self._materialised:
+            return
+        with expected_transfer():
+            self.coverage_sum = np.asarray(to_numpy(self.coverage_sum), dtype=np.float64)
+            self.coverage_sq_sum = np.asarray(
+                to_numpy(self.coverage_sq_sum), dtype=np.float64
+            )
+            self.sites_visited_sum = np.asarray(
+                to_numpy(self.sites_visited_sum), dtype=np.float64
+            )
+            self.collisions = np.asarray(to_numpy(self.collisions), dtype=np.int64)
+            self.occupancy_histogram = np.asarray(
+                to_numpy(self.occupancy_histogram), dtype=np.int64
+            )
+            self.site_visits = np.asarray(to_numpy(self.site_visits), dtype=np.int64)
+            self.payoff_sum = np.asarray(to_numpy(self.payoff_sum), dtype=np.float64)
+            self.payoff_sq_sum = np.asarray(to_numpy(self.payoff_sq_sum), dtype=np.float64)
+        self._materialised = True
+
     # ------------------------------------------------------------- results
     def dispersal_result(self, n_trials: int) -> DispersalSimulationBatch:
+        self._materialise()
         coverage_means = self.coverage_sum / n_trials
         payoff_means = self.payoff_sum / n_trials
         return DispersalSimulationBatch(
@@ -544,6 +694,7 @@ class _Accumulators:
         )
 
     def profile_result(self, n_trials: int) -> ProfileSimulationBatch:
+        self._materialise()
         coverage_means = self.coverage_sum / n_trials
         payoff_means = self.payoff_sum / n_trials
         payoff_sems = _sem_vector(self.payoff_sq_sum, payoff_means, n_trials)

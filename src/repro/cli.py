@@ -36,6 +36,11 @@ rows.  Three flags are shared by all sub-commands:
     ``repro.backend``).  The choice is activated around every task, in
     worker processes too, and the results do not depend on it; the
     ``REPRO_BACKEND`` environment variable sets the same default globally.
+``--device NAME``
+    Device the backend places arrays on (``cpu`` default; ``cuda`` / ``mps``
+    with the torch backend when the accelerator is present — see
+    ``repro.backend.with_device``).  Validated eagerly, threaded into worker
+    processes by name, and settable globally via ``REPRO_DEVICE``.
 """
 
 from __future__ import annotations
@@ -71,7 +76,7 @@ from repro.analysis.stochastic_experiments import (
     build_search_spec,
 )
 from repro.analysis.sweeps import assemble_sweep, build_dynamics_spec, build_sweep_spec
-from repro.backend import BackendNotAvailableError, available_backends, load_backend
+from repro.backend import BackendNotAvailableError, available_backends, resolve_backend
 from repro.experiments.registry import experiment_names, get_experiment
 from repro.experiments.result import ExperimentResult
 from repro.experiments.runner import run_experiment
@@ -117,6 +122,16 @@ def build_parser() -> argparse.ArgumentParser:
             "Array backend for the batched kernels (default: REPRO_BACKEND or "
             "numpy; array_api_strict/torch/cupy when installed — an unknown "
             "name lists what resolved on this machine)."
+        ),
+    )
+    common.add_argument(
+        "--device",
+        default=None,
+        metavar="NAME",
+        choices=("cpu", "cuda", "mps"),
+        help=(
+            "Device the backend places arrays on (default: REPRO_DEVICE or "
+            "cpu; cuda/mps need the torch backend plus the accelerator)."
         ),
     )
 
@@ -334,6 +349,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME",
         help="Array backend the coalesced kernels run on (default: REPRO_BACKEND or numpy).",
     )
+    serve.add_argument(
+        "--device",
+        default=None,
+        metavar="NAME",
+        choices=("cpu", "cuda", "mps"),
+        help="Device the backend places arrays on (default: REPRO_DEVICE or cpu).",
+    )
 
     sub.add_parser(
         "experiments", parents=[common], help="List the registered experiments."
@@ -343,16 +365,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _execute(spec, args: argparse.Namespace) -> ExperimentResult:
     backend = getattr(args, "backend", None)
-    if backend is not None:
+    device = getattr(args, "device", None)
+    if backend is not None or device is not None:
         # Validate eagerly for a clean error; backend detection stays lazy so
-        # plain CLI runs never pay (or crash on) torch/cupy imports.
+        # plain CLI runs never pay (or crash on) torch/cupy imports.  The
+        # device check also runs here so a missing accelerator fails before
+        # any work is scheduled rather than inside a worker process.
         try:
-            load_backend(backend)
+            resolve_backend(backend, device=device)
         except BackendNotAvailableError as error:
             raise SystemExit(
                 f"error: {error} (available: {', '.join(available_backends())})"
             ) from error
-    return run_experiment(spec, max_workers=args.workers, backend=backend)
+    return run_experiment(spec, max_workers=args.workers, backend=backend, device=device)
 
 
 def _run_figure1(args: argparse.Namespace) -> str:
@@ -644,9 +669,12 @@ def _run_serve(args: argparse.Namespace) -> str:
 
     from repro.serving import serve_forever
 
-    if args.backend is not None:
+    backend = args.backend
+    if backend is not None or args.device is not None:
         try:
-            load_backend(args.backend)
+            # Serving runs in-process, so the resolved (device-pinned) handle
+            # can be handed to the coalescer directly instead of by name.
+            backend = resolve_backend(backend, device=args.device)
         except BackendNotAvailableError as error:
             raise SystemExit(
                 f"error: {error} (available: {', '.join(available_backends())})"
@@ -659,7 +687,7 @@ def _run_serve(args: argparse.Namespace) -> str:
                 max_batch=args.max_batch,
                 max_wait_ms=args.max_wait_ms,
                 cache_size=args.cache_size,
-                backend=args.backend,
+                backend=backend,
             )
         )
     except KeyboardInterrupt:

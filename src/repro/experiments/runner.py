@@ -29,7 +29,7 @@ from typing import Any, Iterable, Mapping, Sequence
 
 import numpy as np
 
-from repro.backend import use_backend
+from repro.backend import resolve_backend, use_backend
 from repro.experiments.result import ExperimentResult
 from repro.experiments.spec import ExperimentSpec, TaskFunction
 from repro.utils.envinfo import available_cpus
@@ -78,11 +78,19 @@ def spawn_task_seeds(seed: int, n_tasks: int) -> list[np.random.SeedSequence]:
 
 
 def _execute_task(
-    payload: tuple[TaskFunction, Mapping[str, Any], np.random.SeedSequence, str | None],
+    payload: tuple[
+        TaskFunction, Mapping[str, Any], np.random.SeedSequence, str | None, str | None
+    ],
 ) -> Any:
-    """Worker entry point: activate the backend, rebuild the generator, run."""
-    task, params, seed_seq, backend = payload
-    scope = use_backend(backend) if backend is not None else contextlib.nullcontext()
+    """Worker entry point: activate the backend/device, rebuild the generator, run."""
+    task, params, seed_seq, backend, device = payload
+    if backend is None and device is None:
+        scope: Any = contextlib.nullcontext()
+    else:
+        # Both travel by *name* (handles are not picklable); resolution —
+        # including device availability checks — happens in the executing
+        # process, so worker processes raise the same errors the parent would.
+        scope = use_backend(resolve_backend(backend, device=device))
     with scope:
         return task(params, np.random.default_rng(seed_seq))
 
@@ -117,6 +125,7 @@ def run_experiment(
     *,
     max_workers: int | None = 0,
     backend: str | None = None,
+    device: str | None = None,
 ) -> ExperimentResult:
     """Execute every task of ``spec`` and assemble the structured result.
 
@@ -134,12 +143,18 @@ def run_experiment(
         ``spec.backend``; ``None`` falls back to it).  Travels by name into
         worker processes, so parallel runs honor the choice; the results are
         identical across backends by the batch layer's elementwise contract.
+    device:
+        Device name (``cpu`` / ``cuda`` / ``mps``) the backend is pinned to
+        around every task (overrides ``spec.device``; ``None`` falls back to
+        it).  Travels by name like ``backend`` and is resolved — including
+        availability checks — inside each executing process.
     """
     workers = resolve_workers(max_workers)
     seeds = spawn_task_seeds(spec.seed, spec.n_tasks)
     task_backend = backend if backend is not None else spec.backend
+    task_device = device if device is not None else spec.device
     payloads = [
-        (spec.task, params, seed, task_backend)
+        (spec.task, params, seed, task_backend, task_device)
         for params, seed in zip(spec.grid, seeds)
     ]
 
@@ -166,6 +181,7 @@ def run_experiment(
         "max_workers": used_workers,
         "chunk_size": chunk_size,
         "backend": task_backend or "default",
+        "device": task_device or "default",
     }
     return ExperimentResult(
         name=spec.name,

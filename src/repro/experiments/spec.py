@@ -54,6 +54,12 @@ class ExperimentSpec:
         executing process; a name is activated around each task by the
         runner — including inside worker processes, so a spec pinned to
         ``"torch"`` keeps running on torch when fanned out.
+    device:
+        Optional device name (``cpu`` / ``cuda`` / ``mps``) the backend is
+        pinned to around each task (see
+        :func:`repro.backend.with_device`).  Travels by name into worker
+        processes alongside ``backend``; ``None`` keeps the backend's
+        default placement.
     metadata:
         Free-form provenance (grid shape, solver options, ...) copied into
         the :class:`~repro.experiments.result.ExperimentResult`.
@@ -66,6 +72,7 @@ class ExperimentSpec:
     seed: int = 0
     chunk_size: int | None = None
     backend: str | None = None
+    device: str | None = None
     metadata: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -79,6 +86,8 @@ class ExperimentSpec:
             raise ValueError("chunk_size must be >= 1 when given")
         if self.backend is not None:
             object.__setattr__(self, "backend", str(self.backend))
+        if self.device is not None:
+            object.__setattr__(self, "device", str(self.device))
         object.__setattr__(self, "metadata", dict(self.metadata))
 
     @property
@@ -93,6 +102,10 @@ class ExperimentSpec:
     def with_backend(self, backend: str | None) -> "ExperimentSpec":
         """Copy of the spec pinned to (or freed from) an array backend."""
         return dataclasses.replace(self, backend=backend)
+
+    def with_device(self, device: str | None) -> "ExperimentSpec":
+        """Copy of the spec pinned to (or freed from) a device placement."""
+        return dataclasses.replace(self, device=device)
 
     def subset(self, indices: Sequence[int]) -> "ExperimentSpec":
         """Copy of the spec restricted to the given grid indices."""

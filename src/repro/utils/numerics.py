@@ -7,16 +7,19 @@ loops, and in-place updates where it matters.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
 
 import numpy as np
 
 __all__ = [
     "assert_shape",
+    "BinomialPmfPlan",
     "binomial_pmf_matrix",
     "binomial_pmf_tensor",
     "clip_probability",
     "is_non_increasing",
+    "make_binomial_pmf_plan",
     "safe_power",
     "simplex_projection",
     "monotone_bisection",
@@ -161,8 +164,90 @@ def binomial_pmf_matrix(n: int, probs: np.ndarray) -> np.ndarray:
     return pmf / row_sums
 
 
+@dataclass(frozen=True)
+class BinomialPmfPlan:
+    """Precomputed constants for repeated :func:`binomial_pmf_tensor` calls.
+
+    A plan freezes everything that depends only on the per-row trial counts
+    and the backend — the binomial coefficients, the exponent tables and the
+    ``0 ** 0`` guard masks — as device-resident tensors, staged **once** under
+    an expected-transfer boundary.  Hot loops (dynamics stepping) then call
+    ``binomial_pmf_tensor(..., plan=plan)`` with zero per-call host
+    transfers and zero host synchronisations, which also keeps the body
+    traceable by graph compilers.
+    """
+
+    backend: Any
+    trials: np.ndarray
+    """Host ``(B,)`` trial counts the plan was built for."""
+    n_max: int
+    one: Any
+    """Device scalar ``1.0``."""
+    j_zero: Any
+    """Device ``(1, 1, J)`` bool mask: ``j == 0``."""
+    rest_zero: Any
+    """Device ``(B, 1, J)`` bool mask: ``n_b - j == 0``."""
+    jf: Any
+    """Device ``(1, 1, J)`` float exponents ``j``."""
+    restf: Any
+    """Device ``(B, 1, J)`` float exponents ``n_b - j`` (clipped at 0)."""
+    coeffs: Any
+    """Device ``(B, 1, J)`` binomial coefficients, zero where ``j > n_b``."""
+
+
+def make_binomial_pmf_plan(
+    n: np.ndarray | int, *, batch_size: int | None = None, backend=None
+) -> BinomialPmfPlan:
+    """Build a :class:`BinomialPmfPlan` for trial counts ``n``.
+
+    ``n`` is a scalar or ``(B,)`` vector exactly as accepted by
+    :func:`binomial_pmf_tensor`; a scalar requires ``batch_size`` to fix the
+    row count.  All combinatorics run on the host (they are staging work) and
+    the resulting tables are uploaded in a single expected-transfer block.
+    """
+    from repro.backend import expected_transfer, from_numpy, resolve_backend
+
+    be = resolve_backend(backend)
+    trials = np.asarray(n, dtype=np.int64)
+    if trials.ndim == 0:
+        if batch_size is None:
+            raise ValueError("a scalar n requires batch_size")
+        trials = np.broadcast_to(trials, (int(batch_size),))
+    trials = np.ascontiguousarray(trials)
+    if trials.ndim != 1:
+        raise ValueError("n must be a scalar or a (B,) vector")
+    if np.any(trials < 0):
+        raise ValueError("n must be non-negative")
+    n_max = int(trials.max(initial=0))
+
+    j = np.arange(n_max + 1, dtype=np.int64)
+    rest = np.clip(trials[:, None] - j[None, :], 0, None)
+    valid = j[None, :] <= trials[:, None]
+    lf = log_factorial(n_max)
+    log_coeffs = lf[trials][:, None] - lf[j][None, :] - lf[rest]
+    coeffs = np.where(valid, np.exp(log_coeffs), 0.0)
+
+    fdt = be.float_dtype
+    with expected_transfer():
+        return BinomialPmfPlan(
+            backend=be,
+            trials=trials,
+            n_max=n_max,
+            one=from_numpy(be, np.asarray(1.0), dtype=fdt),
+            j_zero=from_numpy(be, (j == 0)[None, None, :], dtype=be.bool_dtype),
+            rest_zero=from_numpy(be, (rest == 0)[:, None, :], dtype=be.bool_dtype),
+            jf=from_numpy(be, j.astype(float)[None, None, :], dtype=fdt),
+            restf=from_numpy(be, rest.astype(float)[:, None, :], dtype=fdt),
+            coeffs=from_numpy(be, coeffs[:, None, :], dtype=fdt),
+        )
+
+
 def binomial_pmf_tensor(
-    n: np.ndarray | int, probs: np.ndarray, *, backend=None
+    n: np.ndarray | int,
+    probs: np.ndarray,
+    *,
+    backend=None,
+    plan: BinomialPmfPlan | None = None,
 ) -> np.ndarray:
     """Binomial PMFs for a *batch* of probability rows with per-row trial counts.
 
@@ -177,6 +262,13 @@ def binomial_pmf_tensor(
     backend:
         Backend handle or name; ``None`` uses the active backend (see
         :mod:`repro.backend`).
+    plan:
+        Optional :class:`BinomialPmfPlan` built by
+        :func:`make_binomial_pmf_plan` for the same ``n`` and backend.  With
+        a plan the call performs no host transfers and no host
+        synchronisations: the trial-count validation and the range check on
+        ``probs`` are skipped (the caller vouches for both) and every
+        constant comes from the plan's device tensors.
 
     Returns
     -------
@@ -203,13 +295,30 @@ def binomial_pmf_tensor(
         to_numpy,
     )
 
-    be = resolve_backend(backend)
+    be = resolve_backend(backend) if plan is None else plan.backend
     xp = be.xp
     fdt = be.float_dtype
     native = is_native(be, probs)
     P = asarray_float(be, probs)
     if P.ndim != 2:
         raise ValueError("probs must be a 2-D (B, M) matrix")
+
+    if plan is not None:
+        P = xp.clip(P, 0.0, 1.0)
+        if plan.n_max == 0:
+            out = xp.ones((P.shape[0], P.shape[1], 1), dtype=fdt)
+            return out if native else to_numpy(out)
+        with errstate_ignore(be):
+            p_col = P[:, :, None]  # (B, M, 1)
+            pow_p = xp.where(plan.j_zero, plan.one, p_col**plan.jf)
+            pow_q = xp.where(plan.rest_zero, plan.one, (1.0 - p_col) ** plan.restf)
+        pmf = plan.coeffs * pow_p * pow_q
+        pmf = xp.clip(pmf, 0.0, None)
+        row_sums = xp.sum(pmf, axis=2, keepdims=True)
+        row_sums = xp.where(row_sums > 0, row_sums, xp.ones_like(row_sums))
+        pmf = pmf / row_sums
+        return pmf if native else to_numpy(pmf)
+
     trials = np.broadcast_to(
         np.asarray(n if not hasattr(n, "__array_namespace__") else to_numpy(n), dtype=np.int64),
         (P.shape[0],),

@@ -21,22 +21,23 @@ from repro.core.values import SiteValues
 def backend_params() -> list:
     """Backend roster for suites that re-run under every available backend.
 
-    Always contains ``"numpy"``; ``array_api_strict`` is skip-marked when the
-    strict conformance namespace is not installed (the CI job installs it).
-    The batch test modules build an autouse fixture from this so every
-    property test runs once per backend.
+    Always contains ``"numpy"``; ``array_api_strict`` and ``torch`` are
+    skip-marked when the corresponding namespace is not installed (the CI
+    jobs install one each).  The batch test modules build an autouse fixture
+    from this so every property test runs once per backend.
     """
     installed = available_backends()
     params = ["numpy"]
-    params.append(
-        pytest.param(
-            "array_api_strict",
-            marks=pytest.mark.skipif(
-                "array_api_strict" not in installed,
-                reason="array_api_strict backend not installed",
-            ),
+    for name in ("array_api_strict", "torch"):
+        params.append(
+            pytest.param(
+                name,
+                marks=pytest.mark.skipif(
+                    name not in installed,
+                    reason=f"{name} backend not installed",
+                ),
+            )
         )
-    )
     return params
 
 

@@ -1,0 +1,502 @@
+"""Device-execution tests: transfer accounting, device pinning, zero-transfer
+kernels and compiled stepping.
+
+Three layers are covered:
+
+* the :class:`~repro.backend.TransferStats` counter — crossings recorded at
+  the ``to_numpy`` / ``from_numpy`` seams, the ``expected_transfer`` boundary
+  classification, and collector nesting;
+* device resolution — ``with_device`` / ``resolve_backend(device=...)``
+  semantics per backend, the CLI/runner threading, and the skip-guarded
+  accelerator cases;
+* the device-resident kernel property itself: the simulation, search and
+  dynamics pipelines perform **zero mid-kernel host transfers** on a
+  non-NumPy backend while agreeing elementwise with the NumPy reference.
+  The property is checked both on every installed non-NumPy backend and on a
+  NumPy namespace *masquerading* as a device backend (``is_numpy=False``,
+  no fancy assignment), so the accounting is exercised even where only
+  NumPy is available.
+
+The ``torch.compile`` agreement grid runs only where torch is installed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    BackendNotAvailableError,
+    available_backends,
+    expected_transfer,
+    from_numpy,
+    resolve_backend,
+    scatter_rows,
+    to_numpy,
+    track_transfers,
+    use_backend,
+    with_device,
+)
+from repro.batch import PaddedValues, replicator_batch
+from repro.batch.compiled import clear_graph_cache, compiled_step_for, width_bucket
+from repro.batch.dynamics import (
+    DynamicsEngine,
+    best_response_batch,
+    invasion_batch,
+    logit_batch,
+    make_rule,
+)
+from repro.batch.search import (
+    expected_discovery_time_batch,
+    simulate_search_batch,
+    success_probability_batch,
+)
+from repro.batch.simulation import simulate_dispersal_batch
+from repro.core.policies import PowerLawPolicy, SharingPolicy
+from repro.core.values import SiteValues
+from repro.utils.numerics import binomial_pmf_tensor, make_binomial_pmf_plan
+
+TORCH_MISSING = "torch" not in available_backends()
+
+
+@pytest.fixture
+def fake_device_backend():
+    """A NumPy namespace masquerading as a device backend.
+
+    ``is_numpy=False`` makes the adapter seams count crossings and routes the
+    kernels through their device-resident paths; ``supports_fancy_assignment
+    =False`` additionally exercises the scatter-free code.  Data never
+    actually leaves the host, so results must be bit-compatible with NumPy.
+    """
+    base = resolve_backend("numpy")
+    return dataclasses.replace(
+        base, name="fake-device", is_numpy=False, supports_fancy_assignment=False
+    )
+
+
+def device_backends():
+    """Every genuinely installed non-NumPy backend handle."""
+    return [resolve_backend(n) for n in available_backends() if n != "numpy"]
+
+
+class _DeviceArray:
+    """Minimal non-ndarray array wrapper: ``to_numpy`` must count a crossing."""
+
+    def __init__(self, data):
+        self._data = np.asarray(data)
+
+    def __array__(self, dtype=None, copy=None):
+        return np.asarray(self._data, dtype=dtype)
+
+
+# ---------------------------------------------------------------- accounting
+class TestTransferStats:
+    def test_numpy_seams_are_free(self):
+        be = resolve_backend("numpy")
+        with track_transfers() as stats:
+            arr = from_numpy(be, np.arange(5.0))
+            to_numpy(arr)
+        assert stats.total == 0
+        assert stats.mid_kernel == 0
+
+    def test_fake_device_crossings_are_counted(self, fake_device_backend):
+        be = fake_device_backend
+        with track_transfers() as stats:
+            arr = from_numpy(be, np.arange(5.0))
+            to_numpy(_DeviceArray(arr))
+        assert stats.to_device == 1
+        assert stats.to_host == 1
+        assert stats.mid_kernel == 2
+        assert stats.boundary_to_host == stats.boundary_to_device == 0
+
+    def test_host_materialisation_of_real_ndarrays_is_free(self, fake_device_backend):
+        # ``to_numpy`` of an actual ndarray is a no-op — no crossing happened,
+        # so none is counted (the fake backend's data never left the host).
+        with track_transfers() as stats:
+            to_numpy(np.arange(5.0))
+        assert stats.total == 0
+
+    def test_expected_transfer_classifies_as_boundary(self, fake_device_backend):
+        be = fake_device_backend
+        with track_transfers() as stats:
+            with expected_transfer():
+                arr = from_numpy(be, np.arange(3.0))
+            to_numpy(_DeviceArray(arr))  # mid-kernel: outside the boundary
+        assert stats.boundary_to_device == 1
+        assert stats.to_host == 1
+        assert stats.mid_kernel == 1
+        assert stats.total == 2
+
+    def test_nested_expected_transfer_stays_boundary(self, fake_device_backend):
+        be = fake_device_backend
+        with track_transfers() as stats:
+            with expected_transfer():
+                with expected_transfer():
+                    from_numpy(be, np.arange(3.0))
+                from_numpy(be, np.arange(3.0))
+        assert stats.boundary_to_device == 2
+        assert stats.mid_kernel == 0
+
+    def test_nested_trackers_both_collect(self, fake_device_backend):
+        be = fake_device_backend
+        with track_transfers() as outer:
+            from_numpy(be, np.arange(2.0))
+            with track_transfers() as inner:
+                from_numpy(be, np.arange(2.0))
+        assert inner.to_device == 1
+        assert outer.to_device == 2
+
+    def test_as_dict_round_trip(self, fake_device_backend):
+        with track_transfers() as stats:
+            from_numpy(fake_device_backend, np.arange(2.0))
+        d = stats.as_dict()
+        assert d["to_device"] == 1
+        assert d["mid_kernel"] == 1
+        assert set(d) >= {
+            "to_host",
+            "to_device",
+            "boundary_to_host",
+            "boundary_to_device",
+            "mid_kernel",
+            "total",
+        }
+
+
+# ---------------------------------------------------------------- resolution
+class TestDeviceResolution:
+    def test_cpu_is_identity_on_numpy(self):
+        base = resolve_backend("numpy")
+        assert with_device(base, "cpu") is base
+        assert with_device(base, None) is base
+        assert with_device(base, "default") is base
+        assert resolve_backend("numpy", device="cpu").name == "numpy"
+
+    @pytest.mark.parametrize("device", ["cuda", "mps", "tpu"])
+    def test_accelerators_rejected_on_host_backends(self, device):
+        base = resolve_backend("numpy")
+        with pytest.raises(BackendNotAvailableError):
+            with_device(base, device)
+
+    def test_pinned_backend_is_usable(self):
+        pinned = resolve_backend("numpy", device="cpu")
+        with use_backend(pinned):
+            assert resolve_backend(None).name == "numpy"
+
+    def test_runner_threads_device_into_metadata(self):
+        from repro.experiments import ExperimentSpec, run_experiment
+
+        spec = ExperimentSpec(
+            name="probe",
+            description="device plumbing probe",
+            task=lambda params, rng: {"x": float(rng.random())},
+            grid=({"i": 0}, {"i": 1}),
+            seed=5,
+        )
+        result = run_experiment(spec, device="cpu")
+        assert result.metadata["runtime"]["device"] == "cpu"
+        assert result.metadata["runtime"]["backend"] == "default"
+        default = run_experiment(spec)
+        assert default.metadata["runtime"]["device"] == "default"
+        assert [r["x"] for r in result.rows] == [r["x"] for r in default.rows]
+
+    def test_spec_with_device(self):
+        from repro.experiments import ExperimentSpec
+
+        spec = ExperimentSpec(
+            name="probe",
+            description="",
+            task=lambda params, rng: None,
+            grid=({},),
+            seed=0,
+        )
+        assert spec.device is None
+        assert spec.with_device("cuda").device == "cuda"
+
+    def test_cli_rejects_unavailable_device(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["sweep", "--m", "4", "--policy", "sharing", "--device", "cuda"])
+
+    @pytest.mark.skipif(TORCH_MISSING, reason="torch backend not installed")
+    def test_torch_cpu_pinning(self):
+        import torch
+
+        pinned = with_device(resolve_backend("torch"), "cpu")
+        assert pinned.device == torch.device("cpu")
+        with pytest.raises(BackendNotAvailableError):
+            with_device(resolve_backend("torch"), "nonsense")
+        if not torch.cuda.is_available():
+            with pytest.raises(BackendNotAvailableError):
+                with_device(resolve_backend("torch"), "cuda")
+
+
+# ----------------------------------------------------------- scatter purity
+class TestScatterRowsPurity:
+    def test_standard_path_moves_only_the_index_vector(self, fake_device_backend):
+        be = fake_device_backend
+        dest_host = np.arange(12.0).reshape(4, 3)
+        src_host = -np.arange(6.0).reshape(2, 3)
+        rows = np.array([1, 3])
+        with expected_transfer():
+            dest = from_numpy(be, dest_host.copy())
+            src = from_numpy(be, src_host.copy())
+        with track_transfers() as stats:
+            out = scatter_rows(be, dest, rows, src)
+        # One small index upload; the array payload never crosses.
+        assert stats.to_host == 0
+        assert stats.to_device == 1
+        expected = dest_host.copy()
+        expected[rows] = src_host
+        np.testing.assert_array_equal(to_numpy(out), expected)
+
+    def test_fancy_path_is_in_place(self):
+        be = resolve_backend("numpy")
+        dest = np.arange(12.0).reshape(4, 3)
+        out = scatter_rows(be, dest, np.array([0]), np.full((1, 3), 7.0))
+        assert out is dest
+        np.testing.assert_array_equal(dest[0], 7.0)
+
+
+# --------------------------------------------------------------- pmf plans
+class TestBinomialPmfPlan:
+    def test_plan_matches_plan_free_bit_for_bit(self):
+        rng = np.random.default_rng(11)
+        n = np.array([3, 0, 7, 5])
+        P = rng.random((4, 6))
+        plan = make_binomial_pmf_plan(n, backend="numpy")
+        assert np.array_equal(
+            binomial_pmf_tensor(n, P, backend="numpy", plan=plan),
+            binomial_pmf_tensor(n, P, backend="numpy"),
+        )
+
+    def test_scalar_n_requires_batch_size(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            make_binomial_pmf_plan(3, backend="numpy")
+        plan = make_binomial_pmf_plan(3, batch_size=2, backend="numpy")
+        assert plan.trials.tolist() == [3, 3]
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            make_binomial_pmf_plan(np.array([2, -1]), backend="numpy")
+
+    def test_plan_calls_make_no_transfers(self, fake_device_backend):
+        be = fake_device_backend
+        n = np.array([4, 2, 6])
+        plan = make_binomial_pmf_plan(n, backend=be)
+        with expected_transfer():
+            P = from_numpy(be, np.random.default_rng(0).random((3, 5)))
+        with track_transfers() as stats:
+            pmf = binomial_pmf_tensor(n, P, backend=be, plan=plan)
+        assert stats.total == 0
+        with expected_transfer():
+            host = to_numpy(pmf)
+        assert np.array_equal(host, binomial_pmf_tensor(n, to_numpy(P), backend="numpy"))
+
+
+# --------------------------------------------------- zero-transfer pipelines
+def _zero_transfer_backends():
+    """The fake backend plus every installed non-NumPy backend."""
+    params = ["fake"]
+    for name in available_backends():
+        if name != "numpy":
+            params.append(name)
+    return params
+
+
+@pytest.fixture(params=_zero_transfer_backends())
+def kernel_backend(request, fake_device_backend):
+    if request.param == "fake":
+        return fake_device_backend
+    return resolve_backend(request.param)
+
+
+class TestZeroTransferKernels:
+    """simulation / search / dynamics run without mid-kernel host crossings."""
+
+    def test_simulation(self, kernel_backend):
+        rng = np.random.default_rng(31)
+        instances = [SiteValues.random(int(m), rng) for m in (4, 7, 3, 9)]
+        padded = PaddedValues.from_instances(instances)
+        strategies = [
+            (lambda w: w / w.sum())(rng.random(int(s))) for s in padded.sizes
+        ]
+        ks = np.array([3, 2, 5, 4])
+        policy = SharingPolicy()
+        ref = simulate_dispersal_batch(
+            padded, strategies, ks, policy, 150, 9, backend="numpy"
+        )
+        with track_transfers() as stats:
+            got = simulate_dispersal_batch(
+                padded, strategies, ks, policy, 150, 9, backend=kernel_backend
+            )
+        assert stats.mid_kernel == 0, stats.as_dict()
+        assert stats.boundary_to_device > 0  # staging really crossed the seam
+        np.testing.assert_allclose(
+            got.coverage_means, ref.coverage_means, rtol=1e-9, atol=1e-12
+        )
+        np.testing.assert_array_equal(
+            got.occupancy_histograms, ref.occupancy_histograms
+        )
+
+    def test_search(self, kernel_backend):
+        rng = np.random.default_rng(32)
+        sizes = (3, 6, 4, 8)
+        priors = [(lambda w: w / w.sum())(rng.random(s)) for s in sizes]
+        strategies = [(lambda w: w / w.sum())(rng.random(s)) for s in sizes]
+        ks = np.array([1, 3, 2, 4])
+        with track_transfers() as stats:
+            success = success_probability_batch(
+                priors, strategies, ks, backend=kernel_backend
+            )
+            expected = expected_discovery_time_batch(
+                priors, strategies, ks, backend=kernel_backend
+            )
+            sim = simulate_search_batch(
+                priors, strategies, ks, 64, rng=4, backend=kernel_backend
+            )
+        assert stats.mid_kernel == 0, stats.as_dict()
+        np.testing.assert_allclose(
+            success,
+            success_probability_batch(priors, strategies, ks, backend="numpy"),
+            rtol=1e-9,
+        )
+        np.testing.assert_allclose(
+            expected,
+            expected_discovery_time_batch(priors, strategies, ks, backend="numpy"),
+            rtol=1e-9,
+        )
+        ref = simulate_search_batch(priors, strategies, ks, 64, rng=4, backend="numpy")
+        np.testing.assert_array_equal(sim.rounds, ref.rounds)
+
+    @pytest.mark.parametrize("rule_name", ["discrete", "euler", "logit", "best-response"])
+    def test_dynamics(self, kernel_backend, rule_name):
+        rng = np.random.default_rng(33)
+        instances = [SiteValues.random(int(m), rng) for m in (4, 6, 3)]
+        padded = PaddedValues.from_instances(instances)
+        ks = np.array([3, 2, 4])
+        policy = PowerLawPolicy(0.8)
+
+        def run(backend):
+            engine = DynamicsEngine(
+                padded,
+                ks,
+                policy,
+                make_rule(rule_name),
+                max_iter=120,
+                tol=1e-12,
+                record_every=40,
+                backend=backend,
+            )
+            return engine.run()
+
+        ref = run("numpy")
+        with track_transfers() as stats:
+            got = run(kernel_backend)
+        assert stats.mid_kernel == 0, stats.as_dict()
+        np.testing.assert_allclose(got.states, ref.states, rtol=1e-9, atol=1e-12)
+        assert np.array_equal(got.converged, ref.converged)
+        assert np.array_equal(got.iterations, ref.iterations)
+        np.testing.assert_allclose(got.records, ref.records, rtol=1e-9, atol=1e-12)
+
+    def test_invasion(self, kernel_backend):
+        rng = np.random.default_rng(34)
+        instances = [SiteValues.random(int(m), rng) for m in (4, 5)]
+        padded = PaddedValues.from_instances(instances)
+        width = padded.width
+        residents = np.zeros((2, width))
+        mutants = np.zeros((2, width))
+        residents[:, 0] = 1.0
+        mutants[:, 1] = 1.0
+        ks = np.array([3, 2])
+        policy = SharingPolicy()
+        ref = invasion_batch(
+            padded, residents, mutants, ks, policy, max_iter=150, backend="numpy"
+        )
+        with track_transfers() as stats:
+            got = invasion_batch(
+                padded, residents, mutants, ks, policy, max_iter=150,
+                backend=kernel_backend,
+            )
+        assert stats.mid_kernel == 0, stats.as_dict()
+        np.testing.assert_allclose(got.states, ref.states, rtol=1e-9, atol=1e-12)
+        assert np.array_equal(got.iterations, ref.iterations)
+
+
+# ----------------------------------------------------------------- compiled
+class TestCompiledStepping:
+    def test_width_bucket(self):
+        assert [width_bucket(w) for w in (1, 2, 3, 4, 5, 12, 16, 17)] == [
+            1, 2, 4, 4, 8, 16, 16, 32,
+        ]
+
+    def test_no_compilation_off_torch(self, fake_device_backend):
+        engine = DynamicsEngine(
+            [[1.0, 0.5]], 2, SharingPolicy(), make_rule("logit"),
+            max_iter=5, backend="numpy", compile=True,
+        )
+        assert engine._compiled_step is None
+        engine = DynamicsEngine(
+            [[1.0, 0.5]], 2, SharingPolicy(), make_rule("logit"),
+            max_iter=5, backend=fake_device_backend, compile=True,
+        )
+        assert engine._compiled_step is None
+
+    def test_compile_flag_is_safe_on_numpy(self):
+        values = [[1.0, 0.6, 0.3], [0.9, 0.4]]
+        ref = replicator_batch(values, 3, SharingPolicy(), max_iter=80, backend="numpy")
+        got = replicator_batch(
+            values, 3, SharingPolicy(), max_iter=80, backend="numpy", compile=True
+        )
+        np.testing.assert_array_equal(got.states, ref.states)
+
+    @pytest.mark.skipif(TORCH_MISSING, reason="torch backend not installed")
+    @pytest.mark.parametrize(
+        "rule_name", ["discrete", "euler", "logit", "best-response"]
+    )
+    def test_compiled_agrees_with_eager(self, rule_name):
+        rng = np.random.default_rng(35)
+        instances = [SiteValues.random(int(m), rng) for m in (4, 9, 6, 3, 11)]
+        padded = PaddedValues.from_instances(instances)
+        ks = np.array([2, 5, 3, 4, 2])
+        policy = PowerLawPolicy(0.7)
+
+        def run(compile_flag):
+            engine = DynamicsEngine(
+                padded,
+                ks,
+                policy,
+                make_rule(rule_name),
+                max_iter=150,
+                tol=1e-12,
+                record_every=50,
+                backend="torch",
+                compile=compile_flag,
+            )
+            return engine.run()
+
+        eager = run(False)
+        compiled = run(True)
+        np.testing.assert_allclose(
+            compiled.states, eager.states, rtol=1e-9, atol=1e-10
+        )
+        assert np.array_equal(compiled.converged, eager.converged)
+        assert np.array_equal(compiled.iterations, eager.iterations)
+
+    @pytest.mark.skipif(TORCH_MISSING, reason="torch backend not installed")
+    def test_graph_cache_reuse(self):
+        clear_graph_cache()
+        policy = SharingPolicy()
+        first = DynamicsEngine(
+            [[1.0, 0.5, 0.2]], 3, policy, make_rule("logit"),
+            max_iter=5, backend="torch", compile=True,
+        )
+        second = DynamicsEngine(
+            [[0.8, 0.4, 0.1, 0.05]], 3, policy, make_rule("logit"),
+            max_iter=5, backend="torch", compile=True,
+        )
+        # widths 3 and 4 share the bucket-4 graph
+        assert first._compiled_step is not None
+        assert first._compiled_step is second._compiled_step

@@ -112,6 +112,23 @@ def test_serving_guide_documents_every_endpoint_and_cli_flag():
         assert flag in text, f"serving.md does not document {flag}"
 
 
+def test_device_guide_documents_the_residency_contract():
+    text = (DOCS / "device.md").read_text()
+    # The transfer-accounting API and the gate it enforces.
+    for symbol in ("track_transfers", "expected_transfer", "mid_kernel"):
+        assert symbol in text, f"device.md does not document {symbol}"
+    # Device selection surfaces: keyword, CLI flag and environment variable.
+    from repro.backend import DEVICE_ENV_VAR
+
+    assert "--device" in text
+    assert DEVICE_ENV_VAR in text
+    # The compiled stepping path and the benchmark artifact it is gated by.
+    assert "compile=True" in text
+    assert "torch.compile" in text
+    assert "BENCH_device.json" in text
+    assert "mermaid" in text, "device.md must include the architecture diagram"
+
+
 def test_examples_gallery_documents_every_example_script():
     text = (DOCS / "examples.md").read_text()
     for script in sorted((REPO / "examples").glob("*.py")):

@@ -1,0 +1,193 @@
+"""Special-case conformance tests for the batched kernels.
+
+Modelled on the array-api test suite's special-case files: each test pins an
+edge of the numerical contract — infinities, single-trial statistics,
+degenerate supports and ``k = 1`` closed forms — rather than a property over
+random inputs.  The whole module runs once per available backend (numpy
+always; ``array_api_strict`` / ``torch`` when installed) through the autouse
+``array_backend`` fixture, and every kernel call must complete **without
+emitting warnings**: where-masked arithmetic, not warning suppression, is
+the required implementation technique.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from conftest import backend_params
+from repro.backend import use_backend
+from repro.batch import PaddedValues, replicator_batch
+from repro.batch.search import (
+    expected_discovery_time_batch,
+    simulate_search_batch,
+    success_probability_batch,
+)
+from repro.batch.simulation import simulate_dispersal_batch
+from repro.core.policies import SharingPolicy
+from repro.core.values import SiteValues
+
+
+@pytest.fixture(autouse=True, params=backend_params())
+def array_backend(request):
+    """Re-run every special-case test under each available backend."""
+    with use_backend(request.param):
+        yield request.param
+
+
+@pytest.fixture(autouse=True)
+def warnings_are_errors():
+    """Every special case must be handled by masking, not by warning."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        yield
+
+
+class TestInfiniteDiscoveryTimes:
+    """Rows whose treasure can sit in a never-searched box take forever."""
+
+    priors = [[0.5, 0.5], [0.5, 0.5], [1.0, 0.0]]
+    strategies = [[1.0, 0.0], [0.6, 0.4], [0.0, 1.0]]
+    ks = np.array([2, 2, 1])
+
+    def test_unsearched_positive_prior_is_inf(self):
+        expected = expected_discovery_time_batch(self.priors, self.strategies, self.ks)
+        assert np.isinf(expected[0])  # box 1 has prior mass but is never searched
+        assert np.isfinite(expected[1])
+        assert np.isinf(expected[2])  # the only possible box is never searched
+
+    def test_zero_prior_boxes_do_not_poison_finite_rows(self):
+        # Row: the *unsearched* box has zero prior, so the search always ends.
+        expected = expected_discovery_time_batch(
+            [[1.0, 0.0]], [[1.0, 0.0]], np.array([1])
+        )
+        assert expected[0] == pytest.approx(1.0)
+
+    def test_success_probability_of_hopeless_rows_is_partial(self):
+        success = success_probability_batch(self.priors, self.strategies, self.ks)
+        # Row 0 finds the treasure only when it is in box 0: probability 1/2.
+        assert success[0] == pytest.approx(0.5)
+        assert success[2] == pytest.approx(0.0)
+
+    def test_simulation_censors_hopeless_rows(self):
+        sim = simulate_search_batch(
+            self.priors, self.strategies, self.ks, 32, max_rounds=10, rng=5
+        )
+        # Row 2 can never succeed: every trial is censored at max_rounds + 1.
+        assert np.all(sim.rounds[2] == 11)
+        assert sim.success_rates[2] == 0.0
+        assert np.isnan(sim.mean_rounds_when_found[2])
+
+
+class TestSingleTrialStatistics:
+    """``n_trials == 1`` leaves the mean defined and every SEM ``nan``."""
+
+    def test_sems_are_nan_means_are_exact(self):
+        rng = np.random.default_rng(6)
+        instances = [SiteValues.random(m, rng) for m in (3, 5)]
+        padded = PaddedValues.from_instances(instances)
+        strategies = [
+            (lambda w: w / w.sum())(rng.random(int(s))) for s in padded.sizes
+        ]
+        result = simulate_dispersal_batch(
+            padded, strategies, [2, 3], SharingPolicy(), 1, 7
+        )
+        assert np.all(np.isnan(result.coverage_sems))
+        assert np.all(np.isnan(result.payoff_sems))
+        assert np.all(np.isfinite(result.coverage_means))
+        reference = simulate_dispersal_batch(
+            padded, strategies, [2, 3], SharingPolicy(), 1, 7, backend="numpy"
+        )
+        np.testing.assert_allclose(
+            result.coverage_means, reference.coverage_means, rtol=1e-9, atol=1e-12
+        )
+
+
+class TestDegenerateSupports:
+    """Single-site rows and zero-padded columns behave like their scalar limits."""
+
+    def test_single_site_rows(self):
+        # A one-site instance: everyone sits on the site, coverage is its value.
+        padded = PaddedValues.from_instances(
+            [SiteValues.from_values([2.0]), SiteValues.from_values([1.0, 0.5, 0.25])]
+        )
+        strategies = [np.array([1.0]), np.array([0.5, 0.3, 0.2])]
+        result = simulate_dispersal_batch(
+            padded, strategies, [3, 2], SharingPolicy(), 50, 11
+        )
+        assert np.all(result.coverage_means[0] == pytest.approx(2.0))
+        assert result.collision_rates[0] == pytest.approx(1.0)
+
+    def test_zero_probability_sites_never_drawn(self):
+        padded = PaddedValues.from_instances([SiteValues.from_values([1.0, 0.5, 0.25])])
+        strategies = [np.array([0.5, 0.0, 0.5])]
+        result = simulate_dispersal_batch(
+            padded, strategies, [4], SharingPolicy(), 200, 13
+        )
+        assert result.site_visit_frequencies[0, 1] == 0.0
+
+    def test_padding_columns_stay_empty(self):
+        padded = PaddedValues.from_instances(
+            [SiteValues.from_values([1.0]), SiteValues.from_values([1.0, 0.5, 0.25, 0.125])]
+        )
+        strategies = [np.array([1.0]), np.array([0.4, 0.3, 0.2, 0.1])]
+        result = simulate_dispersal_batch(
+            padded, strategies, [2, 2], SharingPolicy(), 100, 17
+        )
+        assert np.all(result.site_visit_frequencies[0, 1:] == 0.0)
+
+    def test_dynamics_on_single_site_rows(self):
+        result = replicator_batch(
+            [[1.0], [1.0, 0.4]], 2, SharingPolicy(), max_iter=50, record_every=10
+        )
+        # One site: the state is pinned at 1 and converges immediately.
+        assert result.states[0, 0] == pytest.approx(1.0)
+        assert bool(result.converged[0])
+
+
+class TestKEqualsOneClosedForms:
+    """With a single searcher the batched formulas collapse to inner products."""
+
+    priors = [[0.5, 0.3, 0.2], [0.7, 0.2, 0.1]]
+    strategies = [[0.6, 0.3, 0.1], [0.25, 0.5, 0.25]]
+
+    def test_success_probability_is_q_dot_p(self):
+        q = np.asarray(self.priors)
+        p = np.asarray(self.strategies)
+        success = success_probability_batch(self.priors, self.strategies, 1)
+        np.testing.assert_allclose(success, np.sum(q * p, axis=1), rtol=1e-12)
+
+    def test_expected_discovery_is_sum_q_over_p(self):
+        q = np.asarray(self.priors)
+        p = np.asarray(self.strategies)
+        expected = expected_discovery_time_batch(self.priors, self.strategies, 1)
+        np.testing.assert_allclose(expected, np.sum(q / p, axis=1), rtol=1e-12)
+
+    def test_k_one_matches_scalar_reference(self):
+        from repro.core.strategy import Strategy
+        from repro.search.boxes import BayesianSearchProblem
+        from repro.search.simulator import (
+            expected_discovery_time,
+            single_round_success_probability,
+        )
+
+        success = success_probability_batch(self.priors, self.strategies, 1)
+        expected = expected_discovery_time_batch(self.priors, self.strategies, 1)
+        for row, (q, p) in enumerate(zip(self.priors, self.strategies)):
+            problem = BayesianSearchProblem(np.asarray(q))
+            strategy = Strategy(np.asarray(p))
+            assert success[row] == pytest.approx(
+                single_round_success_probability(problem, strategy, 1), rel=1e-12
+            )
+            assert expected[row] == pytest.approx(
+                expected_discovery_time(problem, strategy, 1), rel=1e-12
+            )
+
+    def test_k_one_simulation_merges_with_round_law(self):
+        # With one searcher the per-round success probability is exactly
+        # q·p, so the empirical round-one rate estimates it unbiasedly.
+        sim = simulate_search_batch(self.priors, self.strategies, 1, 4000, rng=19)
+        law = success_probability_batch(self.priors, self.strategies, 1)
+        np.testing.assert_allclose(sim.round_one_success_rates, law, atol=0.05)
