@@ -1,0 +1,184 @@
+"""Smoke benchmark: sweep-fabric scaling and warm-resume overhead, as JSON.
+
+Runs without pytest (plain script, stdlib + NumPy only) so CI can execute it
+as a standalone job::
+
+    PYTHONPATH=src python benchmarks/bench_sweep.py --output BENCH_sweep.json
+
+Two properties of the executor/store fabric are timed on the registered
+``dynamics`` experiment (a serial-dominated grid: every task steps a batched
+dynamics engine to convergence):
+
+* **parallel scaling** — the same spec through the ``process`` executor at
+  ``min(4, available_cpus())`` workers vs the serial executor; the gate is
+  scaling *efficiency* (speedup / workers), so the bar adapts to however
+  many CPUs the runner actually has;
+* **warm resume** — a cold run writing every cell into a fresh
+  :class:`~repro.experiments.store.ExperimentStore` vs an immediate re-run
+  against the same store (every cell a hit, nothing recomputed).
+
+Both comparisons assert bit-identical ``to_dict(timing=False)`` artifacts
+before reporting a number (the artifact can never report a fast wrong
+answer).  The script exits non-zero when scaling efficiency falls below
+``--min-efficiency`` (default 0.7) or the warm-resume speedup falls below
+``--min-resume-speedup`` (default 20x) — the acceptance bars the sweep
+fabric was built against, enforced as CI gates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.analysis.sweeps import build_dynamics_spec
+from repro.experiments import ExperimentStore, run_experiment
+from repro.utils.envinfo import available_cpus, environment_metadata
+
+SEED = 20180503
+
+#: The (family x M x k x init) grid of the benchmark spec: 54 trajectories
+#: in small chunks, so every worker count up to 4 gets >= 2 chunks each.
+GRID = dict(
+    families=("uniform", "zipf", "geometric"),
+    m_values=(8, 12),
+    k_values=(2, 3, 5),
+    inits=("uniform", "proportional", "random"),
+    batch_rows=4,
+)
+
+
+def build_spec():
+    return build_dynamics_spec(seed=SEED, **GRID)
+
+
+def timed(fn, repeats: int) -> tuple[float, object]:
+    """Best-of-``repeats`` wall time plus the (identical) last return value."""
+    best, value = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def bench_scaling(workers: int, repeats: int) -> dict:
+    spec = build_spec()
+    serial_seconds, serial = timed(
+        lambda: run_experiment(spec, executor="serial"), repeats
+    )
+    parallel_seconds, parallel = timed(
+        lambda: run_experiment(spec, max_workers=workers, executor="process"), repeats
+    )
+    if serial.to_json(timing=False) != parallel.to_json(timing=False):
+        raise AssertionError("parallel run is not bit-identical to serial")
+    speedup = serial_seconds / parallel_seconds
+    return {
+        "grid": {**{k: list(v) for k, v in GRID.items() if k != "batch_rows"},
+                 "batch_rows": GRID["batch_rows"], "n_tasks": spec.n_tasks},
+        "workers": workers,
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": speedup,
+        "efficiency": speedup / workers,
+    }
+
+
+def bench_resume(repeats: int) -> dict:
+    spec = build_spec()
+    baseline = run_experiment(spec, executor="serial")
+    cold_best, warm_best = float("inf"), float("inf")
+    hits = misses = 0
+    for _ in range(repeats):
+        with tempfile.TemporaryDirectory() as root:
+            store = ExperimentStore(root)
+            start = time.perf_counter()
+            cold = run_experiment(spec, executor="serial", store=store)
+            cold_best = min(cold_best, time.perf_counter() - start)
+            start = time.perf_counter()
+            warm = run_experiment(spec, executor="serial", store=store)
+            warm_best = min(warm_best, time.perf_counter() - start)
+            hits = warm.metadata["runtime"]["store"]["hits"]
+            misses = cold.metadata["runtime"]["store"]["misses"]
+            for result, label in ((cold, "cold"), (warm, "warm")):
+                if result.to_json(timing=False) != baseline.to_json(timing=False):
+                    raise AssertionError(f"{label} store run is not bit-identical")
+    if hits != spec.n_tasks or misses != spec.n_tasks:
+        raise AssertionError(
+            f"expected {spec.n_tasks} misses then hits, got {misses}/{hits}"
+        )
+    return {
+        "n_tasks": spec.n_tasks,
+        "cold_seconds": cold_best,
+        "warm_seconds": warm_best,
+        "speedup": cold_best / warm_best,
+        "warm_hits": hits,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", type=Path, default=Path("BENCH_sweep.json"))
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument(
+        "--min-efficiency",
+        type=float,
+        default=0.7,
+        help="Fail when parallel speedup / workers drops below this.",
+    )
+    parser.add_argument(
+        "--min-resume-speedup",
+        type=float,
+        default=20.0,
+        help="Fail when a fully cached re-run is not at least this much faster.",
+    )
+    args = parser.parse_args(argv)
+
+    workers = min(4, available_cpus())
+    scaling = bench_scaling(workers, args.repeats)
+    resume = bench_resume(args.repeats)
+
+    report = {
+        "benchmark": "sweep fabric: executor scaling and warm resume",
+        "environment": environment_metadata(),
+        "min_efficiency_required": args.min_efficiency,
+        "min_resume_speedup_required": args.min_resume_speedup,
+        "scaling": scaling,
+        "resume": resume,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+
+    failed = False
+    print(
+        f"scaling: serial {scaling['serial_seconds']:.2f} s, "
+        f"process@{workers} {scaling['parallel_seconds']:.2f} s -> "
+        f"{scaling['speedup']:.2f}x ({scaling['efficiency']:.2f} efficiency)"
+    )
+    if scaling["efficiency"] < args.min_efficiency:
+        print(
+            f"FAIL: scaling efficiency {scaling['efficiency']:.2f} below "
+            f"required {args.min_efficiency:.2f}",
+            file=sys.stderr,
+        )
+        failed = True
+    print(
+        f"resume: cold {resume['cold_seconds']:.2f} s, "
+        f"warm {resume['warm_seconds'] * 1e3:.1f} ms -> {resume['speedup']:.0f}x "
+        f"({resume['warm_hits']} cells from the store)"
+    )
+    if resume["speedup"] < args.min_resume_speedup:
+        print(
+            f"FAIL: warm-resume speedup {resume['speedup']:.0f}x below "
+            f"required {args.min_resume_speedup:.0f}x",
+            file=sys.stderr,
+        )
+        failed = True
+    print(f"artifact written to {args.output}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -48,7 +48,7 @@ from repro.core.policies import (
     SharingPolicy,
 )
 from repro.experiments.registry import register_experiment
-from repro.experiments.runner import chunk_grid
+from repro.experiments.runner import chunk_grid, resolve_batch_rows
 from repro.experiments.spec import ExperimentSpec
 from repro.utils.validation import check_positive_integer
 
@@ -180,7 +180,7 @@ def build_travel_costs_spec(
     m_values: Sequence[int] = (6, 12),
     k_values: Sequence[int] = (2, 4, 8),
     cost_scales: Sequence[float] = (0.0, 0.1, 0.3),
-    batch_rows: int = 64,
+    batch_rows: int | None = None,
     seed: int = 0,
 ) -> ExperimentSpec:
     """Spec builder of the ``travel-costs`` experiment.
@@ -198,9 +198,10 @@ def build_travel_costs_spec(
         for k in k_values
         for scale in cost_scales
     ]
+    batch_rows = resolve_batch_rows(batch_rows, len(cells))
     grid = [
         {"policy": resolved, "cells": chunk}
-        for chunk in chunk_grid(cells, check_positive_integer(batch_rows, "batch_rows"))
+        for chunk in chunk_grid(cells, batch_rows)
     ]
     return ExperimentSpec(
         name="travel-costs",
@@ -296,7 +297,7 @@ def build_group_competition_spec(
     m_values: Sequence[int] = (8, 16),
     k: int = 6,
     k_second: int | None = None,
-    batch_rows: int = 64,
+    batch_rows: int | None = None,
     seed: int = 0,
 ) -> ExperimentSpec:
     """Spec builder of the ``group-competition`` experiment.
@@ -318,9 +319,10 @@ def build_group_competition_spec(
         for family in families
         for m in m_values
     ]
+    batch_rows = resolve_batch_rows(batch_rows, len(cells))
     grid = [
         {"cells": chunk, "k_first": int(k), "k_second": int(k_second)}
-        for chunk in chunk_grid(cells, check_positive_integer(batch_rows, "batch_rows"))
+        for chunk in chunk_grid(cells, batch_rows)
     ]
     return ExperimentSpec(
         name="group-competition",
@@ -406,7 +408,7 @@ def build_repeated_spec(
     k_values: Sequence[int] = (3, 6),
     depletions: Sequence[float] = (0.0, 0.25, 0.5),
     rounds: int = 6,
-    batch_rows: int = 64,
+    batch_rows: int | None = None,
     seed: int = 0,
 ) -> ExperimentSpec:
     """Spec builder of the ``repeated`` experiment.
@@ -429,9 +431,11 @@ def build_repeated_spec(
             for d in depletions
         ]
         n_cells += len(cells)
+        # Same cell count per schedule, so the resolved value is loop-stable.
+        batch_rows = resolve_batch_rows(batch_rows, len(cells))
         grid.extend(
             {"schedule": str(schedule), "rounds": int(rounds), "cells": chunk}
-            for chunk in chunk_grid(cells, check_positive_integer(batch_rows, "batch_rows"))
+            for chunk in chunk_grid(cells, batch_rows)
         )
     return ExperimentSpec(
         name="repeated",

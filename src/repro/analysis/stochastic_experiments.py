@@ -42,7 +42,7 @@ from repro.batch import (
 )
 from repro.batch.search import as_prior_batch, as_search_strategy_batch
 from repro.experiments.registry import register_experiment
-from repro.experiments.runner import chunk_grid
+from repro.experiments.runner import chunk_grid, resolve_batch_rows
 from repro.experiments.spec import ExperimentSpec
 from repro.search.boxes import BayesianSearchProblem
 from repro.search.strategies import (
@@ -165,7 +165,7 @@ def build_search_spec(
     k_values: Sequence[int] = (2, 4, 8),
     n_trials: int = 600,
     max_rounds: int = 400,
-    batch_rows: int = 64,
+    batch_rows: int | None = None,
     seed: int = 0,
 ) -> ExperimentSpec:
     """Spec builder of the ``search`` experiment.
@@ -186,6 +186,7 @@ def build_search_spec(
         for m in m_values
         for k in k_values
     ]
+    batch_rows = resolve_batch_rows(batch_rows, len(cells))
     grid = [
         {
             "cells": chunk,
@@ -193,7 +194,7 @@ def build_search_spec(
             "n_trials": check_positive_integer(n_trials, "n_trials"),
             "max_rounds": check_positive_integer(max_rounds, "max_rounds"),
         }
-        for chunk in chunk_grid(cells, check_positive_integer(batch_rows, "batch_rows"))
+        for chunk in chunk_grid(cells, batch_rows)
     ]
     return ExperimentSpec(
         name="search",
@@ -332,7 +333,7 @@ def build_mechanism_spec(
     families: Sequence[str] = ("zipf", "uniform", "geometric"),
     m_values: Sequence[int] = (6, 12),
     k_values: Sequence[int] = (2, 4, 8),
-    batch_rows: int = 64,
+    batch_rows: int | None = None,
     seed: int = 0,
 ) -> ExperimentSpec:
     """Spec builder of the ``mechanism`` experiment.
@@ -350,9 +351,10 @@ def build_mechanism_spec(
         for m in m_values
         for k in k_values
     ]
+    batch_rows = resolve_batch_rows(batch_rows, len(cells))
     grid = [
         {"cells": chunk, "policies": tuple(roster), "design_policy": str(design_policy)}
-        for chunk in chunk_grid(cells, check_positive_integer(batch_rows, "batch_rows"))
+        for chunk in chunk_grid(cells, batch_rows)
     ]
     return ExperimentSpec(
         name="mechanism",

@@ -44,7 +44,7 @@ from repro.core.strategy import Strategy
 from repro.core.values import SiteValues
 from repro.analysis.observation1 import make_family
 from repro.experiments.registry import register_experiment
-from repro.experiments.runner import chunk_grid
+from repro.experiments.runner import chunk_grid, resolve_batch_rows
 from repro.experiments.spec import ExperimentSpec
 from repro.utils.validation import check_positive_integer
 
@@ -294,7 +294,7 @@ def build_dynamics_spec(
     m_values: Sequence[int] = (6, 12),
     k_values: Sequence[int] = (2, 3, 5),
     inits: Sequence[str] = ("uniform", "proportional", "random"),
-    batch_rows: int = 64,
+    batch_rows: int | None = None,
     max_iter: int = 20_000,
     tol: float = 1e-10,
     seed: int = 0,
@@ -302,9 +302,13 @@ def build_dynamics_spec(
     """Spec builder of the ``dynamics`` experiment.
 
     The full ``(family x M x k x init)`` grid is flattened into rows and
-    chunked into one task per ``batch_rows`` rows, so the process-pool runner
+    chunked into one task per ``batch_rows`` rows, so a parallel runner
     parallelises across chunks while each task amortises the batched payoff
-    kernel over its whole chunk.
+    kernel over its whole chunk.  ``batch_rows=None`` (the default)
+    auto-tunes the chunk size from the grid length and the machine's CPU
+    count (:func:`~repro.experiments.runner.auto_chunk_size`); pass the
+    resolved value recorded in the result metadata to pin the chunking —
+    and bit-identical results — across machines.
     """
     if policy is None:
         policy = SharingPolicy()
@@ -316,6 +320,7 @@ def build_dynamics_spec(
         for k in k_values
         for init in inits
     ]
+    batch_rows = resolve_batch_rows(batch_rows, len(cells))
     grid = [
         {
             "rule": str(rule),
@@ -324,7 +329,7 @@ def build_dynamics_spec(
             "max_iter": int(max_iter),
             "tol": float(tol),
         }
-        for chunk in chunk_grid(cells, check_positive_integer(batch_rows, "batch_rows"))
+        for chunk in chunk_grid(cells, batch_rows)
     ]
     return ExperimentSpec(
         name="dynamics",
@@ -353,7 +358,7 @@ def dynamics_grid(
     m_values: Sequence[int] = (6, 12),
     k_values: Sequence[int] = (2, 3, 5),
     inits: Sequence[str] = ("uniform", "proportional", "random"),
-    batch_rows: int = 64,
+    batch_rows: int | None = None,
     max_iter: int = 20_000,
     tol: float = 1e-10,
     seed: int = 0,

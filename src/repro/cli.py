@@ -14,6 +14,7 @@ Usage (after ``pip install -e .``)::
     repro-dispersal search [--trials 600] [--strategies sigma_star uniform]
     repro-dispersal mechanism [--policies exclusive sharing] [--design-policy sharing]
     repro-dispersal serve [--host 127.0.0.1] [--port 8080] [--max-batch 64]
+    repro-dispersal worker --connect HOST:PORT
     repro-dispersal experiments
 
 or equivalently ``python -m repro.cli ...``.  Every sub-command is a thin
@@ -41,6 +42,18 @@ rows.  Three flags are shared by all sub-commands:
     with the torch backend when the accelerator is present — see
     ``repro.backend.with_device``).  Validated eagerly, threaded into worker
     processes by name, and settable globally via ``REPRO_DEVICE``.
+``--executor NAME``
+    Execution strategy (``serial`` / ``process`` / ``async`` /
+    ``distributed`` — see ``repro.experiments.executors``); all strategies
+    produce bit-identical results.  ``distributed`` auto-spawns local
+    workers, or serves external ``repro-dispersal worker`` processes when
+    ``--bind HOST:PORT`` is given.
+``--store DIR`` / ``--resume``
+    Persist every finished grid cell to an incremental content-addressed
+    store as it completes, and skip cells already stored — interrupted
+    sweeps resume where they left off and widened grids only compute the
+    new cells.  ``--resume`` alone uses the default ``.repro-store``
+    directory.
 """
 
 from __future__ import annotations
@@ -77,9 +90,10 @@ from repro.analysis.stochastic_experiments import (
 )
 from repro.analysis.sweeps import assemble_sweep, build_dynamics_spec, build_sweep_spec
 from repro.backend import BackendNotAvailableError, available_backends, resolve_backend
+from repro.experiments.executors import DistributedExecutor, executor_names
 from repro.experiments.registry import experiment_names, get_experiment
 from repro.experiments.result import ExperimentResult
-from repro.experiments.runner import run_experiment
+from repro.experiments.runner import resolve_workers, run_experiment
 from repro.utils.tables import format_table
 
 __all__ = ["main", "build_parser"]
@@ -132,6 +146,40 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "Device the backend places arrays on (default: REPRO_DEVICE or "
             "cpu; cuda/mps need the torch backend plus the accelerator)."
+        ),
+    )
+    common.add_argument(
+        "--executor",
+        default=None,
+        choices=executor_names(),
+        help=(
+            "Execution strategy (default: serial below two --workers, process "
+            "pool otherwise); every strategy is bit-identical."
+        ),
+    )
+    common.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help=(
+            "Incremental experiment store: finished grid cells are persisted "
+            "here as they complete and skipped on re-runs (resume/extend)."
+        ),
+    )
+    common.add_argument(
+        "--resume",
+        action="store_true",
+        help="Shorthand for --store .repro-store (resume into the default store).",
+    )
+    common.add_argument(
+        "--bind",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "With --executor distributed: serve task chunks on this address "
+            "to externally started 'repro-dispersal worker' processes instead "
+            "of auto-spawning local workers."
         ),
     )
 
@@ -197,8 +245,11 @@ def build_parser() -> argparse.ArgumentParser:
     dynamics.add_argument(
         "--batch",
         type=int,
-        default=64,
-        help="Trajectories per engine run (= rows per runner task).",
+        default=None,
+        help=(
+            "Trajectories per engine run (= rows per runner task; default: "
+            "auto-tuned from the grid size and CPU count)."
+        ),
     )
     dynamics.add_argument("--max-iter", type=int, default=20_000, help="Iteration cap per row.")
 
@@ -222,7 +273,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="Cost ceilings as fractions of the mean site value (0 = cost-free).",
     )
     travel.add_argument(
-        "--batch", type=int, default=64, help="Grid cells per batched solver call."
+        "--batch",
+        type=int,
+        default=None,
+        help="Grid cells per batched solver call (default: auto-tuned).",
     )
 
     competition = sub.add_parser(
@@ -242,7 +296,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--k-second", type=int, default=None, help="Second group size (default: --k)."
     )
     competition.add_argument(
-        "--batch", type=int, default=64, help="Matchups per batched solver call."
+        "--batch",
+        type=int,
+        default=None,
+        help="Matchups per batched solver call (default: auto-tuned).",
     )
 
     repeated = sub.add_parser(
@@ -267,7 +324,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="Surviving value fractions in [0, 1) (0 = fully consumed).",
     )
     repeated.add_argument(
-        "--batch", type=int, default=64, help="Horizons per batched kernel call."
+        "--batch",
+        type=int,
+        default=None,
+        help="Horizons per batched kernel call (default: auto-tuned).",
     )
 
     search = sub.add_parser(
@@ -287,7 +347,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-rounds", type=int, default=400, help="Censoring horizon of the simulation."
     )
     search.add_argument(
-        "--batch", type=int, default=64, help="Grid cells per batched kernel call."
+        "--batch",
+        type=int,
+        default=None,
+        help="Grid cells per batched kernel call (default: auto-tuned).",
     )
 
     mechanism = sub.add_parser(
@@ -309,7 +372,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="Fixed rule the reward-design lever re-prices sites under.",
     )
     mechanism.add_argument(
-        "--batch", type=int, default=64, help="Grid cells per batched kernel call."
+        "--batch",
+        type=int,
+        default=None,
+        help="Grid cells per batched kernel call (default: auto-tuned).",
     )
 
     serve = sub.add_parser(
@@ -357,6 +423,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="Device the backend places arrays on (default: REPRO_DEVICE or cpu).",
     )
 
+    worker = sub.add_parser(
+        "worker",
+        help="Join a distributed sweep: pull task chunks from a coordinator.",
+        description=(
+            "Connect to the coordinator of a '--executor distributed' run "
+            "(its --bind address) and execute task chunks until the sweep "
+            "finishes.  Results are bit-identical to local execution — each "
+            "chunk carries its own per-task seeds.  Needs nothing but this "
+            "package on PYTHONPATH; the wire format is pickle, so only "
+            "connect to coordinators you trust."
+        ),
+    )
+    worker.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="Coordinator address to pull task chunks from.",
+    )
+    worker.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="Give up if the coordinator is unreachable for this long.",
+    )
+
     sub.add_parser(
         "experiments", parents=[common], help="List the registered experiments."
     )
@@ -377,7 +469,34 @@ def _execute(spec, args: argparse.Namespace) -> ExperimentResult:
             raise SystemExit(
                 f"error: {error} (available: {', '.join(available_backends())})"
             ) from error
-    return run_experiment(spec, max_workers=args.workers, backend=backend, device=device)
+    executor = getattr(args, "executor", None)
+    bind = getattr(args, "bind", None)
+    if bind is not None and executor != "distributed":
+        raise SystemExit("error: --bind requires --executor distributed")
+    if executor == "distributed":
+        if bind is not None:
+            # External-workers mode: bind the requested address, spawn
+            # nothing, and wait for `repro-dispersal worker` connections.
+            from repro.experiments.worker import parse_address
+
+            host, port = parse_address(bind)
+            executor = DistributedExecutor(host=host, port=port, spawn=None)
+            print(f"distributed: serving task chunks on {host}:{port}", flush=True)
+        else:
+            executor = DistributedExecutor(
+                workers=resolve_workers(args.workers) or None, spawn="process"
+            )
+    store = getattr(args, "store", None)
+    if store is None and getattr(args, "resume", False):
+        store = Path(".repro-store")
+    return run_experiment(
+        spec,
+        max_workers=args.workers,
+        backend=backend,
+        device=device,
+        executor=executor,
+        store=store,
+    )
 
 
 def _run_figure1(args: argparse.Namespace) -> str:
@@ -695,6 +814,14 @@ def _run_serve(args: argparse.Namespace) -> str:
     return "serve: shut down"
 
 
+def _run_worker(args: argparse.Namespace) -> str:
+    # Deferred import: experiment commands never pay for the worker loop.
+    from repro.experiments.worker import run_worker
+
+    executed = run_worker(args.connect, connect_timeout=args.connect_timeout)
+    return f"worker: executed {executed} chunks"
+
+
 def _run_experiments(args: argparse.Namespace) -> str:
     definitions = [get_experiment(name) for name in experiment_names()]
     if args.json:
@@ -725,6 +852,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "search": _run_search,
         "mechanism": _run_mechanism,
         "serve": _run_serve,
+        "worker": _run_worker,
         "experiments": _run_experiments,
     }
     print(runners[args.command](args))

@@ -9,10 +9,18 @@ The subsystem splits an experiment into three orthogonal pieces:
   grid, derives one independent child seed per task with NumPy's
   ``SeedSequence`` spawning (deterministic in the base seed and the task
   index, so results are bit-identical regardless of scheduling), and executes
-  the tasks either serially or on a chunked ``ProcessPoolExecutor``;
+  the tasks on a pluggable **executor strategy**
+  (:mod:`~repro.experiments.executors`): serial, chunked process pool,
+  thread pool, or a distributed TCP worker pool — all bit-identical;
 * a **result** (:class:`~repro.experiments.result.ExperimentResult`): the
   flattened task rows in grid order plus provenance metadata, serialisable to
   JSON and CSV via :mod:`repro.utils.io`.
+
+Sweeps become *resumable* with an incremental
+:class:`~repro.experiments.store.ExperimentStore`: every finished grid cell
+is persisted under a content address (:func:`repro.utils.canonical.cell_key`)
+as it streams in, so re-runs skip finished cells, interrupted sweeps resume
+where they left off, and widened grids only compute the new cells.
 
 Experiments register themselves by name in the
 :mod:`~repro.experiments.registry` (the built-in experiments of
@@ -24,7 +32,24 @@ bit-identically.
 
 from repro.experiments.spec import ExperimentSpec
 from repro.experiments.result import ExperimentResult
-from repro.experiments.runner import chunk_grid, coerce_seed, run_experiment
+from repro.experiments.runner import (
+    auto_chunk_size,
+    chunk_grid,
+    coerce_seed,
+    run_experiment,
+)
+from repro.experiments.executors import (
+    AsyncExecutor,
+    DistributedExecutor,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    TaskPayload,
+    executor_names,
+    make_executor,
+    register_executor,
+)
+from repro.experiments.store import ExperimentStore, cell_keys_for
 from repro.experiments.registry import (
     ExperimentDefinition,
     build_experiment,
@@ -40,6 +65,18 @@ __all__ = [
     "run_experiment",
     "coerce_seed",
     "chunk_grid",
+    "auto_chunk_size",
+    "Executor",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "AsyncExecutor",
+    "DistributedExecutor",
+    "TaskPayload",
+    "make_executor",
+    "executor_names",
+    "register_executor",
+    "ExperimentStore",
+    "cell_keys_for",
     "ExperimentDefinition",
     "register_experiment",
     "get_experiment",

@@ -1,0 +1,574 @@
+"""Pluggable execution strategies for the experiment runner.
+
+The runner used to hard-code one ``ProcessPoolExecutor``; this module turns
+*how* tasks are executed into a strategy behind a single interface so the
+same :class:`~repro.experiments.spec.ExperimentSpec` can run serially, on a
+local process pool, on a thread pool, or sharded across machines — with
+bit-identical results, because per-task randomness depends only on the
+spec's ``(seed, grid index)`` (see :mod:`repro.utils.rng`), never on which
+strategy or worker executed the task.
+
+**The strategy contract.**  An :class:`Executor`'s :meth:`~Executor.run`
+consumes :class:`TaskPayload` objects and *yields* ``(grid_index, output)``
+pairs in **arrival order** — streaming partial aggregation, not
+collect-at-end.  The runner reassembles grid order on finalize and persists
+finished cells to the :class:`~repro.experiments.store.ExperimentStore` as
+they stream in, so an interrupted sweep keeps everything completed so far.
+
+Four strategies ship built in (see :func:`make_executor`):
+
+``serial``
+    In-process loop; the default for small grids.
+``process``
+    Chunked ``ProcessPoolExecutor`` (the previous behavior), hardened with
+    bounded chunk retries: a worker process dying mid-chunk re-executes that
+    chunk on a fresh pool — same per-task seeds, bit-identical rows —
+    instead of poisoning the whole run.
+``async``
+    Chunked thread pool for I/O-bound or GIL-releasing workloads (native
+    NumPy/torch kernels, network-backed tasks).  Backend activation uses
+    contextvars, so per-task backends stay isolated per thread.
+``distributed``
+    A dependency-free TCP coordinator: ``repro-dispersal worker --connect
+    HOST:PORT`` processes (on this or other nodes) pull task chunks over a
+    length-prefixed pickle protocol and push results back.  Dead
+    connections requeue their in-flight chunk with the same bounded-retry
+    policy.  The wire format is pickle — only run workers on hosts/networks
+    you trust.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import pickle
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from pathlib import Path
+from queue import Empty, Queue
+from typing import Any, Callable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.backend import resolve_backend, use_backend
+from repro.experiments.spec import TaskFunction
+from repro.utils.envinfo import available_cpus
+
+__all__ = [
+    "TaskPayload",
+    "Executor",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "AsyncExecutor",
+    "DistributedExecutor",
+    "ExecutorError",
+    "execute_payload",
+    "execute_chunk",
+    "make_executor",
+    "executor_names",
+    "register_executor",
+    "send_message",
+    "recv_message",
+]
+
+
+class ExecutorError(RuntimeError):
+    """An execution strategy could not complete the sweep (workers lost, retries exhausted)."""
+
+
+@dataclass(frozen=True)
+class TaskPayload:
+    """One schedulable unit: a task, its parameters and its derived seed.
+
+    The ``seed`` is the per-task ``SeedSequence`` child spawned from the
+    spec's base seed by grid index, so a payload is self-contained: any
+    worker, on any machine, on any attempt, reproduces the same output bit
+    for bit.  ``backend``/``device`` travel by *name* (handles are not
+    picklable) and are resolved in the executing process.
+    """
+
+    index: int
+    task: TaskFunction
+    params: Mapping[str, Any]
+    seed: np.random.SeedSequence
+    backend: str | None = None
+    device: str | None = None
+
+
+def execute_payload(payload: TaskPayload) -> Any:
+    """Execute one payload: activate the backend/device, rebuild the generator, run."""
+    if payload.backend is None and payload.device is None:
+        scope: Any = contextlib.nullcontext()
+    else:
+        # Resolution — including device availability checks — happens in the
+        # executing process, so workers raise the same errors the parent would.
+        scope = use_backend(resolve_backend(payload.backend, device=payload.device))
+    with scope:
+        return payload.task(payload.params, np.random.default_rng(payload.seed))
+
+
+def execute_chunk(chunk: Sequence[TaskPayload]) -> list[tuple[int, Any]]:
+    """Execute a chunk of payloads sequentially, returning ``(index, output)`` pairs.
+
+    This is the unit shipped to process-pool and distributed workers: big
+    enough to amortise dispatch overhead, small enough that a sweep streams
+    back incrementally.
+    """
+    return [(payload.index, execute_payload(payload)) for payload in chunk]
+
+
+def _chunked(
+    payloads: Sequence[TaskPayload], chunk_size: int
+) -> list[tuple[TaskPayload, ...]]:
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    items = list(payloads)
+    return [tuple(items[i : i + chunk_size]) for i in range(0, len(items), chunk_size)]
+
+
+class Executor(ABC):
+    """Strategy interface: stream ``(grid_index, output)`` pairs in arrival order.
+
+    Implementations must not reorder, drop or duplicate indices; beyond that
+    they are free to schedule however they like — the per-task seeds make
+    the results placement-independent.
+    """
+
+    #: Registry name of the strategy (also recorded in result metadata).
+    name: str = "abstract"
+
+    @abstractmethod
+    def run(
+        self, payloads: Sequence[TaskPayload], *, chunk_size: int = 1
+    ) -> Iterator[tuple[int, Any]]:
+        """Execute every payload, yielding ``(grid_index, output)`` as results arrive."""
+
+
+class SerialExecutor(Executor):
+    """In-process, in-order execution (the ``max_workers <= 1`` default)."""
+
+    name = "serial"
+
+    def run(
+        self, payloads: Sequence[TaskPayload], *, chunk_size: int = 1
+    ) -> Iterator[tuple[int, Any]]:
+        for payload in payloads:
+            yield payload.index, execute_payload(payload)
+
+
+class AsyncExecutor(Executor):
+    """Chunked thread-pool execution for I/O-bound or GIL-releasing tasks.
+
+    Threads share the interpreter, so this strategy shines when tasks spend
+    their time in native kernels (NumPy, torch) or waiting on I/O; pure-
+    Python-bound grids should prefer the ``process`` strategy.  Backend
+    activation (:func:`repro.backend.use_backend`) is contextvar-based and
+    therefore correctly scoped per worker thread.
+    """
+
+    name = "async"
+
+    def __init__(self, workers: int | None = None):
+        self.workers = int(workers) if workers else available_cpus()
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+
+    def run(
+        self, payloads: Sequence[TaskPayload], *, chunk_size: int = 1
+    ) -> Iterator[tuple[int, Any]]:
+        chunks = _chunked(payloads, chunk_size)
+        if not chunks:
+            return
+        with ThreadPoolExecutor(max_workers=min(self.workers, len(chunks))) as pool:
+            futures = [pool.submit(execute_chunk, chunk) for chunk in chunks]
+            try:
+                for future in as_completed(futures):
+                    yield from future.result()
+            except BaseException:
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+
+
+class ProcessExecutor(Executor):
+    """Chunked process-pool execution with bounded fault-tolerant retries.
+
+    Matches the runner's historical ``ProcessPoolExecutor`` behavior, except
+    that a worker process dying mid-chunk (OOM kill, segfault, ``os._exit``)
+    no longer poisons the whole run: the broken pool is discarded, every
+    unfinished chunk is resubmitted to a fresh pool, and each chunk gets at
+    most ``max_retries`` re-executions before the run fails with
+    :class:`ExecutorError`.  Retried chunks reuse their original payloads —
+    same per-task seeds — so a retry is bit-identical to a first run.
+    Exceptions *raised by the task itself* are deterministic and are
+    propagated immediately, never retried.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int | None = None, *, max_retries: int = 3):
+        self.workers = int(workers) if workers else available_cpus()
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.max_retries = int(max_retries)
+
+    def run(
+        self, payloads: Sequence[TaskPayload], *, chunk_size: int = 1
+    ) -> Iterator[tuple[int, Any]]:
+        remaining = dict(enumerate(_chunked(payloads, chunk_size)))
+        attempts = dict.fromkeys(remaining, 0)
+        while remaining:
+            workers = min(self.workers, len(remaining))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(execute_chunk, chunk): chunk_id
+                    for chunk_id, chunk in remaining.items()
+                }
+                broken = False
+                for future in as_completed(futures):
+                    chunk_id = futures[future]
+                    try:
+                        results = future.result()
+                    except BrokenProcessPool:
+                        # A worker died; every unfinished future fails with
+                        # the same error.  Leave the loop and retry them all
+                        # on a fresh pool.
+                        broken = True
+                        break
+                    except BaseException:
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        raise
+                    del remaining[chunk_id]
+                    yield from results
+            if broken:
+                for chunk_id in remaining:
+                    attempts[chunk_id] += 1
+                    if attempts[chunk_id] > self.max_retries:
+                        raise ExecutorError(
+                            f"chunk {chunk_id} crashed its worker process "
+                            f"{attempts[chunk_id]} times (max_retries={self.max_retries})"
+                        )
+
+
+# ---------------------------------------------------------------------------
+# Distributed strategy: TCP coordinator + pull-based workers
+# ---------------------------------------------------------------------------
+
+_HEADER = struct.Struct("!Q")
+
+
+def send_message(sock: socket.socket, message: Any) -> None:
+    """Send one length-prefixed pickle message over ``sock``."""
+    data = pickle.dumps(message, protocol=4)
+    sock.sendall(_HEADER.pack(len(data)) + data)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    buffer = bytearray()
+    while len(buffer) < n:
+        part = sock.recv(n - len(buffer))
+        if not part:
+            raise EOFError("connection closed")
+        buffer.extend(part)
+    return bytes(buffer)
+
+
+def recv_message(sock: socket.socket) -> Any:
+    """Receive one length-prefixed pickle message from ``sock``.
+
+    Raises ``EOFError`` when the peer closed the connection.
+    """
+    (length,) = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
+    return pickle.loads(_recv_exact(sock, length))
+
+
+def _worker_command(address: tuple[str, int]) -> list[str]:
+    return [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "worker",
+        "--connect",
+        f"{address[0]}:{address[1]}",
+    ]
+
+
+def _worker_env() -> dict[str, str]:
+    """Environment for auto-spawned local workers.
+
+    The worker's ``PYTHONPATH`` mirrors the coordinator's full ``sys.path``
+    (plus the installed package root), so any task function the coordinator
+    can import — including ones from scripts or test modules — unpickles in
+    the worker too.
+    """
+    import repro
+
+    env = dict(os.environ)
+    package_root = str(Path(repro.__file__).resolve().parent.parent)
+    paths = [package_root] + [entry for entry in sys.path if entry]
+    existing = env.get("PYTHONPATH", "")
+    paths += [entry for entry in existing.split(os.pathsep) if entry]
+    seen: dict[str, None] = dict.fromkeys(paths)
+    env["PYTHONPATH"] = os.pathsep.join(seen)
+    return env
+
+
+class DistributedExecutor(Executor):
+    """TCP coordinator sharding chunks across pull-based worker processes.
+
+    The coordinator binds ``host:port`` (port ``0`` picks an ephemeral one),
+    and workers — started as ``repro-dispersal worker --connect HOST:PORT``
+    anywhere that can reach the coordinator — pull task chunks and push back
+    results over a length-prefixed pickle protocol.  Fault tolerance mirrors
+    :class:`ProcessExecutor`: a connection dying mid-chunk requeues that
+    chunk (bounded by ``max_retries``) for the surviving workers, and
+    because payloads carry their own per-task seeds the re-execution is
+    bit-identical.  Task-raised exceptions are reported back by the worker
+    and fail the run immediately (they are deterministic).
+
+    Parameters
+    ----------
+    host, port:
+        Coordinator bind address.  The bound address is exposed as
+        :attr:`address` while :meth:`run` is active (useful with ``port=0``).
+    workers:
+        Number of *local* workers to auto-spawn (``spawn`` mode); ``0``
+        spawns none and relies on external workers connecting.
+    spawn:
+        ``"process"`` launches local ``repro-dispersal worker`` subprocesses,
+        ``"thread"`` runs in-process worker threads (handy for tests and
+        single-machine demos), ``None`` disables auto-spawn.
+    max_retries:
+        Re-executions allowed per chunk after connection failures.
+    wait_timeout:
+        Seconds the coordinator tolerates having no connected workers (and
+        no results arriving) before failing the run.
+
+    .. warning:: The wire format is pickle, which executes arbitrary code on
+       unpickling.  Bind to loopback or a trusted network only.
+    """
+
+    name = "distributed"
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int | None = None,
+        spawn: str | None = "process",
+        max_retries: int = 3,
+        wait_timeout: float = 60.0,
+    ):
+        if spawn not in (None, "process", "thread"):
+            raise ValueError("spawn must be 'process', 'thread' or None")
+        self.host = str(host)
+        self.port = int(port)
+        self.spawn = spawn
+        self.workers = (
+            int(workers) if workers is not None else (available_cpus() if spawn else 0)
+        )
+        if spawn is not None and self.workers < 1:
+            raise ValueError("workers must be >= 1 when auto-spawning")
+        self.max_retries = int(max_retries)
+        self.wait_timeout = float(wait_timeout)
+        #: Bound ``(host, port)`` of the live coordinator (``None`` when idle).
+        self.address: tuple[str, int] | None = None
+
+    # ------------------------------------------------------------------ run
+    def run(
+        self, payloads: Sequence[TaskPayload], *, chunk_size: int = 1
+    ) -> Iterator[tuple[int, Any]]:
+        chunks = _chunked(payloads, chunk_size)
+        if not chunks:
+            return
+
+        task_queue: Queue = Queue()
+        results: Queue = Queue()
+        for chunk_id, chunk in enumerate(chunks):
+            task_queue.put((chunk_id, chunk, 0))
+
+        done = threading.Event()
+        handlers: set[threading.Thread] = set()
+        handlers_lock = threading.Lock()
+
+        server = socket.create_server((self.host, self.port))
+        server.settimeout(0.1)
+        self.address = server.getsockname()[:2]
+
+        def handle(conn: socket.socket) -> None:
+            try:
+                conn.settimeout(None)
+                while not done.is_set():
+                    try:
+                        item = task_queue.get_nowait()
+                    except Empty:
+                        time.sleep(0.02)
+                        continue
+                    chunk_id, chunk, attempt = item
+                    try:
+                        send_message(conn, ("chunk", chunk_id, chunk))
+                        reply = recv_message(conn)
+                    except (OSError, EOFError, pickle.PickleError) as error:
+                        # The connection (or its worker) died mid-chunk:
+                        # requeue with the same payloads — same seeds, so the
+                        # retry is bit-identical — unless retries ran out.
+                        if attempt + 1 > self.max_retries:
+                            results.put(
+                                (
+                                    "fatal",
+                                    chunk_id,
+                                    f"chunk {chunk_id} lost its worker "
+                                    f"{attempt + 1} times "
+                                    f"(max_retries={self.max_retries}): {error}",
+                                )
+                            )
+                        else:
+                            task_queue.put((chunk_id, chunk, attempt + 1))
+                        return
+                    kind = reply[0]
+                    if kind == "result":
+                        results.put(("ok", reply[1], reply[2]))
+                    else:  # ("error", chunk_id, traceback_text)
+                        results.put(("task_error", reply[1], reply[2]))
+                with contextlib.suppress(OSError):
+                    send_message(conn, ("stop",))
+            finally:
+                conn.close()
+                with handlers_lock:
+                    handlers.discard(threading.current_thread())
+
+        def accept_loop() -> None:
+            while not done.is_set():
+                try:
+                    conn, _ = server.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    return
+                thread = threading.Thread(target=handle, args=(conn,), daemon=True)
+                with handlers_lock:
+                    handlers.add(thread)
+                thread.start()
+
+        acceptor = threading.Thread(target=accept_loop, daemon=True)
+        acceptor.start()
+        spawned = self._spawn_workers()
+
+        completed = 0
+        last_progress = time.monotonic()
+        try:
+            while completed < len(chunks):
+                try:
+                    status, chunk_id, data = results.get(timeout=0.1)
+                except Empty:
+                    with handlers_lock:
+                        live = len(handlers)
+                    if live == 0 and time.monotonic() - last_progress > self.wait_timeout:
+                        raise ExecutorError(
+                            f"distributed run stalled: no workers connected to "
+                            f"{self.address[0]}:{self.address[1]} for "
+                            f"{self.wait_timeout:.0f}s with "
+                            f"{len(chunks) - completed} chunks outstanding"
+                        )
+                    continue
+                last_progress = time.monotonic()
+                if status == "ok":
+                    completed += 1
+                    yield from data
+                elif status == "task_error":
+                    raise ExecutorError(
+                        f"task in chunk {chunk_id} raised on a worker:\n{data}"
+                    )
+                else:  # fatal
+                    raise ExecutorError(data)
+        finally:
+            done.set()
+            server.close()
+            acceptor.join(timeout=2.0)
+            with handlers_lock:
+                threads = list(handlers)
+            for thread in threads:
+                thread.join(timeout=2.0)
+            for proc in spawned:
+                if isinstance(proc, subprocess.Popen):
+                    if proc.poll() is None:
+                        proc.terminate()
+                        with contextlib.suppress(subprocess.TimeoutExpired):
+                            proc.wait(timeout=5.0)
+                        if proc.poll() is None:  # pragma: no cover - stubborn worker
+                            proc.kill()
+                elif isinstance(proc, threading.Thread):
+                    proc.join(timeout=2.0)
+            self.address = None
+
+    def _spawn_workers(self) -> list[Any]:
+        if self.spawn is None or self.workers < 1:
+            return []
+        assert self.address is not None
+        if self.spawn == "thread":
+            from repro.experiments.worker import run_worker
+
+            threads = []
+            for _ in range(self.workers):
+                thread = threading.Thread(
+                    target=run_worker, args=(self.address,), daemon=True
+                )
+                thread.start()
+                threads.append(thread)
+            return threads
+        command = _worker_command(self.address)
+        env = _worker_env()
+        return [
+            subprocess.Popen(command, env=env, stdout=subprocess.DEVNULL)
+            for _ in range(self.workers)
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Strategy registry
+# ---------------------------------------------------------------------------
+
+_EXECUTORS: dict[str, Callable[..., Executor]] = {
+    "serial": lambda workers=None, **options: SerialExecutor(),
+    "process": ProcessExecutor,
+    "async": AsyncExecutor,
+    "distributed": lambda workers=None, **options: DistributedExecutor(
+        workers=workers, **options
+    ),
+}
+
+
+def register_executor(name: str, factory: Callable[..., Executor]) -> None:
+    """Register (or override) an executor strategy under ``name``.
+
+    The factory is called as ``factory(workers=..., **options)`` by
+    :func:`make_executor`.
+    """
+    _EXECUTORS[str(name)] = factory
+
+
+def executor_names() -> tuple[str, ...]:
+    """Sorted names of the registered execution strategies."""
+    return tuple(sorted(_EXECUTORS))
+
+
+def make_executor(name: str, *, workers: int | None = None, **options: Any) -> Executor:
+    """Instantiate a registered execution strategy by name.
+
+    ``workers`` of ``None``/``0`` lets parallel strategies default to
+    :func:`repro.utils.envinfo.available_cpus`.
+    """
+    try:
+        factory = _EXECUTORS[name]
+    except KeyError:
+        available = ", ".join(executor_names())
+        raise ValueError(f"unknown executor {name!r}; available: {available}") from None
+    return factory(workers=workers or None, **options)

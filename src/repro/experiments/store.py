@@ -1,0 +1,177 @@
+"""Incremental on-disk experiment store: one file per finished grid cell.
+
+The store is what makes sweeps *resumable* and *extendable*.  Every grid
+cell of an :class:`~repro.experiments.spec.ExperimentSpec` gets a content
+address (:func:`repro.utils.canonical.cell_key`: spec family + task
+qualname + canonical params + seed + grid index → SHA-256), and the runner
+writes each cell's output under its key **as it arrives** — not at the end.
+The consequences:
+
+* re-running a spec against the same store skips every finished cell
+  (cache hits are read back instead of recomputed);
+* an interrupted sweep (Ctrl-C, OOM kill, machine loss) keeps everything
+  completed so far — writes are atomic (``os.replace`` of a same-directory
+  temp file), so the store can only ever contain *complete* cells;
+* a widened grid (more policies, more seeds, more parameter points) only
+  computes the new cells — existing cells share their content address.
+
+Because per-task randomness depends only on ``(seed, grid index)`` (see
+:mod:`repro.utils.rng`) and results are backend-independent by the batch
+layer's elementwise contract, a cached cell is bit-identical to a
+recomputed one — so resumed, extended and cold runs all serialise to the
+same artifact (``to_dict(timing=False)``).
+
+Layout: ``root/<key[:2]>/<key>.pkl`` (two-hex-char shards keep directory
+fan-out bounded for million-cell sweeps) plus a ``FORMAT`` version marker.
+Values are pickled task outputs; a corrupt or truncated file is treated as
+a cache miss and recomputed, never an error.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.experiments.spec import ExperimentSpec
+from repro.utils.canonical import cell_key
+
+__all__ = ["ExperimentStore", "cell_keys_for", "STORE_FORMAT"]
+
+#: On-disk format version; bump on incompatible layout/encoding changes.
+STORE_FORMAT = 1
+
+_SENTINEL = object()
+
+
+def _task_name(task: Any) -> str:
+    """Qualified name of a task function — part of every cell's identity."""
+    module = getattr(task, "__module__", "") or ""
+    qualname = getattr(task, "__qualname__", None) or getattr(task, "__name__", repr(task))
+    return f"{module}.{qualname}" if module else str(qualname)
+
+
+def cell_keys_for(spec: ExperimentSpec) -> list[str]:
+    """The content address of every grid cell of ``spec``, in grid order.
+
+    Keys digest the spec *family* (name), the task function's qualified
+    name, the canonicalised cell params, the base seed and the grid index —
+    everything a cell's output depends on under the library's seed policy.
+    Backend and device are deliberately excluded (results are
+    backend-independent by contract), so a store warmed on one backend
+    serves every other.
+    """
+    task = _task_name(spec.task)
+    return [
+        cell_key(spec.name, params, spec.seed, index, task=task)
+        for index, params in enumerate(spec.grid)
+    ]
+
+
+class ExperimentStore:
+    """Content-addressed, append-only store of finished experiment cells.
+
+    Safe for concurrent writers (atomic same-directory rename; last write
+    wins, and by construction every writer writes identical bytes for a
+    given key).  Reads treat missing, corrupt or truncated entries as cache
+    misses.
+
+    >>> import tempfile
+    >>> with tempfile.TemporaryDirectory() as root:
+    ...     store = ExperimentStore(root)
+    ...     store.put("ab" * 32, {"welfare": 1.0})
+    ...     store.get("ab" * 32)
+    {'welfare': 1.0}
+    """
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        marker = self.root / "FORMAT"
+        if marker.exists():
+            try:
+                found = int(marker.read_text().strip())
+            except ValueError:
+                raise ValueError(f"{marker} is not a repro experiment store") from None
+            if found != STORE_FORMAT:
+                raise ValueError(
+                    f"store format {found} at {self.root} is not supported "
+                    f"(this version reads format {STORE_FORMAT})"
+                )
+        else:
+            marker.write_text(f"{STORE_FORMAT}\n")
+
+    # ------------------------------------------------------------------ paths
+    def path_for(self, key: str) -> Path:
+        """The shard path holding ``key`` (``root/<key[:2]>/<key>.pkl``)."""
+        key = str(key)
+        if len(key) < 3:
+            raise ValueError(f"key too short to shard: {key!r}")
+        return self.root / key[:2] / f"{key}.pkl"
+
+    # ------------------------------------------------------------------ write
+    def put(self, key: str, value: Any) -> None:
+        """Persist one finished cell atomically.
+
+        The value is pickled to a temp file in the final directory and
+        ``os.replace``-d into place, so readers — and post-crash scans —
+        only ever observe complete entries.
+        """
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle, protocol=4)
+            os.replace(tmp_name, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp_name)
+            raise
+
+    # ------------------------------------------------------------------- read
+    def get(self, key: str, default: Any = None) -> Any:
+        """Read one cell back; missing or corrupt entries return ``default``."""
+        value = self._load(key)
+        return default if value is _SENTINEL else value
+
+    def _load(self, key: str) -> Any:
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            return _SENTINEL
+        except Exception:
+            # Truncated/corrupt entry (e.g. disk full, partial copy): treat
+            # as a miss so the cell is recomputed, and clear the debris.
+            self.discard(key)
+            return _SENTINEL
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def keys(self) -> Iterator[str]:
+        """Iterate the content addresses of every stored cell."""
+        for shard in sorted(self.root.iterdir()):
+            if not shard.is_dir():
+                continue
+            for path in sorted(shard.glob("*.pkl")):
+                yield path.stem
+
+    # -------------------------------------------------------------- housekeep
+    def discard(self, key: str) -> None:
+        """Remove one cell if present (idempotent)."""
+        with contextlib.suppress(OSError):
+            os.unlink(self.path_for(key))
+
+    def clear(self) -> None:
+        """Remove every stored cell (the format marker survives)."""
+        for key in list(self.keys()):
+            self.discard(key)

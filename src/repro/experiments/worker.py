@@ -1,0 +1,74 @@
+"""The ``repro-dispersal worker`` loop: pull chunks, push results.
+
+A worker is the remote half of the
+:class:`~repro.experiments.executors.DistributedExecutor` protocol.  It
+connects to a coordinator (``repro-dispersal worker --connect HOST:PORT``),
+then loops: receive a ``("chunk", chunk_id, payloads)`` message, execute the
+payloads with the shared :func:`~repro.experiments.executors.execute_chunk`
+(same code path as every other strategy, so results are bit-identical), and
+send back ``("result", chunk_id, rows)``.  A task that raises is reported as
+``("error", chunk_id, traceback_text)`` — the *worker* survives and keeps
+pulling; the coordinator decides that deterministic task errors are fatal to
+the run.  A ``("stop",)`` message or a closed connection ends the loop.
+
+Workers need nothing but the Python standard library plus this package on
+``PYTHONPATH``; there is no external message broker.
+"""
+
+from __future__ import annotations
+
+import socket
+import traceback
+
+from repro.experiments.executors import execute_chunk, recv_message, send_message
+
+__all__ = ["parse_address", "run_worker"]
+
+
+def parse_address(address: str) -> tuple[str, int]:
+    """Parse a ``HOST:PORT`` string (IPv6 hosts may be bracketed).
+
+    >>> parse_address("127.0.0.1:5000")
+    ('127.0.0.1', 5000)
+    >>> parse_address("[::1]:5000")
+    ('::1', 5000)
+    """
+    host, sep, port = address.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"expected HOST:PORT, got {address!r}")
+    host = host.strip("[]")
+    return host, int(port)
+
+
+def run_worker(
+    address: tuple[str, int] | str, *, connect_timeout: float = 10.0
+) -> int:
+    """Connect to a coordinator and serve task chunks until told to stop.
+
+    Returns the number of chunks executed (including ones whose task raised).
+    """
+    if isinstance(address, str):
+        address = parse_address(address)
+    executed = 0
+    with socket.create_connection(address, timeout=connect_timeout) as conn:
+        conn.settimeout(None)
+        while True:
+            try:
+                message = recv_message(conn)
+            except (EOFError, OSError):
+                break
+            kind = message[0]
+            if kind == "stop":
+                break
+            if kind != "chunk":  # pragma: no cover - protocol guard
+                raise ValueError(f"unexpected message kind {kind!r}")
+            _, chunk_id, chunk = message
+            try:
+                rows = execute_chunk(chunk)
+            except BaseException:
+                executed += 1
+                send_message(conn, ("error", chunk_id, traceback.format_exc()))
+                continue
+            executed += 1
+            send_message(conn, ("result", chunk_id, rows))
+    return executed

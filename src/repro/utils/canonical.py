@@ -23,15 +23,24 @@ staging work, exactly like :class:`~repro.batch.padding.PaddedValues`.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
-from typing import TYPE_CHECKING, Any, Sequence
+import pickle
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.values import SiteValues
 
-__all__ = ["canonical_values", "canonical_k_grid", "canonical_request", "content_key"]
+__all__ = [
+    "canonical_values",
+    "canonical_k_grid",
+    "canonical_request",
+    "content_key",
+    "canonical_task_params",
+    "cell_key",
+]
 
 
 def canonical_values(values: "SiteValues | Sequence[float] | np.ndarray") -> tuple[float, ...]:
@@ -137,4 +146,137 @@ def content_key(
     """
     out: list[str] = []
     _encode(canonical_request(kind, values, **params), out)
+    return hashlib.sha256("".join(out).encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Experiment-cell content addresses (the incremental sweep store)
+# ---------------------------------------------------------------------------
+
+
+def _qualname(cls: type) -> str:
+    return f"{cls.__module__}.{cls.__qualname__}"
+
+
+def _pickle_digest(value: Any) -> str:
+    """Last-resort canonical form: SHA-256 of the pickle byte stream.
+
+    Used only for values the structural canonicaliser cannot decompose (e.g.
+    closures wrapped in ``CallablePolicy``).  Pickle bytes are deterministic
+    for equal objects built the same way, which is exactly the store's
+    use case — the same spec builder producing the same grid twice.
+    """
+    try:
+        return hashlib.sha256(pickle.dumps(value, protocol=4)).hexdigest()
+    except Exception as error:  # pragma: no cover - exercised via TypeError path
+        raise TypeError(
+            f"cannot canonicalise task parameter of type {type(value).__name__}: {error}"
+        ) from error
+
+
+def _canonical_cell_value(value: Any) -> Any:
+    """Canonical nested-tuple form of one task-grid parameter value.
+
+    Handles everything the built-in spec builders put in their grids —
+    scalars, strings, (nested) tuples of those, mappings, NumPy arrays,
+    dataclasses, :class:`~repro.core.values.SiteValues`-likes and plain
+    parameter objects such as congestion policies (type identity + instance
+    state) — and falls back to a pickle digest for anything else.
+    """
+    if value is None:
+        return ("none",)
+    if isinstance(value, (bool, np.bool_)):
+        return bool(value)
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return float(value)
+    if isinstance(value, str):
+        return value
+    if isinstance(value, np.ndarray):
+        # Same canonical form as a sequence: an array-valued parameter and
+        # its list/tuple spelling describe the same grid cell.
+        value = value.tolist()
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical_cell_value(item) for item in value)
+    if isinstance(value, Mapping):
+        return (
+            "map",
+            tuple(
+                (str(key), _canonical_cell_value(value[key]))
+                for key in sorted(value, key=str)
+            ),
+        )
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return (
+            "dataclass",
+            _qualname(type(value)),
+            tuple(
+                (field.name, _canonical_cell_value(getattr(value, field.name)))
+                for field in dataclasses.fields(value)
+            ),
+        )
+    if hasattr(value, "as_array"):  # SiteValues / Strategy
+        return (
+            "values",
+            _qualname(type(value)),
+            tuple(float(x) for x in value.as_array()),
+        )
+    state = getattr(value, "__dict__", None)
+    if state is not None:
+        try:
+            fields = tuple(
+                (str(key), _canonical_cell_value(state[key])) for key in sorted(state)
+            )
+        except TypeError:
+            return ("pickle", _qualname(type(value)), _pickle_digest(value))
+        # Class-level attributes (e.g. a policy's ``name``) are part of the
+        # type identity already captured by the qualified name.
+        return ("object", _qualname(type(value)), fields)
+    return ("pickle", _qualname(type(value)), _pickle_digest(value))
+
+
+def canonical_task_params(params: Mapping[str, Any]) -> tuple:
+    """The canonical nested-tuple form of one experiment task's parameters.
+
+    Sorted by parameter name, with every value routed through the structural
+    canonicaliser, so two spec builds producing mathematically identical grid
+    cells share a canonical form (and therefore a :func:`cell_key`) no matter
+    how the values were spelled.
+    """
+    return (
+        "params",
+        tuple((str(name), _canonical_cell_value(params[name])) for name in sorted(params)),
+    )
+
+
+def cell_key(
+    family: str, params: Mapping[str, Any], seed: int, index: int, *, task: str = ""
+) -> str:
+    """Content address of one experiment grid cell.
+
+    The key digests everything the cell's output depends on under the
+    library's seed policy: the experiment *family* (spec name), the task
+    function's qualified name, the canonicalised task ``params``, the spec's
+    base ``seed`` and the cell's grid ``index`` (per-task generators are
+    spawned by grid index).  Backend and device are deliberately excluded —
+    the batch layer's elementwise contract makes results backend-independent.
+
+    >>> cell_key("sweep", {"k": 3}, 0, 1) == cell_key("sweep", {"k": 3}, 0, 1)
+    True
+    >>> cell_key("sweep", {"k": 3}, 0, 1) != cell_key("sweep", {"k": 3}, 0, 2)
+    True
+    """
+    out: list[str] = []
+    _encode(
+        (
+            "cell",
+            str(family),
+            str(task),
+            int(seed),
+            int(index),
+            canonical_task_params(params),
+        ),
+        out,
+    )
     return hashlib.sha256("".join(out).encode("utf-8")).hexdigest()

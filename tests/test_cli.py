@@ -46,13 +46,48 @@ class TestParser:
         args = build_parser().parse_args(["dynamics"])
         assert args.rule == "discrete"
         assert args.grid == "quick"
-        assert args.batch == 64
+        assert args.batch is None  # auto-tuned from the grid and CPU count
         args = build_parser().parse_args(
             ["dynamics", "--rule", "logit", "--grid", "full", "--batch", "16"]
         )
         assert (args.rule, args.grid, args.batch) == ("logit", "full", 16)
         with pytest.raises(SystemExit):
             build_parser().parse_args(["dynamics", "--rule", "rk4"])
+
+    def test_sweep_fabric_flags_on_every_experiment_subcommand(self):
+        # --executor/--store/--resume ride the shared parent parser, so every
+        # experiment sub-command accepts them.
+        for command in ("figure1", "observation1", "spoa", "ess", "sweep",
+                        "dynamics", "travel-costs", "group-competition",
+                        "repeated", "search", "mechanism", "experiments"):
+            args = build_parser().parse_args(
+                [command, "--executor", "serial", "--store", "cells", "--resume"]
+            )
+            assert args.executor == "serial"
+            assert str(args.store) == "cells"
+            assert args.resume is True
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dynamics", "--executor", "carrier-pigeon"])
+
+    def test_experiment_help_documents_the_fabric_flags(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["dynamics", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for flag in ("--executor", "--store", "--resume", "--bind"):
+            assert flag in out
+        assert "distributed" in out
+
+    def test_worker_subcommand_help_and_parsing(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["worker", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "--connect" in out and "coordinator" in out.lower()
+        args = build_parser().parse_args(["worker", "--connect", "127.0.0.1:9999"])
+        assert args.connect == "127.0.0.1:9999"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker"])  # --connect is required
 
 
 class TestCommands:
@@ -90,6 +125,21 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "trajectories converged" in out
         assert "exploitability" in out
+
+    def test_observation1_store_round_trip(self, capsys, tmp_path):
+        # A cold run populates the store; the warm re-run answers every cell
+        # from it and serialises to the same artifact bit for bit.
+        store = tmp_path / "cells"
+        assert main(["observation1", "--json", "--store", str(store)]) == 0
+        cold = capsys.readouterr().out
+        assert main(["observation1", "--json", "--store", str(store)]) == 0
+        warm = capsys.readouterr().out
+        assert cold == warm
+        assert (store / "FORMAT").is_file()
+
+    def test_bind_without_distributed_executor_is_an_error(self):
+        with pytest.raises(SystemExit):
+            main(["observation1", "--bind", "127.0.0.1:0"])
 
     def test_dynamics_command_json_worker_invariant(self, capsys):
         # Fanning the row chunks out over worker processes must not change

@@ -129,6 +129,24 @@ def test_device_guide_documents_the_residency_contract():
     assert "mermaid" in text, "device.md must include the architecture diagram"
 
 
+def test_sweeps_guide_documents_the_fabric_contract():
+    text = (DOCS / "sweeps.md").read_text()
+    # Every executor strategy, the worker entry point and the shared flags.
+    from repro.experiments import executor_names
+
+    for name in executor_names():
+        assert f"`{name}`" in text, f"sweeps.md does not document the {name!r} strategy"
+    for flag in ("--executor", "--store", "--resume", "--bind", "--batch"):
+        assert flag in text, f"sweeps.md does not document {flag}"
+    assert "repro-dispersal worker" in text
+    assert "--connect" in text
+    # Store layout, resume semantics, and the CI artifact gating it all.
+    assert "cell_key" in text
+    assert "FORMAT" in text
+    assert "BENCH_sweep.json" in text
+    assert "mermaid" in text, "sweeps.md must include the fabric diagram"
+
+
 def test_examples_gallery_documents_every_example_script():
     text = (DOCS / "examples.md").read_text()
     for script in sorted((REPO / "examples").glob("*.py")):

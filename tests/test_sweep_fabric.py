@@ -1,0 +1,511 @@
+"""The sweep fabric: executor strategies, the incremental store, resume.
+
+The contracts under test:
+
+* **strategy bit-identity** — all four executor strategies (serial,
+  process, async, distributed) produce bit-identical ``ExperimentResult``
+  artifacts for the same spec + seed, property-tested over specs and seeds;
+* **content addresses** — :func:`repro.utils.canonical.cell_key` is stable,
+  spelling-invariant over parameter values, and sensitive to everything a
+  cell's output depends on (family, task, params, seed, grid index);
+* **fault tolerance** — a worker process or connection dying mid-chunk
+  retries that chunk (bounded) with the same per-task seeds instead of
+  poisoning the run; deterministic task errors propagate immediately;
+* **interrupt/resume** — a sweep killed mid-flight leaves only complete
+  cells in the store, the resumed run is bit-identical to an uninterrupted
+  one, and a widened grid recomputes only the new cells.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis.observation1 import build_observation1_spec
+from repro.analysis.sweeps import build_dynamics_spec, build_sweep_spec
+from repro.core.policies import ExclusivePolicy, SharingPolicy
+from repro.experiments import (
+    DistributedExecutor,
+    ExperimentSpec,
+    ExperimentStore,
+    cell_keys_for,
+    make_executor,
+    run_experiment,
+)
+from repro.experiments.executors import (
+    ExecutorError,
+    ProcessExecutor,
+    TaskPayload,
+    executor_names,
+)
+from repro.experiments.runner import auto_chunk_size, resolve_batch_rows
+from repro.experiments.store import STORE_FORMAT
+from repro.experiments.worker import parse_address
+from repro.utils.canonical import cell_key
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def small_spec(seed: int = 7) -> ExperimentSpec:
+    return build_observation1_spec(m_values=(4,), k_values=(2, 3), n_random=1, seed=seed)
+
+
+# --------------------------------------------------------------------------
+# module-level tasks (worker processes need picklable, importable functions)
+# --------------------------------------------------------------------------
+
+
+def square_task(params, rng):
+    return {"x": params["x"], "sq": params["x"] ** 2, "noise": float(rng.random())}
+
+
+def crash_if_marker_task(params, rng):
+    """Die hard (``os._exit``) while a sentinel file exists, else compute.
+
+    First execution of the marked cell kills its worker process mid-chunk;
+    the retry (marker removed by then) must reproduce the same output from
+    the same per-task seed.
+    """
+    marker = Path(params["marker"])
+    if params["x"] == params["victim"] and marker.exists():
+        marker.unlink()
+        os._exit(1)
+    return {"x": params["x"], "noise": float(rng.random())}
+
+
+def failing_task(params, rng):
+    if params["x"] == 2:
+        raise ValueError("cell 2 is bad by construction")
+    return params["x"]
+
+
+def abort_after_task(params, rng):
+    """Raise KeyboardInterrupt once ``limit`` cells have completed (via counter file)."""
+    counter = Path(params["counter"])
+    done = int(counter.read_text()) if counter.exists() else 0
+    if done >= params["limit"]:
+        raise KeyboardInterrupt
+    counter.write_text(str(done + 1))
+    return {"x": params["x"], "noise": float(rng.random())}
+
+
+def simple_grid_spec(task, n: int = 8, seed: int = 3, **extra) -> ExperimentSpec:
+    return ExperimentSpec(
+        name="fabric-test",
+        description="synthetic fabric-test grid",
+        task=task,
+        grid=tuple({"x": i, **extra} for i in range(n)),
+        seed=seed,
+    )
+
+
+# --------------------------------------------------------------------------
+# executor strategies: bit-identity across all four
+# --------------------------------------------------------------------------
+
+
+class TestExecutorBitIdentity:
+    def test_all_strategies_registered(self):
+        assert executor_names() == ("async", "distributed", "process", "serial")
+
+    @pytest.mark.parametrize("seed", [0, 7, 20180503])
+    @pytest.mark.parametrize("name", ["process", "async"])
+    def test_pool_strategies_match_serial(self, name, seed):
+        spec = small_spec(seed=seed)
+        serial = run_experiment(spec, executor="serial")
+        parallel = run_experiment(spec, max_workers=2, executor=name)
+        assert serial.to_json(timing=False) == parallel.to_json(timing=False)
+        assert parallel.metadata["runtime"]["executor"] == name
+
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_distributed_matches_serial(self, seed):
+        spec = small_spec(seed=seed)
+        serial = run_experiment(spec, executor="serial")
+        executor = DistributedExecutor(workers=2, spawn="thread")
+        distributed = run_experiment(spec, max_workers=2, executor=executor)
+        assert serial.to_json(timing=False) == distributed.to_json(timing=False)
+        assert distributed.metadata["runtime"]["executor"] == "distributed"
+
+    def test_distributed_subprocess_workers_end_to_end(self):
+        # The real deployment shape: the coordinator auto-spawns
+        # `repro-dispersal worker` subprocesses that pull chunks over TCP.
+        spec = small_spec()
+        serial = run_experiment(spec, executor="serial")
+        executor = DistributedExecutor(workers=2, spawn="process")
+        distributed = run_experiment(spec, max_workers=2, executor=executor)
+        assert serial.to_json(timing=False) == distributed.to_json(timing=False)
+
+    def test_strategies_match_on_rng_heavy_dynamics_grid(self):
+        # Property-style sweep over a spec whose tasks consume chunk-wide rng.
+        spec = build_dynamics_spec(
+            families=("uniform", "zipf"),
+            m_values=(5,),
+            k_values=(2, 3),
+            inits=("random",),
+            batch_rows=2,
+            max_iter=500,
+            seed=11,
+        )
+        artifacts = {
+            name: run_experiment(spec, max_workers=2, executor=name).to_json(timing=False)
+            for name in ("serial", "process", "async")
+        }
+        assert len(set(artifacts.values())) == 1
+
+    def test_default_executor_keeps_legacy_metadata_shape(self):
+        spec = small_spec()
+        serial = run_experiment(spec)
+        assert serial.metadata["runtime"]["max_workers"] == 0
+        assert serial.metadata["runtime"]["executor"] == "serial"
+        parallel = run_experiment(spec, max_workers=2)
+        assert parallel.metadata["runtime"]["max_workers"] == 2
+        assert parallel.metadata["runtime"]["executor"] == "process"
+
+    def test_unknown_executor_name_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            make_executor("carrier-pigeon")
+
+
+# --------------------------------------------------------------------------
+# chunk auto-tuning
+# --------------------------------------------------------------------------
+
+
+class TestAutoChunkSize:
+    def test_targets_at_least_two_chunks_per_worker(self):
+        for n_cells in (1, 7, 64, 1000, 54):
+            for workers in (1, 2, 4, 8):
+                chunk = auto_chunk_size(n_cells, workers)
+                n_chunks = -(-n_cells // chunk)
+                assert chunk >= 1
+                if n_cells >= 2 * workers:
+                    assert n_chunks >= 2 * workers
+
+    def test_caps_chunk_for_streaming(self):
+        assert auto_chunk_size(1_000_000, 2) == 256
+
+    def test_empty_grid_and_defaults(self):
+        assert auto_chunk_size(0, 4) == 1
+        assert auto_chunk_size(10) >= 1  # workers default to available CPUs
+
+    def test_resolve_batch_rows_auto_and_explicit(self):
+        assert resolve_batch_rows(16, 1000) == 16
+        auto = resolve_batch_rows(None, 1000)
+        assert 1 <= auto <= 256
+        with pytest.raises(ValueError):
+            resolve_batch_rows(0, 10)
+
+    def test_spec_builders_record_the_resolved_value(self):
+        spec = build_dynamics_spec(
+            families=("uniform",), m_values=(5,), k_values=(2,), inits=("uniform",)
+        )
+        batch = spec.metadata["batch_rows"]
+        assert isinstance(batch, int) and batch >= 1
+        # Passing the recorded value back reproduces the same chunking.
+        pinned = build_dynamics_spec(
+            families=("uniform",), m_values=(5,), k_values=(2,),
+            inits=("uniform",), batch_rows=batch,
+        )
+        assert pinned.n_tasks == spec.n_tasks
+
+
+# --------------------------------------------------------------------------
+# content addresses
+# --------------------------------------------------------------------------
+
+
+class TestCellKeys:
+    def test_deterministic_and_index_sensitive(self):
+        key = cell_key("sweep", {"k": 3, "m": 5}, 0, 1, task="t")
+        assert key == cell_key("sweep", {"k": 3, "m": 5}, 0, 1, task="t")
+        assert key != cell_key("sweep", {"k": 3, "m": 5}, 0, 2, task="t")
+        assert key != cell_key("sweep", {"k": 3, "m": 5}, 1, 1, task="t")
+        assert key != cell_key("other", {"k": 3, "m": 5}, 0, 1, task="t")
+        assert key != cell_key("sweep", {"k": 3, "m": 5}, 0, 1, task="u")
+        assert key != cell_key("sweep", {"k": 4, "m": 5}, 0, 1, task="t")
+
+    def test_spelling_invariance(self):
+        # numpy scalars, arrays vs lists-in-tuples, mapping order: one key.
+        a = cell_key("s", {"k": np.int64(3), "w": np.asarray([1.0, 2.0])}, 0, 0)
+        b = cell_key("s", {"w": (1.0, 2.0), "k": 3}, 0, 0)
+        assert a == b
+
+    def test_policy_objects_hash_by_type_and_state(self):
+        a = cell_key("s", {"policy": SharingPolicy()}, 0, 0)
+        b = cell_key("s", {"policy": SharingPolicy()}, 0, 0)
+        c = cell_key("s", {"policy": ExclusivePolicy()}, 0, 0)
+        assert a == b
+        assert a != c
+
+    def test_cell_keys_for_covers_the_grid_in_order(self):
+        spec = small_spec()
+        keys = cell_keys_for(spec)
+        assert len(keys) == spec.n_tasks
+        assert len(set(keys)) == spec.n_tasks
+        assert keys == cell_keys_for(spec)
+        assert keys != cell_keys_for(spec.with_seed(spec.seed + 1))
+
+
+# --------------------------------------------------------------------------
+# the store
+# --------------------------------------------------------------------------
+
+
+class TestExperimentStore:
+    def test_round_trip_and_len(self, tmp_path):
+        store = ExperimentStore(tmp_path / "cells")
+        key = "ab" * 32
+        assert key not in store
+        store.put(key, {"rows": [1, 2, 3]})
+        assert key in store
+        assert store.get(key) == {"rows": [1, 2, 3]}
+        assert len(store) == 1
+        assert list(store.keys()) == [key]
+        store.discard(key)
+        assert key not in store and len(store) == 0
+
+    def test_format_marker_and_version_check(self, tmp_path):
+        root = tmp_path / "cells"
+        ExperimentStore(root)
+        assert (root / "FORMAT").read_text().strip() == str(STORE_FORMAT)
+        ExperimentStore(root)  # reopening is fine
+        (root / "FORMAT").write_text("999\n")
+        with pytest.raises(ValueError, match="format 999"):
+            ExperimentStore(root)
+        (root / "FORMAT").write_text("not-a-store\n")
+        with pytest.raises(ValueError, match="not a repro experiment store"):
+            ExperimentStore(root)
+
+    def test_corrupt_entry_is_a_miss_and_gets_cleared(self, tmp_path):
+        store = ExperimentStore(tmp_path / "cells")
+        key = "cd" * 32
+        store.put(key, 42)
+        store.path_for(key).write_bytes(b"\x80\x04 truncated garbage")
+        assert store.get(key, "miss") == "miss"
+        assert key not in store  # debris cleared, cell will be recomputed
+
+    def test_no_temp_debris_after_puts(self, tmp_path):
+        store = ExperimentStore(tmp_path / "cells")
+        for i in range(10):
+            store.put(f"{i:02d}" + "e" * 62, list(range(i)))
+        assert not list(Path(tmp_path / "cells").rglob("*.tmp"))
+
+    def test_runner_accepts_a_path_and_reports_hit_counts(self, tmp_path):
+        spec = small_spec()
+        cold = run_experiment(spec, store=tmp_path / "cells")
+        warm = run_experiment(spec, store=tmp_path / "cells")
+        assert cold.metadata["runtime"]["store"] == {
+            "path": str(tmp_path / "cells"), "hits": 0, "misses": spec.n_tasks,
+        }
+        assert warm.metadata["runtime"]["store"] == {
+            "path": str(tmp_path / "cells"), "hits": spec.n_tasks, "misses": 0,
+        }
+        assert cold.to_json(timing=False) == warm.to_json(timing=False)
+
+    def test_resume_false_recomputes_but_still_writes(self, tmp_path):
+        spec = small_spec()
+        run_experiment(spec, store=tmp_path / "cells")
+        again = run_experiment(spec, store=tmp_path / "cells", resume=False)
+        assert again.metadata["runtime"]["store"]["hits"] == 0
+        assert again.metadata["runtime"]["store"]["misses"] == spec.n_tasks
+
+    def test_store_is_backend_and_executor_agnostic(self, tmp_path):
+        # Cells computed serially serve a parallel re-run and vice versa.
+        spec = small_spec()
+        run_experiment(spec, executor="serial", store=tmp_path / "cells")
+        warm = run_experiment(
+            spec, max_workers=2, executor="process", store=tmp_path / "cells"
+        )
+        assert warm.metadata["runtime"]["store"]["hits"] == spec.n_tasks
+
+
+# --------------------------------------------------------------------------
+# fault tolerance
+# --------------------------------------------------------------------------
+
+
+class TestFaultTolerance:
+    def test_process_pool_retries_a_killed_chunk_bit_identically(self, tmp_path):
+        marker = tmp_path / "crash-once"
+        marker.touch()
+        spec = simple_grid_spec(
+            crash_if_marker_task, n=6, marker=str(marker), victim=4
+        )
+        result = run_experiment(spec, max_workers=2, executor="process")
+        assert not marker.exists()  # the crash really happened
+        baseline = run_experiment(spec, executor="serial")
+        assert result.to_json(timing=False) == baseline.to_json(timing=False)
+
+    def test_process_pool_gives_up_after_bounded_retries(self, tmp_path):
+        executor = ProcessExecutor(workers=2, max_retries=1)
+        payloads = [
+            TaskPayload(index=i, task=_exit_task, params={}, seed=np.random.SeedSequence(i))
+            for i in range(4)
+        ]
+        with pytest.raises(ExecutorError, match="max_retries=1"):
+            list(executor.run(payloads, chunk_size=2))
+
+    def test_task_exceptions_propagate_without_retry(self):
+        spec = simple_grid_spec(failing_task, n=4)
+        with pytest.raises(ValueError, match="cell 2 is bad"):
+            run_experiment(spec, max_workers=2, executor="process")
+
+    def test_distributed_reports_task_errors_from_workers(self):
+        spec = simple_grid_spec(failing_task, n=4)
+        executor = DistributedExecutor(workers=2, spawn="thread")
+        with pytest.raises(ExecutorError, match="cell 2 is bad"):
+            run_experiment(spec, max_workers=2, executor=executor)
+
+    def test_distributed_survives_a_killed_worker_process(self, tmp_path):
+        # One auto-spawned worker subprocess os._exit()s mid-chunk; the
+        # surviving worker re-pulls the requeued chunk and the sweep
+        # completes bit-identically.
+        marker = tmp_path / "crash-once"
+        marker.touch()
+        spec = simple_grid_spec(
+            crash_if_marker_task, n=6, marker=str(marker), victim=4
+        )
+        executor = DistributedExecutor(workers=2, spawn="process")
+        result = run_experiment(spec, max_workers=2, executor=executor)
+        assert not marker.exists()
+        baseline = run_experiment(spec, executor="serial")
+        assert result.to_json(timing=False) == baseline.to_json(timing=False)
+
+    def test_distributed_stalls_out_when_no_workers_show_up(self):
+        executor = DistributedExecutor(spawn=None, wait_timeout=0.3)
+        payloads = [
+            TaskPayload(index=0, task=square_task, params={"x": 1},
+                        seed=np.random.SeedSequence(0))
+        ]
+        with pytest.raises(ExecutorError, match="no workers connected"):
+            list(executor.run(payloads, chunk_size=1))
+
+    def test_parse_address(self):
+        assert parse_address("127.0.0.1:5000") == ("127.0.0.1", 5000)
+        assert parse_address("[::1]:5000") == ("::1", 5000)
+        with pytest.raises(ValueError):
+            parse_address("5000")
+
+
+def _exit_task(params, rng):  # pragma: no cover - runs in worker processes
+    os._exit(1)
+
+
+# --------------------------------------------------------------------------
+# interrupt / resume
+# --------------------------------------------------------------------------
+
+
+class TestInterruptResume:
+    def test_interrupted_sweep_keeps_only_complete_cells_then_resumes(self, tmp_path):
+        counter = tmp_path / "counter"
+        spec = simple_grid_spec(
+            abort_after_task, n=8, counter=str(counter), limit=3
+        )
+        store_root = tmp_path / "cells"
+        with pytest.raises(KeyboardInterrupt):
+            run_experiment(spec, store=store_root)
+
+        # Only the cells that finished before the interrupt are stored, each
+        # one complete and loadable.
+        store = ExperimentStore(store_root)
+        keys = cell_keys_for(spec)
+        stored = [key for key in keys if key in store]
+        assert len(stored) == 3
+        for key in stored:
+            assert store.get(key, "miss") != "miss"
+
+        # Resume: only the missing cells run; the artifact matches an
+        # uninterrupted run bit for bit.
+        counter.write_text("-1000")  # disarm the abort
+        resumed = run_experiment(spec, store=store_root)
+        assert resumed.metadata["runtime"]["store"]["hits"] == 3
+        assert resumed.metadata["runtime"]["store"]["misses"] == 5
+        uninterrupted = run_experiment(spec)
+        assert resumed.to_json(timing=False) == uninterrupted.to_json(timing=False)
+
+    def test_sigkill_mid_sweep_leaves_a_loadable_store(self, tmp_path):
+        # Kill -9 an external sweep process mid-flight: whatever made it to
+        # disk must be complete cells, and resuming from them is identical
+        # to a fresh run.
+        store_root = tmp_path / "cells"
+        script = textwrap.dedent(
+            f"""
+            import sys
+            sys.path.insert(0, {str(REPO / "src")!r})
+            sys.path.insert(0, {str(REPO / "tests")!r})
+            from test_sweep_fabric import slow_spec
+            from repro.experiments import run_experiment
+            run_experiment(slow_spec(), store={str(store_root)!r})
+            """
+        )
+        proc = subprocess.Popen([sys.executable, "-c", script])
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            if store_root.is_dir() and any(store_root.glob("*/*.pkl")):
+                break
+            if proc.poll() is not None:
+                break
+            time.sleep(0.02)
+        else:
+            proc.kill()
+            pytest.fail("sweep subprocess never wrote a cell")
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+
+        spec = slow_spec()
+        store = ExperimentStore(store_root)
+        keys = cell_keys_for(spec)
+        n_stored = sum(1 for key in keys if key in store)
+        assert 0 < n_stored  # something finished before the kill
+        for key in keys:
+            if key in store:
+                assert store.get(key, "miss") != "miss"  # complete, loadable
+        resumed = run_experiment(spec, store=store)
+        fresh = run_experiment(spec)
+        assert resumed.to_json(timing=False) == fresh.to_json(timing=False)
+
+    def test_grid_extension_recomputes_only_new_cells(self, tmp_path):
+        store_root = tmp_path / "cells"
+        narrow = build_sweep_spec(policies=[SharingPolicy()], m=6, seed=5)
+        run_experiment(narrow, store=store_root)
+
+        # Widening the policy roster appends cells; the shared prefix of the
+        # grid keeps its content addresses and is served from the store.
+        wide = build_sweep_spec(
+            policies=[SharingPolicy(), ExclusivePolicy()], m=6, seed=5
+        )
+        assert cell_keys_for(wide)[: narrow.n_tasks] == cell_keys_for(narrow)
+        extended = run_experiment(wide, store=store_root)
+        assert extended.metadata["runtime"]["store"]["hits"] == narrow.n_tasks
+        assert (
+            extended.metadata["runtime"]["store"]["misses"]
+            == wide.n_tasks - narrow.n_tasks
+        )
+        fresh = run_experiment(wide)
+        assert extended.to_json(timing=False) == fresh.to_json(timing=False)
+
+
+def slow_spec() -> ExperimentSpec:
+    """Many quick cells — the SIGKILL test needs a sweep that outlives one cell."""
+    return ExperimentSpec(
+        name="fabric-slow",
+        description="slow synthetic grid for kill tests",
+        task=slow_task,
+        grid=tuple({"x": i} for i in range(40)),
+        seed=13,
+    )
+
+
+def slow_task(params, rng):
+    time.sleep(0.05)
+    return {"x": params["x"], "noise": float(rng.random())}
