@@ -1,0 +1,196 @@
+"""Smoke benchmark: exact coverage-time kernels vs equal-precision Monte-Carlo.
+
+Runs without pytest (plain script, stdlib + NumPy only) so CI can execute it
+as a standalone job::
+
+    PYTHONPATH=src python benchmarks/bench_coverage_times.py --output BENCH_covertime.json
+
+The comparison the Von Schelling kernels were built for: producing
+``E[T]`` and ``P(T <= t)`` for a whole batch of visit distributions
+
+* **exactly**, in one inclusion-exclusion pass
+  (:func:`repro.batch.coverage_times.expected_coverage_time_batch` /
+  :func:`~repro.batch.coverage_times.coverage_time_cdf_batch`), vs
+* **empirically to equal precision**, with the merged-search Monte-Carlo
+  estimator (:func:`~repro.batch.coverage_times.estimate_coverage_time_mc`).
+
+"Equal precision" is calibrated per run: a pilot pass measures the
+estimator's per-row variance, from which the trial count needed to push
+every row's standard error below ``rel_target * E[T]`` follows as
+``n = var / (rel_target * E[T])**2`` (the binding row decides).  The timed
+Monte-Carlo pass then runs exactly that many trials — any fewer and it
+would be *less* precise than the exact kernels, which carry no sampling
+error at all, so the reported speedup is a conservative lower bound.
+
+A correctness spot check (exact vs pilot estimate within 8 sigma on every
+clean row) guards against timing a fast wrong answer.  The script exits
+non-zero when the speedup falls below ``--min-speedup`` (default 5x) — the
+acceptance bar of the exact coverage-time layer, enforced as a CI gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.utils.envinfo import environment_metadata
+
+from repro.batch.coverage_times import (
+    coverage_time_cdf_batch,
+    estimate_coverage_time_mc,
+    expected_coverage_time_batch,
+    partial_coverage_time_batch,
+)
+
+SEED = 20180503
+
+#: Coverage grid: ragged site counts inside the exact enumeration cap,
+#: mixed per-row searcher counts — the conformance-suite regime.
+N_ROWS = 64
+M_RANGE = (4, 8)
+K_CHOICES = (1, 2, 3, 5)
+CDF_TIMES = (1, 2, 4, 8, 16, 32)
+
+#: Precision target: the Monte-Carlo pass must push every row's SEM below
+#: this fraction of its exact expectation.  A loose 5% keeps the smoke-job
+#: runtime in seconds; the exact kernels carry no sampling error at all, so
+#: any tightening only widens the reported speedup.
+REL_TARGET = 0.05
+PILOT_TRIALS = 300
+MAX_EQUAL_PRECISION_TRIALS = 200_000
+
+
+def best_of(fn, repeats: int) -> float:
+    best = np.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def coverage_grid(rng):
+    rows = []
+    for _ in range(N_ROWS):
+        m = int(rng.integers(*M_RANGE))
+        rows.append(rng.dirichlet(np.ones(m) * 0.9))
+    ks = rng.choice(K_CHOICES, size=N_ROWS).astype(np.int64)
+    return rows, ks
+
+
+def run_coverage_time_bench(
+    output: Path, *, repeats: int, min_speedup: float
+) -> tuple[bool, list[str]]:
+    """Time exact vs equal-precision Monte-Carlo and write the artifact."""
+    rng = np.random.default_rng(SEED)
+    rows, ks = coverage_grid(rng)
+    js = np.asarray([-(-len(row) // 2) for row in rows], dtype=np.int64)
+    times = np.asarray(CDF_TIMES)
+
+    def exact_pass():
+        expected = expected_coverage_time_batch(rows, ks)
+        partial = partial_coverage_time_batch(rows, ks, js)
+        cdf = coverage_time_cdf_batch(rows, ks, times)
+        return expected, partial, cdf
+
+    expected, _, _ = exact_pass()  # warm-up (also caches subset indices)
+    exact_seconds = best_of(exact_pass, repeats)
+
+    # Pilot: measure the estimator's variance, derive the equal-precision
+    # trial count, and spot-check correctness on the way.
+    pilot = estimate_coverage_time_mc(rows, ks, PILOT_TRIALS, times=times, rng=1)
+    clean = (pilot.censored_counts == 0) & np.isfinite(expected)
+    if not np.any(clean):
+        raise RuntimeError("pilot pass censored every row; grid is miscalibrated")
+    z = np.abs(expected[clean] - pilot.means[clean]) / pilot.sems[clean]
+    worst_z = float(np.max(z))
+    if worst_z > 8.0:
+        raise AssertionError(
+            f"exact vs pilot Monte-Carlo disagree: worst z = {worst_z:.2f} > 8"
+        )
+
+    variances = (pilot.sems[clean] ** 2) * PILOT_TRIALS
+    targets = (REL_TARGET * expected[clean]) ** 2
+    required = int(np.ceil(np.max(variances / targets)))
+    capped = min(max(required, PILOT_TRIALS), MAX_EQUAL_PRECISION_TRIALS)
+
+    mc_seconds = best_of(
+        lambda: estimate_coverage_time_mc(rows, ks, capped, times=times, rng=2),
+        max(1, repeats // 2),
+    )
+    speedup = mc_seconds / exact_seconds
+
+    report = {
+        "benchmark": "exact coverage-time kernels vs equal-precision Monte-Carlo",
+        "environment": environment_metadata(),
+        "grid": {
+            "rows": N_ROWS,
+            "m_range": list(M_RANGE),
+            "k_choices": list(K_CHOICES),
+            "cdf_times": list(CDF_TIMES),
+        },
+        "precision": {
+            "rel_target": REL_TARGET,
+            "pilot_trials": PILOT_TRIALS,
+            "required_trials": required,
+            "timed_trials": capped,
+            "trials_capped": required > capped,
+            "pilot_worst_z": worst_z,
+        },
+        "exact_seconds": exact_seconds,
+        "mc_seconds": mc_seconds,
+        "speedup": speedup,
+        "min_speedup_required": min_speedup,
+    }
+    output.write_text(json.dumps(report, indent=2) + "\n")
+
+    lines = [
+        f"exact pass: {exact_seconds * 1e3:.1f} ms for {N_ROWS} rows "
+        f"(E[T], partial E[T_j], {len(CDF_TIMES)}-point CDF)",
+        f"equal-precision Monte-Carlo ({capped} trials, "
+        f"rel target {REL_TARGET:.0%}): {mc_seconds * 1e3:.1f} ms",
+        f"speedup: {speedup:.1f}x (pilot worst z = {worst_z:.2f})",
+        f"artifact written to {output}",
+    ]
+    if required > capped:
+        lines.insert(
+            2,
+            f"note: required {required} trials capped at {capped} — the "
+            f"timed Monte-Carlo pass is *less* precise than requested, so "
+            f"the speedup is understated",
+        )
+    return speedup >= min_speedup, lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", type=Path, default=Path("BENCH_covertime.json"))
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=5.0,
+        help="Fail when the exact-vs-equal-precision-MC speedup drops below this.",
+    )
+    args = parser.parse_args(argv)
+
+    ok, lines = run_coverage_time_bench(
+        args.output, repeats=args.repeats, min_speedup=args.min_speedup
+    )
+    for line in lines:
+        print(line)
+    if not ok:
+        print(
+            f"FAIL: the exact coverage-time speedup fell below {args.min_speedup:.1f}x",
+            file=sys.stderr,
+        )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

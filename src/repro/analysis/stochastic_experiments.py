@@ -1,6 +1,6 @@
 """Registered experiments for the batched stochastic layer (search + mechanism).
 
-Two experiments sweep the stochastic/mechanism subsystems over instance
+Three experiments sweep the stochastic/mechanism subsystems over instance
 grids, each task evaluating one *chunk* of grid cells through the batched
 kernels (the same ``chunk_grid`` pattern as the ``dynamics`` and scenario
 experiments, so the process-pool runner parallelises across chunks while
@@ -12,14 +12,20 @@ every task amortises its kernels over many rows):
   and expected discovery time (``inf`` rows mark strategies that ignore
   possible boxes) are cross-checked against one batched Monte-Carlo
   simulation of whole searches;
+* ``coverage-times`` — the exact Von Schelling coverage-time laws
+  (:mod:`repro.batch.coverage_times`) for the same round-strategy roster:
+  expected full- and partial-coverage times and the CDF at a horizon,
+  cross-validated in-row against the merged-search Monte-Carlo estimator
+  (``z_score`` reports the SEM-normalised exact-vs-empirical gap; ``inf``
+  rows mark strategies that skip sites and are excluded from simulation);
 * ``mechanism`` — the paper's two design levers compared head to head
   (:mod:`repro.batch.mechanism`): a congestion-policy roster solved over the
   whole grid (Theorems 4-6) next to the Kleinberg-Oren reward design that
   re-prices sites under the sharing rule (Section 1.6), reporting both
   levers' coverage against the per-cell optimum.
 
-The matching ``repro-dispersal search / mechanism`` CLI sub-commands are
-thin clients of these builders, sharing the common
+The matching ``repro-dispersal search / coverage-times / mechanism`` CLI
+sub-commands are thin clients of these builders, sharing the common
 ``--seed/--json/--workers/--backend`` flags.
 """
 
@@ -34,9 +40,14 @@ from repro.analysis.observation1 import make_family
 from repro.analysis.scenario_experiments import policy_from_name
 from repro.batch import (
     PaddedValues,
+    as_visit_distribution_batch,
     compare_policies_batch,
+    coverage_time_cdf_batch,
+    estimate_coverage_time_mc,
+    expected_coverage_time_batch,
     expected_discovery_time_batch,
     optimal_grant_design_batch,
+    partial_coverage_time_batch,
     simulate_search_batch,
     success_probability_batch,
 )
@@ -58,6 +69,9 @@ __all__ = [
     "SearchRow",
     "search_task",
     "build_search_spec",
+    "CoverageTimeRow",
+    "coverage_times_task",
+    "build_coverage_times_spec",
     "MechanismPolicyRow",
     "GrantDesignRow",
     "mechanism_task",
@@ -211,6 +225,174 @@ def build_search_spec(
             "k_values": tuple(int(k) for k in k_values),
             "n_trials": int(n_trials),
             "max_rounds": int(max_rounds),
+            "batch_rows": int(batch_rows),
+            "n_cells": len(cells),
+        },
+    )
+
+
+# --------------------------------------------------------------------------
+# coverage-times
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CoverageTimeRow:
+    """One round strategy's coverage-time law on one ``(family, M, k)`` cell.
+
+    The exact columns come from the Von Schelling inclusion-exclusion
+    kernels: expected rounds until *all* sites are visited
+    (``expected_rounds``, ``inf`` when the strategy skips a site), until any
+    ``ceil(M / 2)`` distinct sites are visited (``expected_partial_rounds``),
+    and ``P(T <= horizon)`` (``cdf_at_horizon``).  The empirical columns come
+    from :func:`~repro.batch.coverage_times.estimate_coverage_time_mc`;
+    ``z_score`` is the SEM-normalised exact-vs-empirical gap (``nan`` for
+    uncoverable or censored rows, whose trials the estimator flags through
+    ``censored_trials`` instead of silently biasing the mean).
+    """
+
+    strategy: str
+    family: str
+    m: int
+    k: int
+    expected_rounds: float
+    expected_partial_rounds: float
+    partial_j: int
+    cdf_at_horizon: float
+    horizon: int
+    empirical_mean_rounds: float
+    empirical_sem: float
+    z_score: float
+    censored_trials: int
+    n_trials: int
+    max_rounds: int
+
+
+def coverage_times_task(
+    params: Mapping[str, Any], rng: np.random.Generator
+) -> list[CoverageTimeRow]:
+    """Runner task: one chunk of cells through the coverage-time kernels.
+
+    Every cell — a ``(family, M, k)`` tuple — becomes one row of the
+    ``(B,)`` visit-distribution batch; each strategy of the roster is
+    evaluated with one exact pass (expectation, partial expectation, CDF at
+    the horizon) and one merged-search Monte-Carlo estimate over the whole
+    chunk.  Uncoverable rows (strategies that skip sites) report ``inf``
+    exact times and ``nan`` empirical columns; the estimator itself skips
+    their simulation.
+    """
+    cells = tuple(params["cells"])
+    roster = tuple(params["strategies"])
+    n_trials = int(params["n_trials"])
+    max_rounds = int(params["max_rounds"])
+    horizon = int(params["horizon"])
+
+    problems = [
+        BayesianSearchProblem.from_weights(make_family(str(family), int(m), rng).as_array())
+        for family, m, _ in cells
+    ]
+    ks = np.asarray([int(k) for _, _, k in cells], dtype=np.int64)
+    js = np.asarray([-(-int(m) // 2) for _, m, _ in cells], dtype=np.int64)
+
+    rows: list[CoverageTimeRow] = []
+    for name in roster:
+        factory = SEARCH_STRATEGY_FACTORIES[str(name)]
+        probs, sizes = as_visit_distribution_batch(
+            [factory(problem, int(k)) for problem, k in zip(problems, ks)]
+        )
+        expected = expected_coverage_time_batch(probs, ks, sizes=sizes)
+        partial = partial_coverage_time_batch(probs, ks, js, sizes=sizes)
+        cdf = coverage_time_cdf_batch(probs, ks, horizon, sizes=sizes)
+        estimate = estimate_coverage_time_mc(
+            probs, ks, n_trials, sizes=sizes, max_rounds=max_rounds, rng=rng
+        )
+        with np.errstate(invalid="ignore"):
+            z_scores = np.abs(expected - estimate.means) / estimate.sems
+        rows.extend(
+            CoverageTimeRow(
+                strategy=str(name),
+                family=str(family),
+                m=int(m),
+                k=int(k),
+                expected_rounds=float(expected[index]),
+                expected_partial_rounds=float(partial[index]),
+                partial_j=int(js[index]),
+                cdf_at_horizon=float(cdf[index]),
+                horizon=horizon,
+                empirical_mean_rounds=float(estimate.means[index]),
+                empirical_sem=float(estimate.sems[index]),
+                z_score=float(z_scores[index]),
+                censored_trials=int(estimate.censored_counts[index]),
+                n_trials=n_trials,
+                max_rounds=max_rounds,
+            )
+            for index, (family, m, k) in enumerate(cells)
+        )
+    return rows
+
+
+@register_experiment(
+    "coverage-times",
+    "Exact Von Schelling coverage-time laws vs the merged-search Monte-Carlo estimator",
+)
+def build_coverage_times_spec(
+    *,
+    strategies: Sequence[str] = ("sigma_star", "uniform", "proportional", "greedy_top_k"),
+    families: Sequence[str] = ("zipf", "uniform", "geometric"),
+    m_values: Sequence[int] = (4, 6),
+    k_values: Sequence[int] = (1, 2, 4),
+    n_trials: int = 400,
+    max_rounds: int = 4000,
+    horizon: int = 64,
+    batch_rows: int | None = None,
+    seed: int = 0,
+) -> ExperimentSpec:
+    """Spec builder of the ``coverage-times`` experiment.
+
+    The full ``(family, M, k)`` grid is flattened into cells and chunked into
+    one task per ``batch_rows`` rows; each task packs its chunk into one
+    visit-distribution batch per strategy and runs one exact and one
+    Monte-Carlo pass.  ``m_values`` should stay within the exact kernels'
+    enumeration cap (:data:`repro.batch.coverage_times.DEFAULT_MAX_EXACT_SITES`).
+    """
+    roster = [str(name) for name in strategies]
+    for name in roster:
+        if name not in SEARCH_STRATEGY_FACTORIES:
+            available = ", ".join(sorted(SEARCH_STRATEGY_FACTORIES))
+            raise ValueError(f"unknown search strategy {name!r}; available: {available}")
+    cells = [
+        (str(family), check_positive_integer(int(m), "m"), check_positive_integer(int(k), "k"))
+        for family in families
+        for m in m_values
+        for k in k_values
+    ]
+    batch_rows = resolve_batch_rows(batch_rows, len(cells))
+    grid = [
+        {
+            "cells": chunk,
+            "strategies": tuple(roster),
+            "n_trials": check_positive_integer(n_trials, "n_trials"),
+            "max_rounds": check_positive_integer(max_rounds, "max_rounds"),
+            "horizon": check_positive_integer(horizon, "horizon"),
+        }
+        for chunk in chunk_grid(cells, batch_rows)
+    ]
+    return ExperimentSpec(
+        name="coverage-times",
+        description=(
+            f"Coverage-time laws, {len(roster)} strategies on {len(cells)} problems"
+        ),
+        task=coverage_times_task,
+        grid=tuple(grid),
+        seed=int(seed),
+        metadata={
+            "strategies": tuple(roster),
+            "families": tuple(str(f) for f in families),
+            "m_values": tuple(int(m) for m in m_values),
+            "k_values": tuple(int(k) for k in k_values),
+            "n_trials": int(n_trials),
+            "max_rounds": int(max_rounds),
+            "horizon": int(horizon),
             "batch_rows": int(batch_rows),
             "n_cells": len(cells),
         },

@@ -44,7 +44,12 @@ This subpackage solves entire grids in a handful of NumPy passes:
 * :mod:`repro.batch.search` — batched Bayesian search: closed-form success
   probabilities and (where-masked, ``inf``-aware) expected discovery times,
   plus a whole-search Monte-Carlo simulator with geometric and lockstep
-  round-stepping methods.
+  round-stepping methods;
+* :mod:`repro.batch.coverage_times` — exact coverage-time laws (Von
+  Schelling generalized coupon collector): full-coverage CDF and
+  expectation plus partial (``j``-of-``M``) coverage expectations via
+  signed log-sum-exp inclusion-exclusion, with a Monte-Carlo
+  cross-validator recombining merged two-box search simulations.
 
 Every kernel body is pure Array-API code against the backend resolved by
 :mod:`repro.backend` (``numpy`` by default; ``array_api_strict`` / ``torch``
@@ -124,6 +129,15 @@ from repro.batch.search import (
     simulate_search_batch,
     success_probability_batch,
 )
+from repro.batch.coverage_times import (
+    DEFAULT_MAX_EXACT_SITES,
+    CoverageTimeEstimate,
+    as_visit_distribution_batch,
+    coverage_time_cdf_batch,
+    estimate_coverage_time_mc,
+    expected_coverage_time_batch,
+    partial_coverage_time_batch,
+)
 
 __all__ = [
     "PaddedValues",
@@ -177,4 +191,11 @@ __all__ = [
     "success_probability_batch",
     "expected_discovery_time_batch",
     "simulate_search_batch",
+    "DEFAULT_MAX_EXACT_SITES",
+    "CoverageTimeEstimate",
+    "as_visit_distribution_batch",
+    "coverage_time_cdf_batch",
+    "expected_coverage_time_batch",
+    "partial_coverage_time_batch",
+    "estimate_coverage_time_mc",
 ]

@@ -288,6 +288,11 @@ class SearchSimulationBatch:
         where nothing was found).
     round_one_success_rates:
         ``(B,)`` fraction of trials decided in the first round.
+    censored_counts:
+        ``(B,)`` ``int64`` number of censored trials per row
+        (``n_trials - n_trials * success_rates``, exactly) — nonzero rows
+        mark conditional statistics that must not be compared against
+        unconditional closed forms.
     rounds:
         ``(B, n_trials)`` ``int64`` per-trial discovery rounds
         (``max_rounds + 1`` = censored).
@@ -300,6 +305,7 @@ class SearchSimulationBatch:
     success_rates: np.ndarray
     mean_rounds_when_found: np.ndarray
     round_one_success_rates: np.ndarray
+    censored_counts: np.ndarray
     rounds: np.ndarray
 
 
@@ -396,6 +402,7 @@ def simulate_search_batch(
         success_rates=found.mean(axis=1),
         mean_rounds_when_found=mean_rounds,
         round_one_success_rates=(rounds == 1).mean(axis=1),
+        censored_counts=(n_trials - counts).astype(np.int64),
         rounds=rounds.astype(np.int64),
     )
 

@@ -12,6 +12,7 @@ Usage (after ``pip install -e .``)::
     repro-dispersal group-competition [--policies exclusive sharing aggressive]
     repro-dispersal repeated [--rounds 6] [--depletions 0 0.25 0.5]
     repro-dispersal search [--trials 600] [--strategies sigma_star uniform]
+    repro-dispersal coverage-times [--trials 400] [--horizon 64]
     repro-dispersal mechanism [--policies exclusive sharing] [--design-policy sharing]
     repro-dispersal serve [--host 127.0.0.1] [--port 8080] [--max-batch 64]
     repro-dispersal worker --connect HOST:PORT
@@ -85,6 +86,7 @@ from repro.analysis.stochastic_experiments import (
     SEARCH_STRATEGY_FACTORIES as _SEARCH_STRATEGIES,
     GrantDesignRow,
     MechanismPolicyRow,
+    build_coverage_times_spec,
     build_mechanism_spec,
     build_search_spec,
 )
@@ -347,6 +349,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-rounds", type=int, default=400, help="Censoring horizon of the simulation."
     )
     search.add_argument(
+        "--batch",
+        type=int,
+        default=None,
+        help="Grid cells per batched kernel call (default: auto-tuned).",
+    )
+
+    coverage_times = sub.add_parser(
+        "coverage-times",
+        parents=[common],
+        help="Exact Von Schelling coverage-time laws vs the Monte-Carlo estimator.",
+    )
+    coverage_times.add_argument(
+        "--strategies",
+        nargs="+",
+        choices=sorted(_SEARCH_STRATEGIES),
+        default=["sigma_star", "uniform", "proportional", "greedy_top_k"],
+        help="Round-strategy roster evaluated on every problem.",
+    )
+    coverage_times.add_argument(
+        "--trials", type=int, default=400, help="Simulated coverage runs per cell."
+    )
+    coverage_times.add_argument(
+        "--max-rounds", type=int, default=4000, help="Censoring horizon of the simulation."
+    )
+    coverage_times.add_argument(
+        "--horizon", type=int, default=64, help="Round at which the exact CDF is reported."
+    )
+    coverage_times.add_argument(
         "--batch",
         type=int,
         default=None,
@@ -741,6 +771,37 @@ def _run_search(args: argparse.Namespace) -> str:
     )
 
 
+def _run_coverage_times(args: argparse.Namespace) -> str:
+    spec = build_coverage_times_spec(
+        strategies=args.strategies,
+        n_trials=args.trials,
+        max_rounds=args.max_rounds,
+        horizon=args.horizon,
+        batch_rows=args.batch,
+        seed=args.seed,
+    )
+    result = _execute(spec, args)
+    if args.json:
+        return result.to_json(timing=False)
+    rows = list(result.rows)
+    validated = [
+        row
+        for row in rows
+        if np.isfinite(row.expected_rounds) and row.censored_trials == 0
+    ]
+    uncoverable = sum(1 for row in rows if not np.isfinite(row.expected_rounds))
+    censored = sum(1 for row in rows if np.isfinite(row.expected_rounds) and row.censored_trials)
+    max_z = max((row.z_score for row in validated), default=float("nan"))
+    headline = (
+        f"exact vs Monte-Carlo agreement on {len(validated)}/{len(rows)} rows "
+        f"(max |z| = {max_z:.2f}; {uncoverable} uncoverable, {censored} censored)"
+    )
+    return render_report(
+        "Coverage times: exact Von Schelling laws vs merged-search simulation",
+        [(headline, rows_to_table(rows))],
+    )
+
+
 def _run_mechanism(args: argparse.Namespace) -> str:
     spec = build_mechanism_spec(
         policies=args.policies,
@@ -850,6 +911,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "group-competition": _run_group_competition,
         "repeated": _run_repeated,
         "search": _run_search,
+        "coverage-times": _run_coverage_times,
         "mechanism": _run_mechanism,
         "serve": _run_serve,
         "worker": _run_worker,

@@ -6,7 +6,9 @@ in which ``k`` searchers, unable to coordinate, look for a treasure hidden in
 one of ``M`` boxes according to a known prior.  This subpackage implements
 that substrate: the search problem, round strategies (including the
 ``sigma_star``-derived one), the exact success/discovery-time formulas for
-memoryless strategies, and a Monte-Carlo search simulator.
+memoryless strategies, a Monte-Carlo search simulator, and the exact
+coverage-time laws (Von Schelling generalized coupon collector) of a round
+strategy replayed until every site has been visited.
 """
 
 from repro.search.boxes import BayesianSearchProblem
@@ -23,6 +25,11 @@ from repro.search.simulator import (
     simulate_search,
     single_round_success_probability,
 )
+from repro.search.coverage_times import (
+    coverage_time_cdf,
+    expected_coverage_time,
+    partial_coverage_time,
+)
 
 __all__ = [
     "BayesianSearchProblem",
@@ -35,4 +42,7 @@ __all__ = [
     "expected_discovery_time",
     "simulate_search",
     "compare_search_strategies",
+    "expected_coverage_time",
+    "coverage_time_cdf",
+    "partial_coverage_time",
 ]

@@ -56,10 +56,12 @@ class SearchOutcome:
 
     ``rounds`` holds one entry per trial; ``max_rounds + 1`` marks a
     **censored** trial whose treasure was not found within ``max_rounds``
-    rounds.  ``mean_rounds_when_found`` conditions on the uncensored trials
+    rounds, and ``n_censored`` counts them explicitly.
+    ``mean_rounds_when_found`` conditions on the uncensored trials
     only, so it under-estimates the true
     :func:`expected_discovery_time` whenever ``success_rate < 1`` (and in
-    particular whenever the closed form is infinite).
+    particular whenever the closed form is infinite) — exact-vs-empirical
+    comparisons must skip outcomes with ``n_censored > 0``.
     """
 
     n_trials: int
@@ -68,6 +70,7 @@ class SearchOutcome:
     success_rate: float
     mean_rounds_when_found: float
     round_one_success_rate: float
+    n_censored: int
     rounds: np.ndarray
 
 
@@ -151,6 +154,7 @@ def simulate_search(
         success_rate=float(batch.success_rates[0]),
         mean_rounds_when_found=float(batch.mean_rounds_when_found[0]),
         round_one_success_rate=float(batch.round_one_success_rates[0]),
+        n_censored=int(batch.censored_counts[0]),
         rounds=np.asarray(batch.rounds[0], dtype=int),
     )
 

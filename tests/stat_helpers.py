@@ -1,0 +1,152 @@
+"""Reusable statistical assertion helpers for exact-vs-Monte-Carlo tests.
+
+The stochastic suites compare closed-form quantities against Monte-Carlo
+estimates.  Ad-hoc absolute tolerances conflate two very different error
+sources — sampling noise (shrinks like ``1/sqrt(n)``) and genuine kernel
+bugs (don't) — so these helpers phrase every comparison in *sampling* units:
+
+* :func:`assert_z_within` — SEM-normalised z-test of an estimate against an
+  exact value (or of two independent estimates against each other via
+  :func:`assert_two_sample_z_within`): the assertion budget is a number of
+  standard errors, not an absolute gap, so it is invariant to trial count.
+* :func:`assert_cdf_within_band` — a Dvoretzky-Kiefer-Wolfowitz style
+  uniform band around an empirical CDF: ``eps = sqrt(ln(2 / alpha) / (2 n))``
+  covers the whole curve simultaneously with probability ``1 - alpha``,
+  where ``alpha`` is derived from the requested sigma level so callers keep
+  thinking in sigmas.
+
+All helpers accept scalars or arrays and produce failure messages naming the
+worst offender, its z-score (or band exceedance) and the budget.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "sigmas_to_alpha",
+    "assert_z_within",
+    "assert_two_sample_z_within",
+    "assert_cdf_within_band",
+]
+
+
+def sigmas_to_alpha(sigmas: float) -> float:
+    """Two-sided tail mass of a standard normal beyond ``sigmas``.
+
+    Converts a sigma budget into the significance level ``alpha`` used by
+    the DKW band, so every helper speaks the same "how many sigmas" dialect.
+    """
+    return math.erfc(float(sigmas) / math.sqrt(2.0))
+
+
+def assert_z_within(
+    estimates,
+    exact,
+    sems,
+    sigmas: float = 4.0,
+    *,
+    context: str = "estimate",
+) -> np.ndarray:
+    """Assert ``|estimates - exact| <= sigmas * sems`` elementwise.
+
+    ``estimates``/``exact``/``sems`` broadcast together; entries where any
+    input is NaN are skipped (censored/uncoverable rows flag themselves with
+    NaN rather than biasing the comparison) and entries where both sides are
+    infinite agree by convention.  Returns the z-score array (NaN where
+    skipped) for callers that want to report or aggregate further.
+    """
+    estimates = np.asarray(estimates, dtype=float)
+    exact = np.asarray(exact, dtype=float)
+    sems = np.asarray(sems, dtype=float)
+    estimates, exact, sems = np.broadcast_arrays(estimates, exact, sems)
+
+    z = np.full(estimates.shape, np.nan)
+    comparable = np.isfinite(estimates) & np.isfinite(exact) & np.isfinite(sems)
+    both_infinite = np.isinf(estimates) & np.isinf(exact) & (np.sign(estimates) == np.sign(exact))
+    z[both_infinite] = 0.0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = np.abs(estimates - exact) / sems
+    z[comparable] = ratio[comparable]
+    # A zero SEM demands exact agreement: 0/0 -> 0, gap/0 -> inf (fails).
+    exact_match = comparable & (sems == 0.0) & (estimates == exact)
+    z[exact_match] = 0.0
+
+    checked = np.isfinite(z) | np.isinf(z)
+    if not np.any(checked):
+        return z
+    worst = np.nanmax(np.where(checked, z, -np.inf))
+    if worst > float(sigmas):
+        index = np.unravel_index(int(np.argmax(np.where(checked, z, -np.inf))), z.shape)
+        raise AssertionError(
+            f"{context}: worst z-score {worst:.3f} exceeds the {float(sigmas):.1f}-sigma "
+            f"budget at index {tuple(int(i) for i in index)} "
+            f"(estimate={estimates[index]!r}, exact={exact[index]!r}, sem={sems[index]!r})"
+        )
+    return z
+
+
+def assert_two_sample_z_within(
+    first,
+    first_sems,
+    second,
+    second_sems,
+    sigmas: float = 4.0,
+    *,
+    context: str = "estimates",
+) -> np.ndarray:
+    """Assert two independent estimates agree within ``sigmas`` combined SEMs.
+
+    The combined standard error is the quadrature sum
+    ``sqrt(sem_a**2 + sem_b**2)`` — the null hypothesis is that both
+    estimators target the same underlying value.
+    """
+    first_sems = np.asarray(first_sems, dtype=float)
+    second_sems = np.asarray(second_sems, dtype=float)
+    combined = np.sqrt(first_sems**2 + second_sems**2)
+    return assert_z_within(first, second, combined, sigmas, context=context)
+
+
+def assert_cdf_within_band(
+    empirical_cdf,
+    exact_cdf,
+    n_samples: int,
+    sigmas: float = 4.0,
+    *,
+    context: str = "CDF",
+) -> float:
+    """Assert an empirical CDF stays in a DKW-style band around the exact one.
+
+    The Dvoretzky-Kiefer-Wolfowitz inequality bounds the uniform deviation
+    of an ``n``-sample empirical CDF: ``P(sup |F_n - F| > eps) <= alpha``
+    for ``eps = sqrt(ln(2 / alpha) / (2 n))``.  ``alpha`` is derived from
+    ``sigmas`` via :func:`sigmas_to_alpha`, so the band is the CDF-shaped
+    analogue of a ``sigmas``-sigma z-test and covers every grid point of the
+    curve *simultaneously*.  NaN entries (censored rows) are skipped.
+    Returns the worst deviation in band units.
+    """
+    empirical = np.asarray(empirical_cdf, dtype=float)
+    exact = np.asarray(exact_cdf, dtype=float)
+    empirical, exact = np.broadcast_arrays(empirical, exact)
+    n_samples = int(n_samples)
+    if n_samples <= 0:
+        raise ValueError("n_samples must be positive")
+
+    alpha = sigmas_to_alpha(sigmas)
+    eps = math.sqrt(math.log(2.0 / alpha) / (2.0 * n_samples))
+    comparable = np.isfinite(empirical) & np.isfinite(exact)
+    if not np.any(comparable):
+        return 0.0
+    deviations = np.where(comparable, np.abs(empirical - exact), 0.0)
+    worst = float(np.max(deviations))
+    if worst > eps:
+        index = np.unravel_index(int(np.argmax(deviations)), deviations.shape)
+        raise AssertionError(
+            f"{context}: empirical CDF leaves the DKW band at index "
+            f"{tuple(int(i) for i in index)} — |{empirical[index]:.6f} - "
+            f"{exact[index]:.6f}| = {worst:.6f} > eps = {eps:.6f} "
+            f"(n={n_samples}, {float(sigmas):.1f} sigma, alpha={alpha:.3g})"
+        )
+    return worst / eps

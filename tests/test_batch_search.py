@@ -24,6 +24,7 @@ import pytest
 
 from conftest import backend_params
 from repro.backend import use_backend
+from stat_helpers import assert_two_sample_z_within, assert_z_within
 from repro.batch.search import (
     as_prior_batch,
     as_search_strategy_batch,
@@ -153,9 +154,15 @@ class TestSimulation:
             priors, matrix, ks, n_trials, max_rounds=100, rng=3, method=method
         )
         expected = success_probability_batch(priors, matrix, ks)
+        # Under the null the round-one count is Binomial(n, p): SEM-aware
+        # z-test instead of an ad-hoc absolute tolerance.
         sems = np.sqrt(np.maximum(expected * (1 - expected), 1e-12) / n_trials)
-        assert np.all(
-            np.abs(batch.round_one_success_rates - expected) < SIGMAS * sems + 1e-9
+        assert_z_within(
+            batch.round_one_success_rates,
+            expected,
+            sems,
+            SIGMAS,
+            context=f"round-one rate ({method})",
         )
 
     def test_methods_agree_in_distribution(self):
@@ -170,11 +177,31 @@ class TestSimulation:
         lockstep = simulate_search_batch(
             priors, matrix, 2, n_trials, max_rounds=300, rng=1, method="lockstep"
         )
-        assert geometric.success_rates[0] == pytest.approx(1.0, abs=0.01)
-        assert lockstep.success_rates[0] == pytest.approx(1.0, abs=0.01)
+        assert geometric.censored_counts[0] == 0
+        assert lockstep.censored_counts[0] == 0
         expected = expected_discovery_time_batch(priors, matrix, 2)[0]
-        for batch in (geometric, lockstep):
-            assert batch.mean_rounds_when_found[0] == pytest.approx(expected, rel=0.1)
+        # Exact-vs-empirical and method-vs-method in sampling units: the SEM
+        # of each uncensored mean replaces the old 10% relative tolerance.
+        sems = [
+            float(np.std(batch.rounds[0], ddof=1) / np.sqrt(n_trials))
+            for batch in (geometric, lockstep)
+        ]
+        for batch, sem in zip((geometric, lockstep), sems):
+            assert_z_within(
+                batch.mean_rounds_when_found[0],
+                expected,
+                sem,
+                SIGMAS,
+                context=f"mean rounds ({batch.method})",
+            )
+        assert_two_sample_z_within(
+            geometric.mean_rounds_when_found[0],
+            sems[0],
+            lockstep.mean_rounds_when_found[0],
+            sems[1],
+            SIGMAS,
+            context="geometric vs lockstep mean rounds",
+        )
 
     def test_lockstep_early_exit_when_treasure_is_certain(self):
         # One box: every search ends in round one, so the loop exits after it.
@@ -196,6 +223,48 @@ class TestSimulation:
         assert batch.success_rates[0] == pytest.approx(0.5, abs=0.05)
         assert batch.rounds.max() == 4  # max_rounds + 1 = censored marker
         assert np.all(batch.rounds >= 1)
+        # The explicit censored-count field mirrors the rounds marker exactly.
+        np.testing.assert_array_equal(
+            batch.censored_counts, (batch.rounds > batch.max_rounds).sum(axis=1)
+        )
+        assert batch.censored_counts[0] > 0
+
+    def test_censored_rows_are_excluded_from_exact_comparisons(self, rng):
+        # Regression: a harshly censored row's conditional mean is biased
+        # low; the censored_counts flag is what exempts it from the
+        # exact-vs-empirical z-test (comparing it anyway would fail).
+        problem = BayesianSearchProblem.zipf(8)
+        priors = as_prior_batch([problem, problem])
+        strategy = uniform_strategy(problem)
+        matrix = as_search_strategy_batch([strategy, strategy], priors)
+        n_trials = 2_000
+        batch = simulate_search_batch(
+            priors, matrix, [1, 1], n_trials, max_rounds=4, rng=11
+        )
+        assert np.all(batch.censored_counts > 0)
+        expected = expected_discovery_time_batch(priors, matrix, [1, 1])
+        sems = np.std(batch.rounds, axis=1, ddof=1) / np.sqrt(n_trials)
+        means = np.where(batch.censored_counts > 0, np.nan, batch.mean_rounds_when_found)
+        # NaN-flagged rows are skipped by the helper: the assertion passes
+        # only because every biased row is masked out.
+        z = assert_z_within(means, expected, sems, SIGMAS, context="censored rows")
+        assert np.all(np.isnan(z))
+        with pytest.raises(AssertionError, match="z-score"):
+            assert_z_within(
+                batch.mean_rounds_when_found, expected, sems, SIGMAS, context="biased"
+            )
+
+    def test_scalar_outcome_reports_censored_count(self):
+        problem = BayesianSearchProblem.uniform(6)
+        outcome = simulate_search(
+            problem, uniform_strategy(problem), 1, 400, max_rounds=2, rng=9
+        )
+        assert outcome.n_censored == int(np.sum(outcome.rounds > outcome.max_rounds))
+        assert outcome.n_censored > 0
+        covered = simulate_search(
+            problem, uniform_strategy(problem), 4, 100, max_rounds=5_000, rng=9
+        )
+        assert covered.n_censored == 0
 
     def test_nothing_found_reports_nan_mean_rounds(self):
         priors = np.array([[1.0, 0.0]])

@@ -25,6 +25,7 @@ import pytest
 
 from conftest import backend_params
 from repro.backend import use_backend
+from stat_helpers import assert_two_sample_z_within, assert_z_within
 from repro.batch import (
     PaddedValues,
     coverage_batch,
@@ -155,13 +156,30 @@ class TestAgreementWithExactFormulas:
         exact = coverage_batch(padded, strategies, unique_ks)[
             np.arange(padded.batch_size), columns
         ]
-        for index, values in enumerate(instances):
-            tolerance = SIGMAS * max(float(batch.coverage_sems[index]), 1e-9)
-            assert abs(float(batch.coverage_means[index]) - float(exact[index])) < tolerance
-            strategy = Strategy(strategies[index, : values.m])
-            payoff = individual_payoff(values, strategy, int(ks[index]), policy)
-            tolerance = SIGMAS * max(float(batch.payoff_sems[index]), 1e-9)
-            assert abs(float(batch.payoff_means[index]) - payoff) < tolerance
+        # SEM-aware z-tests (stat_helpers) replace the old ad-hoc absolute
+        # tolerances; the floor keeps exact-hit rows with zero SEM passing.
+        assert_z_within(
+            batch.coverage_means,
+            exact,
+            np.maximum(batch.coverage_sems, 1e-9),
+            SIGMAS,
+            context="coverage",
+        )
+        payoffs = np.array(
+            [
+                individual_payoff(
+                    values, Strategy(strategies[index, : values.m]), int(ks[index]), policy
+                )
+                for index, values in enumerate(instances)
+            ]
+        )
+        assert_z_within(
+            batch.payoff_means,
+            payoffs,
+            np.maximum(batch.payoff_sems, 1e-9),
+            SIGMAS,
+            context="payoff",
+        )
 
     def test_histogram_invariants_on_ragged_mixed_k_batches(self, rng):
         instances, padded, ks, strategies = ragged_batch(rng)
@@ -248,10 +266,14 @@ class TestProfileBatch:
             n_trials,
             22,
         )
-        sem = max(float(symmetric.coverage_sems[0]), float(profile.coverage_sems[0]))
-        assert abs(
-            float(symmetric.coverage_means[0]) - float(profile.coverage_means[0])
-        ) < SIGMAS * np.sqrt(2) * max(sem, 1e-9)
+        assert_two_sample_z_within(
+            symmetric.coverage_means[0],
+            max(float(symmetric.coverage_sems[0]), 1e-9),
+            profile.coverage_means[0],
+            max(float(profile.coverage_sems[0]), 1e-9),
+            SIGMAS,
+            context="symmetric vs profile coverage",
+        )
 
 
 class TestValidation:

@@ -59,7 +59,8 @@ class TestParser:
         # experiment sub-command accepts them.
         for command in ("figure1", "observation1", "spoa", "ess", "sweep",
                         "dynamics", "travel-costs", "group-competition",
-                        "repeated", "search", "mechanism", "experiments"):
+                        "repeated", "search", "coverage-times", "mechanism",
+                        "experiments"):
             args = build_parser().parse_args(
                 [command, "--executor", "serial", "--store", "cells", "--resume"]
             )
@@ -77,6 +78,21 @@ class TestParser:
         for flag in ("--executor", "--store", "--resume", "--bind"):
             assert flag in out
         assert "distributed" in out
+
+    def test_coverage_times_defaults_and_choices(self):
+        args = build_parser().parse_args(["coverage-times"])
+        assert args.command == "coverage-times"
+        assert args.trials == 400
+        assert args.max_rounds == 4000
+        assert args.horizon == 64
+        assert args.batch is None
+        args = build_parser().parse_args(
+            ["coverage-times", "--strategies", "uniform", "sigma_star", "--horizon", "16"]
+        )
+        assert args.strategies == ["uniform", "sigma_star"]
+        assert args.horizon == 16
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["coverage-times", "--strategies", "nonsense"])
 
     def test_worker_subcommand_help_and_parsing(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
@@ -125,6 +141,16 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "trajectories converged" in out
         assert "exploitability" in out
+
+    def test_coverage_times_command(self, capsys):
+        assert main(
+            ["coverage-times", "--trials", "60", "--max-rounds", "500",
+             "--strategies", "uniform", "proportional"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "exact vs Monte-Carlo agreement" in out
+        assert "uncoverable" in out
+        assert "expected_rounds" in out
 
     def test_observation1_store_round_trip(self, capsys, tmp_path):
         # A cold run populates the store; the warm re-run answers every cell

@@ -147,6 +147,26 @@ def test_sweeps_guide_documents_the_fabric_contract():
     assert "mermaid" in text, "sweeps.md must include the fabric diagram"
 
 
+def test_coverage_times_guide_documents_the_exact_layer_contract():
+    text = (DOCS / "coverage_times.md").read_text()
+    # The exact kernel family, its estimator, and the scalar wrappers.
+    for symbol in (
+        "coverage_time_cdf_batch",
+        "expected_coverage_time_batch",
+        "partial_coverage_time_batch",
+        "estimate_coverage_time_mc",
+    ):
+        assert symbol in text, f"coverage_times.md does not document {symbol}"
+    assert "::: repro.batch.coverage_times" in text
+    assert "::: repro.search.coverage_times" in text
+    # The degenerate contract and the enumeration cap.
+    assert "`inf`" in text, "the uncoverable-row contract must be documented"
+    assert "DEFAULT_MAX_EXACT_SITES" in text
+    # The statistical-validation story and the CI artifact gating the layer.
+    assert "stat_helpers" in text
+    assert "BENCH_covertime.json" in text
+
+
 def test_examples_gallery_documents_every_example_script():
     text = (DOCS / "examples.md").read_text()
     for script in sorted((REPO / "examples").glob("*.py")):

@@ -31,6 +31,7 @@ import numpy as np
 import pytest
 
 from repro.analysis.observation1 import build_observation1_spec
+from repro.analysis.stochastic_experiments import build_coverage_times_spec
 from repro.analysis.sweeps import build_dynamics_spec, build_sweep_spec
 from repro.core.policies import ExclusivePolicy, SharingPolicy
 from repro.experiments import (
@@ -143,6 +144,17 @@ class TestExecutorBitIdentity:
         executor = DistributedExecutor(workers=2, spawn="process")
         distributed = run_experiment(spec, max_workers=2, executor=executor)
         assert serial.to_json(timing=False) == distributed.to_json(timing=False)
+
+    def test_strategies_match_on_coverage_times_grid(self):
+        # The coverage-times tasks draw chunk-wide rng for both the instance
+        # families and the merged-search Monte-Carlo pass — a worst case for
+        # seed threading through the executors.
+        spec = coverage_times_spec()
+        artifacts = {
+            name: run_experiment(spec, max_workers=2, executor=name).to_json(timing=False)
+            for name in ("serial", "process", "async")
+        }
+        assert len(set(artifacts.values())) == 1
 
     def test_strategies_match_on_rng_heavy_dynamics_grid(self):
         # Property-style sweep over a spec whose tasks consume chunk-wide rng.
@@ -474,6 +486,42 @@ class TestInterruptResume:
         fresh = run_experiment(spec)
         assert resumed.to_json(timing=False) == fresh.to_json(timing=False)
 
+    def test_interrupted_coverage_times_sweep_resumes_bit_identically(self, tmp_path):
+        # Kill a coverage-times sweep after its first chunk; the resumed run
+        # must serve that chunk from the store and still serialise exactly
+        # like an uninterrupted sweep (exact + Monte-Carlo columns included).
+        spec = coverage_times_spec()
+        assert spec.n_tasks >= 2
+        store_root = tmp_path / "cells"
+        store = ExperimentStore(store_root)
+        keys = cell_keys_for(spec)
+
+        class FirstChunkOnly:
+            """Store wrapper that interrupts the sweep after one put."""
+
+            def __init__(self):
+                self.puts = 0
+
+            def get(self, key, default=None):
+                return store.get(key, default)
+
+            def put(self, key, value):
+                store.put(key, value)
+                self.puts += 1
+                if self.puts >= 1:
+                    raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            run_experiment(spec, store=FirstChunkOnly())
+        stored = [key for key in keys if key in store]
+        assert len(stored) == 1
+
+        resumed = run_experiment(spec, store=store_root)
+        assert resumed.metadata["runtime"]["store"]["hits"] == 1
+        assert resumed.metadata["runtime"]["store"]["misses"] == spec.n_tasks - 1
+        fresh = run_experiment(spec)
+        assert resumed.to_json(timing=False) == fresh.to_json(timing=False)
+
     def test_grid_extension_recomputes_only_new_cells(self, tmp_path):
         store_root = tmp_path / "cells"
         narrow = build_sweep_spec(policies=[SharingPolicy()], m=6, seed=5)
@@ -493,6 +541,21 @@ class TestInterruptResume:
         )
         fresh = run_experiment(wide)
         assert extended.to_json(timing=False) == fresh.to_json(timing=False)
+
+
+def coverage_times_spec() -> ExperimentSpec:
+    """A tiny multi-chunk coverage-times grid for fabric tests."""
+    return build_coverage_times_spec(
+        strategies=("uniform", "proportional"),
+        families=("zipf", "uniform"),
+        m_values=(3, 4),
+        k_values=(1, 2),
+        n_trials=60,
+        max_rounds=500,
+        horizon=16,
+        batch_rows=3,
+        seed=17,
+    )
 
 
 def slow_spec() -> ExperimentSpec:
