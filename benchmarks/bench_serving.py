@@ -5,27 +5,40 @@ script writes ``BENCH_serving.json``::
 
     PYTHONPATH=src python benchmarks/bench_serving.py --output BENCH_serving.json
 
-Three phases:
+Five phases:
 
 * **naive** — every request of the workload is solved one at a time through
   the direct batch-of-one path (:func:`repro.serving.engine.evaluate_one`),
-  i.e. what a per-request service without coalescing would do;
-* **coalesced** — the same workload driven by ``--concurrency`` closed-loop
-  asyncio clients through a :class:`~repro.serving.coalescer.BatchCoalescer`
-  (cache disabled, so the gain measured is coalescing, not memoisation);
-  per-request latencies give p50/p99;
+  i.e. what a per-request service without batching would do;
+* **latency-vs-load curve** — the same workload driven through a
+  :class:`~repro.serving.scheduler.ContinuousBatchScheduler` (cache
+  disabled, so the gain measured is batching, not memoisation) at three
+  closed-loop regimes: **low** (1 client — continuous batching must not tax
+  a lone caller, gated by ``--max-latency-ratio``), **medium**
+  (``--concurrency``/4 clients) and **saturating** (``--concurrency``
+  clients — where accumulation pays, gated by ``--min-throughput-ratio``);
+  per-request latencies give p50/p99 per regime;
+* **executor identity** — a workload slice solved under every executor mode
+  (inline / thread / process) and asserted payload-equal, exercising the
+  bit-identity contract across execution strategies;
+* **plan memo** — the same solve requests with the cross-call binomial-PMF
+  plan memo enabled and disabled: answers must match elementwise and the
+  enabled run must show a nonzero hit rate;
 * **warm cache** — an expensive mechanism request is solved once (miss) and
   then re-requested with fresh request objects (parse + hash + LRU lookup
   each time), measuring the end-to-end warm-hit latency.
 
-Every coalesced answer is asserted equal to the naive answer for the same
+Every scheduled answer is asserted equal to the naive answer for the same
 request — the service's bit-identity contract — so the artifact cannot
 report a fast wrong answer.
 
-The script exits non-zero when coalesced throughput falls below
-``--min-throughput-ratio`` times naive throughput (default 3x at concurrency
-32) or the warm-cache speedup falls below ``--min-cache-speedup`` (default
-100x) — the acceptance bars the serving layer was built against.
+The script exits non-zero when saturated throughput falls below
+``--min-throughput-ratio`` times naive throughput (default 3x), when the
+low-load p50 exceeds ``--max-latency-ratio`` times the naive p50 (default
+1.5x — continuous batching must stay out of the way at low load), when the
+warm-cache speedup falls below ``--min-cache-speedup`` (default 100x), or
+when the plan memo records no hits — the acceptance bars the serving layer
+was built against.
 """
 
 from __future__ import annotations
@@ -43,8 +56,10 @@ from repro.core.values import SiteValues
 from repro.serving.cache import ResultCache
 from repro.serving.coalescer import BatchCoalescer
 from repro.serving.engine import evaluate_one
+from repro.serving.executor import EXECUTOR_MODES
 from repro.serving.requests import MechanismRequest, ServingRequest, SolveRequest, SweepRequest
 from repro.utils.envinfo import environment_metadata
+from repro.utils.memo import plan_memo
 
 SEED = 20180503
 
@@ -66,6 +81,12 @@ SWEEP_K_GRID = (2, 3, 5, 8, 13, 21)
 CACHE_PROBE_M = 60
 CACHE_PROBE_K = 6
 CACHE_PROBE_POLICIES = ("exclusive", "sharing")
+
+#: The plan-memo probe: sharing-policy solves, whose IFD bisections call the
+#: binomial PMF once per inner iteration — the hot path the memo serves.
+MEMO_PROBE_M = 24
+MEMO_PROBE_K = 5
+MEMO_PROBE_REQUESTS = 8
 
 
 def build_workload(n_requests: int, rng: np.random.Generator) -> list[ServingRequest]:
@@ -108,11 +129,18 @@ async def _client(
         latencies.append(time.perf_counter() - t0)
 
 
-async def run_coalesced(
-    requests: list[ServingRequest], concurrency: int, max_batch: int, max_wait_ms: float
+async def run_scheduled(
+    requests: list[ServingRequest],
+    concurrency: int,
+    max_batch: int,
+    max_wait_ms: float,
+    *,
+    executor: str | None = None,
 ) -> tuple[float, list[float], dict[int, dict], dict]:
-    """The same workload through the coalescer under closed-loop concurrency."""
-    coalescer = BatchCoalescer(max_batch=max_batch, max_wait_ms=max_wait_ms, cache=None)
+    """The same workload through the scheduler under closed-loop concurrency."""
+    coalescer = BatchCoalescer(
+        max_batch=max_batch, max_wait_ms=max_wait_ms, cache=None, executor=executor
+    )
     latencies: list[float] = []
     answers: dict[int, dict] = {}
     # Round-robin assignment keeps every client busy until the tail.
@@ -124,6 +152,60 @@ async def run_coalesced(
     elapsed = time.perf_counter() - start
     await coalescer.close()
     return elapsed, latencies, answers, coalescer.stats()
+
+
+async def run_executor_identity(requests: list[ServingRequest]) -> dict:
+    """Solve one workload slice under every executor mode; assert payload equality."""
+    answers: dict[str, list[dict]] = {}
+    seconds: dict[str, float] = {}
+    for mode in EXECUTOR_MODES:
+        coalescer = BatchCoalescer(max_batch=16, max_wait_ms=2.0, cache=None, executor=mode)
+        t0 = time.perf_counter()
+        answers[mode] = list(
+            await asyncio.gather(*(coalescer.submit(request) for request in requests))
+        )
+        seconds[mode] = time.perf_counter() - t0
+        await coalescer.close()
+    for mode in EXECUTOR_MODES[1:]:
+        assert answers[mode] == answers["inline"], (
+            f"executor mode {mode!r} returned different payloads than inline"
+        )
+    return {
+        "requests": len(requests),
+        "modes": list(EXECUTOR_MODES),
+        "seconds": seconds,
+        "identical": True,
+    }
+
+
+def run_memo_phase() -> dict:
+    """Plan-memo probe: memo-on vs memo-off answers identical, nonzero hit rate."""
+    rng = np.random.default_rng(SEED + 13)
+    requests = [
+        SolveRequest(
+            SiteValues.random(MEMO_PROBE_M, rng).as_array(), k=MEMO_PROBE_K, policy="sharing"
+        )
+        for _ in range(MEMO_PROBE_REQUESTS)
+    ]
+    plan_memo.clear()
+    plan_memo.reset_counters()
+    t0 = time.perf_counter()
+    answers_on = [evaluate_one(request) for request in requests]
+    memo_on_seconds = time.perf_counter() - t0
+    stats = plan_memo.stats()
+    with plan_memo.disabled():
+        t0 = time.perf_counter()
+        answers_off = [evaluate_one(request) for request in requests]
+        memo_off_seconds = time.perf_counter() - t0
+    assert answers_on == answers_off, "plan memo changed an answer"
+    return {
+        "probe": {"m": MEMO_PROBE_M, "k": MEMO_PROBE_K, "policy": "sharing"},
+        "requests": MEMO_PROBE_REQUESTS,
+        "memo_on_seconds": memo_on_seconds,
+        "memo_off_seconds": memo_off_seconds,
+        "identical_with_memo_off": True,
+        "stats": stats,
+    }
 
 
 async def run_cache_phase(n_hits: int) -> dict:
@@ -176,9 +258,10 @@ def run_serving_bench(
     repeats: int = 3,
     n_cache_hits: int = 500,
     min_throughput_ratio: float = 3.0,
+    max_latency_ratio: float = 1.5,
     min_cache_speedup: float = 100.0,
 ) -> tuple[bool, list[str]]:
-    """Run all three phases, write the artifact, return (ok, report lines)."""
+    """Run all phases, write the artifact, return (ok, report lines)."""
     rng = np.random.default_rng(SEED)
     requests = build_workload(n_requests, rng)
 
@@ -190,28 +273,52 @@ def run_serving_bench(
         if naive_seconds is None or seconds < naive_seconds:
             naive_seconds, naive_latencies, naive_answers = seconds, latencies, answers
 
-    coalesced_seconds = None
-    for _ in range(max(1, repeats)):
-        seconds, latencies, answers, stats = asyncio.run(
-            run_coalesced(requests, concurrency, max_batch, max_wait_ms)
-        )
-        if coalesced_seconds is None or seconds < coalesced_seconds:
-            coalesced_seconds, coalesced_latencies = seconds, latencies
-            coalesced_answers, coalesced_stats = answers, stats
+    # Latency-vs-load curve: best-of-repeats per closed-loop regime.  The
+    # saturating regime doubles as the legacy throughput comparison.
+    regimes = (
+        ("low", 1),
+        ("medium", max(2, concurrency // 4)),
+        ("saturating", concurrency),
+    )
+    load_curve: dict[str, dict] = {}
+    for name, clients in regimes:
+        best = None
+        for _ in range(max(1, repeats)):
+            seconds, latencies, answers, stats = asyncio.run(
+                run_scheduled(requests, clients, max_batch, max_wait_ms)
+            )
+            if best is None or seconds < best[0]:
+                best = (seconds, latencies, answers, stats)
+        seconds, latencies, answers, stats = best
+        # Bit-identity at every load point: each scheduled answer equals the
+        # direct per-request one.
+        for index, naive_answer in enumerate(naive_answers):
+            assert answers[index] == naive_answer, (
+                f"scheduled answer differs from direct solve for request {index} "
+                f"under the {name} regime"
+            )
+        load_curve[name] = {
+            "concurrency": clients,
+            "seconds": seconds,
+            "throughput_rps": len(requests) / seconds,
+            "latency_p50_ms": percentile_ms(latencies, 50),
+            "latency_p99_ms": percentile_ms(latencies, 99),
+            "batches": stats["batches"],
+            "mean_batch_size": stats["mean_batch_size"],
+            "largest_batch": stats["largest_batch"],
+        }
 
-    # Bit-identity: every coalesced answer equals the direct per-request one.
-    for index, naive_answer in enumerate(naive_answers):
-        assert coalesced_answers[index] == naive_answer, (
-            f"coalesced answer differs from direct solve for request {index}"
-        )
-
+    executor_report = asyncio.run(run_executor_identity(requests[: min(16, len(requests))]))
+    memo_report = run_memo_phase()
     cache_report = asyncio.run(run_cache_phase(n_cache_hits))
 
     naive_rps = len(requests) / naive_seconds
-    coalesced_rps = len(requests) / coalesced_seconds
-    ratio = coalesced_rps / naive_rps
+    saturated = load_curve["saturating"]
+    ratio = saturated["throughput_rps"] / naive_rps
+    naive_p50 = percentile_ms(naive_latencies, 50)
+    latency_ratio = load_curve["low"]["latency_p50_ms"] / naive_p50
     report = {
-        "benchmark": "coalesced vs naive per-request serving",
+        "benchmark": "continuous batching vs naive per-request serving",
         "environment": environment_metadata(),
         "workload": {
             "requests": len(requests),
@@ -226,37 +333,46 @@ def run_serving_bench(
         "naive": {
             "seconds": naive_seconds,
             "throughput_rps": naive_rps,
-            "latency_p50_ms": percentile_ms(naive_latencies, 50),
+            "latency_p50_ms": naive_p50,
             "latency_p99_ms": percentile_ms(naive_latencies, 99),
         },
-        "coalesced": {
-            "seconds": coalesced_seconds,
-            "throughput_rps": coalesced_rps,
-            "latency_p50_ms": percentile_ms(coalesced_latencies, 50),
-            "latency_p99_ms": percentile_ms(coalesced_latencies, 99),
-            "batches": coalesced_stats["batches"],
-            "mean_batch_size": coalesced_stats["mean_batch_size"],
-            "largest_batch": coalesced_stats["largest_batch"],
-        },
+        "load_curve": load_curve,
+        "coalesced": dict(saturated),  # legacy name: the saturated regime
         "throughput_ratio": ratio,
+        "low_load_latency_ratio": latency_ratio,
+        "executor_identity": executor_report,
+        "plan_memo": memo_report,
         "cache": cache_report,
         "min_throughput_ratio_required": min_throughput_ratio,
+        "max_latency_ratio_required": max_latency_ratio,
         "min_cache_speedup_required": min_cache_speedup,
     }
     output.write_text(json.dumps(report, indent=2) + "\n")
 
     lines = [
-        f"serving coalesced: {len(requests)} requests at concurrency {concurrency} "
-        f"in {coalesced_seconds * 1e3:.1f} ms ({coalesced_rps:.0f} rps, "
-        f"p50 {report['coalesced']['latency_p50_ms']:.2f} ms / "
-        f"p99 {report['coalesced']['latency_p99_ms']:.2f} ms, "
-        f"mean batch {coalesced_stats['mean_batch_size']:.1f})",
-        f"serving naive: {naive_seconds * 1e3:.1f} ms ({naive_rps:.0f} rps) "
-        f"-> coalesced/naive throughput {ratio:.1f}x",
+        "serving load curve: "
+        + "; ".join(
+            f"{name} (c={point['concurrency']}): {point['throughput_rps']:.0f} rps, "
+            f"p50 {point['latency_p50_ms']:.2f} ms, mean batch {point['mean_batch_size']:.1f}"
+            for name, point in load_curve.items()
+        ),
+        f"serving naive: {naive_seconds * 1e3:.1f} ms ({naive_rps:.0f} rps, "
+        f"p50 {naive_p50:.2f} ms) -> saturated/naive throughput {ratio:.1f}x, "
+        f"low-load p50 ratio {latency_ratio:.2f}x",
+        f"serving executors: {executor_report['modes']} identical payloads in "
+        + ", ".join(f"{m} {s * 1e3:.0f} ms" for m, s in executor_report["seconds"].items()),
+        f"serving plan memo: {memo_report['stats']['hits']} hits / "
+        f"{memo_report['stats']['misses']} misses "
+        f"(hit rate {memo_report['stats']['hit_rate']:.3f}), answers identical memo off",
         f"serving cache: miss {cache_report['miss_seconds'] * 1e3:.1f} ms, warm hit "
         f"{cache_report['hit_seconds'] * 1e6:.1f} us -> {cache_report['speedup']:.0f}x",
     ]
-    ok = ratio >= min_throughput_ratio and cache_report["speedup"] >= min_cache_speedup
+    ok = (
+        ratio >= min_throughput_ratio
+        and latency_ratio <= max_latency_ratio
+        and cache_report["speedup"] >= min_cache_speedup
+        and memo_report["stats"]["hits"] > 0
+    )
     return ok, lines
 
 
@@ -273,7 +389,13 @@ def main(argv: list[str] | None = None) -> int:
         "--min-throughput-ratio",
         type=float,
         default=3.0,
-        help="Required coalesced/naive throughput ratio.",
+        help="Required saturated/naive throughput ratio.",
+    )
+    parser.add_argument(
+        "--max-latency-ratio",
+        type=float,
+        default=1.5,
+        help="Maximum allowed low-load p50 as a multiple of the naive p50.",
     )
     parser.add_argument(
         "--min-cache-speedup",
@@ -292,6 +414,7 @@ def main(argv: list[str] | None = None) -> int:
         repeats=args.repeats,
         n_cache_hits=args.cache_hits,
         min_throughput_ratio=args.min_throughput_ratio,
+        max_latency_ratio=args.max_latency_ratio,
         min_cache_speedup=args.min_cache_speedup,
     )
     for line in lines:
@@ -300,7 +423,8 @@ def main(argv: list[str] | None = None) -> int:
     if not ok:
         print(
             f"FAIL: serving gates not met (need >= {args.min_throughput_ratio:.1f}x "
-            f"throughput and >= {args.min_cache_speedup:.0f}x warm-cache speedup)",
+            f"saturated throughput, low-load p50 <= {args.max_latency_ratio:.1f}x naive, "
+            f">= {args.min_cache_speedup:.0f}x warm-cache speedup, nonzero memo hits)",
             file=sys.stderr,
         )
         return 1

@@ -28,6 +28,7 @@ from repro.backend import Backend, from_numpy, resolve_backend, take_along_axis,
 from repro.batch.padding import PaddedValues
 from repro.batch.solvers import SigmaStarBatch, as_k_grid, as_padded, sigma_star_batch
 from repro.core.policies import CongestionPolicy
+from repro.utils.memo import cached_binomial_pmf_plan
 from repro.utils.numerics import binomial_pmf_tensor
 
 __all__ = ["IFDBatch", "ifd_batch"]
@@ -67,9 +68,15 @@ def _congestion_expectation(q, c_table, n_opponents: int, be: Backend):
 
     ``c_table`` is the backend-resident ``(n_opponents + 1,)`` congestion
     table ``[C(1), ..., C(n+1)]``.
+
+    The PMF combinatorics depend only on ``(n_opponents, B, backend)`` and
+    this sits inside both bisection loops, so the staged plan comes from the
+    cross-call memo (:mod:`repro.utils.memo`) — bit-identical to the
+    plan-free call, a few thousand rebuilds cheaper per solve.
     """
     xp = be.xp
-    pmf = binomial_pmf_tensor(n_opponents, xp.clip(q, 0.0, 1.0), backend=be)
+    plan = cached_binomial_pmf_plan(n_opponents, batch_size=q.shape[0], backend=be)
+    pmf = binomial_pmf_tensor(n_opponents, xp.clip(q, 0.0, 1.0), backend=be, plan=plan)
     return xp.sum(pmf * c_table[None, None, :], axis=2)
 
 

@@ -47,6 +47,7 @@ from repro.backend import (
 from repro.batch.padding import PaddedValues
 from repro.batch.solvers import as_k_grid, as_padded
 from repro.core.policies import CongestionPolicy
+from repro.utils.memo import cached_binomial_pmf_plan
 from repro.utils.numerics import BinomialPmfPlan, binomial_pmf_tensor
 
 __all__ = [
@@ -146,6 +147,12 @@ def occupancy_congestion_factor_batch(
     n = np.broadcast_to(np.asarray(ensure_numpy(n_opponents), dtype=np.int64), (q.shape[0],))
     if np.any(n < 0):
         raise ValueError("n_opponents must be non-negative")
+    if plan is None:
+        # Steppers that do not stage their own plan still reuse the staged
+        # combinatorics across calls via the process-wide memo; the plan
+        # path clips probabilities exactly like the plan-free path and is
+        # elementwise identical to it (see repro.utils.memo).
+        plan = cached_binomial_pmf_plan(n, backend=be)
     pmf = binomial_pmf_tensor(n, q, backend=be, plan=plan)  # (B, M, n_sub_max + 1)
     if not is_native(be, pmf):
         pmf = from_numpy(be, pmf, dtype=be.float_dtype)

@@ -53,6 +53,7 @@ from repro.batch.padding import PaddedValues, sorted_padded, unsort_rows
 from repro.batch.payoffs import as_k_vector, congestion_table_batch
 from repro.batch.solvers import as_padded, sigma_star_batch
 from repro.core.policies import CongestionPolicy
+from repro.utils.memo import cached_binomial_pmf_plan
 from repro.utils.numerics import binomial_pmf_tensor
 from repro.utils.validation import check_positive_integer
 
@@ -173,7 +174,8 @@ def _per_row_congestion(q, tables, ks: np.ndarray, be: Backend):
     zero-padded PMF tensor contracts against it for any mix of per-row ``k``.
     """
     xp = be.xp
-    pmf = binomial_pmf_tensor(ks - 1, xp.clip(q, 0.0, 1.0), backend=be)
+    plan = cached_binomial_pmf_plan(ks - 1, backend=be)
+    pmf = binomial_pmf_tensor(ks - 1, xp.clip(q, 0.0, 1.0), backend=be, plan=plan)
     return xp.sum(pmf * tables[:, None, :], axis=2)
 
 
@@ -752,7 +754,11 @@ def repeated_dispersal_batch(
             probabilities = fixed
         last_probabilities = probabilities
         p_dev = from_numpy(be, probabilities, dtype=fdt)
-        pmf = binomial_pmf_tensor(ks, p_dev, backend=be)
+        # One memoized plan serves every round: (ks, B, backend) are loop
+        # invariants, only the probabilities change.
+        pmf = binomial_pmf_tensor(
+            ks, p_dev, backend=be, plan=cached_binomial_pmf_plan(ks, backend=be)
+        )
         visit = (1.0 - pmf[:, :, 0]) * fmask
         consumed = xp.sum(remaining * visit, axis=1) * consumed_fraction
         per_round[:, round_index] = to_numpy(consumed)

@@ -410,13 +410,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser(
         "serve",
-        help="Run the online equilibrium service (micro-batch coalescing + cache).",
+        help="Run the online equilibrium service (continuous batching + cache).",
         description=(
             "Persistent asyncio HTTP service exposing /solve, /sweep, /mechanism, "
-            "/healthz and /stats.  Concurrent requests accumulate for up to "
-            "--max-wait-ms (or until --max-batch queue up) and are solved in one "
-            "batched kernel call; repeated requests are answered from a "
-            "content-addressed LRU cache."
+            "/coverage-times, /healthz and /stats.  Requests dispatch immediately "
+            "when the kernels are idle and accumulate only while they are busy "
+            "(up to --max-batch, backstopped by --max-wait-ms); kernel calls run "
+            "on the --executor of choice, repeated requests are answered from a "
+            "content-addressed LRU cache, and a full --max-pending queue sheds "
+            "load with 503 + Retry-After."
         ),
     )
     serve.add_argument("--host", default="127.0.0.1", help="Interface to bind.")
@@ -431,13 +433,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-wait-ms",
         type=float,
         default=2.0,
-        help="Maximum milliseconds a request waits for co-batchable traffic.",
+        help="Accumulation backstop: no admitted request waits longer than this "
+        "for co-batchable traffic while kernels are busy.",
     )
     serve.add_argument(
         "--cache-size",
         type=int,
         default=4096,
         help="LRU result-cache capacity in entries (0 disables caching).",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=1024,
+        help="Bounded pending-queue depth; beyond it requests get 503 + Retry-After.",
+    )
+    serve.add_argument(
+        "--executor",
+        default=None,
+        choices=("inline", "thread", "process"),
+        help="Where batched kernel calls run: on the event loop (inline, default), "
+        "on a thread pool, or on a warm process pool.",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="Pool size for --executor thread/process (default: visible CPU count).",
     )
     serve.add_argument(
         "--backend",
@@ -868,6 +890,9 @@ def _run_serve(args: argparse.Namespace) -> str:
                 max_wait_ms=args.max_wait_ms,
                 cache_size=args.cache_size,
                 backend=backend,
+                max_pending=args.max_pending,
+                executor=args.executor,
+                workers=args.workers,
             )
         )
     except KeyboardInterrupt:

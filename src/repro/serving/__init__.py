@@ -1,37 +1,50 @@
-"""Online equilibrium service: micro-batch coalescing + content-addressed cache.
+"""Online equilibrium service: continuous batching + content-addressed cache.
 
 The batch layer (:mod:`repro.batch`) amortises per-call overhead across the
 rows of one caller's grid; this package amortises it across *callers*.  A
-persistent asyncio service accumulates concurrent solve/sweep/mechanism
-requests for a short window, packs them into one
-:class:`~repro.batch.padding.PaddedValues` batch, dispatches a single
-batched kernel call, and answers each caller with its slice — bit-identical
-to what a direct batch-of-one call of the public kernels returns (see
-:mod:`repro.serving.engine` for why).  Repeated questions never reach a
-kernel at all: a content-addressed LRU cache keyed by the canonical instance
-hash (:mod:`repro.utils.canonical`) answers them in O(lookup), and
-single-flight dedup collapses identical in-flight requests into one
-computation.
+persistent asyncio service admits concurrent solve/sweep/mechanism/
+coverage-times requests into a bounded queue, dispatches immediately when
+the kernels are idle and accumulates only while they are busy (continuous
+batching — a lone request at low load never waits for companions), packs
+each dispatch into shared kernel calls, and answers each caller with its
+slice — bit-identical to what a direct batch-of-one call of the public
+kernels returns (see :mod:`repro.serving.engine` for why).  Kernel calls can
+run inline on the event loop or off-loop on warm thread/process pools
+(:mod:`repro.serving.executor`); either way the contract holds.  Repeated
+questions never reach a kernel at all: a content-addressed LRU cache keyed
+by the canonical instance hash (:mod:`repro.utils.canonical`) answers them
+in O(lookup), single-flight dedup collapses identical in-flight requests
+into one computation, and a cross-call plan memo
+(:mod:`repro.utils.memo`) reuses the binomial-PMF combinatorics across
+batches.  When the pending queue fills, admission control sheds load with
+``503`` + ``Retry-After`` instead of queueing without bound.
 
 Layers
 ------
 :mod:`repro.serving.requests`
-    Canonicalised request models (``solve`` / ``sweep`` / ``mechanism``).
+    Canonicalised request models (``solve`` / ``sweep`` / ``mechanism`` /
+    ``coverage-times``).
 :mod:`repro.serving.engine`
     Grouping + batched evaluation; the bit-identity contract.
 :mod:`repro.serving.cache`
     Bounded LRU result cache with hit/miss/eviction counters.
+:mod:`repro.serving.scheduler`
+    Continuous-batching scheduler: adaptive accumulation, bounded admission,
+    single-flight dedup, queue-depth/latency histograms.
+:mod:`repro.serving.executor`
+    Kernel execution strategies: inline, thread pool, warm process pool.
 :mod:`repro.serving.coalescer`
-    The accumulation window (``max_batch`` / ``max_wait_ms``), single-flight
-    dedup, and per-caller futures.
+    The established :class:`BatchCoalescer` name, now a thin alias of the
+    scheduler.
 :mod:`repro.serving.http`
     Dependency-free asyncio HTTP front (``repro-dispersal serve``).
 :mod:`repro.serving.fastapi_app`
     The same routes as a FastAPI app (optional ``serve`` extra).
 
 Benchmarked by ``benchmarks/bench_serving.py`` (``BENCH_serving.json``):
-coalesced vs naive per-request throughput at fixed concurrency, latency
-percentiles and warm-cache hit speedup, CI-gated like the other families.
+latency-vs-load curves (low / medium / saturating), coalesced vs naive
+throughput, executor-mode identity, plan-memo hit rate and warm-cache
+speedup, CI-gated like the other families.
 """
 
 from repro.serving.cache import ResultCache
@@ -43,18 +56,30 @@ from repro.serving.engine import (
     evaluate_requests,
     group_requests,
 )
+from repro.serving.executor import (
+    EXECUTOR_MODES,
+    InlineKernelExecutor,
+    KernelExecutor,
+    ProcessKernelExecutor,
+    ThreadKernelExecutor,
+    create_executor,
+)
 from repro.serving.fastapi_app import create_fastapi_app
 from repro.serving.http import EquilibriumService, RunningServer, serve_forever, start_server
 from repro.serving.requests import (
+    CoverageTimeRequest,
     MechanismRequest,
     ServingRequest,
     SolveRequest,
     SweepRequest,
     parse_request,
 )
+from repro.serving.scheduler import ContinuousBatchScheduler, QueueFullError
 
 __all__ = [
     "BatchCoalescer",
+    "ContinuousBatchScheduler",
+    "QueueFullError",
     "ResultCache",
     "EquilibriumService",
     "RunningServer",
@@ -62,12 +87,19 @@ __all__ = [
     "SolveRequest",
     "SweepRequest",
     "MechanismRequest",
+    "CoverageTimeRequest",
     "parse_request",
     "EQUILIBRIUM_OPTS",
     "evaluate_group",
     "evaluate_one",
     "evaluate_requests",
     "group_requests",
+    "EXECUTOR_MODES",
+    "KernelExecutor",
+    "InlineKernelExecutor",
+    "ThreadKernelExecutor",
+    "ProcessKernelExecutor",
+    "create_executor",
     "create_fastapi_app",
     "serve_forever",
     "start_server",

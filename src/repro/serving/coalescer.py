@@ -1,67 +1,40 @@
-"""Micro-batch request coalescing: concurrent callers, one kernel call.
+"""Micro-batch request coalescing — now continuous batching under the hood.
 
-The :class:`BatchCoalescer` is the heart of the serving layer.  Concurrent
-:meth:`~BatchCoalescer.submit` calls do not each run a solver; they park a
-future on a shared accumulation queue.  The queue flushes when either
+:class:`BatchCoalescer` began life as a fixed-window accumulator: every
+request waited up to ``max_wait_ms`` for companions, which bought batch
+throughput at the price of light-load latency (a lone request paid the full
+window).  The scheduling core now lives in
+:class:`~repro.serving.scheduler.ContinuousBatchScheduler`, which dispatches
+immediately when idle and accumulates only while kernels are executing —
+``max_wait_ms`` survives as the accumulation *backstop*, not a fixed delay.
 
-* ``max_batch`` requests have accumulated (a full batch is ready), or
-* ``max_wait_ms`` elapsed since the first queued request (latency bound) —
-
-whichever comes first.  A flush groups the queue by coalescible family
-(:func:`~repro.serving.engine.group_requests`), packs each group via
-:meth:`PaddedValues.from_instances
-<repro.batch.padding.PaddedValues.from_instances>`, dispatches **one**
-batched kernel call per group on the active backend, and resolves every
-caller's future with its slice of the result.  Under load, per-request cost
-collapses to per-batch cost — the amortisation the ``(B, M)`` kernels were
-built for, now applied across callers instead of across grid cells.
-
-Layered in front of the kernels:
-
-* a content-addressed :class:`~repro.serving.cache.ResultCache` answers
-  repeated questions in O(lookup) without touching the queue;
-* **single-flight dedup**: identical requests that are in flight (queued or
-  mid-kernel) share one future, so a thundering herd of equal queries costs
-  one computation.
-
-Everything runs on the caller's event loop: the kernels are CPU-bound NumPy
-passes, so a flush blocks the loop for one batched call — by design (a
-thread pool would serialise on the GIL anyway and only add latency jitter).
-Waiting requests hold canonicalised host-side tuples across event-loop
-turns; see :class:`~repro.batch.padding.PaddedValues` for why the padded
-container and its per-backend transfer cache are safe to share this way.
+This module keeps the established name and constructor as a thin subclass:
+existing imports (``from repro.serving import BatchCoalescer``), the stats
+keys and the cache/single-flight semantics are unchanged, and the default
+executor is inline — exactly the original event-loop execution model.  See
+:mod:`repro.serving.scheduler` for the scheduling policy and
+:mod:`repro.serving.executor` for off-loop parallel execution.
 """
 
 from __future__ import annotations
 
-import asyncio
-from typing import Any, Sequence
-
 from repro.backend import Backend
 from repro.serving.cache import ResultCache
-from repro.serving.engine import evaluate_group, group_requests
-from repro.serving.requests import ServingRequest
+from repro.serving.executor import KernelExecutor
+from repro.serving.scheduler import ContinuousBatchScheduler
 
 __all__ = ["BatchCoalescer"]
 
 
-class BatchCoalescer:
+class BatchCoalescer(ContinuousBatchScheduler):
     """Accumulates concurrent requests and solves them in shared kernel calls.
 
-    Parameters
-    ----------
-    max_batch:
-        Flush as soon as this many requests are queued (also the upper bound
-        on the batch size of one kernel call).
-    max_wait_ms:
-        Flush at the latest this many milliseconds after the first request
-        of a window — the latency price a lone request pays for batching.
-    cache:
-        Optional :class:`~repro.serving.cache.ResultCache`; ``None`` disables
-        caching (every request is solved).
-    backend:
-        Array backend the batched kernels run on (name, handle, or ``None``
-        for the active default — see :mod:`repro.backend`).
+    The established entry point of the serving layer; since the
+    continuous-batching rework it is an alias of
+    :class:`~repro.serving.scheduler.ContinuousBatchScheduler` (inline
+    executor by default).  Parameters are documented there; the historical
+    ones keep their exact meaning except that ``max_wait_ms`` now bounds
+    accumulation instead of imposing it.
     """
 
     def __init__(
@@ -71,132 +44,14 @@ class BatchCoalescer:
         max_wait_ms: float = 2.0,
         cache: ResultCache | None = None,
         backend: Backend | str | None = None,
+        executor: KernelExecutor | str | None = None,
+        max_pending: int = 1024,
     ) -> None:
-        if max_batch < 1:
-            raise ValueError("max_batch must be >= 1")
-        if max_wait_ms < 0:
-            raise ValueError("max_wait_ms must be >= 0")
-        self.max_batch = int(max_batch)
-        self.max_wait_ms = float(max_wait_ms)
-        self.cache = cache
-        self.backend = backend
-        self._pending: list[tuple[ServingRequest, asyncio.Future]] = []
-        self._inflight: dict[str, asyncio.Future] = {}
-        self._timer: asyncio.TimerHandle | None = None
-        # Lifetime counters (surfaced by stats() and the /stats endpoint).
-        self._n_requests = 0
-        self._n_cache_hits = 0
-        self._n_singleflight = 0
-        self._n_batches = 0
-        self._n_solved = 0
-        self._largest_batch = 0
-
-    # ------------------------------------------------------------------ submit
-    async def submit(self, request: ServingRequest) -> dict:
-        """Answer ``request``, sharing work with every concurrent caller.
-
-        Resolution order: cache hit -> in-flight duplicate (single flight)
-        -> queue for the next coalesced kernel call.  The returned payload
-        is a JSON-native dict and must be treated as immutable (cache and
-        duplicate submitters share it).
-        """
-        self._n_requests += 1
-        key = request.cache_key
-        if self.cache is not None:
-            cached = self.cache.get(key)
-            if cached is not None:
-                self._n_cache_hits += 1
-                return cached
-        shared = self._inflight.get(key)
-        if shared is not None:
-            self._n_singleflight += 1
-            return await asyncio.shield(shared)
-        loop = asyncio.get_running_loop()
-        future: asyncio.Future = loop.create_future()
-        self._inflight[key] = future
-        self._pending.append((request, future))
-        if len(self._pending) >= self.max_batch:
-            self._flush()
-        elif self._timer is None:
-            self._timer = loop.call_later(self.max_wait_ms / 1000.0, self._flush)
-        return await asyncio.shield(future)
-
-    # ------------------------------------------------------------------- flush
-    def _flush(self) -> None:
-        """Solve everything queued (timer callback / full-batch trigger)."""
-        if self._timer is not None:
-            self._timer.cancel()
-            self._timer = None
-        batch = self._pending
-        self._pending = []
-        if not batch:
-            return
-        self._n_batches += 1
-        self._n_solved += len(batch)
-        self._largest_batch = max(self._largest_batch, len(batch))
-        requests = [request for request, _ in batch]
-        futures = [future for _, future in batch]
-        # Evaluate group by group so one failing group (e.g. a kernel error)
-        # does not poison unrelated callers of the same flush.
-        for indices in group_requests(requests).values():
-            try:
-                payloads = evaluate_group(
-                    [requests[i] for i in indices], backend=self.backend
-                )
-            except Exception as error:  # noqa: BLE001 - forwarded to callers
-                for i in indices:
-                    self._settle(requests[i], futures[i], error=error)
-            else:
-                for i, payload in zip(indices, payloads):
-                    self._settle(requests[i], futures[i], payload=payload)
-
-    def _settle(
-        self,
-        request: ServingRequest,
-        future: asyncio.Future,
-        *,
-        payload: dict | None = None,
-        error: Exception | None = None,
-    ) -> None:
-        self._inflight.pop(request.cache_key, None)
-        if future.done():  # pragma: no cover - cancelled caller
-            return
-        if error is not None:
-            future.set_exception(error)
-        else:
-            if self.cache is not None:
-                self.cache.put(request.cache_key, payload)
-            future.set_result(payload)
-
-    # --------------------------------------------------------------- lifecycle
-    async def drain(self) -> None:
-        """Flush the queue immediately and wait for every queued answer."""
-        pending = [future for _, future in self._pending]
-        self._flush()
-        if pending:
-            await asyncio.gather(*pending, return_exceptions=True)
-
-    async def close(self) -> None:
-        """Drain and stop the window timer (idempotent)."""
-        await self.drain()
-        if self._timer is not None:  # pragma: no cover - drain already flushed
-            self._timer.cancel()
-            self._timer = None
-
-    # ------------------------------------------------------------------- stats
-    def stats(self) -> dict[str, Any]:
-        """Lifetime counters: coalescing effectiveness and cache behaviour."""
-        return {
-            "max_batch": self.max_batch,
-            "max_wait_ms": self.max_wait_ms,
-            "requests": self._n_requests,
-            "cache_hits": self._n_cache_hits,
-            "singleflight_hits": self._n_singleflight,
-            "batches": self._n_batches,
-            "solved": self._n_solved,
-            "largest_batch": self._largest_batch,
-            "mean_batch_size": self._n_solved / self._n_batches if self._n_batches else 0.0,
-            "pending": len(self._pending),
-            "inflight": len(self._inflight),
-            "cache": self.cache.stats() if self.cache is not None else None,
-        }
+        super().__init__(
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+            cache=cache,
+            backend=backend,
+            executor=executor,
+            max_pending=max_pending,
+        )

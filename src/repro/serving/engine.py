@@ -56,13 +56,21 @@ from __future__ import annotations
 import math
 from typing import Mapping, Sequence
 
+import numpy as np
+
 from repro.analysis.scenario_experiments import policy_from_name
 from repro.backend import Backend
+from repro.batch.coverage_times import (
+    coverage_time_cdf_batch,
+    expected_coverage_time_batch,
+    partial_coverage_time_batch,
+)
 from repro.batch.ifd import ifd_batch
 from repro.batch.mechanism import compare_policies_batch
 from repro.batch.padding import PaddedValues
 from repro.batch.solvers import coverage_batch, sigma_star_batch
 from repro.serving.requests import (
+    CoverageTimeRequest,
     MechanismRequest,
     ServingRequest,
     SolveRequest,
@@ -190,10 +198,59 @@ def _evaluate_mechanism(batch: Sequence[MechanismRequest], backend) -> list[dict
     return payloads
 
 
+def _evaluate_coverage(batch: Sequence[CoverageTimeRequest], backend) -> list[dict]:
+    # Coverage-time requests carry visit *distributions* (zeros allowed), so
+    # they do not ride on PaddedValues: the batch is a zero-padded matrix at
+    # the group's width bucket plus a per-row real-size roster.  The exact
+    # kernels partition rows by (site count, uniformity) and only ever read
+    # each row's first ``m`` entries, so co-batching and the shared padding
+    # width cannot perturb a row's answer — the same bit-identity argument
+    # as the equilibrium families, one layer down.
+    width = batch[0].pad_width
+    matrix = np.zeros((len(batch), width))
+    sizes = np.empty(len(batch), dtype=np.int64)
+    for row, request in enumerate(batch):
+        matrix[row, : request.m] = request.values
+        sizes[row] = request.m
+    k = batch[0].k  # pinned by group_key
+    times = batch[0].times
+    j = batch[0].j
+    expected = expected_coverage_time_batch(matrix, k, sizes=sizes, backend=backend)
+    cdf = (
+        coverage_time_cdf_batch(matrix, k, list(times), sizes=sizes, backend=backend)
+        if times
+        else None
+    )
+    partial = (
+        partial_coverage_time_batch(matrix, k, j, sizes=sizes, backend=backend)
+        if j
+        else None
+    )
+    payloads = []
+    for row, request in enumerate(batch):
+        payload = {
+            "kind": "coverage-times",
+            "m": request.m,
+            "k": request.k,
+            "distribution": [float(p) for p in request.values],
+            "coverable": bool(math.isfinite(expected[row])),
+            "expected_rounds": _finite_or_none(expected[row]),
+        }
+        if cdf is not None:
+            payload["times"] = list(times)
+            payload["cdf"] = [float(value) for value in cdf[row, :]]
+        if partial is not None:
+            payload["j"] = request.j
+            payload["partial_expected_rounds"] = _finite_or_none(partial[row])
+        payloads.append(payload)
+    return payloads
+
+
 _EVALUATORS = {
     "solve": _evaluate_solve,
     "sweep": _evaluate_sweep,
     "mechanism": _evaluate_mechanism,
+    "coverage-times": _evaluate_coverage,
 }
 
 

@@ -8,11 +8,14 @@ dependency of the package — install the extra::
     pip install repro-dispersal[serve]
     uvicorn --factory repro.serving.fastapi_app:create_fastapi_app
 
-Route semantics, coalescing and caching are identical to the reference
-front: both delegate to one :class:`~repro.serving.coalescer.BatchCoalescer`.
-Note that one uvicorn worker hosts one coalescer (and one cache); scaling to
-several workers shards the traffic — and therefore the micro-batches —
-across them.
+Route semantics, scheduling, caching and admission control are identical to
+the reference front: both delegate to one
+:class:`~repro.serving.scheduler.ContinuousBatchScheduler` (via the
+:class:`~repro.serving.coalescer.BatchCoalescer` compatibility name).  A full
+pending queue answers ``503`` with a ``Retry-After`` header, exactly like the
+stdlib front.  Note that one uvicorn worker hosts one scheduler (and one
+cache); scaling to several workers shards the traffic — and therefore the
+micro-batches — across them.
 """
 
 from __future__ import annotations
@@ -21,7 +24,9 @@ from typing import Any
 
 from repro.serving.cache import ResultCache
 from repro.serving.coalescer import BatchCoalescer
+from repro.serving.executor import create_executor
 from repro.serving.requests import parse_request
+from repro.serving.scheduler import QueueFullError
 from repro.utils.envinfo import environment_metadata
 
 __all__ = ["create_fastapi_app"]
@@ -34,6 +39,9 @@ def create_fastapi_app(
     max_wait_ms: float = 2.0,
     cache_size: int = 4096,
     backend: str | None = None,
+    max_pending: int = 1024,
+    executor: str | None = None,
+    workers: int | None = None,
 ) -> Any:
     """Build the FastAPI application (requires the ``serve`` extra).
 
@@ -53,13 +61,18 @@ def create_fastapi_app(
     if coalescer is None:
         cache = ResultCache(cache_size) if cache_size > 0 else None
         coalescer = BatchCoalescer(
-            max_batch=max_batch, max_wait_ms=max_wait_ms, cache=cache, backend=backend
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+            cache=cache,
+            backend=backend,
+            executor=create_executor(executor, max_workers=workers, backend=backend),
+            max_pending=max_pending,
         )
 
     app = FastAPI(
         title="repro-dispersal equilibrium service",
-        description="Micro-batched solve/sweep/mechanism endpoints with a "
-        "content-addressed result cache.",
+        description="Continuously batched solve/sweep/mechanism/coverage-times "
+        "endpoints with a content-addressed result cache and bounded admission.",
     )
     app.state.coalescer = coalescer
 
@@ -68,7 +81,15 @@ def create_fastapi_app(
             request = parse_request(kind, payload)
         except (TypeError, ValueError) as error:
             raise HTTPException(status_code=400, detail=str(error)) from None
-        return await coalescer.submit(request)
+        try:
+            return await coalescer.submit(request)
+        except QueueFullError as error:
+            retry_after = max(1, round(error.retry_after))
+            raise HTTPException(
+                status_code=503,
+                detail=str(error),
+                headers={"Retry-After": str(retry_after)},
+            ) from None
 
     @app.post("/solve")
     async def solve(payload: dict) -> dict:  # pragma: no cover - thin route
@@ -81,6 +102,10 @@ def create_fastapi_app(
     @app.post("/mechanism")
     async def mechanism(payload: dict) -> dict:  # pragma: no cover - thin route
         return await _submit("mechanism", payload)
+
+    @app.post("/coverage-times")
+    async def coverage_times(payload: dict) -> dict:  # pragma: no cover - thin route
+        return await _submit("coverage-times", payload)
 
     @app.get("/healthz")
     async def healthz() -> dict:  # pragma: no cover - thin route

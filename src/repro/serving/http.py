@@ -1,22 +1,28 @@
 """Dependency-free asyncio HTTP front of the equilibrium service.
 
 A deliberately small HTTP/1.1 server (stdlib ``asyncio.start_server``, no
-web framework) exposing the coalescer over five routes:
+web framework) exposing the scheduler over six routes:
 
-================  =======  ====================================================
-``/solve``        POST     one equilibrium (``values``, ``k``, ``policy``)
-``/sweep``        POST     ``sigma_star`` + coverage over a ``k_grid``
-``/mechanism``    POST     policy-roster comparison (``values``, ``k``,
-                           ``policies``)
-``/healthz``      GET      liveness probe
-``/stats``        GET      coalescer / cache counters + host environment
-================  =======  ====================================================
+==================  =======  ==================================================
+``/solve``          POST     one equilibrium (``values``, ``k``, ``policy``)
+``/sweep``          POST     ``sigma_star`` + coverage over a ``k_grid``
+``/mechanism``      POST     policy-roster comparison (``values``, ``k``,
+                             ``policies``)
+``/coverage-times`` POST     exact Von Schelling coverage-time laws
+                             (``values`` distribution, ``k``, ``times``, ``j``)
+``/healthz``        GET      liveness probe
+``/stats``          GET      scheduler / cache / memo counters + queue-depth
+                             and latency histograms + host environment
+==================  =======  ==================================================
 
 Bodies and responses are JSON.  Malformed requests get ``400`` with an
-``{"error": ...}`` body; unknown routes ``404``.  Connections are keep-alive
-(closed-loop load generators reuse them), one in-flight request per
-connection — concurrency comes from many connections, which is exactly the
-regime the coalescer packs into shared kernel calls.
+``{"error": ...}`` body; unknown routes ``404``.  When the scheduler's
+bounded pending queue is full, admission control answers ``503`` with a
+``Retry-After`` header estimating the drain time — shedding load at the
+door instead of letting queues grow without bound.  Connections are
+keep-alive (closed-loop load generators reuse them), one in-flight request
+per connection — concurrency comes from many connections, which is exactly
+the regime the scheduler packs into shared kernel calls.
 
 For a production deployment behind a real ASGI stack, see
 :func:`repro.serving.fastapi_app.create_fastapi_app` (``pip install
@@ -33,13 +39,15 @@ from typing import Any
 
 from repro.serving.cache import ResultCache
 from repro.serving.coalescer import BatchCoalescer
+from repro.serving.executor import create_executor
 from repro.serving.requests import parse_request
+from repro.serving.scheduler import QueueFullError
 from repro.utils.envinfo import environment_metadata
 
 __all__ = ["EquilibriumService", "start_server", "serve_forever"]
 
 _MAX_BODY_BYTES = 8 * 1024 * 1024
-_POST_KINDS = ("solve", "sweep", "mechanism")
+_POST_KINDS = ("solve", "sweep", "mechanism", "coverage-times")
 
 
 class EquilibriumService:
@@ -49,33 +57,41 @@ class EquilibriumService:
         self.coalescer = coalescer
 
     # ---------------------------------------------------------------- routing
-    async def dispatch(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
-        """Map one parsed HTTP request to ``(status, JSON payload)``."""
+    async def dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict, dict[str, str]]:
+        """Map one parsed HTTP request to ``(status, JSON payload, headers)``."""
         path = path.split("?", 1)[0].rstrip("/") or "/"
         if method == "GET" and path == "/healthz":
-            return 200, {"status": "ok"}
+            return 200, {"status": "ok"}, {}
         if method == "GET" and path == "/stats":
             return 200, {
                 "coalescer": self.coalescer.stats(),
                 "environment": environment_metadata(),
-            }
+            }, {}
         kind = path.lstrip("/")
         if kind in _POST_KINDS:
             if method != "POST":
-                return 405, {"error": f"{path} expects POST"}
+                return 405, {"error": f"{path} expects POST"}, {}
             try:
                 payload = json.loads(body.decode("utf-8")) if body else {}
             except (UnicodeDecodeError, json.JSONDecodeError) as error:
-                return 400, {"error": f"invalid JSON body: {error}"}
+                return 400, {"error": f"invalid JSON body: {error}"}, {}
             try:
                 request = parse_request(kind, payload)
             except (TypeError, ValueError) as error:
-                return 400, {"error": str(error)}
+                return 400, {"error": str(error)}, {}
             try:
-                return 200, await self.coalescer.submit(request)
+                return 200, await self.coalescer.submit(request), {}
+            except QueueFullError as error:
+                retry_after = max(1, round(error.retry_after))
+                return 503, {
+                    "error": str(error),
+                    "retry_after_s": retry_after,
+                }, {"Retry-After": str(retry_after)}
             except Exception as error:  # noqa: BLE001 - reported, not raised
-                return 500, {"error": f"{type(error).__name__}: {error}"}
-        return 404, {"error": f"no route for {method} {path}"}
+                return 500, {"error": f"{type(error).__name__}: {error}"}, {}
+        return 404, {"error": f"no route for {method} {path}"}, {}
 
     # ------------------------------------------------------------- connection
     async def handle_connection(
@@ -108,9 +124,11 @@ class EquilibriumService:
                     await self._respond(writer, 413, {"error": "body too large"})
                     break
                 body = await reader.readexactly(length) if length else b""
-                status, payload = await self.dispatch(method.upper(), path, body)
+                status, payload, extra = await self.dispatch(method.upper(), path, body)
                 keep_alive = headers.get("connection", "").lower() != "close"
-                await self._respond(writer, status, payload, keep_alive=keep_alive)
+                await self._respond(
+                    writer, status, payload, keep_alive=keep_alive, extra_headers=extra
+                )
                 if not keep_alive:
                     break
         except (asyncio.IncompleteReadError, ConnectionResetError):
@@ -131,15 +149,20 @@ class EquilibriumService:
         payload: dict,
         *,
         keep_alive: bool = False,
+        extra_headers: dict[str, str] | None = None,
     ) -> None:
         reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
                    405: "Method Not Allowed", 413: "Payload Too Large",
-                   500: "Internal Server Error"}
+                   500: "Internal Server Error", 503: "Service Unavailable"}
         body = json.dumps(payload).encode("utf-8")
+        extras = "".join(
+            f"{name}: {value}\r\n" for name, value in (extra_headers or {}).items()
+        )
         head = (
             f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extras}"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             f"\r\n"
         ).encode("latin-1")
@@ -180,16 +203,27 @@ async def start_server(
     max_wait_ms: float = 2.0,
     cache_size: int = 4096,
     backend: str | None = None,
+    max_pending: int = 1024,
+    executor: str | None = None,
+    workers: int | None = None,
 ) -> RunningServer:
     """Bind the service and return a handle (``port=0`` picks a free port).
 
     Without an explicit ``coalescer``, one is built from ``max_batch`` /
-    ``max_wait_ms`` / ``cache_size`` (``cache_size=0`` disables the cache).
+    ``max_wait_ms`` / ``cache_size`` (``cache_size=0`` disables the cache),
+    with a bounded pending queue of ``max_pending`` requests and kernel
+    execution on ``executor`` (``"inline"``, ``"thread"`` or ``"process"``;
+    ``workers`` sizes the pool, defaulting to the visible CPU count).
     """
     if coalescer is None:
         cache = ResultCache(cache_size) if cache_size > 0 else None
         coalescer = BatchCoalescer(
-            max_batch=max_batch, max_wait_ms=max_wait_ms, cache=cache, backend=backend
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+            cache=cache,
+            backend=backend,
+            executor=create_executor(executor, max_workers=workers, backend=backend),
+            max_pending=max_pending,
         )
     service = EquilibriumService(coalescer)
     server = await asyncio.start_server(service.handle_connection, host, port)
@@ -202,9 +236,10 @@ async def serve_forever(host: str, port: int, **options: Any) -> None:
     addresses = ", ".join(
         f"{sock.getsockname()[0]}:{sock.getsockname()[1]}" for sock in running.server.sockets
     )
+    scheduler = running.service.coalescer
     print(f"repro-dispersal serving on {addresses} "
-          f"(max_batch={running.service.coalescer.max_batch}, "
-          f"max_wait_ms={running.service.coalescer.max_wait_ms})")
+          f"(max_batch={scheduler.max_batch}, max_wait_ms={scheduler.max_wait_ms}, "
+          f"executor={scheduler.executor.mode}, max_pending={scheduler.max_pending})")
     try:
         await running.server.serve_forever()
     finally:

@@ -31,15 +31,23 @@ from typing import Any, Mapping
 import numpy as np
 
 from repro.analysis.scenario_experiments import POLICY_FACTORIES, policy_from_name
+from repro.batch.coverage_times import DEFAULT_MAX_EXACT_SITES
 from repro.core.policies import CongestionPolicy
 from repro.core.values import SiteValues
-from repro.utils.canonical import canonical_k_grid, canonical_values, content_key
+from repro.utils.canonical import (
+    canonical_distribution,
+    canonical_k_grid,
+    canonical_times,
+    canonical_values,
+    content_key,
+)
 
 __all__ = [
     "ServingRequest",
     "SolveRequest",
     "SweepRequest",
     "MechanismRequest",
+    "CoverageTimeRequest",
     "parse_request",
 ]
 
@@ -193,10 +201,69 @@ class MechanismRequest(ServingRequest):
         return (self.kind, self.policies, self.k, self.pad_width)
 
 
+@dataclass(frozen=True)
+class CoverageTimeRequest(ServingRequest):
+    """Exact Von Schelling coverage-time laws of one visit distribution.
+
+    ``values`` is a site-visit *distribution* (non-negative, normalised by
+    the service — zeros are legal and mark sites that are never visited),
+    not a site-value profile.  The response always carries the expected
+    full-coverage time ``E[T]`` (``null`` when a zero-probability site makes
+    coverage impossible); a non-empty ``times`` grid adds the CDF
+    ``P(T <= t)`` at those round counts, and a coverage target ``j`` adds
+    the partial expectation ``E[T_j]``.
+
+    The exact kernels enumerate ``2**M`` subsets for non-uniform rows, so a
+    non-uniform distribution wider than
+    :data:`~repro.batch.coverage_times.DEFAULT_MAX_EXACT_SITES` is refused
+    at construction (the HTTP fronts answer ``400``); exactly-uniform
+    distributions take an ``O(M)`` closed-form merge and are accepted at any
+    width.
+    """
+
+    k: int = 1
+    times: tuple[int, ...] = ()
+    j: int = 0
+
+    kind = "coverage-times"
+
+    def __post_init__(self) -> None:
+        # Deliberately NOT the base coercion: distributions admit zeros,
+        # which SiteValues (strictly positive site values) rejects.
+        object.__setattr__(self, "values", canonical_distribution(self.values))
+        object.__setattr__(self, "k", int(self.k))
+        object.__setattr__(self, "j", int(self.j))
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        raw_times = self.times
+        if isinstance(raw_times, (int, np.integer)):
+            times = canonical_times(raw_times)
+        else:
+            times = canonical_times(raw_times) if len(tuple(raw_times)) else ()
+        object.__setattr__(self, "times", times)
+        if self.j < 0 or self.j > self.m:
+            raise ValueError(f"coverage target j must satisfy 0 <= j <= {self.m} (0 = off)")
+        uniform = self.values[0] == self.values[-1]
+        if not uniform and self.m > DEFAULT_MAX_EXACT_SITES:
+            raise ValueError(
+                f"a non-uniform distribution over {self.m} sites exceeds the exact "
+                f"enumeration cap ({DEFAULT_MAX_EXACT_SITES}); the subset sum is "
+                f"O(2**M) — reduce the site count or make the distribution uniform"
+            )
+
+    def _params(self) -> dict[str, Any]:
+        return {"k": self.k, "times": self.times, "j": self.j}
+
+    @property
+    def group_key(self) -> tuple:
+        return (self.kind, self.k, self.times, self.j, self.pad_width)
+
+
 _KINDS: dict[str, type[ServingRequest]] = {
     "solve": SolveRequest,
     "sweep": SweepRequest,
     "mechanism": MechanismRequest,
+    "coverage-times": CoverageTimeRequest,
 }
 
 

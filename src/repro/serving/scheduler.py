@@ -1,0 +1,414 @@
+"""Continuous-batching scheduler: adaptive accumulation + admission control.
+
+The original coalescer held *every* request for a fixed ``max_wait_ms``
+window — great for throughput (batches fill), terrible for light-load
+latency (a lone request waits the full window: ``BENCH_serving.json``
+showed coalescing regress p50 from 0.44 ms to 6.8 ms).  The
+:class:`ContinuousBatchScheduler` replaces the fixed window with the
+vLLM-style rule *dispatch immediately when idle, accumulate only under
+pressure*:
+
+* **Idle → dispatch now.**  When nothing is in flight, the next event-loop
+  tick dispatches whatever is queued (usually one request).  A lone request
+  pays microseconds of scheduling, not the window.
+* **Busy → accumulate, then dispatch the moment a worker frees.**  While
+  groups execute on the :class:`~repro.serving.executor.KernelExecutor`,
+  arrivals park in the pending queue.  Every group completion re-runs the
+  pump, so a freed worker immediately picks up the batch that accumulated
+  during execution — batch size adapts to service time, with ``max_batch``
+  as the hard cap.
+* **EWMA arrival-rate target.**  Between idle and saturated, a free worker
+  dispatches early once ``pending >= clip(max_wait / tau, 1, max_batch)``
+  requests are queued, where ``tau`` is an exponentially weighted moving
+  average of the inter-arrival time: sparse traffic (large ``tau``) targets
+  batch-of-one, bursts (small ``tau``) accumulate toward full batches.  A
+  ``max_wait_ms`` backstop timer bounds how long the first queued request
+  can wait for that target.
+* **Admission control.**  The pending queue is bounded (``max_pending``);
+  overflow raises :exc:`QueueFullError` carrying a ``retry_after`` estimate
+  derived from the observed service rate, which the HTTP fronts map to
+  ``503`` + ``Retry-After``.  Queue-depth and latency histograms are kept
+  for ``/stats``.
+
+Everything the bit-identity contract relies on is unchanged: grouping,
+packing and kernel dispatch are exactly
+:func:`~repro.serving.engine.evaluate_group` on canonical host tuples, the
+cache and single-flight layers sit in front of the queue as before, and a
+failing group settles only its own callers.
+
+:class:`~repro.serving.coalescer.BatchCoalescer` is now a thin alias of
+this scheduler (inline executor), so existing imports keep working.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Sequence
+
+from repro.backend import Backend
+from repro.serving.cache import ResultCache
+from repro.serving.engine import group_requests
+from repro.serving.executor import KernelExecutor, create_executor
+from repro.serving.requests import ServingRequest
+from repro.utils.memo import plan_memo
+
+__all__ = ["ContinuousBatchScheduler", "QueueFullError"]
+
+#: EWMA smoothing factor of the inter-arrival estimate (~ last 10 arrivals).
+_EWMA_ALPHA = 0.2
+
+
+class QueueFullError(RuntimeError):
+    """Raised by :meth:`ContinuousBatchScheduler.submit` when admission fails.
+
+    Attributes
+    ----------
+    retry_after:
+        Suggested back-off in seconds, estimated from the observed service
+        rate; the HTTP fronts surface it as a ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = max(0.0, float(retry_after))
+
+
+class _Histogram:
+    """Fixed-bucket counting histogram (`le`-style upper bounds + overflow)."""
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0.0
+        self.n = 0
+
+    def observe(self, value: float) -> None:
+        self.n += 1
+        self.total += value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    def as_dict(self) -> dict[str, Any]:
+        buckets = {f"le_{bound:g}": count for bound, count in zip(self.bounds, self.counts)}
+        buckets["inf"] = self.counts[-1]
+        return {
+            "count": self.n,
+            "mean": self.total / self.n if self.n else 0.0,
+            "buckets": buckets,
+        }
+
+
+class ContinuousBatchScheduler:
+    """Adaptive micro-batching with parallel group execution and backpressure.
+
+    Parameters
+    ----------
+    max_batch:
+        Hard cap on the number of requests one dispatch takes off the queue
+        (and therefore on any kernel call's batch-row count).
+    max_wait_ms:
+        Backstop on accumulation: the first queued request is dispatched at
+        the latest this many milliseconds after it arrived, even if the
+        adaptive target was not reached.  It is **not** a fixed window — at
+        light load dispatch happens on the next loop tick.
+    cache:
+        Optional :class:`~repro.serving.cache.ResultCache`; ``None`` disables
+        caching.
+    backend:
+        Array backend the batched kernels run on (name, handle, or ``None``
+        for the active default).
+    executor:
+        A :class:`~repro.serving.executor.KernelExecutor`, a mode name
+        (``"inline"`` / ``"thread"`` / ``"process"``), or ``None`` for
+        inline.  Its ``concurrency`` is the number of groups that may
+        execute at once.
+    max_pending:
+        Bound on the pending queue; beyond it :meth:`submit` raises
+        :exc:`QueueFullError` (admission control).
+    """
+
+    def __init__(
+        self,
+        *,
+        max_batch: int = 64,
+        max_wait_ms: float = 2.0,
+        cache: ResultCache | None = None,
+        backend: Backend | str | None = None,
+        executor: KernelExecutor | str | None = None,
+        max_pending: int = 1024,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self.max_batch = int(max_batch)
+        self.max_wait_ms = float(max_wait_ms)
+        self.cache = cache
+        self.backend = backend
+        self.executor = create_executor(executor, backend=backend)
+        self.max_pending = int(max_pending)
+        self._pending: list[tuple[ServingRequest, asyncio.Future, float]] = []
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._tasks: set[asyncio.Task] = set()
+        self._inflight_groups = 0
+        self._pump_scheduled = False
+        self._timer: asyncio.TimerHandle | None = None
+        # Adaptive state: EWMA of inter-arrival and per-request service time.
+        self._last_arrival: float | None = None
+        self._ewma_interarrival: float | None = None
+        self._ewma_service: float | None = None
+        # Lifetime counters (stats() keys are shared with the old coalescer).
+        self._n_requests = 0
+        self._n_cache_hits = 0
+        self._n_singleflight = 0
+        self._n_batches = 0
+        self._n_solved = 0
+        self._largest_batch = 0
+        self._n_rejected = 0
+        self._queue_depth_histogram = _Histogram((0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512))
+        self._latency_histogram = _Histogram((0.5, 1, 2, 5, 10, 25, 50, 100, 250, 1000))
+
+    # ------------------------------------------------------------------ submit
+    async def submit(self, request: ServingRequest) -> dict:
+        """Answer ``request``, sharing work with every concurrent caller.
+
+        Resolution order: cache hit -> in-flight duplicate (single flight)
+        -> bounded pending queue (:exc:`QueueFullError` beyond
+        ``max_pending``) for the next dispatch.  The returned payload is a
+        JSON-native dict and must be treated as immutable.
+        """
+        self._n_requests += 1
+        key = request.cache_key
+        if self.cache is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                self._n_cache_hits += 1
+                return cached
+        shared = self._inflight.get(key)
+        if shared is not None:
+            self._n_singleflight += 1
+            return await asyncio.shield(shared)
+        if len(self._pending) >= self.max_pending:
+            self._n_rejected += 1
+            raise QueueFullError(
+                f"pending queue is full ({self.max_pending} requests queued)",
+                retry_after=self._retry_after(),
+            )
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        self._observe_arrival(now)
+        self._queue_depth_histogram.observe(len(self._pending))
+        future: asyncio.Future = loop.create_future()
+        self._inflight[key] = future
+        self._pending.append((request, future, now))
+        # Deferred one tick, so a burst scheduled in the same loop iteration
+        # (asyncio.gather, several connections becoming readable together)
+        # fully enqueues before the pump decides what to dispatch.
+        self._schedule_pump(loop)
+        return await asyncio.shield(future)
+
+    # -------------------------------------------------------------------- pump
+    def _schedule_pump(self, loop: asyncio.AbstractEventLoop | None = None) -> None:
+        if not self._pump_scheduled:
+            self._pump_scheduled = True
+            (loop or asyncio.get_running_loop()).call_soon(self._pump)
+
+    def _pump(self, *, worker_freed: bool = False, backstop: bool = False) -> None:
+        """Dispatch pending requests per the continuous-batching rule."""
+        self._pump_scheduled = False
+        loop = asyncio.get_running_loop()
+        while self._pending:
+            idle = self._inflight_groups == 0
+            slot_free = self._inflight_groups < self.executor.concurrency
+            overdue = backstop or (
+                loop.time() >= self._pending[0][2] + self.max_wait_ms / 1000.0
+            )
+            target_met = len(self._pending) >= self._accumulation_target()
+            if idle or (slot_free and (worker_freed or overdue or target_met)):
+                self._dispatch_event(loop)
+                worker_freed = backstop = False
+                continue
+            break
+        self._arm_backstop(loop)
+
+    def _accumulation_target(self) -> int:
+        """How many requests a free (non-idle) worker waits to accumulate.
+
+        ``clip(max_wait / tau_ewma, 1, max_batch)``: the number of arrivals
+        expected within the latency budget.  With no arrival history the
+        target is 1 (dispatch immediately).
+        """
+        tau = self._ewma_interarrival
+        if tau is None or tau <= 0.0:
+            return 1
+        target = (self.max_wait_ms / 1000.0) / tau
+        return max(1, min(self.max_batch, int(target)))
+
+    def _observe_arrival(self, now: float) -> None:
+        if self._last_arrival is not None:
+            dt = max(0.0, now - self._last_arrival)
+            if self._ewma_interarrival is None:
+                self._ewma_interarrival = dt
+            else:
+                self._ewma_interarrival += _EWMA_ALPHA * (dt - self._ewma_interarrival)
+        self._last_arrival = now
+
+    def _retry_after(self) -> float:
+        """Seconds until the queue has plausibly drained one full batch."""
+        service = self._ewma_service if self._ewma_service else 0.05
+        depth_in_batches = max(1.0, len(self._pending) / float(self.max_batch))
+        return min(30.0, service * depth_in_batches / max(1, self.executor.concurrency))
+
+    # ---------------------------------------------------------------- dispatch
+    def _dispatch_event(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Take up to ``max_batch`` requests FIFO and launch their groups."""
+        event = self._pending[: self.max_batch]
+        del self._pending[: self.max_batch]
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        self._n_batches += 1
+        self._n_solved += len(event)
+        self._largest_batch = max(self._largest_batch, len(event))
+        requests = [request for request, _, _ in event]
+        for indices in group_requests(requests).values():
+            group = [event[i] for i in indices]
+            # Synchronous accounting: the pump sees this group occupying a
+            # slot before the task first runs, so one pump pass cannot
+            # over-dispatch past the executor's concurrency.
+            self._inflight_groups += 1
+            task = loop.create_task(self._run_group(group))
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+
+    async def _run_group(
+        self, group: list[tuple[ServingRequest, asyncio.Future, float]]
+    ) -> None:
+        """Execute one homogeneous group and settle its callers."""
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        requests = [request for request, _, _ in group]
+        try:
+            payloads = await self.executor.run(requests, backend=self.backend)
+        except Exception as error:  # noqa: BLE001 - forwarded to callers
+            for request, future, enqueued in group:
+                self._settle(request, future, enqueued, error=error)
+        else:
+            for (request, future, enqueued), payload in zip(group, payloads):
+                self._settle(request, future, enqueued, payload=payload)
+        finally:
+            finished = loop.time()
+            per_request = (finished - started) / max(1, len(group))
+            if self._ewma_service is None:
+                self._ewma_service = per_request
+            else:
+                self._ewma_service += _EWMA_ALPHA * (per_request - self._ewma_service)
+            self._inflight_groups -= 1
+            # A worker just freed: dispatch whatever accumulated meanwhile.
+            if self._pending:
+                self._pump(worker_freed=True)
+
+    def _settle(
+        self,
+        request: ServingRequest,
+        future: asyncio.Future,
+        enqueued: float,
+        *,
+        payload: dict | None = None,
+        error: Exception | None = None,
+    ) -> None:
+        self._inflight.pop(request.cache_key, None)
+        self._latency_histogram.observe(
+            (asyncio.get_running_loop().time() - enqueued) * 1000.0
+        )
+        if future.done():  # pragma: no cover - cancelled caller
+            return
+        if error is not None:
+            future.set_exception(error)
+        else:
+            if self.cache is not None:
+                self.cache.put(request.cache_key, payload)
+            future.set_result(payload)
+
+    # ---------------------------------------------------------------- backstop
+    def _arm_backstop(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Bound the wait of the oldest queued request by ``max_wait_ms``."""
+        if not self._pending:
+            if self._timer is not None:
+                self._timer.cancel()
+                self._timer = None
+            return
+        if self._timer is not None:
+            return
+        delay = self._pending[0][2] + self.max_wait_ms / 1000.0 - loop.time()
+        if delay <= 0:
+            # Already overdue with every worker busy (the pump would have
+            # dispatched otherwise): the next group completion dispatches,
+            # so arming a zero-delay timer would only spin the loop.
+            return
+        self._timer = loop.call_later(delay, self._on_backstop)
+
+    def _on_backstop(self) -> None:
+        self._timer = None
+        self._pump(backstop=True)
+
+    # --------------------------------------------------------------- lifecycle
+    async def drain(self) -> None:
+        """Dispatch everything queued and wait for every in-flight answer."""
+        loop = asyncio.get_running_loop()
+        futures = [future for _, future, _ in self._pending]
+        while self._pending:
+            self._dispatch_event(loop)
+        if futures:
+            await asyncio.gather(*futures, return_exceptions=True)
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+
+    async def close(self) -> None:
+        """Drain, stop the backstop timer and release the executor (idempotent)."""
+        await self.drain()
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        self.executor.close()
+
+    # ------------------------------------------------------------------- stats
+    def stats(self) -> dict[str, Any]:
+        """Lifetime counters: scheduling, admission, cache and memo behaviour.
+
+        Keys of the original fixed-window coalescer are preserved
+        (``batches`` counts dispatch events, ``largest_batch`` the largest
+        event); new keys cover the executor, admission control, the
+        queue-depth/latency histograms and the pmf-plan memo.
+        """
+        return {
+            "max_batch": self.max_batch,
+            "max_wait_ms": self.max_wait_ms,
+            "max_pending": self.max_pending,
+            "requests": self._n_requests,
+            "cache_hits": self._n_cache_hits,
+            "singleflight_hits": self._n_singleflight,
+            "batches": self._n_batches,
+            "solved": self._n_solved,
+            "largest_batch": self._largest_batch,
+            "mean_batch_size": self._n_solved / self._n_batches if self._n_batches else 0.0,
+            "rejected": self._n_rejected,
+            "pending": len(self._pending),
+            "inflight": len(self._inflight),
+            "inflight_groups": self._inflight_groups,
+            "accumulation_target": self._accumulation_target(),
+            "ewma_interarrival_ms": (
+                self._ewma_interarrival * 1000.0 if self._ewma_interarrival else None
+            ),
+            "ewma_service_ms": self._ewma_service * 1000.0 if self._ewma_service else None,
+            "queue_depth": self._queue_depth_histogram.as_dict(),
+            "latency_ms": self._latency_histogram.as_dict(),
+            "executor": self.executor.stats(),
+            "cache": self.cache.stats() if self.cache is not None else None,
+            "plan_memo": plan_memo.stats(),
+        }

@@ -5,13 +5,16 @@ every other subpackage.  Nothing in here is specific to the dispersal game.
 """
 
 from repro.utils.canonical import (
+    canonical_distribution,
     canonical_k_grid,
     canonical_request,
+    canonical_times,
     canonical_values,
     content_key,
 )
 from repro.utils.coercion import strategy_array, values_array
 from repro.utils.envinfo import available_cpus, environment_metadata
+from repro.utils.memo import PlanMemo, cached_binomial_pmf_plan, plan_memo
 from repro.utils.numerics import (
     assert_shape,
     binomial_pmf_matrix,
@@ -43,10 +46,15 @@ __all__ = [
     "values_array",
     "available_cpus",
     "environment_metadata",
+    "canonical_distribution",
     "canonical_k_grid",
     "canonical_request",
+    "canonical_times",
     "canonical_values",
     "content_key",
+    "PlanMemo",
+    "cached_binomial_pmf_plan",
+    "plan_memo",
     "as_generator",
     "spawn_generators",
     "spawn_seed_sequences",

@@ -35,7 +35,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "canonical_values",
+    "canonical_distribution",
     "canonical_k_grid",
+    "canonical_times",
     "canonical_request",
     "content_key",
     "canonical_task_params",
@@ -61,6 +63,61 @@ def canonical_values(values: "SiteValues | Sequence[float] | np.ndarray") -> tup
             values = ensure_numpy(values)
         values = SiteValues.from_values(np.asarray(values, dtype=float))
     return tuple(float(v) for v in values.as_array())
+
+
+def canonical_distribution(
+    weights: Sequence[float] | np.ndarray,
+) -> tuple[float, ...]:
+    """Canonical site-visit distribution: normalised, sorted non-increasing.
+
+    The coverage-time endpoint's instances are *probability* vectors, which
+    — unlike site values — may legitimately contain zeros (a zero-probability
+    site makes full coverage impossible; the exact kernels report ``inf``),
+    so they cannot ride through :func:`canonical_values`.  Entries must be
+    finite, non-negative, with a positive total; the vector is normalised by
+    its sum (IEEE division is correctly rounded, so proportional integer
+    spellings like ``[2, 2]`` and ``[1, 1]`` land on identical doubles) and
+    sorted non-increasing — coverage times are permutation-invariant in the
+    sites, so all orderings of one distribution share a cache key.
+    """
+    if weights is None:
+        raise ValueError("request is missing the visit distribution 'values'")
+    if not isinstance(weights, np.ndarray) and hasattr(weights, "__array_namespace__"):
+        from repro.backend import ensure_numpy
+
+        weights = ensure_numpy(weights)
+    array = np.asarray(weights, dtype=float)
+    if array.ndim != 1 or array.size == 0:
+        raise ValueError("a visit distribution must be a non-empty 1-D vector")
+    if not np.all(np.isfinite(array)):
+        raise ValueError("visit-distribution entries must be finite")
+    if np.any(array < 0):
+        raise ValueError("visit-distribution entries must be non-negative")
+    total = float(array.sum())
+    if total <= 0:
+        raise ValueError("a visit distribution must have positive total mass")
+    array = array / total
+    return tuple(float(v) for v in np.sort(array)[::-1])
+
+
+def canonical_times(times: Sequence[int] | np.ndarray | int) -> tuple[int, ...]:
+    """Round-count grids as sorted tuples of unique non-negative ints.
+
+    Like :func:`canonical_k_grid` but admitting ``0`` (the coverage-time CDF
+    is well defined at zero rounds), for the ``times`` grid of the
+    ``/coverage-times`` endpoint.
+    """
+    ts = np.unique(np.atleast_1d(np.asarray(times)))
+    if ts.size == 0:
+        raise ValueError("times must contain at least one round count")
+    if not np.issubdtype(ts.dtype, np.integer):
+        rounded = np.rint(np.asarray(ts, dtype=float)).astype(np.int64)
+        if not np.allclose(ts, rounded):
+            raise ValueError("times entries must be integers")
+        ts = np.unique(rounded)
+    if np.any(ts < 0):
+        raise ValueError("times entries must be >= 0")
+    return tuple(int(t) for t in ts)
 
 
 def canonical_k_grid(k_grid: Sequence[int] | np.ndarray | int) -> tuple[int, ...]:

@@ -1,0 +1,185 @@
+"""Cross-call memoization of staged kernel constants.
+
+The hot batch kernels re-derive the same host-side combinatorics on every
+call: :func:`~repro.utils.numerics.binomial_pmf_tensor` rebuilds binomial
+coefficients, exponent tables and ``0 ** 0`` guard masks from scratch for
+each ``(trial counts, batch size)`` pair, even though the IFD solver alone
+evaluates the identical tables a few thousand times per solve (once per
+bisection step) and a serving process answers millions of requests over a
+handful of distinct ``(k, B)`` shapes.  :class:`PlanMemo` is the bounded,
+backend/device-keyed LRU that carries those
+:class:`~repro.utils.numerics.BinomialPmfPlan` objects *across* calls:
+
+* keys pin everything the staged tensors depend on — backend name, device,
+  float dtype, batch size and the per-row trial counts (constant rosters
+  collapse to a scalar key, ragged rosters hash their bytes) — so a hit is
+  exactly the plan a fresh :func:`~repro.utils.numerics.make_binomial_pmf_plan`
+  call would have built;
+* the plan path of ``binomial_pmf_tensor`` evaluates the same expressions in
+  the same order as the plan-free path, so memoization is **bit-transparent**:
+  kernel outputs are elementwise identical with the memo on or off
+  (``tests/test_utils_numerics.py`` asserts this, and the serving layer's
+  bit-identity contract relies on it);
+* hit/miss/eviction counters are exposed via :meth:`PlanMemo.stats` for the
+  serving ``/stats`` endpoint and ``BENCH_serving.json``.
+
+A :class:`threading.Lock` guards the LRU (thread-pool executors solve groups
+concurrently); process-pool workers each hold their own memo, warmed on
+first use.  The module-level :data:`plan_memo` is the shared instance the
+batch kernels consult through :func:`cached_binomial_pmf_plan`; tests can
+suspend it with :meth:`PlanMemo.disabled`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Iterator
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.utils.numerics import BinomialPmfPlan
+
+__all__ = ["PlanMemo", "plan_memo", "cached_binomial_pmf_plan"]
+
+
+def _plan_key(backend: Any, trials: np.ndarray) -> tuple:
+    """Everything a cached plan's device tensors depend on, as a dict key.
+
+    A constant roster (the common case: one scalar ``k`` broadcast over the
+    batch) keys on ``(value, size)`` instead of the full byte string, so the
+    memo stays tiny under homogeneous-``k`` serving traffic.
+    """
+    if trials.size and int(trials.min()) == int(trials.max()):
+        shape: tuple = ("const", int(trials[0]), trials.size)
+    else:
+        shape = ("roster", trials.size, trials.tobytes())
+    return (backend.name, str(backend.device), str(backend.float_dtype), shape)
+
+
+class PlanMemo:
+    """Bounded LRU of :class:`~repro.utils.numerics.BinomialPmfPlan` objects.
+
+    Parameters
+    ----------
+    max_entries:
+        Capacity bound; the least recently used plan is evicted beyond it.
+        Each entry holds ``O(B * n_max)`` floats, so the default keeps the
+        memo a few megabytes even for large batches.
+    """
+
+    def __init__(self, max_entries: int = 64) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = int(max_entries)
+        self._entries: "OrderedDict[tuple, BinomialPmfPlan]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.enabled = True
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.bypasses = 0
+
+    # ------------------------------------------------------------------ lookup
+    def get(
+        self,
+        n: np.ndarray | int,
+        *,
+        batch_size: int | None = None,
+        backend: Any = None,
+    ) -> "BinomialPmfPlan":
+        """The memoized plan for trial counts ``n``, built on first use.
+
+        Arguments mirror :func:`~repro.utils.numerics.make_binomial_pmf_plan`
+        exactly; a miss delegates to it and caches the result.  With the memo
+        disabled every call builds a fresh plan (counted as a bypass), which
+        is how the on-vs-off identity tests exercise both paths.
+        """
+        from repro.backend import resolve_backend
+        from repro.utils.numerics import make_binomial_pmf_plan
+
+        be = resolve_backend(backend)
+        trials = np.asarray(n, dtype=np.int64)
+        if trials.ndim == 0:
+            if batch_size is None:
+                raise ValueError("a scalar n requires batch_size")
+            trials = np.broadcast_to(trials, (int(batch_size),))
+        if not self.enabled:
+            with self._lock:
+                self.bypasses += 1
+            return make_binomial_pmf_plan(trials, backend=be)
+        key = _plan_key(be, trials)
+        with self._lock:
+            plan = self._entries.get(key)
+            if plan is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return plan
+            self.misses += 1
+        # Build outside the lock: plan staging may upload device tensors.
+        plan = make_binomial_pmf_plan(trials, backend=be)
+        with self._lock:
+            self._entries[key] = plan
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        return plan
+
+    # --------------------------------------------------------------- lifecycle
+    def clear(self) -> None:
+        """Drop every cached plan (counters keep describing the lifetime)."""
+        with self._lock:
+            self._entries.clear()
+
+    def reset_counters(self) -> None:
+        """Zero the hit/miss/eviction/bypass counters (benchmark phases)."""
+        with self._lock:
+            self.hits = self.misses = self.evictions = self.bypasses = 0
+
+    @contextmanager
+    def disabled(self) -> Iterator[None]:
+        """Temporarily bypass the memo (every call builds a fresh plan)."""
+        previous = self.enabled
+        self.enabled = False
+        try:
+            yield
+        finally:
+            self.enabled = previous
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------- stats
+    def stats(self) -> dict[str, Any]:
+        """Counters for ``/stats`` and the serving benchmark artifact."""
+        lookups = self.hits + self.misses
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "enabled": self.enabled,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "bypasses": self.bypasses,
+            "hit_rate": self.hits / lookups if lookups else 0.0,
+        }
+
+
+#: The process-wide memo the batch kernels consult.  Thread-safe; process-pool
+#: workers warm their own copy.
+plan_memo = PlanMemo()
+
+
+def cached_binomial_pmf_plan(
+    n: np.ndarray | int, *, batch_size: int | None = None, backend: Any = None
+) -> "BinomialPmfPlan":
+    """The shared-memo counterpart of :func:`~repro.utils.numerics.make_binomial_pmf_plan`.
+
+    Hot paths (the IFD bisections, payoff/scenario kernels, the serving
+    engine) call this instead of rebuilding the plan; outputs are elementwise
+    identical either way — see :mod:`repro.utils.memo`.
+    """
+    return plan_memo.get(n, batch_size=batch_size, backend=backend)

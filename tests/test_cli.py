@@ -31,10 +31,16 @@ class TestParser:
         assert args.max_batch == 64
         assert args.max_wait_ms == 2.0
         assert args.cache_size == 4096
+        assert args.max_pending == 1024
+        assert args.executor is None and args.workers is None
         args = build_parser().parse_args(
-            ["serve", "--port", "0", "--max-batch", "8", "--max-wait-ms", "0.5"]
+            ["serve", "--port", "0", "--max-batch", "8", "--max-wait-ms", "0.5",
+             "--max-pending", "16", "--executor", "thread", "--workers", "2"]
         )
         assert (args.port, args.max_batch, args.max_wait_ms) == (0, 8, 0.5)
+        assert (args.max_pending, args.executor, args.workers) == (16, "thread", 2)
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--executor", "nonsense"])
 
     def test_serve_help_exits_cleanly(self, capsys):
         with pytest.raises(SystemExit) as excinfo:

@@ -106,10 +106,30 @@ def test_serving_api_page_covers_service_and_canonical_hashing():
 
 def test_serving_guide_documents_every_endpoint_and_cli_flag():
     text = (DOCS / "serving.md").read_text()
-    for route in ("/solve", "/sweep", "/mechanism", "/healthz", "/stats"):
+    for route in ("/solve", "/sweep", "/mechanism", "/coverage-times", "/healthz", "/stats"):
         assert f"`{route}`" in text, f"serving.md does not document {route}"
-    for flag in ("--max-batch", "--max-wait-ms", "--cache-size"):
+    for flag in ("--max-batch", "--max-wait-ms", "--cache-size",
+                 "--max-pending", "--executor", "--workers"):
         assert flag in text, f"serving.md does not document {flag}"
+
+
+def test_serving_guide_documents_scheduling_and_backpressure():
+    text = (DOCS / "serving.md").read_text()
+    # The continuous-batching discipline and its architecture diagram.
+    assert "ontinuous batching" in text
+    assert "mermaid" in text
+    # Every executor mode of the off-loop execution layer.
+    from repro.serving.executor import EXECUTOR_MODES
+
+    for mode in EXECUTOR_MODES:
+        assert f"`{mode}`" in text or f"**{mode}**" in text, (
+            f"serving.md does not document executor mode {mode!r}"
+        )
+    # Admission control: the shed status and its retry hint.
+    assert "503" in text
+    assert "Retry-After" in text
+    # The cross-call plan memo and its stats surface.
+    assert "plan_memo" in text
 
 
 def test_device_guide_documents_the_residency_contract():

@@ -19,11 +19,16 @@ import pytest
 from repro.core.values import SiteValues
 from repro.serving import (
     BatchCoalescer,
+    ContinuousBatchScheduler,
+    CoverageTimeRequest,
     EquilibriumService,
+    EXECUTOR_MODES,
     MechanismRequest,
+    QueueFullError,
     ResultCache,
     SolveRequest,
     SweepRequest,
+    create_executor,
     evaluate_group,
     evaluate_one,
     evaluate_requests,
@@ -299,6 +304,180 @@ class TestCoalescer:
 
 
 # --------------------------------------------------------------------------
+# continuous batching: executors, bursty loads, admission control
+# --------------------------------------------------------------------------
+class TestContinuousBatching:
+    def test_lone_request_does_not_wait_for_the_backstop(self):
+        # A fixed-window coalescer would hold this request for max_wait_ms;
+        # continuous batching dispatches on the next tick when idle.
+        async def run():
+            scheduler = ContinuousBatchScheduler(max_batch=64, max_wait_ms=60_000.0)
+            loop = asyncio.get_running_loop()
+            t0 = loop.time()
+            answer = await scheduler.submit(SolveRequest(random_values(10), k=3))
+            elapsed = loop.time() - t0
+            await scheduler.close()
+            return answer, elapsed
+
+        answer, elapsed = asyncio.run(run())
+        assert answer["kind"] == "solve"
+        assert elapsed < 1.0  # far below the 60 s backstop
+
+    @pytest.mark.parametrize("mode", EXECUTOR_MODES)
+    def test_bursty_load_is_bit_identical_under_every_executor(self, mode):
+        # idle -> burst -> idle -> burst: the adaptive batch sizes differ
+        # between phases, the answers must not.
+        requests = mixed_workload()
+        direct = [evaluate_one(request) for request in requests]
+
+        async def run():
+            scheduler = ContinuousBatchScheduler(
+                max_batch=8, max_wait_ms=2.0, executor=create_executor(mode)
+            )
+            lone = await scheduler.submit(requests[0])  # idle phase
+            burst_one = await asyncio.gather(*(scheduler.submit(r) for r in requests))
+            lone_again = await scheduler.submit(requests[1])  # idle again
+            burst_two = await asyncio.gather(*(scheduler.submit(r) for r in requests))
+            stats = scheduler.stats()
+            await scheduler.close()
+            return lone, list(burst_one), lone_again, list(burst_two), stats
+
+        lone, burst_one, lone_again, burst_two, stats = asyncio.run(run())
+        assert lone == direct[0] and lone_again == direct[1]
+        assert burst_one == direct and burst_two == direct
+        assert stats["executor"]["mode"] == mode
+        assert stats["solved"] == 2 * len(requests) + 2
+
+    def test_stats_expose_scheduling_observability(self):
+        async def run():
+            scheduler = ContinuousBatchScheduler(max_batch=4, max_wait_ms=1.0)
+            await asyncio.gather(
+                *(scheduler.submit(SolveRequest(random_values(9 + i), k=3)) for i in range(6))
+            )
+            stats = scheduler.stats()
+            await scheduler.close()
+            return stats
+
+        stats = asyncio.run(run())
+        assert stats["max_pending"] == 1024 and stats["rejected"] == 0
+        assert stats["accumulation_target"] >= 1
+        assert stats["ewma_service_ms"] is None or stats["ewma_service_ms"] >= 0
+        for histogram in (stats["queue_depth"], stats["latency_ms"]):
+            assert histogram["count"] >= 1
+            assert sum(histogram["buckets"].values()) == histogram["count"]
+        assert stats["plan_memo"]["max_entries"] >= 1
+
+    def test_cancelled_caller_does_not_poison_the_group(self):
+        async def run():
+            scheduler = ContinuousBatchScheduler(max_batch=8, max_wait_ms=5.0)
+            doomed = SolveRequest(random_values(10), k=3)
+            survivor = SolveRequest(random_values(12), k=3)
+            with pytest.raises(asyncio.TimeoutError):
+                await asyncio.wait_for(scheduler.submit(doomed), timeout=1e-6)
+            answer = await scheduler.submit(survivor)
+            # The abandoned request still settled internally: a re-ask is
+            # served (from single-flight or a fresh dispatch), not wedged.
+            redo = await scheduler.submit(doomed)
+            await scheduler.close()
+            return answer, redo
+
+        answer, redo = asyncio.run(run())
+        assert answer == evaluate_one(SolveRequest(random_values(12), k=3))
+        assert redo == evaluate_one(SolveRequest(random_values(10), k=3))
+
+    def test_queue_full_rejects_with_retry_after(self):
+        async def run():
+            scheduler = ContinuousBatchScheduler(max_batch=2, max_wait_ms=5.0, max_pending=3)
+            requests = [SolveRequest(random_values(9 + i), k=3) for i in range(8)]
+            # One gather burst: the pump is deferred to the next tick, so
+            # admissions beyond max_pending reject before anything dispatches.
+            results = await asyncio.gather(
+                *(scheduler.submit(r) for r in requests), return_exceptions=True
+            )
+            stats = scheduler.stats()
+            await scheduler.close()
+            return results, stats
+
+        results, stats = asyncio.run(run())
+        rejected = [r for r in results if isinstance(r, QueueFullError)]
+        served = [r for r in results if isinstance(r, dict)]
+        assert len(rejected) == 5 and len(served) == 3
+        assert stats["rejected"] == 5
+        for error in rejected:
+            assert error.retry_after > 0
+
+    def test_invalid_executor_mode_rejected(self):
+        with pytest.raises(ValueError):
+            create_executor("fork-bomb")
+
+
+# --------------------------------------------------------------------------
+# coverage-time requests
+# --------------------------------------------------------------------------
+class TestCoverageTimeServing:
+    def test_request_normalises_distribution(self):
+        request = CoverageTimeRequest([2.0, 2.0, 4.0], k=2)
+        assert request.values == (0.5, 0.25, 0.25)
+        assert request.kind == "coverage-times"
+        zeros_ok = CoverageTimeRequest([0.7, 0.3, 0.0])
+        assert zeros_ok.values[-1] == 0.0
+
+    def test_request_validation(self):
+        with pytest.raises(ValueError):
+            CoverageTimeRequest([0.5, 0.5], k=0)
+        with pytest.raises(ValueError):
+            CoverageTimeRequest([0.5, 0.5], j=3)  # j > m
+        with pytest.raises(ValueError):
+            CoverageTimeRequest([0.5, 0.5], times=[1.5])
+        with pytest.raises(ValueError, match="enumeration cap"):
+            CoverageTimeRequest(list(range(1, 19)))  # non-uniform, m=18 > 16
+        # uniform distributions are exempt from the cap (O(M) closed form)
+        wide = CoverageTimeRequest([1.0] * 40, k=2)
+        assert wide.m == 40
+
+    def test_payload_and_degenerate_rows(self):
+        payload = evaluate_one(CoverageTimeRequest([0.5, 0.3, 0.2], k=2, times=(1, 5), j=2))
+        assert payload["coverable"] is True
+        assert payload["expected_rounds"] > 0
+        assert payload["cdf"] == sorted(payload["cdf"])  # CDF is monotone
+        assert 0 < payload["partial_expected_rounds"] < payload["expected_rounds"]
+        degenerate = evaluate_one(CoverageTimeRequest([0.7, 0.3, 0.0], k=1))
+        assert degenerate["coverable"] is False
+        assert degenerate["expected_rounds"] is None
+
+    def test_coalesced_equals_direct_bitwise(self):
+        requests = [
+            CoverageTimeRequest([0.5, 0.3, 0.2], k=2, times=(1, 3, 5), j=2),
+            CoverageTimeRequest([0.25] * 4, k=2, times=(1, 3, 5), j=2),
+            CoverageTimeRequest([0.6, 0.2, 0.1, 0.1], k=2, times=(1, 3, 5), j=2),
+            CoverageTimeRequest([0.4, 0.3, 0.2, 0.1], k=2),  # separate group (no times)
+        ]
+        direct = [evaluate_one(request) for request in requests]
+        assert evaluate_requests(requests) == direct
+
+    def test_http_route_end_to_end(self):
+        async def run():
+            async with await start_server("127.0.0.1", 0, max_wait_ms=1.0) as running:
+                ok = await http_request(
+                    running.port, "POST", "/coverage-times",
+                    {"values": [0.5, 0.3, 0.2], "k": 2, "times": [1, 3], "j": 2},
+                )
+                capped = await http_request(
+                    running.port, "POST", "/coverage-times",
+                    {"values": list(range(1, 19))},
+                )
+                return ok, capped
+
+        ok, capped = asyncio.run(run())
+        assert ok[0] == 200
+        expected = evaluate_one(
+            CoverageTimeRequest([0.5, 0.3, 0.2], k=2, times=(1, 3), j=2)
+        )
+        assert ok[1] == expected
+        assert capped[0] == 400 and "enumeration cap" in capped[1]["error"]
+
+
+# --------------------------------------------------------------------------
 # HTTP front
 # --------------------------------------------------------------------------
 async def http_request(
@@ -366,6 +545,50 @@ class TestHTTPServer:
 
         raw = asyncio.run(run())
         assert raw.startswith(b"HTTP/1.1 400")
+
+    def test_queue_full_maps_to_503_with_retry_after(self):
+        async def run():
+            coalescer = BatchCoalescer(max_batch=4, max_wait_ms=1.0)
+
+            async def always_full(request):
+                raise QueueFullError("pending queue is full", retry_after=2.4)
+
+            coalescer.submit = always_full  # type: ignore[method-assign]
+            async with await start_server("127.0.0.1", 0, coalescer=coalescer) as running:
+                reader, writer = await asyncio.open_connection("127.0.0.1", running.port)
+                body = json.dumps({"values": [1.0, 0.5], "k": 2}).encode()
+                writer.write(
+                    b"POST /solve HTTP/1.1\r\nHost: x\r\nConnection: close\r\n"
+                    + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                    + body
+                )
+                await writer.drain()
+                raw = await reader.read()
+                writer.close()
+                await writer.wait_closed()
+                return raw
+
+        raw = asyncio.run(run())
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert raw.startswith(b"HTTP/1.1 503")
+        assert b"Retry-After: 2" in head
+        payload = json.loads(body)
+        assert payload["retry_after_s"] == 2
+
+    def test_server_flags_thread_through_to_stats(self):
+        async def run():
+            async with await start_server(
+                "127.0.0.1", 0, max_wait_ms=1.0, cache_size=32,
+                max_pending=7, executor="thread", workers=2,
+            ) as running:
+                return await http_request(running.port, "GET", "/stats")
+
+        status, stats = asyncio.run(run())
+        assert status == 200
+        coalescer_stats = stats["coalescer"]
+        assert coalescer_stats["max_pending"] == 7
+        assert coalescer_stats["cache"]["max_entries"] == 32
+        assert coalescer_stats["executor"] == {"mode": "thread", "concurrency": 2}
 
 
 class TestFastAPIFront:

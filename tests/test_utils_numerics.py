@@ -240,3 +240,80 @@ class TestWeightedAverage:
     def test_rejects_shape_mismatch(self):
         with pytest.raises(ValueError):
             weighted_average([1.0, 2.0], [1.0])
+
+
+class TestPlanMemo:
+    """Cross-call memoization of binomial-PMF plans (repro.utils.memo)."""
+
+    def _fresh(self, max_entries=4):
+        from repro.utils.memo import PlanMemo
+
+        return PlanMemo(max_entries=max_entries)
+
+    def test_hit_miss_counters_and_reuse(self):
+        memo = self._fresh()
+        first = memo.get(5, batch_size=3)
+        again = memo.get(5, batch_size=3)
+        assert again is first  # the same plan object, not a rebuild
+        stats = memo.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["entries"] == 1 and stats["hit_rate"] == 0.5
+
+    def test_distinct_shapes_get_distinct_entries(self):
+        memo = self._fresh()
+        first = memo.get(5, batch_size=3)
+        memo.get(5, batch_size=4)  # different broadcast width: new entry
+        memo.get(np.array([5, 6, 7]))  # ragged roster: new entry
+        assert len(memo) == 3
+        # A constant roster collapses to the scalar spelling's key — the
+        # plans are interchangeable, so this is a hit, not a new entry.
+        assert memo.get(np.array([5, 5, 5])) is first
+        assert len(memo) == 3
+
+    def test_lru_eviction_is_bounded(self):
+        memo = self._fresh(max_entries=2)
+        for n in (3, 4, 5, 6):
+            memo.get(n, batch_size=1)
+        assert len(memo) == 2
+        assert memo.stats()["evictions"] == 2
+
+    def test_plan_path_is_elementwise_identical_to_no_plan(self):
+        from repro.utils.memo import PlanMemo
+        from repro.utils.numerics import binomial_pmf_tensor
+
+        rng = np.random.default_rng(99)
+        probs = rng.uniform(0.0, 1.0, size=(4, 6))
+        memo = PlanMemo()
+        for n in (1, 2, 7):
+            plan = memo.get(n, batch_size=probs.shape[0])
+            with_plan = binomial_pmf_tensor(n, probs, plan=plan)
+            without = binomial_pmf_tensor(n, probs)
+            np.testing.assert_array_equal(with_plan, without)
+
+    def test_disabled_context_bypasses_without_caching(self):
+        memo = self._fresh()
+        with memo.disabled():
+            memo.get(5, batch_size=2)
+            memo.get(5, batch_size=2)
+        stats = memo.stats()
+        assert len(memo) == 0
+        assert stats["bypasses"] == 2 and stats["hits"] == 0
+
+    def test_module_singleton_feeds_the_solver_hot_path(self):
+        from repro.batch.ifd import ifd_batch
+        from repro.batch.padding import PaddedValues
+        from repro.core.policies import SharingPolicy
+        from repro.utils.memo import plan_memo
+
+        padded = PaddedValues.from_instances(
+            [np.sort(np.random.default_rng(7).uniform(0.5, 2.0, 9))[::-1]]
+        )
+        plan_memo.clear()
+        plan_memo.reset_counters()
+        solved = ifd_batch(padded, [4], SharingPolicy())
+        stats = plan_memo.stats()
+        assert stats["hits"] > 0  # the bisection reuses one plan per call site
+        with plan_memo.disabled():
+            reference = ifd_batch(padded, [4], SharingPolicy())
+        np.testing.assert_array_equal(solved.probabilities, reference.probabilities)
+        np.testing.assert_array_equal(solved.values, reference.values)
